@@ -1,0 +1,138 @@
+#ifndef BGC_BENCH_BENCH_COMMON_H_
+#define BGC_BENCH_BENCH_COMMON_H_
+
+// Shared scaffolding for the table/figure reproduction binaries.
+//
+// Every binary accepts:
+//   --paper       full-size configuration (larger graphs, condensed sets,
+//                 epoch counts, 3 repeats) — slower, closer to the paper.
+//   --repeats=N   override the repeat count.
+//   --seed=N      base seed (default 1).
+// The default ("fast") configuration shrinks the inductive graphs and epoch
+// counts so the full bench suite completes on one CPU core while preserving
+// the paper's qualitative shape.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/core/stats.h"
+#include "src/eval/experiment.h"
+#include "src/eval/table.h"
+
+namespace bgc::bench {
+
+struct Options {
+  bool paper = false;
+  int repeats = 0;  // 0 = mode default (2 fast / 3 paper)
+  uint64_t seed = 1;
+};
+
+inline Options Parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--paper") == 0) {
+      opt.paper = true;
+    } else if (std::strncmp(argv[i], "--repeats=", 10) == 0) {
+      opt.repeats = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      opt.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--benchmark", 11) == 0) {
+      // google-benchmark flags pass through.
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+inline int Repeats(const Options& opt) {
+  if (opt.repeats > 0) return opt.repeats;
+  return opt.paper ? 3 : 2;
+}
+
+/// Per-dataset experiment geometry: the paper's condensation-ratio labels
+/// with matching condensed sizes N' (paper mode reproduces the paper's
+/// absolute N'; fast mode scales them with the shrunken graphs).
+struct DatasetSetup {
+  std::string preset;                     // data::MakeDataset name
+  double scale = 1.0;                     // node-count scale
+  std::vector<std::string> ratio_labels;  // paper's "r" column
+  std::vector<int> condensed_sizes;       // N' per ratio label
+  int condense_epochs = 100;
+  int poison_budget = 0;                  // 0 => poison_ratio 0.1
+};
+
+inline DatasetSetup GetSetup(const std::string& name, const Options& opt) {
+  DatasetSetup s;
+  if (name == "cora") {
+    s.preset = "cora-sim";
+    s.ratio_labels = {"1.30%", "2.60%", "5.20%"};
+    s.condensed_sizes = {35, 70, 140};
+    s.condense_epochs = opt.paper ? 300 : 150;
+  } else if (name == "citeseer") {
+    s.preset = "citeseer-sim";
+    s.ratio_labels = {"0.90%", "1.80%", "3.60%"};
+    s.condensed_sizes = {30, 60, 120};
+    s.condense_epochs = opt.paper ? 300 : 150;
+  } else if (name == "flickr") {
+    s.preset = "flickr-sim";
+    s.scale = opt.paper ? 1.0 : 0.5;
+    s.ratio_labels = {"0.10%", "0.50%", "1.00%"};
+    s.condensed_sizes = opt.paper ? std::vector<int>{44, 112, 224}
+                                  : std::vector<int>{14, 28, 44};
+    s.condense_epochs = opt.paper ? 200 : 60;
+    s.poison_budget = opt.paper ? 80 : 60;
+  } else if (name == "reddit") {
+    s.preset = "reddit-sim";
+    s.scale = opt.paper ? 1.0 : 0.5;
+    s.ratio_labels = {"0.05%", "0.10%", "0.20%"};
+    s.condensed_sizes = opt.paper ? std::vector<int>{77, 154, 308}
+                                  : std::vector<int>{32, 48, 77};
+    s.condense_epochs = opt.paper ? 200 : 60;
+    s.poison_budget = opt.paper ? 180 : 90;
+  } else {
+    std::fprintf(stderr, "unknown dataset: %s\n", name.c_str());
+    std::exit(2);
+  }
+  return s;
+}
+
+/// A ready-to-run spec for one (dataset, ratio, method, attack) cell.
+inline eval::RunSpec MakeSpec(const DatasetSetup& setup, int ratio_idx,
+                              const std::string& method,
+                              const std::string& attack, const Options& opt) {
+  eval::RunSpec spec;
+  spec.dataset = setup.preset;
+  spec.dataset_scale = setup.scale;
+  spec.seed = opt.seed;
+  spec.repeats = Repeats(opt);
+  spec.method = method;
+  spec.attack = attack;
+  spec.condense.num_condensed = setup.condensed_sizes[ratio_idx];
+  spec.condense.epochs = setup.condense_epochs;
+  spec.attack_cfg.poison_budget = setup.poison_budget;
+  spec.victim.epochs = opt.paper ? 300 : 150;
+  return spec;
+}
+
+/// "81.23 (0.24)"-style percent cell.
+inline std::string Pct(const MeanStd& ms) {
+  MeanStd scaled{ms.mean * 100.0, ms.std * 100.0};
+  return FormatPercentCell(scaled);
+}
+
+inline void PrintHeader(const char* title, const Options& opt) {
+  std::printf("== %s ==\n", title);
+  std::printf("mode=%s repeats=%d seed=%llu\n\n",
+              opt.paper ? "paper" : "fast", Repeats(opt),
+              static_cast<unsigned long long>(opt.seed));
+}
+
+}  // namespace bgc::bench
+
+#endif  // BGC_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,43 @@
+// Reproduces Figure 5: effect of the trigger size on ASR and CTA
+// (GC-SNTK on Flickr across three ratios). Larger triggers push ASR up and
+// CTA marginally down.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace bgc;         // NOLINT
+using namespace bgc::bench;  // NOLINT
+
+void Run(Options opt) {
+  // Heavy sweep: fast mode defaults to a single repeat (override with
+  // --repeats).
+  if (opt.repeats == 0 && !opt.paper) opt.repeats = 1;
+  PrintHeader("Figure 5 — ASR/CTA vs trigger size (GC-SNTK, Flickr)", opt);
+  DatasetSetup setup = GetSetup("flickr", opt);
+  const std::vector<int> sizes = {2, 4, 6, 8};
+
+  eval::TextTable table({"Ratio (r)", "Trigger size", "CTA", "ASR"});
+  for (size_t r = 0; r < setup.ratio_labels.size(); ++r) {
+    for (int size : sizes) {
+      eval::RunSpec spec =
+          MakeSpec(setup, static_cast<int>(r), "gc-sntk", "bgc", opt);
+      spec.eval_clean_baseline = false;
+      spec.attack_cfg.trigger_size = size;
+      eval::CellStats stats = eval::RunExperiment(spec);
+      table.AddRow({setup.ratio_labels[r], std::to_string(size),
+                    Pct(stats.cta), Pct(stats.asr)});
+      std::fflush(stdout);
+    }
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Run(Parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Micro-benchmarks (google-benchmark) of the substrate kernels that
+// dominate condensation and attack wall-clock: dense GEMM, sparse SpMM,
+// GCN normalization, one gradient-matching epoch, one trigger-generator
+// update, and a full surrogate training burst.
+
+#include <benchmark/benchmark.h>
+
+#include "src/attack/bgc.h"
+#include "src/attack/surrogate.h"
+#include "src/attack/trigger.h"
+#include "src/condense/condenser.h"
+#include "src/data/synthetic.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace {
+
+using namespace bgc;  // NOLINT
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Matrix a = Matrix::RandomNormal(n, n, rng);
+  Matrix b = Matrix::RandomNormal(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long long>(n) * n *
+                          n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SpMM(benchmark::State& state) {
+  data::GraphDataset ds = data::MakeDataset("cora-sim", 3);
+  graph::CsrMatrix op = graph::GcnNormalize(ds.adj);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(op.Multiply(ds.features));
+  }
+  state.SetItemsProcessed(state.iterations() * op.nnz() *
+                          ds.feature_dim());
+}
+BENCHMARK(BM_SpMM);
+
+void BM_GcnNormalize(benchmark::State& state) {
+  data::GraphDataset ds = data::MakeDataset("cora-sim", 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::GcnNormalize(ds.adj));
+  }
+}
+BENCHMARK(BM_GcnNormalize);
+
+void BM_CondensationEpoch(benchmark::State& state) {
+  data::GraphDataset ds = data::MakeDataset("cora-sim", 3);
+  condense::SourceGraph src =
+      condense::FromTrainView(data::MakeTrainView(ds));
+  auto condenser = condense::MakeCondenser(
+      state.range(0) == 0 ? "gcond" : "gcond-x");
+  condense::CondenseConfig cfg;
+  cfg.num_condensed = 70;
+  Rng rng(4);
+  condenser->Initialize(src, ds.num_classes, cfg, rng);
+  for (auto _ : state) {
+    condenser->Epoch(src);
+  }
+}
+BENCHMARK(BM_CondensationEpoch)->Arg(0)->Arg(1);
+
+void BM_TriggerGeneratorStep(benchmark::State& state) {
+  data::GraphDataset ds = data::MakeDataset("cora-sim", 3);
+  condense::SourceGraph src =
+      condense::FromTrainView(data::MakeTrainView(ds));
+  Rng rng(5);
+  attack::SurrogateGcn surrogate(ds.feature_dim(), 32, ds.num_classes);
+  surrogate.Init(rng);
+  attack::AdaptiveTriggerGenerator gen(ds.feature_dim(), 32, 4, 0.05f, 1.0f,
+                                       rng);
+  std::vector<int> update_nodes;
+  for (int i = 0; i < 16; ++i) update_nodes.push_back(i * 7);
+  for (auto _ : state) {
+    gen.TrainStep(src, surrogate, update_nodes, 0, {2, 16}, rng);
+  }
+}
+BENCHMARK(BM_TriggerGeneratorStep);
+
+void BM_SurrogateTraining(benchmark::State& state) {
+  data::GraphDataset ds = data::MakeDataset("cora-sim", 3);
+  condense::SourceGraph src =
+      condense::FromTrainView(data::MakeTrainView(ds));
+  auto condenser = condense::MakeCondenser("gcond-x");
+  condense::CondenseConfig cfg;
+  cfg.num_condensed = 70;
+  cfg.epochs = 10;
+  Rng rng(6);
+  condense::CondensedGraph g =
+      condense::RunCondensation(*condenser, src, ds.num_classes, cfg, rng);
+  attack::SurrogateGcn surrogate(ds.feature_dim(), 32, ds.num_classes);
+  for (auto _ : state) {
+    surrogate.Init(rng);
+    surrogate.Train(g, 30, 0.01f, rng);
+  }
+}
+BENCHMARK(BM_SurrogateTraining);
+
+}  // namespace
+
+BENCHMARK_MAIN();

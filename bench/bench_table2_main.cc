@@ -1,0 +1,48 @@
+// Reproduces Table 2, the paper's main result: BGC against four graph
+// condensation methods on four datasets and three condensation ratios each.
+// For every cell: C-CTA / CTA (utility preserved) and C-ASR / ASR (attack
+// effective only on the backdoored model).
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace bgc;         // NOLINT
+using namespace bgc::bench;  // NOLINT
+
+void Run(const Options& opt) {
+  PrintHeader("Table 2 — Attack performance and model utility (BGC)", opt);
+  const std::vector<std::string> methods = {"dc-graph", "gcond", "gcond-x",
+                                            "gc-sntk"};
+  const std::vector<std::string> datasets = {"cora", "citeseer", "flickr",
+                                             "reddit"};
+  for (const std::string& method : methods) {
+    std::printf("-- condensation method: %s --\n", method.c_str());
+    eval::TextTable table(
+        {"Dataset", "Ratio (r)", "N'", "C-CTA", "CTA", "C-ASR", "ASR"});
+    for (const std::string& dataset : datasets) {
+      DatasetSetup setup = GetSetup(dataset, opt);
+      for (size_t r = 0; r < setup.ratio_labels.size(); ++r) {
+        eval::RunSpec spec =
+            MakeSpec(setup, static_cast<int>(r), method, "bgc", opt);
+        eval::CellStats stats = eval::RunExperiment(spec);
+        table.AddRow({dataset, setup.ratio_labels[r],
+                      std::to_string(setup.condensed_sizes[r]),
+                      Pct(stats.c_cta), Pct(stats.cta), Pct(stats.c_asr),
+                      Pct(stats.asr)});
+      }
+    }
+    table.Print(std::cout);
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Run(Parse(argc, argv));
+  return 0;
+}

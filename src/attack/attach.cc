@@ -1,0 +1,78 @@
+#include "src/attack/attach.h"
+
+#include <algorithm>
+
+#include "src/core/check.h"
+#include "src/graph/graph_utils.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace bgc::attack {
+
+AugmentedGraph AttachToGraph(
+    const graph::CsrMatrix& adj, const Matrix& x,
+    const std::vector<int>& hosts,
+    const std::vector<TriggerInstantiation>& triggers) {
+  BGC_CHECK_EQ(hosts.size(), triggers.size());
+  AugmentedGraph out;
+  out.num_original = adj.rows();
+  if (hosts.empty()) {
+    out.adj = adj;
+    out.features = x;
+    return out;
+  }
+  const int g = triggers[0].features.rows();
+  std::vector<graph::Edge> extra;
+  Matrix trig_features(static_cast<int>(hosts.size()) * g, x.cols());
+  for (size_t i = 0; i < hosts.size(); ++i) {
+    BGC_CHECK_GE(hosts[i], 0);
+    BGC_CHECK_LT(hosts[i], adj.rows());
+    BGC_CHECK_EQ(triggers[i].features.rows(), g);
+    BGC_CHECK_EQ(triggers[i].features.cols(), x.cols());
+    const int base = adj.rows() + static_cast<int>(i) * g;
+    extra.push_back({hosts[i], base, 1.0f});
+    for (auto [a, b] : triggers[i].internal_edges) {
+      BGC_CHECK_LT(a, g);
+      BGC_CHECK_LT(b, g);
+      extra.push_back({base + a, base + b, 1.0f});
+    }
+    for (int k = 0; k < g; ++k) {
+      trig_features.SetRow(static_cast<int>(i) * g + k,
+                           triggers[i].features.RowPtr(k));
+    }
+  }
+  out.adj = graph::AugmentGraph(adj, static_cast<int>(hosts.size()) * g,
+                                extra);
+  out.features = ConcatRows(x, trig_features);
+  return out;
+}
+
+condense::SourceGraph BuildPoisonedSource(
+    const condense::SourceGraph& clean, const std::vector<int>& hosts,
+    const std::vector<TriggerInstantiation>& triggers, int target_class,
+    bool flip_labels) {
+  AugmentedGraph aug =
+      AttachToGraph(clean.adj, clean.features, hosts, triggers);
+  condense::SourceGraph poisoned;
+  poisoned.adj = std::move(aug.adj);
+  poisoned.features = std::move(aug.features);
+  poisoned.labels = clean.labels;
+  poisoned.labels.resize(poisoned.adj.rows(), target_class);
+  poisoned.labeled = clean.labeled;
+  for (int host : hosts) {
+    if (flip_labels) poisoned.labels[host] = target_class;
+    // Hosts outside the labeled set (possible for V_U-style callers) join it.
+    if (std::find(poisoned.labeled.begin(), poisoned.labeled.end(), host) ==
+        poisoned.labeled.end()) {
+      poisoned.labeled.push_back(host);
+    }
+  }
+  // Trigger nodes carry the target label as filler but are NOT added to the
+  // labeled set: labeling them would flood the target class's share of the
+  // synthetic label allocation and crater the condensed graph's utility.
+  // Their payload reaches the matching through propagation into the
+  // relabeled hosts.
+  std::sort(poisoned.labeled.begin(), poisoned.labeled.end());
+  return poisoned;
+}
+
+}  // namespace bgc::attack

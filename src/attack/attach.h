@@ -1,0 +1,38 @@
+#ifndef BGC_ATTACK_ATTACH_H_
+#define BGC_ATTACK_ATTACH_H_
+
+#include <vector>
+
+#include "src/attack/trigger.h"
+#include "src/condense/condenser.h"
+
+namespace bgc::attack {
+
+/// A graph with trigger nodes appended: original nodes keep their ids;
+/// trigger k of host i occupies row num_original + i·g + k.
+struct AugmentedGraph {
+  graph::CsrMatrix adj;
+  Matrix features;
+  int num_original = 0;
+};
+
+/// Appends `triggers[i]` to `hosts[i]`: trigger node 0 links to the host,
+/// internal edges follow the instantiation. Features of trigger nodes come
+/// from the instantiation. Used at inference time to trigger test nodes.
+AugmentedGraph AttachToGraph(const graph::CsrMatrix& adj, const Matrix& x,
+                             const std::vector<int>& hosts,
+                             const std::vector<TriggerInstantiation>& triggers);
+
+/// Builds the poisoned training graph G_P (Alg. 1 line 12): attaches the
+/// triggers, relabels hosts to `target_class`, labels every trigger node
+/// `target_class`, and adds both to the labeled set — flipped labels plus
+/// trigger payloads are the malicious gradient signal the condensation
+/// distills.
+condense::SourceGraph BuildPoisonedSource(
+    const condense::SourceGraph& clean, const std::vector<int>& hosts,
+    const std::vector<TriggerInstantiation>& triggers, int target_class,
+    bool flip_labels = true);
+
+}  // namespace bgc::attack
+
+#endif  // BGC_ATTACK_ATTACH_H_

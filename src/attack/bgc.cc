@@ -1,0 +1,158 @@
+#include "src/attack/bgc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/attack/attach.h"
+#include "src/attack/selector.h"
+#include "src/attack/surrogate.h"
+#include "src/core/check.h"
+
+namespace bgc::attack {
+
+int ResolvePoisonBudget(const AttackConfig& config, int labeled_size) {
+  if (config.poison_budget > 0) return config.poison_budget;
+  return std::max(1, static_cast<int>(config.poison_ratio * labeled_size));
+}
+
+float ResolveTriggerFeatureScale(const AttackConfig& config,
+                                 const Matrix& features) {
+  if (config.trigger_feature_scale > 0.0f) {
+    return config.trigger_feature_scale;
+  }
+  double mean_abs = 0.0;
+  for (int i = 0; i < features.size(); ++i) {
+    mean_abs += std::fabs(features.data()[i]);
+  }
+  mean_abs /= std::max(1, features.size());
+  // 1x the data's mean |x|: strong enough for the distilled backdoor to key
+  // on, weak enough that clean models are not trivially swayed (the paper's
+  // C-ASR stays low while ASR saturates).
+  return static_cast<float>(mean_abs);
+}
+
+std::shared_ptr<TriggerGenerator> MakeTriggerGenerator(
+    const AttackConfig& config, int in_dim, float feature_scale, Rng& rng) {
+  if (config.trigger_type == "universal") {
+    return std::make_shared<UniversalTriggerGenerator>(
+        in_dim, config.trigger_size, config.generator_lr, feature_scale,
+        rng);
+  }
+  BGC_CHECK_MSG(config.trigger_type == "adaptive",
+                "unknown trigger type: " + config.trigger_type);
+  return std::make_shared<AdaptiveTriggerGenerator>(
+      in_dim, config.generator_hidden, config.trigger_size,
+      config.generator_lr, feature_scale, rng);
+}
+
+namespace {
+
+std::vector<int> SelectHosts(const condense::SourceGraph& clean,
+                             int num_classes, const AttackConfig& config,
+                             int budget, Rng& rng) {
+  if (config.clean_label) {
+    // Clean-label poisoning: hosts come FROM the target class (their labels
+    // stay honest); reuse the random selector with an inverted filter.
+    std::vector<int> eligible;
+    for (int idx : clean.labeled) {
+      if (clean.labels[idx] == config.target_class) eligible.push_back(idx);
+    }
+    BGC_CHECK(!eligible.empty());
+    const int take = std::min<int>(budget, eligible.size());
+    std::vector<int> picks = rng.SampleWithoutReplacement(
+        static_cast<int>(eligible.size()), take);
+    std::vector<int> hosts;
+    for (int i : picks) hosts.push_back(eligible[i]);
+    std::sort(hosts.begin(), hosts.end());
+    return hosts;
+  }
+  if (config.selection == "random") {
+    return SelectRandomNodes(clean, config.target_class, budget, rng);
+  }
+  BGC_CHECK_MSG(config.selection == "representative",
+                "unknown selection mode: " + config.selection);
+  SelectorConfig sel;
+  sel.target_class = config.target_class;
+  sel.budget = budget;
+  sel.clusters_per_class = config.clusters_per_class;
+  sel.lambda = config.selector_lambda;
+  sel.selector_epochs = config.selector_epochs;
+  return SelectPoisonedNodes(clean, num_classes, sel, rng);
+}
+
+/// V_U: random nodes (any label) whose triggered computation graphs drive
+/// the generator update; excludes nodes already labeled target (their CE
+/// would be trivially low).
+std::vector<int> SampleUpdateNodes(const condense::SourceGraph& clean,
+                                   int target_class, int batch, Rng& rng) {
+  std::vector<int> eligible;
+  eligible.reserve(clean.labels.size());
+  for (int i = 0; i < static_cast<int>(clean.labels.size()); ++i) {
+    if (clean.labels[i] != target_class) eligible.push_back(i);
+  }
+  BGC_CHECK(!eligible.empty());
+  const int take = std::min<int>(batch, eligible.size());
+  std::vector<int> picks =
+      rng.SampleWithoutReplacement(static_cast<int>(eligible.size()), take);
+  std::vector<int> nodes;
+  nodes.reserve(take);
+  for (int i : picks) nodes.push_back(eligible[i]);
+  return nodes;
+}
+
+}  // namespace
+
+AttackResult RunBgc(const condense::SourceGraph& clean, int num_classes,
+                    condense::Condenser& condenser,
+                    const condense::CondenseConfig& condense_config,
+                    const AttackConfig& attack_config, Rng& rng) {
+  BGC_CHECK_GE(attack_config.target_class, 0);
+  BGC_CHECK_LT(attack_config.target_class, num_classes);
+  const int budget = ResolvePoisonBudget(
+      attack_config, static_cast<int>(clean.labeled.size()));
+
+  AttackResult result;
+  result.poisoned_nodes =
+      SelectHosts(clean, num_classes, attack_config, budget, rng);
+  result.generator = MakeTriggerGenerator(
+      attack_config, clean.features.cols(),
+      ResolveTriggerFeatureScale(attack_config, clean.features), rng);
+
+  SurrogateGcn surrogate(clean.features.cols(),
+                         attack_config.surrogate_hidden, num_classes);
+  surrogate.Init(rng);
+
+  // Alg. 1 line 1-3: initial poisoned graph with untrained triggers.
+  const bool flip = !attack_config.clean_label;
+  condense::SourceGraph poisoned = BuildPoisonedSource(
+      clean, result.poisoned_nodes,
+      result.generator->Generate(clean, result.poisoned_nodes),
+      attack_config.target_class, flip);
+  condenser.Initialize(poisoned, num_classes, condense_config, rng);
+
+  for (int epoch = 0; epoch < condense_config.epochs; ++epoch) {
+    // Lines 5-8: fresh surrogate trained on the current condensed graph.
+    surrogate.Init(rng);
+    surrogate.Train(condenser.Result(), attack_config.surrogate_steps,
+                    attack_config.surrogate_lr, rng);
+    // Lines 9-11: M generator updates against the surrogate.
+    for (int m = 0; m < attack_config.generator_steps; ++m) {
+      std::vector<int> update_nodes = SampleUpdateNodes(
+          clean, attack_config.target_class, attack_config.update_batch, rng);
+      result.generator->TrainStep(clean, surrogate, update_nodes,
+                                  attack_config.target_class,
+                                  attack_config.ego, rng);
+    }
+    // Line 12: rebuild G_P with the updated triggers.
+    poisoned = BuildPoisonedSource(
+        clean, result.poisoned_nodes,
+        result.generator->Generate(clean, result.poisoned_nodes),
+        attack_config.target_class, flip);
+    // Line 13: one condensation update on G_P.
+    condenser.Epoch(poisoned);
+  }
+  result.condensed = condenser.Result();
+  return result;
+}
+
+}  // namespace bgc::attack

@@ -1,0 +1,80 @@
+#ifndef BGC_ATTACK_BGC_H_
+#define BGC_ATTACK_BGC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/attack/ego.h"
+#include "src/attack/trigger.h"
+#include "src/condense/condenser.h"
+
+namespace bgc::attack {
+
+/// Attack hyper-parameters (paper §5: trigger size 4, poisoning ratio 0.1,
+/// generator lr searched in {0.01..0.5}, generator updates per condensation
+/// epoch).
+struct AttackConfig {
+  int target_class = 0;
+  int trigger_size = 4;          // Δ_g
+  int poison_budget = 0;         // Δ_P; when 0, poison_ratio × |labeled|
+  double poison_ratio = 0.1;
+  int clusters_per_class = 4;    // K (selector)
+  float selector_lambda = 0.1f;  // λ (Eq. 9)
+  int selector_epochs = 60;
+  int surrogate_steps = 30;      // T (Eq. 16)
+  int generator_steps = 2;       // M (Eq. 17)
+  float generator_lr = 0.05f;
+  float surrogate_lr = 0.01f;
+  int surrogate_hidden = 32;
+  int generator_hidden = 32;
+  int update_batch = 16;         // |V_U| sample per generator step
+  /// Bound on generated trigger feature magnitude; 0 = auto (3× the mean
+  /// absolute feature value of the clean graph).
+  float trigger_feature_scale = 0.0f;
+  EgoParams ego;
+  // "representative" (BGC) or "random" (BGC_Rand, Fig. 3).
+  std::string selection = "representative";
+  /// Extension (clean-label backdoor, cf. PerCBA): poison only nodes whose
+  /// label already IS the target class and never flip labels — stealthier,
+  /// typically needing a larger budget for the same ASR.
+  bool clean_label = false;
+  // "adaptive" (BGC/GTA) or "universal" (DOORPING).
+  std::string trigger_type = "adaptive";
+  uint64_t seed = 0;
+};
+
+/// Everything the attacker hands to / retains from a run: the poisoned
+/// condensed graph shipped to the victim, the trained trigger generator
+/// used at inference time, and the poisoned node set.
+struct AttackResult {
+  condense::CondensedGraph condensed;
+  std::shared_ptr<TriggerGenerator> generator;
+  std::vector<int> poisoned_nodes;
+};
+
+/// Resolves Δ_P from config and labeled-set size.
+int ResolvePoisonBudget(const AttackConfig& config, int labeled_size);
+
+/// Resolves the trigger feature bound (auto mode uses the data scale).
+float ResolveTriggerFeatureScale(const AttackConfig& config,
+                                 const Matrix& features);
+
+/// Creates the configured trigger generator.
+std::shared_ptr<TriggerGenerator> MakeTriggerGenerator(
+    const AttackConfig& config, int in_dim, float feature_scale, Rng& rng);
+
+/// BGC (Algorithm 1): select representative poisoned nodes, then per
+/// condensation epoch (re)train the surrogate on the current condensed
+/// graph, update the trigger generator against it, rebuild the poisoned
+/// source with fresh triggers, and advance the condensation one epoch.
+/// Also runs DOORPING (trigger_type = "universal") and BGC_Rand
+/// (selection = "random") — they share the dynamic loop.
+AttackResult RunBgc(const condense::SourceGraph& clean, int num_classes,
+                    condense::Condenser& condenser,
+                    const condense::CondenseConfig& condense_config,
+                    const AttackConfig& attack_config, Rng& rng);
+
+}  // namespace bgc::attack
+
+#endif  // BGC_ATTACK_BGC_H_

@@ -1,0 +1,78 @@
+#include "src/attack/ego.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/core/check.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace bgc::attack {
+
+EgoItem BuildEgoItem(const graph::CsrMatrix& adj, const Matrix& x, int host,
+                     const EgoParams& params, int trigger_size, Rng& rng) {
+  BGC_CHECK_GE(host, 0);
+  BGC_CHECK_LT(host, adj.rows());
+  BGC_CHECK_GT(trigger_size, 0);
+
+  // Sampled BFS: admit at most cap_per_hop new nodes per hop.
+  std::vector<int> nodes = {host};
+  std::unordered_map<int, int> local;  // global -> local id
+  local[host] = 0;
+  std::vector<int> frontier = {host};
+  const auto& rp = adj.row_ptr();
+  const auto& ci = adj.col_idx();
+  for (int hop = 0; hop < params.hops; ++hop) {
+    std::vector<int> candidates;
+    for (int u : frontier) {
+      for (int k = rp[u]; k < rp[u + 1]; ++k) {
+        const int v = ci[k];
+        if (!local.count(v)) candidates.push_back(v);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    if (static_cast<int>(candidates.size()) > params.cap_per_hop) {
+      std::vector<int> picks = rng.SampleWithoutReplacement(
+          static_cast<int>(candidates.size()), params.cap_per_hop);
+      std::vector<int> kept;
+      kept.reserve(picks.size());
+      for (int i : picks) kept.push_back(candidates[i]);
+      candidates = std::move(kept);
+    }
+    frontier.clear();
+    for (int v : candidates) {
+      local[v] = static_cast<int>(nodes.size());
+      nodes.push_back(v);
+      frontier.push_back(v);
+    }
+    if (frontier.empty()) break;
+  }
+
+  const int m = static_cast<int>(nodes.size());
+  const int total = m + trigger_size;
+  EgoItem item;
+  item.nodes = nodes;
+  item.host_local = 0;
+  item.base_adj = Matrix(total, total);
+  for (int i = 0; i < m; ++i) {
+    const int u = nodes[i];
+    for (int k = rp[u]; k < rp[u + 1]; ++k) {
+      auto it = local.find(ci[k]);
+      if (it != local.end()) {
+        item.base_adj(i, it->second) = adj.values()[k];
+      }
+    }
+  }
+  // The attachment edge: host <-> first trigger node.
+  item.base_adj(0, m) = 1.0f;
+  item.base_adj(m, 0) = 1.0f;
+
+  item.embed = Matrix(total, trigger_size);
+  for (int j = 0; j < trigger_size; ++j) item.embed(m + j, j) = 1.0f;
+
+  item.features = GatherRows(x, nodes);
+  return item;
+}
+
+}  // namespace bgc::attack

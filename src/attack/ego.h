@@ -1,0 +1,38 @@
+#ifndef BGC_ATTACK_EGO_H_
+#define BGC_ATTACK_EGO_H_
+
+#include <vector>
+
+#include "src/core/rng.h"
+#include "src/graph/csr.h"
+#include "src/tensor/matrix.h"
+
+namespace bgc::attack {
+
+/// Ego-network sampling parameters: the trigger generator differentiates
+/// through a dense forward on each update node's computation graph G_C^i,
+/// so high-degree neighborhoods are subsampled to keep the dense block
+/// small.
+struct EgoParams {
+  int hops = 2;
+  int cap_per_hop = 16;  // max new neighbors admitted per hop
+};
+
+/// A host node's computation graph prepared for trigger-aware dense
+/// forward passes. Layout: rows [0, m) are sampled ego nodes (host
+/// included), rows [m, m+g) are the trigger slots.
+struct EgoItem {
+  std::vector<int> nodes;  // global ids of the m ego nodes
+  int host_local = 0;      // host position within `nodes`
+  Matrix base_adj;         // (m+g)² constant part: ego edges + host—trigger0
+  Matrix embed;            // (m+g)×g selector P: P·A_g·Pᵀ places the trigger
+  Matrix features;         // m×d ego features
+};
+
+/// Builds the EgoItem for `host`. Deterministic given `rng`.
+EgoItem BuildEgoItem(const graph::CsrMatrix& adj, const Matrix& x, int host,
+                     const EgoParams& params, int trigger_size, Rng& rng);
+
+}  // namespace bgc::attack
+
+#endif  // BGC_ATTACK_EGO_H_

@@ -1,0 +1,20 @@
+#ifndef BGC_ATTACK_GTA_H_
+#define BGC_ATTACK_GTA_H_
+
+#include "src/attack/bgc.h"
+
+namespace bgc::attack {
+
+/// GTA baseline (Xi et al., USENIX Sec'21) adapted to graph condensation as
+/// in the paper's Table 3: the adaptive trigger generator is trained once
+/// against a surrogate fitted to the *original* graph; the poisoned graph
+/// is then condensed with the triggers frozen. The condensation never sees
+/// trigger updates — the paper's explanation for GTA's lower ASR.
+AttackResult RunGta(const condense::SourceGraph& clean, int num_classes,
+                    condense::Condenser& condenser,
+                    const condense::CondenseConfig& condense_config,
+                    const AttackConfig& attack_config, Rng& rng);
+
+}  // namespace bgc::attack
+
+#endif  // BGC_ATTACK_GTA_H_

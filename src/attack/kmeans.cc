@@ -1,0 +1,105 @@
+#include "src/attack/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/core/check.h"
+
+namespace bgc::attack {
+namespace {
+
+float SquaredDistance(const float* a, const float* b, int d) {
+  float s = 0.0f;
+  for (int j = 0; j < d; ++j) {
+    const float diff = a[j] - b[j];
+    s += diff * diff;
+  }
+  return s;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const Matrix& points, int k, Rng& rng, int max_iters) {
+  const int n = points.rows();
+  const int d = points.cols();
+  BGC_CHECK_GT(n, 0);
+  BGC_CHECK_GT(k, 0);
+  k = std::min(k, n);
+
+  // k-means++ seeding.
+  Matrix centroids(k, d);
+  std::vector<float> min_dist(n, std::numeric_limits<float>::max());
+  int first = static_cast<int>(rng.UniformInt(n));
+  centroids.SetRow(0, points.RowPtr(first));
+  for (int c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const float dist =
+          SquaredDistance(points.RowPtr(i), centroids.RowPtr(c - 1), d);
+      min_dist[i] = std::min(min_dist[i], dist);
+      total += min_dist[i];
+    }
+    int chosen = n - 1;
+    if (total > 0.0) {
+      double target = rng.Uniform() * total;
+      double acc = 0.0;
+      for (int i = 0; i < n; ++i) {
+        acc += min_dist[i];
+        if (acc >= target) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = static_cast<int>(rng.UniformInt(n));
+    }
+    centroids.SetRow(c, points.RowPtr(chosen));
+  }
+
+  KMeansResult result;
+  result.assignment.assign(n, 0);
+  std::vector<int> counts(k, 0);
+  for (int iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    for (int i = 0; i < n; ++i) {
+      int best = 0;
+      float best_dist =
+          SquaredDistance(points.RowPtr(i), centroids.RowPtr(0), d);
+      for (int c = 1; c < k; ++c) {
+        const float dist =
+            SquaredDistance(points.RowPtr(i), centroids.RowPtr(c), d);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = c;
+        }
+      }
+      if (result.assignment[i] != best || iter == 0) {
+        changed = changed || result.assignment[i] != best;
+        result.assignment[i] = best;
+      }
+    }
+    if (iter > 0 && !changed) break;
+    // Recompute centroids; empty clusters keep their previous position.
+    Matrix sums(k, d);
+    counts.assign(k, 0);
+    for (int i = 0; i < n; ++i) {
+      const int c = result.assignment[i];
+      ++counts[c];
+      float* row = sums.RowPtr(c);
+      const float* p = points.RowPtr(i);
+      for (int j = 0; j < d; ++j) row[j] += p[j];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      float* row = sums.RowPtr(c);
+      const float inv = 1.0f / static_cast<float>(counts[c]);
+      for (int j = 0; j < d; ++j) row[j] *= inv;
+      centroids.SetRow(c, row);
+    }
+  }
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+}  // namespace bgc::attack

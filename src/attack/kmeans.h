@@ -1,0 +1,24 @@
+#ifndef BGC_ATTACK_KMEANS_H_
+#define BGC_ATTACK_KMEANS_H_
+
+#include <vector>
+
+#include "src/core/rng.h"
+#include "src/tensor/matrix.h"
+
+namespace bgc::attack {
+
+/// Result of a K-Means clustering run.
+struct KMeansResult {
+  Matrix centroids;            // k×d
+  std::vector<int> assignment; // row -> cluster in [0, k)
+};
+
+/// Lloyd's algorithm with k-means++ seeding on the rows of `points`.
+/// `k` is clamped to the number of points. Deterministic given `rng`.
+KMeansResult KMeans(const Matrix& points, int k, Rng& rng,
+                    int max_iters = 50);
+
+}  // namespace bgc::attack
+
+#endif  // BGC_ATTACK_KMEANS_H_

@@ -1,0 +1,22 @@
+#ifndef BGC_ATTACK_NAIVE_H_
+#define BGC_ATTACK_NAIVE_H_
+
+#include "src/attack/bgc.h"
+
+namespace bgc::attack {
+
+/// Naive Poison baseline (Table 1): condense the clean graph, then inject
+/// triggers *directly into the condensed graph* — relabeling a slice of
+/// the few synthetic nodes to the target class and attaching generated
+/// trigger subgraphs to them. With only tens of synthetic nodes, the flipped
+/// labels and out-of-distribution trigger nodes wreck the condensed data's
+/// quality; this is the motivating failure the paper's Table 1 reports
+/// (CTA collapse) and the reason BGC poisons the original graph instead.
+AttackResult RunNaivePoison(const condense::SourceGraph& clean,
+                            int num_classes, condense::Condenser& condenser,
+                            const condense::CondenseConfig& condense_config,
+                            const AttackConfig& attack_config, Rng& rng);
+
+}  // namespace bgc::attack
+
+#endif  // BGC_ATTACK_NAIVE_H_

@@ -1,0 +1,158 @@
+#include "src/attack/selector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/attack/kmeans.h"
+#include "src/core/check.h"
+#include "src/graph/graph_utils.h"
+#include "src/nn/models.h"
+#include "src/nn/optimizer.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace bgc::attack {
+namespace {
+
+/// Trains a 2-layer GCN classifier on the source graph and returns the
+/// hidden-layer representations H_sel (Eq. 7/8).
+Matrix SelectorEmbeddings(const condense::SourceGraph& source,
+                          int num_classes, const SelectorConfig& config,
+                          Rng& rng) {
+  const int d = source.features.cols();
+  graph::CsrMatrix op = graph::GcnNormalize(source.adj);
+  nn::Param w1(Matrix::GlorotUniform(d, config.hidden_dim, rng));
+  nn::Param b1(Matrix(1, config.hidden_dim));
+  nn::Param w2(Matrix::GlorotUniform(config.hidden_dim, num_classes, rng));
+  nn::Param b2(Matrix(1, num_classes));
+  std::vector<int> y;
+  y.reserve(source.labeled.size());
+  for (int idx : source.labeled) y.push_back(source.labels[idx]);
+  const Matrix targets = OneHot(y, num_classes);
+  nn::Adam opt(0.01f, 5e-4f);
+  for (int epoch = 0; epoch < config.selector_epochs; ++epoch) {
+    ag::Tape t;
+    ag::Var x = t.Constant(source.features);
+    ag::Var v1 = t.Input(w1.value);
+    ag::Var vb1 = t.Input(b1.value);
+    ag::Var v2 = t.Input(w2.value);
+    ag::Var vb2 = t.Input(b2.value);
+    ag::Var h = t.Relu(t.AddRowVec(t.SpMM(&op, t.MatMul(x, v1)), vb1));
+    ag::Var logits = t.AddRowVec(t.SpMM(&op, t.MatMul(h, v2)), vb2);
+    ag::Var loss = t.SoftmaxCrossEntropy(t.GatherRows(logits, source.labeled),
+                                         targets);
+    t.Backward(loss);
+    w1.grad = t.grad(v1);
+    b1.grad = t.grad(vb1);
+    w2.grad = t.grad(v2);
+    b2.grad = t.grad(vb2);
+    opt.Step({&w1, &b1, &w2, &b2});
+  }
+  // Final hidden representations.
+  Matrix h = op.Multiply(MatMul(source.features, w1.value));
+  return Relu(AddRowBroadcast(h, b1.value));
+}
+
+}  // namespace
+
+std::vector<int> SelectPoisonedNodes(const condense::SourceGraph& source,
+                                     int num_classes,
+                                     const SelectorConfig& config, Rng& rng) {
+  BGC_CHECK_GT(config.budget, 0);
+  BGC_CHECK_GT(num_classes, 1);
+  Matrix h = SelectorEmbeddings(source, num_classes, config, rng);
+  std::vector<float> degrees = graph::Degrees(source.adj);
+
+  // Eligible pools: labeled nodes per non-target class.
+  std::vector<std::vector<int>> by_class(num_classes);
+  for (int idx : source.labeled) {
+    if (source.labels[idx] == config.target_class) continue;
+    by_class[source.labels[idx]].push_back(idx);
+  }
+  int populated = 0;
+  for (const auto& pool : by_class) populated += !pool.empty();
+  BGC_CHECK_GT(populated, 0);
+
+  // Per-cluster quota n = Δ_P / ((C-1)·K), with a floor of 1 so small
+  // budgets still touch every cluster; the final trim enforces the budget.
+  const int per_cluster = std::max(
+      1, config.budget / (populated * config.clusters_per_class));
+
+  struct Scored {
+    int node;
+    float score;
+  };
+  std::vector<Scored> selected;
+  std::vector<Scored> leftover;  // scored but outside the per-cluster quota
+  for (int c = 0; c < num_classes; ++c) {
+    const auto& pool = by_class[c];
+    if (pool.empty()) continue;
+    Matrix points = GatherRows(h, pool);
+    KMeansResult clusters =
+        KMeans(points, config.clusters_per_class, rng);
+    const int k = clusters.centroids.rows();
+    std::vector<std::vector<Scored>> per_cluster_scores(k);
+    for (size_t i = 0; i < pool.size(); ++i) {
+      const int cluster = clusters.assignment[i];
+      float dist = 0.0f;
+      for (int j = 0; j < points.cols(); ++j) {
+        const float diff =
+            points.At(static_cast<int>(i), j) -
+            clusters.centroids.At(cluster, j);
+        dist += diff * diff;
+      }
+      const float score = std::sqrt(dist) +
+                          config.lambda * degrees[pool[i]];  // Eq. (9)
+      per_cluster_scores[cluster].push_back({pool[i], score});
+    }
+    for (auto& bucket : per_cluster_scores) {
+      std::sort(bucket.begin(), bucket.end(),
+                [](const Scored& a, const Scored& b) {
+                  return a.score < b.score;
+                });
+      for (size_t i = 0; i < bucket.size(); ++i) {
+        (static_cast<int>(i) < per_cluster ? selected : leftover)
+            .push_back(bucket[i]);
+      }
+    }
+  }
+  // Enforce the exact budget: trim preferring the most representative
+  // nodes, or top up from the next-best leftovers when the per-cluster
+  // quota rounds below the budget.
+  auto by_score = [](const Scored& a, const Scored& b) {
+    return a.score < b.score;
+  };
+  std::sort(selected.begin(), selected.end(), by_score);
+  if (static_cast<int>(selected.size()) > config.budget) {
+    selected.resize(config.budget);
+  } else if (static_cast<int>(selected.size()) < config.budget) {
+    std::sort(leftover.begin(), leftover.end(), by_score);
+    for (const Scored& s : leftover) {
+      if (static_cast<int>(selected.size()) >= config.budget) break;
+      selected.push_back(s);
+    }
+  }
+  std::vector<int> nodes;
+  nodes.reserve(selected.size());
+  for (const Scored& s : selected) nodes.push_back(s.node);
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+std::vector<int> SelectRandomNodes(const condense::SourceGraph& source,
+                                   int target_class, int budget, Rng& rng) {
+  std::vector<int> eligible;
+  for (int idx : source.labeled) {
+    if (source.labels[idx] != target_class) eligible.push_back(idx);
+  }
+  BGC_CHECK(!eligible.empty());
+  const int take = std::min<int>(budget, eligible.size());
+  std::vector<int> picks =
+      rng.SampleWithoutReplacement(static_cast<int>(eligible.size()), take);
+  std::vector<int> nodes;
+  nodes.reserve(take);
+  for (int i : picks) nodes.push_back(eligible[i]);
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+}  // namespace bgc::attack

@@ -1,0 +1,40 @@
+#ifndef BGC_ATTACK_SELECTOR_H_
+#define BGC_ATTACK_SELECTOR_H_
+
+#include <vector>
+
+#include "src/condense/condenser.h"
+#include "src/core/rng.h"
+
+namespace bgc::attack {
+
+/// Configuration of the poisoned-node selection module (§4.2).
+struct SelectorConfig {
+  int target_class = 0;
+  int budget = 10;             // Δ_P
+  int clusters_per_class = 4;  // K
+  float lambda = 0.1f;         // degree penalty λ in Eq. (9)
+  int selector_epochs = 100;   // f_sel training epochs
+  int hidden_dim = 32;
+};
+
+/// Representative poisoned-node selection (Eq. 7-9):
+/// train a GCN f_sel on the source graph, K-Means its hidden embeddings per
+/// non-target class, score m(v) = ||h_v - h_centroid||₂ + λ·deg(v), and take
+/// the most representative (lowest-score: nearest the centroid with a
+/// degree penalty) n = Δ_P / ((C-1)·K) nodes per cluster.
+///
+/// Only labeled nodes of classes != target_class are eligible: these are the
+/// nodes whose flipped labels poison the per-class gradients.
+std::vector<int> SelectPoisonedNodes(const condense::SourceGraph& source,
+                                     int num_classes,
+                                     const SelectorConfig& config, Rng& rng);
+
+/// BGC_Rand ablation (Fig. 3): uniformly random eligible nodes instead of
+/// representative ones.
+std::vector<int> SelectRandomNodes(const condense::SourceGraph& source,
+                                   int target_class, int budget, Rng& rng);
+
+}  // namespace bgc::attack
+
+#endif  // BGC_ATTACK_SELECTOR_H_

@@ -1,0 +1,88 @@
+#include "src/attack/surrogate.h"
+
+#include "src/core/check.h"
+#include "src/nn/optimizer.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace bgc::attack {
+
+SurrogateGcn::SurrogateGcn(int in_dim, int hidden_dim, int out_dim)
+    : w1_(Matrix(in_dim, hidden_dim)),
+      b1_(Matrix(1, hidden_dim)),
+      w2_(Matrix(hidden_dim, out_dim)),
+      b2_(Matrix(1, out_dim)) {}
+
+void SurrogateGcn::Init(Rng& rng) {
+  w1_ = nn::Param(
+      Matrix::GlorotUniform(w1_.value.rows(), w1_.value.cols(), rng));
+  b1_ = nn::Param(Matrix(1, b1_.value.cols()));
+  w2_ = nn::Param(
+      Matrix::GlorotUniform(w2_.value.rows(), w2_.value.cols(), rng));
+  b2_ = nn::Param(Matrix(1, b2_.value.cols()));
+}
+
+float SurrogateGcn::Train(const condense::CondensedGraph& condensed,
+                          int steps, float lr, Rng& rng) {
+  return TrainOnGraph(condensed.adj, condensed.features, condensed.labels,
+                      /*train_idx=*/{}, steps, lr, rng);
+}
+
+float SurrogateGcn::TrainOnGraph(const graph::CsrMatrix& adj, const Matrix& x,
+                                 const std::vector<int>& labels,
+                                 const std::vector<int>& train_idx, int steps,
+                                 float lr, Rng& rng) {
+  graph::CsrMatrix op = graph::GcnNormalize(adj);
+  std::vector<int> idx = train_idx;
+  if (idx.empty()) {
+    idx.resize(x.rows());
+    for (int i = 0; i < x.rows(); ++i) idx[i] = i;
+  }
+  std::vector<int> y;
+  y.reserve(idx.size());
+  for (int i : idx) y.push_back(labels[i]);
+  const Matrix targets = OneHot(y, w2_.value.cols());
+  nn::Adam opt(lr, /*weight_decay=*/5e-4f);
+  float last = 0.0f;
+  for (int s = 0; s < steps; ++s) {
+    ag::Tape t;
+    ag::Var xin = t.Constant(x);
+    ag::Var w1 = t.Input(w1_.value);
+    ag::Var b1 = t.Input(b1_.value);
+    ag::Var w2 = t.Input(w2_.value);
+    ag::Var b2 = t.Input(b2_.value);
+    ag::Var h = t.Relu(t.AddRowVec(t.SpMM(&op, t.MatMul(xin, w1)), b1));
+    h = t.Dropout(h, 0.3f, rng, /*training=*/true);
+    ag::Var logits = t.AddRowVec(t.SpMM(&op, t.MatMul(h, w2)), b2);
+    ag::Var loss = t.SoftmaxCrossEntropy(t.GatherRows(logits, idx), targets);
+    last = t.value(loss).At(0, 0);
+    t.Backward(loss);
+    w1_.grad = t.grad(w1);
+    b1_.grad = t.grad(b1);
+    w2_.grad = t.grad(w2);
+    b2_.grad = t.grad(b2);
+    opt.Step({&w1_, &b1_, &w2_, &b2_});
+  }
+  return last;
+}
+
+ag::Var SurrogateGcn::DenseForwardFixed(ag::Tape& t, ag::Var adj_norm,
+                                        ag::Var x) const {
+  ag::Var w1 = t.Constant(w1_.value);
+  ag::Var b1 = t.Constant(b1_.value);
+  ag::Var w2 = t.Constant(w2_.value);
+  ag::Var b2 = t.Constant(b2_.value);
+  ag::Var h =
+      t.Relu(t.AddRowVec(t.MatMul(adj_norm, t.MatMul(x, w1)), b1));
+  return t.AddRowVec(t.MatMul(adj_norm, t.MatMul(h, w2)), b2);
+}
+
+Matrix SurrogateGcn::Predict(const graph::CsrMatrix& adj,
+                             const Matrix& x) const {
+  graph::CsrMatrix op = graph::GcnNormalize(adj);
+  Matrix h = op.Multiply(MatMul(x, w1_.value));
+  h = Relu(AddRowBroadcast(h, b1_.value));
+  Matrix logits = op.Multiply(MatMul(h, w2_.value));
+  return AddRowBroadcast(logits, b2_.value);
+}
+
+}  // namespace bgc::attack

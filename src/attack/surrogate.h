@@ -1,0 +1,53 @@
+#ifndef BGC_ATTACK_SURROGATE_H_
+#define BGC_ATTACK_SURROGATE_H_
+
+#include "src/autograd/tape.h"
+#include "src/condense/condenser.h"
+#include "src/core/rng.h"
+#include "src/nn/param.h"
+
+namespace bgc::attack {
+
+/// The attacker's surrogate model f_c: a 2-layer GCN trained on the current
+/// condensed graph S (Eq. 12 / Alg. 1 lines 5-8). Weights are exposed so the
+/// trigger generator can differentiate through a dense forward pass on
+/// trigger-augmented computation graphs (Eq. 13).
+class SurrogateGcn {
+ public:
+  SurrogateGcn(int in_dim, int hidden_dim, int out_dim);
+
+  /// Reinitializes the weights (Alg. 1 line 5, executed every outer epoch).
+  void Init(Rng& rng);
+
+  /// Trains for `steps` Adam steps on the condensed graph. Returns final
+  /// loss.
+  float Train(const condense::CondensedGraph& condensed, int steps, float lr,
+              Rng& rng);
+
+  /// Trains on an arbitrary graph with supervision restricted to
+  /// `train_idx` (all rows when empty). Used by the GTA baseline, whose
+  /// surrogate sees the original graph.
+  float TrainOnGraph(const graph::CsrMatrix& adj, const Matrix& x,
+                     const std::vector<int>& labels,
+                     const std::vector<int>& train_idx, int steps, float lr,
+                     Rng& rng);
+
+  /// Dense differentiable forward: logits = Â relu(Â X W1 + b1) W2 + b2
+  /// where `adj_norm` is an already-normalized dense operator on the tape
+  /// and weights enter as constants (the generator's loss treats f_c as
+  /// fixed).
+  ag::Var DenseForwardFixed(ag::Tape& tape, ag::Var adj_norm, ag::Var x) const;
+
+  /// Sparse inference logits on a real graph (no tape bookkeeping).
+  Matrix Predict(const graph::CsrMatrix& adj, const Matrix& x) const;
+
+  int hidden_dim() const { return w1_.value.cols(); }
+  int out_dim() const { return w2_.value.cols(); }
+
+ private:
+  nn::Param w1_, b1_, w2_, b2_;
+};
+
+}  // namespace bgc::attack
+
+#endif  // BGC_ATTACK_SURROGATE_H_

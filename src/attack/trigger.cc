@@ -1,0 +1,222 @@
+#include "src/attack/trigger.h"
+
+#include <cmath>
+
+#include "src/core/check.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace bgc::attack {
+namespace {
+
+/// Symmetrized, diag-masked, straight-through-binarized trigger adjacency
+/// from raw logits (Eq. 11 + the binarization of [4, 25]).
+ag::Var BinarizedTriggerAdjacency(ag::Tape& t, ag::Var raw_logits, int g) {
+  ag::Var sym = t.Scale(t.Add(raw_logits, t.Transpose(raw_logits)), 0.5f);
+  ag::Var prob = t.Sigmoid(sym);
+  Matrix mask(g, g, 1.0f);
+  for (int i = 0; i < g; ++i) mask(i, i) = 0.0f;
+  return t.BinarizeSte(t.Hadamard(prob, t.Constant(mask)), 0.5f);
+}
+
+/// Host-node logit row on the trigger-augmented dense computation graph:
+/// embeds the binarized g×g trigger block into the ego adjacency, applies
+/// GCN normalization differentiably, and runs the fixed surrogate forward.
+ag::Var TriggeredHostLogits(ag::Tape& t, const EgoItem& item,
+                            const SurrogateGcn& surrogate, ag::Var trig_feat,
+                            ag::Var trig_adj_logits, int g) {
+  const int total = item.base_adj.rows();
+  ag::Var abin = BinarizedTriggerAdjacency(t, trig_adj_logits, g);
+  ag::Var p = t.Constant(item.embed);
+  ag::Var embedded = t.MatMul(t.MatMul(p, abin), t.Transpose(p));
+  ag::Var full = t.Add(t.Constant(item.base_adj), embedded);
+  ag::Var hat = t.Add(full, t.Constant(Matrix::Identity(total)));
+  ag::Var deg = t.RowSumOp(hat);
+  ag::Var inv_sqrt =
+      t.ElemDiv(t.Constant(Matrix(total, 1, 1.0f)), t.Sqrt(deg, 1e-8f));
+  ag::Var norm = t.MulRowVec(t.MulColVec(hat, inv_sqrt),
+                             t.Transpose(inv_sqrt));
+  ag::Var x_full = t.ConcatRows(t.Constant(item.features), trig_feat);
+  ag::Var logits = surrogate.DenseForwardFixed(t, norm, x_full);
+  return t.GatherRows(logits, {item.host_local});
+}
+
+/// Concrete internal edges from symmetric sigmoid probabilities.
+std::vector<std::pair<int, int>> EdgesFromLogits(const Matrix& raw, int g) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < g; ++i) {
+    for (int j = i + 1; j < g; ++j) {
+      const float sym = 0.5f * (raw.At(i, j) + raw.At(j, i));
+      const float prob = 1.0f / (1.0f + std::exp(-sym));
+      if (prob > 0.5f) edges.push_back({i, j});
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+AdaptiveTriggerGenerator::AdaptiveTriggerGenerator(int in_dim, int hidden_dim,
+                                                   int trigger_size, float lr,
+                                                   float feature_scale,
+                                                   Rng& rng)
+    : trigger_size_(trigger_size),
+      feature_scale_(feature_scale),
+      enc_w1_(Matrix::GlorotUniform(in_dim, hidden_dim, rng)),
+      enc_b1_(Matrix(1, hidden_dim)),
+      enc_w2_(Matrix::GlorotUniform(hidden_dim, hidden_dim, rng)),
+      enc_b2_(Matrix(1, hidden_dim)),
+      feat_head_(Matrix::GlorotUniform(hidden_dim, trigger_size * in_dim,
+                                       rng)),
+      adj_head_(Matrix::GlorotUniform(hidden_dim,
+                                      trigger_size * trigger_size, rng)),
+      opt_(lr) {
+  BGC_CHECK_GT(trigger_size, 0);
+}
+
+Matrix AdaptiveTriggerGenerator::Encode(
+    const condense::SourceGraph& source) const {
+  graph::CsrMatrix op = graph::GcnNormalize(source.adj);
+  Matrix h = op.Multiply(MatMul(source.features, enc_w1_.value));
+  h = Relu(AddRowBroadcast(h, enc_b1_.value));
+  h = op.Multiply(MatMul(h, enc_w2_.value));
+  return AddRowBroadcast(h, enc_b2_.value);
+}
+
+std::vector<TriggerInstantiation> AdaptiveTriggerGenerator::Generate(
+    const condense::SourceGraph& source,
+    const std::vector<int>& hosts) const {
+  const int g = trigger_size_;
+  const int d = source.features.cols();
+  Matrix h = Encode(source);
+  Matrix hb = GatherRows(h, hosts);
+  Matrix feats = MatMul(hb, feat_head_.value);   // B×(g·d)
+  Matrix adjs = MatMul(hb, adj_head_.value);     // B×(g·g)
+  std::vector<TriggerInstantiation> out;
+  out.reserve(hosts.size());
+  for (int b = 0; b < static_cast<int>(hosts.size()); ++b) {
+    TriggerInstantiation inst;
+    inst.features = Matrix(
+        g, d, std::vector<float>(feats.RowPtr(b), feats.RowPtr(b) + g * d));
+    for (int i = 0; i < inst.features.size(); ++i) {
+      inst.features.data()[i] =
+          feature_scale_ * std::tanh(inst.features.data()[i]);
+    }
+    Matrix raw(g, g,
+               std::vector<float>(adjs.RowPtr(b), adjs.RowPtr(b) + g * g));
+    inst.internal_edges = EdgesFromLogits(raw, g);
+    out.push_back(std::move(inst));
+  }
+  return out;
+}
+
+float AdaptiveTriggerGenerator::TrainStep(const condense::SourceGraph& source,
+                                          const SurrogateGcn& surrogate,
+                                          const std::vector<int>& update_nodes,
+                                          int target_class,
+                                          const EgoParams& ego, Rng& rng) {
+  BGC_CHECK(!update_nodes.empty());
+  const int g = trigger_size_;
+  const int d = source.features.cols();
+  op_ = graph::GcnNormalize(source.adj);
+
+  ag::Tape t;
+  ag::Var x = t.Constant(source.features);
+  ag::Var w1 = t.Input(enc_w1_.value);
+  ag::Var b1 = t.Input(enc_b1_.value);
+  ag::Var w2 = t.Input(enc_w2_.value);
+  ag::Var b2 = t.Input(enc_b2_.value);
+  ag::Var wf = t.Input(feat_head_.value);
+  ag::Var wa = t.Input(adj_head_.value);
+
+  ag::Var h = t.Relu(t.AddRowVec(t.SpMM(&op_, t.MatMul(x, w1)), b1));
+  h = t.AddRowVec(t.SpMM(&op_, t.MatMul(h, w2)), b2);
+  ag::Var hb = t.GatherRows(h, update_nodes);
+  ag::Var feats = t.MatMul(hb, wf);
+  ag::Var adjs = t.MatMul(hb, wa);
+
+  ag::Var host_rows{};
+  for (int b = 0; b < static_cast<int>(update_nodes.size()); ++b) {
+    EgoItem item = BuildEgoItem(source.adj, source.features, update_nodes[b],
+                                ego, g, rng);
+    ag::Var tf = t.Scale(t.Tanh(t.Reshape(t.GatherRows(feats, {b}), g, d)),
+                         feature_scale_);
+    ag::Var ta = t.Reshape(t.GatherRows(adjs, {b}), g, g);
+    ag::Var row = TriggeredHostLogits(t, item, surrogate, tf, ta, g);
+    host_rows = b == 0 ? row : t.ConcatRows(host_rows, row);
+  }
+  std::vector<int> targets(update_nodes.size(), target_class);
+  ag::Var loss =
+      t.SoftmaxCrossEntropy(host_rows, OneHot(targets, surrogate.out_dim()));
+  const float value = t.value(loss).At(0, 0);
+  t.Backward(loss);
+  enc_w1_.grad = t.grad(w1);
+  enc_b1_.grad = t.grad(b1);
+  enc_w2_.grad = t.grad(w2);
+  enc_b2_.grad = t.grad(b2);
+  feat_head_.grad = t.grad(wf);
+  adj_head_.grad = t.grad(wa);
+  opt_.Step({&enc_w1_, &enc_b1_, &enc_w2_, &enc_b2_, &feat_head_,
+             &adj_head_});
+  return value;
+}
+
+UniversalTriggerGenerator::UniversalTriggerGenerator(int in_dim,
+                                                     int trigger_size,
+                                                     float lr,
+                                                     float feature_scale,
+                                                     Rng& rng)
+    : trigger_size_(trigger_size),
+      feature_scale_(feature_scale),
+      features_(Matrix::RandomNormal(trigger_size, in_dim, rng, 0.5f)),
+      adj_logits_(Matrix::RandomNormal(trigger_size, trigger_size, rng,
+                                       0.5f)),
+      opt_(lr) {
+  BGC_CHECK_GT(trigger_size, 0);
+}
+
+TriggerInstantiation UniversalTriggerGenerator::Instantiate() const {
+  TriggerInstantiation inst;
+  inst.features = features_.value;
+  for (int i = 0; i < inst.features.size(); ++i) {
+    inst.features.data()[i] =
+        feature_scale_ * std::tanh(inst.features.data()[i]);
+  }
+  inst.internal_edges = EdgesFromLogits(adj_logits_.value, trigger_size_);
+  return inst;
+}
+
+std::vector<TriggerInstantiation> UniversalTriggerGenerator::Generate(
+    const condense::SourceGraph& /*source*/,
+    const std::vector<int>& hosts) const {
+  return std::vector<TriggerInstantiation>(hosts.size(), Instantiate());
+}
+
+float UniversalTriggerGenerator::TrainStep(
+    const condense::SourceGraph& source, const SurrogateGcn& surrogate,
+    const std::vector<int>& update_nodes, int target_class,
+    const EgoParams& ego, Rng& rng) {
+  BGC_CHECK(!update_nodes.empty());
+  const int g = trigger_size_;
+  ag::Tape t;
+  ag::Var tf_raw = t.Input(features_.value);
+  ag::Var tf = t.Scale(t.Tanh(tf_raw), feature_scale_);
+  ag::Var ta = t.Input(adj_logits_.value);
+  ag::Var host_rows{};
+  for (int b = 0; b < static_cast<int>(update_nodes.size()); ++b) {
+    EgoItem item = BuildEgoItem(source.adj, source.features, update_nodes[b],
+                                ego, g, rng);
+    ag::Var row = TriggeredHostLogits(t, item, surrogate, tf, ta, g);
+    host_rows = b == 0 ? row : t.ConcatRows(host_rows, row);
+  }
+  std::vector<int> targets(update_nodes.size(), target_class);
+  ag::Var loss =
+      t.SoftmaxCrossEntropy(host_rows, OneHot(targets, surrogate.out_dim()));
+  const float value = t.value(loss).At(0, 0);
+  t.Backward(loss);
+  features_.grad = t.grad(tf_raw);
+  adj_logits_.grad = t.grad(ta);
+  opt_.Step({&features_, &adj_logits_});
+  return value;
+}
+
+}  // namespace bgc::attack

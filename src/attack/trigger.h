@@ -1,0 +1,118 @@
+#ifndef BGC_ATTACK_TRIGGER_H_
+#define BGC_ATTACK_TRIGGER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/attack/ego.h"
+#include "src/attack/surrogate.h"
+#include "src/condense/condenser.h"
+#include "src/core/rng.h"
+#include "src/nn/optimizer.h"
+#include "src/nn/param.h"
+
+namespace bgc::attack {
+
+/// A concrete trigger ready for graph building: `features` are the g
+/// trigger-node feature rows; `internal_edges` the (i, j) pairs (i < j)
+/// among trigger nodes whose binarized adjacency exceeded 0.5. Trigger node
+/// 0 is always linked to the host by the attachment op.
+struct TriggerInstantiation {
+  Matrix features;
+  std::vector<std::pair<int, int>> internal_edges;
+};
+
+/// Interface of a trigger generator f_g (§4.3). Two implementations:
+/// the adaptive, node-conditioned generator of BGC/GTA and the universal
+/// (shared) trigger of DOORPING.
+class TriggerGenerator {
+ public:
+  virtual ~TriggerGenerator() = default;
+
+  /// Concrete (gradient-free) triggers for the given host nodes.
+  virtual std::vector<TriggerInstantiation> Generate(
+      const condense::SourceGraph& source,
+      const std::vector<int>& hosts) const = 0;
+
+  /// One optimization step of Eq. (13)/(17): minimize the surrogate's
+  /// cross-entropy to `target_class` on trigger-attached computation graphs
+  /// of `update_nodes`. Returns the loss before the step.
+  virtual float TrainStep(const condense::SourceGraph& source,
+                          const SurrogateGcn& surrogate,
+                          const std::vector<int>& update_nodes,
+                          int target_class, const EgoParams& ego, Rng& rng) = 0;
+
+  virtual std::string name() const = 0;
+  virtual int trigger_size() const = 0;
+};
+
+/// BGC's adaptive generator: a 2-layer GCN encodes each node (Eq. 10), and
+/// two linear heads emit the trigger's node features and (binarized via a
+/// straight-through estimator) its internal adjacency (Eq. 11).
+class AdaptiveTriggerGenerator : public TriggerGenerator {
+ public:
+  /// `feature_scale` bounds generated trigger features to
+  /// [-scale, scale] via tanh — the |g_i| < Δ_g budget of Eq. (2)/(3)
+  /// realized as a magnitude constraint, keeping triggers in-distribution
+  /// (unbounded features degenerate into a generic adversarial attack that
+  /// fools clean models too, which the paper's low C-ASR rules out).
+  AdaptiveTriggerGenerator(int in_dim, int hidden_dim, int trigger_size,
+                           float lr, float feature_scale, Rng& rng);
+
+  std::vector<TriggerInstantiation> Generate(
+      const condense::SourceGraph& source,
+      const std::vector<int>& hosts) const override;
+  float TrainStep(const condense::SourceGraph& source,
+                  const SurrogateGcn& surrogate,
+                  const std::vector<int>& update_nodes, int target_class,
+                  const EgoParams& ego, Rng& rng) override;
+  std::string name() const override { return "adaptive"; }
+  int trigger_size() const override { return trigger_size_; }
+
+ private:
+  /// Plain (gradient-free) node encodings H = GCN_g(A, X).
+  Matrix Encode(const condense::SourceGraph& source) const;
+
+  int trigger_size_;
+  float feature_scale_;
+  nn::Param enc_w1_, enc_b1_, enc_w2_, enc_b2_;  // GCN_g
+  nn::Param feat_head_;                          // W_f: hidden -> g·d
+  nn::Param adj_head_;                           // W_a: hidden -> g·g
+  nn::Adam opt_;
+  graph::CsrMatrix op_;  // operator for the tape of the last TrainStep
+};
+
+/// DOORPING-style universal trigger: a single learned feature block and
+/// internal adjacency shared by every host, re-optimized during
+/// condensation.
+class UniversalTriggerGenerator : public TriggerGenerator {
+ public:
+  /// `feature_scale` as in AdaptiveTriggerGenerator.
+  UniversalTriggerGenerator(int in_dim, int trigger_size, float lr,
+                            float feature_scale, Rng& rng);
+
+  std::vector<TriggerInstantiation> Generate(
+      const condense::SourceGraph& source,
+      const std::vector<int>& hosts) const override;
+  float TrainStep(const condense::SourceGraph& source,
+                  const SurrogateGcn& surrogate,
+                  const std::vector<int>& update_nodes, int target_class,
+                  const EgoParams& ego, Rng& rng) override;
+  std::string name() const override { return "universal"; }
+  int trigger_size() const override { return trigger_size_; }
+
+ private:
+  TriggerInstantiation Instantiate() const;
+
+  int trigger_size_;
+  float feature_scale_;
+  nn::Param features_;    // g×d (pre-tanh logits)
+  nn::Param adj_logits_;  // g×g
+  nn::Adam opt_;
+};
+
+}  // namespace bgc::attack
+
+#endif  // BGC_ATTACK_TRIGGER_H_

@@ -1,0 +1,638 @@
+#include "src/autograd/tape.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/core/check.h"
+#include "src/tensor/linalg.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace bgc::ag {
+
+Var Tape::Emit(Matrix value, bool requires_grad,
+               std::function<void(Tape&)> backward) {
+  Node n;
+  n.value = std::move(value);
+  n.requires_grad = requires_grad;
+  n.backward = std::move(backward);
+  nodes_.push_back(std::move(n));
+  return Var{static_cast<int>(nodes_.size()) - 1};
+}
+
+Tape::Node& Tape::node(Var v) {
+  BGC_CHECK_GE(v.id, 0);
+  BGC_CHECK_LT(v.id, static_cast<int>(nodes_.size()));
+  return nodes_[v.id];
+}
+
+const Tape::Node& Tape::node(Var v) const {
+  BGC_CHECK_GE(v.id, 0);
+  BGC_CHECK_LT(v.id, static_cast<int>(nodes_.size()));
+  return nodes_[v.id];
+}
+
+void Tape::Accumulate(Var v, const Matrix& g) {
+  Node& n = node(v);
+  if (!n.requires_grad) return;
+  if (n.grad.empty()) {
+    n.grad = g;
+  } else {
+    AddScaledInPlace(n.grad, g, 1.0f);
+  }
+}
+
+Var Tape::Input(Matrix value) {
+  return Emit(std::move(value), /*requires_grad=*/true, nullptr);
+}
+
+Var Tape::Constant(Matrix value) {
+  return Emit(std::move(value), /*requires_grad=*/false, nullptr);
+}
+
+Var Tape::Add(Var a, Var b) {
+  Matrix out = bgc::Add(node(a).value, node(b).value);
+  const bool rg = node(a).requires_grad || node(b).requires_grad;
+  Var result{static_cast<int>(nodes_.size())};
+  return Emit(std::move(out), rg, [a, b, result](Tape& t) {
+    const Matrix& g = t.node(result).grad;
+    t.Accumulate(a, g);
+    t.Accumulate(b, g);
+  });
+}
+
+Var Tape::Sub(Var a, Var b) {
+  Matrix out = bgc::Sub(node(a).value, node(b).value);
+  const bool rg = node(a).requires_grad || node(b).requires_grad;
+  Var result{static_cast<int>(nodes_.size())};
+  return Emit(std::move(out), rg, [a, b, result](Tape& t) {
+    const Matrix& g = t.node(result).grad;
+    t.Accumulate(a, g);
+    t.Accumulate(b, bgc::Scale(g, -1.0f));
+  });
+}
+
+Var Tape::Hadamard(Var a, Var b) {
+  Matrix out = bgc::Hadamard(node(a).value, node(b).value);
+  const bool rg = node(a).requires_grad || node(b).requires_grad;
+  Var result{static_cast<int>(nodes_.size())};
+  return Emit(std::move(out), rg, [a, b, result](Tape& t) {
+    const Matrix& g = t.node(result).grad;
+    t.Accumulate(a, bgc::Hadamard(g, t.node(b).value));
+    t.Accumulate(b, bgc::Hadamard(g, t.node(a).value));
+  });
+}
+
+Var Tape::ElemDiv(Var a, Var b) {
+  const Matrix& av = node(a).value;
+  const Matrix& bv = node(b).value;
+  BGC_CHECK_EQ(av.rows(), bv.rows());
+  BGC_CHECK_EQ(av.cols(), bv.cols());
+  Matrix out(av.rows(), av.cols());
+  for (int i = 0; i < out.size(); ++i) out.data()[i] = av.data()[i] / bv.data()[i];
+  const bool rg = node(a).requires_grad || node(b).requires_grad;
+  Var result{static_cast<int>(nodes_.size())};
+  return Emit(std::move(out), rg, [a, b, result](Tape& t) {
+    const Matrix& g = t.node(result).grad;
+    const Matrix& bv2 = t.node(b).value;
+    const Matrix& cv = t.node(result).value;
+    Matrix ga(g.rows(), g.cols());
+    Matrix gb(g.rows(), g.cols());
+    for (int i = 0; i < g.size(); ++i) {
+      ga.data()[i] = g.data()[i] / bv2.data()[i];
+      gb.data()[i] = -g.data()[i] * cv.data()[i] / bv2.data()[i];
+    }
+    t.Accumulate(a, ga);
+    t.Accumulate(b, gb);
+  });
+}
+
+Var Tape::Scale(Var a, float s) {
+  Matrix out = bgc::Scale(node(a).value, s);
+  Var result{static_cast<int>(nodes_.size())};
+  return Emit(std::move(out), node(a).requires_grad, [a, s, result](Tape& t) {
+    t.Accumulate(a, bgc::Scale(t.node(result).grad, s));
+  });
+}
+
+Var Tape::AddConst(Var a, float c) {
+  Matrix out = node(a).value;
+  for (int i = 0; i < out.size(); ++i) out.data()[i] += c;
+  Var result{static_cast<int>(nodes_.size())};
+  return Emit(std::move(out), node(a).requires_grad, [a, result](Tape& t) {
+    t.Accumulate(a, t.node(result).grad);
+  });
+}
+
+Var Tape::Relu(Var a) {
+  Matrix out = bgc::Relu(node(a).value);
+  Var result{static_cast<int>(nodes_.size())};
+  return Emit(std::move(out), node(a).requires_grad, [a, result](Tape& t) {
+    const Matrix& g = t.node(result).grad;
+    const Matrix& y = t.node(result).value;
+    Matrix ga(g.rows(), g.cols());
+    for (int i = 0; i < g.size(); ++i) {
+      ga.data()[i] = y.data()[i] > 0.0f ? g.data()[i] : 0.0f;
+    }
+    t.Accumulate(a, ga);
+  });
+}
+
+Var Tape::Sigmoid(Var a) {
+  Matrix out = bgc::Sigmoid(node(a).value);
+  Var result{static_cast<int>(nodes_.size())};
+  return Emit(std::move(out), node(a).requires_grad, [a, result](Tape& t) {
+    const Matrix& g = t.node(result).grad;
+    const Matrix& y = t.node(result).value;
+    Matrix ga(g.rows(), g.cols());
+    for (int i = 0; i < g.size(); ++i) {
+      const float s = y.data()[i];
+      ga.data()[i] = g.data()[i] * s * (1.0f - s);
+    }
+    t.Accumulate(a, ga);
+  });
+}
+
+Var Tape::Tanh(Var a) {
+  Matrix out = bgc::TanhMat(node(a).value);
+  Var result{static_cast<int>(nodes_.size())};
+  return Emit(std::move(out), node(a).requires_grad, [a, result](Tape& t) {
+    const Matrix& g = t.node(result).grad;
+    const Matrix& y = t.node(result).value;
+    Matrix ga(g.rows(), g.cols());
+    for (int i = 0; i < g.size(); ++i) {
+      const float s = y.data()[i];
+      ga.data()[i] = g.data()[i] * (1.0f - s * s);
+    }
+    t.Accumulate(a, ga);
+  });
+}
+
+Var Tape::Exp(Var a) {
+  Matrix out = node(a).value;
+  for (int i = 0; i < out.size(); ++i) out.data()[i] = std::exp(out.data()[i]);
+  Var result{static_cast<int>(nodes_.size())};
+  return Emit(std::move(out), node(a).requires_grad, [a, result](Tape& t) {
+    t.Accumulate(a, bgc::Hadamard(t.node(result).grad, t.node(result).value));
+  });
+}
+
+Var Tape::Log(Var a, float eps) {
+  const Matrix& av = node(a).value;
+  Matrix out(av.rows(), av.cols());
+  for (int i = 0; i < out.size(); ++i) {
+    out.data()[i] = std::log(std::max(av.data()[i], eps));
+  }
+  Var result{static_cast<int>(nodes_.size())};
+  return Emit(std::move(out), node(a).requires_grad,
+              [a, eps, result](Tape& t) {
+    const Matrix& g = t.node(result).grad;
+    const Matrix& av2 = t.node(a).value;
+    Matrix ga(g.rows(), g.cols());
+    for (int i = 0; i < g.size(); ++i) {
+      ga.data()[i] = g.data()[i] / std::max(av2.data()[i], eps);
+    }
+    t.Accumulate(a, ga);
+  });
+}
+
+Var Tape::Sqrt(Var a, float eps) {
+  const Matrix& av = node(a).value;
+  Matrix out(av.rows(), av.cols());
+  for (int i = 0; i < out.size(); ++i) {
+    out.data()[i] = std::sqrt(std::max(av.data()[i], eps));
+  }
+  Var result{static_cast<int>(nodes_.size())};
+  return Emit(std::move(out), node(a).requires_grad, [a, result](Tape& t) {
+    const Matrix& g = t.node(result).grad;
+    const Matrix& y = t.node(result).value;
+    Matrix ga(g.rows(), g.cols());
+    for (int i = 0; i < g.size(); ++i) {
+      ga.data()[i] = 0.5f * g.data()[i] / std::max(y.data()[i], 1e-12f);
+    }
+    t.Accumulate(a, ga);
+  });
+}
+
+Var Tape::Square(Var a) {
+  Matrix out = bgc::Hadamard(node(a).value, node(a).value);
+  Var result{static_cast<int>(nodes_.size())};
+  return Emit(std::move(out), node(a).requires_grad, [a, result](Tape& t) {
+    Matrix ga = bgc::Hadamard(t.node(result).grad, t.node(a).value);
+    ScaleInPlace(ga, 2.0f);
+    t.Accumulate(a, ga);
+  });
+}
+
+Var Tape::Acos(Var a, float eps) {
+  const Matrix& av = node(a).value;
+  Matrix out(av.rows(), av.cols());
+  for (int i = 0; i < out.size(); ++i) {
+    const float t = std::min(1.0f - eps, std::max(-1.0f + eps, av.data()[i]));
+    out.data()[i] = std::acos(t);
+  }
+  Var result{static_cast<int>(nodes_.size())};
+  return Emit(std::move(out), node(a).requires_grad,
+              [a, eps, result](Tape& t) {
+    const Matrix& g = t.node(result).grad;
+    const Matrix& av2 = t.node(a).value;
+    Matrix ga(g.rows(), g.cols());
+    for (int i = 0; i < g.size(); ++i) {
+      const float x =
+          std::min(1.0f - eps, std::max(-1.0f + eps, av2.data()[i]));
+      ga.data()[i] = -g.data()[i] / std::sqrt(1.0f - x * x);
+    }
+    t.Accumulate(a, ga);
+  });
+}
+
+Var Tape::BinarizeSte(Var a, float threshold) {
+  const Matrix& av = node(a).value;
+  Matrix out(av.rows(), av.cols());
+  for (int i = 0; i < out.size(); ++i) {
+    out.data()[i] = av.data()[i] > threshold ? 1.0f : 0.0f;
+  }
+  Var result{static_cast<int>(nodes_.size())};
+  return Emit(std::move(out), node(a).requires_grad, [a, result](Tape& t) {
+    t.Accumulate(a, t.node(result).grad);  // straight-through
+  });
+}
+
+Var Tape::Reshape(Var a, int rows, int cols) {
+  const Matrix& av = node(a).value;
+  BGC_CHECK_EQ(av.size(), rows * cols);
+  Matrix out(rows, cols,
+             std::vector<float>(av.data(), av.data() + av.size()));
+  const int orig_rows = av.rows(), orig_cols = av.cols();
+  Var result{static_cast<int>(nodes_.size())};
+  return Emit(std::move(out), node(a).requires_grad,
+              [a, orig_rows, orig_cols, result](Tape& t) {
+    const Matrix& g = t.node(result).grad;
+    Matrix ga(orig_rows, orig_cols,
+              std::vector<float>(g.data(), g.data() + g.size()));
+    t.Accumulate(a, ga);
+  });
+}
+
+Var Tape::Transpose(Var a) {
+  Matrix out = bgc::Transpose(node(a).value);
+  Var result{static_cast<int>(nodes_.size())};
+  return Emit(std::move(out), node(a).requires_grad, [a, result](Tape& t) {
+    t.Accumulate(a, bgc::Transpose(t.node(result).grad));
+  });
+}
+
+Var Tape::ConcatRows(Var a, Var b) {
+  Matrix out = bgc::ConcatRows(node(a).value, node(b).value);
+  const bool rg = node(a).requires_grad || node(b).requires_grad;
+  const int split = node(a).value.rows();
+  Var result{static_cast<int>(nodes_.size())};
+  return Emit(std::move(out), rg, [a, b, split, result](Tape& t) {
+    const Matrix& g = t.node(result).grad;
+    Matrix ga(split, g.cols());
+    Matrix gb(g.rows() - split, g.cols());
+    for (int i = 0; i < split; ++i) ga.SetRow(i, g.RowPtr(i));
+    for (int i = split; i < g.rows(); ++i) gb.SetRow(i - split, g.RowPtr(i));
+    t.Accumulate(a, ga);
+    t.Accumulate(b, gb);
+  });
+}
+
+Var Tape::ConcatCols(Var a, Var b) {
+  Matrix out = bgc::ConcatCols(node(a).value, node(b).value);
+  const bool rg = node(a).requires_grad || node(b).requires_grad;
+  const int split = node(a).value.cols();
+  Var result{static_cast<int>(nodes_.size())};
+  return Emit(std::move(out), rg, [a, b, split, result](Tape& t) {
+    const Matrix& g = t.node(result).grad;
+    Matrix ga(g.rows(), split);
+    Matrix gb(g.rows(), g.cols() - split);
+    for (int i = 0; i < g.rows(); ++i) {
+      const float* row = g.RowPtr(i);
+      for (int j = 0; j < split; ++j) ga(i, j) = row[j];
+      for (int j = split; j < g.cols(); ++j) gb(i, j - split) = row[j];
+    }
+    t.Accumulate(a, ga);
+    t.Accumulate(b, gb);
+  });
+}
+
+Var Tape::GatherRows(Var a, std::vector<int> rows) {
+  Matrix out = bgc::GatherRows(node(a).value, rows);
+  const int parent_rows = node(a).value.rows();
+  Var result{static_cast<int>(nodes_.size())};
+  return Emit(std::move(out), node(a).requires_grad,
+              [a, rows = std::move(rows), parent_rows, result](Tape& t) {
+    const Matrix& g = t.node(result).grad;
+    Matrix ga(parent_rows, g.cols());
+    ScatterAddRows(g, rows, ga);
+    t.Accumulate(a, ga);
+  });
+}
+
+Var Tape::RowSumOp(Var a) {
+  Matrix out = bgc::RowSum(node(a).value);
+  const int cols = node(a).value.cols();
+  Var result{static_cast<int>(nodes_.size())};
+  return Emit(std::move(out), node(a).requires_grad,
+              [a, cols, result](Tape& t) {
+    const Matrix& g = t.node(result).grad;
+    Matrix ga(g.rows(), cols);
+    for (int i = 0; i < g.rows(); ++i) {
+      float* row = ga.RowPtr(i);
+      const float v = g(i, 0);
+      for (int j = 0; j < cols; ++j) row[j] = v;
+    }
+    t.Accumulate(a, ga);
+  });
+}
+
+Var Tape::ColSumOp(Var a) {
+  Matrix out = bgc::ColSum(node(a).value);
+  const int rows = node(a).value.rows();
+  Var result{static_cast<int>(nodes_.size())};
+  return Emit(std::move(out), node(a).requires_grad,
+              [a, rows, result](Tape& t) {
+    const Matrix& g = t.node(result).grad;
+    Matrix ga(rows, g.cols());
+    for (int i = 0; i < rows; ++i) ga.SetRow(i, g.data());
+    t.Accumulate(a, ga);
+  });
+}
+
+Var Tape::SumAll(Var a) {
+  Matrix out(1, 1);
+  out(0, 0) = bgc::Sum(node(a).value);
+  const int rows = node(a).value.rows();
+  const int cols = node(a).value.cols();
+  Var result{static_cast<int>(nodes_.size())};
+  return Emit(std::move(out), node(a).requires_grad,
+              [a, rows, cols, result](Tape& t) {
+    t.Accumulate(a, Matrix::Full(rows, cols, t.node(result).grad(0, 0)));
+  });
+}
+
+Var Tape::MeanAll(Var a) {
+  const int n = node(a).value.size();
+  BGC_CHECK_GT(n, 0);
+  Var s = SumAll(a);
+  return Scale(s, 1.0f / static_cast<float>(n));
+}
+
+Var Tape::MulColVec(Var a, Var v) {
+  const Matrix& av = node(a).value;
+  const Matrix& vv = node(v).value;
+  BGC_CHECK_EQ(vv.cols(), 1);
+  BGC_CHECK_EQ(vv.rows(), av.rows());
+  Matrix out = av;
+  for (int i = 0; i < out.rows(); ++i) {
+    float* row = out.RowPtr(i);
+    const float s = vv(i, 0);
+    for (int j = 0; j < out.cols(); ++j) row[j] *= s;
+  }
+  const bool rg = node(a).requires_grad || node(v).requires_grad;
+  Var result{static_cast<int>(nodes_.size())};
+  return Emit(std::move(out), rg, [a, v, result](Tape& t) {
+    const Matrix& g = t.node(result).grad;
+    const Matrix& av2 = t.node(a).value;
+    const Matrix& vv2 = t.node(v).value;
+    Matrix ga(g.rows(), g.cols());
+    Matrix gv(g.rows(), 1);
+    for (int i = 0; i < g.rows(); ++i) {
+      const float s = vv2(i, 0);
+      const float* grow = g.RowPtr(i);
+      const float* arow = av2.RowPtr(i);
+      float* garow = ga.RowPtr(i);
+      float acc = 0.0f;
+      for (int j = 0; j < g.cols(); ++j) {
+        garow[j] = grow[j] * s;
+        acc += grow[j] * arow[j];
+      }
+      gv(i, 0) = acc;
+    }
+    t.Accumulate(a, ga);
+    t.Accumulate(v, gv);
+  });
+}
+
+Var Tape::MulRowVec(Var a, Var v) {
+  const Matrix& av = node(a).value;
+  const Matrix& vv = node(v).value;
+  BGC_CHECK_EQ(vv.rows(), 1);
+  BGC_CHECK_EQ(vv.cols(), av.cols());
+  Matrix out = av;
+  for (int i = 0; i < out.rows(); ++i) {
+    float* row = out.RowPtr(i);
+    for (int j = 0; j < out.cols(); ++j) row[j] *= vv.data()[j];
+  }
+  const bool rg = node(a).requires_grad || node(v).requires_grad;
+  Var result{static_cast<int>(nodes_.size())};
+  return Emit(std::move(out), rg, [a, v, result](Tape& t) {
+    const Matrix& g = t.node(result).grad;
+    const Matrix& av2 = t.node(a).value;
+    const Matrix& vv2 = t.node(v).value;
+    Matrix ga(g.rows(), g.cols());
+    Matrix gv(1, g.cols());
+    for (int i = 0; i < g.rows(); ++i) {
+      const float* grow = g.RowPtr(i);
+      const float* arow = av2.RowPtr(i);
+      float* garow = ga.RowPtr(i);
+      for (int j = 0; j < g.cols(); ++j) {
+        garow[j] = grow[j] * vv2.data()[j];
+        gv.data()[j] += grow[j] * arow[j];
+      }
+    }
+    t.Accumulate(a, ga);
+    t.Accumulate(v, gv);
+  });
+}
+
+Var Tape::AddRowVec(Var a, Var bias) {
+  Matrix out = bgc::AddRowBroadcast(node(a).value, node(bias).value);
+  const bool rg = node(a).requires_grad || node(bias).requires_grad;
+  Var result{static_cast<int>(nodes_.size())};
+  return Emit(std::move(out), rg, [a, bias, result](Tape& t) {
+    const Matrix& g = t.node(result).grad;
+    t.Accumulate(a, g);
+    t.Accumulate(bias, bgc::ColSum(g));
+  });
+}
+
+Var Tape::MatMul(Var a, Var b) {
+  Matrix out = bgc::MatMul(node(a).value, node(b).value);
+  const bool rg = node(a).requires_grad || node(b).requires_grad;
+  Var result{static_cast<int>(nodes_.size())};
+  return Emit(std::move(out), rg, [a, b, result](Tape& t) {
+    const Matrix& g = t.node(result).grad;
+    if (t.node(a).requires_grad) {
+      t.Accumulate(a, bgc::MatMulTransB(g, t.node(b).value));
+    }
+    if (t.node(b).requires_grad) {
+      t.Accumulate(b, bgc::MatMulTransA(t.node(a).value, g));
+    }
+  });
+}
+
+Var Tape::SpMM(const graph::CsrMatrix* adj, Var x) {
+  BGC_CHECK(adj != nullptr);
+  Matrix out = adj->Multiply(node(x).value);
+  Var result{static_cast<int>(nodes_.size())};
+  return Emit(std::move(out), node(x).requires_grad,
+              [adj, x, result](Tape& t) {
+    t.Accumulate(x, adj->MultiplyTransposed(t.node(result).grad));
+  });
+}
+
+Var Tape::Softmax(Var a) {
+  Matrix out = bgc::RowSoftmax(node(a).value);
+  Var result{static_cast<int>(nodes_.size())};
+  return Emit(std::move(out), node(a).requires_grad, [a, result](Tape& t) {
+    const Matrix& g = t.node(result).grad;
+    const Matrix& s = t.node(result).value;
+    Matrix ga(g.rows(), g.cols());
+    for (int i = 0; i < g.rows(); ++i) {
+      const float* grow = g.RowPtr(i);
+      const float* srow = s.RowPtr(i);
+      float dot = 0.0f;
+      for (int j = 0; j < g.cols(); ++j) dot += grow[j] * srow[j];
+      float* garow = ga.RowPtr(i);
+      for (int j = 0; j < g.cols(); ++j) {
+        garow[j] = (grow[j] - dot) * srow[j];
+      }
+    }
+    t.Accumulate(a, ga);
+  });
+}
+
+Var Tape::SoftmaxCrossEntropy(Var logits, const Matrix& targets,
+                              const Matrix& row_weights) {
+  const Matrix& lv = node(logits).value;
+  BGC_CHECK_EQ(lv.rows(), targets.rows());
+  BGC_CHECK_EQ(lv.cols(), targets.cols());
+  Matrix probs = bgc::RowSoftmax(lv);
+  double weight_sum = 0.0;
+  const bool weighted = !row_weights.empty();
+  if (weighted) {
+    BGC_CHECK_EQ(row_weights.size(), lv.rows());
+    for (int i = 0; i < row_weights.size(); ++i) {
+      weight_sum += row_weights.data()[i];
+    }
+  } else {
+    weight_sum = lv.rows();
+  }
+  BGC_CHECK_GT(weight_sum, 0.0);
+  double loss = 0.0;
+  for (int i = 0; i < lv.rows(); ++i) {
+    const float* prow = probs.RowPtr(i);
+    const float* trow = targets.RowPtr(i);
+    double row_loss = 0.0;
+    for (int j = 0; j < lv.cols(); ++j) {
+      if (trow[j] != 0.0f) {
+        row_loss -= trow[j] * std::log(std::max(prow[j], 1e-12f));
+      }
+    }
+    const double w = weighted ? row_weights.data()[i] : 1.0;
+    loss += w * row_loss;
+  }
+  Matrix out(1, 1);
+  out(0, 0) = static_cast<float>(loss / weight_sum);
+  Var result{static_cast<int>(nodes_.size())};
+  return Emit(
+      std::move(out), node(logits).requires_grad,
+      [logits, probs = std::move(probs), targets, row_weights, weighted,
+       weight_sum, result](Tape& t) {
+        const float gscale = t.node(result).grad(0, 0);
+        Matrix ga(probs.rows(), probs.cols());
+        for (int i = 0; i < probs.rows(); ++i) {
+          const double w = weighted ? row_weights.data()[i] : 1.0;
+          const float c =
+              static_cast<float>(gscale * w / weight_sum);
+          const float* prow = probs.RowPtr(i);
+          const float* trow = targets.RowPtr(i);
+          float* garow = ga.RowPtr(i);
+          for (int j = 0; j < probs.cols(); ++j) {
+            garow[j] = c * (prow[j] - trow[j]);
+          }
+        }
+        t.Accumulate(logits, ga);
+      });
+}
+
+Var Tape::Dropout(Var a, float p, Rng& rng, bool training) {
+  if (!training || p <= 0.0f) {
+    // Identity node keeps the graph structure uniform.
+    Matrix out = node(a).value;
+    Var result{static_cast<int>(nodes_.size())};
+    return Emit(std::move(out), node(a).requires_grad, [a, result](Tape& t) {
+      t.Accumulate(a, t.node(result).grad);
+    });
+  }
+  BGC_CHECK_LT(p, 1.0f);
+  const Matrix& av = node(a).value;
+  Matrix mask(av.rows(), av.cols());
+  const float keep_scale = 1.0f / (1.0f - p);
+  for (int i = 0; i < mask.size(); ++i) {
+    mask.data()[i] = rng.Bernoulli(1.0 - p) ? keep_scale : 0.0f;
+  }
+  Matrix out = bgc::Hadamard(av, mask);
+  Var result{static_cast<int>(nodes_.size())};
+  return Emit(std::move(out), node(a).requires_grad,
+              [a, mask = std::move(mask), result](Tape& t) {
+    t.Accumulate(a, bgc::Hadamard(t.node(result).grad, mask));
+  });
+}
+
+Var Tape::Solve(Var a, Var b) {
+  const Matrix& av = node(a).value;
+  const Matrix& bv = node(b).value;
+  Matrix x = SolveLinear(av, bv);
+  const bool rg = node(a).requires_grad || node(b).requires_grad;
+  Var result{static_cast<int>(nodes_.size())};
+  return Emit(std::move(x), rg, [a, b, result](Tape& t) {
+    const Matrix& g = t.node(result).grad;
+    const Matrix& xv = t.node(result).value;
+    // X = A^{-1} B  =>  gB = A^{-T} G,  gA = -gB X^T.
+    Matrix gb = SolveLinearTransposed(t.node(a).value, g);
+    if (t.node(a).requires_grad) {
+      Matrix ga = bgc::MatMulTransB(gb, xv);
+      ScaleInPlace(ga, -1.0f);
+      t.Accumulate(a, ga);
+    }
+    t.Accumulate(b, gb);
+  });
+}
+
+void Tape::Backward(Var loss) {
+  BGC_CHECK(!backward_done_);
+  backward_done_ = true;
+  Node& top = node(loss);
+  BGC_CHECK_EQ(top.value.rows(), 1);
+  BGC_CHECK_EQ(top.value.cols(), 1);
+  BGC_CHECK(top.requires_grad);
+  top.grad = Matrix::Full(1, 1, 1.0f);
+  for (int i = loss.id; i >= 0; --i) {
+    Node& n = nodes_[i];
+    if (!n.requires_grad || n.grad.empty() || !n.backward) continue;
+    n.backward(*this);
+  }
+}
+
+const Matrix& Tape::value(Var v) const { return node(v).value; }
+
+const Matrix& Tape::grad(Var v) const {
+  const Node& n = node(v);
+  if (n.grad.empty()) {
+    static const Matrix* empty = new Matrix();
+    if (n.value.empty()) return *empty;
+    // Lazily materialize a zero grad of the right shape for callers.
+    const_cast<Node&>(n).grad = Matrix(n.value.rows(), n.value.cols());
+  }
+  return n.grad;
+}
+
+void Tape::Reset() {
+  nodes_.clear();
+  backward_done_ = false;
+}
+
+}  // namespace bgc::ag

@@ -1,0 +1,148 @@
+#ifndef BGC_AUTOGRAD_TAPE_H_
+#define BGC_AUTOGRAD_TAPE_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/core/rng.h"
+#include "src/graph/csr.h"
+#include "src/tensor/matrix.h"
+
+namespace bgc::ag {
+
+class Tape;
+
+/// Opaque handle to a tape node. Cheap to copy; only valid for the tape
+/// that produced it and until that tape is Reset().
+struct Var {
+  int id = -1;
+  bool valid() const { return id >= 0; }
+};
+
+/// Tape-based reverse-mode automatic differentiation over dense matrices.
+///
+/// Every forward op records a node whose backward closure scatters the
+/// output gradient into its parents. Backward() traverses nodes in reverse
+/// creation order (creation order is already topological). The op set is
+/// exactly what the paper's pipeline needs: GNN forward passes, the
+/// analytic SGC gradient expression used for GCond's gradient matching,
+/// the pairwise-MLP adjacency synthesis, straight-through binarization for
+/// discrete trigger structure, and the arccos-kernel / ridge-solve chain
+/// of GC-SNTK.
+///
+/// Usage pattern per training step: build the graph with ops, call
+/// Backward(loss), read grads, then Reset() before the next step.
+class Tape {
+ public:
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  /// Leaf with gradient tracking (model parameters, synthetic features).
+  Var Input(Matrix value);
+
+  /// Leaf without gradient tracking (data, targets, masks).
+  Var Constant(Matrix value);
+
+  // ----- binary element-wise (shapes must match) -----
+  Var Add(Var a, Var b);
+  Var Sub(Var a, Var b);
+  Var Hadamard(Var a, Var b);
+  /// Element-wise a / b. b must be bounded away from 0 by the caller.
+  Var ElemDiv(Var a, Var b);
+
+  // ----- unary element-wise -----
+  Var Scale(Var a, float s);
+  Var AddConst(Var a, float c);
+  Var Relu(Var a);
+  Var Sigmoid(Var a);
+  Var Tanh(Var a);
+  Var Exp(Var a);
+  /// log(max(x, eps)) for numerical safety.
+  Var Log(Var a, float eps = 1e-12f);
+  /// sqrt(max(x, eps)).
+  Var Sqrt(Var a, float eps = 0.0f);
+  Var Square(Var a);
+  /// arccos(clamp(x, -1+eps, 1-eps)); the clamp keeps the derivative finite
+  /// at the NTK kernel's diagonal.
+  Var Acos(Var a, float eps = 1e-6f);
+  /// Forward: 1[x > threshold]; backward: identity (straight-through).
+  Var BinarizeSte(Var a, float threshold = 0.5f);
+
+  // ----- shape / gather -----
+  /// Reinterprets the (row-major) data as rows×cols; size must match.
+  Var Reshape(Var a, int rows, int cols);
+  Var Transpose(Var a);
+  Var ConcatRows(Var a, Var b);
+  Var ConcatCols(Var a, Var b);
+  Var GatherRows(Var a, std::vector<int> rows);
+  Var RowSumOp(Var a);   // n×m -> n×1
+  Var ColSumOp(Var a);   // n×m -> 1×m
+  Var SumAll(Var a);     // n×m -> 1×1
+  /// Mean over all entries -> 1×1.
+  Var MeanAll(Var a);
+
+  // ----- broadcasts -----
+  /// Scales row i of a by v(i, 0). v is n×1.
+  Var MulColVec(Var a, Var v);
+  /// Scales column j of a by v(0, j). v is 1×m.
+  Var MulRowVec(Var a, Var v);
+  /// Adds the 1×m row vector to every row (bias add).
+  Var AddRowVec(Var a, Var bias);
+
+  // ----- matmul family -----
+  Var MatMul(Var a, Var b);
+  /// Â x with a constant sparse operator. `adj` must outlive the tape pass.
+  Var SpMM(const graph::CsrMatrix* adj, Var x);
+
+  // ----- nn -----
+  /// Row-wise softmax with full softmax backward.
+  Var Softmax(Var a);
+  /// Mean softmax cross-entropy against one-hot `targets` with optional
+  /// per-row weights (1×n or empty). Returns a 1×1 scalar.
+  Var SoftmaxCrossEntropy(Var logits, const Matrix& targets,
+                          const Matrix& row_weights = Matrix());
+  /// Inverted dropout. Identity when `training` is false or p == 0.
+  Var Dropout(Var a, float p, Rng& rng, bool training);
+
+  // ----- linalg -----
+  /// X with A X = B; A square (small). Gradients flow to both A and B.
+  Var Solve(Var a, Var b);
+
+  /// Runs backward from `loss` (must be 1×1). Seeds d(loss)/d(loss) = 1.
+  /// May be called once per constructed graph.
+  void Backward(Var loss);
+
+  const Matrix& value(Var v) const;
+  /// Gradient of the last Backward() w.r.t. node v. Zero matrix if the node
+  /// did not receive gradient.
+  const Matrix& grad(Var v) const;
+
+  /// Drops all nodes; handles become invalid.
+  void Reset();
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  struct Node {
+    Matrix value;
+    Matrix grad;
+    bool requires_grad = false;
+    // Scatters this node's grad into its parents' grads.
+    std::function<void(Tape&)> backward;
+  };
+
+  Var Emit(Matrix value, bool requires_grad,
+           std::function<void(Tape&)> backward);
+  Node& node(Var v);
+  const Node& node(Var v) const;
+  /// Accumulates g into v's grad buffer (allocating on first touch).
+  void Accumulate(Var v, const Matrix& g);
+
+  std::vector<Node> nodes_;
+  bool backward_done_ = false;
+};
+
+}  // namespace bgc::ag
+
+#endif  // BGC_AUTOGRAD_TAPE_H_

@@ -1,0 +1,153 @@
+#include "src/condense/common.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/check.h"
+#include "src/data/dataset.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace bgc::condense {
+
+std::vector<int> AllocateSyntheticLabels(const SourceGraph& source,
+                                         int num_classes, int num_condensed) {
+  BGC_CHECK_GT(num_condensed, 0);
+  std::vector<int> counts =
+      data::ClassCounts(source.labels, num_classes, source.labeled);
+  const int total_labeled = static_cast<int>(source.labeled.size());
+  BGC_CHECK_GT(total_labeled, 0);
+
+  // Proportional allocation with a floor of 1 for populated classes.
+  std::vector<int> alloc(num_classes, 0);
+  int assigned = 0;
+  for (int c = 0; c < num_classes; ++c) {
+    if (counts[c] == 0) continue;
+    alloc[c] = std::max(
+        1, static_cast<int>(static_cast<double>(counts[c]) * num_condensed /
+                            total_labeled));
+    assigned += alloc[c];
+  }
+  // Trim or pad (largest classes first) until the total is exact. When the
+  // budget is smaller than the number of populated classes, the floor of 1
+  // cannot hold — drop the smallest classes to 0.
+  while (assigned > num_condensed) {
+    int victim = -1;
+    for (int c = 0; c < num_classes; ++c) {
+      if (alloc[c] > 1 && (victim < 0 || alloc[c] > alloc[victim])) {
+        victim = c;
+      }
+    }
+    if (victim < 0) {
+      for (int c = 0; c < num_classes; ++c) {
+        if (alloc[c] > 0 &&
+            (victim < 0 || counts[c] < counts[victim])) {
+          victim = c;
+        }
+      }
+    }
+    BGC_CHECK_GE(victim, 0);
+    --alloc[victim];
+    --assigned;
+  }
+  while (assigned < num_condensed) {
+    int biggest = 0;
+    for (int c = 1; c < num_classes; ++c) {
+      if (counts[c] > counts[biggest]) biggest = c;
+    }
+    ++alloc[biggest];
+    ++assigned;
+  }
+
+  std::vector<int> labels;
+  labels.reserve(num_condensed);
+  for (int c = 0; c < num_classes; ++c) {
+    labels.insert(labels.end(), alloc[c], c);
+  }
+  return labels;
+}
+
+Matrix InitSyntheticFeatures(const SourceGraph& source,
+                             const std::vector<int>& synthetic_labels,
+                             Rng& rng) {
+  const int num_classes =
+      1 + *std::max_element(synthetic_labels.begin(), synthetic_labels.end());
+  std::vector<std::vector<int>> by_class(num_classes);
+  for (int idx : source.labeled) {
+    by_class[source.labels[idx]].push_back(idx);
+  }
+  Matrix x(static_cast<int>(synthetic_labels.size()), source.features.cols());
+  for (size_t i = 0; i < synthetic_labels.size(); ++i) {
+    const auto& pool = by_class[synthetic_labels[i]];
+    BGC_CHECK_MSG(!pool.empty(), "synthetic class without labeled sources");
+    const int src = pool[rng.UniformInt(pool.size())];
+    x.SetRow(static_cast<int>(i), source.features.RowPtr(src));
+    float* row = x.RowPtr(static_cast<int>(i));
+    for (int j = 0; j < x.cols(); ++j) {
+      row[j] += static_cast<float>(rng.Normal(0.0, 0.05));
+    }
+  }
+  return x;
+}
+
+Matrix PropagateFeatures(const graph::CsrMatrix& adj, const Matrix& x,
+                         int k) {
+  graph::CsrMatrix op = graph::GcnNormalize(adj);
+  Matrix z = x;
+  for (int i = 0; i < k; ++i) z = op.Multiply(z);
+  return z;
+}
+
+std::vector<Matrix> PerClassGradients(const Matrix& z,
+                                      const std::vector<int>& labels,
+                                      const std::vector<int>& labeled,
+                                      const Matrix& w, int num_classes) {
+  std::vector<std::vector<int>> by_class(num_classes);
+  for (int idx : labeled) by_class[labels[idx]].push_back(idx);
+
+  std::vector<Matrix> grads(num_classes);
+  for (int c = 0; c < num_classes; ++c) {
+    const auto& rows = by_class[c];
+    if (rows.empty()) continue;
+    Matrix zc = GatherRows(z, rows);
+    Matrix probs = RowSoftmax(MatMul(zc, w));
+    // Subtract the one-hot target column c from every row.
+    for (int i = 0; i < probs.rows(); ++i) probs(i, c) -= 1.0f;
+    Matrix g = MatMulTransA(zc, probs);
+    ScaleInPlace(g, 1.0f / static_cast<float>(rows.size()));
+    grads[c] = std::move(g);
+  }
+  return grads;
+}
+
+ag::Var MatchingDistance(ag::Tape& tape, ag::Var g, const Matrix& target) {
+  constexpr float kEps = 1e-6f;
+  // Column-wise cosine distance.
+  ag::Var t = tape.Constant(target);
+  ag::Var num = tape.ColSumOp(tape.Hadamard(g, t));              // 1×C
+  ag::Var gn = tape.Sqrt(tape.ColSumOp(tape.Square(g)), kEps);   // 1×C
+  Matrix tn(1, target.cols());
+  for (int j = 0; j < target.cols(); ++j) {
+    float s = 0.0f;
+    for (int i = 0; i < target.rows(); ++i) {
+      s += target.At(i, j) * target.At(i, j);
+    }
+    tn.data()[j] = std::sqrt(std::max(s, kEps));
+  }
+  ag::Var denom = tape.AddConst(tape.MulRowVec(gn, tape.Constant(tn)), kEps);
+  ag::Var cos = tape.ElemDiv(num, denom);
+  return tape.SumAll(tape.AddConst(tape.Scale(cos, -1.0f), 1.0f));
+}
+
+void SgcStep(const Matrix& z, const Matrix& y, Matrix& w, float lr,
+             float weight_decay) {
+  BGC_CHECK_EQ(z.rows(), y.rows());
+  BGC_CHECK_EQ(z.cols(), w.rows());
+  Matrix probs = RowSoftmax(MatMul(z, w));
+  Matrix diff = Sub(probs, y);
+  Matrix g = MatMulTransA(z, diff);
+  ScaleInPlace(g, 1.0f / static_cast<float>(z.rows()));
+  AddScaledInPlace(g, w, weight_decay);
+  AddScaledInPlace(w, g, -lr);
+}
+
+}  // namespace bgc::condense

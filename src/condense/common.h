@@ -1,0 +1,56 @@
+#ifndef BGC_CONDENSE_COMMON_H_
+#define BGC_CONDENSE_COMMON_H_
+
+#include <vector>
+
+#include "src/autograd/tape.h"
+#include "src/condense/condenser.h"
+#include "src/core/rng.h"
+#include "src/graph/csr.h"
+#include "src/tensor/matrix.h"
+
+namespace bgc::condense {
+
+/// Synthetic labels Y': per-class counts proportional to the class
+/// distribution over `source.labeled`, each class with at least one labeled
+/// node getting at least one synthetic node, total exactly `num_condensed`.
+/// Returned sorted by class (class-contiguous blocks).
+std::vector<int> AllocateSyntheticLabels(const SourceGraph& source,
+                                         int num_classes, int num_condensed);
+
+/// X' initialization: for each synthetic node, the features of a random
+/// labeled source node of the same class plus small Gaussian noise — the
+/// initialization GCond uses.
+Matrix InitSyntheticFeatures(const SourceGraph& source,
+                             const std::vector<int>& synthetic_labels,
+                             Rng& rng);
+
+/// Â^k X with the GCN-normalized operator of `adj` (no tape; real side of
+/// the matching is constant within an epoch).
+Matrix PropagateFeatures(const graph::CsrMatrix& adj, const Matrix& x, int k);
+
+/// Closed-form per-class SGC gradients on the real graph.
+///
+/// For logits Z W with cross-entropy, dL/dW over the class-c labeled rows is
+/// Z_cᵀ (softmax(Z_c W) - Y_c) / n_c. Returns one d×C matrix per class
+/// (empty Matrix for classes with no labeled nodes). `z` is the already
+/// propagated feature matrix.
+std::vector<Matrix> PerClassGradients(const Matrix& z,
+                                      const std::vector<int>& labels,
+                                      const std::vector<int>& labeled,
+                                      const Matrix& w, int num_classes);
+
+/// Gradient-matching distance between a tape-tracked gradient and a constant
+/// target: sum over columns j of (1 - cos(g[:,j], target[:,j])), the
+/// column-wise cosine distance of DC/GCond. Returns a 1×1 Var.
+ag::Var MatchingDistance(ag::Tape& tape, ag::Var g, const Matrix& target);
+
+/// One closed-form SGC training step on the synthetic graph:
+/// W -= lr * (Z'ᵀ(softmax(Z'W) - Y') / N' + wd * W). `z` is the propagated
+/// synthetic features (constant), `y` one-hot labels.
+void SgcStep(const Matrix& z, const Matrix& y, Matrix& w, float lr,
+             float weight_decay = 5e-4f);
+
+}  // namespace bgc::condense
+
+#endif  // BGC_CONDENSE_COMMON_H_

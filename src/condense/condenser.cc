@@ -1,0 +1,54 @@
+#include "src/condense/condenser.h"
+
+#include "src/condense/doscond.h"
+#include "src/condense/gc_sntk.h"
+#include "src/condense/gcdm.h"
+#include "src/condense/gradient_matching.h"
+#include "src/core/check.h"
+
+namespace bgc::condense {
+
+SourceGraph FromTrainView(const data::TrainView& view) {
+  SourceGraph s;
+  s.adj = view.adj;
+  s.features = view.features;
+  s.labels = view.labels;
+  s.labeled = view.labeled;
+  return s;
+}
+
+std::unique_ptr<Condenser> MakeCondenser(const std::string& method) {
+  using Variant = GradientMatchingCondenser::Variant;
+  if (method == "gcond") {
+    return std::make_unique<GradientMatchingCondenser>(Variant::kGcond);
+  }
+  if (method == "gcond-x") {
+    return std::make_unique<GradientMatchingCondenser>(Variant::kGcondX);
+  }
+  if (method == "dc-graph") {
+    return std::make_unique<GradientMatchingCondenser>(Variant::kDcGraph);
+  }
+  if (method == "gc-sntk") {
+    return std::make_unique<GcSntkCondenser>();
+  }
+  if (method == "doscond") {
+    return std::make_unique<DosCondCondenser>();
+  }
+  if (method == "gcdm") {
+    return std::make_unique<GcdmCondenser>();
+  }
+  BGC_CHECK_MSG(false, "unknown condensation method: " + method);
+  return nullptr;
+}
+
+CondensedGraph RunCondensation(Condenser& condenser, const SourceGraph& source,
+                               int num_classes, const CondenseConfig& config,
+                               Rng& rng) {
+  condenser.Initialize(source, num_classes, config, rng);
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    condenser.Epoch(source);
+  }
+  return condenser.Result();
+}
+
+}  // namespace bgc::condense

@@ -1,0 +1,99 @@
+#ifndef BGC_CONDENSE_CONDENSER_H_
+#define BGC_CONDENSE_CONDENSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/rng.h"
+#include "src/data/dataset.h"
+#include "src/graph/csr.h"
+#include "src/tensor/matrix.h"
+
+namespace bgc::condense {
+
+/// The graph a condenser consumes. The backdoor attack mutates this between
+/// condensation epochs (trigger re-attachment), which is why it is a value
+/// handed to every Epoch() call rather than captured at Initialize().
+struct SourceGraph {
+  graph::CsrMatrix adj;
+  Matrix features;
+  std::vector<int> labels;
+  std::vector<int> labeled;  // node ids whose labels drive the matching
+};
+
+/// Builds a SourceGraph from a dataset's training view.
+SourceGraph FromTrainView(const data::TrainView& view);
+
+/// A condensed dataset S = {A', X', Y'}. When `use_structure` is false the
+/// method is structure-free (GCond-X / DC-Graph / GC-SNTK) and `adj` is the
+/// identity; victims should be trained with that identity adjacency.
+struct CondensedGraph {
+  graph::CsrMatrix adj;
+  Matrix features;
+  std::vector<int> labels;
+  int num_classes = 0;
+  bool use_structure = false;
+};
+
+/// Hyper-parameters shared by all condensation methods; method-specific
+/// fields are ignored where not applicable.
+struct CondenseConfig {
+  int num_condensed = 30;   // N'
+  int epochs = 120;         // outer condensation epochs
+  // Gradient matching (GCond / GCond-X / DC-Graph).
+  float feature_lr = 0.02f;
+  float adj_lr = 0.02f;
+  int inner_steps = 2;      // matching updates per outer epoch
+  int model_steps = 4;      // surrogate W refresh steps per outer epoch
+  float model_lr = 0.5f;    // tuned for propagated features (GCond/GCond-X)
+  // DC-Graph matches raw-feature gradients whose magnitudes are ~10x the
+  // propagated ones; it takes proportionally smaller steps.
+  float dc_model_lr = 0.05f;
+  float dc_feature_lr = 0.01f;
+  int sgc_k = 2;            // SGC propagation depth of the surrogate
+  int adj_rank = 16;        // rank of the learned-structure head (GCond)
+  float adj_bias_init = -2.0f;  // sparse prior of the structure head
+  // Kernel ridge regression (GC-SNTK).
+  float ridge_lambda = 1e-2f;
+  float sntk_lr = 0.01f;
+  int sntk_batch = 2000;    // labeled-node subsample per epoch
+  uint64_t seed = 0;
+};
+
+/// A graph condensation method with an epoch-granular driver so callers
+/// (notably the BGC attack) can interleave their own updates with the
+/// condensation trajectory.
+class Condenser {
+ public:
+  virtual ~Condenser() = default;
+
+  /// Allocates synthetic labels/features from `source`. Must be called once
+  /// before Epoch().
+  virtual void Initialize(const SourceGraph& source, int num_classes,
+                          const CondenseConfig& config, Rng& rng) = 0;
+
+  /// One outer condensation update against the (possibly mutated) source.
+  virtual void Epoch(const SourceGraph& source) = 0;
+
+  /// Current condensed dataset (valid after Initialize; improves with
+  /// epochs).
+  virtual CondensedGraph Result() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Methods evaluated in the paper — "gcond", "gcond-x", "dc-graph",
+/// "gc-sntk" — plus two extensions from its related work: "doscond"
+/// (one-step gradient matching) and "gcdm" (distribution matching).
+/// Aborts on unknown names.
+std::unique_ptr<Condenser> MakeCondenser(const std::string& method);
+
+/// Convenience driver: Initialize + config.epochs × Epoch + Result.
+CondensedGraph RunCondensation(Condenser& condenser, const SourceGraph& source,
+                               int num_classes, const CondenseConfig& config,
+                               Rng& rng);
+
+}  // namespace bgc::condense
+
+#endif  // BGC_CONDENSE_CONDENSER_H_

@@ -1,0 +1,125 @@
+#include "src/condense/doscond.h"
+
+#include <cmath>
+
+#include "src/autograd/tape.h"
+#include "src/condense/common.h"
+#include "src/core/check.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace bgc::condense {
+namespace {
+
+/// Class-contiguous row ranges of sorted synthetic labels.
+std::vector<std::pair<int, int>> ClassRanges(const std::vector<int>& labels,
+                                             int num_classes) {
+  std::vector<std::pair<int, int>> ranges(num_classes, {0, 0});
+  for (int c = 0, pos = 0; c < num_classes; ++c) {
+    int count = 0;
+    while (pos + count < static_cast<int>(labels.size()) &&
+           labels[pos + count] == c) {
+      ++count;
+    }
+    ranges[c] = {pos, pos + count};
+    pos += count;
+  }
+  return ranges;
+}
+
+}  // namespace
+
+void DosCondCondenser::Initialize(const SourceGraph& source, int num_classes,
+                                  const CondenseConfig& config, Rng& rng) {
+  config_ = config;
+  num_classes_ = num_classes;
+  rng_ = rng.Fork();
+  syn_labels_ =
+      AllocateSyntheticLabels(source, num_classes, config.num_condensed);
+  class_ranges_ = ClassRanges(syn_labels_, num_classes);
+  x_syn_ = nn::Param(InitSyntheticFeatures(source, syn_labels_, rng_));
+  const int n = x_syn_.value.rows();
+  // Logits start at the sparse prior so the one-step updates add structure
+  // only where the matching gradient asks for it.
+  adj_logits_ = nn::Param(Matrix(n, n, config.adj_bias_init));
+  feature_opt_ = std::make_unique<nn::Adam>(config.feature_lr);
+  adj_opt_ = std::make_unique<nn::Adam>(config.adj_lr);
+}
+
+void DosCondCondenser::Epoch(const SourceGraph& source) {
+  BGC_CHECK_GT(num_classes_, 0);
+  const int d = source.features.cols();
+  const int n = x_syn_.value.rows();
+  // One-step matching: fresh surrogate, single update, no inner training.
+  Matrix w = Matrix::GlorotUniform(d, num_classes_, rng_);
+  Matrix z_real = PropagateFeatures(source.adj, source.features,
+                                    config_.sgc_k);
+  std::vector<Matrix> real_grads = PerClassGradients(
+      z_real, source.labels, source.labeled, w, num_classes_);
+
+  ag::Tape t;
+  ag::Var x = t.Input(x_syn_.value);
+  ag::Var logits = t.Input(adj_logits_.value);
+  ag::Var sym = t.Scale(t.Add(logits, t.Transpose(logits)), 0.5f);
+  ag::Var prob = t.Sigmoid(sym);
+  ag::Var a = t.Hadamard(prob, t.BinarizeSte(prob, 0.5f));
+  Matrix mask(n, n, 1.0f);
+  for (int i = 0; i < n; ++i) mask(i, i) = 0.0f;
+  a = t.Hadamard(a, t.Constant(mask));
+  ag::Var hat = t.Add(a, t.Constant(Matrix::Identity(n)));
+  ag::Var deg = t.RowSumOp(hat);
+  ag::Var inv_sqrt =
+      t.ElemDiv(t.Constant(Matrix(n, 1, 1.0f)), t.Sqrt(deg, 1e-8f));
+  ag::Var op = t.MulRowVec(t.MulColVec(hat, inv_sqrt), t.Transpose(inv_sqrt));
+  ag::Var z_syn = x;
+  for (int k = 0; k < config_.sgc_k; ++k) z_syn = t.MatMul(op, z_syn);
+
+  ag::Var w_const = t.Constant(w);
+  ag::Var loss{};
+  bool has_loss = false;
+  for (int c = 0; c < num_classes_; ++c) {
+    if (real_grads[c].empty()) continue;
+    auto [begin, end] = class_ranges_[c];
+    if (begin == end) continue;
+    std::vector<int> rows;
+    for (int i = begin; i < end; ++i) rows.push_back(i);
+    ag::Var zc = t.GatherRows(z_syn, rows);
+    ag::Var probs = t.Softmax(t.MatMul(zc, w_const));
+    Matrix onehot(end - begin, num_classes_);
+    for (int i = 0; i < end - begin; ++i) onehot(i, c) = 1.0f;
+    ag::Var diff = t.Sub(probs, t.Constant(onehot));
+    ag::Var g = t.Scale(t.MatMul(t.Transpose(zc), diff),
+                        1.0f / static_cast<float>(end - begin));
+    ag::Var term = MatchingDistance(t, g, real_grads[c]);
+    loss = has_loss ? t.Add(loss, term) : term;
+    has_loss = true;
+  }
+  BGC_CHECK(has_loss);
+  t.Backward(loss);
+  x_syn_.grad = t.grad(x);
+  feature_opt_->Step({&x_syn_});
+  adj_logits_.grad = t.grad(logits);
+  adj_opt_->Step({&adj_logits_});
+}
+
+CondensedGraph DosCondCondenser::Result() const {
+  CondensedGraph out;
+  out.features = x_syn_.value;
+  out.labels = syn_labels_;
+  out.num_classes = num_classes_;
+  out.use_structure = true;
+  const int n = x_syn_.value.rows();
+  Matrix a(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const float sym =
+          0.5f * (adj_logits_.value(i, j) + adj_logits_.value(j, i));
+      const float p = 1.0f / (1.0f + std::exp(-sym));
+      a(i, j) = p > 0.5f ? p : 0.0f;
+    }
+  }
+  out.adj = graph::CsrMatrix::FromDense(a);
+  return out;
+}
+
+}  // namespace bgc::condense

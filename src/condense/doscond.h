@@ -1,0 +1,46 @@
+#ifndef BGC_CONDENSE_DOSCOND_H_
+#define BGC_CONDENSE_DOSCOND_H_
+
+#include <memory>
+#include <string>
+
+#include "src/condense/condenser.h"
+#include "src/nn/optimizer.h"
+#include "src/nn/param.h"
+
+namespace bgc::condense {
+
+/// DosCond (Jin et al., KDD'22): one-step gradient matching.
+///
+/// Each epoch draws a fresh surrogate initialization and takes exactly one
+/// matching step — no inner surrogate training loop — which the original
+/// paper shows loses little quality at a fraction of the cost. The
+/// synthetic structure is parameterized directly by free symmetric
+/// Bernoulli logits (binarized with a straight-through estimator during
+/// matching and thresholded at delivery), DosCond's reparameterized
+/// adjacency specialized to its mean path.
+class DosCondCondenser : public Condenser {
+ public:
+  DosCondCondenser() = default;
+
+  void Initialize(const SourceGraph& source, int num_classes,
+                  const CondenseConfig& config, Rng& rng) override;
+  void Epoch(const SourceGraph& source) override;
+  CondensedGraph Result() const override;
+  std::string name() const override { return "doscond"; }
+
+ private:
+  CondenseConfig config_;
+  int num_classes_ = 0;
+  std::vector<int> syn_labels_;
+  std::vector<std::pair<int, int>> class_ranges_;
+  nn::Param x_syn_;
+  nn::Param adj_logits_;  // N'×N' (used symmetrized, zero diagonal)
+  std::unique_ptr<nn::Adam> feature_opt_;
+  std::unique_ptr<nn::Adam> adj_opt_;
+  Rng rng_{0};
+};
+
+}  // namespace bgc::condense
+
+#endif  // BGC_CONDENSE_DOSCOND_H_

@@ -1,0 +1,104 @@
+#include "src/condense/gc_sntk.h"
+
+#include <cmath>
+
+#include "src/autograd/tape.h"
+#include "src/condense/common.h"
+#include "src/core/check.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace bgc::condense {
+namespace {
+
+constexpr float kPi = 3.14159265358979323846f;
+
+/// Depth-1 ReLU NTK Θ(U, V) between tape expressions. `u`/`v` are feature
+/// matrices (rows are points); `d` the feature dimension used to scale the
+/// base kernel to O(1).
+ag::Var NtkKernel(ag::Tape& t, ag::Var u, ag::Var v, int d) {
+  const float inv_d = 1.0f / static_cast<float>(d);
+  ag::Var sigma0 = t.Scale(t.MatMul(u, t.Transpose(v)), inv_d);
+  ag::Var nu = t.Scale(t.RowSumOp(t.Square(u)), inv_d);  // a×1
+  ag::Var nv = t.Scale(t.RowSumOp(t.Square(v)), inv_d);  // b×1
+  ag::Var sqrt_nu = t.Sqrt(nu, 1e-8f);
+  ag::Var sqrt_nv = t.Sqrt(nv, 1e-8f);
+  ag::Var norm_prod = t.MatMul(sqrt_nu, t.Transpose(sqrt_nv));  // a×b
+  ag::Var s = t.ElemDiv(sigma0, t.AddConst(norm_prod, 1e-8f));
+  ag::Var acos_s = t.Acos(s);
+  ag::Var pi_minus = t.AddConst(t.Scale(acos_s, -1.0f), kPi);
+  // κ1 = (s(π - acos s) + sqrt(1 - s²)) / π
+  ag::Var one_minus_s2 =
+      t.AddConst(t.Scale(t.Square(s), -1.0f), 1.0f);
+  ag::Var kappa1 = t.Scale(
+      t.Add(t.Hadamard(s, pi_minus), t.Sqrt(one_minus_s2, 1e-8f)),
+      1.0f / kPi);
+  // κ0 = (π - acos s) / π
+  ag::Var kappa0 = t.Scale(pi_minus, 1.0f / kPi);
+  return t.Add(t.Hadamard(norm_prod, kappa1), t.Hadamard(sigma0, kappa0));
+}
+
+}  // namespace
+
+void GcSntkCondenser::Initialize(const SourceGraph& source, int num_classes,
+                                 const CondenseConfig& config, Rng& rng) {
+  config_ = config;
+  num_classes_ = num_classes;
+  rng_ = rng.Fork();
+  syn_labels_ =
+      AllocateSyntheticLabels(source, num_classes, config.num_condensed);
+  y_syn_ = OneHot(syn_labels_, num_classes);
+  x_syn_ = nn::Param(InitSyntheticFeatures(source, syn_labels_, rng_));
+  opt_ = std::make_unique<nn::Adam>(config.sntk_lr);
+}
+
+void GcSntkCondenser::Epoch(const SourceGraph& source) {
+  BGC_CHECK_GT(num_classes_, 0);
+  const int d = source.features.cols();
+  const int n_syn = x_syn_.value.rows();
+
+  // Structure enters through real-side propagation, recomputed every epoch
+  // because the backdoor attack mutates the source graph.
+  Matrix h = PropagateFeatures(source.adj, source.features, config_.sgc_k);
+
+  // Labeled-node batch.
+  std::vector<int> batch = source.labeled;
+  if (static_cast<int>(batch.size()) > config_.sntk_batch) {
+    std::vector<int> sample = rng_.SampleWithoutReplacement(
+        static_cast<int>(batch.size()), config_.sntk_batch);
+    std::vector<int> chosen;
+    chosen.reserve(sample.size());
+    for (int i : sample) chosen.push_back(batch[i]);
+    batch = std::move(chosen);
+  }
+  Matrix h_batch = GatherRows(h, batch);
+  std::vector<int> y_batch;
+  y_batch.reserve(batch.size());
+  for (int i : batch) y_batch.push_back(source.labels[i]);
+  Matrix y_target = OneHot(y_batch, num_classes_);
+
+  ag::Tape t;
+  ag::Var x = t.Input(x_syn_.value);
+  ag::Var hb = t.Constant(h_batch);
+  ag::Var k_ss = NtkKernel(t, x, x, d);
+  ag::Var k_bs = NtkKernel(t, hb, x, d);
+  ag::Var ridge = t.Add(
+      k_ss, t.Constant(Scale(Matrix::Identity(n_syn), config_.ridge_lambda)));
+  ag::Var alpha = t.Solve(ridge, t.Constant(y_syn_));
+  ag::Var pred = t.MatMul(k_bs, alpha);
+  ag::Var loss = t.MeanAll(t.Square(t.Sub(pred, t.Constant(y_target))));
+  t.Backward(loss);
+  x_syn_.grad = t.grad(x);
+  opt_->Step({&x_syn_});
+}
+
+CondensedGraph GcSntkCondenser::Result() const {
+  CondensedGraph out;
+  out.adj = graph::CsrMatrix::Identity(x_syn_.value.rows());
+  out.features = x_syn_.value;
+  out.labels = syn_labels_;
+  out.num_classes = num_classes_;
+  out.use_structure = false;
+  return out;
+}
+
+}  // namespace bgc::condense

@@ -1,0 +1,50 @@
+#ifndef BGC_CONDENSE_GC_SNTK_H_
+#define BGC_CONDENSE_GC_SNTK_H_
+
+#include <memory>
+#include <string>
+
+#include "src/condense/condenser.h"
+#include "src/nn/optimizer.h"
+#include "src/nn/param.h"
+
+namespace bgc::condense {
+
+/// GC-SNTK (Wang et al., WWW'24): graph condensation as kernel ridge
+/// regression under a structure-based neural tangent kernel.
+///
+/// The structure enters through propagation: real-side features are
+/// aggregated with the GCN operator (H = Â^K X) before the kernel; the
+/// synthetic set is structure-free (X', Y'). The kernel is the depth-1
+/// ReLU NTK:
+///   Σ0(u,v) = ⟨u,v⟩/d,  s = Σ0/√(Σ0(u,u)Σ0(v,v)),
+///   κ0(s) = (π - arccos s)/π,
+///   κ1(s) = (s(π - arccos s) + √(1-s²))/π,
+///   Θ(u,v) = √(Σ0(u,u)Σ0(v,v))·κ1(s) + Σ0(u,v)·κ0(s).
+/// Each epoch optimizes X' by one Adam step on the KRR objective
+///   || Y_B − K_BS (K_SS + λI)^{-1} Y' ||²
+/// over a subsample B of labeled nodes, with gradients flowing through the
+/// kernel entries and the ridge solve.
+class GcSntkCondenser : public Condenser {
+ public:
+  GcSntkCondenser() = default;
+
+  void Initialize(const SourceGraph& source, int num_classes,
+                  const CondenseConfig& config, Rng& rng) override;
+  void Epoch(const SourceGraph& source) override;
+  CondensedGraph Result() const override;
+  std::string name() const override { return "gc-sntk"; }
+
+ private:
+  CondenseConfig config_;
+  int num_classes_ = 0;
+  std::vector<int> syn_labels_;
+  Matrix y_syn_;  // one-hot Y'
+  nn::Param x_syn_;
+  std::unique_ptr<nn::Adam> opt_;
+  Rng rng_{0};
+};
+
+}  // namespace bgc::condense
+
+#endif  // BGC_CONDENSE_GC_SNTK_H_

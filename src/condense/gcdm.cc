@@ -1,0 +1,90 @@
+#include "src/condense/gcdm.h"
+
+#include "src/autograd/tape.h"
+#include "src/condense/common.h"
+#include "src/core/check.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace bgc::condense {
+
+void GcdmCondenser::Initialize(const SourceGraph& source, int num_classes,
+                               const CondenseConfig& config, Rng& rng) {
+  config_ = config;
+  num_classes_ = num_classes;
+  rng_ = rng.Fork();
+  syn_labels_ =
+      AllocateSyntheticLabels(source, num_classes, config.num_condensed);
+  class_ranges_.assign(num_classes, {0, 0});
+  for (int c = 0, pos = 0; c < num_classes; ++c) {
+    int count = 0;
+    while (pos + count < static_cast<int>(syn_labels_.size()) &&
+           syn_labels_[pos + count] == c) {
+      ++count;
+    }
+    class_ranges_[c] = {pos, pos + count};
+    pos += count;
+  }
+  x_syn_ = nn::Param(InitSyntheticFeatures(source, syn_labels_, rng_));
+  opt_ = std::make_unique<nn::Adam>(config.feature_lr);
+}
+
+void GcdmCondenser::Epoch(const SourceGraph& source) {
+  BGC_CHECK_GT(num_classes_, 0);
+  const int d = source.features.cols();
+  // Random embedding: one hidden ReLU layer with a fresh Glorot projection
+  // per epoch — matching over a distribution of embeddings rather than one.
+  const int proj_dim = 64;
+  Matrix theta = Matrix::GlorotUniform(d, proj_dim, rng_);
+
+  Matrix z_real = PropagateFeatures(source.adj, source.features,
+                                    config_.sgc_k);
+  // Real class means of φ(ZΘ) are constants for this epoch.
+  Matrix phi_real = Relu(MatMul(z_real, theta));
+  std::vector<std::vector<int>> by_class(num_classes_);
+  for (int idx : source.labeled) by_class[source.labels[idx]].push_back(idx);
+
+  ag::Tape t;
+  ag::Var x = t.Input(x_syn_.value);
+  // Structure-free synthetic side: Ẑ' = X'.
+  ag::Var phi_syn = t.Relu(t.MatMul(x, t.Constant(theta)));
+
+  ag::Var loss{};
+  bool has_loss = false;
+  for (int c = 0; c < num_classes_; ++c) {
+    if (by_class[c].empty()) continue;
+    auto [begin, end] = class_ranges_[c];
+    if (begin == end) continue;
+    Matrix real_mean(1, proj_dim);
+    for (int idx : by_class[c]) {
+      for (int j = 0; j < proj_dim; ++j) {
+        real_mean.data()[j] += phi_real(idx, j);
+      }
+    }
+    ScaleInPlace(real_mean, 1.0f / static_cast<float>(by_class[c].size()));
+
+    std::vector<int> rows;
+    for (int i = begin; i < end; ++i) rows.push_back(i);
+    ag::Var syn_mean = t.Scale(t.ColSumOp(t.GatherRows(phi_syn, rows)),
+                               1.0f / static_cast<float>(rows.size()));
+    ag::Var diff = t.Sub(syn_mean, t.Constant(real_mean));
+    ag::Var term = t.SumAll(t.Square(diff));
+    loss = has_loss ? t.Add(loss, term) : term;
+    has_loss = true;
+  }
+  BGC_CHECK(has_loss);
+  t.Backward(loss);
+  x_syn_.grad = t.grad(x);
+  opt_->Step({&x_syn_});
+}
+
+CondensedGraph GcdmCondenser::Result() const {
+  CondensedGraph out;
+  out.adj = graph::CsrMatrix::Identity(x_syn_.value.rows());
+  out.features = x_syn_.value;
+  out.labels = syn_labels_;
+  out.num_classes = num_classes_;
+  out.use_structure = false;
+  return out;
+}
+
+}  // namespace bgc::condense

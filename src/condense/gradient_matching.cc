@@ -1,0 +1,212 @@
+#include "src/condense/gradient_matching.h"
+
+#include <cmath>
+
+#include "src/autograd/tape.h"
+#include "src/condense/common.h"
+#include "src/core/check.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace bgc::condense {
+namespace {
+
+/// Builds the synthetic normalized dense operator Â' on the tape:
+/// A' = σ(tanh(X'U) tanh(X'U)ᵀ / sqrt(r) + b), diag zeroed, then
+/// D^{-1/2}(A' + I)D^{-1/2}.
+ag::Var NormalizedLearnedAdjacency(ag::Tape& t, ag::Var x, ag::Var u,
+                                   ag::Var bias, int n, int rank) {
+  ag::Var h = t.Tanh(t.MatMul(x, u));
+  ag::Var raw = t.Scale(t.MatMul(h, t.Transpose(h)),
+                        1.0f / std::sqrt(static_cast<float>(rank)));
+  // Broadcast the scalar bias over all entries.
+  ag::Var bias_col = t.MatMul(t.Constant(Matrix(n, 1, 1.0f)), bias);  // n×1
+  ag::Var bias_full =
+      t.MatMul(bias_col, t.Constant(Matrix(1, n, 1.0f)));             // n×n
+  ag::Var a = t.Sigmoid(t.Add(raw, bias_full));
+  // Match the delivered graph's sparsification: entries ≤ 0.5 are zeroed
+  // (straight-through, so sub-threshold pairs still receive gradient and
+  // can grow past the threshold). Without this mask the many small sigmoid
+  // values act as a dense all-pairs smoother during matching that the
+  // thresholded result the victim trains on never reproduces.
+  a = t.Hadamard(a, t.BinarizeSte(a, 0.5f));
+  // Zero the diagonal (no learned self-loops; the +I below adds them).
+  Matrix mask(n, n, 1.0f);
+  for (int i = 0; i < n; ++i) mask(i, i) = 0.0f;
+  a = t.Hadamard(a, t.Constant(mask));
+  ag::Var hat = t.Add(a, t.Constant(Matrix::Identity(n)));
+  ag::Var deg = t.RowSumOp(hat);
+  ag::Var inv_sqrt =
+      t.ElemDiv(t.Constant(Matrix(n, 1, 1.0f)), t.Sqrt(deg, 1e-8f));
+  ag::Var norm = t.MulColVec(hat, inv_sqrt);
+  return t.MulRowVec(norm, t.Transpose(inv_sqrt));
+}
+
+}  // namespace
+
+void GradientMatchingCondenser::Initialize(const SourceGraph& source,
+                                           int num_classes,
+                                           const CondenseConfig& config,
+                                           Rng& rng) {
+  config_ = config;
+  num_classes_ = num_classes;
+  rng_ = rng.Fork();
+  syn_labels_ =
+      AllocateSyntheticLabels(source, num_classes, config.num_condensed);
+  class_ranges_.assign(num_classes, {0, 0});
+  for (int c = 0, pos = 0; c < num_classes; ++c) {
+    int count = 0;
+    while (pos + count < static_cast<int>(syn_labels_.size()) &&
+           syn_labels_[pos + count] == c) {
+      ++count;
+    }
+    class_ranges_[c] = {pos, pos + count};
+    pos += count;
+  }
+  x_syn_ = nn::Param(InitSyntheticFeatures(source, syn_labels_, rng_));
+  const int d = source.features.cols();
+  adj_u_ = nn::Param(Matrix::GlorotUniform(d, config.adj_rank, rng_));
+  // Sparse prior: σ(-2) ≈ 0.12 keeps the initial learned adjacency below
+  // the 0.5 threshold, so structure is added only where matching demands
+  // it (an untrained dense A' collapses classes under propagation).
+  adj_bias_ = nn::Param(Matrix(1, 1, config.adj_bias_init));
+  const float feature_lr = variant_ == Variant::kDcGraph
+                               ? config.dc_feature_lr
+                               : config.feature_lr;
+  feature_opt_ = std::make_unique<nn::Adam>(feature_lr);
+  adj_opt_ = std::make_unique<nn::Adam>(config.adj_lr);
+  surrogate_w_ = Matrix::GlorotUniform(d, num_classes, rng_);
+  epoch_count_ = 0;
+}
+
+void GradientMatchingCondenser::Epoch(const SourceGraph& source) {
+  BGC_CHECK_GT(num_classes_, 0);
+  const int d = source.features.cols();
+  const int n_syn = x_syn_.value.rows();
+  // Fresh surrogate initialization each epoch: gradient matching across
+  // random initializations is what makes the condensed data trajectory-
+  // agnostic (DC/GCond's outer loop over model inits).
+  surrogate_w_ = Matrix::GlorotUniform(d, num_classes_, rng_);
+
+  // Real-side propagated features, recomputed because the source mutates
+  // under the backdoor attack.
+  const bool propagate_real = variant_ != Variant::kDcGraph;
+  Matrix z_real = propagate_real
+                      ? PropagateFeatures(source.adj, source.features,
+                                          config_.sgc_k)
+                      : source.features;
+
+  for (int inner = 0; inner < config_.inner_steps; ++inner) {
+    std::vector<Matrix> real_grads = PerClassGradients(
+        z_real, source.labels, source.labeled, surrogate_w_, num_classes_);
+
+    ag::Tape t;
+    ag::Var x = t.Input(x_syn_.value);
+    ag::Var u = t.Input(adj_u_.value);
+    ag::Var bias = t.Input(adj_bias_.value);
+    ag::Var z_syn = x;
+    if (variant_ == Variant::kGcond) {
+      ag::Var op = NormalizedLearnedAdjacency(t, x, u, bias, n_syn,
+                                              config_.adj_rank);
+      for (int k = 0; k < config_.sgc_k; ++k) z_syn = t.MatMul(op, z_syn);
+    }
+    // GCond-X / DC-Graph: A' = I, so Â'^k X' = X' (degree-1 self loops).
+
+    ag::Var w_const = t.Constant(surrogate_w_);
+    ag::Var loss{};
+    bool has_loss = false;
+    for (int c = 0; c < num_classes_; ++c) {
+      if (real_grads[c].empty()) continue;
+      auto [begin, end] = class_ranges_[c];
+      if (begin == end) continue;
+      std::vector<int> rows;
+      rows.reserve(end - begin);
+      for (int i = begin; i < end; ++i) rows.push_back(i);
+      ag::Var zc = t.GatherRows(z_syn, rows);
+      ag::Var probs = t.Softmax(t.MatMul(zc, w_const));
+      Matrix onehot(end - begin, num_classes_);
+      for (int i = 0; i < end - begin; ++i) onehot(i, c) = 1.0f;
+      ag::Var diff = t.Sub(probs, t.Constant(onehot));
+      ag::Var g = t.Scale(t.MatMul(t.Transpose(zc), diff),
+                          1.0f / static_cast<float>(end - begin));
+      ag::Var term = MatchingDistance(t, g, real_grads[c]);
+      loss = has_loss ? t.Add(loss, term) : term;
+      has_loss = true;
+    }
+    BGC_CHECK(has_loss);
+    t.Backward(loss);
+
+    // GCond alternates feature and structure updates (its outer schedule);
+    // the structure-free variants always update features.
+    const bool update_adj =
+        variant_ == Variant::kGcond && (epoch_count_ + inner) % 2 == 1;
+    if (update_adj) {
+      adj_u_.grad = t.grad(u);
+      adj_bias_.grad = t.grad(bias);
+      adj_opt_->Step({&adj_u_, &adj_bias_});
+    } else {
+      x_syn_.grad = t.grad(x);
+      feature_opt_->Step({&x_syn_});
+    }
+  }
+
+  // Refresh the surrogate on the updated synthetic data so the next epoch
+  // matches gradients a little further along the training trajectory.
+  CondensedGraph current = Result();
+  Matrix z_syn_const =
+      current.use_structure
+          ? PropagateFeatures(current.adj, current.features, config_.sgc_k)
+          : current.features;
+  Matrix y_syn = OneHot(syn_labels_, num_classes_);
+  const float model_lr = variant_ == Variant::kDcGraph
+                             ? config_.dc_model_lr
+                             : config_.model_lr;
+  for (int s = 0; s < config_.model_steps; ++s) {
+    SgcStep(z_syn_const, y_syn, surrogate_w_, model_lr);
+  }
+  ++epoch_count_;
+}
+
+Matrix GradientMatchingCondenser::LearnedAdjacency() const {
+  const Matrix h = TanhMat(MatMul(x_syn_.value, adj_u_.value));
+  Matrix raw = MatMulTransB(h, h);
+  ScaleInPlace(raw, 1.0f / std::sqrt(static_cast<float>(config_.adj_rank)));
+  const float b = adj_bias_.value.At(0, 0);
+  Matrix a(raw.rows(), raw.cols());
+  for (int i = 0; i < raw.rows(); ++i) {
+    for (int j = 0; j < raw.cols(); ++j) {
+      a(i, j) = i == j ? 0.0f
+                       : 1.0f / (1.0f + std::exp(-(raw(i, j) + b)));
+    }
+  }
+  return a;
+}
+
+CondensedGraph GradientMatchingCondenser::Result() const {
+  CondensedGraph out;
+  out.features = x_syn_.value;
+  out.labels = syn_labels_;
+  out.num_classes = num_classes_;
+  out.use_structure = variant_ == Variant::kGcond;
+  if (out.use_structure) {
+    // GCond sparsifies the learned adjacency: entries ≤ 0.5 dropped,
+    // surviving weights kept continuous.
+    out.adj = graph::CsrMatrix::FromDense(LearnedAdjacency(), 0.5f);
+  } else {
+    out.adj = graph::CsrMatrix::Identity(out.features.rows());
+  }
+  return out;
+}
+
+std::string GradientMatchingCondenser::name() const {
+  switch (variant_) {
+    case Variant::kGcond:
+      return "gcond";
+    case Variant::kGcondX:
+      return "gcond-x";
+    case Variant::kDcGraph:
+      return "dc-graph";
+  }
+  return "unknown";
+}
+
+}  // namespace bgc::condense

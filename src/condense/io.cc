@@ -1,0 +1,96 @@
+#include "src/condense/io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/core/check.h"
+
+namespace bgc::condense {
+namespace {
+
+void WriteMatrix(std::ofstream& out, const Matrix& m) {
+  char buf[64];
+  for (int i = 0; i < m.rows(); ++i) {
+    const float* row = m.RowPtr(i);
+    for (int j = 0; j < m.cols(); ++j) {
+      std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(row[j]));
+      out << buf << (j + 1 == m.cols() ? '\n' : ' ');
+    }
+  }
+}
+
+Matrix ReadMatrix(std::ifstream& in, int rows, int cols) {
+  Matrix m(rows, cols);
+  for (int i = 0; i < rows * cols; ++i) {
+    double v = 0.0;
+    BGC_CHECK_MSG(static_cast<bool>(in >> v), "truncated feature block");
+    m.data()[i] = static_cast<float>(v);
+  }
+  return m;
+}
+
+}  // namespace
+
+void SaveCondensed(const CondensedGraph& condensed, const std::string& path) {
+  std::ofstream out(path);
+  BGC_CHECK_MSG(out.good(), "cannot open for writing: " + path);
+  out << "bgc-graph v1\n";
+  out << "nodes " << condensed.features.rows() << " features "
+      << condensed.features.cols() << " classes " << condensed.num_classes
+      << " edges " << condensed.adj.nnz() << " inductive "
+      << (condensed.use_structure ? 1 : 0) << '\n';
+  for (size_t i = 0; i < condensed.labels.size(); ++i) {
+    out << condensed.labels[i]
+        << (i + 1 == condensed.labels.size() ? '\n' : ' ');
+  }
+  char buf[64];
+  for (const auto& e : condensed.adj.ToEdges()) {
+    std::snprintf(buf, sizeof(buf), "%d %d %.9g\n", e.src, e.dst,
+                  static_cast<double>(e.weight));
+    out << buf;
+  }
+  WriteMatrix(out, condensed.features);
+  BGC_CHECK_MSG(out.good(), "write failed: " + path);
+}
+
+CondensedGraph LoadCondensed(const std::string& path) {
+  std::ifstream in(path);
+  BGC_CHECK_MSG(in.good(), "cannot open for reading: " + path);
+  std::string magic, version;
+  BGC_CHECK_MSG(static_cast<bool>(in >> magic >> version),
+                "missing bgc-graph header");
+  BGC_CHECK_MSG(magic == "bgc-graph" && version == "v1",
+                "unsupported file format: " + magic + " " + version);
+  int nodes = 0, features = 0, classes = 0, edges = 0, structure = 0;
+  std::string k1, k2, k3, k4, k5;
+  BGC_CHECK_MSG(static_cast<bool>(in >> k1 >> nodes >> k2 >> features >> k3 >>
+                                  classes >> k4 >> edges >> k5 >> structure),
+                "malformed header line");
+  BGC_CHECK_MSG(k1 == "nodes" && k2 == "features" && k3 == "classes" &&
+                    k4 == "edges" && k5 == "inductive",
+                "malformed header keys");
+  CondensedGraph g;
+  g.num_classes = classes;
+  g.use_structure = structure != 0;
+  g.labels.resize(nodes);
+  for (int i = 0; i < nodes; ++i) {
+    BGC_CHECK_MSG(static_cast<bool>(in >> g.labels[i]), "truncated labels");
+    BGC_CHECK_GE(g.labels[i], 0);
+    BGC_CHECK_LT(g.labels[i], classes);
+  }
+  std::vector<graph::Edge> edge_list;
+  edge_list.reserve(edges);
+  for (int k = 0; k < edges; ++k) {
+    int src = 0, dst = 0;
+    double w = 0.0;
+    BGC_CHECK_MSG(static_cast<bool>(in >> src >> dst >> w),
+                  "truncated edge block");
+    edge_list.push_back({src, dst, static_cast<float>(w)});
+  }
+  g.adj = graph::CsrMatrix::FromEdges(nodes, nodes, edge_list,
+                                      /*symmetrize=*/false);
+  g.features = ReadMatrix(in, nodes, features);
+  return g;
+}
+
+}  // namespace bgc::condense

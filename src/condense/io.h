@@ -1,0 +1,19 @@
+#ifndef BGC_CONDENSE_IO_H_
+#define BGC_CONDENSE_IO_H_
+
+#include <string>
+
+#include "src/condense/condenser.h"
+
+namespace bgc::condense {
+
+/// Serialization of condensed graphs in the same "bgc-graph v1" text
+/// format as data::SaveDataset (see src/data/io.h), minus the split lines.
+/// The header's last slot stores `use_structure`. This is the deliverable a
+/// condensation service ships to its customers.
+void SaveCondensed(const CondensedGraph& condensed, const std::string& path);
+CondensedGraph LoadCondensed(const std::string& path);
+
+}  // namespace bgc::condense
+
+#endif  // BGC_CONDENSE_IO_H_

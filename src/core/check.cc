@@ -1,0 +1,16 @@
+#include "src/core/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bgc {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& message) {
+  std::fprintf(stderr, "BGC_CHECK failed at %s:%d: %s %s\n", file, line, expr,
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace bgc

@@ -1,0 +1,64 @@
+#ifndef BGC_CORE_CHECK_H_
+#define BGC_CORE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace bgc {
+
+/// Terminates the process with a diagnostic message. Used by the BGC_CHECK
+/// family; kept out-of-line so the macros stay cheap at call sites.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+namespace internal {
+
+/// Builds the "lhs vs rhs" message for binary comparison checks.
+template <typename A, typename B>
+std::string FormatBinaryCheck(const A& lhs, const B& rhs) {
+  std::ostringstream os;
+  os << "(lhs=" << lhs << ", rhs=" << rhs << ")";
+  return os.str();
+}
+
+}  // namespace internal
+}  // namespace bgc
+
+/// Fatal assertion, enabled in all build types. Research code fails fast:
+/// a violated invariant means the experiment's output cannot be trusted.
+#define BGC_CHECK(cond)                                         \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::bgc::CheckFailed(__FILE__, __LINE__, #cond, "");        \
+    }                                                           \
+  } while (0)
+
+#define BGC_CHECK_MSG(cond, msg)                                \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::bgc::CheckFailed(__FILE__, __LINE__, #cond, (msg));     \
+    }                                                           \
+  } while (0)
+
+#define BGC_CHECK_OP(lhs, op, rhs)                                         \
+  do {                                                                     \
+    auto&& bgc_check_lhs = (lhs);                                          \
+    auto&& bgc_check_rhs = (rhs);                                          \
+    if (!(bgc_check_lhs op bgc_check_rhs)) {                               \
+      ::bgc::CheckFailed(                                                  \
+          __FILE__, __LINE__, #lhs " " #op " " #rhs,                       \
+          ::bgc::internal::FormatBinaryCheck(bgc_check_lhs,                \
+                                             bgc_check_rhs));              \
+    }                                                                      \
+  } while (0)
+
+#define BGC_CHECK_EQ(a, b) BGC_CHECK_OP(a, ==, b)
+#define BGC_CHECK_NE(a, b) BGC_CHECK_OP(a, !=, b)
+#define BGC_CHECK_LT(a, b) BGC_CHECK_OP(a, <, b)
+#define BGC_CHECK_LE(a, b) BGC_CHECK_OP(a, <=, b)
+#define BGC_CHECK_GT(a, b) BGC_CHECK_OP(a, >, b)
+#define BGC_CHECK_GE(a, b) BGC_CHECK_OP(a, >=, b)
+
+#endif  // BGC_CORE_CHECK_H_

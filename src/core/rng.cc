@@ -1,0 +1,95 @@
+#include "src/core/rng.h"
+
+#include <cmath>
+
+#include "src/core/check.h"
+
+namespace bgc {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& lane : state_) lane = SplitMix64(s);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  BGC_CHECK_GT(n, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (~uint64_t{0} - n + 1) % n;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = Uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  BGC_CHECK_GE(n, k);
+  BGC_CHECK_GE(k, 0);
+  std::vector<int> pool(n);
+  for (int i = 0; i < n; ++i) pool[i] = i;
+  // Partial Fisher-Yates: after k swaps the prefix is the sample.
+  for (int i = 0; i < k; ++i) {
+    int j = i + static_cast<int>(UniformInt(static_cast<uint64_t>(n - i)));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+}  // namespace bgc

@@ -1,0 +1,33 @@
+#include "src/core/stats.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace bgc {
+
+MeanStd ComputeMeanStd(const std::vector<double>& values) {
+  MeanStd out;
+  if (values.empty()) return out;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  out.mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (double v : values) sq += (v - out.mean) * (v - out.mean);
+  out.std = std::sqrt(sq / static_cast<double>(values.size()));
+  return out;
+}
+
+std::string FormatPercentCell(const std::vector<double>& values) {
+  MeanStd ms = ComputeMeanStd(values);
+  ms.mean *= 100.0;
+  ms.std *= 100.0;
+  return FormatPercentCell(ms);
+}
+
+std::string FormatPercentCell(const MeanStd& ms) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f (%.2f)", ms.mean, ms.std);
+  return buf;
+}
+
+}  // namespace bgc

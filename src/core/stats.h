@@ -1,0 +1,28 @@
+#ifndef BGC_CORE_STATS_H_
+#define BGC_CORE_STATS_H_
+
+#include <string>
+#include <vector>
+
+namespace bgc {
+
+/// Mean and (population) standard deviation of repeated runs, as reported in
+/// the paper's "mean (std)" cells.
+struct MeanStd {
+  double mean = 0.0;
+  double std = 0.0;
+};
+
+/// Computes mean/std over `values`. An empty input yields {0, 0}.
+MeanStd ComputeMeanStd(const std::vector<double>& values);
+
+/// Formats a metric cell the way the paper does, e.g. "81.23 (0.24)".
+/// `values` are expected in [0, 1] and are scaled to percent.
+std::string FormatPercentCell(const std::vector<double>& values);
+
+/// Formats an already-aggregated pair in percent.
+std::string FormatPercentCell(const MeanStd& ms);
+
+}  // namespace bgc
+
+#endif  // BGC_CORE_STATS_H_

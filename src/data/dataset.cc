@@ -1,0 +1,52 @@
+#include "src/data/dataset.h"
+
+#include "src/core/check.h"
+#include "src/graph/graph_utils.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace bgc::data {
+
+TrainView MakeTrainView(const GraphDataset& dataset) {
+  TrainView view;
+  view.num_classes = dataset.num_classes;
+  if (!dataset.inductive) {
+    view.adj = dataset.adj;
+    view.features = dataset.features;
+    view.labels = dataset.labels;
+    view.labeled = dataset.train_idx;
+    view.origin.resize(dataset.num_nodes());
+    for (int i = 0; i < dataset.num_nodes(); ++i) view.origin[i] = i;
+    return view;
+  }
+  view.adj = graph::InducedSubgraph(dataset.adj, dataset.train_idx);
+  view.features = GatherRows(dataset.features, dataset.train_idx);
+  view.labels.reserve(dataset.train_idx.size());
+  view.labeled.reserve(dataset.train_idx.size());
+  for (size_t i = 0; i < dataset.train_idx.size(); ++i) {
+    view.labels.push_back(dataset.labels[dataset.train_idx[i]]);
+    view.labeled.push_back(static_cast<int>(i));
+  }
+  view.origin = dataset.train_idx;
+  return view;
+}
+
+std::vector<int> ClassCounts(const std::vector<int>& labels, int num_classes,
+                             const std::vector<int>& subset) {
+  std::vector<int> counts(num_classes, 0);
+  if (subset.empty()) {
+    for (int y : labels) {
+      BGC_CHECK_GE(y, 0);
+      BGC_CHECK_LT(y, num_classes);
+      ++counts[y];
+    }
+  } else {
+    for (int idx : subset) {
+      BGC_CHECK_GE(idx, 0);
+      BGC_CHECK_LT(idx, static_cast<int>(labels.size()));
+      ++counts[labels[idx]];
+    }
+  }
+  return counts;
+}
+
+}  // namespace bgc::data

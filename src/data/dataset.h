@@ -1,0 +1,59 @@
+#ifndef BGC_DATA_DATASET_H_
+#define BGC_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/tensor/matrix.h"
+
+namespace bgc::data {
+
+/// A node-classification graph dataset: G = {A, X, Y} plus public splits.
+///
+/// `adj` is the raw symmetric adjacency (unweighted, no self-loops);
+/// propagation operators (GCN normalization etc.) are derived from it by
+/// consumers. Transductive datasets expose one graph for train/val/test;
+/// inductive datasets (Flickr/Reddit style) train only on the subgraph
+/// induced by `train_idx` — use TrainView() to obtain it.
+struct GraphDataset {
+  std::string name;
+  graph::CsrMatrix adj;
+  Matrix features;          // num_nodes × feature_dim
+  std::vector<int> labels;  // num_nodes, in [0, num_classes)
+  int num_classes = 0;
+  std::vector<int> train_idx;
+  std::vector<int> val_idx;
+  std::vector<int> test_idx;
+  bool inductive = false;
+
+  int num_nodes() const { return adj.rows(); }
+  int feature_dim() const { return features.cols(); }
+};
+
+/// The graph a condensation provider actually sees at train time.
+///
+/// For transductive datasets this is the full graph with `labeled` holding
+/// the training node ids. For inductive datasets it is the subgraph induced
+/// by the training split (every node labeled), and `origin[i]` maps local
+/// node i back to the dataset node id.
+struct TrainView {
+  graph::CsrMatrix adj;
+  Matrix features;
+  std::vector<int> labels;
+  int num_classes = 0;
+  std::vector<int> labeled;  // local ids with usable labels
+  std::vector<int> origin;   // local id -> dataset node id
+};
+
+/// Builds the training view described above.
+TrainView MakeTrainView(const GraphDataset& dataset);
+
+/// Class histogram over `labels` restricted to `subset` (all nodes when
+/// `subset` is empty).
+std::vector<int> ClassCounts(const std::vector<int>& labels, int num_classes,
+                             const std::vector<int>& subset = {});
+
+}  // namespace bgc::data
+
+#endif  // BGC_DATA_DATASET_H_

@@ -1,0 +1,152 @@
+#include "src/data/io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/core/check.h"
+
+namespace bgc::data {
+namespace {
+
+void WriteMatrix(std::ofstream& out, const Matrix& m) {
+  char buf[64];
+  for (int i = 0; i < m.rows(); ++i) {
+    const float* row = m.RowPtr(i);
+    for (int j = 0; j < m.cols(); ++j) {
+      // 9 significant digits round-trip any float32 exactly.
+      std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(row[j]));
+      out << buf << (j + 1 == m.cols() ? '\n' : ' ');
+    }
+  }
+}
+
+Matrix ReadMatrix(std::ifstream& in, int rows, int cols) {
+  Matrix m(rows, cols);
+  for (int i = 0; i < rows * cols; ++i) {
+    double v = 0.0;
+    BGC_CHECK_MSG(static_cast<bool>(in >> v), "truncated feature block");
+    m.data()[i] = static_cast<float>(v);
+  }
+  return m;
+}
+
+void WriteEdges(std::ofstream& out, const graph::CsrMatrix& adj) {
+  char buf[64];
+  for (const auto& e : adj.ToEdges()) {
+    std::snprintf(buf, sizeof(buf), "%d %d %.9g\n", e.src, e.dst,
+                  static_cast<double>(e.weight));
+    out << buf;
+  }
+}
+
+graph::CsrMatrix ReadEdges(std::ifstream& in, int n, int m) {
+  std::vector<graph::Edge> edges;
+  edges.reserve(m);
+  for (int k = 0; k < m; ++k) {
+    int src = 0, dst = 0;
+    double w = 0.0;
+    BGC_CHECK_MSG(static_cast<bool>(in >> src >> dst >> w),
+                  "truncated edge block");
+    edges.push_back({src, dst, static_cast<float>(w)});
+  }
+  return graph::CsrMatrix::FromEdges(n, n, edges, /*symmetrize=*/false);
+}
+
+void WriteIndexLine(std::ofstream& out, const char* tag,
+                    const std::vector<int>& idx) {
+  out << tag << ' ' << idx.size();
+  for (int i : idx) out << ' ' << i;
+  out << '\n';
+}
+
+std::vector<int> ReadIndexLine(std::ifstream& in, const char* tag) {
+  std::string seen;
+  size_t count = 0;
+  BGC_CHECK_MSG(static_cast<bool>(in >> seen >> count), "truncated split");
+  BGC_CHECK_MSG(seen == tag, "expected split tag " + std::string(tag) +
+                                 ", got " + seen);
+  std::vector<int> idx(count);
+  for (size_t i = 0; i < count; ++i) {
+    BGC_CHECK_MSG(static_cast<bool>(in >> idx[i]), "truncated split ids");
+  }
+  return idx;
+}
+
+void CheckHeader(std::ifstream& in) {
+  std::string magic, version;
+  BGC_CHECK_MSG(static_cast<bool>(in >> magic >> version),
+                "missing bgc-graph header");
+  BGC_CHECK_MSG(magic == "bgc-graph" && version == "v1",
+                "unsupported file format: " + magic + " " + version);
+}
+
+struct Header {
+  int nodes = 0, features = 0, classes = 0, edges = 0, inductive = 0;
+};
+
+Header ReadBody(std::ifstream& in) {
+  Header h;
+  std::string k1, k2, k3, k4, k5;
+  BGC_CHECK_MSG(static_cast<bool>(in >> k1 >> h.nodes >> k2 >> h.features >>
+                                  k3 >> h.classes >> k4 >> h.edges >> k5 >>
+                                  h.inductive),
+                "malformed header line");
+  BGC_CHECK_MSG(k1 == "nodes" && k2 == "features" && k3 == "classes" &&
+                    k4 == "edges" && k5 == "inductive",
+                "malformed header keys");
+  return h;
+}
+
+std::vector<int> ReadLabels(std::ifstream& in, int n, int classes) {
+  std::vector<int> labels(n);
+  for (int i = 0; i < n; ++i) {
+    BGC_CHECK_MSG(static_cast<bool>(in >> labels[i]), "truncated labels");
+    BGC_CHECK_GE(labels[i], 0);
+    BGC_CHECK_LT(labels[i], classes);
+  }
+  return labels;
+}
+
+}  // namespace
+
+void SaveDataset(const GraphDataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  BGC_CHECK_MSG(out.good(), "cannot open for writing: " + path);
+  out << "bgc-graph v1\n";
+  out << "nodes " << dataset.num_nodes() << " features "
+      << dataset.feature_dim() << " classes " << dataset.num_classes
+      << " edges " << dataset.adj.nnz() << " inductive "
+      << (dataset.inductive ? 1 : 0) << '\n';
+  for (size_t i = 0; i < dataset.labels.size(); ++i) {
+    out << dataset.labels[i]
+        << (i + 1 == dataset.labels.size() ? '\n' : ' ');
+  }
+  WriteIndexLine(out, "train", dataset.train_idx);
+  WriteIndexLine(out, "val", dataset.val_idx);
+  WriteIndexLine(out, "test", dataset.test_idx);
+  WriteEdges(out, dataset.adj);
+  WriteMatrix(out, dataset.features);
+  BGC_CHECK_MSG(out.good(), "write failed: " + path);
+}
+
+GraphDataset LoadDataset(const std::string& path) {
+  std::ifstream in(path);
+  BGC_CHECK_MSG(in.good(), "cannot open for reading: " + path);
+  CheckHeader(in);
+  Header h = ReadBody(in);
+  GraphDataset ds;
+  ds.name = path;
+  ds.num_classes = h.classes;
+  ds.inductive = h.inductive != 0;
+  ds.labels = ReadLabels(in, h.nodes, h.classes);
+  ds.train_idx = ReadIndexLine(in, "train");
+  ds.val_idx = ReadIndexLine(in, "val");
+  ds.test_idx = ReadIndexLine(in, "test");
+  ds.adj = ReadEdges(in, h.nodes, h.edges);
+  ds.features = ReadMatrix(in, h.nodes, h.features);
+  return ds;
+}
+
+}  // namespace bgc::data

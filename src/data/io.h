@@ -1,0 +1,30 @@
+#ifndef BGC_DATA_IO_H_
+#define BGC_DATA_IO_H_
+
+#include <string>
+
+#include "src/data/dataset.h"
+
+namespace bgc::data {
+
+/// Plain-text serialization of datasets and condensed graphs — the artifact
+/// a condensation service actually ships. The format is a line-oriented
+/// header followed by edge and feature blocks:
+///
+///   bgc-graph v1
+///   nodes <n> features <d> classes <C> edges <m> inductive <0|1>
+///   <labels: n ints>
+///   <splits: 3 lines "train|val|test k id...">   (datasets only)
+///   <edges: m lines "src dst weight">
+///   <features: n lines of d floats>
+///
+/// Writers are lossless for float values (%.9g formatting).
+
+/// Saves/loads a full dataset. Aborts on I/O failure; LoadDataset aborts on
+/// malformed input.
+void SaveDataset(const GraphDataset& dataset, const std::string& path);
+GraphDataset LoadDataset(const std::string& path);
+
+}  // namespace bgc::data
+
+#endif  // BGC_DATA_IO_H_

@@ -1,0 +1,217 @@
+#include "src/data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/core/check.h"
+#include "src/core/rng.h"
+
+namespace bgc::data {
+namespace {
+
+/// Unit-norm rows: random class centroids on the sphere.
+Matrix RandomCentroids(int num_classes, int dim, Rng& rng, double scale) {
+  Matrix c = Matrix::RandomNormal(num_classes, dim, rng);
+  for (int i = 0; i < num_classes; ++i) {
+    float* row = c.RowPtr(i);
+    float norm = 0.0f;
+    for (int j = 0; j < dim; ++j) norm += row[j] * row[j];
+    norm = std::sqrt(std::max(norm, 1e-12f));
+    const float s = static_cast<float>(scale) / norm;
+    for (int j = 0; j < dim; ++j) row[j] *= s;
+  }
+  return c;
+}
+
+}  // namespace
+
+GraphDataset GenerateSynthetic(const SyntheticConfig& config, uint64_t seed) {
+  BGC_CHECK_GT(config.num_nodes, 0);
+  BGC_CHECK_GT(config.num_classes, 1);
+  BGC_CHECK_GT(config.feature_dim, 0);
+  Rng rng(seed ^ 0xb6cdbu);
+
+  GraphDataset ds;
+  ds.name = config.name;
+  ds.num_classes = config.num_classes;
+  ds.inductive = config.inductive;
+
+  const int n = config.num_nodes;
+  const int c = config.num_classes;
+
+  // True community assignments drive both structure and features.
+  std::vector<int> community(n);
+  for (int i = 0; i < n; ++i) {
+    community[i] = static_cast<int>(rng.UniformInt(c));
+  }
+  std::vector<std::vector<int>> by_class(c);
+  for (int i = 0; i < n; ++i) by_class[community[i]].push_back(i);
+  for (int k = 0; k < c; ++k) {
+    // The generator needs every class populated to sample intra-class edges.
+    BGC_CHECK_MSG(!by_class[k].empty(), "empty class in synthetic generator");
+  }
+
+  // Features: centroid + isotropic noise.
+  Matrix centroids =
+      RandomCentroids(c, config.feature_dim, rng, config.center_scale);
+  ds.features = Matrix(n, config.feature_dim);
+  for (int i = 0; i < n; ++i) {
+    const float* mu = centroids.RowPtr(community[i]);
+    float* row = ds.features.RowPtr(i);
+    for (int j = 0; j < config.feature_dim; ++j) {
+      row[j] = mu[j] + static_cast<float>(
+                           rng.Normal(0.0, config.feature_noise));
+    }
+  }
+
+  // Planted-partition edges: each undirected edge is intra-class with
+  // probability `homophily`, otherwise its second endpoint is uniform.
+  const long long target_edges =
+      static_cast<long long>(config.avg_degree * n / 2.0);
+  std::unordered_set<long long> seen;
+  std::vector<graph::Edge> edges;
+  edges.reserve(static_cast<size_t>(target_edges));
+  long long attempts = 0;
+  const long long max_attempts = target_edges * 50 + 1000;
+  while (static_cast<long long>(edges.size()) < target_edges &&
+         attempts < max_attempts) {
+    ++attempts;
+    const int u = static_cast<int>(rng.UniformInt(n));
+    int v;
+    if (rng.Bernoulli(config.homophily)) {
+      const auto& peers = by_class[community[u]];
+      v = peers[rng.UniformInt(peers.size())];
+    } else {
+      v = static_cast<int>(rng.UniformInt(n));
+    }
+    if (u == v) continue;
+    const long long key =
+        static_cast<long long>(std::min(u, v)) * n + std::max(u, v);
+    if (!seen.insert(key).second) continue;
+    edges.push_back({u, v, 1.0f});
+  }
+  ds.adj = graph::CsrMatrix::FromEdges(n, n, edges, /*symmetrize=*/true);
+
+  // Observed labels: community assignments with optional label noise.
+  ds.labels = community;
+  if (config.label_noise > 0.0) {
+    for (int i = 0; i < n; ++i) {
+      if (rng.Bernoulli(config.label_noise)) {
+        ds.labels[i] = static_cast<int>(rng.UniformInt(c));
+      }
+    }
+  }
+
+  // Splits.
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  rng.Shuffle(order);
+  if (config.inductive) {
+    const int n_val = static_cast<int>(config.val_fraction * n);
+    const int n_test = static_cast<int>(config.test_fraction * n);
+    const int n_train = n - n_val - n_test;
+    BGC_CHECK_GT(n_train, 0);
+    ds.train_idx.assign(order.begin(), order.begin() + n_train);
+    ds.val_idx.assign(order.begin() + n_train, order.begin() + n_train + n_val);
+    ds.test_idx.assign(order.begin() + n_train + n_val, order.end());
+  } else {
+    std::vector<int> taken_per_class(c, 0);
+    std::vector<int> rest;
+    for (int idx : order) {
+      if (taken_per_class[ds.labels[idx]] < config.train_per_class) {
+        ds.train_idx.push_back(idx);
+        ++taken_per_class[ds.labels[idx]];
+      } else {
+        rest.push_back(idx);
+      }
+    }
+    const int n_val = std::min<int>(config.val_size, rest.size());
+    ds.val_idx.assign(rest.begin(), rest.begin() + n_val);
+    const int n_test =
+        std::min<int>(config.test_size, rest.size() - n_val);
+    ds.test_idx.assign(rest.begin() + n_val, rest.begin() + n_val + n_test);
+  }
+  std::sort(ds.train_idx.begin(), ds.train_idx.end());
+  std::sort(ds.val_idx.begin(), ds.val_idx.end());
+  std::sort(ds.test_idx.begin(), ds.test_idx.end());
+  return ds;
+}
+
+SyntheticConfig PresetConfig(const std::string& name, double scale) {
+  BGC_CHECK_GT(scale, 0.0);
+  BGC_CHECK_LE(scale, 1.0);
+  SyntheticConfig cfg;
+  cfg.name = name;
+  if (name == "cora-sim") {
+    cfg.num_nodes = 2708;
+    cfg.num_classes = 7;
+    cfg.feature_dim = 96;
+    cfg.avg_degree = 4.0;
+    cfg.homophily = 0.81;
+    cfg.feature_noise = 0.75;
+    cfg.label_noise = 0.04;
+    cfg.train_per_class = 20;
+    cfg.val_size = 500;
+    cfg.test_size = 1000;
+  } else if (name == "citeseer-sim") {
+    cfg.num_nodes = 3327;
+    cfg.num_classes = 6;
+    cfg.feature_dim = 128;
+    cfg.avg_degree = 2.8;
+    cfg.homophily = 0.74;
+    cfg.feature_noise = 0.62;
+    cfg.label_noise = 0.05;
+    cfg.train_per_class = 20;
+    cfg.val_size = 500;
+    cfg.test_size = 1000;
+  } else if (name == "flickr-sim") {
+    cfg.num_nodes = 8000;
+    cfg.num_classes = 7;
+    cfg.feature_dim = 64;
+    cfg.avg_degree = 10.0;
+    cfg.homophily = 0.45;
+    cfg.feature_noise = 1.05;
+    cfg.label_noise = 0.28;
+    cfg.inductive = true;
+  } else if (name == "reddit-sim") {
+    cfg.num_nodes = 12000;
+    cfg.num_classes = 16;
+    cfg.feature_dim = 64;
+    cfg.avg_degree = 25.0;
+    cfg.homophily = 0.9;
+    cfg.feature_noise = 1.15;
+    cfg.label_noise = 0.08;
+    cfg.inductive = true;
+  } else if (name == "tiny-sim") {
+    cfg.num_nodes = 200;
+    cfg.num_classes = 3;
+    cfg.feature_dim = 16;
+    cfg.avg_degree = 4.0;
+    cfg.homophily = 0.85;
+    cfg.feature_noise = 0.5;
+    cfg.train_per_class = 10;
+    cfg.val_size = 40;
+    cfg.test_size = 80;
+  } else {
+    BGC_CHECK_MSG(false, "unknown dataset preset: " + name);
+  }
+  if (scale < 1.0) {
+    cfg.num_nodes = std::max(cfg.num_classes * 20,
+                             static_cast<int>(cfg.num_nodes * scale));
+    cfg.val_size = std::max(20, static_cast<int>(cfg.val_size * scale));
+    cfg.test_size = std::max(40, static_cast<int>(cfg.test_size * scale));
+    // Keep the labeled split a minority of the shrunken graph so val/test
+    // splits stay non-empty.
+    const int cap = cfg.num_nodes / (3 * cfg.num_classes);
+    cfg.train_per_class = std::max(2, std::min(cfg.train_per_class, cap));
+  }
+  return cfg;
+}
+
+GraphDataset MakeDataset(const std::string& name, uint64_t seed,
+                         double scale) {
+  return GenerateSynthetic(PresetConfig(name, scale), seed);
+}
+
+}  // namespace bgc::data

@@ -1,0 +1,152 @@
+#include "src/defense/defenses.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/check.h"
+#include "src/graph/graph_utils.h"
+#include "src/nn/trainer.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace bgc::defense {
+
+condense::CondensedGraph Prune(const condense::CondensedGraph& condensed,
+                               double prune_ratio) {
+  BGC_CHECK_GE(prune_ratio, 0.0);
+  BGC_CHECK_LE(prune_ratio, 1.0);
+  struct ScoredEdge {
+    int src;
+    int dst;
+    float weight;
+    float cosine;
+  };
+  std::vector<ScoredEdge> undirected;
+  std::vector<graph::Edge> self_loops;
+  for (const auto& e : condensed.adj.ToEdges()) {
+    if (e.src == e.dst) {
+      self_loops.push_back(e);
+      continue;
+    }
+    if (e.src < e.dst) {
+      undirected.push_back(
+          {e.src, e.dst, e.weight,
+           RowCosine(condensed.features, e.src, condensed.features, e.dst)});
+    }
+  }
+  std::vector<float> cosines;
+  cosines.reserve(undirected.size());
+  for (const auto& e : undirected) cosines.push_back(e.cosine);
+  std::sort(cosines.begin(), cosines.end());
+  const size_t cut =
+      static_cast<size_t>(prune_ratio * static_cast<double>(cosines.size()));
+  const float threshold =
+      cut == 0 ? -2.0f
+               : cosines[std::min(cut, cosines.size()) - 1];
+
+  condense::CondensedGraph out = condensed;
+  std::vector<graph::Edge> kept = self_loops;
+  size_t dropped = 0;
+  for (const auto& e : undirected) {
+    // Drop the lowest `cut` similarities (ties resolved by keeping count).
+    if (e.cosine <= threshold && dropped < cut) {
+      ++dropped;
+      continue;
+    }
+    kept.push_back({e.src, e.dst, e.weight});
+    kept.push_back({e.dst, e.src, e.weight});
+  }
+  out.adj = graph::CsrMatrix::FromEdges(condensed.adj.rows(),
+                                        condensed.adj.cols(), kept,
+                                        /*symmetrize=*/false);
+  return out;
+}
+
+condense::CondensedGraph JaccardPrune(
+    const condense::CondensedGraph& condensed, double threshold) {
+  const auto& adj = condensed.adj;
+  const auto& rp = adj.row_ptr();
+  const auto& ci = adj.col_idx();
+  auto neighbors = [&](int v) {
+    return std::vector<int>(ci.begin() + rp[v], ci.begin() + rp[v + 1]);
+  };
+  auto jaccard = [&](int u, int v) {
+    std::vector<int> nu = neighbors(u), nv = neighbors(v);
+    // CSR columns are sorted; set intersection in one pass.
+    size_t i = 0, j = 0, both = 0;
+    while (i < nu.size() && j < nv.size()) {
+      if (nu[i] == nv[j]) {
+        ++both;
+        ++i;
+        ++j;
+      } else if (nu[i] < nv[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    const size_t either = nu.size() + nv.size() - both;
+    return either == 0 ? 0.0 : static_cast<double>(both) / either;
+  };
+  std::vector<graph::Edge> kept;
+  for (const auto& e : adj.ToEdges()) {
+    if (e.src == e.dst || e.src > e.dst) {
+      if (e.src == e.dst) kept.push_back(e);
+      continue;
+    }
+    if (jaccard(e.src, e.dst) >= threshold) {
+      kept.push_back(e);
+      kept.push_back({e.dst, e.src, e.weight});
+    }
+  }
+  condense::CondensedGraph out = condensed;
+  out.adj = graph::CsrMatrix::FromEdges(adj.rows(), adj.cols(), kept,
+                                        /*symmetrize=*/false);
+  return out;
+}
+
+condense::CondensedGraph FilterFeatureOutliers(
+    const condense::CondensedGraph& condensed, double mad_multiplier) {
+  BGC_CHECK_GT(mad_multiplier, 0.0);
+  Matrix norms = RowNorm(condensed.features);
+  std::vector<float> sorted(norms.data(), norms.data() + norms.size());
+  std::sort(sorted.begin(), sorted.end());
+  const float median = sorted[sorted.size() / 2];
+  std::vector<float> deviations;
+  deviations.reserve(sorted.size());
+  for (float n : sorted) deviations.push_back(std::fabs(n - median));
+  std::sort(deviations.begin(), deviations.end());
+  // Guard against a degenerate MAD of 0 (identical norms).
+  const float mad = std::max(deviations[deviations.size() / 2],
+                             1e-6f * std::max(median, 1.0f));
+
+  std::vector<int> keep;
+  for (int i = 0; i < norms.rows(); ++i) {
+    if (std::fabs(norms(i, 0) - median) <= mad_multiplier * mad) {
+      keep.push_back(i);
+    }
+  }
+  condense::CondensedGraph out;
+  out.adj = graph::InducedSubgraph(condensed.adj, keep);
+  out.features = GatherRows(condensed.features, keep);
+  out.labels.reserve(keep.size());
+  for (int i : keep) out.labels.push_back(condensed.labels[i]);
+  out.num_classes = condensed.num_classes;
+  out.use_structure = condensed.use_structure;
+  return out;
+}
+
+Matrix RandsmoothPredict(nn::GnnModel& model, const graph::CsrMatrix& adj,
+                         const Matrix& x, int num_samples, double keep_prob,
+                         Rng& rng) {
+  BGC_CHECK_GT(num_samples, 0);
+  Matrix votes(x.rows(), model.config().out_dim);
+  for (int s = 0; s < num_samples; ++s) {
+    graph::CsrMatrix sampled = graph::DropEdges(adj, keep_prob, rng);
+    Matrix logits = nn::PredictLogits(model, sampled, x);
+    std::vector<int> pred = ArgmaxRows(logits);
+    for (int i = 0; i < x.rows(); ++i) votes(i, pred[i]) += 1.0f;
+  }
+  return votes;
+}
+
+}  // namespace bgc::defense

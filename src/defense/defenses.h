@@ -1,0 +1,44 @@
+#ifndef BGC_DEFENSE_DEFENSES_H_
+#define BGC_DEFENSE_DEFENSES_H_
+
+#include "src/condense/condenser.h"
+#include "src/core/rng.h"
+#include "src/nn/models.h"
+
+namespace bgc::defense {
+
+/// Prune defense (dataset-level; Dai et al. [4], §6.4): drops the
+/// condensed-graph edges whose endpoint feature cosine similarity falls in
+/// the lowest `prune_ratio` fraction — the classic countermeasure against
+/// trigger edges linking dissimilar nodes. Self-loops are kept. Returns the
+/// pruned condensed graph the victim then trains on.
+condense::CondensedGraph Prune(const condense::CondensedGraph& condensed,
+                               double prune_ratio = 0.2);
+
+/// Randsmooth defense (model-level; Zhang et al. [66], §6.4): smoothed
+/// inference by majority vote over `num_samples` predictions, each on an
+/// independently edge-subsampled graph (every undirected edge kept with
+/// probability `keep_prob`). Returns per-class vote counts (argmax = the
+/// smoothed prediction), shape n×C.
+Matrix RandsmoothPredict(nn::GnnModel& model, const graph::CsrMatrix& adj,
+                         const Matrix& x, int num_samples, double keep_prob,
+                         Rng& rng);
+
+/// Extension: Jaccard structural pruning (Wu et al., "Adversarial Examples
+/// on Graph Data"): drops edges whose endpoints share too few neighbors —
+/// Jaccard(N(u), N(v)) < `threshold` — a purely structural sibling of the
+/// cosine Prune. Self-loops are kept.
+condense::CondensedGraph JaccardPrune(
+    const condense::CondensedGraph& condensed, double threshold = 0.01);
+
+/// Extension: feature-magnitude outlier filter. Removes condensed nodes
+/// whose feature norm deviates from the median by more than
+/// `mad_multiplier` median-absolute-deviations — the natural screen against
+/// naive trigger injection, whose payloads sit far outside the data scale.
+/// Returns the filtered condensed graph (node ids remapped).
+condense::CondensedGraph FilterFeatureOutliers(
+    const condense::CondensedGraph& condensed, double mad_multiplier = 5.0);
+
+}  // namespace bgc::defense
+
+#endif  // BGC_DEFENSE_DEFENSES_H_

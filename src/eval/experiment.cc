@@ -1,0 +1,105 @@
+#include "src/eval/experiment.h"
+
+#include "src/attack/gta.h"
+#include "src/attack/naive.h"
+#include "src/core/check.h"
+#include "src/data/synthetic.h"
+
+namespace bgc::eval {
+namespace {
+
+attack::AttackResult Dispatch(const RunSpec& spec,
+                              const condense::SourceGraph& clean,
+                              int num_classes, Rng& rng) {
+  auto condenser = condense::MakeCondenser(spec.method);
+  attack::AttackConfig acfg = spec.attack_cfg;
+  if (spec.attack == "bgc") {
+    return attack::RunBgc(clean, num_classes, *condenser, spec.condense,
+                          acfg, rng);
+  }
+  if (spec.attack == "bgc-rand") {
+    acfg.selection = "random";
+    return attack::RunBgc(clean, num_classes, *condenser, spec.condense,
+                          acfg, rng);
+  }
+  if (spec.attack == "doorping") {
+    acfg.trigger_type = "universal";
+    return attack::RunBgc(clean, num_classes, *condenser, spec.condense,
+                          acfg, rng);
+  }
+  if (spec.attack == "gta") {
+    return attack::RunGta(clean, num_classes, *condenser, spec.condense,
+                          acfg, rng);
+  }
+  if (spec.attack == "naive") {
+    return attack::RunNaivePoison(clean, num_classes, *condenser,
+                                  spec.condense, acfg, rng);
+  }
+  BGC_CHECK_MSG(false, "unknown attack: " + spec.attack);
+  return {};
+}
+
+}  // namespace
+
+RepeatResult RunOnce(const RunSpec& spec, uint64_t seed) {
+  RepeatResult out;
+  data::GraphDataset ds =
+      data::MakeDataset(spec.dataset, seed, spec.dataset_scale);
+  data::TrainView view = data::MakeTrainView(ds);
+  condense::SourceGraph clean = condense::FromTrainView(view);
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 17);
+
+  if (spec.attack == "none") {
+    auto condenser = condense::MakeCondenser(spec.method);
+    condense::CondensedGraph condensed = condense::RunCondensation(
+        *condenser, clean, ds.num_classes, spec.condense, rng);
+    auto victim = TrainVictim(condensed, spec.victim, rng);
+    out.backdoor = EvaluateVictim(*victim, ds, /*generator=*/nullptr,
+                                  spec.attack_cfg.target_class);
+    return out;
+  }
+
+  attack::AttackResult attacked =
+      Dispatch(spec, clean, ds.num_classes, rng);
+  auto victim = TrainVictim(attacked.condensed, spec.victim, rng);
+  out.backdoor = EvaluateVictim(*victim, ds, attacked.generator.get(),
+                                spec.attack_cfg.target_class);
+
+  if (spec.eval_clean_baseline) {
+    auto clean_condenser = condense::MakeCondenser(spec.method);
+    Rng clean_rng(seed * 0x9e3779b97f4a7c15ULL + 18);
+    condense::CondensedGraph condensed = condense::RunCondensation(
+        *clean_condenser, clean, ds.num_classes, spec.condense, clean_rng);
+    auto clean_victim = TrainVictim(condensed, spec.victim, clean_rng);
+    // C-ASR probes the *clean* GNN with the attack's triggers.
+    out.clean = EvaluateVictim(*clean_victim, ds, attacked.generator.get(),
+                               spec.attack_cfg.target_class);
+    out.has_clean = true;
+  }
+  return out;
+}
+
+CellStats RunExperiment(const RunSpec& spec) {
+  BGC_CHECK_GT(spec.repeats, 0);
+  std::vector<double> cta, asr, c_cta, c_asr;
+  bool has_clean = false;
+  for (int r = 0; r < spec.repeats; ++r) {
+    RepeatResult rr = RunOnce(spec, spec.seed + r);
+    cta.push_back(rr.backdoor.cta);
+    asr.push_back(rr.backdoor.asr);
+    if (rr.has_clean) {
+      has_clean = true;
+      c_cta.push_back(rr.clean.cta);
+      c_asr.push_back(rr.clean.asr);
+    }
+  }
+  CellStats stats;
+  stats.cta = ComputeMeanStd(cta);
+  stats.asr = ComputeMeanStd(asr);
+  stats.c_cta = ComputeMeanStd(c_cta);
+  stats.c_asr = ComputeMeanStd(c_asr);
+  stats.has_clean = has_clean;
+  return stats;
+}
+
+}  // namespace bgc::eval

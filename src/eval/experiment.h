@@ -1,0 +1,55 @@
+#ifndef BGC_EVAL_EXPERIMENT_H_
+#define BGC_EVAL_EXPERIMENT_H_
+
+#include <string>
+
+#include "src/attack/bgc.h"
+#include "src/condense/condenser.h"
+#include "src/core/stats.h"
+#include "src/eval/pipeline.h"
+
+namespace bgc::eval {
+
+/// One experiment cell: dataset × condensation method × attack × victim,
+/// repeated `repeats` times with shifted seeds.
+struct RunSpec {
+  std::string dataset = "cora-sim";
+  double dataset_scale = 1.0;
+  uint64_t seed = 1;
+  int repeats = 2;
+  std::string method = "gcond";
+  /// "none" | "bgc" | "bgc-rand" | "doorping" | "gta" | "naive".
+  std::string attack = "bgc";
+  condense::CondenseConfig condense;
+  attack::AttackConfig attack_cfg;
+  VictimConfig victim;
+  /// Also run a clean condensation per repeat to fill C-CTA / C-ASR
+  /// (attack must not be "none").
+  bool eval_clean_baseline = true;
+};
+
+/// Aggregated results of a cell, matching the paper's Table 2 columns.
+struct CellStats {
+  MeanStd cta;    // backdoored GNN clean accuracy
+  MeanStd asr;    // backdoored GNN attack success rate
+  MeanStd c_cta;  // clean GNN accuracy (clean condensation)
+  MeanStd c_asr;  // triggers against the clean GNN
+  bool has_clean = false;
+};
+
+/// Result of a single repeat, exposed for epoch-sweep style experiments.
+struct RepeatResult {
+  AttackMetrics backdoor;
+  AttackMetrics clean;
+  bool has_clean = false;
+};
+
+/// Runs one repeat with the given seed offset.
+RepeatResult RunOnce(const RunSpec& spec, uint64_t seed);
+
+/// Runs `spec.repeats` repeats and aggregates.
+CellStats RunExperiment(const RunSpec& spec);
+
+}  // namespace bgc::eval
+
+#endif  // BGC_EVAL_EXPERIMENT_H_

@@ -1,0 +1,73 @@
+#include "src/eval/pipeline.h"
+
+#include "src/attack/attach.h"
+#include "src/core/check.h"
+#include "src/nn/trainer.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace bgc::eval {
+
+std::unique_ptr<nn::GnnModel> TrainVictim(
+    const condense::CondensedGraph& condensed, const VictimConfig& config,
+    Rng& rng) {
+  nn::GnnConfig mc;
+  mc.in_dim = condensed.features.cols();
+  mc.hidden_dim = config.hidden;
+  mc.out_dim = condensed.num_classes;
+  mc.num_layers = config.layers;
+  mc.dropout = config.dropout;
+  auto model = nn::MakeModel(config.arch, mc, rng);
+  nn::TrainConfig tc;
+  tc.epochs = config.epochs;
+  tc.lr = config.lr;
+  tc.weight_decay = config.weight_decay;
+  tc.seed = rng.NextU64();
+  nn::TrainNodeClassifier(*model, condensed.adj, condensed.features,
+                          condensed.labels, /*train_idx=*/{}, tc);
+  return model;
+}
+
+AttackMetrics EvaluateWithPredict(const PredictFn& predict,
+                                  const data::GraphDataset& dataset,
+                                  const attack::TriggerGenerator* generator,
+                                  int target_class) {
+  AttackMetrics metrics;
+  // CTA on the clean graph.
+  Matrix clean_logits = predict(dataset.adj, dataset.features);
+  metrics.cta =
+      nn::Accuracy(clean_logits, dataset.labels, dataset.test_idx);
+  if (generator == nullptr) return metrics;
+
+  // ASR: trigger every test node whose true label differs from the target.
+  std::vector<int> hosts;
+  for (int idx : dataset.test_idx) {
+    if (dataset.labels[idx] != target_class) hosts.push_back(idx);
+  }
+  if (hosts.empty()) return metrics;
+  condense::SourceGraph full;
+  full.adj = dataset.adj;
+  full.features = dataset.features;
+  full.labels = dataset.labels;
+  auto triggers = generator->Generate(full, hosts);
+  attack::AugmentedGraph aug =
+      attack::AttachToGraph(dataset.adj, dataset.features, hosts, triggers);
+  Matrix logits = predict(aug.adj, aug.features);
+  std::vector<int> pred = ArgmaxRows(logits);
+  long long hit = 0;
+  for (int host : hosts) hit += pred[host] == target_class;
+  metrics.asr = static_cast<double>(hit) / static_cast<double>(hosts.size());
+  return metrics;
+}
+
+AttackMetrics EvaluateVictim(nn::GnnModel& victim,
+                             const data::GraphDataset& dataset,
+                             const attack::TriggerGenerator* generator,
+                             int target_class) {
+  PredictFn predict = [&victim](const graph::CsrMatrix& adj,
+                                const Matrix& x) {
+    return nn::PredictLogits(victim, adj, x);
+  };
+  return EvaluateWithPredict(predict, dataset, generator, target_class);
+}
+
+}  // namespace bgc::eval

@@ -1,0 +1,63 @@
+#ifndef BGC_EVAL_PIPELINE_H_
+#define BGC_EVAL_PIPELINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/attack/trigger.h"
+#include "src/condense/condenser.h"
+#include "src/data/dataset.h"
+#include "src/nn/models.h"
+
+namespace bgc::eval {
+
+/// Downstream ("victim") model configuration. The provider does not know
+/// this — it is the customer's training setup (paper §5: GCN by default,
+/// Table 4 sweeps architectures).
+struct VictimConfig {
+  std::string arch = "gcn";
+  int hidden = 64;
+  int layers = 2;
+  float dropout = 0.5f;
+  int epochs = 200;
+  float lr = 0.01f;
+  float weight_decay = 5e-4f;
+};
+
+/// Trains a victim GNN on the condensed graph (all synthetic nodes
+/// labeled).
+std::unique_ptr<nn::GnnModel> TrainVictim(
+    const condense::CondensedGraph& condensed, const VictimConfig& config,
+    Rng& rng);
+
+/// CTA (clean test accuracy) + ASR (attack success rate) of one victim.
+struct AttackMetrics {
+  double cta = 0.0;
+  double asr = 0.0;
+};
+
+/// Inference function: logits (or vote counts) for (adj, features). Lets
+/// model-level defenses (Randsmooth) substitute their own prediction rule.
+using PredictFn =
+    std::function<Matrix(const graph::CsrMatrix&, const Matrix&)>;
+
+/// Evaluates the paper's two metrics:
+///  - CTA: accuracy of `predict` on the clean test split.
+///  - ASR: triggers from `generator` are attached to every test node whose
+///    true label != target_class; ASR is the fraction classified as
+///    target_class. Zero when `generator` is null.
+AttackMetrics EvaluateWithPredict(const PredictFn& predict,
+                                  const data::GraphDataset& dataset,
+                                  const attack::TriggerGenerator* generator,
+                                  int target_class);
+
+/// EvaluateWithPredict over plain victim inference.
+AttackMetrics EvaluateVictim(nn::GnnModel& victim,
+                             const data::GraphDataset& dataset,
+                             const attack::TriggerGenerator* generator,
+                             int target_class);
+
+}  // namespace bgc::eval
+
+#endif  // BGC_EVAL_PIPELINE_H_

@@ -1,0 +1,47 @@
+#include "src/eval/table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "src/core/check.h"
+
+namespace bgc::eval {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  BGC_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t j = 0; j < headers_.size(); ++j) widths[j] = headers_[j].size();
+  for (const auto& row : rows_) {
+    for (size_t j = 0; j < row.size(); ++j) {
+      widths[j] = std::max(widths[j], row[j].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t j = 0; j < row.size(); ++j) {
+      os << "| " << row[j] << std::string(widths[j] - row[j].size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  print_row(headers_);
+  for (size_t j = 0; j < headers_.size(); ++j) {
+    os << "|" << std::string(widths[j] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TextTable::ToString() const {
+  std::ostringstream os;
+  Print(os);
+  return os.str();
+}
+
+}  // namespace bgc::eval

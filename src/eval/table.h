@@ -1,0 +1,32 @@
+#ifndef BGC_EVAL_TABLE_H_
+#define BGC_EVAL_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bgc::eval {
+
+/// Fixed-width ASCII table used by the bench binaries to print the paper's
+/// tables. Column widths adapt to content.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with a header separator line.
+  void Print(std::ostream& os) const;
+
+  /// Renders to a string (testing convenience).
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bgc::eval
+
+#endif  // BGC_EVAL_TABLE_H_

@@ -1,0 +1,205 @@
+#include "src/graph/csr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/check.h"
+
+namespace bgc::graph {
+
+CsrMatrix CsrMatrix::FromEdges(int rows, int cols,
+                               const std::vector<Edge>& edges,
+                               bool symmetrize) {
+  BGC_CHECK_GE(rows, 0);
+  BGC_CHECK_GE(cols, 0);
+  std::vector<Edge> all;
+  all.reserve(edges.size() * (symmetrize ? 2 : 1));
+  for (const Edge& e : edges) {
+    BGC_CHECK_GE(e.src, 0);
+    BGC_CHECK_LT(e.src, rows);
+    BGC_CHECK_GE(e.dst, 0);
+    BGC_CHECK_LT(e.dst, cols);
+    all.push_back(e);
+    if (symmetrize && e.src != e.dst) {
+      BGC_CHECK_EQ(rows, cols);
+      all.push_back({e.dst, e.src, e.weight});
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows + 1, 0);
+  m.col_idx_.reserve(all.size());
+  m.values_.reserve(all.size());
+  size_t i = 0;
+  for (int r = 0; r < rows; ++r) {
+    while (i < all.size() && all[i].src == r) {
+      // Coalesce duplicates by summing weights.
+      int c = all[i].dst;
+      float w = 0.0f;
+      while (i < all.size() && all[i].src == r && all[i].dst == c) {
+        w += all[i].weight;
+        ++i;
+      }
+      m.col_idx_.push_back(c);
+      m.values_.push_back(w);
+    }
+    m.row_ptr_[r + 1] = static_cast<int>(m.col_idx_.size());
+  }
+  return m;
+}
+
+CsrMatrix CsrMatrix::FromDense(const Matrix& dense, float threshold) {
+  std::vector<Edge> edges;
+  for (int i = 0; i < dense.rows(); ++i) {
+    const float* row = dense.RowPtr(i);
+    for (int j = 0; j < dense.cols(); ++j) {
+      if (std::fabs(row[j]) > threshold) edges.push_back({i, j, row[j]});
+    }
+  }
+  return FromEdges(dense.rows(), dense.cols(), edges, /*symmetrize=*/false);
+}
+
+CsrMatrix CsrMatrix::Identity(int n) {
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (int i = 0; i < n; ++i) edges.push_back({i, i, 1.0f});
+  return FromEdges(n, n, edges, /*symmetrize=*/false);
+}
+
+float CsrMatrix::At(int r, int c) const {
+  BGC_CHECK_GE(r, 0);
+  BGC_CHECK_LT(r, rows_);
+  const int begin = row_ptr_[r], end = row_ptr_[r + 1];
+  auto it = std::lower_bound(col_idx_.begin() + begin, col_idx_.begin() + end,
+                             c);
+  if (it != col_idx_.begin() + end && *it == c) {
+    return values_[static_cast<size_t>(it - col_idx_.begin())];
+  }
+  return 0.0f;
+}
+
+float CsrMatrix::RowWeightSum(int r) const {
+  float s = 0.0f;
+  for (int k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) s += values_[k];
+  return s;
+}
+
+Matrix CsrMatrix::Multiply(const Matrix& dense) const {
+  BGC_CHECK_EQ(cols_, dense.rows());
+  Matrix out(rows_, dense.cols());
+  const int m = dense.cols();
+  for (int r = 0; r < rows_; ++r) {
+    float* orow = out.RowPtr(r);
+    for (int k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const float w = values_[k];
+      const float* drow = dense.RowPtr(col_idx_[k]);
+      for (int j = 0; j < m; ++j) orow[j] += w * drow[j];
+    }
+  }
+  return out;
+}
+
+Matrix CsrMatrix::MultiplyTransposed(const Matrix& dense) const {
+  BGC_CHECK_EQ(rows_, dense.rows());
+  Matrix out(cols_, dense.cols());
+  const int m = dense.cols();
+  for (int r = 0; r < rows_; ++r) {
+    const float* drow = dense.RowPtr(r);
+    for (int k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const float w = values_[k];
+      float* orow = out.RowPtr(col_idx_[k]);
+      for (int j = 0; j < m; ++j) orow[j] += w * drow[j];
+    }
+  }
+  return out;
+}
+
+Matrix CsrMatrix::ToDense() const {
+  Matrix out(rows_, cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      out(r, col_idx_[k]) = values_[k];
+    }
+  }
+  return out;
+}
+
+std::vector<Edge> CsrMatrix::ToEdges() const {
+  std::vector<Edge> edges;
+  edges.reserve(col_idx_.size());
+  for (int r = 0; r < rows_; ++r) {
+    for (int k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      edges.push_back({r, col_idx_[k], values_[k]});
+    }
+  }
+  return edges;
+}
+
+namespace {
+
+/// Applies w_ij <- scale_i * w_ij * scale_j to every stored entry.
+CsrMatrix ScaleSym(const CsrMatrix& adj, const std::vector<float>& scale) {
+  CsrMatrix out = adj;
+  auto& vals = out.mutable_values();
+  const auto& rp = out.row_ptr();
+  const auto& ci = out.col_idx();
+  for (int r = 0; r < out.rows(); ++r) {
+    for (int k = rp[r]; k < rp[r + 1]; ++k) {
+      vals[k] *= scale[r] * scale[ci[k]];
+    }
+  }
+  return out;
+}
+
+std::vector<float> InvSqrtDegrees(const CsrMatrix& adj) {
+  std::vector<float> scale(adj.rows(), 0.0f);
+  for (int r = 0; r < adj.rows(); ++r) {
+    const float d = adj.RowWeightSum(r);
+    scale[r] = d > 0.0f ? 1.0f / std::sqrt(d) : 0.0f;
+  }
+  return scale;
+}
+
+}  // namespace
+
+CsrMatrix GcnNormalize(const CsrMatrix& adj) {
+  BGC_CHECK_EQ(adj.rows(), adj.cols());
+  // A + I, coalescing with any existing self-loops.
+  std::vector<Edge> edges = adj.ToEdges();
+  for (int i = 0; i < adj.rows(); ++i) edges.push_back({i, i, 1.0f});
+  CsrMatrix hat = CsrMatrix::FromEdges(adj.rows(), adj.cols(), edges,
+                                       /*symmetrize=*/false);
+  return ScaleSym(hat, InvSqrtDegrees(hat));
+}
+
+CsrMatrix SymNormalize(const CsrMatrix& adj) {
+  BGC_CHECK_EQ(adj.rows(), adj.cols());
+  return ScaleSym(adj, InvSqrtDegrees(adj));
+}
+
+CsrMatrix RowNormalize(const CsrMatrix& adj) {
+  CsrMatrix out = adj;
+  auto& vals = out.mutable_values();
+  const auto& rp = out.row_ptr();
+  for (int r = 0; r < out.rows(); ++r) {
+    const float d = adj.RowWeightSum(r);
+    if (d <= 0.0f) continue;
+    const float inv = 1.0f / d;
+    for (int k = rp[r]; k < rp[r + 1]; ++k) vals[k] *= inv;
+  }
+  return out;
+}
+
+CsrMatrix ChebyOperator(const CsrMatrix& adj) {
+  CsrMatrix norm = SymNormalize(adj);
+  auto& vals = norm.mutable_values();
+  for (auto& v : vals) v = -v;
+  return norm;
+}
+
+}  // namespace bgc::graph

@@ -1,0 +1,100 @@
+#ifndef BGC_GRAPH_CSR_H_
+#define BGC_GRAPH_CSR_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/tensor/matrix.h"
+
+namespace bgc::graph {
+
+/// Directed edge with an optional weight (1.0 for unweighted graphs).
+struct Edge {
+  int src = 0;
+  int dst = 0;
+  float weight = 1.0f;
+};
+
+/// Compressed sparse row matrix over float weights.
+///
+/// The adjacency structure of every graph in the library is a CsrMatrix.
+/// Construction happens through the static builders, which sort and
+/// deduplicate entries (duplicate coordinates are summed). Instances are
+/// immutable after construction; graph edits (e.g. trigger attachment,
+/// defense pruning) build a new CsrMatrix.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds from a COO triplet list. If `symmetrize` is true, every edge
+  /// (u, v) also inserts (v, u). Self-loops in the input are kept as given.
+  static CsrMatrix FromEdges(int rows, int cols, const std::vector<Edge>& edges,
+                             bool symmetrize);
+
+  /// Builds from a dense matrix, keeping entries with |value| > threshold.
+  static CsrMatrix FromDense(const Matrix& dense, float threshold = 0.0f);
+
+  /// n×n identity.
+  static CsrMatrix Identity(int n);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  /// Number of stored entries.
+  int nnz() const { return static_cast<int>(col_idx_.size()); }
+
+  const std::vector<int>& row_ptr() const { return row_ptr_; }
+  const std::vector<int>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+
+  /// Mutable values (structure stays fixed); used by normalization.
+  std::vector<float>& mutable_values() { return values_; }
+
+  /// Entry (r, c), 0 if not stored. O(log degree).
+  float At(int r, int c) const;
+
+  /// Out-degree (stored entries) of row r.
+  int RowNnz(int r) const { return row_ptr_[r + 1] - row_ptr_[r]; }
+
+  /// Sum of stored values in row r.
+  float RowWeightSum(int r) const;
+
+  /// Dense n×m product: this (n×k) * dense (k×m).
+  Matrix Multiply(const Matrix& dense) const;
+
+  /// thisᵀ * dense without materializing the transpose.
+  Matrix MultiplyTransposed(const Matrix& dense) const;
+
+  /// Materializes to a dense matrix (small graphs / tests only).
+  Matrix ToDense() const;
+
+  /// Returns the COO triplets (sorted by row then column).
+  std::vector<Edge> ToEdges() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<int> row_ptr_{0};
+  std::vector<int> col_idx_;
+  std::vector<float> values_;
+};
+
+/// Symmetric GCN normalization: D̂^{-1/2} (A + I) D̂^{-1/2} where D̂ is the
+/// degree of A + I. This is the propagation operator of Kipf & Welling GCNs
+/// and of SGC; all condensation surrogates use it.
+CsrMatrix GcnNormalize(const CsrMatrix& adj);
+
+/// Symmetric normalization without adding self-loops:
+/// D^{-1/2} A D^{-1/2} (rows/cols with zero degree stay zero).
+CsrMatrix SymNormalize(const CsrMatrix& adj);
+
+/// Row normalization D^{-1} A (mean aggregation for GraphSAGE).
+CsrMatrix RowNormalize(const CsrMatrix& adj);
+
+/// Scaled Chebyshev operator L̃ = -D^{-1/2} A D^{-1/2} under the standard
+/// λ_max ≈ 2 approximation (so L̃ = 2L/λ_max - I with L the normalized
+/// Laplacian). Used by ChebyNet.
+CsrMatrix ChebyOperator(const CsrMatrix& adj);
+
+}  // namespace bgc::graph
+
+#endif  // BGC_GRAPH_CSR_H_

@@ -1,0 +1,122 @@
+#include "src/graph/graph_utils.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/core/check.h"
+
+namespace bgc::graph {
+
+std::vector<float> Degrees(const CsrMatrix& adj) {
+  std::vector<float> deg(adj.rows());
+  for (int r = 0; r < adj.rows(); ++r) deg[r] = adj.RowWeightSum(r);
+  return deg;
+}
+
+CsrMatrix InducedSubgraph(const CsrMatrix& adj,
+                          const std::vector<int>& nodes) {
+  std::vector<int> remap(adj.rows(), -1);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    BGC_CHECK_GE(nodes[i], 0);
+    BGC_CHECK_LT(nodes[i], adj.rows());
+    BGC_CHECK_EQ(remap[nodes[i]], -1);  // no duplicates
+    remap[nodes[i]] = static_cast<int>(i);
+  }
+  std::vector<Edge> edges;
+  const auto& rp = adj.row_ptr();
+  const auto& ci = adj.col_idx();
+  const auto& vals = adj.values();
+  for (int old_src : nodes) {
+    for (int k = rp[old_src]; k < rp[old_src + 1]; ++k) {
+      const int old_dst = ci[k];
+      if (remap[old_dst] < 0) continue;
+      edges.push_back({remap[old_src], remap[old_dst], vals[k]});
+    }
+  }
+  return CsrMatrix::FromEdges(static_cast<int>(nodes.size()),
+                              static_cast<int>(nodes.size()), edges,
+                              /*symmetrize=*/false);
+}
+
+CsrMatrix AugmentGraph(const CsrMatrix& adj, int num_extra,
+                       const std::vector<Edge>& extra_edges) {
+  BGC_CHECK_GE(num_extra, 0);
+  const int n = adj.rows() + num_extra;
+  std::vector<Edge> edges = adj.ToEdges();
+  for (const Edge& e : extra_edges) {
+    edges.push_back(e);
+    if (e.src != e.dst) edges.push_back({e.dst, e.src, e.weight});
+  }
+  return CsrMatrix::FromEdges(n, n, edges, /*symmetrize=*/false);
+}
+
+CsrMatrix DropEdges(const CsrMatrix& adj, double keep_prob, Rng& rng) {
+  std::vector<Edge> kept;
+  const auto& rp = adj.row_ptr();
+  const auto& ci = adj.col_idx();
+  const auto& vals = adj.values();
+  for (int r = 0; r < adj.rows(); ++r) {
+    for (int k = rp[r]; k < rp[r + 1]; ++k) {
+      const int c = ci[k];
+      if (c == r) {
+        kept.push_back({r, c, vals[k]});
+        continue;
+      }
+      // Flip one coin per undirected pair at its (src < dst) visit and
+      // mirror the decision.
+      if (r < c) {
+        if (rng.Bernoulli(keep_prob)) {
+          kept.push_back({r, c, vals[k]});
+          kept.push_back({c, r, adj.At(c, r)});
+        }
+      }
+    }
+  }
+  return CsrMatrix::FromEdges(adj.rows(), adj.cols(), kept,
+                              /*symmetrize=*/false);
+}
+
+double EdgeHomophily(const CsrMatrix& adj, const std::vector<int>& labels) {
+  BGC_CHECK_EQ(static_cast<int>(labels.size()), adj.rows());
+  const auto& rp = adj.row_ptr();
+  const auto& ci = adj.col_idx();
+  long long total = 0, same = 0;
+  for (int r = 0; r < adj.rows(); ++r) {
+    for (int k = rp[r]; k < rp[r + 1]; ++k) {
+      if (ci[k] == r) continue;
+      ++total;
+      if (labels[r] == labels[ci[k]]) ++same;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(same) / static_cast<double>(total);
+}
+
+std::vector<int> EgoNetwork(const CsrMatrix& adj, int seed, int hops) {
+  BGC_CHECK_GE(seed, 0);
+  BGC_CHECK_LT(seed, adj.rows());
+  std::vector<int> dist(adj.rows(), -1);
+  std::queue<int> frontier;
+  dist[seed] = 0;
+  frontier.push(seed);
+  std::vector<int> out;
+  const auto& rp = adj.row_ptr();
+  const auto& ci = adj.col_idx();
+  while (!frontier.empty()) {
+    int u = frontier.front();
+    frontier.pop();
+    out.push_back(u);
+    if (dist[u] == hops) continue;
+    for (int k = rp[u]; k < rp[u + 1]; ++k) {
+      int v = ci[k];
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace bgc::graph

@@ -1,0 +1,39 @@
+#ifndef BGC_GRAPH_GRAPH_UTILS_H_
+#define BGC_GRAPH_GRAPH_UTILS_H_
+
+#include <vector>
+
+#include "src/core/rng.h"
+#include "src/graph/csr.h"
+
+namespace bgc::graph {
+
+/// Weighted out-degree of every node.
+std::vector<float> Degrees(const CsrMatrix& adj);
+
+/// Induced subgraph on `nodes`; node `nodes[i]` becomes node i. Edges with
+/// an endpoint outside `nodes` are dropped.
+CsrMatrix InducedSubgraph(const CsrMatrix& adj, const std::vector<int>& nodes);
+
+/// Grows the graph by `num_extra` fresh nodes (ids n .. n+num_extra-1) and
+/// inserts `extra_edges` (symmetrized). Existing edges are preserved.
+/// This is the primitive behind trigger attachment.
+CsrMatrix AugmentGraph(const CsrMatrix& adj, int num_extra,
+                       const std::vector<Edge>& extra_edges);
+
+/// Randomly keeps each undirected edge with probability `keep_prob`
+/// (self-loops always kept). Both directions of a pair share one coin flip,
+/// so the result stays symmetric. Used by the Randsmooth defense.
+CsrMatrix DropEdges(const CsrMatrix& adj, double keep_prob, Rng& rng);
+
+/// Fraction of (directed) edges whose endpoints share a label; self-loops
+/// are ignored. Standard edge-homophily diagnostic for synthetic data.
+double EdgeHomophily(const CsrMatrix& adj, const std::vector<int>& labels);
+
+/// Nodes within `hops` of `seed` (including `seed`), in ascending id order.
+/// The ego network is the computation graph G_C^i of a `hops`-layer GNN.
+std::vector<int> EgoNetwork(const CsrMatrix& adj, int seed, int hops);
+
+}  // namespace bgc::graph
+
+#endif  // BGC_GRAPH_GRAPH_UTILS_H_

@@ -1,0 +1,403 @@
+#include "src/nn/models.h"
+
+#include "src/core/check.h"
+
+namespace bgc::nn {
+
+Propagators MakePropagators(const graph::CsrMatrix& adj) {
+  Propagators p;
+  p.gcn = graph::GcnNormalize(adj);
+  p.row = graph::RowNormalize(adj);
+  p.cheb = graph::ChebyOperator(adj);
+  p.sum = adj;
+  return p;
+}
+
+ag::Var GnnModel::Bind(ag::Tape& tape, Param& p) {
+  ag::Var v = tape.Input(p.value);
+  bound_.push_back({&p, v});
+  return v;
+}
+
+void GnnModel::BeginForward() { bound_.clear(); }
+
+void GnnModel::CollectGrads(const ag::Tape& tape) {
+  for (auto& [param, var] : bound_) {
+    param->grad = tape.grad(var);
+  }
+}
+
+namespace {
+
+/// Kipf & Welling GCN: H_{l+1} = relu(Â (H_l W_l) + b_l); final layer
+/// linear. Dropout applied to each layer's input during training.
+class Gcn : public GnnModel {
+ public:
+  explicit Gcn(const GnnConfig& c) : GnnModel(c) {}
+
+  void Init(Rng& rng) override {
+    weights_.clear();
+    biases_.clear();
+    int in = config_.in_dim;
+    for (int l = 0; l < config_.num_layers; ++l) {
+      const int out =
+          l + 1 == config_.num_layers ? config_.out_dim : config_.hidden_dim;
+      weights_.emplace_back(Matrix::GlorotUniform(in, out, rng));
+      biases_.emplace_back(Matrix(1, out));
+      in = out;
+    }
+  }
+
+  ag::Var Forward(ag::Tape& t, const Propagators& props, ag::Var x, Rng& rng,
+                  bool training) override {
+    BeginForward();
+    ag::Var h = x;
+    for (size_t l = 0; l < weights_.size(); ++l) {
+      h = t.Dropout(h, config_.dropout, rng, training);
+      h = t.SpMM(&props.gcn, t.MatMul(h, Bind(t, weights_[l])));
+      h = t.AddRowVec(h, Bind(t, biases_[l]));
+      if (l + 1 < weights_.size()) h = t.Relu(h);
+    }
+    return h;
+  }
+
+  std::vector<Param*> Params() override {
+    std::vector<Param*> out;
+    for (auto& w : weights_) out.push_back(&w);
+    for (auto& b : biases_) out.push_back(&b);
+    return out;
+  }
+
+  std::string name() const override { return "gcn"; }
+
+ private:
+  std::vector<Param> weights_;
+  std::vector<Param> biases_;
+};
+
+/// SGC (Wu et al.): logits = Â^K X W. The propagation runs through the
+/// tape so gradients reach learnable features (condensed graphs).
+class Sgc : public GnnModel {
+ public:
+  explicit Sgc(const GnnConfig& c) : GnnModel(c) {}
+
+  void Init(Rng& rng) override {
+    weight_ = Param(Matrix::GlorotUniform(config_.in_dim, config_.out_dim,
+                                          rng));
+    bias_ = Param(Matrix(1, config_.out_dim));
+  }
+
+  ag::Var Forward(ag::Tape& t, const Propagators& props, ag::Var x, Rng& rng,
+                  bool training) override {
+    BeginForward();
+    ag::Var h = x;
+    for (int k = 0; k < config_.sgc_k; ++k) h = t.SpMM(&props.gcn, h);
+    h = t.Dropout(h, config_.dropout, rng, training);
+    return t.AddRowVec(t.MatMul(h, Bind(t, weight_)), Bind(t, bias_));
+  }
+
+  std::vector<Param*> Params() override { return {&weight_, &bias_}; }
+
+  std::string name() const override { return "sgc"; }
+
+ private:
+  Param weight_;
+  Param bias_;
+};
+
+/// GraphSAGE with mean aggregation:
+/// H_{l+1} = relu(H_l W_self + (D^{-1}A H_l) W_neigh + b).
+class Sage : public GnnModel {
+ public:
+  explicit Sage(const GnnConfig& c) : GnnModel(c) {}
+
+  void Init(Rng& rng) override {
+    self_.clear();
+    neigh_.clear();
+    biases_.clear();
+    int in = config_.in_dim;
+    for (int l = 0; l < config_.num_layers; ++l) {
+      const int out =
+          l + 1 == config_.num_layers ? config_.out_dim : config_.hidden_dim;
+      self_.emplace_back(Matrix::GlorotUniform(in, out, rng));
+      neigh_.emplace_back(Matrix::GlorotUniform(in, out, rng));
+      biases_.emplace_back(Matrix(1, out));
+      in = out;
+    }
+  }
+
+  ag::Var Forward(ag::Tape& t, const Propagators& props, ag::Var x, Rng& rng,
+                  bool training) override {
+    BeginForward();
+    ag::Var h = x;
+    for (size_t l = 0; l < self_.size(); ++l) {
+      h = t.Dropout(h, config_.dropout, rng, training);
+      ag::Var own = t.MatMul(h, Bind(t, self_[l]));
+      ag::Var agg = t.MatMul(t.SpMM(&props.row, h), Bind(t, neigh_[l]));
+      h = t.AddRowVec(t.Add(own, agg), Bind(t, biases_[l]));
+      if (l + 1 < self_.size()) h = t.Relu(h);
+    }
+    return h;
+  }
+
+  std::vector<Param*> Params() override {
+    std::vector<Param*> out;
+    for (auto& w : self_) out.push_back(&w);
+    for (auto& w : neigh_) out.push_back(&w);
+    for (auto& b : biases_) out.push_back(&b);
+    return out;
+  }
+
+  std::string name() const override { return "sage"; }
+
+ private:
+  std::vector<Param> self_;
+  std::vector<Param> neigh_;
+  std::vector<Param> biases_;
+};
+
+/// Structure-blind MLP baseline (Table 4 "MLP").
+class Mlp : public GnnModel {
+ public:
+  explicit Mlp(const GnnConfig& c) : GnnModel(c) {}
+
+  void Init(Rng& rng) override {
+    weights_.clear();
+    biases_.clear();
+    int in = config_.in_dim;
+    for (int l = 0; l < config_.num_layers; ++l) {
+      const int out =
+          l + 1 == config_.num_layers ? config_.out_dim : config_.hidden_dim;
+      weights_.emplace_back(Matrix::GlorotUniform(in, out, rng));
+      biases_.emplace_back(Matrix(1, out));
+      in = out;
+    }
+  }
+
+  ag::Var Forward(ag::Tape& t, const Propagators& /*props*/, ag::Var x,
+                  Rng& rng, bool training) override {
+    BeginForward();
+    ag::Var h = x;
+    for (size_t l = 0; l < weights_.size(); ++l) {
+      h = t.Dropout(h, config_.dropout, rng, training);
+      h = t.AddRowVec(t.MatMul(h, Bind(t, weights_[l])),
+                      Bind(t, biases_[l]));
+      if (l + 1 < weights_.size()) h = t.Relu(h);
+    }
+    return h;
+  }
+
+  std::vector<Param*> Params() override {
+    std::vector<Param*> out;
+    for (auto& w : weights_) out.push_back(&w);
+    for (auto& b : biases_) out.push_back(&b);
+    return out;
+  }
+
+  std::string name() const override { return "mlp"; }
+
+ private:
+  std::vector<Param> weights_;
+  std::vector<Param> biases_;
+};
+
+/// APPNP (Gasteiger et al.): 2-layer MLP prediction followed by K steps of
+/// personalized-PageRank propagation Z <- (1-α)ÂZ + αH.
+class Appnp : public GnnModel {
+ public:
+  explicit Appnp(const GnnConfig& c) : GnnModel(c) {}
+
+  void Init(Rng& rng) override {
+    w1_ = Param(Matrix::GlorotUniform(config_.in_dim, config_.hidden_dim,
+                                      rng));
+    b1_ = Param(Matrix(1, config_.hidden_dim));
+    w2_ = Param(Matrix::GlorotUniform(config_.hidden_dim, config_.out_dim,
+                                      rng));
+    b2_ = Param(Matrix(1, config_.out_dim));
+  }
+
+  ag::Var Forward(ag::Tape& t, const Propagators& props, ag::Var x, Rng& rng,
+                  bool training) override {
+    BeginForward();
+    ag::Var h = t.Dropout(x, config_.dropout, rng, training);
+    h = t.Relu(t.AddRowVec(t.MatMul(h, Bind(t, w1_)), Bind(t, b1_)));
+    h = t.Dropout(h, config_.dropout, rng, training);
+    h = t.AddRowVec(t.MatMul(h, Bind(t, w2_)), Bind(t, b2_));
+    ag::Var z = h;
+    const float alpha = config_.appnp_alpha;
+    for (int k = 0; k < config_.appnp_k; ++k) {
+      z = t.Add(t.Scale(t.SpMM(&props.gcn, z), 1.0f - alpha),
+                t.Scale(h, alpha));
+    }
+    return z;
+  }
+
+  std::vector<Param*> Params() override { return {&w1_, &b1_, &w2_, &b2_}; }
+
+  std::string name() const override { return "appnp"; }
+
+ private:
+  Param w1_, b1_, w2_, b2_;
+};
+
+/// ChebyNet (Defferrard et al.) with the λ_max ≈ 2 rescaled Laplacian:
+/// layer out = Σ_{k<K} T_k(L̃) H W_k with T_0 = H, T_1 = L̃H,
+/// T_k = 2 L̃ T_{k-1} - T_{k-2}.
+class Cheby : public GnnModel {
+ public:
+  explicit Cheby(const GnnConfig& c) : GnnModel(c) {}
+
+  void Init(Rng& rng) override {
+    weights_.clear();
+    biases_.clear();
+    int in = config_.in_dim;
+    for (int l = 0; l < config_.num_layers; ++l) {
+      const int out =
+          l + 1 == config_.num_layers ? config_.out_dim : config_.hidden_dim;
+      std::vector<Param> order;
+      for (int k = 0; k < config_.cheb_k; ++k) {
+        order.emplace_back(Matrix::GlorotUniform(in, out, rng));
+      }
+      weights_.push_back(std::move(order));
+      biases_.emplace_back(Matrix(1, out));
+      in = out;
+    }
+  }
+
+  ag::Var Forward(ag::Tape& t, const Propagators& props, ag::Var x, Rng& rng,
+                  bool training) override {
+    BeginForward();
+    ag::Var h = x;
+    for (size_t l = 0; l < weights_.size(); ++l) {
+      h = t.Dropout(h, config_.dropout, rng, training);
+      ag::Var t_prev2 = h;                       // T_0 H
+      ag::Var out = t.MatMul(t_prev2, Bind(t, weights_[l][0]));
+      if (weights_[l].size() > 1) {
+        ag::Var t_prev1 = t.SpMM(&props.cheb, h);  // T_1 H
+        out = t.Add(out, t.MatMul(t_prev1, Bind(t, weights_[l][1])));
+        for (size_t k = 2; k < weights_[l].size(); ++k) {
+          ag::Var t_k = t.Sub(t.Scale(t.SpMM(&props.cheb, t_prev1), 2.0f),
+                              t_prev2);
+          out = t.Add(out, t.MatMul(t_k, Bind(t, weights_[l][k])));
+          t_prev2 = t_prev1;
+          t_prev1 = t_k;
+        }
+      }
+      h = t.AddRowVec(out, Bind(t, biases_[l]));
+      if (l + 1 < weights_.size()) h = t.Relu(h);
+    }
+    return h;
+  }
+
+  std::vector<Param*> Params() override {
+    std::vector<Param*> out;
+    for (auto& layer : weights_) {
+      for (auto& w : layer) out.push_back(&w);
+    }
+    for (auto& b : biases_) out.push_back(&b);
+    return out;
+  }
+
+  std::string name() const override { return "cheby"; }
+
+ private:
+  std::vector<std::vector<Param>> weights_;
+  std::vector<Param> biases_;
+};
+
+/// GIN (Xu et al., ICLR'19) with sum aggregation:
+/// H_{l+1} = MLP_l((1+ε_l)H_l + A H_l); ε learnable per layer. The final
+/// layer's MLP maps to the class logits.
+class Gin : public GnnModel {
+ public:
+  explicit Gin(const GnnConfig& c) : GnnModel(c) {}
+
+  void Init(Rng& rng) override {
+    w1_.clear();
+    b1_.clear();
+    w2_.clear();
+    b2_.clear();
+    eps_.clear();
+    int in = config_.in_dim;
+    for (int l = 0; l < config_.num_layers; ++l) {
+      const int out =
+          l + 1 == config_.num_layers ? config_.out_dim : config_.hidden_dim;
+      w1_.emplace_back(Matrix::GlorotUniform(in, config_.hidden_dim, rng));
+      b1_.emplace_back(Matrix(1, config_.hidden_dim));
+      w2_.emplace_back(Matrix::GlorotUniform(config_.hidden_dim, out, rng));
+      b2_.emplace_back(Matrix(1, out));
+      eps_.emplace_back(Matrix(1, 1));
+      in = out;
+    }
+  }
+
+  ag::Var Forward(ag::Tape& t, const Propagators& props, ag::Var x, Rng& rng,
+                  bool training) override {
+    BeginForward();
+    ag::Var h = x;
+    for (size_t l = 0; l < w1_.size(); ++l) {
+      h = t.Dropout(h, config_.dropout, rng, training);
+      ag::Var agg = t.SpMM(&props.sum, h);
+      // (1+ε)h: broadcast the learnable scalar to an n×1 column and scale
+      // every row of h by it.
+      ag::Var one_plus = t.AddConst(Bind(t, eps_[l]), 1.0f);  // 1×1
+      ag::Var scale_col = t.MatMul(
+          t.Constant(Matrix(t.value(h).rows(), 1, 1.0f)), one_plus);  // n×1
+      ag::Var combined = t.Add(t.MulColVec(h, scale_col), agg);
+      ag::Var hid = t.Relu(
+          t.AddRowVec(t.MatMul(combined, Bind(t, w1_[l])), Bind(t, b1_[l])));
+      h = t.AddRowVec(t.MatMul(hid, Bind(t, w2_[l])), Bind(t, b2_[l]));
+      if (l + 1 < w1_.size()) h = t.Relu(h);
+    }
+    return h;
+  }
+
+  std::vector<Param*> Params() override {
+    std::vector<Param*> out;
+    for (auto& w : w1_) out.push_back(&w);
+    for (auto& b : b1_) out.push_back(&b);
+    for (auto& w : w2_) out.push_back(&w);
+    for (auto& b : b2_) out.push_back(&b);
+    for (auto& e : eps_) out.push_back(&e);
+    return out;
+  }
+
+  std::string name() const override { return "gin"; }
+
+ private:
+  std::vector<Param> w1_, b1_, w2_, b2_, eps_;
+};
+
+}  // namespace
+
+std::unique_ptr<GnnModel> MakeModel(const std::string& arch,
+                                    const GnnConfig& config, Rng& rng) {
+  BGC_CHECK_GT(config.in_dim, 0);
+  BGC_CHECK_GT(config.out_dim, 0);
+  std::unique_ptr<GnnModel> model;
+  if (arch == "gcn") {
+    model = std::make_unique<Gcn>(config);
+  } else if (arch == "sage") {
+    model = std::make_unique<Sage>(config);
+  } else if (arch == "sgc") {
+    model = std::make_unique<Sgc>(config);
+  } else if (arch == "mlp") {
+    model = std::make_unique<Mlp>(config);
+  } else if (arch == "appnp") {
+    model = std::make_unique<Appnp>(config);
+  } else if (arch == "cheby") {
+    model = std::make_unique<Cheby>(config);
+  } else if (arch == "gin") {
+    model = std::make_unique<Gin>(config);
+  } else {
+    BGC_CHECK_MSG(false, "unknown architecture: " + arch);
+  }
+  model->Init(rng);
+  return model;
+}
+
+std::vector<std::string> SupportedArchitectures() {
+  return {"gcn", "sage", "sgc", "mlp", "appnp", "cheby", "gin"};
+}
+
+}  // namespace bgc::nn

@@ -1,0 +1,96 @@
+#ifndef BGC_NN_MODELS_H_
+#define BGC_NN_MODELS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/autograd/tape.h"
+#include "src/graph/csr.h"
+#include "src/nn/param.h"
+
+namespace bgc::nn {
+
+/// Normalized propagation operators derived from one raw adjacency. The
+/// caller owns this object and must keep it alive for as long as any tape
+/// built against it (tape SpMM nodes hold pointers into it).
+struct Propagators {
+  graph::CsrMatrix gcn;   // D̂^{-1/2}(A+I)D̂^{-1/2}
+  graph::CsrMatrix row;   // D^{-1} A (mean aggregation)
+  graph::CsrMatrix cheb;  // -D^{-1/2} A D^{-1/2}
+  graph::CsrMatrix sum;   // A itself (GIN sum aggregation)
+};
+
+/// Computes all three operators for `adj` (raw symmetric adjacency).
+Propagators MakePropagators(const graph::CsrMatrix& adj);
+
+/// Hyper-parameters shared by every architecture. Architecture-specific
+/// fields are ignored by models that do not use them.
+struct GnnConfig {
+  int in_dim = 0;
+  int hidden_dim = 64;
+  int out_dim = 0;
+  int num_layers = 2;    // GCN / SAGE / MLP / Cheby depth
+  float dropout = 0.5f;
+  int sgc_k = 2;         // SGC propagation steps
+  int cheb_k = 2;        // Chebyshev polynomial order
+  float appnp_alpha = 0.1f;
+  int appnp_k = 10;
+};
+
+/// Base class for node-classification GNNs.
+///
+/// A model owns persistent Params. Each call to Forward() registers those
+/// params as fresh tape inputs, builds the logits expression, and remembers
+/// the (Param, Var) binding; after tape.Backward() the caller invokes
+/// CollectGrads() to copy tape gradients back into the Params.
+class GnnModel {
+ public:
+  explicit GnnModel(const GnnConfig& config) : config_(config) {}
+  virtual ~GnnModel() = default;
+  GnnModel(const GnnModel&) = delete;
+  GnnModel& operator=(const GnnModel&) = delete;
+
+  /// (Re)initializes all weights.
+  virtual void Init(Rng& rng) = 0;
+
+  /// Builds the logits (n×out_dim) for features `x` under operators
+  /// `props`. `training` enables dropout.
+  virtual ag::Var Forward(ag::Tape& tape, const Propagators& props, ag::Var x,
+                          Rng& rng, bool training) = 0;
+
+  /// All trainable parameters.
+  virtual std::vector<Param*> Params() = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Copies tape gradients of the last Forward() into each Param::grad.
+  void CollectGrads(const ag::Tape& tape);
+
+  const GnnConfig& config() const { return config_; }
+
+ protected:
+  /// Registers `p` as a tape input and records the binding.
+  ag::Var Bind(ag::Tape& tape, Param& p);
+  /// Must be called at the top of every Forward() override.
+  void BeginForward();
+
+  GnnConfig config_;
+
+ private:
+  std::vector<std::pair<Param*, ag::Var>> bound_;
+};
+
+/// Architectures evaluated in the paper (Table 4): "gcn", "sage", "sgc",
+/// "mlp", "appnp", "cheby" — plus "gin" (Xu et al., sum aggregation) as an
+/// extension. Aborts on unknown names.
+std::unique_ptr<GnnModel> MakeModel(const std::string& arch,
+                                    const GnnConfig& config, Rng& rng);
+
+/// Names accepted by MakeModel, in the paper's Table 4 order.
+std::vector<std::string> SupportedArchitectures();
+
+}  // namespace bgc::nn
+
+#endif  // BGC_NN_MODELS_H_

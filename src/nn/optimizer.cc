@@ -1,0 +1,54 @@
+#include "src/nn/optimizer.h"
+
+#include <cmath>
+
+#include "src/core/check.h"
+
+namespace bgc::nn {
+
+Adam::Adam(float lr, float weight_decay, float beta1, float beta2, float eps)
+    : lr_(lr), weight_decay_(weight_decay), beta1_(beta1), beta2_(beta2),
+      eps_(eps) {}
+
+void Adam::Step(const std::vector<Param*>& params) {
+  ++t_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (Param* p : params) {
+    BGC_CHECK(p != nullptr);
+    BGC_CHECK_EQ(p->grad.size(), p->value.size());
+    Moments& mo = state_[p];
+    if (mo.m.size() != p->value.size()) {
+      mo.m = Matrix(p->value.rows(), p->value.cols());
+      mo.v = Matrix(p->value.rows(), p->value.cols());
+    }
+    for (int i = 0; i < p->value.size(); ++i) {
+      const float g = p->grad.data()[i] + weight_decay_ * p->value.data()[i];
+      float& m = mo.m.data()[i];
+      float& v = mo.v.data()[i];
+      m = beta1_ * m + (1.0f - beta1_) * g;
+      v = beta2_ * v + (1.0f - beta2_) * g * g;
+      const float mhat = m / bias1;
+      const float vhat = v / bias2;
+      p->value.data()[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+void Adam::Reset() {
+  state_.clear();
+  t_ = 0;
+}
+
+void Sgd::Step(const std::vector<Param*>& params) {
+  for (Param* p : params) {
+    BGC_CHECK(p != nullptr);
+    BGC_CHECK_EQ(p->grad.size(), p->value.size());
+    for (int i = 0; i < p->value.size(); ++i) {
+      const float g = p->grad.data()[i] + weight_decay_ * p->value.data()[i];
+      p->value.data()[i] -= lr_ * g;
+    }
+  }
+}
+
+}  // namespace bgc::nn

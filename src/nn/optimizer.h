@@ -1,0 +1,61 @@
+#ifndef BGC_NN_OPTIMIZER_H_
+#define BGC_NN_OPTIMIZER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/nn/param.h"
+
+namespace bgc::nn {
+
+/// Adam optimizer (Kingma & Ba) with optional L2 weight decay added to the
+/// gradient, matching the PyTorch `Adam(weight_decay=...)` convention used
+/// by GCond's released configuration.
+class Adam {
+ public:
+  explicit Adam(float lr, float weight_decay = 0.0f, float beta1 = 0.9f,
+                float beta2 = 0.999f, float eps = 1e-8f);
+
+  /// Applies one update to every param from its `grad`.
+  void Step(const std::vector<Param*>& params);
+
+  /// Drops moment state (e.g. when parameters are re-initialized).
+  void Reset();
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  struct Moments {
+    Matrix m;
+    Matrix v;
+  };
+
+  float lr_;
+  float weight_decay_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  long long t_ = 0;
+  std::unordered_map<const Param*, Moments> state_;
+};
+
+/// Plain SGD, used where the paper's inner loops call for simple gradient
+/// steps (surrogate refresh between condensation updates).
+class Sgd {
+ public:
+  explicit Sgd(float lr, float weight_decay = 0.0f)
+      : lr_(lr), weight_decay_(weight_decay) {}
+
+  void Step(const std::vector<Param*>& params);
+
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float weight_decay_;
+};
+
+}  // namespace bgc::nn
+
+#endif  // BGC_NN_OPTIMIZER_H_

@@ -1,0 +1,31 @@
+#ifndef BGC_NN_PARAM_H_
+#define BGC_NN_PARAM_H_
+
+#include <vector>
+
+#include "src/tensor/matrix.h"
+
+namespace bgc::nn {
+
+/// A trainable parameter: persistent value + last gradient. Optimizer state
+/// (Adam moments) is owned by the optimizer, keyed by parameter identity,
+/// so the same Param can move between optimizers without carrying state.
+struct Param {
+  Matrix value;
+  Matrix grad;
+
+  Param() = default;
+  explicit Param(Matrix v) : value(std::move(v)) {}
+
+  void ZeroGrad() {
+    if (grad.rows() != value.rows() || grad.cols() != value.cols()) {
+      grad = Matrix(value.rows(), value.cols());
+    } else {
+      grad.Fill(0.0f);
+    }
+  }
+};
+
+}  // namespace bgc::nn
+
+#endif  // BGC_NN_PARAM_H_

@@ -1,0 +1,77 @@
+#include "src/nn/trainer.h"
+
+#include "src/core/check.h"
+#include "src/nn/optimizer.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace bgc::nn {
+
+float TrainNodeClassifier(GnnModel& model, const graph::CsrMatrix& adj,
+                          const Matrix& x, const std::vector<int>& labels,
+                          const std::vector<int>& train_idx,
+                          const TrainConfig& config) {
+  BGC_CHECK_EQ(adj.rows(), x.rows());
+  std::vector<int> idx = train_idx;
+  if (idx.empty()) {
+    idx.resize(x.rows());
+    for (int i = 0; i < x.rows(); ++i) idx[i] = i;
+  }
+  std::vector<int> y;
+  y.reserve(idx.size());
+  for (int i : idx) {
+    BGC_CHECK_GE(i, 0);
+    BGC_CHECK_LT(i, static_cast<int>(labels.size()));
+    y.push_back(labels[i]);
+  }
+  const Matrix targets = OneHot(y, model.config().out_dim);
+
+  Propagators props = MakePropagators(adj);
+  Adam opt(config.lr, config.weight_decay);
+  Rng rng(config.seed ^ 0x7a1e5ULL);
+  float last_loss = 0.0f;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    ag::Tape tape;
+    ag::Var xin = tape.Constant(x);
+    ag::Var logits = model.Forward(tape, props, xin, rng, /*training=*/true);
+    ag::Var loss =
+        tape.SoftmaxCrossEntropy(tape.GatherRows(logits, idx), targets);
+    last_loss = tape.value(loss).At(0, 0);
+    tape.Backward(loss);
+    model.CollectGrads(tape);
+    opt.Step(model.Params());
+  }
+  return last_loss;
+}
+
+Matrix PredictLogits(GnnModel& model, const graph::CsrMatrix& adj,
+                     const Matrix& x) {
+  Propagators props = MakePropagators(adj);
+  ag::Tape tape;
+  Rng rng(0);
+  ag::Var xin = tape.Constant(x);
+  ag::Var logits = model.Forward(tape, props, xin, rng, /*training=*/false);
+  return tape.value(logits);
+}
+
+double Accuracy(const Matrix& logits, const std::vector<int>& labels,
+                const std::vector<int>& idx) {
+  std::vector<int> pred = ArgmaxRows(logits);
+  long long correct = 0, total = 0;
+  if (idx.empty()) {
+    for (size_t i = 0; i < pred.size(); ++i) {
+      ++total;
+      correct += pred[i] == labels[i];
+    }
+  } else {
+    for (int i : idx) {
+      BGC_CHECK_GE(i, 0);
+      BGC_CHECK_LT(i, static_cast<int>(pred.size()));
+      ++total;
+      correct += pred[i] == labels[i];
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+}  // namespace bgc::nn

@@ -1,0 +1,38 @@
+#ifndef BGC_NN_TRAINER_H_
+#define BGC_NN_TRAINER_H_
+
+#include <vector>
+
+#include "src/nn/models.h"
+
+namespace bgc::nn {
+
+/// Full-batch training configuration. Defaults follow the GCN paper /
+/// GCond's evaluation stage (Adam, lr 0.01, weight decay 5e-4).
+struct TrainConfig {
+  int epochs = 200;
+  float lr = 0.01f;
+  float weight_decay = 5e-4f;
+  uint64_t seed = 0;
+};
+
+/// Trains `model` on graph (adj, x) with cross-entropy over `train_idx`
+/// (all nodes when empty). `labels[i]` must be valid for every trained row.
+/// Returns the final training loss.
+float TrainNodeClassifier(GnnModel& model, const graph::CsrMatrix& adj,
+                          const Matrix& x, const std::vector<int>& labels,
+                          const std::vector<int>& train_idx,
+                          const TrainConfig& config);
+
+/// Inference logits (dropout disabled).
+Matrix PredictLogits(GnnModel& model, const graph::CsrMatrix& adj,
+                     const Matrix& x);
+
+/// Fraction of rows in `idx` (all rows when empty) whose argmax matches
+/// `labels`.
+double Accuracy(const Matrix& logits, const std::vector<int>& labels,
+                const std::vector<int>& idx);
+
+}  // namespace bgc::nn
+
+#endif  // BGC_NN_TRAINER_H_

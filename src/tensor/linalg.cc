@@ -1,0 +1,93 @@
+#include "src/tensor/linalg.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/core/check.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace bgc {
+namespace {
+
+/// LU factorization with partial pivoting, in place. Returns the row
+/// permutation. Aborts on (numerically) singular input.
+std::vector<int> LuFactor(Matrix& a) {
+  BGC_CHECK_EQ(a.rows(), a.cols());
+  const int n = a.rows();
+  std::vector<int> perm(n);
+  for (int i = 0; i < n; ++i) perm[i] = i;
+  for (int k = 0; k < n; ++k) {
+    int pivot = k;
+    float best = std::fabs(a(k, k));
+    for (int i = k + 1; i < n; ++i) {
+      const float v = std::fabs(a(i, k));
+      if (v > best) {
+        best = v;
+        pivot = i;
+      }
+    }
+    BGC_CHECK_MSG(best > 1e-12f, "singular matrix in SolveLinear");
+    if (pivot != k) {
+      std::swap(perm[k], perm[pivot]);
+      for (int j = 0; j < n; ++j) std::swap(a(k, j), a(pivot, j));
+    }
+    const float inv = 1.0f / a(k, k);
+    for (int i = k + 1; i < n; ++i) {
+      const float factor = a(i, k) * inv;
+      a(i, k) = factor;
+      if (factor == 0.0f) continue;
+      for (int j = k + 1; j < n; ++j) a(i, j) -= factor * a(k, j);
+    }
+  }
+  return perm;
+}
+
+Matrix LuSolve(const Matrix& lu, const std::vector<int>& perm,
+               const Matrix& b) {
+  const int n = lu.rows();
+  const int m = b.cols();
+  Matrix x(n, m);
+  // Apply permutation, then forward substitution on L (unit diagonal).
+  for (int i = 0; i < n; ++i) x.SetRow(i, b.RowPtr(perm[i]));
+  for (int i = 0; i < n; ++i) {
+    float* xi = x.RowPtr(i);
+    for (int k = 0; k < i; ++k) {
+      const float l = lu(i, k);
+      if (l == 0.0f) continue;
+      const float* xk = x.RowPtr(k);
+      for (int j = 0; j < m; ++j) xi[j] -= l * xk[j];
+    }
+  }
+  // Backward substitution on U.
+  for (int i = n - 1; i >= 0; --i) {
+    float* xi = x.RowPtr(i);
+    for (int k = i + 1; k < n; ++k) {
+      const float u = lu(i, k);
+      if (u == 0.0f) continue;
+      const float* xk = x.RowPtr(k);
+      for (int j = 0; j < m; ++j) xi[j] -= u * xk[j];
+    }
+    const float inv = 1.0f / lu(i, i);
+    for (int j = 0; j < m; ++j) xi[j] *= inv;
+  }
+  return x;
+}
+
+}  // namespace
+
+Matrix SolveLinear(const Matrix& a, const Matrix& b) {
+  BGC_CHECK_EQ(a.rows(), b.rows());
+  Matrix lu = a;
+  const std::vector<int> perm = LuFactor(lu);
+  return LuSolve(lu, perm, b);
+}
+
+Matrix SolveLinearTransposed(const Matrix& a, const Matrix& b) {
+  return SolveLinear(Transpose(a), b);
+}
+
+Matrix Inverse(const Matrix& a) {
+  return SolveLinear(a, Matrix::Identity(a.rows()));
+}
+
+}  // namespace bgc

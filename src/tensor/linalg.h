@@ -1,0 +1,21 @@
+#ifndef BGC_TENSOR_LINALG_H_
+#define BGC_TENSOR_LINALG_H_
+
+#include "src/tensor/matrix.h"
+
+namespace bgc {
+
+/// Solves A X = B for X with Gaussian elimination + partial pivoting.
+/// A must be square (n×n) and nonsingular; B is n×m. Intended for the small
+/// kernel systems in GC-SNTK (n = condensed size, at most a few hundred).
+Matrix SolveLinear(const Matrix& a, const Matrix& b);
+
+/// Solves Aᵀ X = B (used by the autograd backward of Solve).
+Matrix SolveLinearTransposed(const Matrix& a, const Matrix& b);
+
+/// Inverse via SolveLinear against the identity.
+Matrix Inverse(const Matrix& a);
+
+}  // namespace bgc
+
+#endif  // BGC_TENSOR_LINALG_H_

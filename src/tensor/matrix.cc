@@ -1,0 +1,90 @@
+#include "src/tensor/matrix.h"
+
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+namespace bgc {
+
+Matrix::Matrix(int rows, int cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<size_t>(rows) * cols, 0.0f) {
+  BGC_CHECK_GE(rows, 0);
+  BGC_CHECK_GE(cols, 0);
+}
+
+Matrix::Matrix(int rows, int cols, float value)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<size_t>(rows) * cols, value) {
+  BGC_CHECK_GE(rows, 0);
+  BGC_CHECK_GE(cols, 0);
+}
+
+Matrix::Matrix(int rows, int cols, std::vector<float> values)
+    : rows_(rows), cols_(cols), data_(std::move(values)) {
+  BGC_CHECK_EQ(static_cast<size_t>(rows) * cols, data_.size());
+}
+
+Matrix Matrix::Zeros(int rows, int cols) { return Matrix(rows, cols); }
+
+Matrix Matrix::Full(int rows, int cols, float value) {
+  return Matrix(rows, cols, value);
+}
+
+Matrix Matrix::Identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0f;
+  return m;
+}
+
+Matrix Matrix::RandomNormal(int rows, int cols, Rng& rng, float stddev) {
+  Matrix m(rows, cols);
+  for (int i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.Normal(0.0, stddev));
+  }
+  return m;
+}
+
+Matrix Matrix::RandomUniform(int rows, int cols, Rng& rng, float lo,
+                             float hi) {
+  Matrix m(rows, cols);
+  for (int i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.Uniform(lo, hi));
+  }
+  return m;
+}
+
+Matrix Matrix::GlorotUniform(int in_dim, int out_dim, Rng& rng) {
+  const float bound = std::sqrt(6.0f / static_cast<float>(in_dim + out_dim));
+  return RandomUniform(in_dim, out_dim, rng, -bound, bound);
+}
+
+Matrix Matrix::Row(int r) const {
+  BGC_CHECK_GE(r, 0);
+  BGC_CHECK_LT(r, rows_);
+  Matrix out(1, cols_);
+  std::memcpy(out.data(), RowPtr(r), sizeof(float) * cols_);
+  return out;
+}
+
+void Matrix::SetRow(int r, const Matrix& row) {
+  BGC_CHECK_EQ(row.rows(), 1);
+  BGC_CHECK_EQ(row.cols(), cols_);
+  SetRow(r, row.data());
+}
+
+void Matrix::SetRow(int r, const float* values) {
+  BGC_CHECK_GE(r, 0);
+  BGC_CHECK_LT(r, rows_);
+  std::memcpy(RowPtr(r), values, sizeof(float) * cols_);
+}
+
+void Matrix::Fill(float value) {
+  for (auto& v : data_) v = value;
+}
+
+bool Matrix::operator==(const Matrix& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
+}
+
+}  // namespace bgc

@@ -1,0 +1,116 @@
+#ifndef BGC_TENSOR_MATRIX_H_
+#define BGC_TENSOR_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/check.h"
+#include "src/core/rng.h"
+
+namespace bgc {
+
+/// Dense row-major float matrix.
+///
+/// This is the single dense container used throughout the library: node
+/// feature tables, GNN weights, logits, gradients, synthetic condensed
+/// features, and generated trigger payloads are all Matrix values. Vectors
+/// are represented as 1×n or n×1 matrices. The class is a plain value type:
+/// copyable, movable, equality-comparable; all numeric kernels live in
+/// matrix_ops.h as free functions.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// Zero-initialized rows×cols matrix.
+  Matrix(int rows, int cols);
+
+  /// rows×cols matrix filled with `value`.
+  Matrix(int rows, int cols, float value);
+
+  /// rows×cols matrix taking ownership of `values` (size must match).
+  Matrix(int rows, int cols, std::vector<float> values);
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
+
+  /// Factory: zeros / constant / identity.
+  static Matrix Zeros(int rows, int cols);
+  static Matrix Full(int rows, int cols, float value);
+  static Matrix Identity(int n);
+
+  /// Factory: i.i.d. N(0, stddev^2) entries.
+  static Matrix RandomNormal(int rows, int cols, Rng& rng,
+                             float stddev = 1.0f);
+
+  /// Factory: i.i.d. U(lo, hi) entries.
+  static Matrix RandomUniform(int rows, int cols, Rng& rng, float lo,
+                              float hi);
+
+  /// Factory: Glorot/Xavier uniform init for a weight of shape in×out.
+  static Matrix GlorotUniform(int in_dim, int out_dim, Rng& rng);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  /// Total number of entries.
+  int size() const { return rows_ * cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Unchecked in release builds beyond debug asserts; bounds are the
+  /// caller's contract.
+  float& At(int r, int c) {
+    BGC_CHECK_GE(r, 0);
+    BGC_CHECK_LT(r, rows_);
+    BGC_CHECK_GE(c, 0);
+    BGC_CHECK_LT(c, cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  float At(int r, int c) const {
+    BGC_CHECK_GE(r, 0);
+    BGC_CHECK_LT(r, rows_);
+    BGC_CHECK_GE(c, 0);
+    BGC_CHECK_LT(c, cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  /// Unchecked fast path for inner loops.
+  float& operator()(int r, int c) {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  float operator()(int r, int c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  /// Pointer to the start of row r.
+  float* RowPtr(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const float* RowPtr(int r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+
+  /// Copies row r into a 1×cols matrix.
+  Matrix Row(int r) const;
+
+  /// Sets row r from a 1×cols matrix or raw span.
+  void SetRow(int r, const Matrix& row);
+  void SetRow(int r, const float* values);
+
+  /// Fills every entry with `value`.
+  void Fill(float value);
+
+  /// Exact element-wise equality (useful in tests; use AllClose for math).
+  bool operator==(const Matrix& other) const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace bgc
+
+#endif  // BGC_TENSOR_MATRIX_H_

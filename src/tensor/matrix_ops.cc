@@ -1,0 +1,315 @@
+#include "src/tensor/matrix_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace bgc {
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  BGC_CHECK_EQ(a.cols(), b.rows());
+  const int n = a.rows(), k = a.cols(), m = b.cols();
+  Matrix c(n, m);
+  // i-k-j order keeps the inner loop streaming over contiguous rows of b/c.
+  for (int i = 0; i < n; ++i) {
+    const float* arow = a.RowPtr(i);
+    float* crow = c.RowPtr(i);
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.RowPtr(p);
+      for (int j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  BGC_CHECK_EQ(a.rows(), b.rows());
+  const int k = a.rows(), n = a.cols(), m = b.cols();
+  Matrix c(n, m);
+  for (int p = 0; p < k; ++p) {
+    const float* arow = a.RowPtr(p);
+    const float* brow = b.RowPtr(p);
+    for (int i = 0; i < n; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.RowPtr(i);
+      for (int j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  BGC_CHECK_EQ(a.cols(), b.cols());
+  const int n = a.rows(), k = a.cols(), m = b.rows();
+  Matrix c(n, m);
+  for (int i = 0; i < n; ++i) {
+    const float* arow = a.RowPtr(i);
+    float* crow = c.RowPtr(i);
+    for (int j = 0; j < m; ++j) {
+      const float* brow = b.RowPtr(j);
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+namespace {
+
+void CheckSameShape(const Matrix& a, const Matrix& b) {
+  BGC_CHECK_EQ(a.rows(), b.rows());
+  BGC_CHECK_EQ(a.cols(), b.cols());
+}
+
+}  // namespace
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b);
+  Matrix c = a;
+  for (int i = 0; i < c.size(); ++i) c.data()[i] += b.data()[i];
+  return c;
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b);
+  Matrix c = a;
+  for (int i = 0; i < c.size(); ++i) c.data()[i] -= b.data()[i];
+  return c;
+}
+
+void AddScaledInPlace(Matrix& a, const Matrix& b, float alpha) {
+  CheckSameShape(a, b);
+  for (int i = 0; i < a.size(); ++i) a.data()[i] += alpha * b.data()[i];
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b);
+  Matrix c = a;
+  for (int i = 0; i < c.size(); ++i) c.data()[i] *= b.data()[i];
+  return c;
+}
+
+Matrix Scale(const Matrix& a, float alpha) {
+  Matrix c = a;
+  ScaleInPlace(c, alpha);
+  return c;
+}
+
+void ScaleInPlace(Matrix& a, float alpha) {
+  for (int i = 0; i < a.size(); ++i) a.data()[i] *= alpha;
+}
+
+Matrix AddRowBroadcast(const Matrix& a, const Matrix& bias) {
+  BGC_CHECK_EQ(bias.rows(), 1);
+  BGC_CHECK_EQ(bias.cols(), a.cols());
+  Matrix c = a;
+  for (int i = 0; i < c.rows(); ++i) {
+    float* row = c.RowPtr(i);
+    for (int j = 0; j < c.cols(); ++j) row[j] += bias.data()[j];
+  }
+  return c;
+}
+
+Matrix Relu(const Matrix& a) {
+  Matrix c = a;
+  for (int i = 0; i < c.size(); ++i) c.data()[i] = std::max(0.0f, c.data()[i]);
+  return c;
+}
+
+Matrix Sigmoid(const Matrix& a) {
+  Matrix c = a;
+  for (int i = 0; i < c.size(); ++i) {
+    c.data()[i] = 1.0f / (1.0f + std::exp(-c.data()[i]));
+  }
+  return c;
+}
+
+Matrix TanhMat(const Matrix& a) {
+  Matrix c = a;
+  for (int i = 0; i < c.size(); ++i) c.data()[i] = std::tanh(c.data()[i]);
+  return c;
+}
+
+Matrix Clamp(const Matrix& a, float lo, float hi) {
+  Matrix c = a;
+  for (int i = 0; i < c.size(); ++i) {
+    c.data()[i] = std::min(hi, std::max(lo, c.data()[i]));
+  }
+  return c;
+}
+
+Matrix RowSoftmax(const Matrix& a) {
+  Matrix c(a.rows(), a.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* in = a.RowPtr(i);
+    float* out = c.RowPtr(i);
+    float mx = in[0];
+    for (int j = 1; j < a.cols(); ++j) mx = std::max(mx, in[j]);
+    float denom = 0.0f;
+    for (int j = 0; j < a.cols(); ++j) {
+      out[j] = std::exp(in[j] - mx);
+      denom += out[j];
+    }
+    const float inv = 1.0f / denom;
+    for (int j = 0; j < a.cols(); ++j) out[j] *= inv;
+  }
+  return c;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix c(a.cols(), a.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* row = a.RowPtr(i);
+    for (int j = 0; j < a.cols(); ++j) c(j, i) = row[j];
+  }
+  return c;
+}
+
+float Sum(const Matrix& a) {
+  float s = 0.0f;
+  for (int i = 0; i < a.size(); ++i) s += a.data()[i];
+  return s;
+}
+
+float Dot(const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b);
+  float s = 0.0f;
+  for (int i = 0; i < a.size(); ++i) s += a.data()[i] * b.data()[i];
+  return s;
+}
+
+float FrobeniusNorm(const Matrix& a) { return std::sqrt(Dot(a, a)); }
+
+float MaxAbs(const Matrix& a) {
+  float m = 0.0f;
+  for (int i = 0; i < a.size(); ++i) m = std::max(m, std::fabs(a.data()[i]));
+  return m;
+}
+
+Matrix RowSum(const Matrix& a) {
+  Matrix c(a.rows(), 1);
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* row = a.RowPtr(i);
+    float s = 0.0f;
+    for (int j = 0; j < a.cols(); ++j) s += row[j];
+    c(i, 0) = s;
+  }
+  return c;
+}
+
+Matrix ColSum(const Matrix& a) {
+  Matrix c(1, a.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* row = a.RowPtr(i);
+    for (int j = 0; j < a.cols(); ++j) c.data()[j] += row[j];
+  }
+  return c;
+}
+
+Matrix RowNorm(const Matrix& a) {
+  Matrix c(a.rows(), 1);
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* row = a.RowPtr(i);
+    float s = 0.0f;
+    for (int j = 0; j < a.cols(); ++j) s += row[j] * row[j];
+    c(i, 0) = std::sqrt(s);
+  }
+  return c;
+}
+
+std::vector<int> ArgmaxRows(const Matrix& a) {
+  std::vector<int> out(a.rows(), 0);
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* row = a.RowPtr(i);
+    int best = 0;
+    for (int j = 1; j < a.cols(); ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    out[i] = best;
+  }
+  return out;
+}
+
+float RowCosine(const Matrix& a, int i, const Matrix& b, int j) {
+  BGC_CHECK_EQ(a.cols(), b.cols());
+  const float* x = a.RowPtr(i);
+  const float* y = b.RowPtr(j);
+  float dot = 0.0f, nx = 0.0f, ny = 0.0f;
+  for (int k = 0; k < a.cols(); ++k) {
+    dot += x[k] * y[k];
+    nx += x[k] * x[k];
+    ny += y[k] * y[k];
+  }
+  if (nx <= 0.0f || ny <= 0.0f) return 0.0f;
+  return dot / (std::sqrt(nx) * std::sqrt(ny));
+}
+
+Matrix GatherRows(const Matrix& a, const std::vector<int>& rows) {
+  Matrix c(static_cast<int>(rows.size()), a.cols());
+  for (size_t k = 0; k < rows.size(); ++k) {
+    BGC_CHECK_GE(rows[k], 0);
+    BGC_CHECK_LT(rows[k], a.rows());
+    c.SetRow(static_cast<int>(k), a.RowPtr(rows[k]));
+  }
+  return c;
+}
+
+void ScatterAddRows(const Matrix& a, const std::vector<int>& rows,
+                    Matrix& out) {
+  BGC_CHECK_EQ(a.rows(), static_cast<int>(rows.size()));
+  BGC_CHECK_EQ(a.cols(), out.cols());
+  for (size_t k = 0; k < rows.size(); ++k) {
+    BGC_CHECK_GE(rows[k], 0);
+    BGC_CHECK_LT(rows[k], out.rows());
+    const float* src = a.RowPtr(static_cast<int>(k));
+    float* dst = out.RowPtr(rows[k]);
+    for (int j = 0; j < a.cols(); ++j) dst[j] += src[j];
+  }
+}
+
+Matrix ConcatRows(const Matrix& a, const Matrix& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  BGC_CHECK_EQ(a.cols(), b.cols());
+  Matrix c(a.rows() + b.rows(), a.cols());
+  std::memcpy(c.data(), a.data(), sizeof(float) * a.size());
+  std::memcpy(c.data() + a.size(), b.data(), sizeof(float) * b.size());
+  return c;
+}
+
+Matrix ConcatCols(const Matrix& a, const Matrix& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  BGC_CHECK_EQ(a.rows(), b.rows());
+  Matrix c(a.rows(), a.cols() + b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    std::memcpy(c.RowPtr(i), a.RowPtr(i), sizeof(float) * a.cols());
+    std::memcpy(c.RowPtr(i) + a.cols(), b.RowPtr(i), sizeof(float) * b.cols());
+  }
+  return c;
+}
+
+bool AllClose(const Matrix& a, const Matrix& b, float rtol, float atol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (int i = 0; i < a.size(); ++i) {
+    const float diff = std::fabs(a.data()[i] - b.data()[i]);
+    if (diff > atol + rtol * std::fabs(b.data()[i])) return false;
+  }
+  return true;
+}
+
+Matrix OneHot(const std::vector<int>& labels, int num_classes) {
+  Matrix c(static_cast<int>(labels.size()), num_classes);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    BGC_CHECK_GE(labels[i], 0);
+    BGC_CHECK_LT(labels[i], num_classes);
+    c(static_cast<int>(i), labels[i]) = 1.0f;
+  }
+  return c;
+}
+
+}  // namespace bgc

@@ -1,0 +1,91 @@
+#ifndef BGC_TENSOR_MATRIX_OPS_H_
+#define BGC_TENSOR_MATRIX_OPS_H_
+
+#include <vector>
+
+#include "src/tensor/matrix.h"
+
+namespace bgc {
+
+/// C = A * B. Shapes: (n×k) * (k×m) -> (n×m).
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// C = Aᵀ * B. Shapes: (k×n)ᵀ * (k×m) -> (n×m). Avoids materializing Aᵀ.
+Matrix MatMulTransA(const Matrix& a, const Matrix& b);
+
+/// C = A * Bᵀ. Shapes: (n×k) * (m×k)ᵀ -> (n×m). Avoids materializing Bᵀ.
+Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+
+/// Element-wise sum / difference; shapes must match.
+Matrix Add(const Matrix& a, const Matrix& b);
+Matrix Sub(const Matrix& a, const Matrix& b);
+
+/// a += alpha * b (axpy). Shapes must match.
+void AddScaledInPlace(Matrix& a, const Matrix& b, float alpha);
+
+/// Element-wise product.
+Matrix Hadamard(const Matrix& a, const Matrix& b);
+
+/// alpha * a.
+Matrix Scale(const Matrix& a, float alpha);
+void ScaleInPlace(Matrix& a, float alpha);
+
+/// Adds the 1×cols row vector `bias` to every row of `a`.
+Matrix AddRowBroadcast(const Matrix& a, const Matrix& bias);
+
+/// Element-wise nonlinearities.
+Matrix Relu(const Matrix& a);
+Matrix Sigmoid(const Matrix& a);
+Matrix TanhMat(const Matrix& a);
+
+/// Element-wise clamp to [lo, hi].
+Matrix Clamp(const Matrix& a, float lo, float hi);
+
+/// Row-wise softmax (numerically stabilized by the row max).
+Matrix RowSoftmax(const Matrix& a);
+
+/// Aᵀ as a materialized matrix.
+Matrix Transpose(const Matrix& a);
+
+/// Scalar reductions.
+float Sum(const Matrix& a);
+float Dot(const Matrix& a, const Matrix& b);
+float FrobeniusNorm(const Matrix& a);
+float MaxAbs(const Matrix& a);
+
+/// Per-row sum -> n×1; per-column sum -> 1×m.
+Matrix RowSum(const Matrix& a);
+Matrix ColSum(const Matrix& a);
+
+/// Per-row Euclidean norm -> n×1.
+Matrix RowNorm(const Matrix& a);
+
+/// argmax over each row.
+std::vector<int> ArgmaxRows(const Matrix& a);
+
+/// Cosine similarity of rows i of `a` and j of `b` (0 when either row is 0).
+float RowCosine(const Matrix& a, int i, const Matrix& b, int j);
+
+/// Gathers the given rows into a new matrix (rows may repeat).
+Matrix GatherRows(const Matrix& a, const std::vector<int>& rows);
+
+/// out[rows[k], :] += a[k, :] for each k. `out` must be preallocated.
+void ScatterAddRows(const Matrix& a, const std::vector<int>& rows,
+                    Matrix& out);
+
+/// Stacks a on top of b (column counts must match).
+Matrix ConcatRows(const Matrix& a, const Matrix& b);
+
+/// Puts a to the left of b (row counts must match).
+Matrix ConcatCols(const Matrix& a, const Matrix& b);
+
+/// True when |a - b| <= atol + rtol*|b| element-wise (shapes must match).
+bool AllClose(const Matrix& a, const Matrix& b, float rtol = 1e-5f,
+              float atol = 1e-6f);
+
+/// One-hot encodes integer labels into n×num_classes.
+Matrix OneHot(const std::vector<int>& labels, int num_classes);
+
+}  // namespace bgc
+
+#endif  // BGC_TENSOR_MATRIX_OPS_H_

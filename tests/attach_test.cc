@@ -1,0 +1,125 @@
+#include "src/attack/attach.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/data/synthetic.h"
+
+namespace bgc::attack {
+namespace {
+
+condense::SourceGraph TinySource() {
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", 91);
+  return condense::FromTrainView(data::MakeTrainView(ds));
+}
+
+TriggerInstantiation MakeTrigger(int g, int d, float value) {
+  TriggerInstantiation t;
+  t.features = Matrix(g, d, value);
+  t.internal_edges = {{0, 1}};
+  return t;
+}
+
+TEST(AttachTest, EmptyHostsIsIdentityOp) {
+  condense::SourceGraph src = TinySource();
+  AugmentedGraph aug = AttachToGraph(src.adj, src.features, {}, {});
+  EXPECT_EQ(aug.adj.rows(), src.adj.rows());
+  EXPECT_TRUE(aug.features == src.features);
+}
+
+TEST(AttachTest, AppendsTriggerNodesWithEdges) {
+  condense::SourceGraph src = TinySource();
+  const int n = src.adj.rows();
+  const int d = src.features.cols();
+  AugmentedGraph aug = AttachToGraph(
+      src.adj, src.features, {3, 7},
+      {MakeTrigger(2, d, 1.0f), MakeTrigger(2, d, 2.0f)});
+  EXPECT_EQ(aug.adj.rows(), n + 4);
+  EXPECT_EQ(aug.num_original, n);
+  // Host links to trigger node 0 (both directions).
+  EXPECT_FLOAT_EQ(aug.adj.At(3, n), 1.0f);
+  EXPECT_FLOAT_EQ(aug.adj.At(n, 3), 1.0f);
+  EXPECT_FLOAT_EQ(aug.adj.At(7, n + 2), 1.0f);
+  // Internal trigger edge 0-1 symmetric.
+  EXPECT_FLOAT_EQ(aug.adj.At(n, n + 1), 1.0f);
+  EXPECT_FLOAT_EQ(aug.adj.At(n + 1, n), 1.0f);
+  // No cross-trigger edges.
+  EXPECT_FLOAT_EQ(aug.adj.At(n, n + 2), 0.0f);
+  // Features copied per instantiation.
+  EXPECT_FLOAT_EQ(aug.features.At(n, 0), 1.0f);
+  EXPECT_FLOAT_EQ(aug.features.At(n + 2, 0), 2.0f);
+}
+
+TEST(AttachTest, OriginalEdgesPreserved) {
+  condense::SourceGraph src = TinySource();
+  const int d = src.features.cols();
+  AugmentedGraph aug =
+      AttachToGraph(src.adj, src.features, {0}, {MakeTrigger(3, d, 0.5f)});
+  for (const auto& e : src.adj.ToEdges()) {
+    EXPECT_FLOAT_EQ(aug.adj.At(e.src, e.dst), e.weight);
+  }
+}
+
+TEST(BuildPoisonedSourceTest, HostsRelabeledToTarget) {
+  condense::SourceGraph src = TinySource();
+  const int d = src.features.cols();
+  std::vector<int> hosts;
+  for (int idx : src.labeled) {
+    if (src.labels[idx] != 0) {
+      hosts.push_back(idx);
+      if (hosts.size() == 3) break;
+    }
+  }
+  condense::SourceGraph poisoned = BuildPoisonedSource(
+      src, hosts,
+      std::vector<TriggerInstantiation>(hosts.size(), MakeTrigger(2, d, 1.0f)),
+      /*target_class=*/0);
+  for (int host : hosts) EXPECT_EQ(poisoned.labels[host], 0);
+}
+
+TEST(BuildPoisonedSourceTest, TriggerNodesNotInLabeledSet) {
+  condense::SourceGraph src = TinySource();
+  const int n = src.adj.rows();
+  const int d = src.features.cols();
+  condense::SourceGraph poisoned = BuildPoisonedSource(
+      src, {src.labeled[1]}, {MakeTrigger(2, d, 1.0f)}, 0);
+  EXPECT_EQ(poisoned.adj.rows(), n + 2);
+  for (int idx : poisoned.labeled) EXPECT_LT(idx, n);
+  // Labeled set unchanged in size (host was already labeled).
+  EXPECT_EQ(poisoned.labeled.size(), src.labeled.size());
+}
+
+TEST(BuildPoisonedSourceTest, UnlabeledHostJoinsLabeledSet) {
+  condense::SourceGraph src = TinySource();
+  const int d = src.features.cols();
+  // Find an unlabeled node.
+  std::vector<bool> is_labeled(src.adj.rows(), false);
+  for (int idx : src.labeled) is_labeled[idx] = true;
+  int host = -1;
+  for (int i = 0; i < src.adj.rows(); ++i) {
+    if (!is_labeled[i]) {
+      host = i;
+      break;
+    }
+  }
+  ASSERT_GE(host, 0);
+  condense::SourceGraph poisoned =
+      BuildPoisonedSource(src, {host}, {MakeTrigger(2, d, 1.0f)}, 0);
+  EXPECT_EQ(poisoned.labeled.size(), src.labeled.size() + 1);
+  EXPECT_TRUE(std::binary_search(poisoned.labeled.begin(),
+                                 poisoned.labeled.end(), host));
+}
+
+TEST(BuildPoisonedSourceTest, CleanGraphUntouched) {
+  condense::SourceGraph src = TinySource();
+  const int d = src.features.cols();
+  const auto labels_before = src.labels;
+  const int nnz_before = src.adj.nnz();
+  BuildPoisonedSource(src, {src.labeled[0]}, {MakeTrigger(2, d, 1.0f)}, 0);
+  EXPECT_EQ(src.labels, labels_before);
+  EXPECT_EQ(src.adj.nnz(), nnz_before);
+}
+
+}  // namespace
+}  // namespace bgc::attack

@@ -1,0 +1,142 @@
+// Integration tests of the full attack pipelines on tiny-sim.
+
+#include "src/attack/bgc.h"
+
+#include <gtest/gtest.h>
+
+#include "src/attack/gta.h"
+#include "src/attack/naive.h"
+#include "src/data/synthetic.h"
+#include "src/eval/pipeline.h"
+
+namespace bgc::attack {
+namespace {
+
+struct Fixture {
+  data::GraphDataset ds;
+  condense::SourceGraph clean;
+
+  explicit Fixture(uint64_t seed = 111)
+      : ds(data::MakeDataset("tiny-sim", seed)),
+        clean(condense::FromTrainView(data::MakeTrainView(ds))) {}
+};
+
+condense::CondenseConfig FastCondense() {
+  condense::CondenseConfig cfg;
+  cfg.num_condensed = 9;
+  cfg.epochs = 30;
+  return cfg;
+}
+
+AttackConfig FastAttack() {
+  AttackConfig cfg;
+  cfg.target_class = 0;
+  cfg.trigger_size = 3;
+  cfg.poison_ratio = 0.2;  // 6 of 30 labeled
+  cfg.clusters_per_class = 2;
+  cfg.selector_epochs = 30;
+  cfg.surrogate_steps = 20;
+  cfg.update_batch = 10;
+  cfg.ego = {2, 8};
+  return cfg;
+}
+
+TEST(RunBgcTest, ProducesValidResult) {
+  Fixture f;
+  Rng rng(1);
+  auto condenser = condense::MakeCondenser("gcond-x");
+  AttackResult result = RunBgc(f.clean, f.ds.num_classes, *condenser,
+                               FastCondense(), FastAttack(), rng);
+  EXPECT_EQ(result.condensed.features.rows(), 9);
+  EXPECT_NE(result.generator, nullptr);
+  EXPECT_FALSE(result.poisoned_nodes.empty());
+  EXPECT_LE(result.poisoned_nodes.size(), 6u);
+  for (int v : result.poisoned_nodes) EXPECT_NE(f.ds.labels[v], 0);
+}
+
+TEST(RunBgcTest, BackdoorsTheVictim) {
+  Fixture f(112);
+  Rng rng(2);
+  auto condenser = condense::MakeCondenser("gcond-x");
+  AttackResult result = RunBgc(f.clean, f.ds.num_classes, *condenser,
+                               FastCondense(), FastAttack(), rng);
+  eval::VictimConfig vc;
+  vc.hidden = 16;
+  vc.epochs = 120;
+  auto victim = eval::TrainVictim(result.condensed, vc, rng);
+  eval::AttackMetrics metrics =
+      eval::EvaluateVictim(*victim, f.ds, result.generator.get(), 0);
+  EXPECT_GT(metrics.asr, 0.8);
+  EXPECT_GT(metrics.cta, 0.5);  // utility preserved (chance = 1/3)
+}
+
+TEST(RunBgcTest, RandomSelectionVariantRuns) {
+  Fixture f(113);
+  Rng rng(3);
+  auto condenser = condense::MakeCondenser("dc-graph");
+  AttackConfig acfg = FastAttack();
+  acfg.selection = "random";
+  AttackResult result = RunBgc(f.clean, f.ds.num_classes, *condenser,
+                               FastCondense(), acfg, rng);
+  EXPECT_FALSE(result.poisoned_nodes.empty());
+}
+
+TEST(RunBgcTest, UniversalTriggerVariantRuns) {
+  Fixture f(114);
+  Rng rng(4);
+  auto condenser = condense::MakeCondenser("gcond-x");
+  AttackConfig acfg = FastAttack();
+  acfg.trigger_type = "universal";
+  AttackResult result = RunBgc(f.clean, f.ds.num_classes, *condenser,
+                               FastCondense(), acfg, rng);
+  auto triggers = result.generator->Generate(f.clean, {0, 1});
+  EXPECT_TRUE(triggers[0].features == triggers[1].features);
+}
+
+TEST(RunGtaTest, ProducesFrozenTriggerAttack) {
+  Fixture f(115);
+  Rng rng(5);
+  auto condenser = condense::MakeCondenser("gcond-x");
+  condense::CondenseConfig ccfg = FastCondense();
+  ccfg.epochs = 15;  // GTA trains the generator epochs×steps times upfront
+  AttackResult result = RunGta(f.clean, f.ds.num_classes, *condenser, ccfg,
+                               FastAttack(), rng);
+  EXPECT_EQ(result.condensed.features.rows(), 9);
+  EXPECT_NE(result.generator, nullptr);
+}
+
+TEST(RunNaiveTest, PoisonsCondensedGraphDirectly) {
+  Fixture f(116);
+  Rng rng(6);
+  auto condenser = condense::MakeCondenser("gcond-x");
+  AttackResult result = RunNaivePoison(f.clean, f.ds.num_classes, *condenser,
+                                       FastCondense(), FastAttack(), rng);
+  // Condensed graph grew by trigger nodes.
+  EXPECT_GT(result.condensed.features.rows(), 9);
+  // Some synthetic nodes were relabeled to the target class beyond the
+  // original allocation.
+  int target_count = 0;
+  for (int y : result.condensed.labels) target_count += y == 0;
+  EXPECT_GT(target_count, 3);
+  EXPECT_FALSE(result.poisoned_nodes.empty());
+}
+
+TEST(ResolvePoisonBudgetTest, RatioAndExplicit) {
+  AttackConfig cfg;
+  cfg.poison_ratio = 0.1;
+  EXPECT_EQ(ResolvePoisonBudget(cfg, 100), 10);
+  EXPECT_EQ(ResolvePoisonBudget(cfg, 5), 1);  // floor of 1
+  cfg.poison_budget = 42;
+  EXPECT_EQ(ResolvePoisonBudget(cfg, 100), 42);
+}
+
+TEST(ResolveTriggerScaleTest, AutoUsesDataScale) {
+  AttackConfig cfg;
+  Matrix x(2, 2, {1.0f, -1.0f, 2.0f, -2.0f});
+  EXPECT_FLOAT_EQ(ResolveTriggerFeatureScale(cfg, x), 1.5f);
+  cfg.trigger_feature_scale = 7.0f;
+  EXPECT_FLOAT_EQ(ResolveTriggerFeatureScale(cfg, x), 7.0f);
+}
+
+}  // namespace
+}  // namespace bgc::attack

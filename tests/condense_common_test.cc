@@ -1,0 +1,183 @@
+#include "src/condense/common.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/data/synthetic.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace bgc::condense {
+namespace {
+
+SourceGraph TinySource(uint64_t seed = 41) {
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", seed);
+  data::TrainView view = data::MakeTrainView(ds);
+  return FromTrainView(view);
+}
+
+TEST(AllocateLabelsTest, ExactTotalAndFloor) {
+  SourceGraph src = TinySource();
+  for (int n : {3, 5, 9, 15, 30}) {
+    auto labels = AllocateSyntheticLabels(src, 3, n);
+    EXPECT_EQ(static_cast<int>(labels.size()), n);
+    auto counts = data::ClassCounts(labels, 3);
+    for (int c : counts) EXPECT_GE(c, 1);  // tiny-sim has all 3 classes
+  }
+}
+
+TEST(AllocateLabelsTest, SortedByClass) {
+  SourceGraph src = TinySource();
+  auto labels = AllocateSyntheticLabels(src, 3, 12);
+  for (size_t i = 1; i < labels.size(); ++i) {
+    EXPECT_LE(labels[i - 1], labels[i]);
+  }
+}
+
+TEST(AllocateLabelsTest, ProportionalToClassSizes) {
+  // Labeled set: 8 of class 0, 2 of class 1.
+  SourceGraph src;
+  src.labels = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1};
+  for (int i = 0; i < 10; ++i) src.labeled.push_back(i);
+  auto labels = AllocateSyntheticLabels(src, 2, 5);
+  auto counts = data::ClassCounts(labels, 2);
+  EXPECT_EQ(counts[0], 4);
+  EXPECT_EQ(counts[1], 1);
+}
+
+TEST(AllocateLabelsTest, EmptyClassGetsNothing) {
+  SourceGraph src;
+  src.labels = {0, 0, 2, 2};
+  for (int i = 0; i < 4; ++i) src.labeled.push_back(i);
+  auto labels = AllocateSyntheticLabels(src, 3, 4);
+  auto counts = data::ClassCounts(labels, 3);
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_EQ(counts[0] + counts[2], 4);
+}
+
+TEST(InitFeaturesTest, NearSourceClassFeatures) {
+  SourceGraph src = TinySource();
+  Rng rng(1);
+  auto labels = AllocateSyntheticLabels(src, 3, 9);
+  Matrix x = InitSyntheticFeatures(src, labels, rng);
+  EXPECT_EQ(x.rows(), 9);
+  EXPECT_EQ(x.cols(), src.features.cols());
+  // Every synthetic row should be within noise distance of SOME labeled
+  // source row of its class.
+  for (int i = 0; i < x.rows(); ++i) {
+    float best = 1e9f;
+    for (int idx : src.labeled) {
+      if (src.labels[idx] != labels[i]) continue;
+      float dist = 0.0f;
+      for (int j = 0; j < x.cols(); ++j) {
+        const float dv = x.At(i, j) - src.features.At(idx, j);
+        dist += dv * dv;
+      }
+      best = std::min(best, dist);
+    }
+    EXPECT_LT(best, 0.05f * 0.05f * x.cols() * 16.0f);
+  }
+}
+
+TEST(PropagateTest, IdentityGraphWithSelfLoopIsIdentity) {
+  // A = empty => Â = I (self loop only), propagation is a no-op.
+  graph::CsrMatrix empty_adj =
+      graph::CsrMatrix::FromEdges(3, 3, {}, false);
+  Matrix x(3, 2, {1, 2, 3, 4, 5, 6});
+  EXPECT_TRUE(AllClose(PropagateFeatures(empty_adj, x, 3), x));
+}
+
+TEST(PropagateTest, SmoothsTowardNeighborAverage) {
+  // Dense clique: K-step propagation pulls rows toward the global mean.
+  std::vector<graph::Edge> edges;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) edges.push_back({i, j});
+  }
+  graph::CsrMatrix clique = graph::CsrMatrix::FromEdges(4, 4, edges, true);
+  Matrix x(4, 1, {0, 0, 0, 4});
+  Matrix z = PropagateFeatures(clique, x, 4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(z.At(i, 0), 1.0f, 0.25f);
+  }
+}
+
+TEST(PerClassGradientsTest, MatchesAutogradGradient) {
+  SourceGraph src = TinySource();
+  Rng rng(2);
+  Matrix z = PropagateFeatures(src.adj, src.features, 2);
+  Matrix w = Matrix::GlorotUniform(z.cols(), 3, rng);
+  auto grads = PerClassGradients(z, src.labels, src.labeled, w, 3);
+
+  // Reference: tape gradient of mean CE over class-c labeled rows w.r.t. W.
+  for (int c = 0; c < 3; ++c) {
+    std::vector<int> rows;
+    for (int idx : src.labeled) {
+      if (src.labels[idx] == c) rows.push_back(idx);
+    }
+    ASSERT_FALSE(rows.empty());
+    ag::Tape t;
+    ag::Var wv = t.Input(w);
+    ag::Var zc = t.Constant(GatherRows(z, rows));
+    std::vector<int> y(rows.size(), c);
+    ag::Var loss = t.SoftmaxCrossEntropy(t.MatMul(zc, wv), OneHot(y, 3));
+    t.Backward(loss);
+    EXPECT_TRUE(AllClose(grads[c], t.grad(wv), 1e-3f, 1e-4f)) << "class " << c;
+  }
+}
+
+TEST(MatchingDistanceTest, ZeroForIdenticalGradients) {
+  Rng rng(3);
+  Matrix g = Matrix::RandomNormal(5, 3, rng);
+  ag::Tape t;
+  ag::Var gv = t.Input(g);
+  ag::Var d = MatchingDistance(t, gv, g);
+  EXPECT_NEAR(t.value(d).At(0, 0), 0.0f, 1e-4f);
+}
+
+TEST(MatchingDistanceTest, MaximalForOppositeGradients) {
+  Rng rng(4);
+  Matrix g = Matrix::RandomNormal(5, 3, rng);
+  ag::Tape t;
+  ag::Var gv = t.Input(Scale(g, -1.0f));
+  ag::Var d = MatchingDistance(t, gv, g);
+  // 1 - cos = 2 per column, 3 columns.
+  EXPECT_NEAR(t.value(d).At(0, 0), 6.0f, 1e-3f);
+}
+
+TEST(MatchingDistanceTest, GradientPullsTowardTarget) {
+  Rng rng(5);
+  Matrix target = Matrix::RandomNormal(4, 2, rng);
+  Matrix g = Matrix::RandomNormal(4, 2, rng);
+  ag::Tape t;
+  ag::Var gv = t.Input(g);
+  ag::Var d = MatchingDistance(t, gv, target);
+  const float before = t.value(d).At(0, 0);
+  t.Backward(d);
+  Matrix stepped = g;
+  AddScaledInPlace(stepped, t.grad(gv), -0.1f);
+  ag::Tape t2;
+  ag::Var gv2 = t2.Input(stepped);
+  EXPECT_LT(t2.value(MatchingDistance(t2, gv2, target)).At(0, 0), before);
+}
+
+TEST(SgcStepTest, ReducesLoss) {
+  SourceGraph src = TinySource();
+  Rng rng(6);
+  Matrix z = PropagateFeatures(src.adj, src.features, 2);
+  Matrix y = OneHot(src.labels, 3);
+  Matrix w = Matrix::GlorotUniform(z.cols(), 3, rng);
+  auto loss = [&](const Matrix& weights) {
+    Matrix p = RowSoftmax(MatMul(z, weights));
+    double total = 0.0;
+    for (int i = 0; i < p.rows(); ++i) {
+      total -= std::log(std::max(p.At(i, src.labels[i]), 1e-12f));
+    }
+    return total / p.rows();
+  };
+  const double before = loss(w);
+  for (int s = 0; s < 20; ++s) SgcStep(z, y, w, 0.5f);
+  EXPECT_LT(loss(w), before);
+}
+
+}  // namespace
+}  // namespace bgc::condense

@@ -1,0 +1,164 @@
+#include "src/condense/condenser.h"
+
+#include <gtest/gtest.h>
+
+#include "src/condense/gradient_matching.h"
+#include "src/data/synthetic.h"
+#include "src/nn/trainer.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace bgc::condense {
+namespace {
+
+struct Fixture {
+  data::GraphDataset ds;
+  SourceGraph source;
+
+  explicit Fixture(uint64_t seed = 51)
+      : ds(data::MakeDataset("tiny-sim", seed)),
+        source(FromTrainView(data::MakeTrainView(ds))) {}
+};
+
+CondenseConfig FastConfig() {
+  CondenseConfig cfg;
+  cfg.num_condensed = 9;
+  cfg.epochs = 40;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(CondenserFactoryTest, AllMethodsConstruct) {
+  for (const char* m : {"gcond", "gcond-x", "dc-graph", "gc-sntk", "doscond",
+                        "gcdm"}) {
+    auto c = MakeCondenser(m);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->name(), m);
+  }
+}
+
+TEST(CondenserFactoryDeathTest, UnknownMethodAborts) {
+  EXPECT_DEATH(MakeCondenser("magic"), "unknown");
+}
+
+TEST(CondenserTest, ResultShapes) {
+  Fixture f;
+  Rng rng(1);
+  for (const char* m : {"gcond", "gcond-x", "dc-graph", "gc-sntk", "doscond",
+                        "gcdm"}) {
+    auto c = MakeCondenser(m);
+    CondensedGraph g =
+        RunCondensation(*c, f.source, f.ds.num_classes, FastConfig(), rng);
+    EXPECT_EQ(g.features.rows(), 9) << m;
+    EXPECT_EQ(g.features.cols(), f.ds.feature_dim()) << m;
+    EXPECT_EQ(g.labels.size(), 9u) << m;
+    EXPECT_EQ(g.adj.rows(), 9) << m;
+    EXPECT_EQ(g.num_classes, f.ds.num_classes) << m;
+  }
+}
+
+TEST(CondenserTest, StructureFlagPerMethod) {
+  Fixture f;
+  Rng rng(2);
+  EXPECT_TRUE(RunCondensation(*MakeCondenser("gcond"), f.source,
+                              f.ds.num_classes, FastConfig(), rng)
+                  .use_structure);
+  for (const char* m : {"gcond-x", "dc-graph", "gc-sntk", "gcdm"}) {
+    CondensedGraph g = RunCondensation(*MakeCondenser(m), f.source,
+                                       f.ds.num_classes, FastConfig(), rng);
+    EXPECT_FALSE(g.use_structure) << m;
+    // Identity adjacency for structure-free methods.
+    EXPECT_TRUE(AllClose(g.adj.ToDense(), Matrix::Identity(9))) << m;
+  }
+}
+
+TEST(CondenserTest, EpochsImproveFeatures) {
+  Fixture f;
+  Rng rng(3);
+  auto c = MakeCondenser("gcond-x");
+  CondenseConfig cfg = FastConfig();
+  c->Initialize(f.source, f.ds.num_classes, cfg, rng);
+  Matrix initial = c->Result().features;
+  for (int e = 0; e < 10; ++e) c->Epoch(f.source);
+  EXPECT_FALSE(c->Result().features == initial);
+}
+
+TEST(CondenserTest, LabelsAreClassSorted) {
+  Fixture f;
+  Rng rng(4);
+  CondensedGraph g = RunCondensation(*MakeCondenser("gcond"), f.source,
+                                     f.ds.num_classes, FastConfig(), rng);
+  for (size_t i = 1; i < g.labels.size(); ++i) {
+    EXPECT_LE(g.labels[i - 1], g.labels[i]);
+  }
+}
+
+TEST(CondenserTest, GcondLearnedAdjacencyProperties) {
+  Fixture f;
+  Rng rng(5);
+  GradientMatchingCondenser c(GradientMatchingCondenser::Variant::kGcond);
+  c.Initialize(f.source, f.ds.num_classes, FastConfig(), rng);
+  for (int e = 0; e < 10; ++e) c.Epoch(f.source);
+  Matrix a = c.LearnedAdjacency();
+  EXPECT_EQ(a.rows(), 9);
+  for (int i = 0; i < a.rows(); ++i) {
+    EXPECT_FLOAT_EQ(a.At(i, i), 0.0f);
+    for (int j = 0; j < a.cols(); ++j) {
+      EXPECT_GE(a.At(i, j), 0.0f);
+      EXPECT_LE(a.At(i, j), 1.0f);
+      EXPECT_NEAR(a.At(i, j), a.At(j, i), 1e-5f);  // symmetric head
+    }
+  }
+}
+
+TEST(CondenserTest, DeterministicGivenSeed) {
+  Fixture f;
+  CondenseConfig cfg = FastConfig();
+  cfg.epochs = 10;
+  Rng rng_a(6), rng_b(6);
+  CondensedGraph a = RunCondensation(*MakeCondenser("gcond-x"), f.source,
+                                     f.ds.num_classes, cfg, rng_a);
+  CondensedGraph b = RunCondensation(*MakeCondenser("gcond-x"), f.source,
+                                     f.ds.num_classes, cfg, rng_b);
+  EXPECT_TRUE(a.features == b.features);
+}
+
+// End-to-end utility: a GCN trained on the condensed graph must far exceed
+// chance on the full test split — the core property graph condensation
+// promises (Table 2's C-CTA column).
+class CondensedUtilityTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CondensedUtilityTest, GcnTrainedOnCondensedBeatschance) {
+  Fixture f(61);
+  Rng rng(7);
+  CondenseConfig cfg = FastConfig();
+  cfg.num_condensed = 12;
+  cfg.epochs = 60;
+  CondensedGraph g = RunCondensation(*MakeCondenser(GetParam()), f.source,
+                                     f.ds.num_classes, cfg, rng);
+  nn::GnnConfig mc;
+  mc.in_dim = f.ds.feature_dim();
+  mc.hidden_dim = 16;
+  mc.out_dim = f.ds.num_classes;
+  mc.dropout = 0.0f;
+  auto model = nn::MakeModel("gcn", mc, rng);
+  nn::TrainConfig tc;
+  tc.epochs = 120;
+  nn::TrainNodeClassifier(*model, g.adj, g.features, g.labels, {}, tc);
+  Matrix logits = nn::PredictLogits(*model, f.ds.adj, f.ds.features);
+  const double acc = nn::Accuracy(logits, f.ds.labels, f.ds.test_idx);
+  EXPECT_GT(acc, 0.55) << GetParam();  // chance = 1/3
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, CondensedUtilityTest,
+                         ::testing::Values("gcond", "gcond-x", "dc-graph",
+                                           "gc-sntk", "doscond", "gcdm"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (auto& ch : n) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace bgc::condense

@@ -1,0 +1,148 @@
+#include "src/graph/csr.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/rng.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace bgc::graph {
+namespace {
+
+CsrMatrix TriangleGraph() {
+  // 0-1, 1-2, 0-2 undirected triangle.
+  return CsrMatrix::FromEdges(3, 3, {{0, 1}, {1, 2}, {0, 2}},
+                              /*symmetrize=*/true);
+}
+
+TEST(CsrTest, FromEdgesBasic) {
+  CsrMatrix m = TriangleGraph();
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.nnz(), 6);
+  EXPECT_FLOAT_EQ(m.At(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(m.At(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(m.At(0, 0), 0.0f);
+}
+
+TEST(CsrTest, DuplicateEdgesCoalesce) {
+  CsrMatrix m = CsrMatrix::FromEdges(2, 2, {{0, 1, 1.0f}, {0, 1, 2.0f}},
+                                     /*symmetrize=*/false);
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_FLOAT_EQ(m.At(0, 1), 3.0f);
+}
+
+TEST(CsrTest, SymmetrizeKeepsSelfLoopSingle) {
+  CsrMatrix m = CsrMatrix::FromEdges(2, 2, {{0, 0, 2.0f}},
+                                     /*symmetrize=*/true);
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_FLOAT_EQ(m.At(0, 0), 2.0f);
+}
+
+TEST(CsrTest, FromDenseRoundTrip) {
+  Matrix d(2, 3, {0, 1.5f, 0, -2, 0, 0.25f});
+  CsrMatrix m = CsrMatrix::FromDense(d);
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_TRUE(AllClose(m.ToDense(), d));
+}
+
+TEST(CsrTest, FromDenseThreshold) {
+  Matrix d(1, 3, {0.1f, 0.5f, 0.9f});
+  CsrMatrix m = CsrMatrix::FromDense(d, 0.4f);
+  EXPECT_EQ(m.nnz(), 2);
+}
+
+TEST(CsrTest, IdentityMultiply) {
+  Rng rng(3);
+  Matrix x = Matrix::RandomNormal(4, 3, rng);
+  EXPECT_TRUE(AllClose(CsrMatrix::Identity(4).Multiply(x), x));
+}
+
+TEST(CsrTest, MultiplyMatchesDense) {
+  Rng rng(4);
+  Matrix dense(5, 5);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      if (rng.Bernoulli(0.4)) dense.At(i, j) = static_cast<float>(rng.Normal());
+    }
+  }
+  CsrMatrix sparse = CsrMatrix::FromDense(dense);
+  Matrix x = Matrix::RandomNormal(5, 3, rng);
+  EXPECT_TRUE(AllClose(sparse.Multiply(x), MatMul(dense, x), 1e-4f, 1e-5f));
+}
+
+TEST(CsrTest, MultiplyTransposedMatchesDense) {
+  Rng rng(5);
+  Matrix dense(4, 6);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      if (rng.Bernoulli(0.5)) dense.At(i, j) = static_cast<float>(rng.Normal());
+    }
+  }
+  CsrMatrix sparse = CsrMatrix::FromDense(dense);
+  Matrix x = Matrix::RandomNormal(4, 2, rng);
+  EXPECT_TRUE(AllClose(sparse.MultiplyTransposed(x),
+                       MatMul(Transpose(dense), x), 1e-4f, 1e-5f));
+}
+
+TEST(CsrTest, RowAccessors) {
+  CsrMatrix m = TriangleGraph();
+  EXPECT_EQ(m.RowNnz(0), 2);
+  EXPECT_FLOAT_EQ(m.RowWeightSum(0), 2.0f);
+}
+
+TEST(CsrTest, ToEdgesRoundTrip) {
+  CsrMatrix m = TriangleGraph();
+  CsrMatrix m2 = CsrMatrix::FromEdges(3, 3, m.ToEdges(), false);
+  EXPECT_TRUE(AllClose(m.ToDense(), m2.ToDense()));
+}
+
+TEST(CsrNormalizeTest, GcnNormalizeTriangle) {
+  // Triangle + self loops: every node has degree 3, so every entry of the
+  // normalized operator is 1/3.
+  CsrMatrix norm = GcnNormalize(TriangleGraph());
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_NEAR(norm.At(i, j), 1.0f / 3.0f, 1e-6f);
+    }
+  }
+}
+
+TEST(CsrNormalizeTest, GcnNormalizeRowsOfRegularGraphSumToOne) {
+  // For any regular graph the GCN operator's rows sum to 1.
+  CsrMatrix ring = CsrMatrix::FromEdges(
+      4, 4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}}, /*symmetrize=*/true);
+  CsrMatrix norm = GcnNormalize(ring);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(norm.RowWeightSum(i), 1.0f, 1e-6f);
+  }
+}
+
+TEST(CsrNormalizeTest, GcnNormalizeIsolatedNodeSelfLoopOnly) {
+  CsrMatrix lonely = CsrMatrix::FromEdges(2, 2, {{0, 1}}, true);
+  CsrMatrix with_isolated =
+      CsrMatrix::FromEdges(3, 3, lonely.ToEdges(), false);
+  CsrMatrix norm = GcnNormalize(with_isolated);
+  EXPECT_NEAR(norm.At(2, 2), 1.0f, 1e-6f);  // isolated node keeps itself
+}
+
+TEST(CsrNormalizeTest, SymNormalizeNoSelfLoops) {
+  CsrMatrix norm = SymNormalize(TriangleGraph());
+  EXPECT_FLOAT_EQ(norm.At(0, 0), 0.0f);
+  EXPECT_NEAR(norm.At(0, 1), 0.5f, 1e-6f);  // deg 2 each: 1/sqrt(2*2)
+}
+
+TEST(CsrNormalizeTest, RowNormalizeRowsSumToOne) {
+  CsrMatrix norm = RowNormalize(TriangleGraph());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(norm.RowWeightSum(i), 1.0f, 1e-6f);
+  }
+}
+
+TEST(CsrNormalizeTest, ChebyOperatorIsNegatedSymNorm) {
+  CsrMatrix cheb = ChebyOperator(TriangleGraph());
+  EXPECT_NEAR(cheb.At(0, 1), -0.5f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace bgc::graph

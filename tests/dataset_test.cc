@@ -1,0 +1,124 @@
+#include "src/data/dataset.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/data/synthetic.h"
+#include "src/graph/graph_utils.h"
+
+namespace bgc::data {
+namespace {
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  GraphDataset a = MakeDataset("tiny-sim", 7);
+  GraphDataset b = MakeDataset("tiny-sim", 7);
+  EXPECT_TRUE(a.features == b.features);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.adj.nnz(), b.adj.nnz());
+  EXPECT_EQ(a.train_idx, b.train_idx);
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  GraphDataset a = MakeDataset("tiny-sim", 7);
+  GraphDataset b = MakeDataset("tiny-sim", 8);
+  EXPECT_FALSE(a.features == b.features);
+}
+
+TEST(SyntheticTest, ShapesAndLabelRange) {
+  GraphDataset ds = MakeDataset("tiny-sim", 1);
+  EXPECT_EQ(ds.num_nodes(), 200);
+  EXPECT_EQ(ds.feature_dim(), 16);
+  EXPECT_EQ(ds.num_classes, 3);
+  EXPECT_EQ(static_cast<int>(ds.labels.size()), ds.num_nodes());
+  for (int y : ds.labels) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, ds.num_classes);
+  }
+}
+
+TEST(SyntheticTest, AdjacencySymmetricNoSelfLoops) {
+  GraphDataset ds = MakeDataset("tiny-sim", 2);
+  for (const auto& e : ds.adj.ToEdges()) {
+    EXPECT_NE(e.src, e.dst);
+    EXPECT_FLOAT_EQ(ds.adj.At(e.dst, e.src), e.weight);
+  }
+}
+
+TEST(SyntheticTest, SplitsDisjoint) {
+  GraphDataset ds = MakeDataset("tiny-sim", 3);
+  std::set<int> all;
+  for (int i : ds.train_idx) EXPECT_TRUE(all.insert(i).second);
+  for (int i : ds.val_idx) EXPECT_TRUE(all.insert(i).second);
+  for (int i : ds.test_idx) EXPECT_TRUE(all.insert(i).second);
+  for (int i : all) {
+    EXPECT_GE(i, 0);
+    EXPECT_LT(i, ds.num_nodes());
+  }
+}
+
+TEST(SyntheticTest, TransductiveTrainPerClass) {
+  GraphDataset ds = MakeDataset("tiny-sim", 4);
+  auto counts = ClassCounts(ds.labels, ds.num_classes, ds.train_idx);
+  for (int c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(SyntheticTest, HomophilyKnobIsEffective) {
+  SyntheticConfig high = PresetConfig("tiny-sim");
+  high.homophily = 0.9;
+  SyntheticConfig low = PresetConfig("tiny-sim");
+  low.homophily = 0.1;
+  GraphDataset hi = GenerateSynthetic(high, 5);
+  GraphDataset lo = GenerateSynthetic(low, 5);
+  const double h_hi = graph::EdgeHomophily(hi.adj, hi.labels);
+  const double h_lo = graph::EdgeHomophily(lo.adj, lo.labels);
+  EXPECT_GT(h_hi, h_lo + 0.3);
+}
+
+TEST(SyntheticTest, InductivePresetSplitsCoverAllNodes) {
+  GraphDataset ds = MakeDataset("flickr-sim", 6, /*scale=*/0.1);
+  EXPECT_TRUE(ds.inductive);
+  EXPECT_EQ(ds.train_idx.size() + ds.val_idx.size() + ds.test_idx.size(),
+            static_cast<size_t>(ds.num_nodes()));
+}
+
+TEST(SyntheticTest, AllPresetsGenerate) {
+  for (const char* name :
+       {"cora-sim", "citeseer-sim", "flickr-sim", "reddit-sim"}) {
+    GraphDataset ds = MakeDataset(name, 1, /*scale=*/0.05);
+    EXPECT_GT(ds.num_nodes(), 0) << name;
+    EXPECT_GT(ds.adj.nnz(), 0) << name;
+    EXPECT_FALSE(ds.train_idx.empty()) << name;
+    EXPECT_FALSE(ds.test_idx.empty()) << name;
+  }
+}
+
+TEST(TrainViewTest, TransductiveIsFullGraph) {
+  GraphDataset ds = MakeDataset("tiny-sim", 9);
+  TrainView view = MakeTrainView(ds);
+  EXPECT_EQ(view.adj.rows(), ds.num_nodes());
+  EXPECT_EQ(view.labeled, ds.train_idx);
+  EXPECT_EQ(view.origin.size(), static_cast<size_t>(ds.num_nodes()));
+}
+
+TEST(TrainViewTest, InductiveIsTrainSubgraph) {
+  GraphDataset ds = MakeDataset("flickr-sim", 10, /*scale=*/0.1);
+  TrainView view = MakeTrainView(ds);
+  EXPECT_EQ(view.adj.rows(), static_cast<int>(ds.train_idx.size()));
+  EXPECT_EQ(view.features.rows(), view.adj.rows());
+  // Every local node is labeled and maps back to a train node.
+  EXPECT_EQ(view.labeled.size(), ds.train_idx.size());
+  for (size_t i = 0; i < view.origin.size(); ++i) {
+    EXPECT_EQ(view.labels[i], ds.labels[view.origin[i]]);
+  }
+}
+
+TEST(ClassCountsTest, FullAndSubset) {
+  std::vector<int> labels = {0, 1, 1, 2, 2, 2};
+  EXPECT_EQ(ClassCounts(labels, 3), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(ClassCounts(labels, 3, {0, 3, 4}), (std::vector<int>{1, 0, 2}));
+}
+
+}  // namespace
+}  // namespace bgc::data

@@ -1,0 +1,191 @@
+#include "src/defense/defenses.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/synthetic.h"
+#include "src/eval/pipeline.h"
+#include "src/nn/trainer.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace bgc::defense {
+namespace {
+
+condense::CondensedGraph MakeCondensedFixture() {
+  // 4 nodes: 0,1 similar features; 2,3 similar; cross edges dissimilar.
+  condense::CondensedGraph g;
+  g.features = Matrix(4, 2, {1, 0, 1, 0.1f, -1, 0, -1, -0.1f});
+  g.adj = graph::CsrMatrix::FromEdges(
+      4, 4, {{0, 1}, {2, 3}, {0, 2}, {1, 3}}, /*symmetrize=*/true);
+  g.labels = {0, 0, 1, 1};
+  g.num_classes = 2;
+  g.use_structure = true;
+  return g;
+}
+
+TEST(PruneTest, DropsLowestCosineEdges) {
+  condense::CondensedGraph g = MakeCondensedFixture();
+  // 4 undirected edges; prune 50% -> the two cross-class (cos = -1) edges
+  // must go, similar pairs stay.
+  condense::CondensedGraph pruned = Prune(g, 0.5);
+  EXPECT_FLOAT_EQ(pruned.adj.At(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(pruned.adj.At(2, 3), 1.0f);
+  EXPECT_FLOAT_EQ(pruned.adj.At(0, 2), 0.0f);
+  EXPECT_FLOAT_EQ(pruned.adj.At(1, 3), 0.0f);
+  // Symmetry preserved.
+  EXPECT_TRUE(AllClose(pruned.adj.ToDense(),
+                       Transpose(pruned.adj.ToDense())));
+}
+
+TEST(PruneTest, ZeroRatioKeepsEverything) {
+  condense::CondensedGraph g = MakeCondensedFixture();
+  EXPECT_EQ(Prune(g, 0.0).adj.nnz(), g.adj.nnz());
+}
+
+TEST(PruneTest, FullRatioDropsAllEdges) {
+  condense::CondensedGraph g = MakeCondensedFixture();
+  EXPECT_EQ(Prune(g, 1.0).adj.nnz(), 0);
+}
+
+TEST(PruneTest, SelfLoopsSurvive) {
+  condense::CondensedGraph g = MakeCondensedFixture();
+  g.adj = graph::CsrMatrix::FromEdges(
+      4, 4, {{0, 0}, {1, 1}, {0, 2}}, /*symmetrize=*/true);
+  condense::CondensedGraph pruned = Prune(g, 1.0);
+  EXPECT_FLOAT_EQ(pruned.adj.At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(pruned.adj.At(1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(pruned.adj.At(0, 2), 0.0f);
+}
+
+TEST(PruneTest, FeaturesAndLabelsUntouched) {
+  condense::CondensedGraph g = MakeCondensedFixture();
+  condense::CondensedGraph pruned = Prune(g, 0.5);
+  EXPECT_TRUE(pruned.features == g.features);
+  EXPECT_EQ(pruned.labels, g.labels);
+}
+
+TEST(RandsmoothTest, VoteCountsSumToNumSamples) {
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", 121);
+  Rng rng(1);
+  nn::GnnConfig mc;
+  mc.in_dim = ds.feature_dim();
+  mc.hidden_dim = 8;
+  mc.out_dim = ds.num_classes;
+  auto model = nn::MakeModel("gcn", mc, rng);
+  Matrix votes =
+      RandsmoothPredict(*model, ds.adj, ds.features, 7, 0.6, rng);
+  EXPECT_EQ(votes.rows(), ds.num_nodes());
+  EXPECT_EQ(votes.cols(), ds.num_classes);
+  for (int i = 0; i < votes.rows(); ++i) {
+    float sum = 0.0f;
+    for (int j = 0; j < votes.cols(); ++j) sum += votes.At(i, j);
+    EXPECT_FLOAT_EQ(sum, 7.0f);
+  }
+}
+
+TEST(RandsmoothTest, KeepAllMatchesPlainPrediction) {
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", 122);
+  Rng rng(2);
+  nn::GnnConfig mc;
+  mc.in_dim = ds.feature_dim();
+  mc.hidden_dim = 8;
+  mc.out_dim = ds.num_classes;
+  mc.dropout = 0.0f;
+  auto model = nn::MakeModel("gcn", mc, rng);
+  Matrix votes =
+      RandsmoothPredict(*model, ds.adj, ds.features, 3, 1.0, rng);
+  Matrix logits = nn::PredictLogits(*model, ds.adj, ds.features);
+  EXPECT_EQ(ArgmaxRows(votes), ArgmaxRows(logits));
+}
+
+TEST(RandsmoothTest, SmoothedAccuracyReasonable) {
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", 123);
+  Rng rng(3);
+  nn::GnnConfig mc;
+  mc.in_dim = ds.feature_dim();
+  mc.hidden_dim = 16;
+  mc.out_dim = ds.num_classes;
+  auto model = nn::MakeModel("gcn", mc, rng);
+  nn::TrainConfig tc;
+  tc.epochs = 100;
+  nn::TrainNodeClassifier(*model, ds.adj, ds.features, ds.labels,
+                          ds.train_idx, tc);
+  Matrix votes =
+      RandsmoothPredict(*model, ds.adj, ds.features, 9, 0.7, rng);
+  EXPECT_GT(nn::Accuracy(votes, ds.labels, ds.test_idx), 0.55);
+}
+
+
+TEST(JaccardPruneTest, DropsZeroOverlapEdges) {
+  // Path 0-1-2: edge (0,1) endpoints share no neighbors -> Jaccard 0.
+  condense::CondensedGraph g;
+  g.features = Matrix(3, 2, 1.0f);
+  g.adj = graph::CsrMatrix::FromEdges(3, 3, {{0, 1}, {1, 2}},
+                                      /*symmetrize=*/true);
+  g.labels = {0, 0, 0};
+  g.num_classes = 1;
+  condense::CondensedGraph pruned = JaccardPrune(g, 0.01);
+  EXPECT_EQ(pruned.adj.nnz(), 0);
+}
+
+TEST(JaccardPruneTest, KeepsTriangleEdges) {
+  // Triangle: each edge's endpoints share the third node -> Jaccard > 0.
+  condense::CondensedGraph g;
+  g.features = Matrix(3, 2, 1.0f);
+  g.adj = graph::CsrMatrix::FromEdges(3, 3, {{0, 1}, {1, 2}, {0, 2}},
+                                      /*symmetrize=*/true);
+  g.labels = {0, 0, 0};
+  g.num_classes = 1;
+  condense::CondensedGraph pruned = JaccardPrune(g, 0.01);
+  EXPECT_EQ(pruned.adj.nnz(), 6);
+}
+
+TEST(JaccardPruneTest, ThresholdZeroKeepsAll) {
+  condense::CondensedGraph g;
+  g.features = Matrix(3, 2, 1.0f);
+  g.adj = graph::CsrMatrix::FromEdges(3, 3, {{0, 1}, {1, 2}},
+                                      /*symmetrize=*/true);
+  g.labels = {0, 0, 0};
+  g.num_classes = 1;
+  EXPECT_EQ(JaccardPrune(g, 0.0).adj.nnz(), g.adj.nnz());
+}
+
+TEST(FilterOutliersTest, RemovesExtremeNormNode) {
+  condense::CondensedGraph g;
+  g.features = Matrix(5, 2, {1, 0, 1.1f, 0, 0.9f, 0, 1, 0.1f, 100, 100});
+  g.adj = graph::CsrMatrix::Identity(5);
+  g.labels = {0, 0, 1, 1, 1};
+  g.num_classes = 2;
+  condense::CondensedGraph filtered = FilterFeatureOutliers(g, 5.0);
+  EXPECT_EQ(filtered.features.rows(), 4);
+  EXPECT_EQ(filtered.labels, (std::vector<int>{0, 0, 1, 1}));
+  EXPECT_EQ(filtered.adj.rows(), 4);
+}
+
+TEST(FilterOutliersTest, UniformNormsKeepEverything) {
+  condense::CondensedGraph g;
+  g.features = Matrix(4, 2, 1.0f);
+  g.adj = graph::CsrMatrix::Identity(4);
+  g.labels = {0, 1, 0, 1};
+  g.num_classes = 2;
+  EXPECT_EQ(FilterFeatureOutliers(g, 3.0).features.rows(), 4);
+}
+
+TEST(FilterOutliersTest, CatchesNaivePoisonPayload) {
+  // A condensed graph whose poisoned rows carry 4x-scale payloads must lose
+  // exactly those rows under the MAD filter.
+  Rng rng(9);
+  condense::CondensedGraph g;
+  g.features = Matrix::RandomNormal(20, 8, rng, 1.0f);
+  for (int j = 0; j < 8; ++j) {
+    g.features.At(3, j) = 12.0f;
+    g.features.At(15, j) = -12.0f;
+  }
+  g.adj = graph::CsrMatrix::Identity(20);
+  g.labels.assign(20, 0);
+  g.num_classes = 1;
+  condense::CondensedGraph filtered = FilterFeatureOutliers(g, 5.0);
+  EXPECT_EQ(filtered.features.rows(), 18);
+}
+
+}  // namespace
+}  // namespace bgc::defense

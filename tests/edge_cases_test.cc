@@ -1,0 +1,134 @@
+// Boundary-condition tests: empty containers, singleton graphs, degenerate
+// budgets — the places research code usually crashes first.
+
+#include <gtest/gtest.h>
+
+#include "src/attack/attach.h"
+#include "src/attack/ego.h"
+#include "src/autograd/tape.h"
+#include "src/condense/common.h"
+#include "src/eval/table.h"
+#include "src/graph/graph_utils.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace bgc {
+namespace {
+
+TEST(EdgeCaseTest, EmptyMatrixOps) {
+  Matrix empty;
+  EXPECT_EQ(Sum(empty), 0.0f);
+  EXPECT_EQ(FrobeniusNorm(empty), 0.0f);
+  EXPECT_TRUE(Transpose(empty).empty());
+  EXPECT_TRUE(ArgmaxRows(empty).empty());
+}
+
+TEST(EdgeCaseTest, ConcatWithEmpty) {
+  Matrix a(2, 3, 1.0f);
+  Matrix empty;
+  EXPECT_TRUE(ConcatRows(a, empty) == a);
+  EXPECT_TRUE(ConcatRows(empty, a) == a);
+  EXPECT_TRUE(ConcatCols(empty, empty).empty());
+}
+
+TEST(EdgeCaseTest, GatherNoRows) {
+  Matrix a(3, 2, 1.0f);
+  Matrix g = GatherRows(a, {});
+  EXPECT_EQ(g.rows(), 0);
+  EXPECT_EQ(g.cols(), 2);
+}
+
+TEST(EdgeCaseTest, OneHotEmpty) {
+  Matrix y = OneHot({}, 4);
+  EXPECT_EQ(y.rows(), 0);
+  EXPECT_EQ(y.cols(), 4);
+}
+
+TEST(EdgeCaseTest, CsrEmptyGraph) {
+  graph::CsrMatrix g = graph::CsrMatrix::FromEdges(0, 0, {}, true);
+  EXPECT_EQ(g.rows(), 0);
+  EXPECT_EQ(g.nnz(), 0);
+  EXPECT_TRUE(g.ToEdges().empty());
+}
+
+TEST(EdgeCaseTest, CsrNoEdgesMultiply) {
+  graph::CsrMatrix g = graph::CsrMatrix::FromEdges(3, 3, {}, true);
+  Matrix x(3, 2, 1.0f);
+  EXPECT_TRUE(g.Multiply(x) == Matrix(3, 2));
+}
+
+TEST(EdgeCaseTest, NormalizeSingletonGraph) {
+  graph::CsrMatrix one = graph::CsrMatrix::FromEdges(1, 1, {}, true);
+  graph::CsrMatrix norm = graph::GcnNormalize(one);
+  EXPECT_NEAR(norm.At(0, 0), 1.0f, 1e-6f);
+}
+
+TEST(EdgeCaseTest, EgoNetworkIsolatedNode) {
+  graph::CsrMatrix g = graph::CsrMatrix::FromEdges(4, 4, {{0, 1}}, true);
+  EXPECT_EQ(graph::EgoNetwork(g, 3, 2), (std::vector<int>{3}));
+}
+
+TEST(EdgeCaseTest, EgoItemIsolatedHost) {
+  graph::CsrMatrix g = graph::CsrMatrix::FromEdges(3, 3, {{0, 1}}, true);
+  Matrix x(3, 2, 1.0f);
+  Rng rng(1);
+  attack::EgoItem item = attack::BuildEgoItem(g, x, 2, {2, 4}, 2, rng);
+  EXPECT_EQ(item.nodes, (std::vector<int>{2}));
+  // 1 ego node + 2 trigger slots, attachment edge present.
+  EXPECT_EQ(item.base_adj.rows(), 3);
+  EXPECT_FLOAT_EQ(item.base_adj.At(0, 1), 1.0f);
+}
+
+TEST(EdgeCaseTest, DropEdgesEmptyGraph) {
+  Rng rng(2);
+  graph::CsrMatrix g = graph::CsrMatrix::FromEdges(2, 2, {}, true);
+  EXPECT_EQ(graph::DropEdges(g, 0.5, rng).nnz(), 0);
+}
+
+TEST(EdgeCaseTest, EdgeHomophilyNoEdges) {
+  graph::CsrMatrix g = graph::CsrMatrix::FromEdges(2, 2, {}, true);
+  EXPECT_DOUBLE_EQ(graph::EdgeHomophily(g, {0, 1}), 0.0);
+}
+
+TEST(EdgeCaseTest, TapeSingleNodeGraph) {
+  ag::Tape t;
+  ag::Var a = t.Input(Matrix(1, 1, {2.0f}));
+  ag::Var loss = t.MeanAll(t.Square(a));
+  t.Backward(loss);
+  EXPECT_FLOAT_EQ(t.grad(a).At(0, 0), 4.0f);
+}
+
+TEST(EdgeCaseTest, TapeGradOfUnusedInputIsZero) {
+  ag::Tape t;
+  ag::Var used = t.Input(Matrix(1, 1, {1.0f}));
+  ag::Var unused = t.Input(Matrix(2, 2, 3.0f));
+  t.Backward(t.SumAll(used));
+  EXPECT_TRUE(t.grad(unused) == Matrix(2, 2));
+}
+
+TEST(EdgeCaseTest, AllocateBudgetOne) {
+  condense::SourceGraph src;
+  src.labels = {0, 1, 1};
+  src.labeled = {0, 1, 2};
+  auto labels = condense::AllocateSyntheticLabels(src, 2, 1);
+  EXPECT_EQ(labels.size(), 1u);
+}
+
+TEST(EdgeCaseTest, MinimumTriggerSizeOne) {
+  // A 1-node trigger has no internal edges; attachment must still work.
+  graph::CsrMatrix g = graph::CsrMatrix::FromEdges(2, 2, {{0, 1}}, true);
+  Matrix x(2, 2, 1.0f);
+  attack::TriggerInstantiation trig;
+  trig.features = Matrix(1, 2, 0.5f);
+  attack::AugmentedGraph aug = attack::AttachToGraph(g, x, {0}, {trig});
+  EXPECT_EQ(aug.adj.rows(), 3);
+  EXPECT_FLOAT_EQ(aug.adj.At(0, 2), 1.0f);
+}
+
+TEST(EdgeCaseTest, TextTableNoRows) {
+  eval::TextTable table({"a", "b"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("| a"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bgc

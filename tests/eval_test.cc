@@ -1,0 +1,93 @@
+#include "src/eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "src/eval/table.h"
+
+namespace bgc::eval {
+namespace {
+
+RunSpec FastSpec() {
+  RunSpec spec;
+  spec.dataset = "tiny-sim";
+  spec.repeats = 1;
+  spec.method = "gcond-x";
+  spec.attack = "bgc";
+  spec.condense.num_condensed = 9;
+  spec.condense.epochs = 25;
+  spec.attack_cfg.trigger_size = 3;
+  spec.attack_cfg.poison_ratio = 0.2;
+  spec.attack_cfg.clusters_per_class = 2;
+  spec.attack_cfg.selector_epochs = 20;
+  spec.attack_cfg.surrogate_steps = 15;
+  spec.attack_cfg.update_batch = 8;
+  spec.victim.hidden = 16;
+  spec.victim.epochs = 80;
+  return spec;
+}
+
+TEST(ExperimentTest, CleanRunHasNoAsr) {
+  RunSpec spec = FastSpec();
+  spec.attack = "none";
+  RepeatResult r = RunOnce(spec, 7);
+  EXPECT_GT(r.backdoor.cta, 0.5);
+  EXPECT_DOUBLE_EQ(r.backdoor.asr, 0.0);
+  EXPECT_FALSE(r.has_clean);
+}
+
+TEST(ExperimentTest, BgcRunFillsAllFourMetrics) {
+  RunSpec spec = FastSpec();
+  RepeatResult r = RunOnce(spec, 8);
+  EXPECT_TRUE(r.has_clean);
+  EXPECT_GT(r.backdoor.asr, 0.6);
+  EXPECT_GT(r.backdoor.cta, 0.4);
+  EXPECT_GT(r.clean.cta, 0.4);
+  // The backdoored model is far more susceptible than the clean one.
+  EXPECT_GT(r.backdoor.asr, r.clean.asr);
+}
+
+TEST(ExperimentTest, AggregatesRepeats) {
+  // This exercises the aggregation mechanics; the ASR bar is lower than in
+  // BgcRunFillsAllFourMetrics because the 25-epoch config is deliberately
+  // minimal and one of the two seeds condenses poorly.
+  RunSpec spec = FastSpec();
+  spec.repeats = 2;
+  CellStats stats = RunExperiment(spec);
+  EXPECT_TRUE(stats.has_clean);
+  EXPECT_GT(stats.asr.mean, 0.3);
+  EXPECT_GE(stats.cta.std, 0.0);
+}
+
+TEST(ExperimentTest, DeterministicGivenSeed) {
+  RunSpec spec = FastSpec();
+  RepeatResult a = RunOnce(spec, 9);
+  RepeatResult b = RunOnce(spec, 9);
+  EXPECT_DOUBLE_EQ(a.backdoor.cta, b.backdoor.cta);
+  EXPECT_DOUBLE_EQ(a.backdoor.asr, b.backdoor.asr);
+}
+
+TEST(ExperimentDeathTest, UnknownAttackAborts) {
+  RunSpec spec = FastSpec();
+  spec.attack = "wizardry";
+  EXPECT_DEATH(RunOnce(spec, 1), "unknown attack");
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table({"Method", "ASR"});
+  table.AddRow({"bgc", "100.0"});
+  table.AddRow({"doorping-long-name", "85.5"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("| Method"), std::string::npos);
+  EXPECT_NE(out.find("| bgc"), std::string::npos);
+  EXPECT_NE(out.find("doorping-long-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|--"), std::string::npos);
+}
+
+TEST(TextTableDeathTest, ArityMismatchAborts) {
+  TextTable table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "");
+}
+
+}  // namespace
+}  // namespace bgc::eval

@@ -1,0 +1,95 @@
+#include "src/graph/graph_utils.h"
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/matrix_ops.h"
+
+namespace bgc::graph {
+namespace {
+
+CsrMatrix PathGraph(int n) {
+  std::vector<Edge> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1});
+  return CsrMatrix::FromEdges(n, n, edges, /*symmetrize=*/true);
+}
+
+TEST(GraphUtilsTest, Degrees) {
+  auto deg = Degrees(PathGraph(4));
+  EXPECT_EQ(deg, (std::vector<float>{1, 2, 2, 1}));
+}
+
+TEST(GraphUtilsTest, InducedSubgraphKeepsInternalEdges) {
+  CsrMatrix sub = InducedSubgraph(PathGraph(5), {1, 2, 4});
+  // Local ids: 1->0, 2->1, 4->2. Only edge 1-2 survives.
+  EXPECT_EQ(sub.rows(), 3);
+  EXPECT_FLOAT_EQ(sub.At(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(sub.At(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(sub.At(1, 2), 0.0f);
+  EXPECT_EQ(sub.nnz(), 2);
+}
+
+TEST(GraphUtilsTest, InducedSubgraphEmptySelection) {
+  CsrMatrix sub = InducedSubgraph(PathGraph(3), {});
+  EXPECT_EQ(sub.rows(), 0);
+  EXPECT_EQ(sub.nnz(), 0);
+}
+
+TEST(GraphUtilsTest, AugmentGraphAddsNodesAndSymmetricEdges) {
+  CsrMatrix g = AugmentGraph(PathGraph(3), 2, {{3, 0}, {3, 4}});
+  EXPECT_EQ(g.rows(), 5);
+  EXPECT_FLOAT_EQ(g.At(3, 0), 1.0f);
+  EXPECT_FLOAT_EQ(g.At(0, 3), 1.0f);
+  EXPECT_FLOAT_EQ(g.At(4, 3), 1.0f);
+  // Original edges intact.
+  EXPECT_FLOAT_EQ(g.At(0, 1), 1.0f);
+}
+
+TEST(GraphUtilsTest, AugmentGraphNoExtras) {
+  CsrMatrix base = PathGraph(3);
+  CsrMatrix g = AugmentGraph(base, 0, {});
+  EXPECT_TRUE(AllClose(g.ToDense(), base.ToDense()));
+}
+
+TEST(GraphUtilsTest, DropEdgesKeepAllAndNone) {
+  Rng rng(1);
+  CsrMatrix base = PathGraph(6);
+  EXPECT_EQ(DropEdges(base, 1.0, rng).nnz(), base.nnz());
+  EXPECT_EQ(DropEdges(base, 0.0, rng).nnz(), 0);
+}
+
+TEST(GraphUtilsTest, DropEdgesStaysSymmetric) {
+  Rng rng(2);
+  CsrMatrix dropped = DropEdges(PathGraph(30), 0.5, rng);
+  Matrix d = dropped.ToDense();
+  EXPECT_TRUE(AllClose(d, Transpose(d)));
+  EXPECT_GT(dropped.nnz(), 0);
+  EXPECT_LT(dropped.nnz(), 58);
+}
+
+TEST(GraphUtilsTest, DropEdgesKeepsSelfLoops) {
+  Rng rng(3);
+  CsrMatrix g = CsrMatrix::FromEdges(2, 2, {{0, 0}, {1, 1}, {0, 1}}, true);
+  CsrMatrix dropped = DropEdges(g, 0.0, rng);
+  EXPECT_FLOAT_EQ(dropped.At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(dropped.At(1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(dropped.At(0, 1), 0.0f);
+}
+
+TEST(GraphUtilsTest, EdgeHomophilyAllSame) {
+  EXPECT_DOUBLE_EQ(EdgeHomophily(PathGraph(4), {1, 1, 1, 1}), 1.0);
+}
+
+TEST(GraphUtilsTest, EdgeHomophilyAlternating) {
+  EXPECT_DOUBLE_EQ(EdgeHomophily(PathGraph(4), {0, 1, 0, 1}), 0.0);
+}
+
+TEST(GraphUtilsTest, EgoNetworkHops) {
+  CsrMatrix path = PathGraph(6);
+  EXPECT_EQ(EgoNetwork(path, 0, 0), (std::vector<int>{0}));
+  EXPECT_EQ(EgoNetwork(path, 2, 1), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(EgoNetwork(path, 2, 2), (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(EgoNetwork(path, 0, 10), (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+}  // namespace
+}  // namespace bgc::graph

@@ -1,0 +1,143 @@
+// Cross-module integration tests: the full provider → customer pipeline on
+// both transductive and inductive data, determinism guarantees, and the
+// invariants that make the attack unnoticeable (class allocation, condensed
+// size).
+
+#include <gtest/gtest.h>
+
+#include "src/attack/bgc.h"
+#include "src/data/synthetic.h"
+#include "src/defense/defenses.h"
+#include "src/eval/experiment.h"
+
+namespace bgc {
+namespace {
+
+condense::CondenseConfig FastCondense(int n) {
+  condense::CondenseConfig cfg;
+  cfg.num_condensed = n;
+  cfg.epochs = 30;
+  return cfg;
+}
+
+attack::AttackConfig FastAttack() {
+  attack::AttackConfig cfg;
+  cfg.trigger_size = 3;
+  cfg.poison_ratio = 0.2;
+  cfg.clusters_per_class = 2;
+  cfg.selector_epochs = 25;
+  cfg.surrogate_steps = 15;
+  cfg.update_batch = 10;
+  cfg.ego = {2, 8};
+  return cfg;
+}
+
+TEST(IntegrationTest, InductivePipelineEndToEnd) {
+  // Inductive: condensation sees only the train subgraph; evaluation runs
+  // on the full graph with val/test nodes present.
+  data::GraphDataset ds = data::MakeDataset("flickr-sim", 5, /*scale=*/0.12);
+  data::TrainView view = data::MakeTrainView(ds);
+  ASSERT_LT(view.adj.rows(), ds.num_nodes());
+  condense::SourceGraph clean = condense::FromTrainView(view);
+
+  Rng rng(3);
+  auto condenser = condense::MakeCondenser("gcond-x");
+  attack::AttackConfig acfg = FastAttack();
+  acfg.poison_budget = 30;
+  attack::AttackResult result = attack::RunBgc(
+      clean, ds.num_classes, *condenser, FastCondense(10), acfg, rng);
+  auto victim = eval::TrainVictim(result.condensed, eval::VictimConfig{},
+                                  rng);
+  eval::AttackMetrics m = eval::EvaluateVictim(
+      *victim, ds, result.generator.get(), acfg.target_class);
+  EXPECT_GT(m.asr, 0.5);
+  EXPECT_GT(m.cta, 1.0 / ds.num_classes);  // above chance
+}
+
+TEST(IntegrationTest, AttackPreservesCondensedGeometry) {
+  // The delivered graph must look like an honest one: same node count,
+  // same class allocation (that is what makes BGC unnoticeable).
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", 131);
+  condense::SourceGraph clean =
+      condense::FromTrainView(data::MakeTrainView(ds));
+  Rng rng(4);
+
+  auto clean_condenser = condense::MakeCondenser("gcond-x");
+  Rng crng(4);
+  condense::CondensedGraph honest = condense::RunCondensation(
+      *clean_condenser, clean, ds.num_classes, FastCondense(9), crng);
+
+  auto condenser = condense::MakeCondenser("gcond-x");
+  attack::AttackResult attacked = attack::RunBgc(
+      clean, ds.num_classes, *condenser, FastCondense(9), FastAttack(), rng);
+
+  EXPECT_EQ(attacked.condensed.features.rows(), honest.features.rows());
+  EXPECT_EQ(attacked.condensed.labels.size(), honest.labels.size());
+  auto honest_counts = data::ClassCounts(honest.labels, ds.num_classes);
+  auto attacked_counts =
+      data::ClassCounts(attacked.condensed.labels, ds.num_classes);
+  // Poisoning must not flood the target class's allocation: the label
+  // histogram shifts by at most the poisoned share of the labeled set.
+  for (int c = 0; c < ds.num_classes; ++c) {
+    EXPECT_NEAR(attacked_counts[c], honest_counts[c], 3) << "class " << c;
+  }
+}
+
+TEST(IntegrationTest, FullAttackDeterministicGivenSeed) {
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", 132);
+  condense::SourceGraph clean =
+      condense::FromTrainView(data::MakeTrainView(ds));
+  auto run = [&]() {
+    Rng rng(9);
+    auto condenser = condense::MakeCondenser("gcond-x");
+    return attack::RunBgc(clean, ds.num_classes, *condenser,
+                          FastCondense(9), FastAttack(), rng);
+  };
+  attack::AttackResult a = run();
+  attack::AttackResult b = run();
+  EXPECT_TRUE(a.condensed.features == b.condensed.features);
+  EXPECT_EQ(a.poisoned_nodes, b.poisoned_nodes);
+}
+
+TEST(IntegrationTest, DefendedVictimStillBackdoored) {
+  // Table 5's conclusion: pruning the condensed graph does not remove the
+  // backdoor (the malicious signal lives in the synthetic features).
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", 133);
+  condense::SourceGraph clean =
+      condense::FromTrainView(data::MakeTrainView(ds));
+  Rng rng(10);
+  auto condenser = condense::MakeCondenser("gcond");
+  attack::AttackResult attacked = attack::RunBgc(
+      clean, ds.num_classes, *condenser, FastCondense(9), FastAttack(), rng);
+  condense::CondensedGraph pruned = defense::Prune(attacked.condensed, 0.2);
+  auto victim = eval::TrainVictim(pruned, eval::VictimConfig{}, rng);
+  eval::AttackMetrics m = eval::EvaluateVictim(
+      *victim, ds, attacked.generator.get(), 0);
+  EXPECT_GT(m.asr, 0.5);
+}
+
+TEST(IntegrationTest, CrossArchitectureTransferTiny) {
+  // Table 4 in miniature: the same delivered graph backdoors a GCN and an
+  // SGC victim.
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", 134);
+  condense::SourceGraph clean =
+      condense::FromTrainView(data::MakeTrainView(ds));
+  Rng rng(11);
+  auto condenser = condense::MakeCondenser("gcond");  // as in Table 4
+  condense::CondenseConfig ccfg = FastCondense(9);
+  ccfg.epochs = 50;  // SGC victims need the slightly stronger backdoor
+  attack::AttackResult attacked = attack::RunBgc(
+      clean, ds.num_classes, *condenser, ccfg, FastAttack(), rng);
+  for (const char* arch : {"gcn", "sgc"}) {
+    eval::VictimConfig vc;
+    vc.arch = arch;
+    vc.epochs = 150;
+    auto victim = eval::TrainVictim(attacked.condensed, vc, rng);
+    eval::AttackMetrics m = eval::EvaluateVictim(
+        *victim, ds, attacked.generator.get(), 0);
+    EXPECT_GT(m.asr, 0.5) << arch;
+  }
+}
+
+}  // namespace
+}  // namespace bgc

@@ -1,0 +1,103 @@
+#include "src/data/io.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/condense/io.h"
+#include "src/data/synthetic.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace bgc {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(DatasetIoTest, RoundTripExact) {
+  data::GraphDataset original = data::MakeDataset("tiny-sim", 42);
+  const std::string path = TempPath("tiny.graph");
+  data::SaveDataset(original, path);
+  data::GraphDataset loaded = data::LoadDataset(path);
+  EXPECT_EQ(loaded.num_nodes(), original.num_nodes());
+  EXPECT_EQ(loaded.num_classes, original.num_classes);
+  EXPECT_EQ(loaded.inductive, original.inductive);
+  EXPECT_EQ(loaded.labels, original.labels);
+  EXPECT_EQ(loaded.train_idx, original.train_idx);
+  EXPECT_EQ(loaded.val_idx, original.val_idx);
+  EXPECT_EQ(loaded.test_idx, original.test_idx);
+  // Hex-float serialization is bit-exact.
+  EXPECT_TRUE(loaded.features == original.features);
+  EXPECT_TRUE(AllClose(loaded.adj.ToDense(), original.adj.ToDense()));
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, InductiveFlagPreserved) {
+  data::GraphDataset original =
+      data::MakeDataset("flickr-sim", 3, /*scale=*/0.05);
+  const std::string path = TempPath("flickr.graph");
+  data::SaveDataset(original, path);
+  EXPECT_TRUE(data::LoadDataset(path).inductive);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoDeathTest, MissingFileAborts) {
+  EXPECT_DEATH(data::LoadDataset("/nonexistent/nope.graph"), "cannot open");
+}
+
+TEST(DatasetIoDeathTest, BadMagicAborts) {
+  const std::string path = TempPath("bad.graph");
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("not-a-graph v9\n", f);
+  std::fclose(f);
+  EXPECT_DEATH(data::LoadDataset(path), "unsupported");
+  std::remove(path.c_str());
+}
+
+TEST(CondensedIoTest, RoundTripExact) {
+  condense::CondensedGraph g;
+  g.features = Matrix(3, 2, {0.5f, -1.25f, 3e-8f, 2.0f, -0.0f, 7.5f});
+  g.adj = graph::CsrMatrix::FromEdges(3, 3, {{0, 1, 0.7f}, {1, 2, 1.0f}},
+                                      /*symmetrize=*/true);
+  g.labels = {0, 1, 1};
+  g.num_classes = 2;
+  g.use_structure = true;
+  const std::string path = TempPath("condensed.graph");
+  condense::SaveCondensed(g, path);
+  condense::CondensedGraph loaded = condense::LoadCondensed(path);
+  EXPECT_TRUE(loaded.features == g.features);
+  EXPECT_EQ(loaded.labels, g.labels);
+  EXPECT_EQ(loaded.num_classes, 2);
+  EXPECT_TRUE(loaded.use_structure);
+  EXPECT_TRUE(AllClose(loaded.adj.ToDense(), g.adj.ToDense()));
+  std::remove(path.c_str());
+}
+
+TEST(CondensedIoTest, StructureFreeFlag) {
+  condense::CondensedGraph g;
+  g.features = Matrix(2, 1, {1.0f, 2.0f});
+  g.adj = graph::CsrMatrix::Identity(2);
+  g.labels = {0, 1};
+  g.num_classes = 2;
+  g.use_structure = false;
+  const std::string path = TempPath("condensed2.graph");
+  condense::SaveCondensed(g, path);
+  EXPECT_FALSE(condense::LoadCondensed(path).use_structure);
+  std::remove(path.c_str());
+}
+
+TEST(CondensedIoDeathTest, TruncatedFileAborts) {
+  const std::string path = TempPath("trunc.graph");
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("bgc-graph v1\nnodes 3 features 2 classes 2 edges 0 "
+             "inductive 0\n0 1\n",  // labels truncated (3 expected)
+             f);
+  std::fclose(f);
+  EXPECT_DEATH(condense::LoadCondensed(path), "truncated");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bgc

@@ -1,0 +1,85 @@
+#include "src/attack/kmeans.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace bgc::attack {
+namespace {
+
+/// Two well-separated blobs in 2-D.
+Matrix TwoBlobs(Rng& rng, int per_blob) {
+  Matrix points(2 * per_blob, 2);
+  for (int i = 0; i < per_blob; ++i) {
+    points.At(i, 0) = static_cast<float>(rng.Normal(-5.0, 0.3));
+    points.At(i, 1) = static_cast<float>(rng.Normal(0.0, 0.3));
+    points.At(per_blob + i, 0) = static_cast<float>(rng.Normal(5.0, 0.3));
+    points.At(per_blob + i, 1) = static_cast<float>(rng.Normal(0.0, 0.3));
+  }
+  return points;
+}
+
+TEST(KMeansTest, RecoversTwoBlobs) {
+  Rng rng(1);
+  Matrix points = TwoBlobs(rng, 30);
+  KMeansResult result = KMeans(points, 2, rng);
+  // All members of a blob share a cluster, blobs differ.
+  for (int i = 1; i < 30; ++i) {
+    EXPECT_EQ(result.assignment[i], result.assignment[0]);
+    EXPECT_EQ(result.assignment[30 + i], result.assignment[30]);
+  }
+  EXPECT_NE(result.assignment[0], result.assignment[30]);
+}
+
+TEST(KMeansTest, CentroidsNearBlobMeans) {
+  Rng rng(2);
+  Matrix points = TwoBlobs(rng, 50);
+  KMeansResult result = KMeans(points, 2, rng);
+  std::vector<float> xs = {result.centroids.At(0, 0),
+                           result.centroids.At(1, 0)};
+  std::sort(xs.begin(), xs.end());
+  EXPECT_NEAR(xs[0], -5.0f, 0.5f);
+  EXPECT_NEAR(xs[1], 5.0f, 0.5f);
+}
+
+TEST(KMeansTest, KClampedToPointCount) {
+  Rng rng(3);
+  Matrix points(3, 2, {0, 0, 10, 10, 20, 20});
+  KMeansResult result = KMeans(points, 10, rng);
+  EXPECT_EQ(result.centroids.rows(), 3);
+  std::set<int> clusters(result.assignment.begin(), result.assignment.end());
+  EXPECT_EQ(clusters.size(), 3u);
+}
+
+TEST(KMeansTest, SinglePoint) {
+  Rng rng(4);
+  Matrix points(1, 3, {1, 2, 3});
+  KMeansResult result = KMeans(points, 1, rng);
+  EXPECT_EQ(result.assignment[0], 0);
+  EXPECT_TRUE(result.centroids == points);
+}
+
+TEST(KMeansTest, IdenticalPointsOneEffectiveCluster) {
+  Rng rng(5);
+  Matrix points(6, 2, 1.5f);
+  KMeansResult result = KMeans(points, 3, rng);
+  // Every point sits exactly on some centroid.
+  for (int i = 0; i < 6; ++i) {
+    const int c = result.assignment[i];
+    EXPECT_FLOAT_EQ(result.centroids.At(c, 0), 1.5f);
+    EXPECT_FLOAT_EQ(result.centroids.At(c, 1), 1.5f);
+  }
+}
+
+TEST(KMeansTest, DeterministicGivenRng) {
+  Rng a(7), b(7);
+  Rng data_rng(8);
+  Matrix points = TwoBlobs(data_rng, 20);
+  KMeansResult ra = KMeans(points, 3, a);
+  KMeansResult rb = KMeans(points, 3, b);
+  EXPECT_EQ(ra.assignment, rb.assignment);
+}
+
+}  // namespace
+}  // namespace bgc::attack

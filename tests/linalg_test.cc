@@ -1,0 +1,68 @@
+#include "src/tensor/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/rng.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace bgc {
+namespace {
+
+TEST(LinalgTest, SolveIdentity) {
+  Matrix b(3, 2, {1, 2, 3, 4, 5, 6});
+  EXPECT_TRUE(AllClose(SolveLinear(Matrix::Identity(3), b), b));
+}
+
+TEST(LinalgTest, SolveKnownSystem) {
+  // [2 1; 1 3] x = [5; 10] -> x = [1; 3]
+  Matrix a(2, 2, {2, 1, 1, 3});
+  Matrix b(2, 1, {5, 10});
+  Matrix x = SolveLinear(a, b);
+  EXPECT_NEAR(x.At(0, 0), 1.0f, 1e-5f);
+  EXPECT_NEAR(x.At(1, 0), 3.0f, 1e-5f);
+}
+
+TEST(LinalgTest, SolveNeedsPivoting) {
+  // Leading zero forces a row swap.
+  Matrix a(2, 2, {0, 1, 1, 0});
+  Matrix b(2, 1, {3, 7});
+  Matrix x = SolveLinear(a, b);
+  EXPECT_NEAR(x.At(0, 0), 7.0f, 1e-5f);
+  EXPECT_NEAR(x.At(1, 0), 3.0f, 1e-5f);
+}
+
+TEST(LinalgTest, SolveRandomResidual) {
+  Rng rng(9);
+  Matrix a = Matrix::RandomNormal(20, 20, rng);
+  // Diagonal boost keeps the system well-conditioned.
+  for (int i = 0; i < 20; ++i) a.At(i, i) += 5.0f;
+  Matrix b = Matrix::RandomNormal(20, 4, rng);
+  Matrix x = SolveLinear(a, b);
+  EXPECT_TRUE(AllClose(MatMul(a, x), b, 1e-3f, 1e-3f));
+}
+
+TEST(LinalgTest, SolveTransposed) {
+  Rng rng(10);
+  Matrix a = Matrix::RandomNormal(8, 8, rng);
+  for (int i = 0; i < 8; ++i) a.At(i, i) += 4.0f;
+  Matrix b = Matrix::RandomNormal(8, 2, rng);
+  Matrix x = SolveLinearTransposed(a, b);
+  EXPECT_TRUE(AllClose(MatMulTransA(a, x), b, 1e-3f, 1e-3f));
+}
+
+TEST(LinalgTest, InverseTimesSelf) {
+  Rng rng(11);
+  Matrix a = Matrix::RandomNormal(6, 6, rng);
+  for (int i = 0; i < 6; ++i) a.At(i, i) += 3.0f;
+  EXPECT_TRUE(AllClose(MatMul(a, Inverse(a)), Matrix::Identity(6), 1e-3f,
+                       1e-3f));
+}
+
+TEST(LinalgDeathTest, SingularMatrixAborts) {
+  Matrix a(2, 2, {1, 2, 2, 4});  // rank 1
+  Matrix b(2, 1, {1, 1});
+  EXPECT_DEATH(SolveLinear(a, b), "singular");
+}
+
+}  // namespace
+}  // namespace bgc

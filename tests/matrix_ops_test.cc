@@ -1,0 +1,173 @@
+#include "src/tensor/matrix_ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/rng.h"
+
+namespace bgc {
+namespace {
+
+TEST(MatrixOpsTest, MatMulKnownProduct) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix b(3, 2, {7, 8, 9, 10, 11, 12});
+  Matrix c = MatMul(a, b);
+  EXPECT_EQ(c.rows(), 2);
+  EXPECT_EQ(c.cols(), 2);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.At(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 154.0f);
+}
+
+TEST(MatrixOpsTest, MatMulIdentity) {
+  Rng rng(1);
+  Matrix a = Matrix::RandomNormal(4, 4, rng);
+  EXPECT_TRUE(AllClose(MatMul(a, Matrix::Identity(4)), a));
+  EXPECT_TRUE(AllClose(MatMul(Matrix::Identity(4), a), a));
+}
+
+TEST(MatrixOpsTest, MatMulTransAMatchesExplicitTranspose) {
+  Rng rng(2);
+  Matrix a = Matrix::RandomNormal(5, 3, rng);
+  Matrix b = Matrix::RandomNormal(5, 4, rng);
+  EXPECT_TRUE(AllClose(MatMulTransA(a, b), MatMul(Transpose(a), b)));
+}
+
+TEST(MatrixOpsTest, MatMulTransBMatchesExplicitTranspose) {
+  Rng rng(3);
+  Matrix a = Matrix::RandomNormal(5, 3, rng);
+  Matrix b = Matrix::RandomNormal(4, 3, rng);
+  EXPECT_TRUE(AllClose(MatMulTransB(a, b), MatMul(a, Transpose(b))));
+}
+
+TEST(MatrixOpsTest, AddSubHadamard) {
+  Matrix a(1, 3, {1, 2, 3});
+  Matrix b(1, 3, {4, 5, 6});
+  EXPECT_TRUE(Add(a, b) == Matrix(1, 3, {5, 7, 9}));
+  EXPECT_TRUE(Sub(b, a) == Matrix(1, 3, {3, 3, 3}));
+  EXPECT_TRUE(Hadamard(a, b) == Matrix(1, 3, {4, 10, 18}));
+}
+
+TEST(MatrixOpsTest, AddScaledInPlace) {
+  Matrix a(1, 2, {1, 1});
+  Matrix b(1, 2, {2, 4});
+  AddScaledInPlace(a, b, 0.5f);
+  EXPECT_TRUE(a == Matrix(1, 2, {2, 3}));
+}
+
+TEST(MatrixOpsTest, ScaleAndAddRowBroadcast) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  EXPECT_TRUE(Scale(a, 2.0f) == Matrix(2, 2, {2, 4, 6, 8}));
+  Matrix bias(1, 2, {10, 20});
+  EXPECT_TRUE(AddRowBroadcast(a, bias) == Matrix(2, 2, {11, 22, 13, 24}));
+}
+
+TEST(MatrixOpsTest, Nonlinearities) {
+  Matrix a(1, 3, {-1, 0, 2});
+  EXPECT_TRUE(Relu(a) == Matrix(1, 3, {0, 0, 2}));
+  Matrix s = Sigmoid(Matrix(1, 1, {0.0f}));
+  EXPECT_FLOAT_EQ(s.At(0, 0), 0.5f);
+  Matrix t = TanhMat(Matrix(1, 1, {0.0f}));
+  EXPECT_FLOAT_EQ(t.At(0, 0), 0.0f);
+}
+
+TEST(MatrixOpsTest, ClampBounds) {
+  Matrix a(1, 4, {-5, 0.2f, 0.9f, 5});
+  EXPECT_TRUE(Clamp(a, 0.0f, 1.0f) == Matrix(1, 4, {0, 0.2f, 0.9f, 1}));
+}
+
+TEST(MatrixOpsTest, RowSoftmaxSumsToOne) {
+  Rng rng(4);
+  Matrix a = Matrix::RandomNormal(6, 5, rng, 3.0f);
+  Matrix s = RowSoftmax(a);
+  for (int i = 0; i < s.rows(); ++i) {
+    float sum = 0.0f;
+    for (int j = 0; j < s.cols(); ++j) {
+      EXPECT_GT(s.At(i, j), 0.0f);
+      sum += s.At(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(MatrixOpsTest, RowSoftmaxHandlesLargeLogits) {
+  Matrix a(1, 2, {1000.0f, 1000.0f});
+  Matrix s = RowSoftmax(a);
+  EXPECT_NEAR(s.At(0, 0), 0.5f, 1e-5f);
+}
+
+TEST(MatrixOpsTest, TransposeInvolution) {
+  Rng rng(5);
+  Matrix a = Matrix::RandomNormal(3, 7, rng);
+  EXPECT_TRUE(AllClose(Transpose(Transpose(a)), a));
+}
+
+TEST(MatrixOpsTest, Reductions) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_FLOAT_EQ(Sum(a), 21.0f);
+  EXPECT_TRUE(RowSum(a) == Matrix(2, 1, {6, 15}));
+  EXPECT_TRUE(ColSum(a) == Matrix(1, 3, {5, 7, 9}));
+  EXPECT_FLOAT_EQ(Dot(a, a), 91.0f);
+  EXPECT_FLOAT_EQ(FrobeniusNorm(a), std::sqrt(91.0f));
+  EXPECT_FLOAT_EQ(MaxAbs(Matrix(1, 3, {-7, 2, 5})), 7.0f);
+}
+
+TEST(MatrixOpsTest, RowNormValues) {
+  Matrix a(2, 2, {3, 4, 0, 0});
+  Matrix n = RowNorm(a);
+  EXPECT_FLOAT_EQ(n.At(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(n.At(1, 0), 0.0f);
+}
+
+TEST(MatrixOpsTest, ArgmaxRowsPicksFirstMax) {
+  Matrix a(2, 3, {1, 5, 5, 9, 2, 3});
+  auto idx = ArgmaxRows(a);
+  EXPECT_EQ(idx[0], 1);  // ties break to the earlier column
+  EXPECT_EQ(idx[1], 0);
+}
+
+TEST(MatrixOpsTest, RowCosineValues) {
+  Matrix a(2, 2, {1, 0, 0, 2});
+  EXPECT_FLOAT_EQ(RowCosine(a, 0, a, 1), 0.0f);
+  EXPECT_FLOAT_EQ(RowCosine(a, 0, a, 0), 1.0f);
+  Matrix z(1, 2);
+  EXPECT_FLOAT_EQ(RowCosine(z, 0, a, 0), 0.0f);  // zero row contract
+}
+
+TEST(MatrixOpsTest, GatherAndScatter) {
+  Matrix a(3, 2, {1, 2, 3, 4, 5, 6});
+  Matrix g = GatherRows(a, {2, 0, 2});
+  EXPECT_TRUE(g == Matrix(3, 2, {5, 6, 1, 2, 5, 6}));
+  Matrix out(3, 2);
+  ScatterAddRows(g, {2, 0, 2}, out);
+  EXPECT_TRUE(out == Matrix(3, 2, {1, 2, 0, 0, 10, 12}));
+}
+
+TEST(MatrixOpsTest, Concats) {
+  Matrix a(1, 2, {1, 2});
+  Matrix b(1, 2, {3, 4});
+  EXPECT_TRUE(ConcatRows(a, b) == Matrix(2, 2, {1, 2, 3, 4}));
+  EXPECT_TRUE(ConcatCols(a, b) == Matrix(1, 4, {1, 2, 3, 4}));
+  Matrix empty;
+  EXPECT_TRUE(ConcatRows(empty, a) == a);
+  EXPECT_TRUE(ConcatCols(a, empty) == a);
+}
+
+TEST(MatrixOpsTest, AllCloseTolerances) {
+  Matrix a(1, 1, {1.0f});
+  Matrix b(1, 1, {1.0f + 1e-7f});
+  Matrix c(1, 1, {1.1f});
+  EXPECT_TRUE(AllClose(a, b));
+  EXPECT_FALSE(AllClose(a, c));
+  EXPECT_FALSE(AllClose(a, Matrix(1, 2)));
+}
+
+TEST(MatrixOpsTest, OneHotEncoding) {
+  Matrix y = OneHot({0, 2, 1}, 3);
+  EXPECT_TRUE(y == Matrix(3, 3, {1, 0, 0, 0, 0, 1, 0, 1, 0}));
+}
+
+}  // namespace
+}  // namespace bgc

@@ -1,0 +1,115 @@
+#include "src/tensor/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace bgc {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.size(), 12);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 4; ++j) EXPECT_EQ(m.At(i, j), 0.0f);
+  }
+}
+
+TEST(MatrixTest, FillConstructor) {
+  Matrix m(2, 2, 7.5f);
+  EXPECT_EQ(m.At(1, 1), 7.5f);
+}
+
+TEST(MatrixTest, FromVector) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(m.At(0, 2), 3.0f);
+  EXPECT_EQ(m.At(1, 0), 4.0f);
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix m = Matrix::Identity(3);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_EQ(m.At(i, j), i == j ? 1.0f : 0.0f);
+    }
+  }
+}
+
+TEST(MatrixTest, RowMajorLayout) {
+  Matrix m(2, 3);
+  m.At(1, 2) = 9.0f;
+  EXPECT_EQ(m.data()[5], 9.0f);
+  EXPECT_EQ(m.RowPtr(1)[2], 9.0f);
+}
+
+TEST(MatrixTest, RowExtractAndSet) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix r = m.Row(1);
+  EXPECT_EQ(r.rows(), 1);
+  EXPECT_EQ(r.cols(), 3);
+  EXPECT_EQ(r.At(0, 0), 4.0f);
+  m.SetRow(0, r);
+  EXPECT_EQ(m.At(0, 2), 6.0f);
+}
+
+TEST(MatrixTest, FillOverwrites) {
+  Matrix m(2, 2, 1.0f);
+  m.Fill(-2.0f);
+  EXPECT_EQ(m.At(0, 0), -2.0f);
+  EXPECT_EQ(m.At(1, 1), -2.0f);
+}
+
+TEST(MatrixTest, EqualityOperator) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  Matrix b(2, 2, {1, 2, 3, 4});
+  Matrix c(2, 2, {1, 2, 3, 5});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(MatrixTest, RandomNormalMoments) {
+  Rng rng(42);
+  Matrix m = Matrix::RandomNormal(100, 100, rng, 2.0f);
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < m.size(); ++i) {
+    sum += m.data()[i];
+    sq += m.data()[i] * m.data()[i];
+  }
+  EXPECT_NEAR(sum / m.size(), 0.0, 0.05);
+  EXPECT_NEAR(sq / m.size(), 4.0, 0.15);
+}
+
+TEST(MatrixTest, RandomUniformBounds) {
+  Rng rng(43);
+  Matrix m = Matrix::RandomUniform(50, 50, rng, -1.0f, 2.0f);
+  for (int i = 0; i < m.size(); ++i) {
+    EXPECT_GE(m.data()[i], -1.0f);
+    EXPECT_LT(m.data()[i], 2.0f);
+  }
+}
+
+TEST(MatrixTest, GlorotUniformBound) {
+  Rng rng(44);
+  Matrix m = Matrix::GlorotUniform(30, 20, rng);
+  const float bound = std::sqrt(6.0f / 50.0f);
+  for (int i = 0; i < m.size(); ++i) {
+    EXPECT_LE(std::fabs(m.data()[i]), bound);
+  }
+}
+
+TEST(MatrixTest, GlorotDeterministicPerSeed) {
+  Rng a(7), b(7);
+  EXPECT_TRUE(Matrix::GlorotUniform(8, 8, a) == Matrix::GlorotUniform(8, 8, b));
+}
+
+}  // namespace
+}  // namespace bgc

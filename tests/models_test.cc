@@ -1,0 +1,138 @@
+#include "src/nn/models.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/synthetic.h"
+#include "src/nn/trainer.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace bgc::nn {
+namespace {
+
+GnnConfig TinyConfig(const data::GraphDataset& ds) {
+  GnnConfig cfg;
+  cfg.in_dim = ds.feature_dim();
+  cfg.hidden_dim = 16;
+  cfg.out_dim = ds.num_classes;
+  cfg.dropout = 0.3f;
+  return cfg;
+}
+
+TEST(ModelsTest, ForwardShapesAllArchitectures) {
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", 1);
+  Rng rng(5);
+  Propagators props = MakePropagators(ds.adj);
+  for (const std::string& arch : SupportedArchitectures()) {
+    auto model = MakeModel(arch, TinyConfig(ds), rng);
+    ag::Tape tape;
+    ag::Var x = tape.Constant(ds.features);
+    ag::Var logits = model->Forward(tape, props, x, rng, /*training=*/false);
+    EXPECT_EQ(tape.value(logits).rows(), ds.num_nodes()) << arch;
+    EXPECT_EQ(tape.value(logits).cols(), ds.num_classes) << arch;
+  }
+}
+
+TEST(ModelsTest, EvalForwardDeterministic) {
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", 2);
+  Rng rng(6);
+  auto model = MakeModel("gcn", TinyConfig(ds), rng);
+  Matrix a = PredictLogits(*model, ds.adj, ds.features);
+  Matrix b = PredictLogits(*model, ds.adj, ds.features);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(ModelsTest, ParamsNonEmptyAndDistinct) {
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", 3);
+  Rng rng(7);
+  for (const std::string& arch : SupportedArchitectures()) {
+    auto model = MakeModel(arch, TinyConfig(ds), rng);
+    auto params = model->Params();
+    EXPECT_FALSE(params.empty()) << arch;
+    for (size_t i = 0; i < params.size(); ++i) {
+      for (size_t j = i + 1; j < params.size(); ++j) {
+        EXPECT_NE(params[i], params[j]) << arch;
+      }
+    }
+  }
+}
+
+TEST(ModelsTest, InitReseedsWeights) {
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", 4);
+  Rng rng(8);
+  auto model = MakeModel("gcn", TinyConfig(ds), rng);
+  Matrix before = model->Params()[0]->value;
+  model->Init(rng);
+  EXPECT_FALSE(model->Params()[0]->value == before);
+}
+
+TEST(ModelsTest, CollectGradsPopulatesEveryParam) {
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", 5);
+  Rng rng(9);
+  Propagators props = MakePropagators(ds.adj);
+  for (const std::string& arch : SupportedArchitectures()) {
+    auto model = MakeModel(arch, TinyConfig(ds), rng);
+    ag::Tape tape;
+    ag::Var x = tape.Constant(ds.features);
+    ag::Var logits = model->Forward(tape, props, x, rng, /*training=*/false);
+    ag::Var loss =
+        tape.SoftmaxCrossEntropy(logits, OneHot(ds.labels, ds.num_classes));
+    tape.Backward(loss);
+    model->CollectGrads(tape);
+    for (Param* p : model->Params()) {
+      EXPECT_EQ(p->grad.rows(), p->value.rows()) << arch;
+      EXPECT_EQ(p->grad.cols(), p->value.cols()) << arch;
+    }
+  }
+}
+
+TEST(ModelsTest, MlpIgnoresGraphStructure) {
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", 6);
+  Rng rng(10);
+  auto model = MakeModel("mlp", TinyConfig(ds), rng);
+  Matrix with_graph = PredictLogits(*model, ds.adj, ds.features);
+  Matrix no_graph = PredictLogits(
+      *model, graph::CsrMatrix::Identity(ds.num_nodes()), ds.features);
+  EXPECT_TRUE(AllClose(with_graph, no_graph));
+}
+
+TEST(ModelsTest, GcnUsesGraphStructure) {
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", 7);
+  Rng rng(11);
+  auto model = MakeModel("gcn", TinyConfig(ds), rng);
+  Matrix with_graph = PredictLogits(*model, ds.adj, ds.features);
+  Matrix no_graph = PredictLogits(
+      *model, graph::CsrMatrix::Identity(ds.num_nodes()), ds.features);
+  EXPECT_FALSE(AllClose(with_graph, no_graph));
+}
+
+TEST(ModelsDeathTest, UnknownArchitectureAborts) {
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", 8);
+  Rng rng(12);
+  EXPECT_DEATH(MakeModel("transformer", TinyConfig(ds), rng), "unknown");
+}
+
+// Every architecture must learn tiny-sim far beyond chance (1/3).
+class ArchitectureLearningTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ArchitectureLearningTest, LearnsTinySim) {
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", 21);
+  Rng rng(13);
+  GnnConfig cfg = TinyConfig(ds);
+  auto model = MakeModel(GetParam(), cfg, rng);
+  TrainConfig tc;
+  tc.epochs = 150;
+  tc.seed = 99;
+  TrainNodeClassifier(*model, ds.adj, ds.features, ds.labels, ds.train_idx,
+                      tc);
+  Matrix logits = PredictLogits(*model, ds.adj, ds.features);
+  const double acc = Accuracy(logits, ds.labels, ds.test_idx);
+  EXPECT_GT(acc, 0.6) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchitectures, ArchitectureLearningTest,
+                         ::testing::ValuesIn(SupportedArchitectures()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace bgc::nn

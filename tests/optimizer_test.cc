@@ -1,0 +1,93 @@
+#include "src/nn/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace bgc::nn {
+namespace {
+
+TEST(AdamTest, MinimizesQuadratic) {
+  // f(w) = 0.5 * ||w - 3||^2, grad = w - 3.
+  Param p(Matrix(1, 1, {0.0f}));
+  Adam opt(0.1f);
+  for (int i = 0; i < 300; ++i) {
+    p.grad = Matrix(1, 1, {p.value.At(0, 0) - 3.0f});
+    opt.Step({&p});
+  }
+  EXPECT_NEAR(p.value.At(0, 0), 3.0f, 1e-2f);
+}
+
+TEST(AdamTest, FirstStepHasLrMagnitude) {
+  // With bias correction, Adam's first step is ~lr * sign(grad).
+  Param p(Matrix(1, 1, {0.0f}));
+  Adam opt(0.05f);
+  p.grad = Matrix(1, 1, {123.0f});
+  opt.Step({&p});
+  EXPECT_NEAR(p.value.At(0, 0), -0.05f, 1e-4f);
+}
+
+TEST(AdamTest, WeightDecayPullsTowardZero) {
+  Param p(Matrix(1, 1, {5.0f}));
+  Adam opt(0.1f, /*weight_decay=*/1.0f);
+  for (int i = 0; i < 500; ++i) {
+    p.grad = Matrix(1, 1, {0.0f});  // only decay acts
+    opt.Step({&p});
+  }
+  EXPECT_NEAR(p.value.At(0, 0), 0.0f, 5e-2f);
+}
+
+TEST(AdamTest, MultipleParamsIndependentState) {
+  Param a(Matrix(1, 1, {0.0f})), b(Matrix(1, 1, {0.0f}));
+  Adam opt(0.1f);
+  for (int i = 0; i < 300; ++i) {
+    a.grad = Matrix(1, 1, {a.value.At(0, 0) - 1.0f});
+    b.grad = Matrix(1, 1, {b.value.At(0, 0) + 2.0f});
+    opt.Step({&a, &b});
+  }
+  EXPECT_NEAR(a.value.At(0, 0), 1.0f, 1e-2f);
+  EXPECT_NEAR(b.value.At(0, 0), -2.0f, 1e-2f);
+}
+
+TEST(AdamTest, ResetClearsMoments) {
+  Param p(Matrix(1, 1, {0.0f}));
+  Adam opt(0.05f);
+  p.grad = Matrix(1, 1, {1.0f});
+  opt.Step({&p});
+  opt.Reset();
+  const float before = p.value.At(0, 0);
+  p.grad = Matrix(1, 1, {1.0f});
+  opt.Step({&p});
+  // After reset the step magnitude is again ~lr (fresh bias correction).
+  EXPECT_NEAR(p.value.At(0, 0) - before, -0.05f, 1e-4f);
+}
+
+TEST(SgdTest, StepIsLrTimesGrad) {
+  Param p(Matrix(1, 2, {1.0f, 2.0f}));
+  Sgd opt(0.5f);
+  p.grad = Matrix(1, 2, {2.0f, -4.0f});
+  opt.Step({&p});
+  EXPECT_FLOAT_EQ(p.value.At(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(p.value.At(0, 1), 4.0f);
+}
+
+TEST(SgdTest, WeightDecayContribution) {
+  Param p(Matrix(1, 1, {2.0f}));
+  Sgd opt(0.1f, /*weight_decay=*/0.5f);
+  p.grad = Matrix(1, 1, {0.0f});
+  opt.Step({&p});
+  EXPECT_NEAR(p.value.At(0, 0), 2.0f - 0.1f * 0.5f * 2.0f, 1e-6f);
+}
+
+TEST(ParamTest, ZeroGradAllocatesAndClears) {
+  Param p(Matrix(2, 2, 1.0f));
+  p.ZeroGrad();
+  EXPECT_EQ(p.grad.rows(), 2);
+  EXPECT_EQ(p.grad.cols(), 2);
+  p.grad.At(0, 0) = 5.0f;
+  p.ZeroGrad();
+  EXPECT_FLOAT_EQ(p.grad.At(0, 0), 0.0f);
+}
+
+}  // namespace
+}  // namespace bgc::nn

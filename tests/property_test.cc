@@ -1,0 +1,162 @@
+// Randomized property tests: invariants that must hold for arbitrary
+// inputs, swept over seeds with parameterized gtest.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/attack/kmeans.h"
+#include "src/graph/graph_utils.h"
+#include "src/tensor/linalg.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace bgc {
+namespace {
+
+class SeededPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  Rng rng_{GetParam()};
+
+  /// Random sparse symmetric graph without self-loops.
+  graph::CsrMatrix RandomGraph(int n, double edge_prob) {
+    std::vector<graph::Edge> edges;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (rng_.Bernoulli(edge_prob)) edges.push_back({i, j});
+      }
+    }
+    return graph::CsrMatrix::FromEdges(n, n, edges, /*symmetrize=*/true);
+  }
+};
+
+TEST_P(SeededPropertyTest, MatMulAssociativity) {
+  Matrix a = Matrix::RandomNormal(5, 4, rng_);
+  Matrix b = Matrix::RandomNormal(4, 6, rng_);
+  Matrix c = Matrix::RandomNormal(6, 3, rng_);
+  EXPECT_TRUE(AllClose(MatMul(MatMul(a, b), c), MatMul(a, MatMul(b, c)),
+                       1e-3f, 1e-4f));
+}
+
+TEST_P(SeededPropertyTest, TransposeOfProduct) {
+  Matrix a = Matrix::RandomNormal(5, 4, rng_);
+  Matrix b = Matrix::RandomNormal(4, 6, rng_);
+  EXPECT_TRUE(AllClose(Transpose(MatMul(a, b)),
+                       MatMul(Transpose(b), Transpose(a)), 1e-4f, 1e-5f));
+}
+
+TEST_P(SeededPropertyTest, SoftmaxRowsAreDistributions) {
+  Matrix a = Matrix::RandomNormal(8, 5, rng_, 4.0f);
+  Matrix s = RowSoftmax(a);
+  for (int i = 0; i < s.rows(); ++i) {
+    float sum = 0.0f;
+    for (int j = 0; j < s.cols(); ++j) {
+      EXPECT_GE(s.At(i, j), 0.0f);
+      sum += s.At(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST_P(SeededPropertyTest, SolveRecoversSolution) {
+  const int n = 6 + static_cast<int>(rng_.UniformInt(8));
+  Matrix a = Matrix::RandomNormal(n, n, rng_);
+  for (int i = 0; i < n; ++i) a.At(i, i) += static_cast<float>(n);
+  Matrix x_true = Matrix::RandomNormal(n, 3, rng_);
+  Matrix b = MatMul(a, x_true);
+  EXPECT_TRUE(AllClose(SolveLinear(a, b), x_true, 5e-3f, 5e-3f));
+}
+
+TEST_P(SeededPropertyTest, GcnNormalizeSpectralBound) {
+  // Â is similar to a stochastic matrix: ||Âx||_inf must not explode under
+  // repeated application (row sums in [0, 1] after normalization).
+  graph::CsrMatrix g = RandomGraph(20, 0.2);
+  graph::CsrMatrix norm = GcnNormalize(g);
+  Matrix x = Matrix::RandomNormal(20, 4, rng_);
+  Matrix z = x;
+  for (int k = 0; k < 10; ++k) z = norm.Multiply(z);
+  EXPECT_LE(MaxAbs(z), MaxAbs(x) + 1e-3f);
+}
+
+TEST_P(SeededPropertyTest, GcnNormalizeSymmetric) {
+  graph::CsrMatrix g = RandomGraph(15, 0.3);
+  Matrix dense = GcnNormalize(g).ToDense();
+  EXPECT_TRUE(AllClose(dense, Transpose(dense), 1e-5f, 1e-6f));
+}
+
+TEST_P(SeededPropertyTest, RowNormalizeRowsSumToOneOrZero) {
+  graph::CsrMatrix g = RandomGraph(15, 0.2);
+  graph::CsrMatrix norm = RowNormalize(g);
+  for (int i = 0; i < norm.rows(); ++i) {
+    const float s = norm.RowWeightSum(i);
+    EXPECT_TRUE(std::fabs(s - 1.0f) < 1e-5f || s == 0.0f);
+  }
+}
+
+TEST_P(SeededPropertyTest, CsrDenseRoundTrip) {
+  graph::CsrMatrix g = RandomGraph(12, 0.25);
+  graph::CsrMatrix back = graph::CsrMatrix::FromDense(g.ToDense());
+  EXPECT_TRUE(AllClose(g.ToDense(), back.ToDense()));
+}
+
+TEST_P(SeededPropertyTest, SpmmMatchesDenseReference) {
+  graph::CsrMatrix g = RandomGraph(10, 0.3);
+  Matrix x = Matrix::RandomNormal(10, 5, rng_);
+  EXPECT_TRUE(AllClose(g.Multiply(x), MatMul(g.ToDense(), x), 1e-4f, 1e-5f));
+}
+
+TEST_P(SeededPropertyTest, DropEdgesIsSubgraph) {
+  graph::CsrMatrix g = RandomGraph(20, 0.3);
+  graph::CsrMatrix dropped = graph::DropEdges(g, 0.5, rng_);
+  EXPECT_LE(dropped.nnz(), g.nnz());
+  for (const auto& e : dropped.ToEdges()) {
+    EXPECT_FLOAT_EQ(g.At(e.src, e.dst), e.weight);
+  }
+}
+
+TEST_P(SeededPropertyTest, EgoNetworkMonotoneInHops) {
+  graph::CsrMatrix g = RandomGraph(25, 0.1);
+  const int seed_node = static_cast<int>(rng_.UniformInt(25));
+  std::vector<int> prev;
+  for (int hops = 0; hops <= 3; ++hops) {
+    std::vector<int> ego = graph::EgoNetwork(g, seed_node, hops);
+    std::set<int> current(ego.begin(), ego.end());
+    for (int v : prev) EXPECT_TRUE(current.count(v));
+    prev = ego;
+  }
+}
+
+TEST_P(SeededPropertyTest, KMeansAssignmentsConsistent) {
+  Matrix points = Matrix::RandomNormal(30, 4, rng_);
+  attack::KMeansResult result = attack::KMeans(points, 4, rng_);
+  // Every point's assigned centroid is at least as close as any other.
+  for (int i = 0; i < points.rows(); ++i) {
+    auto dist = [&](int c) {
+      float s = 0.0f;
+      for (int j = 0; j < points.cols(); ++j) {
+        const float d = points.At(i, j) - result.centroids.At(c, j);
+        s += d * d;
+      }
+      return s;
+    };
+    const float assigned = dist(result.assignment[i]);
+    for (int c = 0; c < result.centroids.rows(); ++c) {
+      EXPECT_LE(assigned, dist(c) + 1e-4f);
+    }
+  }
+}
+
+TEST_P(SeededPropertyTest, InverseRoundTrip) {
+  const int n = 5;
+  Matrix a = Matrix::RandomNormal(n, n, rng_);
+  for (int i = 0; i < n; ++i) a.At(i, i) += 4.0f;
+  EXPECT_TRUE(AllClose(MatMul(Inverse(a), a), Matrix::Identity(n), 2e-3f,
+                       2e-3f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u));
+
+}  // namespace
+}  // namespace bgc

@@ -1,0 +1,41 @@
+#include "src/core/stats.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace bgc {
+namespace {
+
+TEST(StatsTest, EmptyInput) {
+  MeanStd ms = ComputeMeanStd({});
+  EXPECT_DOUBLE_EQ(ms.mean, 0.0);
+  EXPECT_DOUBLE_EQ(ms.std, 0.0);
+}
+
+TEST(StatsTest, SingleValue) {
+  MeanStd ms = ComputeMeanStd({3.5});
+  EXPECT_DOUBLE_EQ(ms.mean, 3.5);
+  EXPECT_DOUBLE_EQ(ms.std, 0.0);
+}
+
+TEST(StatsTest, KnownMeanStd) {
+  MeanStd ms = ComputeMeanStd({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(ms.mean, 5.0);
+  EXPECT_DOUBLE_EQ(ms.std, 2.0);
+}
+
+TEST(StatsTest, FormatPercentCell) {
+  std::vector<double> values = {0.8123, 0.8123, 0.8123};
+  EXPECT_EQ(FormatPercentCell(values), "81.23 (0.00)");
+}
+
+TEST(StatsTest, FormatPercentCellSpread) {
+  std::vector<double> values = {1.0, 0.0};
+  std::string cell = FormatPercentCell(values);
+  EXPECT_EQ(cell, "50.00 (50.00)");
+}
+
+}  // namespace
+}  // namespace bgc

@@ -1,0 +1,236 @@
+// Numerical gradient verification for every differentiable tape op.
+//
+// For each op we build a scalar loss through it, compute analytic gradients
+// with Backward(), and compare against central finite differences. This is
+// the property that keeps the whole condensation/attack stack honest: every
+// higher-level gradient (GCond's meta-gradient, the trigger generator's
+// update, the SNTK ridge solve) is composed purely of these ops.
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/autograd/tape.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace bgc::ag {
+namespace {
+
+using LossFn = std::function<Var(Tape&, const std::vector<Var>&)>;
+
+struct GradCase {
+  std::string name;
+  std::vector<std::pair<int, int>> input_shapes;
+  LossFn build;
+  // Some ops (clamped acos, sqrt near zero) need looser tolerances.
+  float tolerance = 5e-2f;
+  // Entries drawn from this range; keeps piecewise ops away from kinks.
+  float lo = -2.0f, hi = 2.0f;
+};
+
+double EvalLoss(const GradCase& c, const std::vector<Matrix>& values) {
+  Tape t;
+  std::vector<Var> vars;
+  vars.reserve(values.size());
+  for (const Matrix& v : values) vars.push_back(t.Input(v));
+  Var loss = c.build(t, vars);
+  return t.value(loss).At(0, 0);
+}
+
+class TapeGradCheckTest : public ::testing::TestWithParam<GradCase> {};
+
+TEST_P(TapeGradCheckTest, AnalyticMatchesNumeric) {
+  const GradCase& c = GetParam();
+  Rng rng(1234 + static_cast<uint64_t>(c.name.size()));
+  std::vector<Matrix> values;
+  for (auto [r, cols] : c.input_shapes) {
+    values.push_back(Matrix::RandomUniform(r, cols, rng, c.lo, c.hi));
+  }
+
+  // Analytic gradients.
+  Tape t;
+  std::vector<Var> vars;
+  for (const Matrix& v : values) vars.push_back(t.Input(v));
+  Var loss = c.build(t, vars);
+  t.Backward(loss);
+  std::vector<Matrix> analytic;
+  for (Var v : vars) analytic.push_back(t.grad(v));
+
+  // Central finite differences on every entry of every input.
+  const float eps = 1e-2f;
+  for (size_t k = 0; k < values.size(); ++k) {
+    for (int i = 0; i < values[k].size(); ++i) {
+      std::vector<Matrix> plus = values, minus = values;
+      plus[k].data()[i] += eps;
+      minus[k].data()[i] -= eps;
+      const double numeric =
+          (EvalLoss(c, plus) - EvalLoss(c, minus)) / (2.0 * eps);
+      const double a = analytic[k].data()[i];
+      const double scale = std::max(1.0, std::max(std::fabs(a),
+                                                  std::fabs(numeric)));
+      EXPECT_NEAR(a, numeric, c.tolerance * scale)
+          << c.name << " input " << k << " entry " << i;
+    }
+  }
+}
+
+std::vector<GradCase> MakeCases() {
+  std::vector<GradCase> cases;
+  auto add = [&](std::string name,
+                 std::vector<std::pair<int, int>> shapes, LossFn fn,
+                 float tol = 5e-2f, float lo = -2.0f, float hi = 2.0f) {
+    cases.push_back({std::move(name), std::move(shapes), std::move(fn), tol,
+                     lo, hi});
+  };
+
+  add("add", {{2, 3}, {2, 3}}, [](Tape& t, const std::vector<Var>& v) {
+    return t.SumAll(t.Square(t.Add(v[0], v[1])));
+  });
+  add("sub", {{2, 3}, {2, 3}}, [](Tape& t, const std::vector<Var>& v) {
+    return t.SumAll(t.Square(t.Sub(v[0], v[1])));
+  });
+  add("hadamard", {{2, 3}, {2, 3}}, [](Tape& t, const std::vector<Var>& v) {
+    return t.SumAll(t.Hadamard(v[0], v[1]));
+  });
+  add("elemdiv", {{2, 2}, {2, 2}},
+      [](Tape& t, const std::vector<Var>& v) {
+        return t.SumAll(t.ElemDiv(v[0], v[1]));
+      },
+      5e-2f, 1.0f, 3.0f);  // denominator bounded away from 0
+  add("scale", {{2, 3}}, [](Tape& t, const std::vector<Var>& v) {
+    return t.SumAll(t.Scale(v[0], -1.7f));
+  });
+  add("addconst", {{2, 2}}, [](Tape& t, const std::vector<Var>& v) {
+    return t.SumAll(t.Square(t.AddConst(v[0], 0.3f)));
+  });
+  add("relu", {{3, 3}}, [](Tape& t, const std::vector<Var>& v) {
+    return t.SumAll(t.Square(t.Relu(v[0])));
+  });
+  add("sigmoid", {{2, 3}}, [](Tape& t, const std::vector<Var>& v) {
+    return t.SumAll(t.Sigmoid(v[0]));
+  });
+  add("tanh", {{2, 3}}, [](Tape& t, const std::vector<Var>& v) {
+    return t.SumAll(t.Tanh(v[0]));
+  });
+  add("exp", {{2, 2}}, [](Tape& t, const std::vector<Var>& v) {
+    return t.SumAll(t.Exp(v[0]));
+  });
+  add("log", {{2, 2}},
+      [](Tape& t, const std::vector<Var>& v) {
+        return t.SumAll(t.Log(v[0]));
+      },
+      5e-2f, 0.5f, 3.0f);
+  add("sqrt", {{2, 2}},
+      [](Tape& t, const std::vector<Var>& v) {
+        return t.SumAll(t.Sqrt(v[0]));
+      },
+      5e-2f, 0.5f, 3.0f);
+  add("square", {{2, 3}}, [](Tape& t, const std::vector<Var>& v) {
+    return t.SumAll(t.Square(v[0]));
+  });
+  add("acos", {{2, 2}},
+      [](Tape& t, const std::vector<Var>& v) {
+        return t.SumAll(t.Acos(v[0]));
+      },
+      8e-2f, -0.8f, 0.8f);
+  add("reshape", {{2, 6}}, [](Tape& t, const std::vector<Var>& v) {
+    return t.SumAll(t.Square(t.MatMul(t.Reshape(v[0], 3, 4),
+                                      t.Constant(Matrix(4, 2, 0.7f)))));
+  });
+  add("transpose", {{2, 3}}, [](Tape& t, const std::vector<Var>& v) {
+    return t.SumAll(t.Square(t.Transpose(v[0])));
+  });
+  add("concat_rows", {{2, 3}, {1, 3}},
+      [](Tape& t, const std::vector<Var>& v) {
+        return t.SumAll(t.Square(t.ConcatRows(v[0], v[1])));
+      });
+  add("concat_cols", {{2, 2}, {2, 3}},
+      [](Tape& t, const std::vector<Var>& v) {
+        return t.SumAll(t.Square(t.ConcatCols(v[0], v[1])));
+      });
+  add("gather_rows", {{4, 2}}, [](Tape& t, const std::vector<Var>& v) {
+    return t.SumAll(t.Square(t.GatherRows(v[0], {3, 1, 3})));
+  });
+  add("row_sum", {{3, 4}}, [](Tape& t, const std::vector<Var>& v) {
+    return t.SumAll(t.Square(t.RowSumOp(v[0])));
+  });
+  add("col_sum", {{3, 4}}, [](Tape& t, const std::vector<Var>& v) {
+    return t.SumAll(t.Square(t.ColSumOp(v[0])));
+  });
+  add("mean_all", {{3, 4}}, [](Tape& t, const std::vector<Var>& v) {
+    return t.MeanAll(t.Square(v[0]));
+  });
+  add("mul_col_vec", {{3, 2}, {3, 1}},
+      [](Tape& t, const std::vector<Var>& v) {
+        return t.SumAll(t.Square(t.MulColVec(v[0], v[1])));
+      });
+  add("mul_row_vec", {{3, 2}, {1, 2}},
+      [](Tape& t, const std::vector<Var>& v) {
+        return t.SumAll(t.Square(t.MulRowVec(v[0], v[1])));
+      });
+  add("add_row_vec", {{3, 2}, {1, 2}},
+      [](Tape& t, const std::vector<Var>& v) {
+        return t.SumAll(t.Square(t.AddRowVec(v[0], v[1])));
+      });
+  add("matmul", {{2, 3}, {3, 2}}, [](Tape& t, const std::vector<Var>& v) {
+    return t.SumAll(t.Square(t.MatMul(v[0], v[1])));
+  });
+  add("softmax", {{2, 4}}, [](Tape& t, const std::vector<Var>& v) {
+    return t.SumAll(t.Square(t.Softmax(v[0])));
+  });
+  add("softmax_xent", {{3, 4}}, [](Tape& t, const std::vector<Var>& v) {
+    return t.SoftmaxCrossEntropy(v[0], OneHot({0, 2, 3}, 4));
+  });
+  add("softmax_xent_weighted", {{3, 4}},
+      [](Tape& t, const std::vector<Var>& v) {
+        Matrix w(1, 3, {0.5f, 2.0f, 1.0f});
+        return t.SoftmaxCrossEntropy(v[0], OneHot({1, 1, 0}, 4), w);
+      });
+  add("spmm", {{3, 2}}, [](Tape& t, const std::vector<Var>& v) {
+    static const graph::CsrMatrix* adj = new graph::CsrMatrix(
+        graph::CsrMatrix::FromEdges(3, 3, {{0, 1}, {1, 2}, {0, 0}},
+                                    /*symmetrize=*/true));
+    return t.SumAll(t.Square(t.SpMM(adj, v[0])));
+  });
+  add("solve", {{3, 3}, {3, 2}},
+      [](Tape& t, const std::vector<Var>& v) {
+        // Diagonal dominance keeps the perturbed systems nonsingular.
+        Var a = t.Add(v[0], t.Constant(Scale(Matrix::Identity(3), 8.0f)));
+        return t.SumAll(t.Square(t.Solve(a, v[1])));
+      },
+      6e-2f);
+  add("composite_gcn_layer", {{4, 3}, {3, 2}},
+      [](Tape& t, const std::vector<Var>& v) {
+        static const graph::CsrMatrix* adj = new graph::CsrMatrix(
+            GcnNormalize(graph::CsrMatrix::FromEdges(
+                4, 4, {{0, 1}, {1, 2}, {2, 3}}, /*symmetrize=*/true)));
+        Var h = t.Relu(t.SpMM(adj, t.MatMul(v[0], v[1])));
+        return t.SoftmaxCrossEntropy(h, OneHot({0, 1, 0, 1}, 2));
+      });
+  add("composite_normalized_adjacency", {{3, 3}},
+      [](Tape& t, const std::vector<Var>& v) {
+        // sigmoid adjacency -> +I -> D^-1/2 (A+I) D^-1/2 -> quadratic loss:
+        // exactly GCond's differentiable normalization chain.
+        Var a = t.Sigmoid(v[0]);
+        Var sym = t.Scale(t.Add(a, t.Transpose(a)), 0.5f);
+        Var hat = t.Add(sym, t.Constant(Matrix::Identity(3)));
+        Var d = t.RowSumOp(hat);
+        Var s = t.ElemDiv(t.Constant(Matrix(3, 1, 1.0f)), t.Sqrt(d));
+        Var norm = t.MulColVec(hat, s);
+        norm = t.MulRowVec(norm, t.Transpose(s));
+        return t.SumAll(t.Square(norm));
+      });
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, TapeGradCheckTest, ::testing::ValuesIn(MakeCases()),
+    [](const ::testing::TestParamInfo<GradCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace bgc::ag

@@ -1,0 +1,230 @@
+#include "src/autograd/tape.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/matrix_ops.h"
+
+namespace bgc::ag {
+namespace {
+
+TEST(TapeTest, ForwardValuesMatchKernels) {
+  Tape t;
+  Matrix av(2, 2, {1, 2, 3, 4});
+  Matrix bv(2, 2, {5, 6, 7, 8});
+  Var a = t.Input(av);
+  Var b = t.Constant(bv);
+  EXPECT_TRUE(t.value(t.Add(a, b)) == Add(av, bv));
+  EXPECT_TRUE(t.value(t.Sub(a, b)) == Sub(av, bv));
+  EXPECT_TRUE(t.value(t.Hadamard(a, b)) == Hadamard(av, bv));
+  EXPECT_TRUE(t.value(t.MatMul(a, b)) == MatMul(av, bv));
+  EXPECT_TRUE(t.value(t.Transpose(a)) == Transpose(av));
+}
+
+TEST(TapeTest, AddBackwardDistributesGradient) {
+  Tape t;
+  Var a = t.Input(Matrix(1, 2, {1, 2}));
+  Var b = t.Input(Matrix(1, 2, {3, 4}));
+  Var loss = t.SumAll(t.Add(a, b));
+  t.Backward(loss);
+  EXPECT_TRUE(t.grad(a) == Matrix(1, 2, {1, 1}));
+  EXPECT_TRUE(t.grad(b) == Matrix(1, 2, {1, 1}));
+}
+
+TEST(TapeTest, SubBackwardNegatesSecond) {
+  Tape t;
+  Var a = t.Input(Matrix(1, 1, {1.0f}));
+  Var b = t.Input(Matrix(1, 1, {2.0f}));
+  t.Backward(t.SumAll(t.Sub(a, b)));
+  EXPECT_FLOAT_EQ(t.grad(a).At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(t.grad(b).At(0, 0), -1.0f);
+}
+
+TEST(TapeTest, MatMulBackwardShapes) {
+  Tape t;
+  Rng rng(1);
+  Var a = t.Input(Matrix::RandomNormal(3, 4, rng));
+  Var b = t.Input(Matrix::RandomNormal(4, 2, rng));
+  t.Backward(t.SumAll(t.MatMul(a, b)));
+  EXPECT_EQ(t.grad(a).rows(), 3);
+  EXPECT_EQ(t.grad(a).cols(), 4);
+  EXPECT_EQ(t.grad(b).rows(), 4);
+  EXPECT_EQ(t.grad(b).cols(), 2);
+}
+
+TEST(TapeTest, ConstantReceivesNoGradient) {
+  Tape t;
+  Var a = t.Input(Matrix(1, 1, {2.0f}));
+  Var c = t.Constant(Matrix(1, 1, {3.0f}));
+  t.Backward(t.SumAll(t.Hadamard(a, c)));
+  EXPECT_FLOAT_EQ(t.grad(a).At(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(t.grad(c).At(0, 0), 0.0f);
+}
+
+TEST(TapeTest, GradAccumulatesAcrossUses) {
+  // loss = sum(a + a) -> da = 2.
+  Tape t;
+  Var a = t.Input(Matrix(1, 1, {5.0f}));
+  t.Backward(t.SumAll(t.Add(a, a)));
+  EXPECT_FLOAT_EQ(t.grad(a).At(0, 0), 2.0f);
+}
+
+TEST(TapeTest, ReluForwardAndMask) {
+  Tape t;
+  Var a = t.Input(Matrix(1, 3, {-1, 0, 2}));
+  Var r = t.Relu(a);
+  EXPECT_TRUE(t.value(r) == Matrix(1, 3, {0, 0, 2}));
+  t.Backward(t.SumAll(r));
+  EXPECT_TRUE(t.grad(a) == Matrix(1, 3, {0, 0, 1}));
+}
+
+TEST(TapeTest, BinarizeSteForwardThresholdBackwardIdentity) {
+  Tape t;
+  Var a = t.Input(Matrix(1, 3, {0.2f, 0.6f, 0.5f}));
+  Var b = t.BinarizeSte(a, 0.5f);
+  EXPECT_TRUE(t.value(b) == Matrix(1, 3, {0, 1, 0}));
+  t.Backward(t.SumAll(b));
+  EXPECT_TRUE(t.grad(a) == Matrix(1, 3, {1, 1, 1}));
+}
+
+TEST(TapeTest, SoftmaxRowsSumToOne) {
+  Tape t;
+  Rng rng(2);
+  Var a = t.Input(Matrix::RandomNormal(4, 5, rng));
+  const Matrix& s = t.value(t.Softmax(a));
+  for (int i = 0; i < 4; ++i) {
+    float sum = 0.0f;
+    for (int j = 0; j < 5; ++j) sum += s.At(i, j);
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(TapeTest, SoftmaxCrossEntropyGradientIsProbMinusTarget) {
+  Tape t;
+  Matrix logits(1, 3, {1.0f, 2.0f, 3.0f});
+  Matrix target = OneHot({2}, 3);
+  Var l = t.Input(logits);
+  Var loss = t.SoftmaxCrossEntropy(l, target);
+  t.Backward(loss);
+  Matrix p = RowSoftmax(logits);
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_NEAR(t.grad(l).At(0, j), p.At(0, j) - target.At(0, j), 1e-5f);
+  }
+}
+
+TEST(TapeTest, SoftmaxCrossEntropyPerfectPredictionLowLoss) {
+  Tape t;
+  Matrix logits(1, 2, {20.0f, -20.0f});
+  Var l = t.Input(logits);
+  Var loss = t.SoftmaxCrossEntropy(l, OneHot({0}, 2));
+  EXPECT_LT(t.value(loss).At(0, 0), 1e-4f);
+}
+
+TEST(TapeTest, SoftmaxCrossEntropyRowWeights) {
+  Tape t;
+  Matrix logits(2, 2, {0.0f, 0.0f, 0.0f, 0.0f});
+  Matrix targets = OneHot({0, 1}, 2);
+  Matrix w(1, 2, {1.0f, 3.0f});
+  Var l = t.Input(logits);
+  Var loss = t.SoftmaxCrossEntropy(l, targets, w);
+  // Both rows have loss ln(2); weights don't change the weighted mean.
+  EXPECT_NEAR(t.value(loss).At(0, 0), std::log(2.0f), 1e-5f);
+  t.Backward(loss);
+  // Row 1 gradient scaled 3x relative to row 0 (same-sign entries: the
+  // off-target column of each row).
+  EXPECT_NEAR(t.grad(l).At(1, 0) / t.grad(l).At(0, 1), 3.0f, 1e-4f);
+}
+
+TEST(TapeTest, SpMMForwardAndBackward) {
+  graph::CsrMatrix adj = graph::CsrMatrix::FromEdges(
+      3, 3, {{0, 1}, {1, 2}}, /*symmetrize=*/true);
+  Tape t;
+  Rng rng(3);
+  Matrix xv = Matrix::RandomNormal(3, 2, rng);
+  Var x = t.Input(xv);
+  Var y = t.SpMM(&adj, x);
+  EXPECT_TRUE(AllClose(t.value(y), adj.Multiply(xv)));
+  t.Backward(t.SumAll(y));
+  // d(sum(Ax))/dx = A^T 1.
+  Matrix ones(3, 2, 1.0f);
+  EXPECT_TRUE(AllClose(t.grad(x), adj.MultiplyTransposed(ones)));
+}
+
+TEST(TapeTest, GatherRowsBackwardScatters) {
+  Tape t;
+  Var a = t.Input(Matrix(3, 1, {1, 2, 3}));
+  Var g = t.GatherRows(a, {0, 0, 2});
+  t.Backward(t.SumAll(g));
+  EXPECT_TRUE(t.grad(a) == Matrix(3, 1, {2, 0, 1}));
+}
+
+TEST(TapeTest, DropoutEvalIsIdentity) {
+  Tape t;
+  Rng rng(4);
+  Matrix xv(2, 2, {1, 2, 3, 4});
+  Var x = t.Input(xv);
+  Var y = t.Dropout(x, 0.5f, rng, /*training=*/false);
+  EXPECT_TRUE(t.value(y) == xv);
+}
+
+TEST(TapeTest, DropoutTrainMasksAndScales) {
+  Tape t;
+  Rng rng(5);
+  Matrix xv(40, 40, 1.0f);
+  Var x = t.Input(xv);
+  Var y = t.Dropout(x, 0.5f, rng, /*training=*/true);
+  const Matrix& yv = t.value(y);
+  int kept = 0;
+  for (int i = 0; i < yv.size(); ++i) {
+    EXPECT_TRUE(yv.data()[i] == 0.0f || yv.data()[i] == 2.0f);
+    kept += yv.data()[i] != 0.0f;
+  }
+  EXPECT_NEAR(kept / 1600.0, 0.5, 0.06);
+}
+
+TEST(TapeTest, SolveForwardMatchesLinalg) {
+  Tape t;
+  Matrix av(2, 2, {2, 0, 0, 4});
+  Matrix bv(2, 1, {2, 8});
+  Var a = t.Input(av);
+  Var b = t.Input(bv);
+  Var x = t.Solve(a, b);
+  EXPECT_NEAR(t.value(x).At(0, 0), 1.0f, 1e-5f);
+  EXPECT_NEAR(t.value(x).At(1, 0), 2.0f, 1e-5f);
+}
+
+TEST(TapeTest, ResetInvalidatesAndReuses) {
+  Tape t;
+  Var a = t.Input(Matrix(1, 1, {1.0f}));
+  t.Backward(t.SumAll(a));
+  t.Reset();
+  EXPECT_EQ(t.num_nodes(), 0);
+  Var b = t.Input(Matrix(1, 1, {2.0f}));
+  t.Backward(t.SumAll(b));
+  EXPECT_FLOAT_EQ(t.grad(b).At(0, 0), 1.0f);
+}
+
+TEST(TapeTest, MeanAllScalesGradient) {
+  Tape t;
+  Var a = t.Input(Matrix(2, 2, 3.0f));
+  Var m = t.MeanAll(a);
+  EXPECT_FLOAT_EQ(t.value(m).At(0, 0), 3.0f);
+  t.Backward(m);
+  EXPECT_TRUE(AllClose(t.grad(a), Matrix(2, 2, 0.25f)));
+}
+
+TEST(TapeTest, BroadcastOpsForward) {
+  Tape t;
+  Var a = t.Input(Matrix(2, 2, {1, 2, 3, 4}));
+  Var col = t.Input(Matrix(2, 1, {2, 3}));
+  Var row = t.Input(Matrix(1, 2, {10, 100}));
+  EXPECT_TRUE(t.value(t.MulColVec(a, col)) == Matrix(2, 2, {2, 4, 9, 12}));
+  EXPECT_TRUE(t.value(t.MulRowVec(a, row)) ==
+              Matrix(2, 2, {10, 200, 30, 400}));
+  EXPECT_TRUE(t.value(t.AddRowVec(a, row)) ==
+              Matrix(2, 2, {11, 102, 13, 104}));
+}
+
+}  // namespace
+}  // namespace bgc::ag

@@ -1,0 +1,81 @@
+#include "src/nn/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/synthetic.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace bgc::nn {
+namespace {
+
+TEST(TrainerTest, LossDecreases) {
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", 31);
+  Rng rng(1);
+  GnnConfig cfg;
+  cfg.in_dim = ds.feature_dim();
+  cfg.hidden_dim = 16;
+  cfg.out_dim = ds.num_classes;
+  auto model = MakeModel("gcn", cfg, rng);
+
+  TrainConfig short_run;
+  short_run.epochs = 2;
+  const float early =
+      TrainNodeClassifier(*model, ds.adj, ds.features, ds.labels,
+                          ds.train_idx, short_run);
+  TrainConfig longer;
+  longer.epochs = 100;
+  const float late =
+      TrainNodeClassifier(*model, ds.adj, ds.features, ds.labels,
+                          ds.train_idx, longer);
+  EXPECT_LT(late, early);
+}
+
+TEST(TrainerTest, EmptyTrainIdxMeansAllNodes) {
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", 32);
+  Rng rng(2);
+  GnnConfig cfg;
+  cfg.in_dim = ds.feature_dim();
+  cfg.hidden_dim = 8;
+  cfg.out_dim = ds.num_classes;
+  cfg.dropout = 0.0f;
+  auto model = MakeModel("gcn", cfg, rng);
+  TrainConfig tc;
+  tc.epochs = 60;
+  TrainNodeClassifier(*model, ds.adj, ds.features, ds.labels, {}, tc);
+  // Training on all nodes should fit the train portion very well.
+  Matrix logits = PredictLogits(*model, ds.adj, ds.features);
+  EXPECT_GT(Accuracy(logits, ds.labels, {}), 0.8);
+}
+
+TEST(TrainerTest, AccuracyFullAndSubset) {
+  Matrix logits(3, 2, {0.9f, 0.1f, 0.2f, 0.8f, 0.7f, 0.3f});
+  std::vector<int> labels = {0, 1, 1};
+  EXPECT_DOUBLE_EQ(Accuracy(logits, labels, {}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Accuracy(logits, labels, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy(logits, labels, {2}), 0.0);
+}
+
+TEST(TrainerTest, DeterministicGivenSeed) {
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", 33);
+  GnnConfig cfg;
+  cfg.in_dim = ds.feature_dim();
+  cfg.hidden_dim = 8;
+  cfg.out_dim = ds.num_classes;
+  TrainConfig tc;
+  tc.epochs = 30;
+  tc.seed = 77;
+
+  Rng rng_a(3);
+  auto model_a = MakeModel("gcn", cfg, rng_a);
+  TrainNodeClassifier(*model_a, ds.adj, ds.features, ds.labels, ds.train_idx,
+                      tc);
+  Rng rng_b(3);
+  auto model_b = MakeModel("gcn", cfg, rng_b);
+  TrainNodeClassifier(*model_b, ds.adj, ds.features, ds.labels, ds.train_idx,
+                      tc);
+  EXPECT_TRUE(PredictLogits(*model_a, ds.adj, ds.features) ==
+              PredictLogits(*model_b, ds.adj, ds.features));
+}
+
+}  // namespace
+}  // namespace bgc::nn

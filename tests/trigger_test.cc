@@ -1,0 +1,190 @@
+#include "src/attack/trigger.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/attack/attach.h"
+#include "src/attack/ego.h"
+#include "src/data/synthetic.h"
+
+namespace bgc::attack {
+namespace {
+
+struct Fixture {
+  data::GraphDataset ds;
+  condense::SourceGraph source;
+  SurrogateGcn surrogate;
+
+  explicit Fixture(uint64_t seed = 81)
+      : ds(data::MakeDataset("tiny-sim", seed)),
+        source(condense::FromTrainView(data::MakeTrainView(ds))),
+        surrogate(ds.feature_dim(), 16, ds.num_classes) {
+    Rng rng(seed);
+    surrogate.Init(rng);
+    surrogate.TrainOnGraph(source.adj, source.features, source.labels,
+                           source.labeled, 40, 0.01f, rng);
+  }
+};
+
+TEST(EgoTest, ContainsHostFirst) {
+  Fixture f;
+  Rng rng(1);
+  EgoItem item = BuildEgoItem(f.source.adj, f.source.features, 5, {2, 8}, 4,
+                              rng);
+  EXPECT_EQ(item.nodes[0], 5);
+  EXPECT_EQ(item.host_local, 0);
+  EXPECT_EQ(item.features.rows(), static_cast<int>(item.nodes.size()));
+  EXPECT_EQ(item.base_adj.rows(),
+            static_cast<int>(item.nodes.size()) + 4);
+}
+
+TEST(EgoTest, HostTriggerEdgePresent) {
+  Fixture f;
+  Rng rng(2);
+  EgoItem item = BuildEgoItem(f.source.adj, f.source.features, 0, {2, 8}, 3,
+                              rng);
+  const int m = static_cast<int>(item.nodes.size());
+  EXPECT_FLOAT_EQ(item.base_adj.At(0, m), 1.0f);
+  EXPECT_FLOAT_EQ(item.base_adj.At(m, 0), 1.0f);
+  // Trigger block starts all-zero.
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_FLOAT_EQ(item.base_adj.At(m + i, m + j), 0.0f);
+    }
+  }
+}
+
+TEST(EgoTest, CapLimitsNeighborhood) {
+  Fixture f;
+  Rng rng(3);
+  EgoItem small = BuildEgoItem(f.source.adj, f.source.features, 0, {2, 2}, 2,
+                               rng);
+  // 1 host + at most 2 new nodes per hop over 2 hops.
+  EXPECT_LE(small.nodes.size(), 5u);
+}
+
+TEST(EgoTest, EmbedSelectorShape) {
+  Fixture f;
+  Rng rng(4);
+  EgoItem item = BuildEgoItem(f.source.adj, f.source.features, 1, {1, 4}, 4,
+                              rng);
+  const int m = static_cast<int>(item.nodes.size());
+  EXPECT_EQ(item.embed.rows(), m + 4);
+  EXPECT_EQ(item.embed.cols(), 4);
+  for (int j = 0; j < 4; ++j) EXPECT_FLOAT_EQ(item.embed.At(m + j, j), 1.0f);
+}
+
+class GeneratorTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  static std::unique_ptr<TriggerGenerator> Make(const char* kind,
+                                                const Fixture& f, Rng& rng) {
+    if (std::string(kind) == "universal") {
+      return std::make_unique<UniversalTriggerGenerator>(f.ds.feature_dim(),
+                                                         3, 0.05f, 1.0f, rng);
+    }
+    return std::make_unique<AdaptiveTriggerGenerator>(f.ds.feature_dim(), 16,
+                                                      3, 0.05f, 1.0f, rng);
+  }
+};
+
+TEST_P(GeneratorTest, GenerateShapesAndBounds) {
+  Fixture f;
+  Rng rng(5);
+  auto gen = Make(GetParam(), f, rng);
+  auto triggers = gen->Generate(f.source, {0, 3, 7});
+  ASSERT_EQ(triggers.size(), 3u);
+  for (const auto& trig : triggers) {
+    EXPECT_EQ(trig.features.rows(), 3);
+    EXPECT_EQ(trig.features.cols(), f.ds.feature_dim());
+    // tanh bound with scale 1.
+    for (int i = 0; i < trig.features.size(); ++i) {
+      EXPECT_LE(std::fabs(trig.features.data()[i]), 1.0f);
+    }
+    for (auto [a, b] : trig.internal_edges) {
+      EXPECT_LT(a, b);
+      EXPECT_LT(b, 3);
+    }
+  }
+}
+
+TEST_P(GeneratorTest, TrainStepReducesTargetLoss) {
+  Fixture f;
+  Rng rng(6);
+  auto gen = Make(GetParam(), f, rng);
+  std::vector<int> update_nodes = {1, 2, 4, 8, 9};
+  const float first = gen->TrainStep(f.source, f.surrogate, update_nodes, 0,
+                                     {2, 8}, rng);
+  float last = first;
+  for (int s = 0; s < 25; ++s) {
+    last = gen->TrainStep(f.source, f.surrogate, update_nodes, 0, {2, 8},
+                          rng);
+  }
+  EXPECT_LT(last, first);
+}
+
+TEST_P(GeneratorTest, AdaptiveTriggersSwaySurrogate) {
+  // After training against the surrogate, attaching triggers should raise
+  // the surrogate's target-class prediction rate well above its clean rate.
+  Fixture f;
+  Rng rng(7);
+  auto gen = Make(GetParam(), f, rng);
+  std::vector<int> update_nodes;
+  for (int i = 0; i < 30; ++i) {
+    if (f.source.labels[i] != 0) update_nodes.push_back(i);
+  }
+  for (int s = 0; s < 60; ++s) {
+    gen->TrainStep(f.source, f.surrogate, update_nodes, 0, {2, 8}, rng);
+  }
+  // Evaluate on held-out hosts.
+  std::vector<int> hosts;
+  for (int i = 30; i < 90; ++i) {
+    if (f.source.labels[i] != 0) hosts.push_back(i);
+  }
+  auto triggers = gen->Generate(f.source, hosts);
+  AugmentedGraph aug =
+      AttachToGraph(f.source.adj, f.source.features, hosts, triggers);
+  Matrix poisoned_logits = f.surrogate.Predict(aug.adj, aug.features);
+  Matrix clean_logits = f.surrogate.Predict(f.source.adj, f.source.features);
+  int flip = 0, clean_hits = 0;
+  for (int host : hosts) {
+    const float* row = poisoned_logits.RowPtr(host);
+    int best = 0;
+    for (int c = 1; c < f.ds.num_classes; ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    flip += best == 0;
+    const float* crow = clean_logits.RowPtr(host);
+    int cbest = 0;
+    for (int c = 1; c < f.ds.num_classes; ++c) {
+      if (crow[c] > crow[cbest]) cbest = c;
+    }
+    clean_hits += cbest == 0;
+  }
+  EXPECT_GT(flip, clean_hits);
+  EXPECT_GT(static_cast<double>(flip) / hosts.size(), 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothKinds, GeneratorTest,
+                         ::testing::Values("adaptive", "universal"),
+                         [](const auto& info) { return std::string(info.param); });
+
+TEST(UniversalGeneratorTest, SameTriggerForAllHosts) {
+  Fixture f;
+  Rng rng(8);
+  UniversalTriggerGenerator gen(f.ds.feature_dim(), 3, 0.05f, 1.0f, rng);
+  auto triggers = gen.Generate(f.source, {0, 1, 2});
+  EXPECT_TRUE(triggers[0].features == triggers[1].features);
+  EXPECT_EQ(triggers[0].internal_edges, triggers[2].internal_edges);
+}
+
+TEST(AdaptiveGeneratorTest, NodeConditionedTriggersDiffer) {
+  Fixture f;
+  Rng rng(9);
+  AdaptiveTriggerGenerator gen(f.ds.feature_dim(), 16, 3, 0.05f, 1.0f, rng);
+  auto triggers = gen.Generate(f.source, {0, 50});
+  EXPECT_FALSE(triggers[0].features == triggers[1].features);
+}
+
+}  // namespace
+}  // namespace bgc::attack
