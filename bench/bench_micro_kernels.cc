@@ -9,6 +9,7 @@
 #include "src/attack/surrogate.h"
 #include "src/attack/trigger.h"
 #include "src/condense/condenser.h"
+#include "src/core/thread_pool.h"
 #include "src/data/synthetic.h"
 #include "src/tensor/matrix_ops.h"
 
@@ -39,6 +40,37 @@ void BM_SpMM(benchmark::State& state) {
                           ds.feature_dim());
 }
 BENCHMARK(BM_SpMM);
+
+// Thread-count sweeps over the pool-backed kernels. Each fixture pins the
+// global pool to state.range and restores the BGC_NUM_THREADS/hardware
+// default afterwards, so the sweeps don't leak into other benchmarks.
+void BM_MatMulThreads(benchmark::State& state) {
+  ThreadPool::SetGlobalNumThreads(static_cast<int>(state.range(0)));
+  const int n = 256;
+  Rng rng(1);
+  Matrix a = Matrix::RandomNormal(n, n, rng);
+  Matrix b = Matrix::RandomNormal(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long long>(n) * n *
+                          n);
+  ThreadPool::SetGlobalNumThreads(0);
+}
+BENCHMARK(BM_MatMulThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_SpMMThreads(benchmark::State& state) {
+  ThreadPool::SetGlobalNumThreads(static_cast<int>(state.range(0)));
+  data::GraphDataset ds = data::MakeDataset("cora-sim", 3);
+  graph::CsrMatrix op = graph::GcnNormalize(ds.adj);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(op.Multiply(ds.features));
+  }
+  state.SetItemsProcessed(state.iterations() * op.nnz() *
+                          ds.feature_dim());
+  ThreadPool::SetGlobalNumThreads(0);
+}
+BENCHMARK(BM_SpMMThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_GcnNormalize(benchmark::State& state) {
   data::GraphDataset ds = data::MakeDataset("cora-sim", 3);

@@ -1,0 +1,83 @@
+#ifndef BGC_CORE_PARALLEL_H_
+#define BGC_CORE_PARALLEL_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/core/thread_pool.h"
+
+namespace bgc {
+
+/// Parallel front end used by the tensor/graph kernels.
+///
+/// Everything here is deterministic by construction: ranges are split into
+/// fixed chunks whose boundaries depend only on (begin, end, grain) — never
+/// on the thread count — and reductions combine per-chunk partials in
+/// ascending chunk order on the calling thread. No atomics or
+/// first-come-first-merged accumulation ever touches numeric results, so
+/// every kernel produces bit-identical output for BGC_NUM_THREADS=1, 2, ...
+///
+/// `grain` is the minimum chunk size; a range that fits in one chunk runs
+/// inline on the caller without touching the pool, so small inputs (the
+/// common case in condensed-graph training) pay no dispatch overhead.
+
+/// Grain constants. These are part of each kernel's numeric contract where
+/// chunking changes float accumulation order (reductions, sparse scatter),
+/// so they are fixed here rather than derived from the machine.
+inline constexpr int kElementwiseGrain = 1 << 15;  // flat map ops; order-safe
+inline constexpr int kReduceGrain = 1 << 20;       // Sum/Dot/MaxAbs partials
+
+/// Number of fixed chunks for a range of n elements at the given grain.
+inline int NumFixedChunks(long long n, long long grain) {
+  if (n <= 0) return 0;
+  if (grain < 1) grain = 1;
+  return static_cast<int>((n + grain - 1) / grain);
+}
+
+/// Splits [begin, end) into fixed chunks of `grain` elements (the last one
+/// possibly shorter) and invokes fn(chunk_begin, chunk_end) for each,
+/// possibly concurrently. Each index is covered by exactly one chunk.
+inline void ParallelFor(int begin, int end, int grain,
+                        const std::function<void(int, int)>& fn) {
+  const long long n = static_cast<long long>(end) - begin;
+  if (n <= 0) return;
+  const long long g = grain < 1 ? 1 : grain;
+  const int chunks = NumFixedChunks(n, g);
+  if (chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+  ThreadPool::Global().Run(chunks, [&](int c) {
+    const long long b = begin + c * g;
+    const long long e = b + g < end ? b + g : end;
+    fn(static_cast<int>(b), static_cast<int>(e));
+  });
+}
+
+/// Chunked reduction: partial(chunk_begin, chunk_end) computes one partial
+/// per fixed chunk (concurrently), then the partials are folded as
+/// combine(combine(combine(init, p0), p1), ...) in ascending chunk order.
+/// With one chunk this degenerates to combine(init, partial(begin, end)),
+/// i.e. the flat serial loop.
+template <typename T, typename PartialFn, typename CombineFn>
+T ParallelReduce(int begin, int end, int grain, T init, PartialFn partial,
+                 CombineFn combine) {
+  const long long n = static_cast<long long>(end) - begin;
+  if (n <= 0) return init;
+  const long long g = grain < 1 ? 1 : grain;
+  const int chunks = NumFixedChunks(n, g);
+  if (chunks <= 1) return combine(init, partial(begin, end));
+  std::vector<T> partials(chunks);
+  ThreadPool::Global().Run(chunks, [&](int c) {
+    const long long b = begin + c * g;
+    const long long e = b + g < end ? b + g : end;
+    partials[c] = partial(static_cast<int>(b), static_cast<int>(e));
+  });
+  T acc = init;
+  for (int c = 0; c < chunks; ++c) acc = combine(acc, partials[c]);
+  return acc;
+}
+
+}  // namespace bgc
+
+#endif  // BGC_CORE_PARALLEL_H_

@@ -1,0 +1,131 @@
+#include "src/core/thread_pool.h"
+
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "src/core/check.h"
+
+namespace bgc {
+
+namespace {
+
+/// True while the current thread is executing a pool task; nested Run calls
+/// then degrade to inline execution instead of deadlocking on the pool.
+thread_local bool t_inside_pool_task = false;
+
+std::mutex g_global_pool_mu;
+std::unique_ptr<ThreadPool>& GlobalPoolSlot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+int ThreadPool::DefaultNumThreads() {
+  if (const char* env = std::getenv("BGC_NUM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(g_global_pool_mu);
+  std::unique_ptr<ThreadPool>& slot = GlobalPoolSlot();
+  if (!slot) slot = std::make_unique<ThreadPool>(DefaultNumThreads());
+  return *slot;
+}
+
+void ThreadPool::SetGlobalNumThreads(int num_threads) {
+  if (num_threads <= 0) num_threads = DefaultNumThreads();
+  std::lock_guard<std::mutex> lock(g_global_pool_mu);
+  std::unique_ptr<ThreadPool>& slot = GlobalPoolSlot();
+  if (slot && slot->num_threads() == num_threads) return;
+  slot = std::make_unique<ThreadPool>(num_threads);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  BGC_CHECK_GE(num_threads, 1);
+  num_threads_ = num_threads;
+  workers_.reserve(num_threads - 1);
+  for (int i = 0; i < num_threads - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+int ThreadPool::RunTasks(Job& job) {
+  int done = 0;
+  for (;;) {
+    const int t = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (t >= job.total) break;
+    (*job.fn)(t);
+    ++done;
+  }
+  return done;
+}
+
+void ThreadPool::WorkerLoop() {
+  t_inside_pool_task = true;
+  long seen_epoch = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      job_cv_.wait(lock,
+                   [&] { return shutdown_ || job_epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = job_epoch_;
+      job = job_;
+    }
+    if (!job) continue;
+    const int done = RunTasks(*job);
+    if (done > 0 &&
+        job->unfinished.fetch_sub(done, std::memory_order_acq_rel) == done) {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::Run(int num_tasks, const std::function<void(int)>& fn) {
+  if (num_tasks <= 0) return;
+  if (workers_.empty() || num_tasks == 1 || t_inside_pool_task) {
+    for (int t = 0; t < num_tasks; ++t) fn(t);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->total = num_tasks;
+  job->unfinished.store(num_tasks, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    ++job_epoch_;
+  }
+  job_cv_.notify_all();
+
+  t_inside_pool_task = true;
+  const int done = RunTasks(*job);
+  t_inside_pool_task = false;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (done > 0) job->unfinished.fetch_sub(done, std::memory_order_acq_rel);
+  done_cv_.wait(lock, [&] {
+    return job->unfinished.load(std::memory_order_acquire) == 0;
+  });
+  job_.reset();
+}
+
+}  // namespace bgc

@@ -1,0 +1,84 @@
+#ifndef BGC_CORE_THREAD_POOL_H_
+#define BGC_CORE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bgc {
+
+/// Fixed-size worker pool behind every parallel kernel in the library
+/// (see parallel.h for the ParallelFor/ParallelReduce front end).
+///
+/// Determinism contract: the pool only decides *which thread* runs a task
+/// and *when*; it never decides *how work is split*. Callers must make each
+/// task either write disjoint state or fill its own slot of a result array
+/// that the caller reduces in fixed task order afterwards. Under that
+/// contract every kernel built on the pool is bit-identical for every
+/// thread count, including 1.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the caller of Run participates as
+  /// the remaining thread). `num_threads <= 1` spawns nothing and Run
+  /// executes inline.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs fn(0), ..., fn(num_tasks - 1), each exactly once, possibly
+  /// concurrently, and blocks until all have finished. The calling thread
+  /// participates. Task-to-thread assignment is unspecified. Calls from
+  /// inside a task (nested parallelism) execute inline on the caller.
+  void Run(int num_tasks, const std::function<void(int)>& fn);
+
+  /// The process-wide pool, lazily constructed on first use with
+  /// DefaultNumThreads() threads.
+  static ThreadPool& Global();
+
+  /// Replaces the global pool with one of `num_threads` threads
+  /// (`num_threads <= 0` re-resolves DefaultNumThreads()). For benches and
+  /// tests; must not be called concurrently with kernels on other threads.
+  static void SetGlobalNumThreads(int num_threads);
+
+  /// Thread count from the BGC_NUM_THREADS environment variable if set to
+  /// a positive integer, otherwise std::thread::hardware_concurrency().
+  static int DefaultNumThreads();
+
+ private:
+  /// Per-dispatch shared state. Workers hold a shared_ptr so a straggler
+  /// waking after completion sees an exhausted counter instead of freed
+  /// memory.
+  struct Job {
+    const std::function<void(int)>* fn = nullptr;
+    int total = 0;
+    std::atomic<int> next{0};
+    std::atomic<int> unfinished{0};
+  };
+
+  void WorkerLoop();
+  /// Claims and runs tasks from `job` until the counter is exhausted;
+  /// returns how many tasks this thread executed.
+  int RunTasks(Job& job);
+
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable job_cv_;   // workers: a new job was published
+  std::condition_variable done_cv_;  // Run(): the current job drained
+  std::shared_ptr<Job> job_;         // guarded by mu_
+  long job_epoch_ = 0;               // guarded by mu_
+  bool shutdown_ = false;            // guarded by mu_
+};
+
+}  // namespace bgc
+
+#endif  // BGC_CORE_THREAD_POOL_H_

@@ -58,6 +58,11 @@ class CsrMatrix {
   /// Sum of stored values in row r.
   float RowWeightSum(int r) const;
 
+  /// A + weight·I for a square matrix, merged in one linear pass over the
+  /// CSR structure (no edge-list round trip); an existing diagonal entry is
+  /// summed with `weight`.
+  CsrMatrix WithSelfLoops(float weight = 1.0f) const;
+
   /// Dense n×m product: this (n×k) * dense (k×m).
   Matrix Multiply(const Matrix& dense) const;
 

@@ -4,23 +4,56 @@
 #include <cmath>
 #include <cstring>
 
+#include "src/core/parallel.h"
+
 namespace bgc {
+
+namespace {
+
+// Flops per row-chunk of a GEMM dispatch. Row partitioning writes disjoint
+// rows of c, so this only tunes scheduling, never numerics.
+constexpr long long kGemmChunkFlops = 1 << 17;
+
+// Rows of b kept hot across an output-row chunk (L2-sized panel).
+constexpr int kGemmPanelK = 64;
+
+// Rows per chunk so each chunk carries about kGemmChunkFlops of work; tiny
+// products collapse to a single chunk and run inline on the caller.
+int GemmRowGrain(int inner, int out_cols) {
+  const long long per_row =
+      static_cast<long long>(inner) * (out_cols > 0 ? out_cols : 1);
+  if (per_row <= 0) return 1 << 20;
+  const long long rows = kGemmChunkFlops / per_row;
+  return rows < 1 ? 1 : static_cast<int>(rows);
+}
+
+}  // namespace
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   BGC_CHECK_EQ(a.cols(), b.rows());
   const int n = a.rows(), k = a.cols(), m = b.cols();
   Matrix c(n, m);
-  // i-k-j order keeps the inner loop streaming over contiguous rows of b/c.
-  for (int i = 0; i < n; ++i) {
-    const float* arow = a.RowPtr(i);
-    float* crow = c.RowPtr(i);
-    for (int p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b.RowPtr(p);
-      for (int j = 0; j < m; ++j) crow[j] += av * brow[j];
+  // Row-partitioned over the pool: each chunk owns a disjoint slice of c.
+  // Within a chunk the k loop is blocked into ascending panels so a panel
+  // of b stays cache-hot across all rows of the chunk; for any fixed
+  // (i, j) the p contributions still arrive in ascending order, so the
+  // result is bit-identical to the serial i-k-j kernel at every thread
+  // count.
+  ParallelFor(0, n, GemmRowGrain(k, m), [&](int r0, int r1) {
+    for (int p0 = 0; p0 < k; p0 += kGemmPanelK) {
+      const int p1 = std::min(k, p0 + kGemmPanelK);
+      for (int i = r0; i < r1; ++i) {
+        const float* arow = a.RowPtr(i);
+        float* crow = c.RowPtr(i);
+        for (int p = p0; p < p1; ++p) {
+          const float av = arow[p];
+          if (av == 0.0f) continue;
+          const float* brow = b.RowPtr(p);
+          for (int j = 0; j < m; ++j) crow[j] += av * brow[j];
+        }
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -28,16 +61,21 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   BGC_CHECK_EQ(a.rows(), b.rows());
   const int k = a.rows(), n = a.cols(), m = b.cols();
   Matrix c(n, m);
-  for (int p = 0; p < k; ++p) {
-    const float* arow = a.RowPtr(p);
-    const float* brow = b.RowPtr(p);
-    for (int i = 0; i < n; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c.RowPtr(i);
-      for (int j = 0; j < m; ++j) crow[j] += av * brow[j];
+  // Partitioned over output rows (columns of a): the p loop stays outermost
+  // and ascending inside each chunk, so per-element accumulation order —
+  // and the bits — match the serial kernel.
+  ParallelFor(0, n, GemmRowGrain(k, m), [&](int i0, int i1) {
+    for (int p = 0; p < k; ++p) {
+      const float* arow = a.RowPtr(p);
+      const float* brow = b.RowPtr(p);
+      for (int i = i0; i < i1; ++i) {
+        const float av = arow[i];
+        if (av == 0.0f) continue;
+        float* crow = c.RowPtr(i);
+        for (int j = 0; j < m; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -45,16 +83,20 @@ Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   BGC_CHECK_EQ(a.cols(), b.cols());
   const int n = a.rows(), k = a.cols(), m = b.rows();
   Matrix c(n, m);
-  for (int i = 0; i < n; ++i) {
-    const float* arow = a.RowPtr(i);
-    float* crow = c.RowPtr(i);
-    for (int j = 0; j < m; ++j) {
-      const float* brow = b.RowPtr(j);
-      float acc = 0.0f;
-      for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] = acc;
+  // Row-partitioned dot products; each output element is one serial dot,
+  // so numerics are untouched by the partitioning.
+  ParallelFor(0, n, GemmRowGrain(k, m), [&](int r0, int r1) {
+    for (int i = r0; i < r1; ++i) {
+      const float* arow = a.RowPtr(i);
+      float* crow = c.RowPtr(i);
+      for (int j = 0; j < m; ++j) {
+        const float* brow = b.RowPtr(j);
+        float acc = 0.0f;
+        for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        crow[j] = acc;
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -70,26 +112,42 @@ void CheckSameShape(const Matrix& a, const Matrix& b) {
 Matrix Add(const Matrix& a, const Matrix& b) {
   CheckSameShape(a, b);
   Matrix c = a;
-  for (int i = 0; i < c.size(); ++i) c.data()[i] += b.data()[i];
+  float* cd = c.data();
+  const float* bd = b.data();
+  ParallelFor(0, c.size(), kElementwiseGrain, [&](int i0, int i1) {
+    for (int i = i0; i < i1; ++i) cd[i] += bd[i];
+  });
   return c;
 }
 
 Matrix Sub(const Matrix& a, const Matrix& b) {
   CheckSameShape(a, b);
   Matrix c = a;
-  for (int i = 0; i < c.size(); ++i) c.data()[i] -= b.data()[i];
+  float* cd = c.data();
+  const float* bd = b.data();
+  ParallelFor(0, c.size(), kElementwiseGrain, [&](int i0, int i1) {
+    for (int i = i0; i < i1; ++i) cd[i] -= bd[i];
+  });
   return c;
 }
 
 void AddScaledInPlace(Matrix& a, const Matrix& b, float alpha) {
   CheckSameShape(a, b);
-  for (int i = 0; i < a.size(); ++i) a.data()[i] += alpha * b.data()[i];
+  float* ad = a.data();
+  const float* bd = b.data();
+  ParallelFor(0, a.size(), kElementwiseGrain, [&](int i0, int i1) {
+    for (int i = i0; i < i1; ++i) ad[i] += alpha * bd[i];
+  });
 }
 
 Matrix Hadamard(const Matrix& a, const Matrix& b) {
   CheckSameShape(a, b);
   Matrix c = a;
-  for (int i = 0; i < c.size(); ++i) c.data()[i] *= b.data()[i];
+  float* cd = c.data();
+  const float* bd = b.data();
+  ParallelFor(0, c.size(), kElementwiseGrain, [&](int i0, int i1) {
+    for (int i = i0; i < i1; ++i) cd[i] *= bd[i];
+  });
   return c;
 }
 
@@ -100,7 +158,10 @@ Matrix Scale(const Matrix& a, float alpha) {
 }
 
 void ScaleInPlace(Matrix& a, float alpha) {
-  for (int i = 0; i < a.size(); ++i) a.data()[i] *= alpha;
+  float* ad = a.data();
+  ParallelFor(0, a.size(), kElementwiseGrain, [&](int i0, int i1) {
+    for (int i = i0; i < i1; ++i) ad[i] *= alpha;
+  });
 }
 
 Matrix AddRowBroadcast(const Matrix& a, const Matrix& bias) {
@@ -116,47 +177,59 @@ Matrix AddRowBroadcast(const Matrix& a, const Matrix& bias) {
 
 Matrix Relu(const Matrix& a) {
   Matrix c = a;
-  for (int i = 0; i < c.size(); ++i) c.data()[i] = std::max(0.0f, c.data()[i]);
+  float* cd = c.data();
+  ParallelFor(0, c.size(), kElementwiseGrain, [&](int i0, int i1) {
+    for (int i = i0; i < i1; ++i) cd[i] = std::max(0.0f, cd[i]);
+  });
   return c;
 }
 
 Matrix Sigmoid(const Matrix& a) {
   Matrix c = a;
-  for (int i = 0; i < c.size(); ++i) {
-    c.data()[i] = 1.0f / (1.0f + std::exp(-c.data()[i]));
-  }
+  float* cd = c.data();
+  ParallelFor(0, c.size(), kElementwiseGrain, [&](int i0, int i1) {
+    for (int i = i0; i < i1; ++i) cd[i] = 1.0f / (1.0f + std::exp(-cd[i]));
+  });
   return c;
 }
 
 Matrix TanhMat(const Matrix& a) {
   Matrix c = a;
-  for (int i = 0; i < c.size(); ++i) c.data()[i] = std::tanh(c.data()[i]);
+  float* cd = c.data();
+  ParallelFor(0, c.size(), kElementwiseGrain, [&](int i0, int i1) {
+    for (int i = i0; i < i1; ++i) cd[i] = std::tanh(cd[i]);
+  });
   return c;
 }
 
 Matrix Clamp(const Matrix& a, float lo, float hi) {
   Matrix c = a;
-  for (int i = 0; i < c.size(); ++i) {
-    c.data()[i] = std::min(hi, std::max(lo, c.data()[i]));
-  }
+  float* cd = c.data();
+  ParallelFor(0, c.size(), kElementwiseGrain, [&](int i0, int i1) {
+    for (int i = i0; i < i1; ++i) cd[i] = std::min(hi, std::max(lo, cd[i]));
+  });
   return c;
 }
 
 Matrix RowSoftmax(const Matrix& a) {
   Matrix c(a.rows(), a.cols());
-  for (int i = 0; i < a.rows(); ++i) {
-    const float* in = a.RowPtr(i);
-    float* out = c.RowPtr(i);
-    float mx = in[0];
-    for (int j = 1; j < a.cols(); ++j) mx = std::max(mx, in[j]);
-    float denom = 0.0f;
-    for (int j = 0; j < a.cols(); ++j) {
-      out[j] = std::exp(in[j] - mx);
-      denom += out[j];
+  const int cols = a.cols();
+  const int grain = std::max(1, kElementwiseGrain / std::max(1, cols));
+  ParallelFor(0, a.rows(), grain, [&](int r0, int r1) {
+    for (int i = r0; i < r1; ++i) {
+      const float* in = a.RowPtr(i);
+      float* out = c.RowPtr(i);
+      float mx = in[0];
+      for (int j = 1; j < cols; ++j) mx = std::max(mx, in[j]);
+      float denom = 0.0f;
+      for (int j = 0; j < cols; ++j) {
+        out[j] = std::exp(in[j] - mx);
+        denom += out[j];
+      }
+      const float inv = 1.0f / denom;
+      for (int j = 0; j < cols; ++j) out[j] *= inv;
     }
-    const float inv = 1.0f / denom;
-    for (int j = 0; j < a.cols(); ++j) out[j] *= inv;
-  }
+  });
   return c;
 }
 
@@ -169,25 +242,48 @@ Matrix Transpose(const Matrix& a) {
   return c;
 }
 
+// Sum/Dot accumulate per-chunk partials at a fixed kReduceGrain and fold
+// them in ascending chunk order, so the value depends only on the input
+// size, never the thread count. Inputs under one grain take the flat
+// serial path (identical bits to the historical loop).
 float Sum(const Matrix& a) {
-  float s = 0.0f;
-  for (int i = 0; i < a.size(); ++i) s += a.data()[i];
-  return s;
+  const float* ad = a.data();
+  return ParallelReduce(
+      0, a.size(), kReduceGrain, 0.0f,
+      [&](int i0, int i1) {
+        float s = 0.0f;
+        for (int i = i0; i < i1; ++i) s += ad[i];
+        return s;
+      },
+      [](float x, float y) { return x + y; });
 }
 
 float Dot(const Matrix& a, const Matrix& b) {
   CheckSameShape(a, b);
-  float s = 0.0f;
-  for (int i = 0; i < a.size(); ++i) s += a.data()[i] * b.data()[i];
-  return s;
+  const float* ad = a.data();
+  const float* bd = b.data();
+  return ParallelReduce(
+      0, a.size(), kReduceGrain, 0.0f,
+      [&](int i0, int i1) {
+        float s = 0.0f;
+        for (int i = i0; i < i1; ++i) s += ad[i] * bd[i];
+        return s;
+      },
+      [](float x, float y) { return x + y; });
 }
 
 float FrobeniusNorm(const Matrix& a) { return std::sqrt(Dot(a, a)); }
 
 float MaxAbs(const Matrix& a) {
-  float m = 0.0f;
-  for (int i = 0; i < a.size(); ++i) m = std::max(m, std::fabs(a.data()[i]));
-  return m;
+  const float* ad = a.data();
+  return ParallelReduce(
+      0, a.size(), kReduceGrain, 0.0f,
+      [&](int i0, int i1) {
+        float m = 0.0f;
+        for (int i = i0; i < i1; ++i) m = std::max(m, std::fabs(ad[i]));
+        return m;
+      },
+      [](float x, float y) { return std::max(x, y); });
 }
 
 Matrix RowSum(const Matrix& a) {

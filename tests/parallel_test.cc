@@ -1,0 +1,305 @@
+// Tests for the deterministic thread-pool backend (src/core/thread_pool.h,
+// src/core/parallel.h) and its wiring into the dense/sparse kernels: every
+// index covered exactly once, fixed chunk boundaries, and bit-identical
+// kernel output across thread counts (including against the serial
+// reference formulation).
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/parallel.h"
+#include "src/core/thread_pool.h"
+#include "src/graph/csr.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace bgc {
+namespace {
+
+/// Restores the default global pool when a test that resizes it exits.
+class PoolGuard {
+ public:
+  PoolGuard() = default;
+  ~PoolGuard() { ThreadPool::SetGlobalNumThreads(0); }
+};
+
+const int kThreadCounts[] = {1, 2, 7};
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  PoolGuard guard;
+  for (int threads : kThreadCounts) {
+    ThreadPool::SetGlobalNumThreads(threads);
+    const int n = 10'000;
+    std::vector<std::atomic<int>> counts(n);
+    for (auto& c : counts) c.store(0);
+    ParallelFor(0, n, /*grain=*/97, [&](int b, int e) {
+      for (int i = b; i < e; ++i) counts[i].fetch_add(1);
+    });
+    for (int i = 0; i < n; ++i) ASSERT_EQ(counts[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelForTest, HandlesOffsetAndEmptyAndTinyRanges) {
+  PoolGuard guard;
+  ThreadPool::SetGlobalNumThreads(3);
+  std::vector<int> counts(50, 0);
+  ParallelFor(10, 40, /*grain=*/4, [&](int b, int e) {
+    for (int i = b; i < e; ++i) ++counts[i];
+  });
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(counts[i], i >= 10 && i < 40 ? 1 : 0);
+
+  bool ran = false;
+  ParallelFor(5, 5, 1, [&](int, int) { ran = true; });
+  EXPECT_FALSE(ran);
+
+  // A range inside one grain runs inline as a single chunk.
+  std::vector<std::pair<int, int>> chunks;
+  ParallelFor(0, 8, /*grain=*/100,
+              [&](int b, int e) { chunks.push_back({b, e}); });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], (std::pair<int, int>{0, 8}));
+}
+
+TEST(ParallelForTest, ChunkBoundariesIndependentOfThreadCount) {
+  PoolGuard guard;
+  std::vector<std::vector<std::pair<int, int>>> per_count;
+  for (int threads : kThreadCounts) {
+    ThreadPool::SetGlobalNumThreads(threads);
+    std::mutex mu;
+    std::vector<std::pair<int, int>> chunks;
+    ParallelFor(3, 1003, /*grain=*/64, [&](int b, int e) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.push_back({b, e});
+    });
+    std::sort(chunks.begin(), chunks.end());
+    per_count.push_back(std::move(chunks));
+  }
+  EXPECT_EQ(per_count[0], per_count[1]);
+  EXPECT_EQ(per_count[0], per_count[2]);
+}
+
+TEST(ParallelReduceTest, FoldsPartialsInFixedChunkOrder) {
+  PoolGuard guard;
+  // Sum of chunk indices in order: partial returns the chunk begin, combine
+  // appends — the resulting sequence must be ascending for every count.
+  for (int threads : kThreadCounts) {
+    ThreadPool::SetGlobalNumThreads(threads);
+    std::vector<int> order = ParallelReduce(
+        0, 1000, /*grain=*/64, std::vector<int>{},
+        [](int b, int) { return std::vector<int>{b}; },
+        [](std::vector<int> acc, const std::vector<int>& part) {
+          acc.insert(acc.end(), part.begin(), part.end());
+          return acc;
+        });
+    ASSERT_EQ(order.size(), 16u);
+    for (size_t i = 1; i < order.size(); ++i) {
+      EXPECT_LT(order[i - 1], order[i]);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, NestedRunExecutesInline) {
+  PoolGuard guard;
+  ThreadPool::SetGlobalNumThreads(4);
+  std::vector<std::atomic<int>> counts(64);
+  for (auto& c : counts) c.store(0);
+  ParallelFor(0, 8, 1, [&](int b, int e) {
+    for (int outer = b; outer < e; ++outer) {
+      ParallelFor(0, 8, 1, [&](int ib, int ie) {
+        for (int inner = ib; inner < ie; ++inner) {
+          counts[outer * 8 + inner].fetch_add(1);
+        }
+      });
+    }
+  });
+  for (auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+// --- Kernel determinism across thread counts ------------------------------
+
+/// Runs fn under each thread count and asserts all results are
+/// bit-identical (Matrix::operator== is exact equality).
+template <typename Fn>
+Matrix AssertSameAcrossThreadCounts(Fn fn) {
+  PoolGuard guard;
+  ThreadPool::SetGlobalNumThreads(kThreadCounts[0]);
+  Matrix reference = fn();
+  for (size_t i = 1; i < std::size(kThreadCounts); ++i) {
+    ThreadPool::SetGlobalNumThreads(kThreadCounts[i]);
+    EXPECT_TRUE(fn() == reference) << "thread count " << kThreadCounts[i];
+  }
+  return reference;
+}
+
+Matrix SerialMatMulRef(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int p = 0; p < a.cols(); ++p) {
+      const float av = a(i, p);
+      if (av == 0.0f) continue;
+      for (int j = 0; j < b.cols(); ++j) c(i, j) += av * b(p, j);
+    }
+  }
+  return c;
+}
+
+TEST(KernelDeterminismTest, MatMulBitIdentical) {
+  Rng rng(7);
+  // 257 rows with k*m ≈ 11k flops/row → dozens of fixed chunks.
+  Matrix a = Matrix::RandomNormal(257, 123, rng);
+  Matrix b = Matrix::RandomNormal(123, 89, rng);
+  Matrix got = AssertSameAcrossThreadCounts([&] { return MatMul(a, b); });
+  // Row partitioning and k-panel blocking preserve per-element accumulation
+  // order, so the parallel kernel matches the serial formulation exactly.
+  EXPECT_TRUE(got == SerialMatMulRef(a, b));
+}
+
+TEST(KernelDeterminismTest, MatMulTransVariantsBitIdentical) {
+  Rng rng(8);
+  Matrix a = Matrix::RandomNormal(123, 257, rng);
+  Matrix b = Matrix::RandomNormal(123, 89, rng);
+  Matrix got_ta =
+      AssertSameAcrossThreadCounts([&] { return MatMulTransA(a, b); });
+  EXPECT_TRUE(got_ta == SerialMatMulRef(Transpose(a), b));
+
+  Matrix c = Matrix::RandomNormal(257, 123, rng);
+  Matrix d = Matrix::RandomNormal(89, 123, rng);
+  Matrix got_tb =
+      AssertSameAcrossThreadCounts([&] { return MatMulTransB(c, d); });
+  EXPECT_TRUE(AllClose(got_tb, SerialMatMulRef(c, Transpose(d))));
+}
+
+TEST(KernelDeterminismTest, ElementwiseBitIdentical) {
+  Rng rng(9);
+  // > kElementwiseGrain elements so the ops actually chunk.
+  Matrix a = Matrix::RandomNormal(210, 200, rng);
+  Matrix b = Matrix::RandomNormal(210, 200, rng);
+  AssertSameAcrossThreadCounts([&] { return Add(a, b); });
+  AssertSameAcrossThreadCounts([&] { return Hadamard(a, b); });
+  AssertSameAcrossThreadCounts([&] { return Relu(a); });
+  AssertSameAcrossThreadCounts([&] { return RowSoftmax(a); });
+  // Spot-check against the serial formulation.
+  Matrix sum = Add(a, b);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(sum.data()[i], a.data()[i] + b.data()[i]);
+  }
+}
+
+TEST(KernelDeterminismTest, ReductionsBitIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  Rng rng(10);
+  // > kReduceGrain (1M) elements so Sum/Dot take the chunked path.
+  Matrix a = Matrix::RandomNormal(1100, 1000, rng);
+  Matrix b = Matrix::RandomNormal(1100, 1000, rng);
+  ThreadPool::SetGlobalNumThreads(1);
+  const float sum1 = Sum(a), dot1 = Dot(a, b), max1 = MaxAbs(a);
+  for (int threads : {2, 7}) {
+    ThreadPool::SetGlobalNumThreads(threads);
+    EXPECT_EQ(Sum(a), sum1) << threads;
+    EXPECT_EQ(Dot(a, b), dot1) << threads;
+    EXPECT_EQ(MaxAbs(a), max1) << threads;
+  }
+  // The chunked fold agrees with the flat serial loop to rounding.
+  double flat = 0.0;
+  for (int i = 0; i < a.size(); ++i) flat += a.data()[i];
+  EXPECT_NEAR(sum1, static_cast<float>(flat), 1e-2f * std::fabs(sum1) + 1.0f);
+}
+
+graph::CsrMatrix RandomSparse(int rows, int cols, int nnz_per_row, Rng& rng) {
+  std::vector<graph::Edge> edges;
+  for (int r = 0; r < rows; ++r) {
+    for (int k = 0; k < nnz_per_row; ++k) {
+      const int c = static_cast<int>(rng.UniformInt(cols));
+      edges.push_back({r, c, static_cast<float>(rng.Uniform()) + 0.1f});
+    }
+  }
+  return graph::CsrMatrix::FromEdges(rows, cols, edges, /*symmetrize=*/false);
+}
+
+TEST(KernelDeterminismTest, SpmmBitIdentical) {
+  Rng rng(11);
+  graph::CsrMatrix sp = RandomSparse(3000, 500, 6, rng);
+  Matrix x = Matrix::RandomNormal(500, 40, rng);
+  Matrix got = AssertSameAcrossThreadCounts([&] { return sp.Multiply(x); });
+  // Serial reference: the dense product.
+  EXPECT_TRUE(AllClose(got, MatMul(sp.ToDense(), x)));
+}
+
+TEST(KernelDeterminismTest, SpmmTransposedBitIdentical) {
+  Rng rng(12);
+  // > kScatterChunkRows (16384) input rows so the chunked scatter engages.
+  graph::CsrMatrix sp = RandomSparse(40'000, 300, 4, rng);
+  Matrix x = Matrix::RandomNormal(40'000, 16, rng);
+  Matrix got =
+      AssertSameAcrossThreadCounts([&] { return sp.MultiplyTransposed(x); });
+  EXPECT_TRUE(AllClose(got, MatMul(Transpose(sp.ToDense()), x),
+                       /*rtol=*/1e-4f, /*atol=*/1e-3f));
+}
+
+TEST(KernelDeterminismTest, NormalizeBitIdentical) {
+  Rng rng(13);
+  graph::CsrMatrix adj = RandomSparse(9000, 9000, 5, rng);
+  Matrix norm_dense = AssertSameAcrossThreadCounts(
+      [&] { return graph::GcnNormalize(adj).ToDense(); });
+  Matrix sym_dense = AssertSameAcrossThreadCounts(
+      [&] { return graph::SymNormalize(adj).ToDense(); });
+  EXPECT_EQ(norm_dense.rows(), 9000);
+  EXPECT_EQ(sym_dense.rows(), 9000);
+}
+
+// --- WithSelfLoops (in-place A + I merge) ---------------------------------
+
+TEST(WithSelfLoopsTest, MatchesEdgeListRoundTrip) {
+  Rng rng(14);
+  graph::CsrMatrix adj = RandomSparse(500, 500, 3, rng);
+  graph::CsrMatrix merged = adj.WithSelfLoops(1.0f);
+  // Reference: the old ToEdges → push → FromEdges construction.
+  std::vector<graph::Edge> edges = adj.ToEdges();
+  for (int i = 0; i < adj.rows(); ++i) edges.push_back({i, i, 1.0f});
+  graph::CsrMatrix ref = graph::CsrMatrix::FromEdges(
+      adj.rows(), adj.cols(), edges, /*symmetrize=*/false);
+  ASSERT_EQ(merged.row_ptr(), ref.row_ptr());
+  ASSERT_EQ(merged.col_idx(), ref.col_idx());
+  ASSERT_EQ(merged.values(), ref.values());
+}
+
+TEST(WithSelfLoopsTest, CoalescesExistingDiagonalAndHandlesEmptyRows) {
+  graph::CsrMatrix adj = graph::CsrMatrix::FromEdges(
+      4, 4, {{0, 0, 2.0f}, {0, 2, 1.0f}, {2, 1, 1.0f}}, /*symmetrize=*/false);
+  graph::CsrMatrix merged = adj.WithSelfLoops(1.0f);
+  EXPECT_FLOAT_EQ(merged.At(0, 0), 3.0f);  // existing diagonal summed
+  EXPECT_FLOAT_EQ(merged.At(0, 2), 1.0f);
+  EXPECT_FLOAT_EQ(merged.At(1, 1), 1.0f);  // empty row gets the loop
+  EXPECT_FLOAT_EQ(merged.At(2, 1), 1.0f);
+  EXPECT_FLOAT_EQ(merged.At(2, 2), 1.0f);  // inserted after (2,1)
+  EXPECT_FLOAT_EQ(merged.At(3, 3), 1.0f);
+  EXPECT_EQ(merged.nnz(), 6);
+}
+
+TEST(CsrBoundsTest, RowWeightSumChecksRange) {
+  // Earlier tests may have left pool workers alive; fork-style death tests
+  // need the threadsafe mode then.
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  graph::CsrMatrix adj =
+      graph::CsrMatrix::FromEdges(3, 3, {{0, 1, 1.0f}}, /*symmetrize=*/false);
+  EXPECT_FLOAT_EQ(adj.RowWeightSum(0), 1.0f);
+  EXPECT_DEATH(adj.RowWeightSum(-1), "");
+  EXPECT_DEATH(adj.RowWeightSum(3), "");
+}
+
+TEST(ThreadPoolTest, DefaultNumThreadsReadsEnv) {
+  // Exercised via the public knob: SetGlobalNumThreads(0) re-resolves the
+  // default, which must be >= 1 whatever the environment says.
+  PoolGuard guard;
+  ThreadPool::SetGlobalNumThreads(0);
+  EXPECT_GE(ThreadPool::Global().num_threads(), 1);
+  EXPECT_GE(ThreadPool::DefaultNumThreads(), 1);
+}
+
+}  // namespace
+}  // namespace bgc
