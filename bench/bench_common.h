@@ -12,6 +12,10 @@
 // counts so the full bench suite completes on one CPU core while preserving
 // the paper's qualitative shape.
 
+// Set BGC_ARTIFACT_DIR to a writable directory to cache clean
+// condensations across runs (see src/store/artifact_cache.h); a warm
+// second run skips recomputation and reports the time saved at exit.
+
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +26,7 @@
 #include "src/core/stats.h"
 #include "src/eval/experiment.h"
 #include "src/eval/table.h"
+#include "src/store/artifact_cache.h"
 
 namespace bgc::bench {
 
@@ -102,6 +107,28 @@ inline DatasetSetup GetSetup(const std::string& name, const Options& opt) {
   return s;
 }
 
+/// Process-wide artifact cache configured from BGC_ARTIFACT_DIR, or
+/// nullptr when the variable is unset. The instance is deliberately leaked
+/// so the atexit summary below can read its stats safely during shutdown.
+inline store::ArtifactCache* SharedArtifactCache() {
+  static store::ArtifactCache* cache = [] {
+    store::ArtifactCache* c = store::ArtifactCache::FromEnv().release();
+    if (c != nullptr) {
+      std::atexit([] {
+        const store::ArtifactCacheStats& st = SharedArtifactCache()->stats();
+        if (st.hits + st.misses + st.rejected == 0) return;
+        std::fprintf(stderr,
+                     "[artifact-cache] hits=%lld misses=%lld rejected=%lld "
+                     "computed=%.2fs saved~%.2fs (%s)\n",
+                     st.hits, st.misses, st.rejected, st.compute_seconds,
+                     st.saved_seconds, SharedArtifactCache()->dir().c_str());
+      });
+    }
+    return c;
+  }();
+  return cache;
+}
+
 /// A ready-to-run spec for one (dataset, ratio, method, attack) cell.
 inline eval::RunSpec MakeSpec(const DatasetSetup& setup, int ratio_idx,
                               const std::string& method,
@@ -117,6 +144,7 @@ inline eval::RunSpec MakeSpec(const DatasetSetup& setup, int ratio_idx,
   spec.condense.epochs = setup.condense_epochs;
   spec.attack_cfg.poison_budget = setup.poison_budget;
   spec.victim.epochs = opt.paper ? 300 : 150;
+  spec.artifact_cache = SharedArtifactCache();
   return spec;
 }
 

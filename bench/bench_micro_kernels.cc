@@ -1,9 +1,14 @@
 // Micro-benchmarks (google-benchmark) of the substrate kernels that
 // dominate condensation and attack wall-clock: dense GEMM, sparse SpMM,
 // GCN normalization, one gradient-matching epoch, one trigger-generator
-// update, and a full surrogate training burst.
+// update, a full surrogate training burst — plus the src/store layer:
+// bgcbin serialize/deserialize throughput and artifact-cache hit vs
+// recompute.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
 
 #include "src/attack/bgc.h"
 #include "src/attack/surrogate.h"
@@ -11,6 +16,9 @@
 #include "src/condense/condenser.h"
 #include "src/core/thread_pool.h"
 #include "src/data/synthetic.h"
+#include "src/store/artifact_cache.h"
+#include "src/store/bgcbin.h"
+#include "src/store/serialize.h"
 #include "src/tensor/matrix_ops.h"
 
 namespace {
@@ -131,6 +139,79 @@ void BM_SurrogateTraining(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SurrogateTraining);
+
+data::GraphDataset BenchDataset() {
+  return data::MakeDataset("cora-sim", 3);
+}
+
+void BM_DatasetSerialize(benchmark::State& state) {
+  data::GraphDataset ds = BenchDataset();
+  const std::string path = "/tmp/bgc_bench_dataset.bgcbin";
+  for (auto _ : state) {
+    Status s = store::SaveDatasetBinary(ds, path);
+    benchmark::DoNotOptimize(s.ok());
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_DatasetSerialize);
+
+void BM_DatasetDeserialize(benchmark::State& state) {
+  data::GraphDataset ds = BenchDataset();
+  const std::string path = "/tmp/bgc_bench_dataset.bgcbin";
+  store::SaveDatasetBinary(ds, path);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store::TryLoadDatasetBinary(path));
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_DatasetDeserialize);
+
+void BM_BgcbinContainerParse(benchmark::State& state) {
+  data::GraphDataset ds = BenchDataset();
+  store::BgcbinWriter writer;
+  store::PutMatrix(writer.AddSection("features"), ds.features);
+  store::PutCsr(writer.AddSection("adj"), ds.adj);
+  const std::string bytes = writer.Serialize();
+  for (auto _ : state) {
+    // Parse verifies table + per-section CRC32 over the whole payload.
+    benchmark::DoNotOptimize(store::BgcbinReader::Parse(bytes, "bench"));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<long long>(bytes.size()));
+}
+BENCHMARK(BM_BgcbinContainerParse);
+
+// Cache hit vs recompute for one small condensation: the warm path is
+// pure deserialization and should be orders of magnitude faster.
+condense::CondensedGraph BenchCondense() {
+  data::GraphDataset ds = BenchDataset();
+  condense::SourceGraph src =
+      condense::FromTrainView(data::MakeTrainView(ds));
+  auto condenser = condense::MakeCondenser("gcond-x");
+  condense::CondenseConfig cfg;
+  cfg.num_condensed = 70;
+  cfg.epochs = 10;
+  Rng rng(7);
+  return condense::RunCondensation(*condenser, src, ds.num_classes, cfg, rng);
+}
+
+void BM_CondenseRecompute(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BenchCondense());
+  }
+}
+BENCHMARK(BM_CondenseRecompute);
+
+void BM_CondenseCacheHit(benchmark::State& state) {
+  store::ArtifactCache cache("/tmp/bgc_bench_cache");
+  const std::string key = "bench-condense-cache-hit";
+  cache.GetOrComputeCondensed(key, BenchCondense);  // warm the entry
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.GetOrComputeCondensed(key, BenchCondense));
+  }
+  std::remove(cache.EntryPath(key).c_str());
+}
+BENCHMARK(BM_CondenseCacheHit);
 
 }  // namespace
 

@@ -6,9 +6,12 @@
 //   bgc_cli attack   --in=ds.graph --method=gcond --n=35 --epochs=150 \
 //                    --target=0 --out=poisoned.graph
 //   bgc_cli evaluate --in=ds.graph --condensed=small.graph --arch=gcn
+//   bgc_cli convert  --in=ds.graph --out=ds.bgcbin
 //
-// Graphs travel as "bgc-graph v1" text files (src/data/io.h), the artifact
-// a condensation service would actually ship.
+// Graphs travel as "bgc-graph v1" text files (src/data/io.h) or, when a
+// path ends in ".bgcbin", as checksummed binary containers (src/store).
+// `condense` accepts --checkpoint=path [--checkpoint-every=N] to
+// periodically snapshot the run and resume it after a kill.
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,10 +24,61 @@
 #include "src/data/io.h"
 #include "src/data/synthetic.h"
 #include "src/eval/pipeline.h"
+#include "src/store/resumable.h"
+#include "src/store/serialize.h"
 
 namespace {
 
 using namespace bgc;  // NOLINT
+
+bool IsBinaryPath(const std::string& path) {
+  const std::string suffix = ".bgcbin";
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+data::GraphDataset LoadDatasetAuto(const std::string& path) {
+  if (!IsBinaryPath(path)) return data::LoadDataset(path);
+  StatusOr<data::GraphDataset> ds = store::TryLoadDatasetBinary(path);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().message().c_str());
+    std::exit(1);
+  }
+  return ds.take();
+}
+
+void SaveDatasetAuto(const data::GraphDataset& ds, const std::string& path) {
+  if (!IsBinaryPath(path)) {
+    data::SaveDataset(ds, path);
+    return;
+  }
+  if (Status s = store::SaveDatasetBinary(ds, path); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.message().c_str());
+    std::exit(1);
+  }
+}
+
+condense::CondensedGraph LoadCondensedAuto(const std::string& path) {
+  if (!IsBinaryPath(path)) return condense::LoadCondensed(path);
+  StatusOr<condense::CondensedGraph> g = store::TryLoadCondensedBinary(path);
+  if (!g.ok()) {
+    std::fprintf(stderr, "%s\n", g.status().message().c_str());
+    std::exit(1);
+  }
+  return g.take();
+}
+
+void SaveCondensedAuto(const condense::CondensedGraph& g,
+                       const std::string& path) {
+  if (!IsBinaryPath(path)) {
+    condense::SaveCondensed(g, path);
+    return;
+  }
+  if (Status s = store::SaveCondensedBinary(g, path); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.message().c_str());
+    std::exit(1);
+  }
+}
 
 std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
   std::map<std::string, std::string> flags;
@@ -57,7 +111,7 @@ int Generate(const std::map<std::string, std::string>& flags) {
   const double scale = std::atof(Get(flags, "scale", "1.0").c_str());
   data::GraphDataset ds = data::MakeDataset(preset, seed, scale);
   const std::string out = Get(flags, "out", preset + ".graph");
-  data::SaveDataset(ds, out);
+  SaveDatasetAuto(ds, out);
   std::printf("wrote %s: %d nodes, %d edges, %d classes\n", out.c_str(),
               ds.num_nodes(), ds.adj.nnz() / 2, ds.num_classes);
   return 0;
@@ -72,23 +126,61 @@ condense::CondenseConfig CondenseConfigFromFlags(
 }
 
 int Condense(const std::map<std::string, std::string>& flags) {
-  data::GraphDataset ds = data::LoadDataset(Get(flags, "in", "ds.graph"));
+  data::GraphDataset ds = LoadDatasetAuto(Get(flags, "in", "ds.graph"));
   condense::SourceGraph source =
       condense::FromTrainView(data::MakeTrainView(ds));
   Rng rng(std::strtoull(Get(flags, "seed", "1").c_str(), nullptr, 10));
   auto condenser = condense::MakeCondenser(Get(flags, "method", "gcond"));
-  condense::CondensedGraph g = condense::RunCondensation(
-      *condenser, source, ds.num_classes, CondenseConfigFromFlags(flags),
-      rng);
+  const condense::CondenseConfig cfg = CondenseConfigFromFlags(flags);
+  const std::string checkpoint = Get(flags, "checkpoint", "");
+  condense::CondensedGraph g;
+  if (checkpoint.empty()) {
+    g = condense::RunCondensation(*condenser, source, ds.num_classes, cfg,
+                                  rng);
+  } else {
+    store::ResumableOptions opts;
+    opts.checkpoint_path = checkpoint;
+    opts.checkpoint_every =
+        std::atoi(Get(flags, "checkpoint-every", "10").c_str());
+    store::ResumableResult run = store::RunResumableCondensation(
+        *condenser, source, ds.num_classes, cfg, rng, opts);
+    if (run.resumed) {
+      std::printf("resumed from %s (epoch %lld of %d)\n", checkpoint.c_str(),
+                  run.epochs_done, cfg.epochs);
+    }
+    g = std::move(run.condensed);
+  }
   const std::string out = Get(flags, "out", "condensed.graph");
-  condense::SaveCondensed(g, out);
+  SaveCondensedAuto(g, out);
   std::printf("wrote %s: %d synthetic nodes, %d edges\n", out.c_str(),
               g.features.rows(), g.adj.nnz() / 2);
   return 0;
 }
 
+// Converts a dataset or condensed graph between the text and binary
+// formats, inferring the direction from the --out suffix and the artifact
+// type from the file contents.
+int Convert(const std::map<std::string, std::string>& flags) {
+  const std::string in = Get(flags, "in", "ds.graph");
+  const std::string out = Get(flags, "out", "ds.bgcbin");
+  // Datasets carry split lines that condensed graphs lack; try the
+  // dataset shape first and fall back to a condensed graph.
+  StatusOr<data::GraphDataset> ds =
+      IsBinaryPath(in) ? store::TryLoadDatasetBinary(in)
+                       : data::TryLoadDataset(in);
+  if (ds.ok()) {
+    SaveDatasetAuto(ds.take(), out);
+    std::printf("wrote %s (dataset)\n", out.c_str());
+    return 0;
+  }
+  condense::CondensedGraph g = LoadCondensedAuto(in);
+  SaveCondensedAuto(g, out);
+  std::printf("wrote %s (condensed graph)\n", out.c_str());
+  return 0;
+}
+
 int Attack(const std::map<std::string, std::string>& flags) {
-  data::GraphDataset ds = data::LoadDataset(Get(flags, "in", "ds.graph"));
+  data::GraphDataset ds = LoadDatasetAuto(Get(flags, "in", "ds.graph"));
   condense::SourceGraph clean =
       condense::FromTrainView(data::MakeTrainView(ds));
   Rng rng(std::strtoull(Get(flags, "seed", "1").c_str(), nullptr, 10));
@@ -101,7 +193,7 @@ int Attack(const std::map<std::string, std::string>& flags) {
       attack::RunBgc(clean, ds.num_classes, *condenser,
                      CondenseConfigFromFlags(flags), acfg, rng);
   const std::string out = Get(flags, "out", "poisoned.graph");
-  condense::SaveCondensed(result.condensed, out);
+  SaveCondensedAuto(result.condensed, out);
   std::printf("wrote %s: %d synthetic nodes (backdoored, target class %d, "
               "%zu poisoned source nodes)\n",
               out.c_str(), result.condensed.features.rows(),
@@ -117,9 +209,9 @@ int Attack(const std::map<std::string, std::string>& flags) {
 }
 
 int Evaluate(const std::map<std::string, std::string>& flags) {
-  data::GraphDataset ds = data::LoadDataset(Get(flags, "in", "ds.graph"));
+  data::GraphDataset ds = LoadDatasetAuto(Get(flags, "in", "ds.graph"));
   condense::CondensedGraph g =
-      condense::LoadCondensed(Get(flags, "condensed", "condensed.graph"));
+      LoadCondensedAuto(Get(flags, "condensed", "condensed.graph"));
   Rng rng(std::strtoull(Get(flags, "seed", "1").c_str(), nullptr, 10));
   eval::VictimConfig vc;
   vc.arch = Get(flags, "arch", "gcn");
@@ -134,7 +226,7 @@ int Evaluate(const std::map<std::string, std::string>& flags) {
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: bgc_cli <generate|condense|attack|evaluate> "
+               "usage: bgc_cli <generate|condense|attack|evaluate|convert> "
                "[--flag=value ...]\n");
 }
 
@@ -151,6 +243,7 @@ int main(int argc, char** argv) {
   if (command == "condense") return Condense(flags);
   if (command == "attack") return Attack(flags);
   if (command == "evaluate") return Evaluate(flags);
+  if (command == "convert") return Convert(flags);
   Usage();
   return 2;
 }

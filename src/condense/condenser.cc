@@ -8,6 +8,16 @@
 
 namespace bgc::condense {
 
+CondenserState Condenser::ExportState() const {
+  BGC_CHECK_MSG(false, name() + " does not support checkpointing");
+  return {};
+}
+
+void Condenser::RestoreState(const SourceGraph& /*source*/,
+                             const CondenserState& /*state*/) {
+  BGC_CHECK_MSG(false, name() + " does not support checkpointing");
+}
+
 SourceGraph FromTrainView(const data::TrainView& view) {
   SourceGraph s;
   s.adj = view.adj;

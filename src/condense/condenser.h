@@ -1,8 +1,10 @@
 #ifndef BGC_CONDENSE_CONDENSER_H_
 #define BGC_CONDENSE_CONDENSER_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/rng.h"
@@ -61,6 +63,26 @@ struct CondenseConfig {
   uint64_t seed = 0;
 };
 
+/// Snapshot of a condenser mid-trajectory: everything needed to continue
+/// epoch-for-epoch bit-identically with an uninterrupted run (synthetic
+/// tensors, optimizer moments, surrogate weights, RNG stream). Kept as
+/// plain data so the storage layer (src/store) can serialize it without
+/// the condensers depending on any file format.
+struct CondenserState {
+  std::string method;  // producing condenser's name(); checked on restore
+  long long epoch = 0;  // completed outer epochs
+  int num_classes = 0;
+  CondenseConfig config;
+  std::vector<int> syn_labels;
+  /// Named tensors: synthetic features/structure params, Adam moments,
+  /// surrogate weights. Names are condenser-private.
+  std::vector<std::pair<std::string, Matrix>> tensors;
+  /// Named integer state (e.g. optimizer step counters).
+  std::vector<std::pair<std::string, long long>> scalars;
+  /// Rng::SaveState words of the condenser's internal stream.
+  std::vector<uint64_t> rng_state;
+};
+
 /// A graph condensation method with an epoch-granular driver so callers
 /// (notably the BGC attack) can interleave their own updates with the
 /// condensation trajectory.
@@ -81,6 +103,20 @@ class Condenser {
   virtual CondensedGraph Result() const = 0;
 
   virtual std::string name() const = 0;
+
+  /// Checkpoint/resume support (used by src/store resumable condensation).
+  /// Methods that return false abort in ExportState/RestoreState.
+  virtual bool SupportsCheckpoint() const { return false; }
+
+  /// Full trajectory snapshot after the last completed Epoch().
+  virtual CondenserState ExportState() const;
+
+  /// Replaces Initialize(): rebuilds the condenser at `state`'s epoch so
+  /// subsequent Epoch() calls continue the checkpointed run bit-
+  /// identically. `source` is the same source graph the checkpointed run
+  /// saw (condensers that cache source-derived quantities rebuild them).
+  virtual void RestoreState(const SourceGraph& source,
+                            const CondenserState& state);
 };
 
 /// Methods evaluated in the paper — "gcond", "gcond-x", "dc-graph",

@@ -1,6 +1,8 @@
 #include "src/condense/gradient_matching.h"
 
+#include <array>
 #include <cmath>
+#include <utility>
 
 #include "src/autograd/tape.h"
 #include "src/condense/common.h"
@@ -52,16 +54,7 @@ void GradientMatchingCondenser::Initialize(const SourceGraph& source,
   rng_ = rng.Fork();
   syn_labels_ =
       AllocateSyntheticLabels(source, num_classes, config.num_condensed);
-  class_ranges_.assign(num_classes, {0, 0});
-  for (int c = 0, pos = 0; c < num_classes; ++c) {
-    int count = 0;
-    while (pos + count < static_cast<int>(syn_labels_.size()) &&
-           syn_labels_[pos + count] == c) {
-      ++count;
-    }
-    class_ranges_[c] = {pos, pos + count};
-    pos += count;
-  }
+  RebuildClassRanges();
   x_syn_ = nn::Param(InitSyntheticFeatures(source, syn_labels_, rng_));
   const int d = source.features.cols();
   adj_u_ = nn::Param(Matrix::GlorotUniform(d, config.adj_rank, rng_));
@@ -195,6 +188,101 @@ CondensedGraph GradientMatchingCondenser::Result() const {
     out.adj = graph::CsrMatrix::Identity(out.features.rows());
   }
   return out;
+}
+
+void GradientMatchingCondenser::RebuildClassRanges() {
+  class_ranges_.assign(num_classes_, {0, 0});
+  for (int c = 0, pos = 0; c < num_classes_; ++c) {
+    int count = 0;
+    while (pos + count < static_cast<int>(syn_labels_.size()) &&
+           syn_labels_[pos + count] == c) {
+      ++count;
+    }
+    class_ranges_[c] = {pos, pos + count};
+    pos += count;
+  }
+}
+
+CondenserState GradientMatchingCondenser::ExportState() const {
+  CondenserState s;
+  s.method = name();
+  s.epoch = epoch_count_;
+  s.num_classes = num_classes_;
+  s.config = config_;
+  s.syn_labels = syn_labels_;
+  s.tensors.emplace_back("x_syn", x_syn_.value);
+  s.tensors.emplace_back("adj_u", adj_u_.value);
+  s.tensors.emplace_back("adj_bias", adj_bias_.value);
+  s.tensors.emplace_back("surrogate_w", surrogate_w_);
+  auto put_adam = [&s](const std::string& opt_name, const nn::Adam& opt,
+                       const nn::Param& p, const std::string& pname) {
+    nn::Adam::ParamState ps = opt.ExportState(&p);
+    s.tensors.emplace_back(opt_name + ".m." + pname, std::move(ps.m));
+    s.tensors.emplace_back(opt_name + ".v." + pname, std::move(ps.v));
+  };
+  put_adam("adam.feature", *feature_opt_, x_syn_, "x_syn");
+  put_adam("adam.adj", *adj_opt_, adj_u_, "adj_u");
+  put_adam("adam.adj", *adj_opt_, adj_bias_, "adj_bias");
+  s.scalars.emplace_back("adam.feature.t", feature_opt_->step_count());
+  s.scalars.emplace_back("adam.adj.t", adj_opt_->step_count());
+  const auto words = rng_.SaveState();
+  s.rng_state.assign(words.begin(), words.end());
+  return s;
+}
+
+void GradientMatchingCondenser::RestoreState(const SourceGraph& source,
+                                             const CondenserState& state) {
+  BGC_CHECK_MSG(state.method == name(),
+                "checkpoint was produced by \"" + state.method +
+                    "\", cannot restore into \"" + name() + "\"");
+  config_ = state.config;
+  num_classes_ = state.num_classes;
+  BGC_CHECK_GT(num_classes_, 0);
+  syn_labels_ = state.syn_labels;
+  RebuildClassRanges();
+
+  auto tensor = [&state](const std::string& tname) -> const Matrix& {
+    for (const auto& [n, m] : state.tensors) {
+      if (n == tname) return m;
+    }
+    BGC_CHECK_MSG(false, "checkpoint is missing tensor \"" + tname + "\"");
+    return state.tensors.front().second;  // unreachable
+  };
+  auto scalar = [&state](const std::string& sname) -> long long {
+    for (const auto& [n, v] : state.scalars) {
+      if (n == sname) return v;
+    }
+    BGC_CHECK_MSG(false, "checkpoint is missing scalar \"" + sname + "\"");
+    return 0;  // unreachable
+  };
+
+  x_syn_ = nn::Param(tensor("x_syn"));
+  adj_u_ = nn::Param(tensor("adj_u"));
+  adj_bias_ = nn::Param(tensor("adj_bias"));
+  surrogate_w_ = tensor("surrogate_w");
+  BGC_CHECK_EQ(x_syn_.value.cols(), source.features.cols());
+  BGC_CHECK_EQ(x_syn_.value.rows(), static_cast<int>(syn_labels_.size()));
+
+  const float feature_lr = variant_ == Variant::kDcGraph
+                               ? config_.dc_feature_lr
+                               : config_.feature_lr;
+  feature_opt_ = std::make_unique<nn::Adam>(feature_lr);
+  adj_opt_ = std::make_unique<nn::Adam>(config_.adj_lr);
+  feature_opt_->RestoreState(
+      &x_syn_, {tensor("adam.feature.m.x_syn"), tensor("adam.feature.v.x_syn")});
+  adj_opt_->RestoreState(
+      &adj_u_, {tensor("adam.adj.m.adj_u"), tensor("adam.adj.v.adj_u")});
+  adj_opt_->RestoreState(
+      &adj_bias_, {tensor("adam.adj.m.adj_bias"), tensor("adam.adj.v.adj_bias")});
+  feature_opt_->set_step_count(scalar("adam.feature.t"));
+  adj_opt_->set_step_count(scalar("adam.adj.t"));
+
+  BGC_CHECK_EQ(state.rng_state.size(),
+               static_cast<size_t>(Rng::kStateWords));
+  std::array<uint64_t, Rng::kStateWords> words{};
+  for (int i = 0; i < Rng::kStateWords; ++i) words[i] = state.rng_state[i];
+  rng_.RestoreState(words);
+  epoch_count_ = state.epoch;
 }
 
 std::string GradientMatchingCondenser::name() const {

@@ -44,11 +44,23 @@ class GradientMatchingCondenser : public Condenser {
   CondensedGraph Result() const override;
   std::string name() const override;
 
+  /// Full checkpoint support: the exported state (synthetic tensors, both
+  /// Adam optimizers' moments and step counters, the surrogate weights,
+  /// and the private RNG stream) restores a run that continues bit-
+  /// identically with the uninterrupted trajectory.
+  bool SupportsCheckpoint() const override { return true; }
+  CondenserState ExportState() const override;
+  void RestoreState(const SourceGraph& source,
+                    const CondenserState& state) override;
+
   /// Dense learned adjacency σ(tanh(X'U)tanh(X'U)ᵀ + b) with zero diagonal
   /// (continuous, un-thresholded). Only meaningful for the GCond variant.
   Matrix LearnedAdjacency() const;
 
  private:
+  /// Recomputes class_ranges_ from syn_labels_ (Initialize and restore).
+  void RebuildClassRanges();
+
   Variant variant_;
   CondenseConfig config_;
   int num_classes_ = 0;

@@ -2,13 +2,15 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "src/core/check.h"
+#include "src/core/fs.h"
 
 namespace bgc::condense {
 namespace {
 
-void WriteMatrix(std::ofstream& out, const Matrix& m) {
+void WriteMatrix(std::ostream& out, const Matrix& m) {
   char buf[64];
   for (int i = 0; i < m.rows(); ++i) {
     const float* row = m.RowPtr(i);
@@ -19,21 +21,24 @@ void WriteMatrix(std::ofstream& out, const Matrix& m) {
   }
 }
 
-Matrix ReadMatrix(std::ifstream& in, int rows, int cols) {
-  Matrix m(rows, cols);
+Status ReadMatrixInto(std::istream& in, int rows, int cols, Matrix* out) {
+  *out = Matrix(rows, cols);
   for (int i = 0; i < rows * cols; ++i) {
     double v = 0.0;
-    BGC_CHECK_MSG(static_cast<bool>(in >> v), "truncated feature block");
-    m.data()[i] = static_cast<float>(v);
+    if (!(in >> v)) {
+      return BGC_ERR("truncated or non-numeric feature block (entry " +
+                     std::to_string(i) + " of " +
+                     std::to_string(rows * cols) + ")");
+    }
+    out->data()[i] = static_cast<float>(v);
   }
-  return m;
+  return Status::Ok();
 }
 
 }  // namespace
 
 void SaveCondensed(const CondensedGraph& condensed, const std::string& path) {
-  std::ofstream out(path);
-  BGC_CHECK_MSG(out.good(), "cannot open for writing: " + path);
+  std::ostringstream out;
   out << "bgc-graph v1\n";
   out << "nodes " << condensed.features.rows() << " features "
       << condensed.features.cols() << " classes " << condensed.num_classes
@@ -50,47 +55,74 @@ void SaveCondensed(const CondensedGraph& condensed, const std::string& path) {
     out << buf;
   }
   WriteMatrix(out, condensed.features);
-  BGC_CHECK_MSG(out.good(), "write failed: " + path);
+  Status s = WriteFileAtomic(path, out.str());
+  BGC_CHECK_MSG(s.ok(), "cannot write " + path + ": " + s.message());
 }
 
-CondensedGraph LoadCondensed(const std::string& path) {
+StatusOr<CondensedGraph> TryLoadCondensed(const std::string& path) {
   std::ifstream in(path);
-  BGC_CHECK_MSG(in.good(), "cannot open for reading: " + path);
+  if (!in.good()) return BGC_ERR("cannot open for reading: " + path);
   std::string magic, version;
-  BGC_CHECK_MSG(static_cast<bool>(in >> magic >> version),
-                "missing bgc-graph header");
-  BGC_CHECK_MSG(magic == "bgc-graph" && version == "v1",
-                "unsupported file format: " + magic + " " + version);
+  if (!(in >> magic >> version)) {
+    return BGC_ERR(path + ": missing bgc-graph header");
+  }
+  if (magic != "bgc-graph" || version != "v1") {
+    return BGC_ERR(path + ": unsupported file format: " + magic + " " +
+                   version);
+  }
   int nodes = 0, features = 0, classes = 0, edges = 0, structure = 0;
   std::string k1, k2, k3, k4, k5;
-  BGC_CHECK_MSG(static_cast<bool>(in >> k1 >> nodes >> k2 >> features >> k3 >>
-                                  classes >> k4 >> edges >> k5 >> structure),
-                "malformed header line");
-  BGC_CHECK_MSG(k1 == "nodes" && k2 == "features" && k3 == "classes" &&
-                    k4 == "edges" && k5 == "inductive",
-                "malformed header keys");
+  if (!(in >> k1 >> nodes >> k2 >> features >> k3 >> classes >> k4 >>
+        edges >> k5 >> structure)) {
+    return BGC_ERR(path + ": malformed header line");
+  }
+  if (k1 != "nodes" || k2 != "features" || k3 != "classes" || k4 != "edges" ||
+      k5 != "inductive") {
+    return BGC_ERR(path + ": malformed header keys");
+  }
+  if (nodes < 0 || features < 0 || classes < 0 || edges < 0) {
+    return BGC_ERR(path + ": negative header count");
+  }
   CondensedGraph g;
   g.num_classes = classes;
   g.use_structure = structure != 0;
   g.labels.resize(nodes);
   for (int i = 0; i < nodes; ++i) {
-    BGC_CHECK_MSG(static_cast<bool>(in >> g.labels[i]), "truncated labels");
-    BGC_CHECK_GE(g.labels[i], 0);
-    BGC_CHECK_LT(g.labels[i], classes);
+    if (!(in >> g.labels[i])) return BGC_ERR(path + ": truncated labels");
+    if (g.labels[i] < 0 || g.labels[i] >= classes) {
+      return BGC_ERR(path + ": label " + std::to_string(g.labels[i]) +
+                     " out of range [0, " + std::to_string(classes) + ")");
+    }
   }
   std::vector<graph::Edge> edge_list;
   edge_list.reserve(edges);
   for (int k = 0; k < edges; ++k) {
     int src = 0, dst = 0;
     double w = 0.0;
-    BGC_CHECK_MSG(static_cast<bool>(in >> src >> dst >> w),
-                  "truncated edge block");
+    if (!(in >> src >> dst >> w)) {
+      return BGC_ERR(path + ": truncated edge block (edge " +
+                     std::to_string(k) + " of " + std::to_string(edges) +
+                     ")");
+    }
+    if (src < 0 || src >= nodes || dst < 0 || dst >= nodes) {
+      return BGC_ERR(path + ": edge endpoint out of range: (" +
+                     std::to_string(src) + ", " + std::to_string(dst) +
+                     ") with " + std::to_string(nodes) + " nodes");
+    }
     edge_list.push_back({src, dst, static_cast<float>(w)});
   }
   g.adj = graph::CsrMatrix::FromEdges(nodes, nodes, edge_list,
                                       /*symmetrize=*/false);
-  g.features = ReadMatrix(in, nodes, features);
+  if (Status s = ReadMatrixInto(in, nodes, features, &g.features); !s.ok()) {
+    return Status::Error(path + ": " + s.message());
+  }
   return g;
+}
+
+CondensedGraph LoadCondensed(const std::string& path) {
+  StatusOr<CondensedGraph> loaded = TryLoadCondensed(path);
+  BGC_CHECK_MSG(loaded.ok(), loaded.status().message());
+  return loaded.take();
 }
 
 }  // namespace bgc::condense

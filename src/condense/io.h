@@ -4,6 +4,7 @@
 #include <string>
 
 #include "src/condense/condenser.h"
+#include "src/core/status.h"
 
 namespace bgc::condense {
 
@@ -11,7 +12,19 @@ namespace bgc::condense {
 /// format as data::SaveDataset (see src/data/io.h), minus the split lines.
 /// The header's last slot stores `use_structure`. This is the deliverable a
 /// condensation service ships to its customers.
+
+/// Saves a condensed graph. The write is atomic (temp file + fsync +
+/// rename, see core/fs.h): a crash mid-save never leaves a half-written
+/// deliverable. Aborts on I/O failure.
 void SaveCondensed(const CondensedGraph& condensed, const std::string& path);
+
+/// Recoverable loader: returns a descriptive error for unreadable files
+/// and malformed content (truncated/corrupt headers, out-of-range edges or
+/// labels, non-numeric floats) instead of aborting.
+StatusOr<CondensedGraph> TryLoadCondensed(const std::string& path);
+
+/// TryLoadCondensed that aborts on any error (legacy fail-fast entry
+/// point).
 CondensedGraph LoadCondensed(const std::string& path);
 
 }  // namespace bgc::condense

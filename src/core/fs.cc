@@ -1,0 +1,79 @@
+#include "src/core/fs.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace bgc {
+namespace {
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path, std::string_view content) {
+  // The temp file must live in the target directory: rename() is only
+  // atomic within one filesystem.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long long>(::getpid()));
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return BGC_ERR(Errno("cannot create", tmp));
+
+  const char* p = content.data();
+  size_t left = content.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status s = BGC_ERR(Errno("write failed", tmp));
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return s;
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    Status s = BGC_ERR(Errno("fsync failed", tmp));
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  if (::close(fd) != 0) {
+    Status s = BGC_ERR(Errno("close failed", tmp));
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status s = BGC_ERR(Errno("rename failed", tmp + " -> " + path));
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return BGC_ERR(Errno("cannot open", path));
+  std::string out;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  const bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) return BGC_ERR("read failed " + path);
+  return out;
+}
+
+bool FileExists(const std::string& path) {
+  return ::access(path.c_str(), R_OK) == 0;
+}
+
+}  // namespace bgc

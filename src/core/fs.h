@@ -1,0 +1,27 @@
+#ifndef BGC_CORE_FS_H_
+#define BGC_CORE_FS_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/core/status.h"
+
+namespace bgc {
+
+/// Atomically replaces `path` with `content`: the bytes are written to a
+/// temp file in the same directory, fsync'd, and renamed over `path`
+/// (POSIX rename atomicity). A crash mid-write can therefore never leave a
+/// half-written deliverable behind — readers see either the old file or the
+/// complete new one. Both the text savers (data/condense io) and the bgcbin
+/// binary store go through this helper.
+Status WriteFileAtomic(const std::string& path, std::string_view content);
+
+/// Reads the whole file into a string.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// True when `path` exists and is readable.
+bool FileExists(const std::string& path);
+
+}  // namespace bgc
+
+#endif  // BGC_CORE_FS_H_

@@ -1,0 +1,22 @@
+#ifndef BGC_CORE_HASH_H_
+#define BGC_CORE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace bgc {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `size` bytes.
+/// Used by the bgcbin container to detect artifact corruption. `seed`
+/// accepts a previous call's result so checksums can be computed
+/// incrementally over scattered buffers.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+/// 64-bit FNV-1a. Stable across platforms; keys the artifact cache (hash of
+/// the canonicalized experiment configuration).
+uint64_t Fnv1a64(std::string_view bytes);
+
+}  // namespace bgc
+
+#endif  // BGC_CORE_HASH_H_

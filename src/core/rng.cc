@@ -1,5 +1,6 @@
 #include "src/core/rng.h"
 
+#include <bit>
 #include <cmath>
 
 #include "src/core/check.h"
@@ -91,5 +92,17 @@ std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
 }
 
 Rng Rng::Fork() { return Rng(NextU64()); }
+
+std::array<uint64_t, Rng::kStateWords> Rng::SaveState() const {
+  return {state_[0], state_[1], state_[2], state_[3],
+          has_cached_normal_ ? uint64_t{1} : uint64_t{0},
+          std::bit_cast<uint64_t>(cached_normal_)};
+}
+
+void Rng::RestoreState(const std::array<uint64_t, kStateWords>& words) {
+  for (int i = 0; i < 4; ++i) state_[i] = words[i];
+  has_cached_normal_ = words[4] != 0;
+  cached_normal_ = std::bit_cast<double>(words[5]);
+}
 
 }  // namespace bgc

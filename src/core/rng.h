@@ -1,6 +1,7 @@
 #ifndef BGC_CORE_RNG_H_
 #define BGC_CORE_RNG_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -59,6 +60,17 @@ class Rng {
   /// Returns a new generator seeded from this one's stream; used to hand
   /// independent substreams to parallel components.
   Rng Fork();
+
+  /// Number of 64-bit words in the serialized generator state.
+  static constexpr int kStateWords = 6;
+
+  /// Serializes the complete state — the four xoshiro lanes plus the
+  /// Box-Muller cached deviate — as opaque words. A generator restored via
+  /// RestoreState continues the stream bit-identically, which is what makes
+  /// resumed condensation runs (src/store) indistinguishable from
+  /// uninterrupted ones.
+  std::array<uint64_t, kStateWords> SaveState() const;
+  void RestoreState(const std::array<uint64_t, kStateWords>& words);
 
  private:
   uint64_t state_[4];

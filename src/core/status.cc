@@ -1,0 +1,17 @@
+#include "src/core/status.h"
+
+#include <cstring>
+
+namespace bgc::internal {
+
+std::string ErrorLocation(const char* file, int line) {
+  // Trim the build-tree prefix so messages stay readable.
+  const char* base = std::strrchr(file, '/');
+  std::string out(base != nullptr ? base + 1 : file);
+  out += ":";
+  out += std::to_string(line);
+  out += ": ";
+  return out;
+}
+
+}  // namespace bgc::internal

@@ -1,0 +1,88 @@
+#ifndef BGC_CORE_STATUS_H_
+#define BGC_CORE_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/core/check.h"
+
+namespace bgc {
+
+/// Recoverable error carrier for operations whose failure is an expected
+/// runtime condition (unreadable files, malformed artifacts, checksum
+/// mismatches) rather than a violated invariant. Invariant violations keep
+/// using BGC_CHECK; Status is for inputs the process does not control.
+class Status {
+ public:
+  /// Success.
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+
+  static Status Error(std::string message) {
+    Status s;
+    s.ok_ = false;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+/// Either a value or the error explaining why there is none.
+template <typename T>
+class StatusOr {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors absl::StatusOr.
+  StatusOr(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  StatusOr(Status status) : status_(std::move(status)) {
+    BGC_CHECK_MSG(!status_.ok(), "StatusOr constructed from an OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Fatal on error: use only after checking ok(), or where failure is a
+  /// programming bug.
+  const T& value() const& {
+    BGC_CHECK_MSG(ok(), status_.message());
+    return *value_;
+  }
+  T& value() & {
+    BGC_CHECK_MSG(ok(), status_.message());
+    return *value_;
+  }
+
+  /// Moves the value out (fatal on error).
+  T take() {
+    BGC_CHECK_MSG(ok(), status_.message());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+
+/// "file.cc:42: " prefix for error messages; keeps BGC_ERR cheap to expand.
+std::string ErrorLocation(const char* file, int line);
+
+}  // namespace internal
+}  // namespace bgc
+
+/// Builds a Status::Error carrying file/line context, so a failed artifact
+/// load reports where in the loader the input went bad.
+#define BGC_ERR(msg) \
+  ::bgc::Status::Error(::bgc::internal::ErrorLocation(__FILE__, __LINE__) + \
+                       (msg))
+
+#endif  // BGC_CORE_STATUS_H_

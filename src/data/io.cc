@@ -1,16 +1,16 @@
 #include "src/data/io.h"
 
-#include <cinttypes>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
 #include "src/core/check.h"
+#include "src/core/fs.h"
 
 namespace bgc::data {
 namespace {
 
-void WriteMatrix(std::ofstream& out, const Matrix& m) {
+void WriteMatrix(std::ostream& out, const Matrix& m) {
   char buf[64];
   for (int i = 0; i < m.rows(); ++i) {
     const float* row = m.RowPtr(i);
@@ -22,17 +22,21 @@ void WriteMatrix(std::ofstream& out, const Matrix& m) {
   }
 }
 
-Matrix ReadMatrix(std::ifstream& in, int rows, int cols) {
-  Matrix m(rows, cols);
+Status ReadMatrixInto(std::istream& in, int rows, int cols, Matrix* out) {
+  *out = Matrix(rows, cols);
   for (int i = 0; i < rows * cols; ++i) {
     double v = 0.0;
-    BGC_CHECK_MSG(static_cast<bool>(in >> v), "truncated feature block");
-    m.data()[i] = static_cast<float>(v);
+    if (!(in >> v)) {
+      return BGC_ERR("truncated or non-numeric feature block (entry " +
+                     std::to_string(i) + " of " +
+                     std::to_string(rows * cols) + ")");
+    }
+    out->data()[i] = static_cast<float>(v);
   }
-  return m;
+  return Status::Ok();
 }
 
-void WriteEdges(std::ofstream& out, const graph::CsrMatrix& adj) {
+void WriteEdges(std::ostream& out, const graph::CsrMatrix& adj) {
   char buf[64];
   for (const auto& e : adj.ToEdges()) {
     std::snprintf(buf, sizeof(buf), "%d %d %.9g\n", e.src, e.dst,
@@ -41,79 +45,109 @@ void WriteEdges(std::ofstream& out, const graph::CsrMatrix& adj) {
   }
 }
 
-graph::CsrMatrix ReadEdges(std::ifstream& in, int n, int m) {
+Status ReadEdgesInto(std::istream& in, int n, int m, graph::CsrMatrix* out) {
   std::vector<graph::Edge> edges;
   edges.reserve(m);
   for (int k = 0; k < m; ++k) {
     int src = 0, dst = 0;
     double w = 0.0;
-    BGC_CHECK_MSG(static_cast<bool>(in >> src >> dst >> w),
-                  "truncated edge block");
+    if (!(in >> src >> dst >> w)) {
+      return BGC_ERR("truncated edge block (edge " + std::to_string(k) +
+                     " of " + std::to_string(m) + ")");
+    }
+    if (src < 0 || src >= n || dst < 0 || dst >= n) {
+      return BGC_ERR("edge endpoint out of range: (" + std::to_string(src) +
+                     ", " + std::to_string(dst) + ") with " +
+                     std::to_string(n) + " nodes");
+    }
     edges.push_back({src, dst, static_cast<float>(w)});
   }
-  return graph::CsrMatrix::FromEdges(n, n, edges, /*symmetrize=*/false);
+  *out = graph::CsrMatrix::FromEdges(n, n, edges, /*symmetrize=*/false);
+  return Status::Ok();
 }
 
-void WriteIndexLine(std::ofstream& out, const char* tag,
+void WriteIndexLine(std::ostream& out, const char* tag,
                     const std::vector<int>& idx) {
   out << tag << ' ' << idx.size();
   for (int i : idx) out << ' ' << i;
   out << '\n';
 }
 
-std::vector<int> ReadIndexLine(std::ifstream& in, const char* tag) {
+Status ReadIndexLineInto(std::istream& in, const char* tag, int num_nodes,
+                         std::vector<int>* out) {
   std::string seen;
-  size_t count = 0;
-  BGC_CHECK_MSG(static_cast<bool>(in >> seen >> count), "truncated split");
-  BGC_CHECK_MSG(seen == tag, "expected split tag " + std::string(tag) +
-                                 ", got " + seen);
-  std::vector<int> idx(count);
-  for (size_t i = 0; i < count; ++i) {
-    BGC_CHECK_MSG(static_cast<bool>(in >> idx[i]), "truncated split ids");
+  long long count = 0;
+  if (!(in >> seen >> count)) return BGC_ERR("truncated split line");
+  if (seen != tag) {
+    return BGC_ERR("expected split tag " + std::string(tag) + ", got " +
+                   seen);
   }
-  return idx;
+  if (count < 0 || count > num_nodes) {
+    return BGC_ERR("split \"" + seen + "\" has invalid size " +
+                   std::to_string(count) + " for " +
+                   std::to_string(num_nodes) + " nodes");
+  }
+  out->resize(static_cast<size_t>(count));
+  for (long long i = 0; i < count; ++i) {
+    if (!(in >> (*out)[i])) return BGC_ERR("truncated split ids");
+    if ((*out)[i] < 0 || (*out)[i] >= num_nodes) {
+      return BGC_ERR("split id " + std::to_string((*out)[i]) +
+                     " out of range");
+    }
+  }
+  return Status::Ok();
 }
 
-void CheckHeader(std::ifstream& in) {
+Status CheckHeader(std::istream& in) {
   std::string magic, version;
-  BGC_CHECK_MSG(static_cast<bool>(in >> magic >> version),
-                "missing bgc-graph header");
-  BGC_CHECK_MSG(magic == "bgc-graph" && version == "v1",
-                "unsupported file format: " + magic + " " + version);
+  if (!(in >> magic >> version)) return BGC_ERR("missing bgc-graph header");
+  if (magic != "bgc-graph" || version != "v1") {
+    return BGC_ERR("unsupported file format: " + magic + " " + version);
+  }
+  return Status::Ok();
 }
 
 struct Header {
   int nodes = 0, features = 0, classes = 0, edges = 0, inductive = 0;
 };
 
-Header ReadBody(std::ifstream& in) {
-  Header h;
+Status ReadBodyInto(std::istream& in, Header* h) {
   std::string k1, k2, k3, k4, k5;
-  BGC_CHECK_MSG(static_cast<bool>(in >> k1 >> h.nodes >> k2 >> h.features >>
-                                  k3 >> h.classes >> k4 >> h.edges >> k5 >>
-                                  h.inductive),
-                "malformed header line");
-  BGC_CHECK_MSG(k1 == "nodes" && k2 == "features" && k3 == "classes" &&
-                    k4 == "edges" && k5 == "inductive",
-                "malformed header keys");
-  return h;
+  if (!(in >> k1 >> h->nodes >> k2 >> h->features >> k3 >> h->classes >>
+        k4 >> h->edges >> k5 >> h->inductive)) {
+    return BGC_ERR("malformed header line");
+  }
+  if (k1 != "nodes" || k2 != "features" || k3 != "classes" || k4 != "edges" ||
+      k5 != "inductive") {
+    return BGC_ERR("malformed header keys");
+  }
+  if (h->nodes < 0 || h->features < 0 || h->classes < 0 || h->edges < 0) {
+    return BGC_ERR("negative header count");
+  }
+  return Status::Ok();
 }
 
-std::vector<int> ReadLabels(std::ifstream& in, int n, int classes) {
-  std::vector<int> labels(n);
+Status ReadLabelsInto(std::istream& in, int n, int classes,
+                      std::vector<int>* labels) {
+  labels->resize(n);
   for (int i = 0; i < n; ++i) {
-    BGC_CHECK_MSG(static_cast<bool>(in >> labels[i]), "truncated labels");
-    BGC_CHECK_GE(labels[i], 0);
-    BGC_CHECK_LT(labels[i], classes);
+    if (!(in >> (*labels)[i])) return BGC_ERR("truncated labels");
+    if ((*labels)[i] < 0 || (*labels)[i] >= classes) {
+      return BGC_ERR("label " + std::to_string((*labels)[i]) +
+                     " out of range [0, " + std::to_string(classes) + ")");
+    }
   }
-  return labels;
+  return Status::Ok();
+}
+
+Status Annotate(const Status& s, const std::string& path) {
+  return Status::Error(path + ": " + s.message());
 }
 
 }  // namespace
 
 void SaveDataset(const GraphDataset& dataset, const std::string& path) {
-  std::ofstream out(path);
-  BGC_CHECK_MSG(out.good(), "cannot open for writing: " + path);
+  std::ostringstream out;
   out << "bgc-graph v1\n";
   out << "nodes " << dataset.num_nodes() << " features "
       << dataset.feature_dim() << " classes " << dataset.num_classes
@@ -128,25 +162,42 @@ void SaveDataset(const GraphDataset& dataset, const std::string& path) {
   WriteIndexLine(out, "test", dataset.test_idx);
   WriteEdges(out, dataset.adj);
   WriteMatrix(out, dataset.features);
-  BGC_CHECK_MSG(out.good(), "write failed: " + path);
+  Status s = WriteFileAtomic(path, out.str());
+  BGC_CHECK_MSG(s.ok(), "cannot write " + path + ": " + s.message());
 }
 
-GraphDataset LoadDataset(const std::string& path) {
+StatusOr<GraphDataset> TryLoadDataset(const std::string& path) {
   std::ifstream in(path);
-  BGC_CHECK_MSG(in.good(), "cannot open for reading: " + path);
-  CheckHeader(in);
-  Header h = ReadBody(in);
+  if (!in.good()) return BGC_ERR("cannot open for reading: " + path);
+  if (Status s = CheckHeader(in); !s.ok()) return Annotate(s, path);
+  Header h;
+  if (Status s = ReadBodyInto(in, &h); !s.ok()) return Annotate(s, path);
   GraphDataset ds;
   ds.name = path;
   ds.num_classes = h.classes;
   ds.inductive = h.inductive != 0;
-  ds.labels = ReadLabels(in, h.nodes, h.classes);
-  ds.train_idx = ReadIndexLine(in, "train");
-  ds.val_idx = ReadIndexLine(in, "val");
-  ds.test_idx = ReadIndexLine(in, "test");
-  ds.adj = ReadEdges(in, h.nodes, h.edges);
-  ds.features = ReadMatrix(in, h.nodes, h.features);
+  if (Status s = ReadLabelsInto(in, h.nodes, h.classes, &ds.labels); !s.ok())
+    return Annotate(s, path);
+  if (Status s = ReadIndexLineInto(in, "train", h.nodes, &ds.train_idx);
+      !s.ok())
+    return Annotate(s, path);
+  if (Status s = ReadIndexLineInto(in, "val", h.nodes, &ds.val_idx); !s.ok())
+    return Annotate(s, path);
+  if (Status s = ReadIndexLineInto(in, "test", h.nodes, &ds.test_idx);
+      !s.ok())
+    return Annotate(s, path);
+  if (Status s = ReadEdgesInto(in, h.nodes, h.edges, &ds.adj); !s.ok())
+    return Annotate(s, path);
+  if (Status s = ReadMatrixInto(in, h.nodes, h.features, &ds.features);
+      !s.ok())
+    return Annotate(s, path);
   return ds;
+}
+
+GraphDataset LoadDataset(const std::string& path) {
+  StatusOr<GraphDataset> loaded = TryLoadDataset(path);
+  BGC_CHECK_MSG(loaded.ok(), loaded.status().message());
+  return loaded.take();
 }
 
 }  // namespace bgc::data

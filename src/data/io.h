@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "src/core/status.h"
 #include "src/data/dataset.h"
 
 namespace bgc::data {
@@ -20,9 +21,18 @@ namespace bgc::data {
 ///
 /// Writers are lossless for float values (%.9g formatting).
 
-/// Saves/loads a full dataset. Aborts on I/O failure; LoadDataset aborts on
-/// malformed input.
+/// Saves a full dataset. The write is atomic (temp file + fsync + rename,
+/// see core/fs.h): a crash mid-save never leaves a half-written file.
+/// Aborts on I/O failure.
 void SaveDataset(const GraphDataset& dataset, const std::string& path);
+
+/// Recoverable loader: returns a descriptive error (with loader file/line
+/// context) for unreadable files and malformed content — truncated or
+/// corrupt headers, out-of-range edge endpoints or labels, non-numeric
+/// floats — instead of aborting.
+StatusOr<GraphDataset> TryLoadDataset(const std::string& path);
+
+/// TryLoadDataset that aborts on any error (legacy fail-fast entry point).
 GraphDataset LoadDataset(const std::string& path);
 
 }  // namespace bgc::data

@@ -4,9 +4,30 @@
 #include "src/attack/naive.h"
 #include "src/core/check.h"
 #include "src/data/synthetic.h"
+#include "src/store/artifact_cache.h"
 
 namespace bgc::eval {
 namespace {
+
+constexpr uint64_t kSeedStride = 0x9e3779b97f4a7c15ULL;
+
+// Clean condensation with optional artifact caching. The condensation RNG
+// is private to this function, so a cache hit (which skips the condenser
+// entirely) leaves every other stream in the repeat untouched.
+condense::CondensedGraph CleanCondense(const RunSpec& spec,
+                                       const condense::SourceGraph& clean,
+                                       int num_classes, uint64_t rng_seed) {
+  auto run = [&] {
+    auto condenser = condense::MakeCondenser(spec.method);
+    Rng rng(rng_seed);
+    return condense::RunCondensation(*condenser, clean, num_classes,
+                                     spec.condense, rng);
+  };
+  if (spec.artifact_cache == nullptr) return run();
+  const std::string key = store::CondensedCacheKey(
+      spec.dataset, spec.dataset_scale, spec.method, spec.condense, rng_seed);
+  return spec.artifact_cache->GetOrComputeCondensed(key, run);
+}
 
 attack::AttackResult Dispatch(const RunSpec& spec,
                               const condense::SourceGraph& clean,
@@ -47,13 +68,13 @@ RepeatResult RunOnce(const RunSpec& spec, uint64_t seed) {
       data::MakeDataset(spec.dataset, seed, spec.dataset_scale);
   data::TrainView view = data::MakeTrainView(ds);
   condense::SourceGraph clean = condense::FromTrainView(view);
-  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 17);
+  Rng rng(seed * kSeedStride + 17);
 
   if (spec.attack == "none") {
-    auto condenser = condense::MakeCondenser(spec.method);
-    condense::CondensedGraph condensed = condense::RunCondensation(
-        *condenser, clean, ds.num_classes, spec.condense, rng);
-    auto victim = TrainVictim(condensed, spec.victim, rng);
+    condense::CondensedGraph condensed =
+        CleanCondense(spec, clean, ds.num_classes, seed * kSeedStride + 17);
+    Rng victim_rng(seed * kSeedStride + 19);
+    auto victim = TrainVictim(condensed, spec.victim, victim_rng);
     out.backdoor = EvaluateVictim(*victim, ds, /*generator=*/nullptr,
                                   spec.attack_cfg.target_class);
     return out;
@@ -66,11 +87,10 @@ RepeatResult RunOnce(const RunSpec& spec, uint64_t seed) {
                                 spec.attack_cfg.target_class);
 
   if (spec.eval_clean_baseline) {
-    auto clean_condenser = condense::MakeCondenser(spec.method);
-    Rng clean_rng(seed * 0x9e3779b97f4a7c15ULL + 18);
-    condense::CondensedGraph condensed = condense::RunCondensation(
-        *clean_condenser, clean, ds.num_classes, spec.condense, clean_rng);
-    auto clean_victim = TrainVictim(condensed, spec.victim, clean_rng);
+    condense::CondensedGraph condensed =
+        CleanCondense(spec, clean, ds.num_classes, seed * kSeedStride + 18);
+    Rng clean_victim_rng(seed * kSeedStride + 20);
+    auto clean_victim = TrainVictim(condensed, spec.victim, clean_victim_rng);
     // C-ASR probes the *clean* GNN with the attack's triggers.
     out.clean = EvaluateVictim(*clean_victim, ds, attacked.generator.get(),
                                spec.attack_cfg.target_class);

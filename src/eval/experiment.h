@@ -8,6 +8,10 @@
 #include "src/core/stats.h"
 #include "src/eval/pipeline.h"
 
+namespace bgc::store {
+class ArtifactCache;
+}
+
 namespace bgc::eval {
 
 /// One experiment cell: dataset × condensation method × attack × victim,
@@ -26,6 +30,12 @@ struct RunSpec {
   /// Also run a clean condensation per repeat to fill C-CTA / C-ASR
   /// (attack must not be "none").
   bool eval_clean_baseline = true;
+  /// Optional content-addressed cache for clean condensations (attacked
+  /// condensations are never cached: the attack interleaves with the
+  /// trajectory). Not owned. Victim training draws from RNG streams
+  /// decoupled from condensation, so cached and recomputed runs produce
+  /// identical metrics.
+  store::ArtifactCache* artifact_cache = nullptr;
 };
 
 /// Aggregated results of a cell, matching the paper's Table 2 columns.

@@ -1,5 +1,7 @@
 #include "src/nn/models.h"
 
+#include <unordered_map>
+
 #include "src/core/check.h"
 
 namespace bgc::nn {
@@ -25,6 +27,57 @@ void GnnModel::CollectGrads(const ag::Tape& tape) {
   for (auto& [param, var] : bound_) {
     param->grad = tape.grad(var);
   }
+}
+
+std::vector<Param*> GnnModel::Params() {
+  std::vector<Param*> out;
+  for (auto& [name, p] : NamedParams()) out.push_back(p);
+  return out;
+}
+
+std::vector<std::pair<std::string, Matrix>> GnnModel::StateDict() {
+  std::vector<std::pair<std::string, Matrix>> out;
+  for (auto& [name, p] : NamedParams()) out.emplace_back(name, p->value);
+  return out;
+}
+
+Status GnnModel::LoadStateDict(
+    const std::vector<std::pair<std::string, Matrix>>& state) {
+  auto params = NamedParams();
+  std::unordered_map<std::string, Param*> by_name;
+  for (auto& [pname, p] : params) by_name.emplace(pname, p);
+  if (state.size() != params.size()) {
+    return BGC_ERR("state dict for " + name() + " has " +
+                   std::to_string(state.size()) + " entries, model has " +
+                   std::to_string(params.size()));
+  }
+  // Validate everything before writing anything, so a mismatched dict
+  // cannot leave the model half-loaded.
+  for (const auto& [sname, value] : state) {
+    auto it = by_name.find(sname);
+    if (it == by_name.end()) {
+      return BGC_ERR("state dict entry \"" + sname + "\" does not name a " +
+                     name() + " parameter");
+    }
+    if (it->second == nullptr) {
+      return BGC_ERR("duplicate state dict entry \"" + sname + "\"");
+    }
+    const Matrix& have = it->second->value;
+    if (value.rows() != have.rows() || value.cols() != have.cols()) {
+      return BGC_ERR("shape mismatch for \"" + sname + "\": file " +
+                     std::to_string(value.rows()) + "x" +
+                     std::to_string(value.cols()) + ", model " +
+                     std::to_string(have.rows()) + "x" +
+                     std::to_string(have.cols()));
+    }
+    it->second = nullptr;  // mark consumed
+  }
+  by_name.clear();
+  for (auto& [pname, p] : params) by_name.emplace(pname, p);
+  for (const auto& [sname, value] : state) {
+    by_name.at(sname)->value = value;
+  }
+  return Status::Ok();
 }
 
 namespace {
@@ -61,10 +114,13 @@ class Gcn : public GnnModel {
     return h;
   }
 
-  std::vector<Param*> Params() override {
-    std::vector<Param*> out;
-    for (auto& w : weights_) out.push_back(&w);
-    for (auto& b : biases_) out.push_back(&b);
+  std::vector<std::pair<std::string, Param*>> NamedParams() override {
+    std::vector<std::pair<std::string, Param*>> out;
+    for (size_t l = 0; l < weights_.size(); ++l) {
+      const std::string prefix = "layers." + std::to_string(l);
+      out.emplace_back(prefix + ".weight", &weights_[l]);
+      out.emplace_back(prefix + ".bias", &biases_[l]);
+    }
     return out;
   }
 
@@ -96,7 +152,9 @@ class Sgc : public GnnModel {
     return t.AddRowVec(t.MatMul(h, Bind(t, weight_)), Bind(t, bias_));
   }
 
-  std::vector<Param*> Params() override { return {&weight_, &bias_}; }
+  std::vector<std::pair<std::string, Param*>> NamedParams() override {
+    return {{"weight", &weight_}, {"bias", &bias_}};
+  }
 
   std::string name() const override { return "sgc"; }
 
@@ -140,11 +198,14 @@ class Sage : public GnnModel {
     return h;
   }
 
-  std::vector<Param*> Params() override {
-    std::vector<Param*> out;
-    for (auto& w : self_) out.push_back(&w);
-    for (auto& w : neigh_) out.push_back(&w);
-    for (auto& b : biases_) out.push_back(&b);
+  std::vector<std::pair<std::string, Param*>> NamedParams() override {
+    std::vector<std::pair<std::string, Param*>> out;
+    for (size_t l = 0; l < self_.size(); ++l) {
+      const std::string prefix = "layers." + std::to_string(l);
+      out.emplace_back(prefix + ".self_weight", &self_[l]);
+      out.emplace_back(prefix + ".neigh_weight", &neigh_[l]);
+      out.emplace_back(prefix + ".bias", &biases_[l]);
+    }
     return out;
   }
 
@@ -187,10 +248,13 @@ class Mlp : public GnnModel {
     return h;
   }
 
-  std::vector<Param*> Params() override {
-    std::vector<Param*> out;
-    for (auto& w : weights_) out.push_back(&w);
-    for (auto& b : biases_) out.push_back(&b);
+  std::vector<std::pair<std::string, Param*>> NamedParams() override {
+    std::vector<std::pair<std::string, Param*>> out;
+    for (size_t l = 0; l < weights_.size(); ++l) {
+      const std::string prefix = "layers." + std::to_string(l);
+      out.emplace_back(prefix + ".weight", &weights_[l]);
+      out.emplace_back(prefix + ".bias", &biases_[l]);
+    }
     return out;
   }
 
@@ -232,7 +296,12 @@ class Appnp : public GnnModel {
     return z;
   }
 
-  std::vector<Param*> Params() override { return {&w1_, &b1_, &w2_, &b2_}; }
+  std::vector<std::pair<std::string, Param*>> NamedParams() override {
+    return {{"mlp.0.weight", &w1_},
+            {"mlp.0.bias", &b1_},
+            {"mlp.1.weight", &w2_},
+            {"mlp.1.bias", &b2_}};
+  }
 
   std::string name() const override { return "appnp"; }
 
@@ -289,12 +358,16 @@ class Cheby : public GnnModel {
     return h;
   }
 
-  std::vector<Param*> Params() override {
-    std::vector<Param*> out;
-    for (auto& layer : weights_) {
-      for (auto& w : layer) out.push_back(&w);
+  std::vector<std::pair<std::string, Param*>> NamedParams() override {
+    std::vector<std::pair<std::string, Param*>> out;
+    for (size_t l = 0; l < weights_.size(); ++l) {
+      const std::string prefix = "layers." + std::to_string(l);
+      for (size_t k = 0; k < weights_[l].size(); ++k) {
+        out.emplace_back(prefix + ".cheb." + std::to_string(k),
+                         &weights_[l][k]);
+      }
+      out.emplace_back(prefix + ".bias", &biases_[l]);
     }
-    for (auto& b : biases_) out.push_back(&b);
     return out;
   }
 
@@ -352,13 +425,16 @@ class Gin : public GnnModel {
     return h;
   }
 
-  std::vector<Param*> Params() override {
-    std::vector<Param*> out;
-    for (auto& w : w1_) out.push_back(&w);
-    for (auto& b : b1_) out.push_back(&b);
-    for (auto& w : w2_) out.push_back(&w);
-    for (auto& b : b2_) out.push_back(&b);
-    for (auto& e : eps_) out.push_back(&e);
+  std::vector<std::pair<std::string, Param*>> NamedParams() override {
+    std::vector<std::pair<std::string, Param*>> out;
+    for (size_t l = 0; l < w1_.size(); ++l) {
+      const std::string prefix = "layers." + std::to_string(l);
+      out.emplace_back(prefix + ".mlp1.weight", &w1_[l]);
+      out.emplace_back(prefix + ".mlp1.bias", &b1_[l]);
+      out.emplace_back(prefix + ".mlp2.weight", &w2_[l]);
+      out.emplace_back(prefix + ".mlp2.bias", &b2_[l]);
+      out.emplace_back(prefix + ".eps", &eps_[l]);
+    }
     return out;
   }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/autograd/tape.h"
+#include "src/core/status.h"
 #include "src/graph/csr.h"
 #include "src/nn/param.h"
 
@@ -60,8 +61,22 @@ class GnnModel {
   virtual ag::Var Forward(ag::Tape& tape, const Propagators& props, ag::Var x,
                           Rng& rng, bool training) = 0;
 
-  /// All trainable parameters.
-  virtual std::vector<Param*> Params() = 0;
+  /// Named trainable parameters in a stable, architecture-defined order:
+  /// the registry behind optimizer steps and src/store state-dict
+  /// serialization. Names are hierarchical ("layers.0.weight").
+  virtual std::vector<std::pair<std::string, Param*>> NamedParams() = 0;
+
+  /// All trainable parameters, in NamedParams() order.
+  std::vector<Param*> Params();
+
+  /// Copies of every parameter value keyed by name (a "state dict").
+  std::vector<std::pair<std::string, Matrix>> StateDict();
+
+  /// Restores parameter values from `state`. Fails (without touching any
+  /// parameter) unless `state` covers exactly this model's parameters with
+  /// matching names and shapes.
+  Status LoadStateDict(
+      const std::vector<std::pair<std::string, Matrix>>& state);
 
   virtual std::string name() const = 0;
 

@@ -1,6 +1,7 @@
 #include "src/nn/optimizer.h"
 
 #include <cmath>
+#include <utility>
 
 #include "src/core/check.h"
 
@@ -38,6 +39,25 @@ void Adam::Step(const std::vector<Param*>& params) {
 void Adam::Reset() {
   state_.clear();
   t_ = 0;
+}
+
+Adam::ParamState Adam::ExportState(const Param* p) const {
+  auto it = state_.find(p);
+  if (it == state_.end()) return {};
+  return {it->second.m, it->second.v};
+}
+
+void Adam::RestoreState(const Param* p, ParamState state) {
+  BGC_CHECK(p != nullptr);
+  if (state.m.empty()) {
+    state_.erase(p);
+    return;
+  }
+  BGC_CHECK_EQ(state.m.size(), p->value.size());
+  BGC_CHECK_EQ(state.v.size(), p->value.size());
+  Moments& mo = state_[p];
+  mo.m = std::move(state.m);
+  mo.v = std::move(state.v);
 }
 
 void Sgd::Step(const std::vector<Param*>& params) {

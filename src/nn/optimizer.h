@@ -25,6 +25,23 @@ class Adam {
   float lr() const { return lr_; }
   void set_lr(float lr) { lr_ = lr; }
 
+  /// Serializable per-parameter moment state, used by checkpointing
+  /// (src/store): a resumed optimizer must continue bit-identically.
+  struct ParamState {
+    Matrix m;
+    Matrix v;
+  };
+
+  /// Global step counter (drives bias correction).
+  long long step_count() const { return t_; }
+  void set_step_count(long long t) { t_ = t; }
+
+  /// Moments of `p`; empty matrices when the param has no state yet.
+  ParamState ExportState(const Param* p) const;
+
+  /// Installs checkpointed moments for `p` (empty state clears it).
+  void RestoreState(const Param* p, ParamState state);
+
  private:
   struct Moments {
     Matrix m;

@@ -1,0 +1,176 @@
+#include "src/store/artifact_cache.h"
+
+#include <sys/stat.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/core/fs.h"
+#include "src/core/hash.h"
+#include "src/store/bgcbin.h"
+#include "src/store/serialize.h"
+
+namespace bgc::store {
+namespace {
+
+// Cache entries embed a condensed graph plus provenance; the distinct kind
+// keeps them from being confused with shipped bgc.condensed artifacts.
+constexpr char kKindCacheEntry[] = "bgc.cache.condensed";
+
+std::string FmtFloat(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::string CanonicalCondenseKey(const condense::CondenseConfig& c) {
+  std::string key = "condense{";
+  key += "num_condensed=" + std::to_string(c.num_condensed);
+  key += ",epochs=" + std::to_string(c.epochs);
+  key += ",feature_lr=" + FmtFloat(c.feature_lr);
+  key += ",adj_lr=" + FmtFloat(c.adj_lr);
+  key += ",inner_steps=" + std::to_string(c.inner_steps);
+  key += ",model_steps=" + std::to_string(c.model_steps);
+  key += ",model_lr=" + FmtFloat(c.model_lr);
+  key += ",dc_model_lr=" + FmtFloat(c.dc_model_lr);
+  key += ",dc_feature_lr=" + FmtFloat(c.dc_feature_lr);
+  key += ",sgc_k=" + std::to_string(c.sgc_k);
+  key += ",adj_rank=" + std::to_string(c.adj_rank);
+  key += ",adj_bias_init=" + FmtFloat(c.adj_bias_init);
+  key += ",ridge_lambda=" + FmtFloat(c.ridge_lambda);
+  key += ",sntk_lr=" + FmtFloat(c.sntk_lr);
+  key += ",sntk_batch=" + std::to_string(c.sntk_batch);
+  key += ",seed=" + std::to_string(c.seed);
+  key += "}";
+  return key;
+}
+
+std::string CanonicalAttackKey(const attack::AttackConfig& c) {
+  std::string key = "attack{";
+  key += "target_class=" + std::to_string(c.target_class);
+  key += ",trigger_size=" + std::to_string(c.trigger_size);
+  key += ",poison_budget=" + std::to_string(c.poison_budget);
+  key += ",poison_ratio=" + FmtFloat(c.poison_ratio);
+  key += ",clusters_per_class=" + std::to_string(c.clusters_per_class);
+  key += ",selector_lambda=" + FmtFloat(c.selector_lambda);
+  key += ",selector_epochs=" + std::to_string(c.selector_epochs);
+  key += ",surrogate_steps=" + std::to_string(c.surrogate_steps);
+  key += ",generator_steps=" + std::to_string(c.generator_steps);
+  key += ",generator_lr=" + FmtFloat(c.generator_lr);
+  key += ",surrogate_lr=" + FmtFloat(c.surrogate_lr);
+  key += ",surrogate_hidden=" + std::to_string(c.surrogate_hidden);
+  key += ",generator_hidden=" + std::to_string(c.generator_hidden);
+  key += ",update_batch=" + std::to_string(c.update_batch);
+  key += ",trigger_feature_scale=" + FmtFloat(c.trigger_feature_scale);
+  key += ",ego_hops=" + std::to_string(c.ego.hops);
+  key += ",ego_cap_per_hop=" + std::to_string(c.ego.cap_per_hop);
+  key += ",selection=" + c.selection;
+  key += ",clean_label=" + std::to_string(c.clean_label ? 1 : 0);
+  key += ",trigger_type=" + c.trigger_type;
+  key += ",seed=" + std::to_string(c.seed);
+  key += "}";
+  return key;
+}
+
+std::string CondensedCacheKey(const std::string& dataset,
+                              double dataset_scale, const std::string& method,
+                              const condense::CondenseConfig& config,
+                              uint64_t seed) {
+  return "condensed-v1{dataset=" + dataset +
+         ",scale=" + FmtFloat(dataset_scale) + ",method=" + method +
+         ",seed=" + std::to_string(seed) + "," +
+         CanonicalCondenseKey(config) + "}";
+}
+
+ArtifactCache::ArtifactCache(std::string dir) : dir_(std::move(dir)) {
+  ::mkdir(dir_.c_str(), 0755);  // best-effort; writes surface real errors
+}
+
+std::unique_ptr<ArtifactCache> ArtifactCache::FromEnv() {
+  const char* dir = std::getenv("BGC_ARTIFACT_DIR");
+  if (dir == nullptr || dir[0] == '\0') return nullptr;
+  return std::make_unique<ArtifactCache>(dir);
+}
+
+std::string ArtifactCache::EntryPath(const std::string& canonical_key) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llx.bgcbin",
+                static_cast<unsigned long long>(Fnv1a64(canonical_key)));
+  return dir_ + "/" + name;
+}
+
+condense::CondensedGraph ArtifactCache::GetOrComputeCondensed(
+    const std::string& canonical_key,
+    const std::function<condense::CondensedGraph()>& compute) {
+  const std::string path = EntryPath(canonical_key);
+  if (FileExists(path)) {
+    Status problem = Status::Ok();
+    StatusOr<BgcbinReader> opened = BgcbinReader::Open(path);
+    if (opened.ok()) {
+      const BgcbinReader& reader = opened.value();
+      std::string stored_key;
+      double stored_compute_seconds = 0.0;
+      StatusOr<SectionReader> meta = reader.Section("cache_meta");
+      if (meta.ok()) {
+        SectionReader r = meta.take();
+        if (r.GetString() != kKindCacheEntry) {
+          problem = BGC_ERR(path + ": not a cache entry");
+        } else {
+          stored_key = r.GetString();
+          stored_compute_seconds = r.GetF64();
+          if (!r.ok()) problem = r.status();
+        }
+      } else {
+        problem = meta.status();
+      }
+      if (problem.ok() && stored_key != canonical_key) {
+        problem = BGC_ERR(path + ": key mismatch (hash collision or stale)");
+      }
+      if (problem.ok()) {
+        StatusOr<condense::CondensedGraph> loaded =
+            ReadCondensedSections(reader);
+        if (loaded.ok()) {
+          ++stats_.hits;
+          stats_.saved_seconds += stored_compute_seconds;
+          return loaded.take();
+        }
+        problem = loaded.status();
+      }
+    } else {
+      problem = opened.status();
+    }
+    ++stats_.rejected;
+    std::fprintf(stderr,
+                 "[bgc::store] discarding bad cache entry: %s (recomputing)\n",
+                 problem.message().c_str());
+  }
+
+  const double start = NowSeconds();
+  condense::CondensedGraph result = compute();
+  const double elapsed = NowSeconds() - start;
+  ++stats_.misses;
+  stats_.compute_seconds += elapsed;
+
+  BgcbinWriter writer;
+  SectionWriter& meta = writer.AddSection("cache_meta");
+  meta.PutString(kKindCacheEntry);
+  meta.PutString(canonical_key);
+  meta.PutF64(elapsed);
+  AddCondensedSections(writer, result);
+  if (Status s = writer.WriteTo(path); !s.ok()) {
+    std::fprintf(stderr, "[bgc::store] cannot write cache entry: %s\n",
+                 s.message().c_str());
+  }
+  return result;
+}
+
+}  // namespace bgc::store

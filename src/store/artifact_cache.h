@@ -1,0 +1,77 @@
+#ifndef BGC_STORE_ARTIFACT_CACHE_H_
+#define BGC_STORE_ARTIFACT_CACHE_H_
+
+// Content-addressed cache of condensation artifacts.
+//
+// Condensation dominates experiment wall-clock (minutes) while its inputs
+// are tiny (a config + a seed), so repeated benchmark runs recompute the
+// same condensed graphs over and over. The cache keys each artifact by
+// the FNV-1a hash of a canonical key string — every config field spelled
+// name=value (floats %.9g), plus dataset name/scale, method, and seed —
+// and stores the condensed graph as a bgcbin container. The full key
+// string is stored inside the entry and compared on load, so a hash
+// collision degrades to a miss, never a wrong artifact. A corrupt entry
+// (checksum failure) is rejected, reported, recomputed, and overwritten.
+//
+// Enable by pointing BGC_ARTIFACT_DIR at a writable directory (see
+// FromEnv) or constructing an ArtifactCache explicitly.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/attack/bgc.h"
+#include "src/condense/condenser.h"
+
+namespace bgc::store {
+
+/// Canonical name=value serializations used in cache keys. Every field of
+/// the config participates, so any hyper-parameter change changes the key.
+std::string CanonicalCondenseKey(const condense::CondenseConfig& config);
+std::string CanonicalAttackKey(const attack::AttackConfig& config);
+
+/// Full cache key for a clean condensation run (RunCondensation output).
+std::string CondensedCacheKey(const std::string& dataset,
+                              double dataset_scale, const std::string& method,
+                              const condense::CondenseConfig& config,
+                              uint64_t seed);
+
+struct ArtifactCacheStats {
+  long long hits = 0;
+  long long misses = 0;
+  long long rejected = 0;        // corrupt / mismatched entries discarded
+  double compute_seconds = 0.0;  // time spent inside compute callbacks
+  double saved_seconds = 0.0;    // recorded compute time of served hits
+};
+
+class ArtifactCache {
+ public:
+  /// Caches under `dir` (created if missing).
+  explicit ArtifactCache(std::string dir);
+
+  /// Cache in $BGC_ARTIFACT_DIR, or nullptr when the variable is unset or
+  /// empty (caching disabled).
+  static std::unique_ptr<ArtifactCache> FromEnv();
+
+  /// Returns the cached condensed graph for `canonical_key`, or runs
+  /// `compute`, stores its result, and returns it. Corrupt or mismatched
+  /// entries are discarded (with a stderr warning) and recomputed.
+  condense::CondensedGraph GetOrComputeCondensed(
+      const std::string& canonical_key,
+      const std::function<condense::CondensedGraph()>& compute);
+
+  /// Filesystem path an entry with this key lives at.
+  std::string EntryPath(const std::string& canonical_key) const;
+
+  const std::string& dir() const { return dir_; }
+  const ArtifactCacheStats& stats() const { return stats_; }
+
+ private:
+  std::string dir_;
+  ArtifactCacheStats stats_;
+};
+
+}  // namespace bgc::store
+
+#endif  // BGC_STORE_ARTIFACT_CACHE_H_

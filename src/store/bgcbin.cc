@@ -1,0 +1,247 @@
+#include "src/store/bgcbin.h"
+
+#include <cstring>
+
+#include "src/core/check.h"
+#include "src/core/fs.h"
+#include "src/core/hash.h"
+
+namespace bgc::store {
+namespace {
+
+constexpr char kMagic[6] = {'B', 'G', 'C', 'B', 'I', 'N'};
+constexpr uint16_t kVersion = 1;
+// 6 magic + u16 version + u32 section_count + u32 table_crc.
+constexpr size_t kHeaderSize = 16;
+
+void AppendLe(std::string* out, uint64_t v, int bytes) {
+  for (int i = 0; i < bytes; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint64_t ReadLe(const char* p, int bytes) {
+  uint64_t v = 0;
+  for (int i = 0; i < bytes; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void SectionWriter::PutU8(uint8_t v) { AppendLe(&bytes_, v, 1); }
+void SectionWriter::PutU16(uint16_t v) { AppendLe(&bytes_, v, 2); }
+void SectionWriter::PutU32(uint32_t v) { AppendLe(&bytes_, v, 4); }
+void SectionWriter::PutU64(uint64_t v) { AppendLe(&bytes_, v, 8); }
+
+void SectionWriter::PutF32(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU32(bits);
+}
+
+void SectionWriter::PutF64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void SectionWriter::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  bytes_.append(s.data(), s.size());
+}
+
+void SectionWriter::PutBytes(const void* data, size_t n) {
+  bytes_.append(static_cast<const char*>(data), n);
+}
+
+SectionReader::SectionReader(std::string_view bytes, std::string section_name)
+    : bytes_(bytes), name_(std::move(section_name)) {}
+
+template <typename T>
+T SectionReader::GetScalar() {
+  if (!status_.ok()) return T{};
+  if (bytes_.size() - pos_ < sizeof(T)) {
+    Fail("truncated (wanted " + std::to_string(sizeof(T)) + " bytes, " +
+         std::to_string(bytes_.size() - pos_) + " left)");
+    return T{};
+  }
+  uint64_t raw = ReadLe(bytes_.data() + pos_, sizeof(T));
+  pos_ += sizeof(T);
+  return static_cast<T>(raw);
+}
+
+uint8_t SectionReader::GetU8() { return GetScalar<uint8_t>(); }
+uint16_t SectionReader::GetU16() { return GetScalar<uint16_t>(); }
+uint32_t SectionReader::GetU32() { return GetScalar<uint32_t>(); }
+uint64_t SectionReader::GetU64() { return GetScalar<uint64_t>(); }
+
+float SectionReader::GetF32() {
+  uint32_t bits = GetU32();
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+double SectionReader::GetF64() {
+  uint64_t bits = GetU64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string SectionReader::GetString() {
+  uint32_t n = GetU32();
+  if (!status_.ok()) return {};
+  if (bytes_.size() - pos_ < n) {
+    Fail("truncated string (wanted " + std::to_string(n) + " bytes, " +
+         std::to_string(bytes_.size() - pos_) + " left)");
+    return {};
+  }
+  std::string s(bytes_.data() + pos_, n);
+  pos_ += n;
+  return s;
+}
+
+void SectionReader::GetBytes(void* out, size_t n) {
+  if (!status_.ok()) return;
+  if (bytes_.size() - pos_ < n) {
+    Fail("truncated byte block (wanted " + std::to_string(n) + " bytes, " +
+         std::to_string(bytes_.size() - pos_) + " left)");
+    return;
+  }
+  std::memcpy(out, bytes_.data() + pos_, n);
+  pos_ += n;
+}
+
+void SectionReader::Fail(const std::string& message) {
+  if (status_.ok()) {
+    status_ = Status::Error("section \"" + name_ + "\": " + message);
+  }
+}
+
+SectionWriter& BgcbinWriter::AddSection(const std::string& name) {
+  for (const auto& [existing, unused] : sections_) {
+    BGC_CHECK_MSG(existing != name, "duplicate bgcbin section: " + name);
+  }
+  sections_.emplace_back(name, SectionWriter());
+  return sections_.back().second;
+}
+
+std::string BgcbinWriter::Serialize() const {
+  std::string table;
+  for (const auto& [name, writer] : sections_) {
+    AppendLe(&table, name.size(), 2);
+    table.append(name);
+    AppendLe(&table, writer.bytes().size(), 8);
+    AppendLe(&table, Crc32(writer.bytes().data(), writer.bytes().size()), 4);
+  }
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  AppendLe(&out, kVersion, 2);
+  AppendLe(&out, sections_.size(), 4);
+  AppendLe(&out, Crc32(table.data(), table.size()), 4);
+  out.append(table);
+  for (const auto& [unused, writer] : sections_) out.append(writer.bytes());
+  return out;
+}
+
+Status BgcbinWriter::WriteTo(const std::string& path) const {
+  return WriteFileAtomic(path, Serialize());
+}
+
+StatusOr<BgcbinReader> BgcbinReader::Open(const std::string& path) {
+  StatusOr<std::string> bytes = ReadFileToString(path);
+  if (!bytes.ok()) return bytes.status();
+  return Parse(bytes.take(), path);
+}
+
+StatusOr<BgcbinReader> BgcbinReader::Parse(std::string bytes,
+                                           std::string origin) {
+  auto err = [&origin](const std::string& msg) {
+    return BGC_ERR(origin + ": " + msg);
+  };
+  if (bytes.size() < kHeaderSize) return err("truncated bgcbin header");
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return err("not a bgcbin file (bad magic)");
+  }
+  uint16_t version = static_cast<uint16_t>(ReadLe(bytes.data() + 6, 2));
+  if (version != kVersion) {
+    return err("unsupported bgcbin version " + std::to_string(version) +
+               " (this build reads v" + std::to_string(kVersion) + ")");
+  }
+  size_t section_count = static_cast<size_t>(ReadLe(bytes.data() + 8, 4));
+  uint32_t table_crc = static_cast<uint32_t>(ReadLe(bytes.data() + 12, 4));
+
+  BgcbinReader reader;
+  size_t pos = kHeaderSize;
+  uint64_t payload_total = 0;
+  std::vector<uint32_t> payload_crcs;
+  for (size_t i = 0; i < section_count; ++i) {
+    if (bytes.size() - pos < 2) return err("truncated section table");
+    size_t name_len = static_cast<size_t>(ReadLe(bytes.data() + pos, 2));
+    pos += 2;
+    if (bytes.size() - pos < name_len + 12) {
+      return err("truncated section table");
+    }
+    Entry e;
+    e.name.assign(bytes.data() + pos, name_len);
+    pos += name_len;
+    e.size = static_cast<size_t>(ReadLe(bytes.data() + pos, 8));
+    pos += 8;
+    payload_crcs.push_back(static_cast<uint32_t>(ReadLe(bytes.data() + pos, 4)));
+    pos += 4;
+    payload_total += e.size;
+    reader.entries_.push_back(std::move(e));
+  }
+  uint32_t actual_table_crc =
+      Crc32(bytes.data() + kHeaderSize, pos - kHeaderSize);
+  if (actual_table_crc != table_crc) {
+    return err("section table checksum mismatch (file corrupt)");
+  }
+  if (bytes.size() - pos != payload_total) {
+    return err("payload size mismatch: table declares " +
+               std::to_string(payload_total) + " bytes, file has " +
+               std::to_string(bytes.size() - pos));
+  }
+  for (size_t i = 0; i < reader.entries_.size(); ++i) {
+    Entry& e = reader.entries_[i];
+    e.offset = pos;
+    uint32_t actual = Crc32(bytes.data() + pos, e.size);
+    if (actual != payload_crcs[i]) {
+      return err("section \"" + e.name +
+                 "\" checksum mismatch (file corrupt)");
+    }
+    pos += e.size;
+  }
+  reader.bytes_ = std::move(bytes);
+  reader.origin_ = std::move(origin);
+  return reader;
+}
+
+bool BgcbinReader::HasSection(const std::string& name) const {
+  for (const auto& e : entries_) {
+    if (e.name == name) return true;
+  }
+  return false;
+}
+
+StatusOr<SectionReader> BgcbinReader::Section(const std::string& name) const {
+  for (const auto& e : entries_) {
+    if (e.name == name) {
+      return SectionReader(
+          std::string_view(bytes_.data() + e.offset, e.size), name);
+    }
+  }
+  return BGC_ERR(origin_ + ": missing section \"" + name + "\"");
+}
+
+std::vector<std::string> BgcbinReader::SectionNames() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& e : entries_) names.push_back(e.name);
+  return names;
+}
+
+}  // namespace bgc::store

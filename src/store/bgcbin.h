@@ -1,0 +1,141 @@
+#ifndef BGC_STORE_BGCBIN_H_
+#define BGC_STORE_BGCBIN_H_
+
+// "bgcbin v1" — the binary container behind every artifact the store
+// ships: datasets, condensed graphs, model state-dicts, condensation
+// checkpoints, cache entries. Layout (all integers little-endian):
+//
+//   [magic  "BGCBIN" : 6 bytes]
+//   [version : u16]                       currently 1
+//   [section_count : u32]
+//   [table_crc : u32]                     CRC32 of the table bytes below
+//   section table, per section:
+//     [name_len : u16][name bytes]
+//     [payload_size : u64]
+//     [payload_crc : u32]                 CRC32 of the payload bytes
+//   payloads, concatenated in table order
+//
+// Every payload and the table itself are checksummed, so a flipped byte
+// anywhere in the file is rejected at Open() with a descriptive error
+// rather than silently loaded. Writes go through core/fs.h
+// WriteFileAtomic (temp file + fsync + rename), so readers never observe
+// a partially written container. Versioning policy: readers reject any
+// version they do not know; additive changes (new sections) do not bump
+// the version, layout changes do. See DESIGN.md "Binary artifact store".
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/status.h"
+
+namespace bgc::store {
+
+/// Byte-level encoder for one section's payload.
+class SectionWriter {
+ public:
+  void PutU8(uint8_t v);
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI32(int32_t v) { PutU32(static_cast<uint32_t>(v)); }
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutF32(float v);
+  void PutF64(double v);
+  /// u32 length + raw bytes.
+  void PutString(std::string_view s);
+  void PutBytes(const void* data, size_t n);
+
+  const std::string& bytes() const { return bytes_; }
+
+ private:
+  std::string bytes_;
+};
+
+/// Bounds-checked decoder over one section's payload. Reading past the end
+/// latches an error status and returns zeros; check ok() after a decode
+/// group (every variable-length getter re-checks before allocating).
+class SectionReader {
+ public:
+  explicit SectionReader(std::string_view bytes, std::string section_name);
+
+  uint8_t GetU8();
+  uint16_t GetU16();
+  uint32_t GetU32();
+  uint64_t GetU64();
+  int32_t GetI32() { return static_cast<int32_t>(GetU32()); }
+  int64_t GetI64() { return static_cast<int64_t>(GetU64()); }
+  float GetF32();
+  double GetF64();
+  std::string GetString();
+  /// Copies `n` raw bytes into `out`; no-op (error latched) when short.
+  void GetBytes(void* out, size_t n);
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Latches a caller-detected decode error (e.g. implausible dimensions).
+  void Fail(const std::string& message);
+
+ private:
+  template <typename T>
+  T GetScalar();
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+  std::string name_;
+  Status status_;
+};
+
+/// Accumulates named sections and writes the container atomically.
+class BgcbinWriter {
+ public:
+  /// Adds a section; the returned writer stays valid for the container's
+  /// lifetime. Section names must be unique.
+  SectionWriter& AddSection(const std::string& name);
+
+  /// Serializes the container to bytes (header + table + payloads).
+  std::string Serialize() const;
+
+  /// Serialize() + atomic write (temp file, fsync, rename).
+  Status WriteTo(const std::string& path) const;
+
+ private:
+  // deque: AddSection must not invalidate previously returned references.
+  std::deque<std::pair<std::string, SectionWriter>> sections_;
+};
+
+/// Parses and verifies a container: magic, version, table CRC, declared
+/// sizes vs file size, and every section's payload CRC. Any mismatch —
+/// including a single flipped byte — fails Open with a message naming the
+/// offending section.
+class BgcbinReader {
+ public:
+  static StatusOr<BgcbinReader> Open(const std::string& path);
+  /// Parses in-memory bytes; `origin` labels error messages.
+  static StatusOr<BgcbinReader> Parse(std::string bytes, std::string origin);
+
+  bool HasSection(const std::string& name) const;
+  /// Decoder over the named section's payload (error if absent).
+  StatusOr<SectionReader> Section(const std::string& name) const;
+  std::vector<std::string> SectionNames() const;
+  const std::string& origin() const { return origin_; }
+
+ private:
+  struct Entry {
+    std::string name;
+    size_t offset = 0;
+    size_t size = 0;
+  };
+
+  std::string bytes_;
+  std::string origin_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace bgc::store
+
+#endif  // BGC_STORE_BGCBIN_H_

@@ -1,0 +1,85 @@
+#include "src/store/resumable.h"
+
+#include <cstdio>
+
+#include "src/core/check.h"
+#include "src/core/fs.h"
+#include "src/store/artifact_cache.h"
+#include "src/store/serialize.h"
+
+namespace bgc::store {
+namespace {
+
+void WriteCheckpoint(condense::Condenser& condenser,
+                     const std::string& path) {
+  Status s = SaveCondenserCheckpoint(condenser.ExportState(), path);
+  BGC_CHECK_MSG(s.ok(), "cannot write checkpoint: " + s.message());
+}
+
+}  // namespace
+
+ResumableResult RunResumableCondensation(
+    condense::Condenser& condenser, const condense::SourceGraph& source,
+    int num_classes, const condense::CondenseConfig& config, Rng& rng,
+    const ResumableOptions& options) {
+  BGC_CHECK_MSG(!options.checkpoint_path.empty(),
+                "ResumableOptions.checkpoint_path is required");
+  BGC_CHECK_MSG(condenser.SupportsCheckpoint(),
+                condenser.name() + " does not support checkpointing");
+
+  ResumableResult out;
+  long long epoch = 0;
+  if (FileExists(options.checkpoint_path)) {
+    StatusOr<condense::CondenserState> loaded =
+        TryLoadCondenserCheckpoint(options.checkpoint_path);
+    BGC_CHECK_MSG(loaded.ok(),
+                  "corrupt checkpoint (delete it to restart): " +
+                      loaded.status().message());
+    condense::CondenserState state = loaded.take();
+    BGC_CHECK_MSG(state.method == condenser.name(),
+                  "checkpoint is for method " + state.method + ", not " +
+                      condenser.name());
+    BGC_CHECK_MSG(CanonicalCondenseKey(state.config) ==
+                      CanonicalCondenseKey(config),
+                  "checkpoint config does not match this run: " +
+                      CanonicalCondenseKey(state.config) + " vs " +
+                      CanonicalCondenseKey(config));
+    condenser.RestoreState(source, state);
+    epoch = state.epoch;
+    out.resumed = true;
+  } else {
+    condenser.Initialize(source, num_classes, config, rng);
+  }
+
+  long long ran_here = 0;
+  while (epoch < config.epochs) {
+    condenser.Epoch(source);
+    ++epoch;
+    ++ran_here;
+    const bool done = epoch >= config.epochs;
+    if (!done && options.stop_after_epochs > 0 &&
+        ran_here >= options.stop_after_epochs) {
+      WriteCheckpoint(condenser, options.checkpoint_path);
+      out.condensed = condenser.Result();
+      out.completed = false;
+      out.epochs_done = epoch;
+      return out;
+    }
+    if (!done && options.checkpoint_every > 0 &&
+        epoch % options.checkpoint_every == 0) {
+      WriteCheckpoint(condenser, options.checkpoint_path);
+    }
+  }
+
+  if (options.keep_checkpoint) {
+    WriteCheckpoint(condenser, options.checkpoint_path);
+  } else if (FileExists(options.checkpoint_path)) {
+    std::remove(options.checkpoint_path.c_str());
+  }
+  out.condensed = condenser.Result();
+  out.completed = true;
+  out.epochs_done = epoch;
+  return out;
+}
+
+}  // namespace bgc::store

@@ -1,0 +1,62 @@
+#ifndef BGC_STORE_RESUMABLE_H_
+#define BGC_STORE_RESUMABLE_H_
+
+// Checkpointed condensation runs. Condensation is the long pole of every
+// experiment (minutes of gradient matching); a killed run used to mean
+// starting over. RunResumableCondensation periodically snapshots the full
+// condenser trajectory — synthetic tensors, Adam moments, surrogate
+// weights, RNG stream — as a bgcbin checkpoint, and a rerun picks up at
+// the last checkpoint and finishes bit-identically with an uninterrupted
+// run (at any thread count; the underlying kernels are deterministic).
+
+#include <string>
+
+#include "src/condense/condenser.h"
+#include "src/core/rng.h"
+#include "src/core/status.h"
+
+namespace bgc::store {
+
+struct ResumableOptions {
+  /// Checkpoint file. Written atomically, so a kill mid-checkpoint leaves
+  /// the previous checkpoint intact.
+  std::string checkpoint_path;
+  /// Checkpoint every N completed epochs (0 disables periodic snapshots;
+  /// an interrupted run then restarts from scratch).
+  int checkpoint_every = 10;
+  /// Testing hook: stop (checkpoint + return) after this many epochs have
+  /// run in *this* invocation, simulating a kill. 0 = run to completion.
+  int stop_after_epochs = 0;
+  /// Keep the checkpoint file after a completed run (default: delete it).
+  bool keep_checkpoint = false;
+};
+
+/// Outcome of one RunResumableCondensation invocation.
+struct ResumableResult {
+  condense::CondensedGraph condensed;
+  /// False when stop_after_epochs interrupted the run before
+  /// config.epochs; `condensed` then holds the partial result.
+  bool completed = true;
+  /// Epochs completed across all invocations (== config.epochs when
+  /// `completed`).
+  long long epochs_done = 0;
+  /// True when this invocation started from an existing checkpoint.
+  bool resumed = false;
+};
+
+/// Drives `condenser` for config.epochs epochs with periodic checkpoints.
+/// If options.checkpoint_path exists, resumes from it instead of
+/// initializing (the checkpoint must match the condenser method and the
+/// config; `rng` is then unused — the condenser's restored internal stream
+/// takes over). Aborts on a corrupt or mismatched checkpoint: silently
+/// restarting would hide data loss.
+ResumableResult RunResumableCondensation(condense::Condenser& condenser,
+                                         const condense::SourceGraph& source,
+                                         int num_classes,
+                                         const condense::CondenseConfig& config,
+                                         Rng& rng,
+                                         const ResumableOptions& options);
+
+}  // namespace bgc::store
+
+#endif  // BGC_STORE_RESUMABLE_H_

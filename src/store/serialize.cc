@@ -1,0 +1,489 @@
+#include "src/store/serialize.h"
+
+#include <bit>
+#include <cstring>
+
+namespace bgc::store {
+namespace {
+
+// Artifact kind tags, stored in a "kind" section so a loader pointed at
+// the wrong artifact type fails with a clear message instead of a shape
+// error deep in decoding.
+constexpr char kKindDataset[] = "bgc.dataset";
+constexpr char kKindCondensed[] = "bgc.condensed";
+constexpr char kKindModel[] = "bgc.model";
+constexpr char kKindCheckpoint[] = "bgc.checkpoint";
+
+void AddKind(BgcbinWriter& writer, const char* kind) {
+  writer.AddSection("kind").PutString(kind);
+}
+
+Status CheckKind(const BgcbinReader& reader, const char* kind) {
+  StatusOr<SectionReader> section = reader.Section("kind");
+  if (!section.ok()) return section.status();
+  SectionReader r = section.take();
+  std::string seen = r.GetString();
+  if (!r.ok()) return r.status();
+  if (seen != kind) {
+    return BGC_ERR(reader.origin() + ": artifact kind is \"" + seen +
+                   "\", expected \"" + kind + "\"");
+  }
+  return Status::Ok();
+}
+
+// Raw float block, bulk-copied on little-endian hosts (the container's
+// byte order), element-wise swapped otherwise.
+void PutFloatBlock(SectionWriter& w, const float* data, size_t n) {
+  if constexpr (std::endian::native == std::endian::little) {
+    w.PutBytes(data, n * sizeof(float));
+  } else {
+    for (size_t i = 0; i < n; ++i) w.PutF32(data[i]);
+  }
+}
+
+void GetFloatBlock(SectionReader& r, float* out, size_t n) {
+  if constexpr (std::endian::native == std::endian::little) {
+    r.GetBytes(out, n * sizeof(float));
+  } else {
+    for (size_t i = 0; i < n; ++i) out[i] = r.GetF32();
+  }
+}
+
+void PutCondenseConfig(SectionWriter& w,
+                       const condense::CondenseConfig& c) {
+  w.PutI32(c.num_condensed);
+  w.PutI32(c.epochs);
+  w.PutF32(c.feature_lr);
+  w.PutF32(c.adj_lr);
+  w.PutI32(c.inner_steps);
+  w.PutI32(c.model_steps);
+  w.PutF32(c.model_lr);
+  w.PutF32(c.dc_model_lr);
+  w.PutF32(c.dc_feature_lr);
+  w.PutI32(c.sgc_k);
+  w.PutI32(c.adj_rank);
+  w.PutF32(c.adj_bias_init);
+  w.PutF32(c.ridge_lambda);
+  w.PutF32(c.sntk_lr);
+  w.PutI32(c.sntk_batch);
+  w.PutU64(c.seed);
+}
+
+condense::CondenseConfig GetCondenseConfig(SectionReader& r) {
+  condense::CondenseConfig c;
+  c.num_condensed = r.GetI32();
+  c.epochs = r.GetI32();
+  c.feature_lr = r.GetF32();
+  c.adj_lr = r.GetF32();
+  c.inner_steps = r.GetI32();
+  c.model_steps = r.GetI32();
+  c.model_lr = r.GetF32();
+  c.dc_model_lr = r.GetF32();
+  c.dc_feature_lr = r.GetF32();
+  c.sgc_k = r.GetI32();
+  c.adj_rank = r.GetI32();
+  c.adj_bias_init = r.GetF32();
+  c.ridge_lambda = r.GetF32();
+  c.sntk_lr = r.GetF32();
+  c.sntk_batch = r.GetI32();
+  c.seed = r.GetU64();
+  return c;
+}
+
+// Pulls one section and decodes it with `decode`, folding both a missing
+// section and a decode error into one Status.
+template <typename T, typename Decode>
+Status ReadSection(const BgcbinReader& reader, const std::string& name,
+                   Decode decode, T* out) {
+  StatusOr<SectionReader> section = reader.Section(name);
+  if (!section.ok()) return section.status();
+  SectionReader r = section.take();
+  *out = decode(r);
+  if (!r.ok()) return Status::Error(reader.origin() + ": " + r.status().message());
+  return Status::Ok();
+}
+
+Status ValidateLabels(const std::vector<int>& labels, int num_classes,
+                      const std::string& origin) {
+  for (int y : labels) {
+    if (y < 0 || y >= num_classes) {
+      return BGC_ERR(origin + ": label " + std::to_string(y) +
+                     " out of range [0, " + std::to_string(num_classes) +
+                     ")");
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateSplit(const std::vector<int>& idx, int num_nodes,
+                     const char* tag, const std::string& origin) {
+  for (int i : idx) {
+    if (i < 0 || i >= num_nodes) {
+      return BGC_ERR(origin + ": " + std::string(tag) + " split id " +
+                     std::to_string(i) + " out of range for " +
+                     std::to_string(num_nodes) + " nodes");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void PutMatrix(SectionWriter& w, const Matrix& m) {
+  w.PutI32(m.rows());
+  w.PutI32(m.cols());
+  PutFloatBlock(w, m.data(), static_cast<size_t>(m.size()));
+}
+
+Matrix GetMatrix(SectionReader& r) {
+  int rows = r.GetI32();
+  int cols = r.GetI32();
+  if (!r.ok()) return {};
+  if (rows < 0 || cols < 0) {
+    r.Fail("negative matrix dimensions " + std::to_string(rows) + "x" +
+           std::to_string(cols));
+    return {};
+  }
+  size_t n = static_cast<size_t>(rows) * static_cast<size_t>(cols);
+  if (n * sizeof(float) > r.remaining()) {
+    r.Fail("matrix " + std::to_string(rows) + "x" + std::to_string(cols) +
+           " larger than remaining payload");
+    return {};
+  }
+  Matrix m(rows, cols);
+  GetFloatBlock(r, m.data(), n);
+  return r.ok() ? std::move(m) : Matrix();
+}
+
+void PutCsr(SectionWriter& w, const graph::CsrMatrix& m) {
+  const std::vector<graph::Edge> edges = m.ToEdges();
+  w.PutI32(m.rows());
+  w.PutI32(m.cols());
+  w.PutU64(edges.size());
+  for (const auto& e : edges) {
+    w.PutI32(e.src);
+    w.PutI32(e.dst);
+    w.PutF32(e.weight);
+  }
+}
+
+graph::CsrMatrix GetCsr(SectionReader& r) {
+  int rows = r.GetI32();
+  int cols = r.GetI32();
+  uint64_t nnz = r.GetU64();
+  if (!r.ok()) return {};
+  if (rows < 0 || cols < 0) {
+    r.Fail("negative CSR dimensions");
+    return {};
+  }
+  if (nnz * 12 > r.remaining()) {
+    r.Fail("edge count " + std::to_string(nnz) +
+           " larger than remaining payload");
+    return {};
+  }
+  std::vector<graph::Edge> edges;
+  edges.reserve(static_cast<size_t>(nnz));
+  for (uint64_t k = 0; k < nnz; ++k) {
+    graph::Edge e;
+    e.src = r.GetI32();
+    e.dst = r.GetI32();
+    e.weight = r.GetF32();
+    if (!r.ok()) return {};
+    if (e.src < 0 || e.src >= rows || e.dst < 0 || e.dst >= cols) {
+      r.Fail("edge endpoint out of range: (" + std::to_string(e.src) + ", " +
+             std::to_string(e.dst) + ") in " + std::to_string(rows) + "x" +
+             std::to_string(cols));
+      return {};
+    }
+    edges.push_back(e);
+  }
+  return graph::CsrMatrix::FromEdges(rows, cols, edges, /*symmetrize=*/false);
+}
+
+void PutIntVector(SectionWriter& w, const std::vector<int>& v) {
+  w.PutU64(v.size());
+  for (int x : v) w.PutI32(x);
+}
+
+std::vector<int> GetIntVector(SectionReader& r) {
+  uint64_t n = r.GetU64();
+  if (!r.ok()) return {};
+  if (n * 4 > r.remaining()) {
+    r.Fail("int vector of " + std::to_string(n) +
+           " entries larger than remaining payload");
+    return {};
+  }
+  std::vector<int> v(static_cast<size_t>(n));
+  for (auto& x : v) x = r.GetI32();
+  return r.ok() ? std::move(v) : std::vector<int>();
+}
+
+void PutU64Vector(SectionWriter& w, const std::vector<uint64_t>& v) {
+  w.PutU64(v.size());
+  for (uint64_t x : v) w.PutU64(x);
+}
+
+std::vector<uint64_t> GetU64Vector(SectionReader& r) {
+  uint64_t n = r.GetU64();
+  if (!r.ok()) return {};
+  if (n * 8 > r.remaining()) {
+    r.Fail("u64 vector of " + std::to_string(n) +
+           " entries larger than remaining payload");
+    return {};
+  }
+  std::vector<uint64_t> v(static_cast<size_t>(n));
+  for (auto& x : v) x = r.GetU64();
+  return r.ok() ? std::move(v) : std::vector<uint64_t>();
+}
+
+void PutStateDict(SectionWriter& w,
+                  const std::vector<std::pair<std::string, Matrix>>& state) {
+  w.PutU32(static_cast<uint32_t>(state.size()));
+  for (const auto& [name, value] : state) {
+    w.PutString(name);
+    PutMatrix(w, value);
+  }
+}
+
+std::vector<std::pair<std::string, Matrix>> GetStateDict(SectionReader& r) {
+  uint32_t n = r.GetU32();
+  std::vector<std::pair<std::string, Matrix>> state;
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    std::string name = r.GetString();
+    Matrix value = GetMatrix(r);
+    if (r.ok()) state.emplace_back(std::move(name), std::move(value));
+  }
+  return r.ok() ? std::move(state)
+                : std::vector<std::pair<std::string, Matrix>>();
+}
+
+Status SaveDatasetBinary(const data::GraphDataset& dataset,
+                         const std::string& path) {
+  BgcbinWriter writer;
+  AddKind(writer, kKindDataset);
+  SectionWriter& meta = writer.AddSection("meta");
+  meta.PutString(dataset.name);
+  meta.PutI32(dataset.num_classes);
+  meta.PutU8(dataset.inductive ? 1 : 0);
+  PutIntVector(writer.AddSection("labels"), dataset.labels);
+  PutIntVector(writer.AddSection("train_idx"), dataset.train_idx);
+  PutIntVector(writer.AddSection("val_idx"), dataset.val_idx);
+  PutIntVector(writer.AddSection("test_idx"), dataset.test_idx);
+  PutCsr(writer.AddSection("adj"), dataset.adj);
+  PutMatrix(writer.AddSection("features"), dataset.features);
+  return writer.WriteTo(path);
+}
+
+StatusOr<data::GraphDataset> TryLoadDatasetBinary(const std::string& path) {
+  StatusOr<BgcbinReader> opened = BgcbinReader::Open(path);
+  if (!opened.ok()) return opened.status();
+  BgcbinReader reader = opened.take();
+  if (Status s = CheckKind(reader, kKindDataset); !s.ok()) return s;
+
+  data::GraphDataset ds;
+  {
+    StatusOr<SectionReader> section = reader.Section("meta");
+    if (!section.ok()) return section.status();
+    SectionReader r = section.take();
+    ds.name = r.GetString();
+    ds.num_classes = r.GetI32();
+    ds.inductive = r.GetU8() != 0;
+    if (!r.ok()) return Status::Error(path + ": " + r.status().message());
+  }
+  if (Status s = ReadSection(reader, "labels", GetIntVector, &ds.labels);
+      !s.ok())
+    return s;
+  if (Status s = ReadSection(reader, "train_idx", GetIntVector, &ds.train_idx);
+      !s.ok())
+    return s;
+  if (Status s = ReadSection(reader, "val_idx", GetIntVector, &ds.val_idx);
+      !s.ok())
+    return s;
+  if (Status s = ReadSection(reader, "test_idx", GetIntVector, &ds.test_idx);
+      !s.ok())
+    return s;
+  if (Status s = ReadSection(reader, "adj", GetCsr, &ds.adj); !s.ok())
+    return s;
+  if (Status s = ReadSection(reader, "features", GetMatrix, &ds.features);
+      !s.ok())
+    return s;
+
+  const int n = ds.adj.rows();
+  if (ds.adj.cols() != n) return BGC_ERR(path + ": adjacency is not square");
+  if (static_cast<int>(ds.labels.size()) != n || ds.features.rows() != n) {
+    return BGC_ERR(path + ": node count mismatch: adj " + std::to_string(n) +
+                   ", labels " + std::to_string(ds.labels.size()) +
+                   ", features " + std::to_string(ds.features.rows()));
+  }
+  if (Status s = ValidateLabels(ds.labels, ds.num_classes, path); !s.ok())
+    return s;
+  if (Status s = ValidateSplit(ds.train_idx, n, "train", path); !s.ok())
+    return s;
+  if (Status s = ValidateSplit(ds.val_idx, n, "val", path); !s.ok()) return s;
+  if (Status s = ValidateSplit(ds.test_idx, n, "test", path); !s.ok())
+    return s;
+  return ds;
+}
+
+void AddCondensedSections(BgcbinWriter& writer,
+                          const condense::CondensedGraph& condensed) {
+  SectionWriter& meta = writer.AddSection("meta");
+  meta.PutI32(condensed.num_classes);
+  meta.PutU8(condensed.use_structure ? 1 : 0);
+  PutIntVector(writer.AddSection("labels"), condensed.labels);
+  PutCsr(writer.AddSection("adj"), condensed.adj);
+  PutMatrix(writer.AddSection("features"), condensed.features);
+}
+
+StatusOr<condense::CondensedGraph> ReadCondensedSections(
+    const BgcbinReader& reader) {
+  const std::string& origin = reader.origin();
+  condense::CondensedGraph g;
+  {
+    StatusOr<SectionReader> section = reader.Section("meta");
+    if (!section.ok()) return section.status();
+    SectionReader r = section.take();
+    g.num_classes = r.GetI32();
+    g.use_structure = r.GetU8() != 0;
+    if (!r.ok()) return Status::Error(origin + ": " + r.status().message());
+  }
+  if (Status s = ReadSection(reader, "labels", GetIntVector, &g.labels);
+      !s.ok())
+    return s;
+  if (Status s = ReadSection(reader, "adj", GetCsr, &g.adj); !s.ok()) return s;
+  if (Status s = ReadSection(reader, "features", GetMatrix, &g.features);
+      !s.ok())
+    return s;
+
+  const int n = g.features.rows();
+  if (static_cast<int>(g.labels.size()) != n || g.adj.rows() != n ||
+      g.adj.cols() != n) {
+    return BGC_ERR(origin + ": node count mismatch: features " +
+                   std::to_string(n) + ", labels " +
+                   std::to_string(g.labels.size()) + ", adj " +
+                   std::to_string(g.adj.rows()) + "x" +
+                   std::to_string(g.adj.cols()));
+  }
+  if (Status s = ValidateLabels(g.labels, g.num_classes, origin); !s.ok())
+    return s;
+  return g;
+}
+
+Status SaveCondensedBinary(const condense::CondensedGraph& condensed,
+                           const std::string& path) {
+  BgcbinWriter writer;
+  AddKind(writer, kKindCondensed);
+  AddCondensedSections(writer, condensed);
+  return writer.WriteTo(path);
+}
+
+StatusOr<condense::CondensedGraph> TryLoadCondensedBinary(
+    const std::string& path) {
+  StatusOr<BgcbinReader> opened = BgcbinReader::Open(path);
+  if (!opened.ok()) return opened.status();
+  BgcbinReader reader = opened.take();
+  if (Status s = CheckKind(reader, kKindCondensed); !s.ok()) return s;
+  return ReadCondensedSections(reader);
+}
+
+Status SaveGnnModel(nn::GnnModel& model, const std::string& path) {
+  BgcbinWriter writer;
+  AddKind(writer, kKindModel);
+  writer.AddSection("arch").PutString(model.name());
+  PutStateDict(writer.AddSection("params"), model.StateDict());
+  return writer.WriteTo(path);
+}
+
+Status LoadGnnModel(nn::GnnModel& model, const std::string& path) {
+  StatusOr<BgcbinReader> opened = BgcbinReader::Open(path);
+  if (!opened.ok()) return opened.status();
+  BgcbinReader reader = opened.take();
+  if (Status s = CheckKind(reader, kKindModel); !s.ok()) return s;
+  std::string arch;
+  if (Status s = ReadSection(
+          reader, "arch", [](SectionReader& r) { return r.GetString(); },
+          &arch);
+      !s.ok())
+    return s;
+  if (arch != model.name()) {
+    return BGC_ERR(path + ": saved architecture \"" + arch +
+                   "\" does not match model \"" + model.name() + "\"");
+  }
+  std::vector<std::pair<std::string, Matrix>> state;
+  if (Status s = ReadSection(reader, "params", GetStateDict, &state); !s.ok())
+    return s;
+  if (Status s = model.LoadStateDict(state); !s.ok()) {
+    return Status::Error(path + ": " + s.message());
+  }
+  return Status::Ok();
+}
+
+Status SaveCondenserCheckpoint(const condense::CondenserState& state,
+                               const std::string& path) {
+  BgcbinWriter writer;
+  AddKind(writer, kKindCheckpoint);
+  SectionWriter& meta = writer.AddSection("meta");
+  meta.PutString(state.method);
+  meta.PutI64(state.epoch);
+  meta.PutI32(state.num_classes);
+  PutCondenseConfig(writer.AddSection("config"), state.config);
+  PutIntVector(writer.AddSection("syn_labels"), state.syn_labels);
+  PutStateDict(writer.AddSection("tensors"), state.tensors);
+  SectionWriter& scalars = writer.AddSection("scalars");
+  scalars.PutU32(static_cast<uint32_t>(state.scalars.size()));
+  for (const auto& [name, value] : state.scalars) {
+    scalars.PutString(name);
+    scalars.PutI64(value);
+  }
+  PutU64Vector(writer.AddSection("rng"), state.rng_state);
+  return writer.WriteTo(path);
+}
+
+StatusOr<condense::CondenserState> TryLoadCondenserCheckpoint(
+    const std::string& path) {
+  StatusOr<BgcbinReader> opened = BgcbinReader::Open(path);
+  if (!opened.ok()) return opened.status();
+  BgcbinReader reader = opened.take();
+  if (Status s = CheckKind(reader, kKindCheckpoint); !s.ok()) return s;
+
+  condense::CondenserState state;
+  {
+    StatusOr<SectionReader> section = reader.Section("meta");
+    if (!section.ok()) return section.status();
+    SectionReader r = section.take();
+    state.method = r.GetString();
+    state.epoch = r.GetI64();
+    state.num_classes = r.GetI32();
+    if (!r.ok()) return Status::Error(path + ": " + r.status().message());
+  }
+  if (Status s = ReadSection(reader, "config", GetCondenseConfig,
+                             &state.config);
+      !s.ok())
+    return s;
+  if (Status s =
+          ReadSection(reader, "syn_labels", GetIntVector, &state.syn_labels);
+      !s.ok())
+    return s;
+  if (Status s = ReadSection(reader, "tensors", GetStateDict, &state.tensors);
+      !s.ok())
+    return s;
+  {
+    StatusOr<SectionReader> section = reader.Section("scalars");
+    if (!section.ok()) return section.status();
+    SectionReader r = section.take();
+    uint32_t n = r.GetU32();
+    for (uint32_t i = 0; i < n && r.ok(); ++i) {
+      std::string name = r.GetString();
+      long long value = r.GetI64();
+      if (r.ok()) state.scalars.emplace_back(std::move(name), value);
+    }
+    if (!r.ok()) return Status::Error(path + ": " + r.status().message());
+  }
+  if (Status s = ReadSection(reader, "rng", GetU64Vector, &state.rng_state);
+      !s.ok())
+    return s;
+  if (state.epoch < 0) return BGC_ERR(path + ": negative epoch counter");
+  return state;
+}
+
+}  // namespace bgc::store

@@ -1,0 +1,75 @@
+#ifndef BGC_STORE_SERIALIZE_H_
+#define BGC_STORE_SERIALIZE_H_
+
+// bgcbin v1 serializers for the library's value types. Each artifact kind
+// is a container with a "kind" section naming it plus typed payload
+// sections; loaders verify the kind, every checksum (via BgcbinReader),
+// and all structural invariants (shape agreement, label/edge ranges)
+// before returning. All Save* functions write atomically.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/condense/condenser.h"
+#include "src/core/rng.h"
+#include "src/core/status.h"
+#include "src/data/dataset.h"
+#include "src/graph/csr.h"
+#include "src/nn/models.h"
+#include "src/store/bgcbin.h"
+#include "src/tensor/matrix.h"
+
+namespace bgc::store {
+
+/// Section-level codecs (bit-exact round trips; floats stored as raw
+/// IEEE-754 words). Get* latch an error on the reader when the payload is
+/// truncated or structurally invalid and return an empty value.
+void PutMatrix(SectionWriter& w, const Matrix& m);
+Matrix GetMatrix(SectionReader& r);
+void PutCsr(SectionWriter& w, const graph::CsrMatrix& m);
+graph::CsrMatrix GetCsr(SectionReader& r);
+void PutIntVector(SectionWriter& w, const std::vector<int>& v);
+std::vector<int> GetIntVector(SectionReader& r);
+void PutU64Vector(SectionWriter& w, const std::vector<uint64_t>& v);
+std::vector<uint64_t> GetU64Vector(SectionReader& r);
+
+/// Named state-dict codec (model weights, condenser tensors).
+void PutStateDict(SectionWriter& w,
+                  const std::vector<std::pair<std::string, Matrix>>& state);
+std::vector<std::pair<std::string, Matrix>> GetStateDict(SectionReader& r);
+
+/// ---- data::GraphDataset ("bgc.dataset") ------------------------------
+Status SaveDatasetBinary(const data::GraphDataset& dataset,
+                         const std::string& path);
+StatusOr<data::GraphDataset> TryLoadDatasetBinary(const std::string& path);
+
+/// ---- condense::CondensedGraph ("bgc.condensed") ----------------------
+Status SaveCondensedBinary(const condense::CondensedGraph& condensed,
+                           const std::string& path);
+StatusOr<condense::CondensedGraph> TryLoadCondensedBinary(
+    const std::string& path);
+/// In-container variants so other artifacts (cache entries) can embed a
+/// condensed graph next to their own sections.
+void AddCondensedSections(BgcbinWriter& writer,
+                          const condense::CondensedGraph& condensed);
+StatusOr<condense::CondensedGraph> ReadCondensedSections(
+    const BgcbinReader& reader);
+
+/// ---- nn::GnnModel parameters ("bgc.model") ---------------------------
+/// Saves the architecture name + named parameter state dict.
+Status SaveGnnModel(nn::GnnModel& model, const std::string& path);
+/// Restores into an already-constructed model. Fails (model untouched)
+/// when the file's architecture or parameter names/shapes do not match.
+Status LoadGnnModel(nn::GnnModel& model, const std::string& path);
+
+/// ---- condense::CondenserState ("bgc.checkpoint") ---------------------
+Status SaveCondenserCheckpoint(const condense::CondenserState& state,
+                               const std::string& path);
+StatusOr<condense::CondenserState> TryLoadCondenserCheckpoint(
+    const std::string& path);
+
+}  // namespace bgc::store
+
+#endif  // BGC_STORE_SERIALIZE_H_

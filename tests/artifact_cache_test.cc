@@ -1,0 +1,195 @@
+#include "src/store/artifact_cache.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/core/fs.h"
+#include "src/data/synthetic.h"
+#include "src/eval/experiment.h"
+
+namespace bgc {
+namespace {
+
+std::string TempCacheDir(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+condense::CondensedGraph TinyCondense(uint64_t seed) {
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", 31);
+  condense::SourceGraph src =
+      condense::FromTrainView(data::MakeTrainView(ds));
+  auto condenser = condense::MakeCondenser("gcond-x");
+  condense::CondenseConfig cfg;
+  cfg.num_condensed = 8;
+  cfg.epochs = 3;
+  Rng rng(seed);
+  return condense::RunCondensation(*condenser, src, ds.num_classes, cfg, rng);
+}
+
+TEST(ArtifactCacheTest, MissThenHitReturnsIdenticalGraph) {
+  store::ArtifactCache cache(TempCacheDir("cache_hit"));
+  int computes = 0;
+  auto compute = [&] {
+    ++computes;
+    return TinyCondense(5);
+  };
+  condense::CondensedGraph first =
+      cache.GetOrComputeCondensed("key-a", compute);
+  condense::CondensedGraph second =
+      cache.GetOrComputeCondensed("key-a", compute);
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_TRUE(second.features == first.features);
+  EXPECT_EQ(second.labels, first.labels);
+  EXPECT_EQ(second.adj.values(), first.adj.values());
+  EXPECT_EQ(second.use_structure, first.use_structure);
+  std::remove(cache.EntryPath("key-a").c_str());
+}
+
+TEST(ArtifactCacheTest, DifferentKeysComputeSeparately) {
+  store::ArtifactCache cache(TempCacheDir("cache_keys"));
+  int computes = 0;
+  auto compute = [&] {
+    ++computes;
+    return TinyCondense(6);
+  };
+  cache.GetOrComputeCondensed("key-b", compute);
+  cache.GetOrComputeCondensed("key-c", compute);
+  EXPECT_EQ(computes, 2);
+  std::remove(cache.EntryPath("key-b").c_str());
+  std::remove(cache.EntryPath("key-c").c_str());
+}
+
+TEST(ArtifactCacheTest, CorruptEntryRejectedAndRecomputed) {
+  store::ArtifactCache cache(TempCacheDir("cache_corrupt"));
+  int computes = 0;
+  auto compute = [&] {
+    ++computes;
+    return TinyCondense(7);
+  };
+  condense::CondensedGraph original =
+      cache.GetOrComputeCondensed("key-d", compute);
+
+  // Flip one byte in the stored entry: the checksum must reject it and
+  // the cache must recompute and heal the entry.
+  const std::string path = cache.EntryPath("key-d");
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<long long>(f.tellg());
+    char c = 0;
+    f.seekg(size / 2);
+    f.read(&c, 1);
+    f.seekp(size / 2);
+    c = static_cast<char>(c ^ 0x08);
+    f.write(&c, 1);
+  }
+  condense::CondensedGraph recomputed =
+      cache.GetOrComputeCondensed("key-d", compute);
+  EXPECT_EQ(computes, 2);
+  EXPECT_EQ(cache.stats().rejected, 1);
+  EXPECT_TRUE(recomputed.features == original.features);
+
+  // The rewritten entry serves hits again.
+  cache.GetOrComputeCondensed("key-d", compute);
+  EXPECT_EQ(computes, 2);
+  EXPECT_EQ(cache.stats().hits, 1);
+  std::remove(path.c_str());
+}
+
+TEST(ArtifactCacheTest, CanonicalKeysCoverEveryConfigField) {
+  condense::CondenseConfig base;
+  const std::string base_key = store::CanonicalCondenseKey(base);
+  {
+    condense::CondenseConfig c = base;
+    c.num_condensed += 1;
+    EXPECT_NE(store::CanonicalCondenseKey(c), base_key);
+  }
+  {
+    condense::CondenseConfig c = base;
+    c.feature_lr += 0.001f;
+    EXPECT_NE(store::CanonicalCondenseKey(c), base_key);
+  }
+  {
+    condense::CondenseConfig c = base;
+    c.seed += 1;
+    EXPECT_NE(store::CanonicalCondenseKey(c), base_key);
+  }
+  attack::AttackConfig abase;
+  const std::string attack_key = store::CanonicalAttackKey(abase);
+  {
+    attack::AttackConfig a = abase;
+    a.trigger_size += 1;
+    EXPECT_NE(store::CanonicalAttackKey(a), attack_key);
+  }
+  {
+    attack::AttackConfig a = abase;
+    a.selection = "random";
+    EXPECT_NE(store::CanonicalAttackKey(a), attack_key);
+  }
+}
+
+TEST(ArtifactCacheTest, CacheKeyVariesWithDatasetMethodSeed) {
+  condense::CondenseConfig cfg;
+  const std::string base =
+      store::CondensedCacheKey("cora-sim", 1.0, "gcond", cfg, 1);
+  EXPECT_NE(store::CondensedCacheKey("citeseer-sim", 1.0, "gcond", cfg, 1),
+            base);
+  EXPECT_NE(store::CondensedCacheKey("cora-sim", 0.5, "gcond", cfg, 1), base);
+  EXPECT_NE(store::CondensedCacheKey("cora-sim", 1.0, "gcond-x", cfg, 1),
+            base);
+  EXPECT_NE(store::CondensedCacheKey("cora-sim", 1.0, "gcond", cfg, 2), base);
+  EXPECT_EQ(store::CondensedCacheKey("cora-sim", 1.0, "gcond", cfg, 1), base);
+}
+
+TEST(ArtifactCacheTest, FromEnvDisabledWhenUnset) {
+  ::unsetenv("BGC_ARTIFACT_DIR");
+  EXPECT_EQ(store::ArtifactCache::FromEnv(), nullptr);
+  ::setenv("BGC_ARTIFACT_DIR", "", 1);
+  EXPECT_EQ(store::ArtifactCache::FromEnv(), nullptr);
+  const std::string dir = TempCacheDir("cache_env");
+  ::setenv("BGC_ARTIFACT_DIR", dir.c_str(), 1);
+  auto cache = store::ArtifactCache::FromEnv();
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->dir(), dir);
+  ::unsetenv("BGC_ARTIFACT_DIR");
+}
+
+// The end-to-end guarantee behind caching: a repeat served from the cache
+// reports exactly the same metrics as one that recomputes, because victim
+// training draws from RNG streams decoupled from condensation.
+TEST(ArtifactCacheTest, CachedRunOnceMatchesUncachedBitExact) {
+  eval::RunSpec spec;
+  spec.dataset = "tiny-sim";
+  spec.method = "gcond-x";
+  spec.attack = "none";
+  spec.condense.num_condensed = 8;
+  spec.condense.epochs = 3;
+  spec.victim.epochs = 20;
+
+  eval::RepeatResult uncached = eval::RunOnce(spec, 3);
+
+  store::ArtifactCache cache(TempCacheDir("cache_eval"));
+  spec.artifact_cache = &cache;
+  eval::RepeatResult cold = eval::RunOnce(spec, 3);  // miss: computes+stores
+  eval::RepeatResult warm = eval::RunOnce(spec, 3);  // hit: deserializes
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.stats().hits, 1);
+
+  EXPECT_EQ(cold.backdoor.cta, uncached.backdoor.cta);
+  EXPECT_EQ(warm.backdoor.cta, uncached.backdoor.cta);
+  EXPECT_EQ(warm.backdoor.asr, uncached.backdoor.asr);
+
+  const std::string key = store::CondensedCacheKey(
+      spec.dataset, spec.dataset_scale, spec.method, spec.condense,
+      3 * 0x9e3779b97f4a7c15ULL + 17);
+  std::remove(cache.EntryPath(key).c_str());
+}
+
+}  // namespace
+}  // namespace bgc

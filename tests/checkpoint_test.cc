@@ -1,0 +1,266 @@
+// Kill-and-resume tests for src/store resumable condensation: a run that
+// is interrupted and resumed from its checkpoint must produce the same
+// condensed graph, bit for bit, as an uninterrupted run — at any thread
+// count, since the underlying kernels are deterministic.
+
+#include "src/store/resumable.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/core/fs.h"
+#include "src/core/thread_pool.h"
+#include "src/data/synthetic.h"
+#include "src/store/serialize.h"
+
+namespace bgc {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+condense::SourceGraph TinySource(int* num_classes) {
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", 31);
+  *num_classes = ds.num_classes;
+  return condense::FromTrainView(data::MakeTrainView(ds));
+}
+
+condense::CondenseConfig TinyConfig() {
+  condense::CondenseConfig cfg;
+  cfg.num_condensed = 8;
+  cfg.epochs = 6;
+  return cfg;
+}
+
+void ExpectBitIdentical(const condense::CondensedGraph& a,
+                        const condense::CondensedGraph& b,
+                        const std::string& label) {
+  EXPECT_TRUE(a.features == b.features) << label;
+  EXPECT_EQ(a.labels, b.labels) << label;
+  EXPECT_EQ(a.num_classes, b.num_classes) << label;
+  EXPECT_EQ(a.use_structure, b.use_structure) << label;
+  EXPECT_EQ(a.adj.row_ptr(), b.adj.row_ptr()) << label;
+  EXPECT_EQ(a.adj.col_idx(), b.adj.col_idx()) << label;
+  EXPECT_EQ(a.adj.values(), b.adj.values()) << label;
+}
+
+// One kill-and-resume cycle for `method`, returning both the
+// uninterrupted and the resumed result for comparison.
+void RunKillAndResume(const std::string& method) {
+  int num_classes = 0;
+  condense::SourceGraph src = TinySource(&num_classes);
+  condense::CondenseConfig cfg = TinyConfig();
+  const std::string ckpt = TempPath("ckpt_" + method + ".bgcbin");
+  std::remove(ckpt.c_str());
+
+  // Uninterrupted reference run.
+  auto reference = condense::MakeCondenser(method);
+  Rng ref_rng(77);
+  condense::CondensedGraph expected = condense::RunCondensation(
+      *reference, src, num_classes, cfg, ref_rng);
+
+  // Interrupted run: killed after 3 of 6 epochs (checkpoint written).
+  auto first = condense::MakeCondenser(method);
+  store::ResumableOptions opts;
+  opts.checkpoint_path = ckpt;
+  opts.checkpoint_every = 2;
+  opts.stop_after_epochs = 3;
+  Rng rng_a(77);
+  store::ResumableResult partial = store::RunResumableCondensation(
+      *first, src, num_classes, cfg, rng_a, opts);
+  EXPECT_FALSE(partial.completed) << method;
+  EXPECT_FALSE(partial.resumed) << method;
+  EXPECT_EQ(partial.epochs_done, 3) << method;
+  ASSERT_TRUE(FileExists(ckpt)) << method;
+
+  // Resumed run in a fresh condenser; the seed RNG is unused on resume.
+  auto second = condense::MakeCondenser(method);
+  opts.stop_after_epochs = 0;
+  Rng rng_b(77);
+  store::ResumableResult finished = store::RunResumableCondensation(
+      *second, src, num_classes, cfg, rng_b, opts);
+  EXPECT_TRUE(finished.completed) << method;
+  EXPECT_TRUE(finished.resumed) << method;
+  EXPECT_EQ(finished.epochs_done, cfg.epochs) << method;
+  // The checkpoint is cleaned up after a completed run.
+  EXPECT_FALSE(FileExists(ckpt)) << method;
+
+  ExpectBitIdentical(finished.condensed, expected, method);
+}
+
+TEST(CheckpointTest, KillAndResumeBitIdenticalGcond) {
+  RunKillAndResume("gcond");
+}
+
+TEST(CheckpointTest, KillAndResumeBitIdenticalGcondX) {
+  RunKillAndResume("gcond-x");
+}
+
+TEST(CheckpointTest, KillAndResumeBitIdenticalDcGraph) {
+  RunKillAndResume("dc-graph");
+}
+
+TEST(CheckpointTest, ResumeBitIdenticalAcrossThreadCounts) {
+  int num_classes = 0;
+  condense::SourceGraph src = TinySource(&num_classes);
+  condense::CondenseConfig cfg = TinyConfig();
+  const std::string ckpt = TempPath("ckpt_threads.bgcbin");
+  std::remove(ckpt.c_str());
+
+  ThreadPool::SetGlobalNumThreads(1);
+  auto reference = condense::MakeCondenser("gcond");
+  Rng ref_rng(55);
+  condense::CondensedGraph expected = condense::RunCondensation(
+      *reference, src, num_classes, cfg, ref_rng);
+
+  // Interrupt at 2 epochs on 1 thread, resume on 4 threads.
+  auto first = condense::MakeCondenser("gcond");
+  store::ResumableOptions opts;
+  opts.checkpoint_path = ckpt;
+  opts.checkpoint_every = 0;  // only the kill writes a checkpoint
+  opts.stop_after_epochs = 2;
+  Rng rng_a(55);
+  store::RunResumableCondensation(*first, src, num_classes, cfg, rng_a, opts);
+
+  ThreadPool::SetGlobalNumThreads(4);
+  auto second = condense::MakeCondenser("gcond");
+  opts.stop_after_epochs = 0;
+  Rng rng_b(55);
+  store::ResumableResult finished = store::RunResumableCondensation(
+      *second, src, num_classes, cfg, rng_b, opts);
+  ThreadPool::SetGlobalNumThreads(0);
+
+  ExpectBitIdentical(finished.condensed, expected, "threads 1 -> 4");
+}
+
+TEST(CheckpointTest, PeriodicCheckpointSurvivesWithKeepFlag) {
+  int num_classes = 0;
+  condense::SourceGraph src = TinySource(&num_classes);
+  condense::CondenseConfig cfg = TinyConfig();
+  const std::string ckpt = TempPath("ckpt_keep.bgcbin");
+  std::remove(ckpt.c_str());
+
+  auto condenser = condense::MakeCondenser("gcond-x");
+  store::ResumableOptions opts;
+  opts.checkpoint_path = ckpt;
+  opts.checkpoint_every = 2;
+  opts.keep_checkpoint = true;
+  Rng rng(91);
+  store::ResumableResult run = store::RunResumableCondensation(
+      *condenser, src, num_classes, cfg, rng, opts);
+  EXPECT_TRUE(run.completed);
+  ASSERT_TRUE(FileExists(ckpt));
+
+  // The kept checkpoint is a valid artifact at the final epoch.
+  StatusOr<condense::CondenserState> state =
+      store::TryLoadCondenserCheckpoint(ckpt);
+  ASSERT_TRUE(state.ok()) << state.status().message();
+  EXPECT_EQ(state.value().epoch, cfg.epochs);
+  EXPECT_EQ(state.value().method, "gcond-x");
+  std::remove(ckpt.c_str());
+}
+
+TEST(CheckpointDeathTest, CorruptCheckpointAborts) {
+  int num_classes = 0;
+  condense::SourceGraph src = TinySource(&num_classes);
+  condense::CondenseConfig cfg = TinyConfig();
+  const std::string ckpt = TempPath("ckpt_corrupt.bgcbin");
+  std::remove(ckpt.c_str());
+
+  auto first = condense::MakeCondenser("gcond");
+  store::ResumableOptions opts;
+  opts.checkpoint_path = ckpt;
+  opts.stop_after_epochs = 2;
+  Rng rng(13);
+  store::RunResumableCondensation(*first, src, num_classes, cfg, rng, opts);
+  ASSERT_TRUE(FileExists(ckpt));
+
+  // Flip one byte: the resume must refuse, not silently restart.
+  {
+    std::fstream f(ckpt, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<long long>(f.tellg());
+    f.seekp(size / 2);
+    char c = 0;
+    f.seekg(size / 2);
+    f.read(&c, 1);
+    f.seekp(size / 2);
+    c = static_cast<char>(c ^ 0x10);
+    f.write(&c, 1);
+  }
+  auto second = condense::MakeCondenser("gcond");
+  opts.stop_after_epochs = 0;
+  Rng rng_b(13);
+  EXPECT_DEATH(store::RunResumableCondensation(*second, src, num_classes, cfg,
+                                               rng_b, opts),
+               "corrupt checkpoint");
+  std::remove(ckpt.c_str());
+}
+
+TEST(CheckpointDeathTest, ConfigMismatchAborts) {
+  int num_classes = 0;
+  condense::SourceGraph src = TinySource(&num_classes);
+  condense::CondenseConfig cfg = TinyConfig();
+  const std::string ckpt = TempPath("ckpt_cfg.bgcbin");
+  std::remove(ckpt.c_str());
+
+  auto first = condense::MakeCondenser("gcond");
+  store::ResumableOptions opts;
+  opts.checkpoint_path = ckpt;
+  opts.stop_after_epochs = 2;
+  Rng rng(14);
+  store::RunResumableCondensation(*first, src, num_classes, cfg, rng, opts);
+
+  condense::CondenseConfig other = cfg;
+  other.feature_lr *= 2.0f;
+  auto second = condense::MakeCondenser("gcond");
+  opts.stop_after_epochs = 0;
+  Rng rng_b(14);
+  EXPECT_DEATH(store::RunResumableCondensation(*second, src, num_classes,
+                                               other, rng_b, opts),
+               "does not match");
+  std::remove(ckpt.c_str());
+}
+
+TEST(CheckpointDeathTest, MethodMismatchAborts) {
+  int num_classes = 0;
+  condense::SourceGraph src = TinySource(&num_classes);
+  condense::CondenseConfig cfg = TinyConfig();
+  const std::string ckpt = TempPath("ckpt_method.bgcbin");
+  std::remove(ckpt.c_str());
+
+  auto first = condense::MakeCondenser("gcond");
+  store::ResumableOptions opts;
+  opts.checkpoint_path = ckpt;
+  opts.stop_after_epochs = 2;
+  Rng rng(15);
+  store::RunResumableCondensation(*first, src, num_classes, cfg, rng, opts);
+
+  auto second = condense::MakeCondenser("gcond-x");
+  opts.stop_after_epochs = 0;
+  Rng rng_b(15);
+  EXPECT_DEATH(store::RunResumableCondensation(*second, src, num_classes, cfg,
+                                               rng_b, opts),
+               "checkpoint is for method");
+  std::remove(ckpt.c_str());
+}
+
+TEST(CheckpointDeathTest, UnsupportedCondenserAborts) {
+  int num_classes = 0;
+  condense::SourceGraph src = TinySource(&num_classes);
+  condense::CondenseConfig cfg = TinyConfig();
+  auto condenser = condense::MakeCondenser("gc-sntk");
+  store::ResumableOptions opts;
+  opts.checkpoint_path = TempPath("ckpt_unsupported.bgcbin");
+  Rng rng(16);
+  EXPECT_DEATH(store::RunResumableCondensation(*condenser, src, num_classes,
+                                               cfg, rng, opts),
+               "does not support checkpointing");
+}
+
+}  // namespace
+}  // namespace bgc

@@ -1,5 +1,6 @@
 #include "src/data/io.h"
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 
@@ -41,6 +42,133 @@ TEST(DatasetIoTest, InductiveFlagPreserved) {
   data::SaveDataset(original, path);
   EXPECT_TRUE(data::LoadDataset(path).inductive);
   std::remove(path.c_str());
+}
+
+// %.9g text round-trips awkward float32 values (negative zero, denormals,
+// values needing all 9 significant digits) bit-exactly.
+TEST(DatasetIoTest, AwkwardFloatsRoundTripLossless) {
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", 8);
+  ds.features.At(0, 0) = -0.0f;
+  ds.features.At(0, 1) = 3e-42f;          // denormal
+  ds.features.At(1, 0) = 1.0000001f;      // needs 8+ digits
+  ds.features.At(1, 1) = -3.4e38f;        // near float max
+  ds.features.At(2, 0) = 123456792.0f;    // large exact float
+  const std::string path = TempPath("awkward.graph");
+  data::SaveDataset(ds, path);
+  data::GraphDataset loaded = data::LoadDataset(path);
+  EXPECT_TRUE(loaded.features == ds.features);
+  EXPECT_TRUE(std::signbit(loaded.features.At(0, 0)));
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, SplitsPreservedExactly) {
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", 12);
+  const std::string path = TempPath("splits.graph");
+  data::SaveDataset(ds, path);
+  data::GraphDataset loaded = data::LoadDataset(path);
+  EXPECT_EQ(loaded.train_idx, ds.train_idx);
+  EXPECT_EQ(loaded.val_idx, ds.val_idx);
+  EXPECT_EQ(loaded.test_idx, ds.test_idx);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, TryLoadMissingFileIsRecoverable) {
+  StatusOr<data::GraphDataset> loaded =
+      data::TryLoadDataset("/nonexistent/nope.graph");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("cannot open"), std::string::npos);
+}
+
+// Helper: write `content` and return TryLoadDataset's status message.
+std::string TryLoadError(const char* name, const char* content) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/" + name;
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs(content, f);
+  std::fclose(f);
+  StatusOr<data::GraphDataset> loaded = data::TryLoadDataset(path);
+  std::remove(path.c_str());
+  EXPECT_FALSE(loaded.ok()) << name;
+  return loaded.ok() ? "" : loaded.status().message();
+}
+
+TEST(DatasetIoTest, TryLoadRejectsCorruptHeaders) {
+  EXPECT_NE(TryLoadError("empty.graph", ""), "");
+  EXPECT_NE(TryLoadError("magic.graph", "nope v1\n").find("unsupported"),
+            std::string::npos);
+  EXPECT_NE(TryLoadError("vers.graph", "bgc-graph v7\n").find("unsupported"),
+            std::string::npos);
+  EXPECT_NE(TryLoadError("keys.graph", "bgc-graph v1\nnodez 1 features 1 "
+                                       "classes 1 edges 0 inductive 0\n")
+                .find("malformed"),
+            std::string::npos);
+  EXPECT_NE(TryLoadError("neg.graph", "bgc-graph v1\nnodes -4 features 1 "
+                                      "classes 1 edges 0 inductive 0\n")
+                .find("negative"),
+            std::string::npos);
+}
+
+TEST(DatasetIoTest, TryLoadRejectsBadEdgeCountsAndEndpoints) {
+  // Declares 2 edges but provides 1.
+  EXPECT_NE(
+      TryLoadError("short.graph",
+                   "bgc-graph v1\n"
+                   "nodes 2 features 1 classes 1 edges 2 inductive 0\n"
+                   "0 0\ntrain 1 0\nval 1 1\ntest 1 1\n"
+                   "0 1 1.0\n")
+          .find("truncated edge block"),
+      std::string::npos);
+  // Edge endpoint 7 with only 2 nodes.
+  EXPECT_NE(
+      TryLoadError("range.graph",
+                   "bgc-graph v1\n"
+                   "nodes 2 features 1 classes 1 edges 1 inductive 0\n"
+                   "0 0\ntrain 1 0\nval 1 1\ntest 1 1\n"
+                   "0 7 1.0\n"
+                   "0.5\n0.5\n")
+          .find("edge endpoint out of range"),
+      std::string::npos);
+}
+
+TEST(DatasetIoTest, TryLoadRejectsNonNumericFloats) {
+  EXPECT_NE(
+      TryLoadError("nan_text.graph",
+                   "bgc-graph v1\n"
+                   "nodes 2 features 1 classes 1 edges 0 inductive 0\n"
+                   "0 0\ntrain 1 0\nval 1 1\ntest 1 1\n"
+                   "0.5\nbogus\n")
+          .find("non-numeric"),
+      std::string::npos);
+}
+
+TEST(DatasetIoTest, TryLoadRejectsBadSplits) {
+  EXPECT_NE(
+      TryLoadError("split_size.graph",
+                   "bgc-graph v1\n"
+                   "nodes 2 features 1 classes 1 edges 0 inductive 0\n"
+                   "0 0\ntrain 9 0\nval 1 1\ntest 1 1\n"
+                   "0.5\n0.5\n")
+          .find("invalid size"),
+      std::string::npos);
+  EXPECT_NE(
+      TryLoadError("split_id.graph",
+                   "bgc-graph v1\n"
+                   "nodes 2 features 1 classes 1 edges 0 inductive 0\n"
+                   "0 0\ntrain 1 5\nval 1 1\ntest 1 1\n"
+                   "0.5\n0.5\n")
+          .find("out of range"),
+      std::string::npos);
+}
+
+TEST(DatasetIoTest, TryLoadRejectsOutOfRangeLabels) {
+  EXPECT_NE(
+      TryLoadError("label.graph",
+                   "bgc-graph v1\n"
+                   "nodes 2 features 1 classes 1 edges 0 inductive 0\n"
+                   "0 3\ntrain 1 0\nval 1 1\ntest 1 1\n"
+                   "0.5\n0.5\n")
+          .find("out of range"),
+      std::string::npos);
 }
 
 TEST(DatasetIoDeathTest, MissingFileAborts) {
@@ -85,6 +213,29 @@ TEST(CondensedIoTest, StructureFreeFlag) {
   const std::string path = TempPath("condensed2.graph");
   condense::SaveCondensed(g, path);
   EXPECT_FALSE(condense::LoadCondensed(path).use_structure);
+  std::remove(path.c_str());
+}
+
+TEST(CondensedIoTest, TryLoadRecoverableErrors) {
+  StatusOr<condense::CondensedGraph> missing =
+      condense::TryLoadCondensed("/nonexistent/nope.graph");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().message().find("cannot open"),
+            std::string::npos);
+
+  const std::string path = TempPath("cg_badedge.graph");
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("bgc-graph v1\n"
+             "nodes 2 features 1 classes 2 edges 1 inductive 1\n"
+             "0 1\n"
+             "0 9 1.0\n"
+             "0.5\n0.5\n",
+             f);
+  std::fclose(f);
+  StatusOr<condense::CondensedGraph> bad = condense::TryLoadCondensed(path);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("edge endpoint out of range"),
+            std::string::npos);
   std::remove(path.c_str());
 }
 

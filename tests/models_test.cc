@@ -56,6 +56,62 @@ TEST(ModelsTest, ParamsNonEmptyAndDistinct) {
   }
 }
 
+TEST(ModelsTest, NamedParamsNamesUniqueAndNonEmpty) {
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", 11);
+  Rng rng(17);
+  for (const std::string& arch : SupportedArchitectures()) {
+    auto model = MakeModel(arch, TinyConfig(ds), rng);
+    auto named = model->NamedParams();
+    EXPECT_EQ(named.size(), model->Params().size()) << arch;
+    for (size_t i = 0; i < named.size(); ++i) {
+      EXPECT_FALSE(named[i].first.empty()) << arch;
+      for (size_t j = i + 1; j < named.size(); ++j) {
+        EXPECT_NE(named[i].first, named[j].first) << arch;
+      }
+    }
+  }
+}
+
+TEST(ModelsTest, StateDictRoundTripRestoresLogits) {
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", 12);
+  Rng rng(18);
+  for (const std::string& arch : SupportedArchitectures()) {
+    auto model = MakeModel(arch, TinyConfig(ds), rng);
+    Matrix expected = PredictLogits(*model, ds.adj, ds.features);
+    auto state = model->StateDict();
+    model->Init(rng);  // scramble the weights
+    EXPECT_FALSE(PredictLogits(*model, ds.adj, ds.features) == expected)
+        << arch;
+    ASSERT_TRUE(model->LoadStateDict(state).ok()) << arch;
+    EXPECT_TRUE(PredictLogits(*model, ds.adj, ds.features) == expected)
+        << arch;
+  }
+}
+
+TEST(ModelsTest, LoadStateDictRejectsBadState) {
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", 13);
+  Rng rng(19);
+  auto model = MakeModel("gcn", TinyConfig(ds), rng);
+  auto state = model->StateDict();
+
+  auto renamed = state;
+  renamed[0].first = "not.a.param";
+  EXPECT_FALSE(model->LoadStateDict(renamed).ok());
+
+  auto reshaped = state;
+  reshaped[0].second = Matrix(1, 1);
+  EXPECT_FALSE(model->LoadStateDict(reshaped).ok());
+
+  auto truncated = state;
+  truncated.pop_back();
+  EXPECT_FALSE(model->LoadStateDict(truncated).ok());
+
+  // All rejections left the parameters untouched.
+  Matrix logits = PredictLogits(*model, ds.adj, ds.features);
+  ASSERT_TRUE(model->LoadStateDict(state).ok());
+  EXPECT_TRUE(PredictLogits(*model, ds.adj, ds.features) == logits);
+}
+
 TEST(ModelsTest, InitReseedsWeights) {
   data::GraphDataset ds = data::MakeDataset("tiny-sim", 4);
   Rng rng(8);

@@ -1,0 +1,401 @@
+#include "src/store/serialize.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/condense/io.h"
+#include "src/core/fs.h"
+#include "src/data/io.h"
+#include "src/data/synthetic.h"
+#include "src/nn/trainer.h"
+#include "src/store/bgcbin.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace bgc {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(BgcbinTest, ContainerRoundTrip) {
+  store::BgcbinWriter writer;
+  store::SectionWriter& a = writer.AddSection("alpha");
+  a.PutU32(7);
+  a.PutString("hello");
+  a.PutF64(-2.5);
+  writer.AddSection("beta").PutI64(-42);
+
+  StatusOr<store::BgcbinReader> parsed =
+      store::BgcbinReader::Parse(writer.Serialize(), "mem");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const store::BgcbinReader& reader = parsed.value();
+  EXPECT_TRUE(reader.HasSection("alpha"));
+  EXPECT_TRUE(reader.HasSection("beta"));
+  EXPECT_FALSE(reader.HasSection("gamma"));
+  EXPECT_EQ(reader.SectionNames(),
+            (std::vector<std::string>{"alpha", "beta"}));
+
+  store::SectionReader ra = reader.Section("alpha").take();
+  EXPECT_EQ(ra.GetU32(), 7u);
+  EXPECT_EQ(ra.GetString(), "hello");
+  EXPECT_EQ(ra.GetF64(), -2.5);
+  EXPECT_TRUE(ra.ok());
+  EXPECT_EQ(ra.remaining(), 0u);
+
+  store::SectionReader rb = reader.Section("beta").take();
+  EXPECT_EQ(rb.GetI64(), -42);
+}
+
+TEST(BgcbinTest, MissingSectionIsError) {
+  store::BgcbinWriter writer;
+  writer.AddSection("only");
+  StatusOr<store::BgcbinReader> parsed =
+      store::BgcbinReader::Parse(writer.Serialize(), "mem");
+  ASSERT_TRUE(parsed.ok());
+  StatusOr<store::SectionReader> missing = parsed.value().Section("nope");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().message().find("missing section"),
+            std::string::npos);
+}
+
+TEST(BgcbinTest, ReaderLatchesTruncationError) {
+  store::BgcbinWriter writer;
+  writer.AddSection("s").PutU32(1);
+  StatusOr<store::BgcbinReader> parsed =
+      store::BgcbinReader::Parse(writer.Serialize(), "mem");
+  ASSERT_TRUE(parsed.ok());
+  store::SectionReader r = parsed.value().Section("s").take();
+  EXPECT_EQ(r.GetU32(), 1u);
+  EXPECT_EQ(r.GetU64(), 0u);  // past the end: zero + latched error
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("truncated"), std::string::npos);
+  EXPECT_EQ(r.GetU32(), 0u);  // errors stay latched
+}
+
+TEST(BgcbinTest, EveryFlippedByteIsRejected) {
+  store::BgcbinWriter writer;
+  writer.AddSection("payload").PutString("some payload bytes");
+  std::string bytes = writer.Serialize();
+  // Flipping any single byte anywhere in the container must be caught by
+  // the magic check, a CRC, or a size check.
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupt = bytes;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x40);
+    StatusOr<store::BgcbinReader> parsed =
+        store::BgcbinReader::Parse(corrupt, "mem");
+    EXPECT_FALSE(parsed.ok()) << "flipped byte at offset " << i;
+  }
+}
+
+TEST(BgcbinTest, TruncatedFileIsRejected) {
+  store::BgcbinWriter writer;
+  writer.AddSection("s").PutString("0123456789");
+  std::string bytes = writer.Serialize();
+  for (size_t keep : {size_t{0}, size_t{5}, bytes.size() - 1}) {
+    StatusOr<store::BgcbinReader> parsed =
+        store::BgcbinReader::Parse(bytes.substr(0, keep), "mem");
+    EXPECT_FALSE(parsed.ok()) << "kept " << keep << " bytes";
+  }
+}
+
+TEST(BgcbinTest, UnsupportedVersionIsRejected) {
+  store::BgcbinWriter writer;
+  writer.AddSection("s").PutU8(1);
+  std::string bytes = writer.Serialize();
+  bytes[6] = 9;  // version lives right after the 6-byte magic
+  StatusOr<store::BgcbinReader> parsed =
+      store::BgcbinReader::Parse(bytes, "mem");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("version"), std::string::npos);
+}
+
+TEST(BgcbinTest, AtomicWriteLeavesNoTempFile) {
+  const std::string path = TempPath("atomic.bgcbin");
+  store::BgcbinWriter writer;
+  writer.AddSection("s").PutU32(1);
+  ASSERT_TRUE(writer.WriteTo(path).ok());
+  EXPECT_TRUE(FileExists(path));
+  EXPECT_FALSE(
+      FileExists(path + ".tmp." + std::to_string(::getpid())));
+  std::remove(path.c_str());
+}
+
+TEST(BgcbinDeathTest, DuplicateSectionAborts) {
+  store::BgcbinWriter writer;
+  writer.AddSection("twice");
+  EXPECT_DEATH(writer.AddSection("twice"), "duplicate");
+}
+
+TEST(SerializeTest, MatrixRoundTripBitExact) {
+  // Awkward values: negative zero, denormal, huge, tiny.
+  Matrix m(2, 3, {-0.0f, 3e-42f, 1.0000001f, -3.4e38f, 0.1f, 123456792.0f});
+  store::BgcbinWriter writer;
+  store::PutMatrix(writer.AddSection("m"), m);
+  StatusOr<store::BgcbinReader> parsed =
+      store::BgcbinReader::Parse(writer.Serialize(), "mem");
+  ASSERT_TRUE(parsed.ok());
+  store::SectionReader r = parsed.value().Section("m").take();
+  Matrix loaded = store::GetMatrix(r);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_TRUE(loaded == m);
+  EXPECT_EQ(std::signbit(loaded.At(0, 0)), true);  // -0.0 preserved
+}
+
+TEST(SerializeTest, CsrRoundTripExact) {
+  graph::CsrMatrix adj = graph::CsrMatrix::FromEdges(
+      4, 4, {{0, 1, 0.25f}, {1, 0, 0.25f}, {2, 3, -1.5f}, {3, 3, 2.0f}},
+      /*symmetrize=*/false);
+  store::BgcbinWriter writer;
+  store::PutCsr(writer.AddSection("a"), adj);
+  StatusOr<store::BgcbinReader> parsed =
+      store::BgcbinReader::Parse(writer.Serialize(), "mem");
+  ASSERT_TRUE(parsed.ok());
+  store::SectionReader r = parsed.value().Section("a").take();
+  graph::CsrMatrix loaded = store::GetCsr(r);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_EQ(loaded.row_ptr(), adj.row_ptr());
+  EXPECT_EQ(loaded.col_idx(), adj.col_idx());
+  EXPECT_EQ(loaded.values(), adj.values());
+}
+
+TEST(SerializeTest, CsrOutOfRangeEndpointRejected) {
+  store::BgcbinWriter writer;
+  store::SectionWriter& w = writer.AddSection("a");
+  w.PutI32(2);  // rows
+  w.PutI32(2);  // cols
+  w.PutU64(1);  // nnz
+  w.PutI32(0);
+  w.PutI32(5);  // out of range
+  w.PutF32(1.0f);
+  StatusOr<store::BgcbinReader> parsed =
+      store::BgcbinReader::Parse(writer.Serialize(), "mem");
+  ASSERT_TRUE(parsed.ok());
+  store::SectionReader r = parsed.value().Section("a").take();
+  store::GetCsr(r);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("out of range"), std::string::npos);
+}
+
+TEST(SerializeTest, RngStateRoundTripBitIdentical) {
+  Rng rng(123);
+  for (int i = 0; i < 17; ++i) rng.NextU64();
+  rng.Normal();  // populate the Box-Muller cache
+  std::array<uint64_t, Rng::kStateWords> words = rng.SaveState();
+
+  store::BgcbinWriter writer;
+  store::PutU64Vector(writer.AddSection("rng"),
+                      std::vector<uint64_t>(words.begin(), words.end()));
+  StatusOr<store::BgcbinReader> parsed =
+      store::BgcbinReader::Parse(writer.Serialize(), "mem");
+  ASSERT_TRUE(parsed.ok());
+  store::SectionReader r = parsed.value().Section("rng").take();
+  std::vector<uint64_t> loaded = store::GetU64Vector(r);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(loaded.size(), static_cast<size_t>(Rng::kStateWords));
+
+  Rng restored(0);
+  std::array<uint64_t, Rng::kStateWords> back;
+  std::copy(loaded.begin(), loaded.end(), back.begin());
+  restored.RestoreState(back);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(restored.NextU64(), rng.NextU64());
+  }
+  EXPECT_EQ(restored.Normal(), rng.Normal());
+}
+
+TEST(SerializeTest, DatasetBinaryRoundTrip) {
+  data::GraphDataset original = data::MakeDataset("tiny-sim", 42);
+  const std::string path = TempPath("ds.bgcbin");
+  ASSERT_TRUE(store::SaveDatasetBinary(original, path).ok());
+  StatusOr<data::GraphDataset> loaded = store::TryLoadDatasetBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  const data::GraphDataset& ds = loaded.value();
+  EXPECT_EQ(ds.name, original.name);
+  EXPECT_EQ(ds.num_classes, original.num_classes);
+  EXPECT_EQ(ds.inductive, original.inductive);
+  EXPECT_EQ(ds.labels, original.labels);
+  EXPECT_EQ(ds.train_idx, original.train_idx);
+  EXPECT_EQ(ds.val_idx, original.val_idx);
+  EXPECT_EQ(ds.test_idx, original.test_idx);
+  EXPECT_TRUE(ds.features == original.features);
+  EXPECT_EQ(ds.adj.row_ptr(), original.adj.row_ptr());
+  EXPECT_EQ(ds.adj.col_idx(), original.adj.col_idx());
+  EXPECT_EQ(ds.adj.values(), original.adj.values());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, CondensedBinaryRoundTrip) {
+  condense::CondensedGraph g;
+  g.features = Matrix(3, 2, {0.5f, -1.25f, 3e-8f, 2.0f, -0.0f, 7.5f});
+  g.adj = graph::CsrMatrix::FromEdges(3, 3, {{0, 1, 0.7f}, {1, 2, 1.0f}},
+                                      /*symmetrize=*/true);
+  g.labels = {0, 1, 1};
+  g.num_classes = 2;
+  g.use_structure = true;
+  const std::string path = TempPath("cg.bgcbin");
+  ASSERT_TRUE(store::SaveCondensedBinary(g, path).ok());
+  StatusOr<condense::CondensedGraph> loaded =
+      store::TryLoadCondensedBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_TRUE(loaded.value().features == g.features);
+  EXPECT_EQ(loaded.value().labels, g.labels);
+  EXPECT_EQ(loaded.value().num_classes, 2);
+  EXPECT_TRUE(loaded.value().use_structure);
+  EXPECT_EQ(loaded.value().adj.values(), g.adj.values());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, WrongArtifactKindRejected) {
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", 1);
+  const std::string path = TempPath("kind.bgcbin");
+  ASSERT_TRUE(store::SaveDatasetBinary(ds, path).ok());
+  StatusOr<condense::CondensedGraph> loaded =
+      store::TryLoadCondensedBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("artifact kind"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, CorruptedDatasetFileRejectedByChecksum) {
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", 9);
+  const std::string path = TempPath("corrupt.bgcbin");
+  ASSERT_TRUE(store::SaveDatasetBinary(ds, path).ok());
+  std::string bytes = ReadAll(path);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x01);
+  WriteAll(path, bytes);
+  StatusOr<data::GraphDataset> loaded = store::TryLoadDatasetBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("corrupt"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// Text -> binary -> text conversions preserve every value: the text format
+// writes %.9g floats (lossless for float32) and the binary format stores
+// raw IEEE words.
+TEST(SerializeTest, TextToBinaryCrossConversion) {
+  data::GraphDataset original = data::MakeDataset("tiny-sim", 11);
+  const std::string text_path = TempPath("cross.graph");
+  const std::string bin_path = TempPath("cross.bgcbin");
+
+  data::SaveDataset(original, text_path);
+  StatusOr<data::GraphDataset> from_text = data::TryLoadDataset(text_path);
+  ASSERT_TRUE(from_text.ok());
+  ASSERT_TRUE(store::SaveDatasetBinary(from_text.value(), bin_path).ok());
+  StatusOr<data::GraphDataset> from_bin = store::TryLoadDatasetBinary(bin_path);
+  ASSERT_TRUE(from_bin.ok());
+  EXPECT_TRUE(from_bin.value().features == original.features);
+  EXPECT_EQ(from_bin.value().adj.values(), original.adj.values());
+  EXPECT_EQ(from_bin.value().labels, original.labels);
+  EXPECT_EQ(from_bin.value().train_idx, original.train_idx);
+  std::remove(text_path.c_str());
+  std::remove(bin_path.c_str());
+}
+
+TEST(SerializeTest, BinaryToTextCrossConversion) {
+  condense::CondensedGraph g;
+  g.features = Matrix(2, 2, {1.5f, -2.25f, 3.75f, 0.125f});
+  g.adj = graph::CsrMatrix::Identity(2);
+  g.labels = {0, 1};
+  g.num_classes = 2;
+  g.use_structure = false;
+  const std::string bin_path = TempPath("cg2.bgcbin");
+  const std::string text_path = TempPath("cg2.graph");
+  ASSERT_TRUE(store::SaveCondensedBinary(g, bin_path).ok());
+  StatusOr<condense::CondensedGraph> from_bin =
+      store::TryLoadCondensedBinary(bin_path);
+  ASSERT_TRUE(from_bin.ok());
+  condense::SaveCondensed(from_bin.value(), text_path);
+  StatusOr<condense::CondensedGraph> from_text =
+      condense::TryLoadCondensed(text_path);
+  ASSERT_TRUE(from_text.ok());
+  EXPECT_TRUE(from_text.value().features == g.features);
+  EXPECT_EQ(from_text.value().labels, g.labels);
+  EXPECT_FALSE(from_text.value().use_structure);
+  std::remove(bin_path.c_str());
+  std::remove(text_path.c_str());
+}
+
+nn::GnnConfig TinyModelConfig(const data::GraphDataset& ds) {
+  nn::GnnConfig cfg;
+  cfg.in_dim = ds.feature_dim();
+  cfg.hidden_dim = 8;
+  cfg.out_dim = ds.num_classes;
+  return cfg;
+}
+
+TEST(SerializeTest, ModelSaveLoadIdenticalLogitsAllArchitectures) {
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", 21);
+  for (const std::string& arch : nn::SupportedArchitectures()) {
+    Rng rng_a(100);
+    auto saved = nn::MakeModel(arch, TinyModelConfig(ds), rng_a);
+    const std::string path = TempPath(("model_" + arch + ".bgcbin").c_str());
+    ASSERT_TRUE(store::SaveGnnModel(*saved, path).ok()) << arch;
+
+    // A differently initialized instance of the same architecture must
+    // reproduce the saved model's logits exactly after loading.
+    Rng rng_b(999);
+    auto loaded = nn::MakeModel(arch, TinyModelConfig(ds), rng_b);
+    Matrix before = nn::PredictLogits(*loaded, ds.adj, ds.features);
+    Status s = store::LoadGnnModel(*loaded, path);
+    ASSERT_TRUE(s.ok()) << arch << ": " << s.message();
+    Matrix expected = nn::PredictLogits(*saved, ds.adj, ds.features);
+    Matrix actual = nn::PredictLogits(*loaded, ds.adj, ds.features);
+    EXPECT_TRUE(actual == expected) << arch;
+    EXPECT_FALSE(actual == before) << arch;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(SerializeTest, ModelArchitectureMismatchRejected) {
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", 22);
+  Rng rng(3);
+  auto gcn = nn::MakeModel("gcn", TinyModelConfig(ds), rng);
+  const std::string path = TempPath("gcn.bgcbin");
+  ASSERT_TRUE(store::SaveGnnModel(*gcn, path).ok());
+  auto sage = nn::MakeModel("sage", TinyModelConfig(ds), rng);
+  Matrix before = nn::PredictLogits(*sage, ds.adj, ds.features);
+  Status s = store::LoadGnnModel(*sage, path);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("architecture"), std::string::npos);
+  // The failed load must not have touched the model.
+  EXPECT_TRUE(nn::PredictLogits(*sage, ds.adj, ds.features) == before);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ModelShapeMismatchRejected) {
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", 23);
+  Rng rng(4);
+  nn::GnnConfig small = TinyModelConfig(ds);
+  auto saved = nn::MakeModel("gcn", small, rng);
+  const std::string path = TempPath("gcn_small.bgcbin");
+  ASSERT_TRUE(store::SaveGnnModel(*saved, path).ok());
+  nn::GnnConfig wide = small;
+  wide.hidden_dim = 16;
+  auto target = nn::MakeModel("gcn", wide, rng);
+  Status s = store::LoadGnnModel(*target, path);
+  EXPECT_FALSE(s.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bgc
