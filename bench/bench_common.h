@@ -8,6 +8,9 @@
 //                 epoch counts, 3 repeats) — slower, closer to the paper.
 //   --repeats=N   override the repeat count.
 //   --seed=N      base seed (default 1).
+//   --metrics-out=PATH  write the bgc-obs-v1 metrics JSON there at exit
+//                 ("stderr" prints it instead); BGC_METRICS/BGC_TRACE env
+//                 vars work too (src/obs/obs.h).
 // The default ("fast") configuration shrinks the inductive graphs and epoch
 // counts so the full bench suite completes on one CPU core while preserving
 // the paper's qualitative shape.
@@ -26,6 +29,7 @@
 #include "src/core/stats.h"
 #include "src/eval/experiment.h"
 #include "src/eval/table.h"
+#include "src/obs/obs.h"
 #include "src/store/artifact_cache.h"
 
 namespace bgc::bench {
@@ -34,6 +38,7 @@ struct Options {
   bool paper = false;
   int repeats = 0;  // 0 = mode default (2 fast / 3 paper)
   uint64_t seed = 1;
+  std::string metrics_out;  // empty = env-controlled only
 };
 
 inline Options Parse(int argc, char** argv) {
@@ -45,6 +50,8 @@ inline Options Parse(int argc, char** argv) {
       opt.repeats = std::atoi(argv[i] + 10);
     } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       opt.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      opt.metrics_out = argv[i] + 14;
     } else if (std::strncmp(argv[i], "--benchmark", 11) == 0) {
       // google-benchmark flags pass through.
     } else {
@@ -52,6 +59,12 @@ inline Options Parse(int argc, char** argv) {
       std::exit(2);
     }
   }
+  // Benches always collect metrics (the per-phase table at exit is part of
+  // their output); BGC_METRICS/BGC_TRACE env vars add JSON reports.
+  obs::InitFromEnvAtExit();
+  obs::SetMetricsEnabled(true);
+  obs::PrintPhaseTableAtExit();
+  if (!opt.metrics_out.empty()) obs::EmitMetricsAtExit(opt.metrics_out);
   return opt;
 }
 

@@ -12,6 +12,10 @@
 // path ends in ".bgcbin", as checksummed binary containers (src/store).
 // `condense` accepts --checkpoint=path [--checkpoint-every=N] to
 // periodically snapshot the run and resume it after a kill.
+//
+// Profiling: any subcommand accepts --profile (trace JSON to stderr at
+// exit, plus the per-phase time table) or --profile=PATH (trace JSON to a
+// file). The BGC_METRICS / BGC_TRACE env vars work too; see src/obs/obs.h.
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +28,7 @@
 #include "src/data/io.h"
 #include "src/data/synthetic.h"
 #include "src/eval/pipeline.h"
+#include "src/obs/obs.h"
 #include "src/store/resumable.h"
 #include "src/store/serialize.h"
 
@@ -38,6 +43,7 @@ bool IsBinaryPath(const std::string& path) {
 }
 
 data::GraphDataset LoadDatasetAuto(const std::string& path) {
+  BGC_TRACE_SCOPE("phase.io");
   if (!IsBinaryPath(path)) return data::LoadDataset(path);
   StatusOr<data::GraphDataset> ds = store::TryLoadDatasetBinary(path);
   if (!ds.ok()) {
@@ -48,6 +54,7 @@ data::GraphDataset LoadDatasetAuto(const std::string& path) {
 }
 
 void SaveDatasetAuto(const data::GraphDataset& ds, const std::string& path) {
+  BGC_TRACE_SCOPE("phase.io");
   if (!IsBinaryPath(path)) {
     data::SaveDataset(ds, path);
     return;
@@ -59,6 +66,7 @@ void SaveDatasetAuto(const data::GraphDataset& ds, const std::string& path) {
 }
 
 condense::CondensedGraph LoadCondensedAuto(const std::string& path) {
+  BGC_TRACE_SCOPE("phase.io");
   if (!IsBinaryPath(path)) return condense::LoadCondensed(path);
   StatusOr<condense::CondensedGraph> g = store::TryLoadCondensedBinary(path);
   if (!g.ok()) {
@@ -70,6 +78,7 @@ condense::CondensedGraph LoadCondensedAuto(const std::string& path) {
 
 void SaveCondensedAuto(const condense::CondensedGraph& g,
                        const std::string& path) {
+  BGC_TRACE_SCOPE("phase.io");
   if (!IsBinaryPath(path)) {
     condense::SaveCondensed(g, path);
     return;
@@ -239,6 +248,13 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   auto flags = ParseFlags(argc, argv);
+  obs::InitFromEnvAtExit();
+  if (auto it = flags.find("profile"); it != flags.end()) {
+    // Bare --profile parses as "1", which EmitTraceAtExit maps to stderr.
+    obs::EmitTraceAtExit(it->second);
+    obs::PrintPhaseTableAtExit();
+    flags.erase(it);
+  }
   if (command == "generate") return Generate(flags);
   if (command == "condense") return Condense(flags);
   if (command == "attack") return Attack(flags);

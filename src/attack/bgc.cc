@@ -7,6 +7,7 @@
 #include "src/attack/selector.h"
 #include "src/attack/surrogate.h"
 #include "src/core/check.h"
+#include "src/obs/obs.h"
 
 namespace bgc::attack {
 
@@ -112,8 +113,11 @@ AttackResult RunBgc(const condense::SourceGraph& clean, int num_classes,
       attack_config, static_cast<int>(clean.labeled.size()));
 
   AttackResult result;
-  result.poisoned_nodes =
-      SelectHosts(clean, num_classes, attack_config, budget, rng);
+  {
+    BGC_TRACE_SCOPE("phase.attack.select");
+    result.poisoned_nodes =
+        SelectHosts(clean, num_classes, attack_config, budget, rng);
+  }
   result.generator = MakeTriggerGenerator(
       attack_config, clean.features.cols(),
       ResolveTriggerFeatureScale(attack_config, clean.features), rng);
@@ -124,32 +128,52 @@ AttackResult RunBgc(const condense::SourceGraph& clean, int num_classes,
 
   // Alg. 1 line 1-3: initial poisoned graph with untrained triggers.
   const bool flip = !attack_config.clean_label;
-  condense::SourceGraph poisoned = BuildPoisonedSource(
-      clean, result.poisoned_nodes,
-      result.generator->Generate(clean, result.poisoned_nodes),
-      attack_config.target_class, flip);
-  condenser.Initialize(poisoned, num_classes, condense_config, rng);
-
-  for (int epoch = 0; epoch < condense_config.epochs; ++epoch) {
-    // Lines 5-8: fresh surrogate trained on the current condensed graph.
-    surrogate.Init(rng);
-    surrogate.Train(condenser.Result(), attack_config.surrogate_steps,
-                    attack_config.surrogate_lr, rng);
-    // Lines 9-11: M generator updates against the surrogate.
-    for (int m = 0; m < attack_config.generator_steps; ++m) {
-      std::vector<int> update_nodes = SampleUpdateNodes(
-          clean, attack_config.target_class, attack_config.update_batch, rng);
-      result.generator->TrainStep(clean, surrogate, update_nodes,
-                                  attack_config.target_class,
-                                  attack_config.ego, rng);
-    }
-    // Line 12: rebuild G_P with the updated triggers.
+  condense::SourceGraph poisoned;
+  {
+    BGC_TRACE_SCOPE("phase.attack.attach");
     poisoned = BuildPoisonedSource(
         clean, result.poisoned_nodes,
         result.generator->Generate(clean, result.poisoned_nodes),
         attack_config.target_class, flip);
+  }
+  {
+    BGC_TRACE_SCOPE("phase.condense.init");
+    condenser.Initialize(poisoned, num_classes, condense_config, rng);
+  }
+
+  for (int epoch = 0; epoch < condense_config.epochs; ++epoch) {
+    // Lines 5-8: fresh surrogate trained on the current condensed graph.
+    {
+      BGC_TRACE_SCOPE("phase.attack.surrogate");
+      surrogate.Init(rng);
+      surrogate.Train(condenser.Result(), attack_config.surrogate_steps,
+                      attack_config.surrogate_lr, rng);
+    }
+    // Lines 9-11: M generator updates against the surrogate.
+    {
+      BGC_TRACE_SCOPE("phase.attack.trigger");
+      for (int m = 0; m < attack_config.generator_steps; ++m) {
+        std::vector<int> update_nodes = SampleUpdateNodes(
+            clean, attack_config.target_class, attack_config.update_batch,
+            rng);
+        result.generator->TrainStep(clean, surrogate, update_nodes,
+                                    attack_config.target_class,
+                                    attack_config.ego, rng);
+      }
+    }
+    // Line 12: rebuild G_P with the updated triggers.
+    {
+      BGC_TRACE_SCOPE("phase.attack.attach");
+      poisoned = BuildPoisonedSource(
+          clean, result.poisoned_nodes,
+          result.generator->Generate(clean, result.poisoned_nodes),
+          attack_config.target_class, flip);
+    }
     // Line 13: one condensation update on G_P.
-    condenser.Epoch(poisoned);
+    {
+      BGC_TRACE_SCOPE("phase.condense.epoch");
+      condenser.Epoch(poisoned);
+    }
   }
   result.condensed = condenser.Result();
   return result;

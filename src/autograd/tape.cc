@@ -246,6 +246,26 @@ Var Tape::Acos(Var a, float eps) {
   });
 }
 
+Var Tape::Clamp(Var a, float lo, float hi) {
+  const Matrix& av = node(a).value;
+  Matrix out(av.rows(), av.cols());
+  for (int i = 0; i < out.size(); ++i) {
+    out.data()[i] = std::min(hi, std::max(lo, av.data()[i]));
+  }
+  Var result{static_cast<int>(nodes_.size())};
+  return Emit(std::move(out), node(a).requires_grad,
+              [a, lo, hi, result](Tape& t) {
+    const Matrix& g = t.node(result).grad;
+    const Matrix& av2 = t.node(a).value;
+    Matrix ga(g.rows(), g.cols());
+    for (int i = 0; i < g.size(); ++i) {
+      const float x = av2.data()[i];
+      ga.data()[i] = (x > lo && x < hi) ? g.data()[i] : 0.0f;
+    }
+    t.Accumulate(a, ga);
+  });
+}
+
 Var Tape::BinarizeSte(Var a, float threshold) {
   const Matrix& av = node(a).value;
   Matrix out(av.rows(), av.cols());

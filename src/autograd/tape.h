@@ -66,6 +66,10 @@ class Tape {
   /// arccos(clamp(x, -1+eps, 1-eps)); the clamp keeps the derivative finite
   /// at the NTK kernel's diagonal.
   Var Acos(Var a, float eps = 1e-6f);
+  /// min(max(x, lo), hi) with the true (zero) gradient outside [lo, hi] —
+  /// unlike the eps-guards in Sqrt/Log/Acos, which keep their analytic
+  /// gradients in the saturated region.
+  Var Clamp(Var a, float lo, float hi);
   /// Forward: 1[x > threshold]; backward: identity (straight-through).
   Var BinarizeSte(Var a, float threshold = 0.5f);
 

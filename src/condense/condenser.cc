@@ -5,6 +5,7 @@
 #include "src/condense/gcdm.h"
 #include "src/condense/gradient_matching.h"
 #include "src/core/check.h"
+#include "src/obs/obs.h"
 
 namespace bgc::condense {
 
@@ -54,8 +55,12 @@ std::unique_ptr<Condenser> MakeCondenser(const std::string& method) {
 CondensedGraph RunCondensation(Condenser& condenser, const SourceGraph& source,
                                int num_classes, const CondenseConfig& config,
                                Rng& rng) {
-  condenser.Initialize(source, num_classes, config, rng);
+  {
+    BGC_TRACE_SCOPE("phase.condense.init");
+    condenser.Initialize(source, num_classes, config, rng);
+  }
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    BGC_TRACE_SCOPE("phase.condense.epoch");
     condenser.Epoch(source);
   }
   return condenser.Result();

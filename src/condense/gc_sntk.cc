@@ -5,6 +5,7 @@
 #include "src/autograd/tape.h"
 #include "src/condense/common.h"
 #include "src/core/check.h"
+#include "src/obs/obs.h"
 #include "src/tensor/matrix_ops.h"
 
 namespace bgc::condense {
@@ -16,6 +17,7 @@ constexpr float kPi = 3.14159265358979323846f;
 /// matrices (rows are points); `d` the feature dimension used to scale the
 /// base kernel to O(1).
 ag::Var NtkKernel(ag::Tape& t, ag::Var u, ag::Var v, int d) {
+  BGC_TRACE_SCOPE("condense.sntk.kernel");
   const float inv_d = 1.0f / static_cast<float>(d);
   ag::Var sigma0 = t.Scale(t.MatMul(u, t.Transpose(v)), inv_d);
   ag::Var nu = t.Scale(t.RowSumOp(t.Square(u)), inv_d);  // a×1

@@ -7,6 +7,7 @@
 #include "src/autograd/tape.h"
 #include "src/condense/common.h"
 #include "src/core/check.h"
+#include "src/obs/obs.h"
 #include "src/tensor/matrix_ops.h"
 
 namespace bgc::condense {
@@ -89,6 +90,8 @@ void GradientMatchingCondenser::Epoch(const SourceGraph& source) {
                       : source.features;
 
   for (int inner = 0; inner < config_.inner_steps; ++inner) {
+    BGC_TRACE_SCOPE("condense.gm.inner");
+    BGC_COUNTER_ADD("condense.gm.inner_steps", 1);
     std::vector<Matrix> real_grads = PerClassGradients(
         z_real, source.labels, source.labeled, surrogate_w_, num_classes_);
 
@@ -144,6 +147,7 @@ void GradientMatchingCondenser::Epoch(const SourceGraph& source) {
 
   // Refresh the surrogate on the updated synthetic data so the next epoch
   // matches gradients a little further along the training trajectory.
+  BGC_TRACE_SCOPE("condense.gm.refresh");
   CondensedGraph current = Result();
   Matrix z_syn_const =
       current.use_structure

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "src/core/check.h"
+#include "src/obs/obs.h"
 
 namespace bgc {
 
@@ -66,12 +67,25 @@ ThreadPool::~ThreadPool() {
 
 int ThreadPool::RunTasks(Job& job) {
   int done = 0;
+#ifndef BGC_OBS_DISABLED
+  // Per-thread busy accounting: timestamps bracket the whole claim loop
+  // (one clock pair per dispatch, not per task) so the pool's scheduling
+  // cost stays invisible to the kernels being timed.
+  const bool observed = obs::MetricsEnabled();
+  const int64_t t0 = observed ? obs::NowNs() : 0;
+#endif
   for (;;) {
     const int t = job.next.fetch_add(1, std::memory_order_relaxed);
     if (t >= job.total) break;
     (*job.fn)(t);
     ++done;
   }
+#ifndef BGC_OBS_DISABLED
+  if (observed && done > 0) {
+    obs::Registry::Global().AddThreadBusyNs(obs::NowNs() - t0);
+    BGC_COUNTER_ADD("pool.tasks", done);
+  }
+#endif
   return done;
 }
 
@@ -105,6 +119,8 @@ void ThreadPool::Run(int num_tasks, const std::function<void(int)>& fn) {
     return;
   }
 
+  BGC_COUNTER_ADD("pool.dispatches", 1);
+  BGC_GAUGE_SET("pool.threads", num_threads_);
   auto job = std::make_shared<Job>();
   job->fn = &fn;
   job->total = num_tasks;

@@ -4,6 +4,7 @@
 #include "src/attack/naive.h"
 #include "src/core/check.h"
 #include "src/data/synthetic.h"
+#include "src/obs/obs.h"
 #include "src/store/artifact_cache.h"
 
 namespace bgc::eval {
@@ -64,10 +65,14 @@ attack::AttackResult Dispatch(const RunSpec& spec,
 
 RepeatResult RunOnce(const RunSpec& spec, uint64_t seed) {
   RepeatResult out;
-  data::GraphDataset ds =
-      data::MakeDataset(spec.dataset, seed, spec.dataset_scale);
-  data::TrainView view = data::MakeTrainView(ds);
-  condense::SourceGraph clean = condense::FromTrainView(view);
+  data::GraphDataset ds;
+  condense::SourceGraph clean;
+  {
+    BGC_TRACE_SCOPE("phase.data");
+    ds = data::MakeDataset(spec.dataset, seed, spec.dataset_scale);
+    data::TrainView view = data::MakeTrainView(ds);
+    clean = condense::FromTrainView(view);
+  }
   Rng rng(seed * kSeedStride + 17);
 
   if (spec.attack == "none") {

@@ -3,6 +3,7 @@
 #include "src/attack/attach.h"
 #include "src/core/check.h"
 #include "src/nn/trainer.h"
+#include "src/obs/obs.h"
 #include "src/tensor/matrix_ops.h"
 
 namespace bgc::eval {
@@ -10,6 +11,7 @@ namespace bgc::eval {
 std::unique_ptr<nn::GnnModel> TrainVictim(
     const condense::CondensedGraph& condensed, const VictimConfig& config,
     Rng& rng) {
+  BGC_TRACE_SCOPE("phase.victim");
   nn::GnnConfig mc;
   mc.in_dim = condensed.features.cols();
   mc.hidden_dim = config.hidden;
@@ -31,6 +33,7 @@ AttackMetrics EvaluateWithPredict(const PredictFn& predict,
                                   const data::GraphDataset& dataset,
                                   const attack::TriggerGenerator* generator,
                                   int target_class) {
+  BGC_TRACE_SCOPE("phase.eval");
   AttackMetrics metrics;
   // CTA on the clean graph.
   Matrix clean_logits = predict(dataset.adj, dataset.features);

@@ -5,6 +5,7 @@
 
 #include "src/core/check.h"
 #include "src/core/parallel.h"
+#include "src/obs/obs.h"
 
 namespace bgc::graph {
 
@@ -177,6 +178,10 @@ CsrMatrix CsrMatrix::WithSelfLoops(float weight) const {
 
 Matrix CsrMatrix::Multiply(const Matrix& dense) const {
   BGC_CHECK_EQ(cols_, dense.rows());
+  BGC_TRACE_SCOPE("graph.spmm");
+  BGC_COUNTER_ADD("graph.spmm.calls", 1);
+  BGC_COUNTER_ADD("graph.spmm.nnz", nnz());
+  BGC_COUNTER_ADD("graph.spmm.flops", 2LL * nnz() * dense.cols());
   Matrix out(rows_, dense.cols());
   const int m = dense.cols();
   // Row-partitioned: each chunk owns a disjoint slice of `out`, and the
@@ -197,6 +202,10 @@ Matrix CsrMatrix::Multiply(const Matrix& dense) const {
 
 Matrix CsrMatrix::MultiplyTransposed(const Matrix& dense) const {
   BGC_CHECK_EQ(rows_, dense.rows());
+  BGC_TRACE_SCOPE("graph.spmm_t");
+  BGC_COUNTER_ADD("graph.spmm.calls", 1);
+  BGC_COUNTER_ADD("graph.spmm.nnz", nnz());
+  BGC_COUNTER_ADD("graph.spmm.flops", 2LL * nnz() * dense.cols());
   Matrix out(cols_, dense.cols());
   const int m = dense.cols();
   // Scatters row r of `dense` into output row col_idx_[k]: rows race under
@@ -298,6 +307,7 @@ std::vector<float> InvSqrtDegrees(const CsrMatrix& adj) {
 
 CsrMatrix GcnNormalize(const CsrMatrix& adj) {
   BGC_CHECK_EQ(adj.rows(), adj.cols());
+  BGC_TRACE_SCOPE("graph.normalize");
   // A + I merged in-place on the CSR structure (linear, parallel) instead
   // of the old ToEdges → push → sort → FromEdges round trip, which was
   // O(E log E) per call inside benchmarked loops.

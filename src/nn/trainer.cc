@@ -2,6 +2,7 @@
 
 #include "src/core/check.h"
 #include "src/nn/optimizer.h"
+#include "src/obs/obs.h"
 #include "src/tensor/matrix_ops.h"
 
 namespace bgc::nn {
@@ -10,6 +11,8 @@ float TrainNodeClassifier(GnnModel& model, const graph::CsrMatrix& adj,
                           const Matrix& x, const std::vector<int>& labels,
                           const std::vector<int>& train_idx,
                           const TrainConfig& config) {
+  BGC_TRACE_SCOPE("nn.train");
+  BGC_COUNTER_ADD("nn.train.epochs", config.epochs);
   BGC_CHECK_EQ(adj.rows(), x.rows());
   std::vector<int> idx = train_idx;
   if (idx.empty()) {

@@ -1,0 +1,296 @@
+#include "src/obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace bgc::obs {
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonParseResult Run() {
+    JsonParseResult result;
+    JsonValue v;
+    if (!ParseValue(v)) {
+      result.error = Error();
+      return result;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      Fail("trailing characters after JSON value");
+      result.error = Error();
+      return result;
+    }
+    result.ok = true;
+    result.value = std::move(v);
+    return result;
+  }
+
+ private:
+  void Fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = "offset " + std::to_string(pos_) + ": " + message;
+    }
+  }
+  std::string Error() const {
+    return error_.empty() ? "unknown parse error" : error_;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    Fail(std::string("expected '") + expected + "'");
+    return false;
+  }
+
+  bool ParseValue(JsonValue& out) {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return false;
+    }
+    switch (text_[pos_]) {
+      case '{': return ParseObject(out);
+      case '[': return ParseArray(out);
+      case '"': return ParseString(out);
+      case 't': return ParseLiteral("true", out);
+      case 'f': return ParseLiteral("false", out);
+      case 'n': return ParseLiteral("null", out);
+      default: return ParseNumber(out);
+    }
+  }
+
+  bool ParseLiteral(std::string_view lit, JsonValue& out) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      Fail("invalid literal");
+      return false;
+    }
+    pos_ += lit.size();
+    if (lit == "true") {
+      out.kind = JsonValue::Kind::kBool;
+      out.bool_value = true;
+    } else if (lit == "false") {
+      out.kind = JsonValue::Kind::kBool;
+      out.bool_value = false;
+    } else {
+      out.kind = JsonValue::Kind::kNull;
+    }
+    return true;
+  }
+
+  bool Digit() const {
+    return pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]));
+  }
+
+  // Strict JSON grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+  // (strtod alone would also take "+5", "01", ".5", "0x1", "inf").
+  bool ParseNumber(JsonValue& out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (!Digit()) {
+      Fail("invalid number");
+      return false;
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+      if (Digit()) {
+        Fail("leading zero in number");
+        return false;
+      }
+    } else {
+      while (Digit()) ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!Digit()) {
+        Fail("expected digit after decimal point");
+        return false;
+      }
+      while (Digit()) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!Digit()) {
+        Fail("expected digit in exponent");
+        return false;
+      }
+      while (Digit()) ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    const double v = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(v)) {
+      Fail("number \"" + token + "\" out of double range");
+      return false;
+    }
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = v;
+    return true;
+  }
+
+  bool ParseHex4(unsigned& out) {
+    if (pos_ + 4 > text_.size()) {
+      Fail("truncated \\u escape");
+      return false;
+    }
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') out |= c - '0';
+      else if (c >= 'a' && c <= 'f') out |= c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F') out |= c - 'A' + 10;
+      else {
+        Fail("invalid \\u escape");
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool ParseString(JsonValue& out) {
+    if (!Consume('"')) return false;
+    std::string s;
+    for (;;) {
+      if (pos_ >= text_.size()) {
+        Fail("unterminated string");
+        return false;
+      }
+      char c = text_[pos_++];
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        Fail("unescaped control character in string");
+        return false;
+      }
+      if (c != '\\') {
+        s += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        Fail("truncated escape");
+        return false;
+      }
+      c = text_[pos_++];
+      switch (c) {
+        case '"': s += '"'; break;
+        case '\\': s += '\\'; break;
+        case '/': s += '/'; break;
+        case 'b': s += '\b'; break;
+        case 'f': s += '\f'; break;
+        case 'n': s += '\n'; break;
+        case 'r': s += '\r'; break;
+        case 't': s += '\t'; break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!ParseHex4(cp)) return false;
+          // BMP only (obs never writes surrogate pairs): UTF-8 encode.
+          if (cp < 0x80) {
+            s += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            s += static_cast<char>(0xC0 | (cp >> 6));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            s += static_cast<char>(0xE0 | (cp >> 12));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default:
+          Fail("invalid escape");
+          return false;
+      }
+    }
+    out.kind = JsonValue::Kind::kString;
+    out.str = std::move(s);
+    return true;
+  }
+
+  bool ParseArray(JsonValue& out) {
+    if (!Consume('[')) return false;
+    out.kind = JsonValue::Kind::kArray;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      JsonValue element;
+      if (!ParseValue(element)) return false;
+      out.array.push_back(std::move(element));
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return Consume(']');
+    }
+  }
+
+  bool ParseObject(JsonValue& out) {
+    if (!Consume('{')) return false;
+    out.kind = JsonValue::Kind::kObject;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      JsonValue key;
+      if (!ParseString(key)) return false;
+      if (out.Find(key.str) != nullptr) {
+        Fail("duplicate key \"" + key.str + "\"");
+        return false;
+      }
+      SkipWs();
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(value)) return false;
+      out.object.emplace_back(std::move(key.str), std::move(value));
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return Consume('}');
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+JsonParseResult ParseJson(std::string_view text) {
+  return Parser(text).Run();
+}
+
+}  // namespace bgc::obs

@@ -1,0 +1,49 @@
+#ifndef BGC_OBS_JSON_H_
+#define BGC_OBS_JSON_H_
+
+// Minimal strict JSON parser, just enough to validate and inspect the
+// reports obs emits (and any other small machine-readable output). Not a
+// general-purpose library: numbers parse as double, strings support the
+// escapes obs writes plus \uXXXX for the BMP, and input must be a single
+// JSON value with nothing but whitespace around it.
+//
+// Standalone like the rest of src/obs (no src/core dependency), so errors
+// are reported through ParseResult rather than Status.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bgc::obs {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  /// Insertion-ordered key/value pairs (duplicate keys are rejected).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// Member lookup on an object; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+struct JsonParseResult {
+  bool ok = false;
+  std::string error;  // "offset N: message" when !ok
+  JsonValue value;
+};
+
+JsonParseResult ParseJson(std::string_view text);
+
+}  // namespace bgc::obs
+
+#endif  // BGC_OBS_JSON_H_

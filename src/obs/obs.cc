@@ -1,0 +1,449 @@
+#include "src/obs/obs.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace bgc::obs {
+
+namespace internal {
+std::atomic<uint32_t> g_mode{0};
+}  // namespace internal
+
+namespace {
+
+// Trace buffer cap: beyond this events are counted as dropped instead of
+// growing without bound (a traced full bench run is millions of scopes).
+constexpr size_t kMaxTraceEvents = 1u << 20;
+
+// obs-assigned sequential thread ids: stable for a thread's lifetime and
+// dense, so per-thread busy counters can live in a simple array.
+std::atomic<int> g_next_tid{0};
+thread_local int t_tid = -1;
+
+int ThisThreadId() {
+  if (t_tid < 0) t_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return t_tid;
+}
+
+void AtomicMin(std::atomic<long long>& slot, long long v) {
+  long long cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<long long>& slot, long long v) {
+  long long cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendLL(std::string& out, long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  out += buf;
+}
+
+}  // namespace
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SetMetricsEnabled(bool on) {
+  if (on) {
+    internal::g_mode.fetch_or(internal::kMetricsBit,
+                              std::memory_order_relaxed);
+  } else {
+    internal::g_mode.fetch_and(~internal::kMetricsBit,
+                               std::memory_order_relaxed);
+  }
+}
+
+void SetTraceEnabled(bool on) {
+  if (on) {
+    internal::g_mode.fetch_or(internal::kTraceBit | internal::kMetricsBit,
+                              std::memory_order_relaxed);
+  } else {
+    internal::g_mode.fetch_and(~internal::kTraceBit,
+                               std::memory_order_relaxed);
+  }
+}
+
+void Timer::Record(int64_t start_ns, int64_t end_ns) {
+  const long long dur = end_ns - start_ns;
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    // First record seeds min; concurrent first records race benignly (the
+    // CAS below still converges on the true minimum).
+    long long expected = 0;
+    min_ns_.compare_exchange_strong(expected, dur,
+                                    std::memory_order_relaxed);
+  }
+  total_ns_.fetch_add(dur, std::memory_order_relaxed);
+  AtomicMin(min_ns_, dur);
+  AtomicMax(max_ns_, dur);
+  if (TraceEnabled()) {
+    Registry::Global().AppendTraceEvent(this, start_ns, dur);
+  }
+}
+
+TimerStats Timer::Snapshot() const {
+  TimerStats s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.total_ns = total_ns_.load(std::memory_order_relaxed);
+  s.min_ns = min_ns_.load(std::memory_order_relaxed);
+  s.max_ns = max_ns_.load(std::memory_order_relaxed);
+  return s;
+}
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // Node-based maps: handle pointers stay valid across inserts.
+  std::map<std::string, std::unique_ptr<Timer>> timers;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, double> gauges;
+  std::vector<TraceEvent> trace;
+  long long trace_dropped = 0;
+  int64_t trace_start_ns = 0;  // registry start; event ts are relative
+  // Busy nanoseconds per obs thread id; deque so slot addresses are stable.
+  std::deque<std::atomic<long long>> thread_busy;
+};
+
+Registry::Registry() : impl_(new Impl), start_ns_(NowNs()) {
+  impl_->trace_start_ns = start_ns_;
+}
+
+Registry& Registry::Global() {
+  // Leaked: worker threads and atexit hooks may record/report during
+  // shutdown, after static destructors would have run.
+  static Registry* g = new Registry();
+  return *g;
+}
+
+Timer* Registry::GetTimer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto& slot = impl_->timers[name];
+  if (!slot) slot.reset(new Timer(name));
+  return slot.get();
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto& slot = impl_->counters[name];
+  if (!slot) slot.reset(new Counter(name));
+  return slot.get();
+}
+
+void Registry::SetGauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->gauges[name] = value;
+}
+
+void Registry::AddThreadBusyNs(int64_t ns) {
+  const int tid = ThisThreadId();
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    while (static_cast<int>(impl_->thread_busy.size()) <= tid) {
+      impl_->thread_busy.emplace_back(0);
+    }
+  }
+  // Slot address is stable (deque) and the slot is only ever touched
+  // through relaxed atomics, so no lock is needed for the add itself.
+  impl_->thread_busy[tid].fetch_add(ns, std::memory_order_relaxed);
+}
+
+void Registry::AppendTraceEvent(const Timer* timer, int64_t start_ns,
+                                int64_t dur_ns) {
+  const int tid = ThisThreadId();
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->trace.size() >= kMaxTraceEvents) {
+    ++impl_->trace_dropped;
+    return;
+  }
+  TraceEvent e;
+  e.timer = timer;
+  e.tid = tid;
+  e.ts_ns = start_ns - impl_->trace_start_ns;
+  e.dur_ns = dur_ns;
+  impl_->trace.push_back(e);
+}
+
+void Registry::AppendMetricsBodyLocked(std::string& out,
+                                       int64_t wall_ns) const {
+  Impl* impl = impl_;
+  out += "\"schema\":\"bgc-obs-v1\",\"wall_ns\":";
+  AppendLL(out, wall_ns);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : impl->counters) {
+    if (!first) out += ',';
+    first = false;
+    AppendEscaped(out, name);
+    out += ':';
+    AppendLL(out, c->value());
+  }
+  // Per-thread pool busy time, surfaced as counters.
+  for (size_t i = 0; i < impl->thread_busy.size(); ++i) {
+    const long long busy =
+        impl->thread_busy[i].load(std::memory_order_relaxed);
+    if (busy == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    AppendEscaped(out, "pool.thread." + std::to_string(i) + ".busy_ns");
+    out += ':';
+    AppendLL(out, busy);
+  }
+  if (impl->trace_dropped > 0) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"obs.trace.dropped_events\":";
+    AppendLL(out, impl->trace_dropped);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : impl->gauges) {
+    if (!first) out += ',';
+    first = false;
+    AppendEscaped(out, name);
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), ":%.17g", v);
+    out += buf;
+  }
+  out += "},\"timers\":{";
+  first = true;
+  for (const auto& [name, t] : impl->timers) {
+    const TimerStats s = t->Snapshot();
+    if (s.count == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    AppendEscaped(out, name);
+    out += ":{\"count\":";
+    AppendLL(out, s.count);
+    out += ",\"total_ns\":";
+    AppendLL(out, s.total_ns);
+    out += ",\"min_ns\":";
+    AppendLL(out, s.min_ns);
+    out += ",\"max_ns\":";
+    AppendLL(out, s.max_ns);
+    out += '}';
+  }
+  out += '}';
+}
+
+std::string Registry::MetricsJson() const {
+  const int64_t wall = WallNs();
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::string out = "{";
+  AppendMetricsBodyLocked(out, wall);
+  out += "}\n";
+  return out;
+}
+
+std::string Registry::TraceJson() const {
+  const int64_t wall = WallNs();
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::string out = "{";
+  AppendMetricsBodyLocked(out, wall);
+  out += ",\"trace\":[";
+  out.reserve(out.size() + impl_->trace.size() * 64);
+  for (size_t i = 0; i < impl_->trace.size(); ++i) {
+    const TraceEvent& e = impl_->trace[i];
+    if (i > 0) out += ',';
+    out += "{\"name\":";
+    AppendEscaped(out, e.timer->name());
+    out += ",\"tid\":";
+    AppendLL(out, e.tid);
+    out += ",\"ts_ns\":";
+    AppendLL(out, e.ts_ns);
+    out += ",\"dur_ns\":";
+    AppendLL(out, e.dur_ns);
+    out += '}';
+  }
+  out += "]}\n";
+  return out;
+}
+
+void Registry::PrintPhaseTable(std::FILE* out) const {
+  const double wall_s = static_cast<double>(WallNs()) * 1e-9;
+  struct Row {
+    std::string name;
+    TimerStats stats;
+  };
+  std::vector<Row> rows;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (const auto& [name, t] : impl_->timers) {
+      if (name.rfind("phase.", 0) != 0) continue;
+      const TimerStats s = t->Snapshot();
+      if (s.count == 0) continue;
+      rows.push_back({name.substr(6), s});
+    }
+  }
+  if (rows.empty()) return;
+  double covered_s = 0.0;
+  for (const Row& r : rows) covered_s += r.stats.total_ns * 1e-9;
+  std::fprintf(out, "[obs] per-phase wall clock (process total %.3fs, "
+                    "phases cover %.1f%%)\n",
+               wall_s, wall_s > 0 ? 100.0 * covered_s / wall_s : 0.0);
+  std::fprintf(out, "  %-28s %10s %7s %9s %12s\n", "phase", "total s",
+               "%wall", "calls", "mean ms");
+  for (const Row& r : rows) {
+    const double total_s = r.stats.total_ns * 1e-9;
+    std::fprintf(out, "  %-28s %10.3f %6.1f%% %9lld %12.3f\n",
+                 r.name.c_str(), total_s,
+                 wall_s > 0 ? 100.0 * total_s / wall_s : 0.0, r.stats.count,
+                 r.stats.count > 0
+                     ? r.stats.total_ns * 1e-6 / r.stats.count
+                     : 0.0);
+  }
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& [name, t] : impl_->timers) {
+    t->count_.store(0, std::memory_order_relaxed);
+    t->total_ns_.store(0, std::memory_order_relaxed);
+    t->min_ns_.store(0, std::memory_order_relaxed);
+    t->max_ns_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, c] : impl_->counters) {
+    c->value_.store(0, std::memory_order_relaxed);
+  }
+  impl_->gauges.clear();
+  impl_->trace.clear();
+  impl_->trace_dropped = 0;
+  for (auto& slot : impl_->thread_busy) {
+    slot.store(0, std::memory_order_relaxed);
+  }
+  impl_->trace_start_ns = NowNs();
+}
+
+// ---------------------------------------------------------------------------
+// Report emission.
+
+namespace {
+
+std::mutex g_emit_mu;
+std::string g_metrics_dest;  // "" = off, "stderr", or a path
+std::string g_trace_dest;
+bool g_phase_table = false;
+bool g_hook_registered = false;
+
+/// Maps an env value to a destination: disabled / stderr / path.
+std::string DestFromValue(const char* value) {
+  if (value == nullptr) return "";
+  if (std::strcmp(value, "") == 0 || std::strcmp(value, "0") == 0) return "";
+  if (std::strcmp(value, "1") == 0) return "stderr";
+  return value;
+}
+
+void WriteReport(const std::string& dest, const std::string& contents) {
+  if (dest == "stderr") {
+    std::fwrite(contents.data(), 1, contents.size(), stderr);
+    return;
+  }
+  std::FILE* f = std::fopen(dest.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[obs] cannot write report to %s\n", dest.c_str());
+    return;
+  }
+  std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+}
+
+void EmitReports() {
+  std::string metrics_dest, trace_dest;
+  bool phase_table;
+  {
+    std::lock_guard<std::mutex> lock(g_emit_mu);
+    metrics_dest = g_metrics_dest;
+    trace_dest = g_trace_dest;
+    phase_table = g_phase_table;
+  }
+  Registry& reg = Registry::Global();
+  if (phase_table) reg.PrintPhaseTable(stderr);
+  if (!trace_dest.empty()) WriteReport(trace_dest, reg.TraceJson());
+  if (!metrics_dest.empty() && metrics_dest != trace_dest) {
+    WriteReport(metrics_dest, reg.MetricsJson());
+  }
+}
+
+void RegisterHookLocked() {
+  if (g_hook_registered) return;
+  g_hook_registered = true;
+  std::atexit(EmitReports);
+}
+
+}  // namespace
+
+void InitFromEnvAtExit() {
+  const std::string metrics = DestFromValue(std::getenv("BGC_METRICS"));
+  const std::string trace = DestFromValue(std::getenv("BGC_TRACE"));
+  if (!metrics.empty()) EmitMetricsAtExit(metrics);
+  if (!trace.empty()) EmitTraceAtExit(trace);
+}
+
+void EmitMetricsAtExit(const std::string& dest) {
+  SetMetricsEnabled(true);
+  std::lock_guard<std::mutex> lock(g_emit_mu);
+  // "1" means stderr for direct callers too (bare --profile, bench flags),
+  // not just the env-var path.
+  g_metrics_dest = dest == "1" ? "stderr" : dest;
+  RegisterHookLocked();
+}
+
+void EmitTraceAtExit(const std::string& dest) {
+  SetTraceEnabled(true);
+  std::lock_guard<std::mutex> lock(g_emit_mu);
+  g_trace_dest = dest == "1" ? "stderr" : dest;
+  RegisterHookLocked();
+}
+
+void PrintPhaseTableAtExit() {
+  SetMetricsEnabled(true);
+  std::lock_guard<std::mutex> lock(g_emit_mu);
+  g_phase_table = true;
+  RegisterHookLocked();
+}
+
+namespace {
+// Every binary that links bgc_obs honors BGC_METRICS/BGC_TRACE without
+// explicit wiring; with both unset this is a no-op (collection stays off).
+const bool g_env_init = [] {
+  InitFromEnvAtExit();
+  return true;
+}();
+}  // namespace
+
+}  // namespace bgc::obs

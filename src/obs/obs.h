@@ -1,0 +1,247 @@
+#ifndef BGC_OBS_OBS_H_
+#define BGC_OBS_OBS_H_
+
+// Low-overhead observability: scoped monotonic timers, named counters and
+// gauges, and structured JSON reports (metric summary + trace events).
+//
+// Gating has three layers, cheapest first:
+//   - Compile time: building with -DBGC_OBS_DISABLED (cmake -DBGC_OBS=OFF)
+//     expands every BGC_* macro below to nothing; instrumented code is
+//     byte-identical to uninstrumented code.
+//   - Runtime collection: collection is off until SetMetricsEnabled(true) /
+//     SetTraceEnabled(true) or InitFromEnvAtExit() sees BGC_METRICS /
+//     BGC_TRACE. A disabled BGC_TRACE_SCOPE costs one relaxed atomic load;
+//     a disabled BGC_COUNTER_ADD costs one load and one branch.
+//   - Emission: reports go to stderr or a file only where the BGC_METRICS /
+//     BGC_TRACE env values (or --profile front ends) direct them.
+//
+// Env var values: unset, "" or "0" = disabled; "1" or "stderr" = report to
+// stderr at process exit; anything else = path of the report file.
+// BGC_TRACE implies metric collection (the trace report embeds the metric
+// summary).
+//
+// JSON schema (see DESIGN.md §8 "Observability"): a single object
+//   {"schema":"bgc-obs-v1","wall_ns":N,
+//    "counters":{name:int,...},"gauges":{name:float,...},
+//    "timers":{name:{"count":N,"total_ns":N,"min_ns":N,"max_ns":N},...},
+//    "trace":[{"name":s,"tid":N,"ts_ns":N,"dur_ns":N},...]}   (trace only)
+//
+// Naming convention: dotted lowercase. Timers prefixed "phase." form the
+// per-phase accounting layer — scopes at that level never nest, so their
+// totals partition wall-clock and PrintPhaseTable() can show a meaningful
+// percentage column. Everything else ("tensor.gemm", "condense.gm.inner")
+// may nest freely.
+//
+// This header is dependency-free (no src/core includes): src/core itself
+// is instrumented, so obs must sit below it in the link order.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace bgc::obs {
+
+/// Monotonic clock in nanoseconds (std::chrono::steady_clock).
+int64_t NowNs();
+
+namespace internal {
+inline constexpr uint32_t kMetricsBit = 1;
+inline constexpr uint32_t kTraceBit = 2;
+extern std::atomic<uint32_t> g_mode;
+}  // namespace internal
+
+/// True when counters/timers record (metrics mode or trace mode).
+inline bool MetricsEnabled() {
+  return internal::g_mode.load(std::memory_order_relaxed) != 0;
+}
+
+/// True when scope exits additionally append trace events.
+inline bool TraceEnabled() {
+  return (internal::g_mode.load(std::memory_order_relaxed) &
+          internal::kTraceBit) != 0;
+}
+
+void SetMetricsEnabled(bool on);
+/// Trace implies metric collection; disabling trace keeps metrics as-is.
+void SetTraceEnabled(bool on);
+
+/// Aggregate of one named timer.
+struct TimerStats {
+  long long count = 0;
+  long long total_ns = 0;
+  long long min_ns = 0;
+  long long max_ns = 0;
+};
+
+/// A named duration aggregator. Handles are created by Registry::GetTimer,
+/// never destroyed, and safe to Record() from any thread.
+class Timer {
+ public:
+  /// Folds [start_ns, end_ns) into the aggregate; appends a trace event
+  /// when tracing is enabled. Thread-safe, lock-free.
+  void Record(int64_t start_ns, int64_t end_ns);
+
+  TimerStats Snapshot() const;
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Timer(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+  std::atomic<long long> count_{0};
+  std::atomic<long long> total_ns_{0};
+  std::atomic<long long> min_ns_{0};  // valid when count_ > 0
+  std::atomic<long long> max_ns_{0};
+};
+
+/// A named monotonically-adjusted integer (bytes moved, nnz touched, cache
+/// hits). Thread-safe, relaxed atomic adds.
+class Counter {
+ public:
+  void Add(long long delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  long long value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+  std::atomic<long long> value_{0};
+};
+
+/// One flushed trace event (a completed timer scope).
+struct TraceEvent {
+  const Timer* timer = nullptr;
+  int tid = 0;         // obs-assigned sequential thread id
+  int64_t ts_ns = 0;   // relative to Registry start
+  int64_t dur_ns = 0;
+};
+
+/// Process-wide, thread-safe home of every metric. Handles returned by
+/// GetTimer/GetCounter are stable for the process lifetime (the registry is
+/// deliberately leaked so atexit reporting is safe during shutdown).
+class Registry {
+ public:
+  static Registry& Global();
+
+  /// Handle for `name`, created on first use. O(log n) lookup; cache the
+  /// pointer (the BGC_* macros do this with a static local).
+  Timer* GetTimer(const std::string& name);
+  Counter* GetCounter(const std::string& name);
+
+  /// Last-writer-wins named double (e.g. configured thread count).
+  void SetGauge(const std::string& name, double value);
+
+  /// Adds to the calling thread's busy-time slot (reported as the
+  /// "pool.thread.<tid>.busy_ns" counters). Used by the thread pool.
+  void AddThreadBusyNs(int64_t ns);
+
+  /// Metric summary JSON (schema above, no "trace" key).
+  std::string MetricsJson() const;
+  /// Full JSON including the "trace" event array.
+  std::string TraceJson() const;
+
+  /// Human-readable table of the "phase."-prefixed timers with their share
+  /// of wall-clock since registry creation.
+  void PrintPhaseTable(std::FILE* out) const;
+
+  /// Nanoseconds since the registry was created (≈ first obs use).
+  int64_t WallNs() const { return NowNs() - start_ns_; }
+
+  /// Drops all metric values, trace events, and thread-busy slots (handles
+  /// stay valid; their aggregates reset). For tests.
+  void Reset();
+
+  // Internal: called from Timer::Record when tracing is on.
+  void AppendTraceEvent(const Timer* timer, int64_t start_ns, int64_t dur_ns);
+
+ private:
+  Registry();
+  /// Serializes counters/gauges/timers (no braces); caller holds the lock.
+  void AppendMetricsBodyLocked(std::string& out, int64_t wall_ns) const;
+  struct Impl;
+  Impl* impl_;       // leaked with the registry
+  int64_t start_ns_;
+};
+
+/// RAII wall-clock scope bound to a Timer handle. When metrics are off at
+/// construction the destructor does nothing (cost: one relaxed load).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer* timer)
+      : timer_(MetricsEnabled() ? timer : nullptr),
+        start_ns_(timer_ != nullptr ? NowNs() : 0) {}
+  ~ScopedTimer() {
+    if (timer_ != nullptr) timer_->Record(start_ns_, NowNs());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer* timer_;
+  int64_t start_ns_;
+};
+
+/// Reads BGC_METRICS / BGC_TRACE, enables the corresponding collection
+/// modes, and registers a process-exit hook that writes each report to its
+/// destination. Idempotent. Called by the CLI/bench front ends; library
+/// code never emits on its own.
+void InitFromEnvAtExit();
+
+/// Overrides the metrics report destination ("stderr" or a path) and
+/// enables metric collection; used by --profile style flags. Registers the
+/// same process-exit hook.
+void EmitMetricsAtExit(const std::string& dest);
+/// Same for the trace report (enables tracing too).
+void EmitTraceAtExit(const std::string& dest);
+/// Also print the per-phase table to stderr at process exit.
+void PrintPhaseTableAtExit();
+
+}  // namespace bgc::obs
+
+#if defined(BGC_OBS_DISABLED)
+
+#define BGC_TRACE_SCOPE(name)
+#define BGC_COUNTER_ADD(name, delta)
+#define BGC_GAUGE_SET(name, value)
+
+#else
+
+#define BGC_OBS_CONCAT2(a, b) a##b
+#define BGC_OBS_CONCAT(a, b) BGC_OBS_CONCAT2(a, b)
+
+/// Times the enclosing scope into the named timer. `name` must be a string
+/// literal (the handle is resolved once per call site).
+#define BGC_TRACE_SCOPE(name)                                          \
+  static ::bgc::obs::Timer* BGC_OBS_CONCAT(bgc_obs_timer_, __LINE__) = \
+      ::bgc::obs::Registry::Global().GetTimer(name);                   \
+  ::bgc::obs::ScopedTimer BGC_OBS_CONCAT(bgc_obs_scope_, __LINE__)(    \
+      BGC_OBS_CONCAT(bgc_obs_timer_, __LINE__))
+
+/// Adds `delta` to the named counter when metrics are enabled.
+#define BGC_COUNTER_ADD(name, delta)                                \
+  do {                                                              \
+    if (::bgc::obs::MetricsEnabled()) {                             \
+      static ::bgc::obs::Counter* bgc_obs_counter =                 \
+          ::bgc::obs::Registry::Global().GetCounter(name);          \
+      bgc_obs_counter->Add(delta);                                  \
+    }                                                               \
+  } while (0)
+
+/// Sets the named gauge when metrics are enabled.
+#define BGC_GAUGE_SET(name, value)                                  \
+  do {                                                              \
+    if (::bgc::obs::MetricsEnabled()) {                             \
+      ::bgc::obs::Registry::Global().SetGauge(name, value);         \
+    }                                                               \
+  } while (0)
+
+#endif  // BGC_OBS_DISABLED
+
+#endif  // BGC_OBS_OBS_H_

@@ -8,6 +8,7 @@
 
 #include "src/core/fs.h"
 #include "src/core/hash.h"
+#include "src/obs/obs.h"
 #include "src/store/bgcbin.h"
 #include "src/store/serialize.h"
 
@@ -141,6 +142,7 @@ condense::CondensedGraph ArtifactCache::GetOrComputeCondensed(
         if (loaded.ok()) {
           ++stats_.hits;
           stats_.saved_seconds += stored_compute_seconds;
+          BGC_COUNTER_ADD("store.cache.hits", 1);
           return loaded.take();
         }
         problem = loaded.status();
@@ -149,6 +151,7 @@ condense::CondensedGraph ArtifactCache::GetOrComputeCondensed(
       problem = opened.status();
     }
     ++stats_.rejected;
+    BGC_COUNTER_ADD("store.cache.rejected", 1);
     std::fprintf(stderr,
                  "[bgc::store] discarding bad cache entry: %s (recomputing)\n",
                  problem.message().c_str());
@@ -159,6 +162,7 @@ condense::CondensedGraph ArtifactCache::GetOrComputeCondensed(
   const double elapsed = NowSeconds() - start;
   ++stats_.misses;
   stats_.compute_seconds += elapsed;
+  BGC_COUNTER_ADD("store.cache.misses", 1);
 
   BgcbinWriter writer;
   SectionWriter& meta = writer.AddSection("cache_meta");

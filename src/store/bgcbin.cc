@@ -5,6 +5,7 @@
 #include "src/core/check.h"
 #include "src/core/fs.h"
 #include "src/core/hash.h"
+#include "src/obs/obs.h"
 
 namespace bgc::store {
 namespace {
@@ -148,12 +149,18 @@ std::string BgcbinWriter::Serialize() const {
 }
 
 Status BgcbinWriter::WriteTo(const std::string& path) const {
-  return WriteFileAtomic(path, Serialize());
+  BGC_TRACE_SCOPE("store.write");
+  std::string bytes = Serialize();
+  BGC_COUNTER_ADD("store.bytes_written", static_cast<long long>(bytes.size()));
+  return WriteFileAtomic(path, bytes);
 }
 
 StatusOr<BgcbinReader> BgcbinReader::Open(const std::string& path) {
+  BGC_TRACE_SCOPE("store.read");
   StatusOr<std::string> bytes = ReadFileToString(path);
   if (!bytes.ok()) return bytes.status();
+  BGC_COUNTER_ADD("store.bytes_read",
+                  static_cast<long long>(bytes.value().size()));
   return Parse(bytes.take(), path);
 }
 

@@ -4,6 +4,7 @@
 
 #include "src/core/check.h"
 #include "src/core/fs.h"
+#include "src/obs/obs.h"
 #include "src/store/artifact_cache.h"
 #include "src/store/serialize.h"
 
@@ -48,12 +49,16 @@ ResumableResult RunResumableCondensation(
     epoch = state.epoch;
     out.resumed = true;
   } else {
+    BGC_TRACE_SCOPE("phase.condense.init");
     condenser.Initialize(source, num_classes, config, rng);
   }
 
   long long ran_here = 0;
   while (epoch < config.epochs) {
-    condenser.Epoch(source);
+    {
+      BGC_TRACE_SCOPE("phase.condense.epoch");
+      condenser.Epoch(source);
+    }
     ++epoch;
     ++ran_here;
     const bool done = epoch >= config.epochs;

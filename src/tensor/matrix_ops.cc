@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "src/core/parallel.h"
+#include "src/obs/obs.h"
 
 namespace bgc {
 
@@ -32,6 +33,10 @@ int GemmRowGrain(int inner, int out_cols) {
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   BGC_CHECK_EQ(a.cols(), b.rows());
   const int n = a.rows(), k = a.cols(), m = b.cols();
+  BGC_TRACE_SCOPE("tensor.gemm");
+  BGC_COUNTER_ADD("tensor.gemm.calls", 1);
+  BGC_COUNTER_ADD("tensor.gemm.flops",
+                  2LL * n * k * m);
   Matrix c(n, m);
   // Row-partitioned over the pool: each chunk owns a disjoint slice of c.
   // Within a chunk the k loop is blocked into ascending panels so a panel
@@ -60,6 +65,10 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
 Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   BGC_CHECK_EQ(a.rows(), b.rows());
   const int k = a.rows(), n = a.cols(), m = b.cols();
+  BGC_TRACE_SCOPE("tensor.gemm");
+  BGC_COUNTER_ADD("tensor.gemm.calls", 1);
+  BGC_COUNTER_ADD("tensor.gemm.flops",
+                  2LL * n * k * m);
   Matrix c(n, m);
   // Partitioned over output rows (columns of a): the p loop stays outermost
   // and ascending inside each chunk, so per-element accumulation order —
@@ -82,6 +91,10 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
 Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   BGC_CHECK_EQ(a.cols(), b.cols());
   const int n = a.rows(), k = a.cols(), m = b.rows();
+  BGC_TRACE_SCOPE("tensor.gemm");
+  BGC_COUNTER_ADD("tensor.gemm.calls", 1);
+  BGC_COUNTER_ADD("tensor.gemm.flops",
+                  2LL * n * k * m);
   Matrix c(n, m);
   // Row-partitioned dot products; each output element is one serial dot,
   // so numerics are untouched by the partitioning.

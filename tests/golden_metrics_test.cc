@@ -1,0 +1,144 @@
+// Golden regression harness: a tiny fixed-seed condense -> attack -> eval
+// pipeline whose ACC / ASR / loss values are pinned bit-for-bit.
+//
+// Every kernel in this repo is required to be deterministic (bit-identical
+// across BGC_NUM_THREADS settings — see DESIGN.md), so these goldens assert
+// EXACT double equality. A mismatch means some change altered the numeric
+// path: reordered a reduction, touched an RNG stream, changed a default.
+// That is exactly what this test exists to catch — observability hooks,
+// refactors, and optimizations must all be numerically invisible.
+//
+// Regenerating after an INTENTIONAL numeric change:
+//   BGC_REGEN_GOLDEN=1 ./golden_metrics_test
+// prints the new kGolden* literals (exact %.17g / %.9g) to stderr; paste
+// them below and say why in the commit message. The suite also runs in the
+// ASan leg of tools/ci.sh — both build types compile with -O2, so the
+// values must agree across them.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "src/condense/condenser.h"
+#include "src/data/synthetic.h"
+#include "src/eval/experiment.h"
+#include "src/nn/models.h"
+#include "src/nn/trainer.h"
+
+namespace bgc {
+namespace {
+
+bool Regen() {
+  const char* env = std::getenv("BGC_REGEN_GOLDEN");
+  return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == 0);
+}
+
+// Shrunken but complete spec: real selector, adaptive triggers, learned
+// adjacency — every stage of the pipeline executes, just briefly.
+eval::RunSpec TinySpec() {
+  eval::RunSpec spec;
+  spec.dataset = "cora-sim";
+  spec.dataset_scale = 0.25;
+  spec.seed = 7;
+  spec.repeats = 1;
+  spec.method = "gcond";
+  spec.attack = "bgc";
+  spec.condense.num_condensed = 14;
+  spec.condense.epochs = 4;
+  spec.attack_cfg.selector_epochs = 10;
+  spec.attack_cfg.surrogate_steps = 8;
+  spec.attack_cfg.update_batch = 8;
+  spec.victim.epochs = 30;
+  spec.eval_clean_baseline = true;
+  return spec;
+}
+
+// ---- golden values -------------------------------------------------------
+// Produced by BGC_REGEN_GOLDEN=1 on the seed commit of this harness.
+constexpr double kGoldenBackdoorCta = 0.17599999999999999;
+constexpr double kGoldenBackdoorAsr = 1;
+constexpr double kGoldenCleanCta = 0.372;
+constexpr double kGoldenCleanAsr = 0.045248868778280542;
+constexpr float kGoldenCondenseLoss = 1.45811915f;
+constexpr double kGoldenCleanOnlyCta = 0.32400000000000001;
+// --------------------------------------------------------------------------
+
+TEST(GoldenMetricsTest, AttackPipelineMetricsAreBitStable) {
+  eval::RepeatResult rr = eval::RunOnce(TinySpec(), /*seed=*/7);
+  ASSERT_TRUE(rr.has_clean);
+  if (Regen()) {
+    std::fprintf(stderr,
+                 "constexpr double kGoldenBackdoorCta = %.17g;\n"
+                 "constexpr double kGoldenBackdoorAsr = %.17g;\n"
+                 "constexpr double kGoldenCleanCta = %.17g;\n"
+                 "constexpr double kGoldenCleanAsr = %.17g;\n",
+                 rr.backdoor.cta, rr.backdoor.asr, rr.clean.cta,
+                 rr.clean.asr);
+    GTEST_SKIP() << "BGC_REGEN_GOLDEN set: printed fresh goldens, "
+                    "assertions skipped";
+  }
+  // Exact comparisons on purpose; see the file comment.
+  EXPECT_EQ(rr.backdoor.cta, kGoldenBackdoorCta);
+  EXPECT_EQ(rr.backdoor.asr, kGoldenBackdoorAsr);
+  EXPECT_EQ(rr.clean.cta, kGoldenCleanCta);
+  EXPECT_EQ(rr.clean.asr, kGoldenCleanAsr);
+}
+
+TEST(GoldenMetricsTest, CondensationAndVictimLossAreBitStable) {
+  data::GraphDataset ds = data::MakeDataset("cora-sim", /*seed=*/7, 0.25);
+  condense::SourceGraph clean =
+      condense::FromTrainView(data::MakeTrainView(ds));
+  condense::CondenseConfig cfg;
+  cfg.num_condensed = 14;
+  cfg.epochs = 4;
+  Rng rng(7);
+  auto condenser = condense::MakeCondenser("gcond");
+  condense::CondensedGraph g = condense::RunCondensation(
+      *condenser, clean, ds.num_classes, cfg, rng);
+
+  nn::GnnConfig mc;
+  mc.in_dim = g.features.cols();
+  mc.hidden_dim = 16;
+  mc.out_dim = g.num_classes;
+  Rng model_rng(11);
+  auto model = nn::MakeModel("gcn", mc, model_rng);
+  nn::TrainConfig tc;
+  tc.epochs = 25;
+  tc.seed = 13;
+  const float loss = nn::TrainNodeClassifier(*model, g.adj, g.features,
+                                             g.labels, /*train_idx=*/{}, tc);
+  if (Regen()) {
+    std::fprintf(stderr, "constexpr float kGoldenCondenseLoss = %.9gf;\n",
+                 loss);
+    GTEST_SKIP() << "BGC_REGEN_GOLDEN set";
+  }
+  EXPECT_EQ(loss, kGoldenCondenseLoss);
+}
+
+TEST(GoldenMetricsTest, CleanCondensationCtaIsBitStable) {
+  eval::RunSpec spec = TinySpec();
+  spec.attack = "none";
+  eval::RepeatResult rr = eval::RunOnce(spec, /*seed=*/7);
+  if (Regen()) {
+    std::fprintf(stderr, "constexpr double kGoldenCleanOnlyCta = %.17g;\n",
+                 rr.backdoor.cta);
+    GTEST_SKIP() << "BGC_REGEN_GOLDEN set";
+  }
+  EXPECT_EQ(rr.backdoor.cta, kGoldenCleanOnlyCta);
+}
+
+// The pipeline above must give the same numbers on every run of the same
+// binary (no hidden global state, no time/address dependence) — otherwise
+// the goldens would be meaningless. This guard runs even under regen.
+TEST(GoldenMetricsTest, PipelineIsDeterministicWithinProcess) {
+  eval::RunSpec spec = TinySpec();
+  spec.eval_clean_baseline = false;  // halve the cost; CTA+ASR suffice
+  eval::RepeatResult a = eval::RunOnce(spec, 7);
+  eval::RepeatResult b = eval::RunOnce(spec, 7);
+  EXPECT_EQ(a.backdoor.cta, b.backdoor.cta);
+  EXPECT_EQ(a.backdoor.asr, b.backdoor.asr);
+}
+
+}  // namespace
+}  // namespace bgc

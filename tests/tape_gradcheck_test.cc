@@ -136,6 +136,31 @@ std::vector<GradCase> MakeCases() {
         return t.SumAll(t.Acos(v[0]));
       },
       8e-2f, -0.8f, 0.8f);
+  add("acos_near_edge", {{2, 2}},
+      [](Tape& t, const std::vector<Var>& v) {
+        return t.SumAll(t.Acos(v[0]));
+      },
+      1e-1f, 0.85f, 0.95f);  // steep but still inside the ±(1-eps) clamp
+  add("clamp_interior", {{2, 3}}, [](Tape& t, const std::vector<Var>& v) {
+    // Bounds outside the sampling range: gradient passes through.
+    return t.SumAll(t.Square(t.Clamp(v[0], -5.0f, 5.0f)));
+  });
+  add("clamp_saturated", {{2, 3}},
+      [](Tape& t, const std::vector<Var>& v) {
+        // Entries all above hi: output constant, both gradients zero. This
+        // is the semantics Sqrt/Log/Acos eps-guards do NOT have (they keep
+        // their analytic gradient in the clamped region), which is why
+        // Clamp is its own op.
+        return t.SumAll(t.Square(t.Clamp(v[0], -0.5f, 0.5f)));
+      },
+      5e-2f, 1.0f, 2.0f);
+  add("clamp_mixed", {{3, 3}},
+      [](Tape& t, const std::vector<Var>& v) {
+        // lo = 0 with a squared loss: the composition x -> clamp(x,0,10)^2
+        // is C^1 at the kink, so central differences stay accurate even
+        // for entries near zero.
+        return t.SumAll(t.Square(t.Clamp(v[0], 0.0f, 10.0f)));
+      });
   add("reshape", {{2, 6}}, [](Tape& t, const std::vector<Var>& v) {
     return t.SumAll(t.Square(t.MatMul(t.Reshape(v[0], 3, 4),
                                       t.Constant(Matrix(4, 2, 0.7f)))));
@@ -223,6 +248,71 @@ std::vector<GradCase> MakeCases() {
         norm = t.MulRowVec(norm, t.Transpose(s));
         return t.SumAll(t.Square(norm));
       });
+  // Depth-1 ReLU NTK between two distinct point sets — the gc-sntk kernel
+  // chain (matmul, row norms, cosine, clamped acos, kappa blend). Using a
+  // cross kernel keeps cosine similarity off the s = 1 diagonal, where the
+  // acos clamp makes the analytic gradient intentionally diverge from the
+  // true one (the same reason gc-sntk's k_ss diagonal is not gradchecked).
+  auto ntk = [](Tape& t, Var u, Var v, int d) {
+    const float pi = 3.14159265358979323846f;
+    const float inv_d = 1.0f / static_cast<float>(d);
+    Var sigma0 = t.Scale(t.MatMul(u, t.Transpose(v)), inv_d);
+    Var nu = t.Scale(t.RowSumOp(t.Square(u)), inv_d);
+    Var nv = t.Scale(t.RowSumOp(t.Square(v)), inv_d);
+    Var norm_prod =
+        t.MatMul(t.Sqrt(nu, 1e-8f), t.Transpose(t.Sqrt(nv, 1e-8f)));
+    Var s = t.ElemDiv(sigma0, t.AddConst(norm_prod, 1e-8f));
+    Var acos_s = t.Acos(s);
+    Var pi_minus = t.AddConst(t.Scale(acos_s, -1.0f), pi);
+    Var one_minus_s2 = t.AddConst(t.Scale(t.Square(s), -1.0f), 1.0f);
+    Var kappa1 = t.Scale(
+        t.Add(t.Hadamard(s, pi_minus), t.Sqrt(one_minus_s2, 1e-8f)),
+        1.0f / pi);
+    Var kappa0 = t.Scale(pi_minus, 1.0f / pi);
+    return t.Add(t.Hadamard(norm_prod, kappa1), t.Hadamard(sigma0, kappa0));
+  };
+  add("composite_ntk_cross", {{3, 4}, {2, 4}},
+      [ntk](Tape& t, const std::vector<Var>& v) {
+        return t.SumAll(t.Square(ntk(t, v[0], v[1], 4)));
+      },
+      1e-1f);
+  add("composite_sntk_ridge", {{3, 4}},
+      [ntk](Tape& t, const std::vector<Var>& v) {
+        // Kernel regression head: cross kernel against a fixed batch, then
+        // a ridge solve — the gradient path of gc-sntk's outer loss.
+        Rng rng(99);
+        Var batch = t.Constant(Matrix::RandomUniform(2, 4, rng, -1.5f, 1.5f));
+        Var k_bs = ntk(t, batch, v[0], 4);  // 2x3
+        Var a = t.Constant(Scale(Matrix::Identity(2), 8.0f));
+        Var pred = t.Solve(a, k_bs);
+        return t.SumAll(t.Square(pred));
+      },
+      1e-1f);
+  add("composite_learned_adjacency", {{4, 3}, {3, 2}},
+      [](Tape& t, const std::vector<Var>& v) {
+        // GCond's NormalizedLearnedAdjacency chain minus BinarizeSte (the
+        // straight-through estimator is non-differentiable by design and
+        // would fail any finite-difference check): low-rank tanh scores,
+        // sigmoid, zeroed diagonal, +I, symmetric degree normalization,
+        // then one propagation of constant features.
+        const int n = 4;
+        Var h = t.Tanh(t.MatMul(v[0], v[1]));
+        Var raw = t.Scale(t.MatMul(h, t.Transpose(h)),
+                          1.0f / std::sqrt(2.0f));
+        Var a = t.Sigmoid(raw);
+        Matrix mask(n, n, 1.0f);
+        for (int i = 0; i < n; ++i) mask(i, i) = 0.0f;
+        a = t.Hadamard(a, t.Constant(mask));
+        Var hat = t.Add(a, t.Constant(Matrix::Identity(n)));
+        Var deg = t.RowSumOp(hat);
+        Var inv_sqrt =
+            t.ElemDiv(t.Constant(Matrix(n, 1, 1.0f)), t.Sqrt(deg, 1e-8f));
+        Var norm = t.MulColVec(hat, inv_sqrt);
+        norm = t.MulRowVec(norm, t.Transpose(inv_sqrt));
+        Var z = t.MatMul(norm, t.Constant(Matrix(n, 2, 0.6f)));
+        return t.SumAll(t.Square(z));
+      },
+      8e-2f);
   return cases;
 }
 

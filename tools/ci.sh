@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Local CI matrix: the same legs a hosted pipeline would run, in order of
+# increasing cost. Any failure stops the script (set -e).
+#
+#   1. Release build, full tier1 suite        (the ROADMAP gate)
+#   2. Release `check-fast`                   (ctest -LE slow; the inner-loop
+#                                              preset `make check-fast` uses)
+#   3. ASan build, `sanitizer`-labeled suites (store/bgcbin fuzz/obs/golden —
+#                                              byte-level and concurrent code)
+#   4. TSan build, obs + parallel suites      (counter/timer thread safety)
+#
+# Usage: tools/ci.sh [--skip-tsan] [--skip-asan]
+# Build trees live in build-ci-{release,asan,tsan}, separate from ./build so
+# CI runs never dirty the development tree.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+SKIP_ASAN=0
+SKIP_TSAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-asan) SKIP_ASAN=1 ;;
+    --skip-tsan) SKIP_TSAN=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "Release build"
+cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-ci-release -j "$JOBS"
+
+step "Release: full tier1 suite"
+ctest --test-dir build-ci-release -L tier1 -j "$JOBS" --output-on-failure
+
+step "Release: check-fast preset (-LE slow)"
+ctest --test-dir build-ci-release -LE slow -j "$JOBS" --output-on-failure
+
+if [ "$SKIP_ASAN" -eq 0 ]; then
+  step "ASan build"
+  cmake -B build-ci-asan -S . -DBGC_SANITIZE=address >/dev/null
+  cmake --build build-ci-asan -j "$JOBS"
+  step "ASan: sanitizer-labeled suites"
+  ctest --test-dir build-ci-asan -L sanitizer -j "$JOBS" --output-on-failure
+fi
+
+if [ "$SKIP_TSAN" -eq 0 ]; then
+  step "TSan build"
+  cmake -B build-ci-tsan -S . -DBGC_SANITIZE=thread >/dev/null
+  cmake --build build-ci-tsan -j "$JOBS"
+  step "TSan: obs + thread-pool suites"
+  # BGC_METRICS=0 keeps emission quiet; the tests enable collection
+  # themselves. Run the concurrency-sensitive binaries directly so TSan
+  # sees the raw threads.
+  ./build-ci-tsan/tests/obs_test
+  ./build-ci-tsan/tests/parallel_test
+fi
+
+step "CI matrix passed"
