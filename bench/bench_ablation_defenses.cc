@@ -17,6 +17,13 @@ namespace {
 using namespace bgc;         // NOLINT
 using namespace bgc::bench;  // NOLINT
 
+/// One repeat of one attack: the four defense variants. Indexed by
+/// variant.
+struct RepeatOut {
+  double cta[4] = {0, 0, 0, 0};
+  double asr[4] = {0, 0, 0, 0};
+};
+
 void Run(Options opt) {
   // Heavy sweep: fast mode defaults to a single repeat (override with
   // --repeats).
@@ -24,49 +31,71 @@ void Run(Options opt) {
   PrintHeader("Ablation — defense suite vs Naive Poison and BGC (GCond, Cora)",
               opt);
   DatasetSetup setup = GetSetup("cora", opt);
+  const std::vector<std::string> attacks = {"naive", "bgc"};
+  const int repeats = Repeats(opt);
+
+  const int num_units = static_cast<int>(attacks.size()) * repeats;
+  auto unit_body = [&](int u) {
+    const std::string& attack = attacks[u / repeats];
+    const int rep = u % repeats;
+    const uint64_t seed = opt.seed + rep;
+    data::GraphDataset ds = data::MakeDataset(setup.preset, seed, setup.scale);
+    condense::SourceGraph clean =
+        condense::FromTrainView(data::MakeTrainView(ds));
+    Rng rng(seed * 7919ULL + 1);
+    eval::RunSpec spec = MakeSpec(setup, /*ratio_idx=*/2, "gcond", attack,
+                                  opt);
+    auto condenser = condense::MakeCondenser("gcond");
+    attack::AttackResult attacked =
+        attack == "naive"
+            ? attack::RunNaivePoison(clean, ds.num_classes, *condenser,
+                                     spec.condense, spec.attack_cfg, rng)
+            : attack::RunBgc(clean, ds.num_classes, *condenser,
+                             spec.condense, spec.attack_cfg, rng);
+    const int yt = spec.attack_cfg.target_class;
+
+    const condense::CondensedGraph variants[4] = {
+        attacked.condensed,
+        defense::Prune(attacked.condensed, 0.2),
+        defense::JaccardPrune(attacked.condensed, 0.01),
+        defense::FilterFeatureOutliers(attacked.condensed, 5.0),
+    };
+    RepeatOut out;
+    for (int v = 0; v < 4; ++v) {
+      auto victim = eval::TrainVictim(variants[v], spec.victim, rng);
+      eval::AttackMetrics m = eval::EvaluateVictim(
+          *victim, ds, attacked.generator.get(), yt);
+      out.cta[v] = m.cta;
+      out.asr[v] = m.asr;
+    }
+    return out;
+  };
+  const auto slots = eval::RunGrid(Grid(opt), num_units, unit_body);
+
   eval::TextTable table({"Attack", "Defense", "CTA", "ASR"});
-
-  for (const char* attack : {"naive", "bgc"}) {
+  const char* defense_names[4] = {"none", "prune(cos)", "prune(jaccard)",
+                                  "outlier-filter"};
+  for (size_t a = 0; a < attacks.size(); ++a) {
     std::vector<std::vector<double>> cta(4), asr(4);
-    for (int rep = 0; rep < Repeats(opt); ++rep) {
-      const uint64_t seed = opt.seed + rep;
-      data::GraphDataset ds =
-          data::MakeDataset(setup.preset, seed, setup.scale);
-      condense::SourceGraph clean =
-          condense::FromTrainView(data::MakeTrainView(ds));
-      Rng rng(seed * 7919ULL + 1);
-      eval::RunSpec spec = MakeSpec(setup, /*ratio_idx=*/2, "gcond", attack,
-                                    opt);
-      auto condenser = condense::MakeCondenser("gcond");
-      attack::AttackResult attacked =
-          std::string(attack) == "naive"
-              ? attack::RunNaivePoison(clean, ds.num_classes, *condenser,
-                                       spec.condense, spec.attack_cfg, rng)
-              : attack::RunBgc(clean, ds.num_classes, *condenser,
-                               spec.condense, spec.attack_cfg, rng);
-      const int yt = spec.attack_cfg.target_class;
-
-      const condense::CondensedGraph variants[4] = {
-          attacked.condensed,
-          defense::Prune(attacked.condensed, 0.2),
-          defense::JaccardPrune(attacked.condensed, 0.01),
-          defense::FilterFeatureOutliers(attacked.condensed, 5.0),
-      };
+    for (int rep = 0; rep < repeats; ++rep) {
+      const auto& slot = slots[a * repeats + rep];
+      if (!slot.status.ok()) {
+        std::fprintf(stderr, "[ablation-defenses] %s repeat %d failed: %s\n",
+                     attacks[a].c_str(), rep, slot.status.message().c_str());
+        continue;
+      }
       for (int v = 0; v < 4; ++v) {
-        auto victim = eval::TrainVictim(variants[v], spec.victim, rng);
-        eval::AttackMetrics m = eval::EvaluateVictim(
-            *victim, ds, attacked.generator.get(), yt);
-        cta[v].push_back(m.cta);
-        asr[v].push_back(m.asr);
+        cta[v].push_back(slot.value.cta[v]);
+        asr[v].push_back(slot.value.asr[v]);
       }
     }
-    const char* defense_names[4] = {"none", "prune(cos)", "prune(jaccard)",
-                                    "outlier-filter"};
     for (int v = 0; v < 4; ++v) {
-      table.AddRow({attack, defense_names[v], Pct(ComputeMeanStd(cta[v])),
-                    Pct(ComputeMeanStd(asr[v]))});
+      table.AddRow({attacks[a], defense_names[v],
+                    cta[v].empty() ? std::string("ERR")
+                                   : Pct(ComputeMeanStd(cta[v])),
+                    asr[v].empty() ? std::string("ERR")
+                                   : Pct(ComputeMeanStd(asr[v]))});
     }
-    std::fflush(stdout);
   }
   table.Print(std::cout);
 }

@@ -21,16 +21,14 @@ void Run(Options opt) {
       "Ablation — BGC across six condensation methods + clean-label variant",
       opt);
   DatasetSetup setup = GetSetup("cora", opt);
-  eval::TextTable table(
-      {"Method", "Variant", "C-CTA", "CTA", "ASR"});
   const std::vector<std::string> methods = {"dc-graph", "gcond", "gcond-x",
                                             "gc-sntk", "doscond", "gcdm"};
+
+  std::vector<eval::RunSpec> cells;
+  std::vector<std::pair<std::string, std::string>> rows;  // method, variant
   for (const std::string& method : methods) {
-    eval::RunSpec spec = MakeSpec(setup, /*ratio_idx=*/1, method, "bgc", opt);
-    eval::CellStats stats = eval::RunExperiment(spec);
-    table.AddRow({method, "BGC", Pct(stats.c_cta), Pct(stats.cta),
-                  Pct(stats.asr)});
-    std::fflush(stdout);
+    cells.push_back(MakeSpec(setup, /*ratio_idx=*/1, method, "bgc", opt));
+    rows.emplace_back(method, "BGC");
   }
   // Clean-label variant on the paper's default method; larger budget since
   // clean-label poisoning is weaker per node.
@@ -39,9 +37,21 @@ void Run(Options opt) {
                                   opt);
     spec.attack_cfg.clean_label = true;
     spec.attack_cfg.poison_ratio = 0.2;
-    eval::CellStats stats = eval::RunExperiment(spec);
-    table.AddRow({"gcond", "BGC clean-label", Pct(stats.c_cta),
-                  Pct(stats.cta), Pct(stats.asr)});
+    cells.push_back(spec);
+    rows.emplace_back("gcond", "BGC clean-label");
+  }
+  const std::vector<eval::CellResult> results = RunCells(opt, cells);
+  ReportCellErrors("ablation-methods", results, [&](int i) {
+    return rows[i].first + "/" + rows[i].second;
+  });
+
+  eval::TextTable table(
+      {"Method", "Variant", "C-CTA", "CTA", "ASR"});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const eval::CellResult& res = results[i];
+    table.AddRow({rows[i].first, rows[i].second,
+                  CellPct(res, res.stats.c_cta), CellPct(res, res.stats.cta),
+                  CellPct(res, res.stats.asr)});
   }
   table.Print(std::cout);
 }

@@ -8,9 +8,17 @@
 //                 epoch counts, 3 repeats) — slower, closer to the paper.
 //   --repeats=N   override the repeat count.
 //   --seed=N      base seed (default 1).
+//   --jobs=N      run up to N experiment units (cell × repeat) in
+//                 parallel via eval::GridRunner (default 1 = serial).
+//                 Output is bit-identical for every N; the BGC_NUM_THREADS
+//                 kernel budget is split as max(1, threads / jobs) per
+//                 unit (see src/eval/scheduler.h).
 //   --metrics-out=PATH  write the bgc-obs-v1 metrics JSON there at exit
 //                 ("stderr" prints it instead); BGC_METRICS/BGC_TRACE env
 //                 vars work too (src/obs/obs.h).
+// Flag values are parsed with src/core/parse.h: a malformed or
+// out-of-range value exits with status 2 naming the flag, instead of
+// silently running with atoi's 0.
 // The default ("fast") configuration shrinks the inductive graphs and epoch
 // counts so the full bench suite completes on one CPU core while preserving
 // the paper's qualitative shape.
@@ -18,16 +26,21 @@
 // Set BGC_ARTIFACT_DIR to a writable directory to cache clean
 // condensations across runs (see src/store/artifact_cache.h); a warm
 // second run skips recomputation and reports the time saved at exit.
+// The cache is safe under --jobs>1: concurrent units that want the same
+// condensation are single-flighted (computed once, shared).
 
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "src/core/parse.h"
 #include "src/core/stats.h"
 #include "src/eval/experiment.h"
+#include "src/eval/scheduler.h"
 #include "src/eval/table.h"
 #include "src/obs/obs.h"
 #include "src/store/artifact_cache.h"
@@ -38,8 +51,30 @@ struct Options {
   bool paper = false;
   int repeats = 0;  // 0 = mode default (2 fast / 3 paper)
   uint64_t seed = 1;
+  int jobs = 1;  // concurrent experiment units
   std::string metrics_out;  // empty = env-controlled only
 };
+
+/// Exits with status 2 naming `flag` when a value fails to parse. The
+/// StatusOr overloads below keep call sites one-liners.
+[[noreturn]] inline void BadFlag(const char* flag, const Status& status) {
+  std::fprintf(stderr, "bad value for %s: %s\n", flag,
+               status.message().c_str());
+  std::exit(2);
+}
+
+inline long long IntFlag(const char* flag, const std::string& text,
+                         long long min, long long max) {
+  StatusOr<long long> v = ParseIntInRange(text, min, max);
+  if (!v.ok()) BadFlag(flag, v.status());
+  return v.value();
+}
+
+inline uint64_t U64Flag(const char* flag, const std::string& text) {
+  StatusOr<uint64_t> v = ParseU64(text);
+  if (!v.ok()) BadFlag(flag, v.status());
+  return v.value();
+}
 
 inline Options Parse(int argc, char** argv) {
   Options opt;
@@ -47,9 +82,12 @@ inline Options Parse(int argc, char** argv) {
     if (std::strcmp(argv[i], "--paper") == 0) {
       opt.paper = true;
     } else if (std::strncmp(argv[i], "--repeats=", 10) == 0) {
-      opt.repeats = std::atoi(argv[i] + 10);
+      opt.repeats = static_cast<int>(
+          IntFlag("--repeats", argv[i] + 10, 1, 1000000));
     } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
-      opt.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+      opt.seed = U64Flag("--seed", argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      opt.jobs = static_cast<int>(IntFlag("--jobs", argv[i] + 7, 1, 4096));
     } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
       opt.metrics_out = argv[i] + 14;
     } else if (std::strncmp(argv[i], "--benchmark", 11) == 0) {
@@ -71,6 +109,13 @@ inline Options Parse(int argc, char** argv) {
 inline int Repeats(const Options& opt) {
   if (opt.repeats > 0) return opt.repeats;
   return opt.paper ? 3 : 2;
+}
+
+/// Grid scheduling options derived from the command line.
+inline eval::GridOptions Grid(const Options& opt) {
+  eval::GridOptions g;
+  g.jobs = opt.jobs;
+  return g;
 }
 
 /// Per-dataset experiment geometry: the paper's condensation-ratio labels
@@ -128,13 +173,14 @@ inline store::ArtifactCache* SharedArtifactCache() {
     store::ArtifactCache* c = store::ArtifactCache::FromEnv().release();
     if (c != nullptr) {
       std::atexit([] {
-        const store::ArtifactCacheStats& st = SharedArtifactCache()->stats();
-        if (st.hits + st.misses + st.rejected == 0) return;
+        const store::ArtifactCacheStats st = SharedArtifactCache()->stats();
+        if (st.hits + st.misses + st.rejected + st.coalesced == 0) return;
         std::fprintf(stderr,
                      "[artifact-cache] hits=%lld misses=%lld rejected=%lld "
-                     "computed=%.2fs saved~%.2fs (%s)\n",
-                     st.hits, st.misses, st.rejected, st.compute_seconds,
-                     st.saved_seconds, SharedArtifactCache()->dir().c_str());
+                     "coalesced=%lld computed=%.2fs saved~%.2fs (%s)\n",
+                     st.hits, st.misses, st.rejected, st.coalesced,
+                     st.compute_seconds, st.saved_seconds,
+                     SharedArtifactCache()->dir().c_str());
       });
     }
     return c;
@@ -161,12 +207,46 @@ inline eval::RunSpec MakeSpec(const DatasetSetup& setup, int ratio_idx,
   return spec;
 }
 
+/// Shared grid entry point: schedules every cell's repeats onto
+/// Grid(opt).jobs threads and returns results in cell order. The benches
+/// build their whole spec list, call this once, then format — so the
+/// printed table is bit-identical at every --jobs.
+inline std::vector<eval::CellResult> RunCells(
+    const Options& opt, const std::vector<eval::RunSpec>& cells) {
+  return eval::GridRunner(Grid(opt)).Run(cells);
+}
+
 /// "81.23 (0.24)"-style percent cell.
 inline std::string Pct(const MeanStd& ms) {
   MeanStd scaled{ms.mean * 100.0, ms.std * 100.0};
   return FormatPercentCell(scaled);
 }
 
+/// Pct() of `field` for a completed cell; "ERR" for a failed one (the
+/// message goes to stderr via ReportCellErrors).
+inline std::string CellPct(const eval::CellResult& r, const MeanStd& field) {
+  return r.status.ok() ? Pct(field) : std::string("ERR");
+}
+
+/// Prints each failed cell's message to stderr, labeled with `table` and
+/// the caller-supplied name of the cell; returns the failure count.
+/// `name(i)` should render cell i the way the table labels it.
+inline int ReportCellErrors(
+    const char* table, const std::vector<eval::CellResult>& results,
+    const std::function<std::string(int)>& name) {
+  int failures = 0;
+  for (int i = 0; i < static_cast<int>(results.size()); ++i) {
+    if (results[i].status.ok()) continue;
+    ++failures;
+    std::fprintf(stderr, "[%s] cell %s failed: %s\n", table,
+                 name(i).c_str(), results[i].status.message().c_str());
+  }
+  return failures;
+}
+
+// Deliberately does NOT print --jobs: stdout must be bit-identical across
+// job counts (scheduling is an implementation detail of the run, not of
+// the result).
 inline void PrintHeader(const char* title, const Options& opt) {
   std::printf("== %s ==\n", title);
   std::printf("mode=%s repeats=%d seed=%llu\n\n",

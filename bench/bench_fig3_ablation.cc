@@ -16,19 +16,33 @@ void Run(const Options& opt) {
   PrintHeader("Figure 3 — Selection-module ablation (DC-Graph, Flickr)",
               opt);
   DatasetSetup setup = GetSetup("flickr", opt);
-  eval::TextTable table(
-      {"Ratio (r)", "Variant", "CTA", "ASR"});
+
+  struct Row {
+    std::string ratio, variant;
+  };
+  std::vector<eval::RunSpec> cells;
+  std::vector<Row> rows;
   for (size_t r = 0; r < setup.ratio_labels.size(); ++r) {
     for (const char* variant : {"bgc", "bgc-rand"}) {
       eval::RunSpec spec =
           MakeSpec(setup, static_cast<int>(r), "dc-graph", variant, opt);
       spec.eval_clean_baseline = false;
-      eval::CellStats stats = eval::RunExperiment(spec);
-      table.AddRow({setup.ratio_labels[r],
-                    std::string(variant) == "bgc" ? "BGC" : "BGC_Rand",
-                    Pct(stats.cta), Pct(stats.asr)});
-      std::fflush(stdout);
+      cells.push_back(spec);
+      rows.push_back({setup.ratio_labels[r],
+                      std::string(variant) == "bgc" ? "BGC" : "BGC_Rand"});
     }
+  }
+  const std::vector<eval::CellResult> results = RunCells(opt, cells);
+  ReportCellErrors("fig3", results, [&](int i) {
+    return rows[i].ratio + "/" + rows[i].variant;
+  });
+
+  eval::TextTable table(
+      {"Ratio (r)", "Variant", "CTA", "ASR"});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const eval::CellResult& res = results[i];
+    table.AddRow({rows[i].ratio, rows[i].variant, CellPct(res, res.stats.cta),
+                  CellPct(res, res.stats.asr)});
   }
   table.Print(std::cout);
 }

@@ -20,7 +20,12 @@ void Run(const Options& opt) {
       opt.paper ? std::vector<int>{25, 50, 100, 200, 400, 700, 1000}
                 : std::vector<int>{10, 25, 50, 100, 150};
 
-  eval::TextTable table({"Dataset", "Epochs", "CTA", "ASR"});
+  struct Row {
+    std::string dataset;
+    int epochs = 0;
+  };
+  std::vector<eval::RunSpec> cells;
+  std::vector<Row> rows;
   for (const auto& [dataset, ratio_idx] : dataset_ratio) {
     DatasetSetup setup = GetSetup(dataset, opt);
     for (int epochs : epoch_grid) {
@@ -30,11 +35,20 @@ void Run(const Options& opt) {
       // The series is about the trend; a single repeat per point keeps the
       // sweep affordable (pass --repeats to widen).
       if (opt.repeats == 0) spec.repeats = opt.paper ? 2 : 1;
-      eval::CellStats stats = eval::RunExperiment(spec);
-      table.AddRow({dataset, std::to_string(epochs), Pct(stats.cta),
-                    Pct(stats.asr)});
-      std::fflush(stdout);
+      cells.push_back(spec);
+      rows.push_back({dataset, epochs});
     }
+  }
+  const std::vector<eval::CellResult> results = RunCells(opt, cells);
+  ReportCellErrors("fig4", results, [&](int i) {
+    return rows[i].dataset + "/epochs=" + std::to_string(rows[i].epochs);
+  });
+
+  eval::TextTable table({"Dataset", "Epochs", "CTA", "ASR"});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const eval::CellResult& res = results[i];
+    table.AddRow({rows[i].dataset, std::to_string(rows[i].epochs),
+                  CellPct(res, res.stats.cta), CellPct(res, res.stats.asr)});
   }
   table.Print(std::cout);
 }

@@ -19,18 +19,32 @@ void Run(Options opt) {
   DatasetSetup setup = GetSetup("flickr", opt);
   const std::vector<int> sizes = {2, 4, 6, 8};
 
-  eval::TextTable table({"Ratio (r)", "Trigger size", "CTA", "ASR"});
+  struct Row {
+    std::string ratio;
+    int size = 0;
+  };
+  std::vector<eval::RunSpec> cells;
+  std::vector<Row> rows;
   for (size_t r = 0; r < setup.ratio_labels.size(); ++r) {
     for (int size : sizes) {
       eval::RunSpec spec =
           MakeSpec(setup, static_cast<int>(r), "gc-sntk", "bgc", opt);
       spec.eval_clean_baseline = false;
       spec.attack_cfg.trigger_size = size;
-      eval::CellStats stats = eval::RunExperiment(spec);
-      table.AddRow({setup.ratio_labels[r], std::to_string(size),
-                    Pct(stats.cta), Pct(stats.asr)});
-      std::fflush(stdout);
+      cells.push_back(spec);
+      rows.push_back({setup.ratio_labels[r], size});
     }
+  }
+  const std::vector<eval::CellResult> results = RunCells(opt, cells);
+  ReportCellErrors("fig5", results, [&](int i) {
+    return rows[i].ratio + "/size=" + std::to_string(rows[i].size);
+  });
+
+  eval::TextTable table({"Ratio (r)", "Trigger size", "CTA", "ASR"});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const eval::CellResult& res = results[i];
+    table.AddRow({rows[i].ratio, std::to_string(rows[i].size),
+                  CellPct(res, res.stats.cta), CellPct(res, res.stats.asr)});
   }
   table.Print(std::cout);
 }

@@ -18,20 +18,40 @@ void Run(const Options& opt) {
                                             "gc-sntk"};
   const std::vector<std::string> datasets = {"cora", "citeseer", "flickr",
                                              "reddit"};
+
+  // Build the whole grid first so every (cell, repeat) unit can run in
+  // parallel under --jobs; the formatting pass below walks the cells in
+  // the same nested order they were pushed.
+  std::vector<eval::RunSpec> cells;
+  std::vector<std::string> labels;
+  for (const std::string& method : methods) {
+    for (const std::string& dataset : datasets) {
+      DatasetSetup setup = GetSetup(dataset, opt);
+      for (size_t r = 0; r < setup.ratio_labels.size(); ++r) {
+        cells.push_back(
+            MakeSpec(setup, static_cast<int>(r), method, "bgc", opt));
+        labels.push_back(method + "/" + dataset + "/" + setup.ratio_labels[r]);
+      }
+    }
+  }
+  const std::vector<eval::CellResult> results = RunCells(opt, cells);
+  ReportCellErrors("table2", results, [&](int i) { return labels[i]; });
+
+  size_t i = 0;
   for (const std::string& method : methods) {
     std::printf("-- condensation method: %s --\n", method.c_str());
     eval::TextTable table(
         {"Dataset", "Ratio (r)", "N'", "C-CTA", "CTA", "C-ASR", "ASR"});
     for (const std::string& dataset : datasets) {
       DatasetSetup setup = GetSetup(dataset, opt);
-      for (size_t r = 0; r < setup.ratio_labels.size(); ++r) {
-        eval::RunSpec spec =
-            MakeSpec(setup, static_cast<int>(r), method, "bgc", opt);
-        eval::CellStats stats = eval::RunExperiment(spec);
+      for (size_t r = 0; r < setup.ratio_labels.size(); ++r, ++i) {
+        const eval::CellResult& res = results[i];
         table.AddRow({dataset, setup.ratio_labels[r],
                       std::to_string(setup.condensed_sizes[r]),
-                      Pct(stats.c_cta), Pct(stats.cta), Pct(stats.c_asr),
-                      Pct(stats.asr)});
+                      CellPct(res, res.stats.c_cta),
+                      CellPct(res, res.stats.cta),
+                      CellPct(res, res.stats.c_asr),
+                      CellPct(res, res.stats.asr)});
       }
     }
     table.Print(std::cout);

@@ -22,8 +22,11 @@ void Run(Options opt) {
   const std::vector<std::string> datasets = {"citeseer", "flickr"};
   const std::vector<std::string> attacks = {"gta", "doorping", "bgc"};
 
-  eval::TextTable table({"Cond. Method", "Dataset", "Ratio (r)", "Attack",
-                         "CTA", "ASR"});
+  struct Row {
+    std::string method, dataset, ratio, attack;
+  };
+  std::vector<eval::RunSpec> cells;
+  std::vector<Row> rows;
   for (const std::string& method : methods) {
     for (const std::string& dataset : datasets) {
       DatasetSetup setup = GetSetup(dataset, opt);
@@ -34,13 +37,24 @@ void Run(Options opt) {
           // CTA/ASR of the attacked run only; the clean reference is
           // covered by Table 2.
           spec.eval_clean_baseline = false;
-          eval::CellStats stats = eval::RunExperiment(spec);
-          table.AddRow({method, dataset, setup.ratio_labels[r], attack,
-                        Pct(stats.cta), Pct(stats.asr)});
+          cells.push_back(spec);
+          rows.push_back({method, dataset, setup.ratio_labels[r], attack});
         }
-        std::fflush(stdout);
       }
     }
+  }
+  const std::vector<eval::CellResult> results = RunCells(opt, cells);
+  ReportCellErrors("table3", results, [&](int i) {
+    return rows[i].method + "/" + rows[i].dataset + "/" + rows[i].attack;
+  });
+
+  eval::TextTable table({"Cond. Method", "Dataset", "Ratio (r)", "Attack",
+                         "CTA", "ASR"});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const eval::CellResult& res = results[i];
+    table.AddRow({rows[i].method, rows[i].dataset, rows[i].ratio,
+                  rows[i].attack, CellPct(res, res.stats.cta),
+                  CellPct(res, res.stats.asr)});
   }
   table.Print(std::cout);
 }

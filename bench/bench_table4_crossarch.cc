@@ -18,53 +18,79 @@ struct ArchCell {
   std::vector<double> c_cta, cta, asr;
 };
 
+/// One repeat of one dataset: attack once, then evaluate every
+/// architecture on top. Indexed by architecture.
+struct RepeatOut {
+  std::vector<double> c_cta, cta, asr;
+};
+
 void Run(const Options& opt) {
   PrintHeader("Table 4 — Cross-architecture transfer (GCond + BGC)", opt);
   const std::vector<std::pair<std::string, int>> dataset_ratio = {
       {"cora", 1}, {"citeseer", 0}, {"flickr", 2}, {"reddit", 1}};
   const std::vector<std::string> archs = nn::SupportedArchitectures();
+  const int repeats = Repeats(opt);
 
-  // cells[arch][dataset]
-  std::vector<std::vector<ArchCell>> cells(
-      archs.size(), std::vector<ArchCell>(dataset_ratio.size()));
-
-  for (size_t d = 0; d < dataset_ratio.size(); ++d) {
+  // Unit = (dataset, repeat); the per-arch loop stays inside the unit so
+  // all architectures share the repeat's attack and clean condensation.
+  const int num_units = static_cast<int>(dataset_ratio.size()) * repeats;
+  auto unit_body = [&](int u) {
+    const size_t d = static_cast<size_t>(u / repeats);
+    const int rep = u % repeats;
     DatasetSetup setup = GetSetup(dataset_ratio[d].first, opt);
     const int ratio_idx = dataset_ratio[d].second;
-    for (int rep = 0; rep < Repeats(opt); ++rep) {
-      const uint64_t seed = opt.seed + rep;
-      data::GraphDataset ds =
-          data::MakeDataset(setup.preset, seed, setup.scale);
-      condense::SourceGraph clean =
-          condense::FromTrainView(data::MakeTrainView(ds));
-      Rng rng(seed * 1315423911ULL + 5);
+    const uint64_t seed = opt.seed + rep;
+    data::GraphDataset ds = data::MakeDataset(setup.preset, seed, setup.scale);
+    condense::SourceGraph clean =
+        condense::FromTrainView(data::MakeTrainView(ds));
+    Rng rng(seed * 1315423911ULL + 5);
 
-      eval::RunSpec spec =
-          MakeSpec(setup, ratio_idx, "gcond", "bgc", opt);
-      auto condenser = condense::MakeCondenser("gcond");
-      attack::AttackResult attacked =
-          attack::RunBgc(clean, ds.num_classes, *condenser, spec.condense,
-                         spec.attack_cfg, rng);
-      auto clean_condenser = condense::MakeCondenser("gcond");
-      Rng crng(seed * 1315423911ULL + 6);
-      condense::CondensedGraph clean_condensed = condense::RunCondensation(
-          *clean_condenser, clean, ds.num_classes, spec.condense, crng);
+    eval::RunSpec spec = MakeSpec(setup, ratio_idx, "gcond", "bgc", opt);
+    auto condenser = condense::MakeCondenser("gcond");
+    attack::AttackResult attacked =
+        attack::RunBgc(clean, ds.num_classes, *condenser, spec.condense,
+                       spec.attack_cfg, rng);
+    auto clean_condenser = condense::MakeCondenser("gcond");
+    Rng crng(seed * 1315423911ULL + 6);
+    condense::CondensedGraph clean_condensed = condense::RunCondensation(
+        *clean_condenser, clean, ds.num_classes, spec.condense, crng);
 
-      for (size_t a = 0; a < archs.size(); ++a) {
-        eval::VictimConfig vc = spec.victim;
-        vc.arch = archs[a];
-        auto victim = eval::TrainVictim(attacked.condensed, vc, rng);
-        eval::AttackMetrics backdoor = eval::EvaluateVictim(
-            *victim, ds, attacked.generator.get(),
-            spec.attack_cfg.target_class);
-        auto clean_victim = eval::TrainVictim(clean_condensed, vc, crng);
-        eval::AttackMetrics clean_metrics = eval::EvaluateVictim(
-            *clean_victim, ds, /*generator=*/nullptr, 0);
-        cells[a][d].c_cta.push_back(clean_metrics.cta);
-        cells[a][d].cta.push_back(backdoor.cta);
-        cells[a][d].asr.push_back(backdoor.asr);
+    RepeatOut out;
+    for (size_t a = 0; a < archs.size(); ++a) {
+      eval::VictimConfig vc = spec.victim;
+      vc.arch = archs[a];
+      auto victim = eval::TrainVictim(attacked.condensed, vc, rng);
+      eval::AttackMetrics backdoor = eval::EvaluateVictim(
+          *victim, ds, attacked.generator.get(), spec.attack_cfg.target_class);
+      auto clean_victim = eval::TrainVictim(clean_condensed, vc, crng);
+      eval::AttackMetrics clean_metrics = eval::EvaluateVictim(
+          *clean_victim, ds, /*generator=*/nullptr, 0);
+      out.c_cta.push_back(clean_metrics.cta);
+      out.cta.push_back(backdoor.cta);
+      out.asr.push_back(backdoor.asr);
+    }
+    return out;
+  };
+  const auto slots = eval::RunGrid(Grid(opt), num_units, unit_body);
+
+  // cells[arch][dataset], filled in fixed (dataset, repeat, arch) order so
+  // the table is independent of scheduling.
+  std::vector<std::vector<ArchCell>> cells(
+      archs.size(), std::vector<ArchCell>(dataset_ratio.size()));
+  for (size_t d = 0; d < dataset_ratio.size(); ++d) {
+    for (int rep = 0; rep < repeats; ++rep) {
+      const auto& slot = slots[d * repeats + rep];
+      if (!slot.status.ok()) {
+        std::fprintf(stderr, "[table4] %s repeat %d failed: %s\n",
+                     dataset_ratio[d].first.c_str(), rep,
+                     slot.status.message().c_str());
+        continue;
       }
-      std::fflush(stdout);
+      for (size_t a = 0; a < archs.size(); ++a) {
+        cells[a][d].c_cta.push_back(slot.value.c_cta[a]);
+        cells[a][d].cta.push_back(slot.value.cta[a]);
+        cells[a][d].asr.push_back(slot.value.asr[a]);
+      }
     }
   }
 
@@ -79,7 +105,8 @@ void Run(const Options& opt) {
             std::string(metric) == "C-CTA"
                 ? cell.c_cta
                 : (std::string(metric) == "CTA" ? cell.cta : cell.asr);
-        row.push_back(Pct(ComputeMeanStd(values)));
+        row.push_back(values.empty() ? std::string("ERR")
+                                     : Pct(ComputeMeanStd(values)));
       }
       table.AddRow(std::move(row));
     }

@@ -15,14 +15,6 @@ namespace {
 using namespace bgc;         // NOLINT
 using namespace bgc::bench;  // NOLINT
 
-struct DefenseCell {
-  std::vector<double> cta, asr;
-  void Add(const eval::AttackMetrics& m) {
-    cta.push_back(m.cta);
-    asr.push_back(m.asr);
-  }
-};
-
 std::string Delta(const MeanStd& defended, const MeanStd& base) {
   char buf[32];
   const double rel =
@@ -31,6 +23,12 @@ std::string Delta(const MeanStd& defended, const MeanStd& base) {
   return buf;
 }
 
+/// One repeat of one (method, dataset, ratio) cell: the undefended
+/// backdoored victim and both defenses, sharing the repeat's attack.
+struct RepeatOut {
+  eval::AttackMetrics base, pruned, smoothed;
+};
+
 void Run(Options opt) {
   // Heavy sweep: fast mode defaults to a single repeat (override with
   // --repeats).
@@ -38,69 +36,108 @@ void Run(Options opt) {
   PrintHeader("Table 5 — Attack performance against defenses", opt);
   const std::vector<std::string> methods = {"gcond", "gcond-x"};
   const std::vector<std::string> datasets = {"citeseer", "reddit"};
+  const int repeats = Repeats(opt);
 
-  eval::TextTable table({"Cond.", "Dataset", "Ratio (r)", "Prune CTA",
-                         "dCTA", "Prune ASR", "dASR", "Rsm CTA", "dCTA",
-                         "Rsm ASR", "dASR", "Bkd CTA", "Bkd ASR"});
-
+  struct Row {
+    std::string method, dataset, ratio;
+    int ratio_idx = 0;
+  };
+  std::vector<Row> rows;
   for (const std::string& method : methods) {
     for (const std::string& dataset : datasets) {
       DatasetSetup setup = GetSetup(dataset, opt);
       for (size_t r = 0; r < setup.ratio_labels.size(); ++r) {
-        DefenseCell base, pruned, smoothed;
-        for (int rep = 0; rep < Repeats(opt); ++rep) {
-          const uint64_t seed = opt.seed + rep;
-          data::GraphDataset ds =
-              data::MakeDataset(setup.preset, seed, setup.scale);
-          condense::SourceGraph clean =
-              condense::FromTrainView(data::MakeTrainView(ds));
-          Rng rng(seed * 2654435761ULL + 3);
-          eval::RunSpec spec =
-              MakeSpec(setup, static_cast<int>(r), method, "bgc", opt);
-          auto condenser = condense::MakeCondenser(method);
-          attack::AttackResult attacked = attack::RunBgc(
-              clean, ds.num_classes, *condenser, spec.condense,
-              spec.attack_cfg, rng);
-          const int yt = spec.attack_cfg.target_class;
-
-          // Undefended backdoored victim.
-          auto victim = eval::TrainVictim(attacked.condensed, spec.victim,
-                                          rng);
-          base.Add(eval::EvaluateVictim(*victim, ds,
-                                        attacked.generator.get(), yt));
-
-          // Prune: retrain on the pruned condensed graph.
-          condense::CondensedGraph pruned_graph =
-              defense::Prune(attacked.condensed, 0.2);
-          auto pruned_victim =
-              eval::TrainVictim(pruned_graph, spec.victim, rng);
-          pruned.Add(eval::EvaluateVictim(*pruned_victim, ds,
-                                          attacked.generator.get(), yt));
-
-          // Randsmooth: smoothed inference with the undefended victim.
-          Rng smooth_rng(seed * 2654435761ULL + 4);
-          eval::PredictFn smooth = [&](const graph::CsrMatrix& adj,
-                                       const Matrix& x) {
-            return defense::RandsmoothPredict(*victim, adj, x,
-                                              /*num_samples=*/9,
-                                              /*keep_prob=*/0.7, smooth_rng);
-          };
-          smoothed.Add(eval::EvaluateWithPredict(
-              smooth, ds, attacked.generator.get(), yt));
-        }
-        MeanStd b_cta = ComputeMeanStd(base.cta);
-        MeanStd b_asr = ComputeMeanStd(base.asr);
-        MeanStd p_cta = ComputeMeanStd(pruned.cta);
-        MeanStd p_asr = ComputeMeanStd(pruned.asr);
-        MeanStd s_cta = ComputeMeanStd(smoothed.cta);
-        MeanStd s_asr = ComputeMeanStd(smoothed.asr);
-        table.AddRow({method, dataset, setup.ratio_labels[r], Pct(p_cta),
-                      Delta(p_cta, b_cta), Pct(p_asr), Delta(p_asr, b_asr),
-                      Pct(s_cta), Delta(s_cta, b_cta), Pct(s_asr),
-                      Delta(s_asr, b_asr), Pct(b_cta), Pct(b_asr)});
-        std::fflush(stdout);
+        rows.push_back({method, dataset, setup.ratio_labels[r],
+                        static_cast<int>(r)});
       }
     }
+  }
+
+  // Unit = (row, repeat).
+  const int num_units = static_cast<int>(rows.size()) * repeats;
+  auto unit_body = [&](int u) {
+    const Row& row = rows[u / repeats];
+    const int rep = u % repeats;
+    DatasetSetup setup = GetSetup(row.dataset, opt);
+    const uint64_t seed = opt.seed + rep;
+    data::GraphDataset ds = data::MakeDataset(setup.preset, seed, setup.scale);
+    condense::SourceGraph clean =
+        condense::FromTrainView(data::MakeTrainView(ds));
+    Rng rng(seed * 2654435761ULL + 3);
+    eval::RunSpec spec = MakeSpec(setup, row.ratio_idx, row.method, "bgc",
+                                  opt);
+    auto condenser = condense::MakeCondenser(row.method);
+    attack::AttackResult attacked = attack::RunBgc(
+        clean, ds.num_classes, *condenser, spec.condense, spec.attack_cfg,
+        rng);
+    const int yt = spec.attack_cfg.target_class;
+
+    RepeatOut out;
+    // Undefended backdoored victim.
+    auto victim = eval::TrainVictim(attacked.condensed, spec.victim, rng);
+    out.base = eval::EvaluateVictim(*victim, ds, attacked.generator.get(),
+                                    yt);
+
+    // Prune: retrain on the pruned condensed graph.
+    condense::CondensedGraph pruned_graph =
+        defense::Prune(attacked.condensed, 0.2);
+    auto pruned_victim = eval::TrainVictim(pruned_graph, spec.victim, rng);
+    out.pruned = eval::EvaluateVictim(*pruned_victim, ds,
+                                      attacked.generator.get(), yt);
+
+    // Randsmooth: smoothed inference with the undefended victim.
+    Rng smooth_rng(seed * 2654435761ULL + 4);
+    eval::PredictFn smooth = [&](const graph::CsrMatrix& adj,
+                                 const Matrix& x) {
+      return defense::RandsmoothPredict(*victim, adj, x,
+                                        /*num_samples=*/9,
+                                        /*keep_prob=*/0.7, smooth_rng);
+    };
+    out.smoothed = eval::EvaluateWithPredict(smooth, ds,
+                                             attacked.generator.get(), yt);
+    return out;
+  };
+  const auto slots = eval::RunGrid(Grid(opt), num_units, unit_body);
+
+  eval::TextTable table({"Cond.", "Dataset", "Ratio (r)", "Prune CTA",
+                         "dCTA", "Prune ASR", "dASR", "Rsm CTA", "dCTA",
+                         "Rsm ASR", "dASR", "Bkd CTA", "Bkd ASR"});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::vector<double> b_ctas, b_asrs, p_ctas, p_asrs, s_ctas, s_asrs;
+    bool failed = false;
+    for (int rep = 0; rep < repeats; ++rep) {
+      const auto& slot = slots[i * repeats + rep];
+      if (!slot.status.ok()) {
+        std::fprintf(stderr, "[table5] %s/%s/%s repeat %d failed: %s\n",
+                     rows[i].method.c_str(), rows[i].dataset.c_str(),
+                     rows[i].ratio.c_str(), rep,
+                     slot.status.message().c_str());
+        failed = true;
+        continue;
+      }
+      b_ctas.push_back(slot.value.base.cta);
+      b_asrs.push_back(slot.value.base.asr);
+      p_ctas.push_back(slot.value.pruned.cta);
+      p_asrs.push_back(slot.value.pruned.asr);
+      s_ctas.push_back(slot.value.smoothed.cta);
+      s_asrs.push_back(slot.value.smoothed.asr);
+    }
+    if (failed && b_ctas.empty()) {
+      table.AddRow({rows[i].method, rows[i].dataset, rows[i].ratio, "ERR",
+                    "ERR", "ERR", "ERR", "ERR", "ERR", "ERR", "ERR", "ERR",
+                    "ERR"});
+      continue;
+    }
+    MeanStd b_cta = ComputeMeanStd(b_ctas);
+    MeanStd b_asr = ComputeMeanStd(b_asrs);
+    MeanStd p_cta = ComputeMeanStd(p_ctas);
+    MeanStd p_asr = ComputeMeanStd(p_asrs);
+    MeanStd s_cta = ComputeMeanStd(s_ctas);
+    MeanStd s_asr = ComputeMeanStd(s_asrs);
+    table.AddRow({rows[i].method, rows[i].dataset, rows[i].ratio, Pct(p_cta),
+                  Delta(p_cta, b_cta), Pct(p_asr), Delta(p_asr, b_asr),
+                  Pct(s_cta), Delta(s_cta, b_cta), Pct(s_asr),
+                  Delta(s_asr, b_asr), Pct(b_cta), Pct(b_asr)});
   }
   table.Print(std::cout);
 }

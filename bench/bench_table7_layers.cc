@@ -13,50 +13,87 @@ namespace {
 using namespace bgc;         // NOLINT
 using namespace bgc::bench;  // NOLINT
 
+/// One repeat of one (dataset, ratio) cell: one attack, three victims of
+/// different depth on top. Indexed by layer count (1..3).
+struct RepeatOut {
+  double cta[4] = {0, 0, 0, 0};
+  double asr[4] = {0, 0, 0, 0};
+};
+
 void Run(Options opt) {
   // Heavy sweep: fast mode defaults to a single repeat (override with
   // --repeats).
   if (opt.repeats == 0 && !opt.paper) opt.repeats = 1;
   PrintHeader("Table 7 — Effect of the number of GNN layers", opt);
   const std::vector<std::string> datasets = {"cora", "citeseer", "flickr"};
+  const int repeats = Repeats(opt);
 
-  eval::TextTable table({"Dataset", "Ratio (r)", "Layers", "CTA", "ASR"});
+  struct Row {
+    std::string dataset, ratio;
+    int ratio_idx = 0;
+  };
+  std::vector<Row> rows;
   for (const std::string& dataset : datasets) {
     DatasetSetup setup = GetSetup(dataset, opt);
     for (size_t r = 0; r < setup.ratio_labels.size(); ++r) {
-      // One attack per repeat, three victims of different depth on top.
-      std::vector<std::vector<double>> cta(4), asr(4);
-      for (int rep = 0; rep < Repeats(opt); ++rep) {
-        const uint64_t seed = opt.seed + rep;
-        data::GraphDataset ds =
-            data::MakeDataset(setup.preset, seed, setup.scale);
-        condense::SourceGraph clean =
-            condense::FromTrainView(data::MakeTrainView(ds));
-        Rng rng(seed * 40503ULL + 11);
-        eval::RunSpec spec =
-            MakeSpec(setup, static_cast<int>(r), "gcond", "bgc", opt);
-        auto condenser = condense::MakeCondenser("gcond");
-        attack::AttackResult attacked = attack::RunBgc(
-            clean, ds.num_classes, *condenser, spec.condense,
-            spec.attack_cfg, rng);
-        for (int layers = 1; layers <= 3; ++layers) {
-          eval::VictimConfig vc = spec.victim;
-          vc.layers = layers;
-          auto victim = eval::TrainVictim(attacked.condensed, vc, rng);
-          eval::AttackMetrics m = eval::EvaluateVictim(
-              *victim, ds, attacked.generator.get(),
-              spec.attack_cfg.target_class);
-          cta[layers].push_back(m.cta);
-          asr[layers].push_back(m.asr);
-        }
+      rows.push_back({dataset, setup.ratio_labels[r], static_cast<int>(r)});
+    }
+  }
+
+  const int num_units = static_cast<int>(rows.size()) * repeats;
+  auto unit_body = [&](int u) {
+    const Row& row = rows[u / repeats];
+    const int rep = u % repeats;
+    DatasetSetup setup = GetSetup(row.dataset, opt);
+    const uint64_t seed = opt.seed + rep;
+    data::GraphDataset ds = data::MakeDataset(setup.preset, seed, setup.scale);
+    condense::SourceGraph clean =
+        condense::FromTrainView(data::MakeTrainView(ds));
+    Rng rng(seed * 40503ULL + 11);
+    eval::RunSpec spec =
+        MakeSpec(setup, row.ratio_idx, "gcond", "bgc", opt);
+    auto condenser = condense::MakeCondenser("gcond");
+    attack::AttackResult attacked = attack::RunBgc(
+        clean, ds.num_classes, *condenser, spec.condense, spec.attack_cfg,
+        rng);
+    RepeatOut out;
+    for (int layers = 1; layers <= 3; ++layers) {
+      eval::VictimConfig vc = spec.victim;
+      vc.layers = layers;
+      auto victim = eval::TrainVictim(attacked.condensed, vc, rng);
+      eval::AttackMetrics m = eval::EvaluateVictim(
+          *victim, ds, attacked.generator.get(),
+          spec.attack_cfg.target_class);
+      out.cta[layers] = m.cta;
+      out.asr[layers] = m.asr;
+    }
+    return out;
+  };
+  const auto slots = eval::RunGrid(Grid(opt), num_units, unit_body);
+
+  eval::TextTable table({"Dataset", "Ratio (r)", "Layers", "CTA", "ASR"});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::vector<std::vector<double>> cta(4), asr(4);
+    for (int rep = 0; rep < repeats; ++rep) {
+      const auto& slot = slots[i * repeats + rep];
+      if (!slot.status.ok()) {
+        std::fprintf(stderr, "[table7] %s/%s repeat %d failed: %s\n",
+                     rows[i].dataset.c_str(), rows[i].ratio.c_str(), rep,
+                     slot.status.message().c_str());
+        continue;
       }
       for (int layers = 1; layers <= 3; ++layers) {
-        table.AddRow({dataset, setup.ratio_labels[r],
-                      "l=" + std::to_string(layers),
-                      Pct(ComputeMeanStd(cta[layers])),
-                      Pct(ComputeMeanStd(asr[layers]))});
+        cta[layers].push_back(slot.value.cta[layers]);
+        asr[layers].push_back(slot.value.asr[layers]);
       }
-      std::fflush(stdout);
+    }
+    for (int layers = 1; layers <= 3; ++layers) {
+      table.AddRow({rows[i].dataset, rows[i].ratio,
+                    "l=" + std::to_string(layers),
+                    cta[layers].empty() ? std::string("ERR")
+                                        : Pct(ComputeMeanStd(cta[layers])),
+                    asr[layers].empty() ? std::string("ERR")
+                                        : Pct(ComputeMeanStd(asr[layers]))});
     }
   }
   table.Print(std::cout);

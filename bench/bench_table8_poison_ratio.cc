@@ -19,8 +19,11 @@ void Run(Options opt) {
   PrintHeader("Table 8 — Varying the poisoning budget", opt);
   const std::vector<std::string> methods = {"dc-graph", "gcond", "gcond-x"};
 
-  eval::TextTable table(
-      {"Dataset", "Budget", "Method", "CTA", "ASR"});
+  struct Row {
+    std::string dataset, budget, method;
+  };
+  std::vector<eval::RunSpec> cells;
+  std::vector<Row> rows;
 
   // Cora, ratio sweep.
   {
@@ -32,12 +35,10 @@ void Run(Options opt) {
         spec.eval_clean_baseline = false;
         spec.attack_cfg.poison_budget = 0;
         spec.attack_cfg.poison_ratio = ratio;
-        eval::CellStats stats = eval::RunExperiment(spec);
+        cells.push_back(spec);
         char label[32];
         std::snprintf(label, sizeof(label), "P.R.=%.2f", ratio);
-        table.AddRow({"cora r=1.30%", label, method, Pct(stats.cta),
-                      Pct(stats.asr)});
-        std::fflush(stdout);
+        rows.push_back({"cora r=1.30%", label, method});
       }
     }
   }
@@ -54,12 +55,23 @@ void Run(Options opt) {
                                       opt);
         spec.eval_clean_baseline = false;
         spec.attack_cfg.poison_budget = number;
-        eval::CellStats stats = eval::RunExperiment(spec);
-        table.AddRow({"reddit r=0.05%", "P.N.=" + std::to_string(number),
-                      method, Pct(stats.cta), Pct(stats.asr)});
-        std::fflush(stdout);
+        cells.push_back(spec);
+        rows.push_back({"reddit r=0.05%", "P.N.=" + std::to_string(number),
+                        method});
       }
     }
+  }
+  const std::vector<eval::CellResult> results = RunCells(opt, cells);
+  ReportCellErrors("table8", results, [&](int i) {
+    return rows[i].dataset + "/" + rows[i].budget + "/" + rows[i].method;
+  });
+
+  eval::TextTable table(
+      {"Dataset", "Budget", "Method", "CTA", "ASR"});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const eval::CellResult& res = results[i];
+    table.AddRow({rows[i].dataset, rows[i].budget, rows[i].method,
+                  CellPct(res, res.stats.cta), CellPct(res, res.stats.asr)});
   }
   table.Print(std::cout);
 }

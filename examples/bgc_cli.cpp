@@ -25,6 +25,7 @@
 
 #include "src/attack/bgc.h"
 #include "src/condense/io.h"
+#include "src/core/parse.h"
 #include "src/data/io.h"
 #include "src/data/synthetic.h"
 #include "src/eval/pipeline.h"
@@ -113,11 +114,41 @@ std::string Get(const std::map<std::string, std::string>& flags,
   return it == flags.end() ? fallback : it->second;
 }
 
+// Checked flag accessors: a value that fails to parse or falls outside the
+// flag's documented range exits with status 2 naming the flag, instead of
+// atoi silently yielding 0 and running a meaningless experiment.
+[[noreturn]] void BadFlag(const std::string& key, const Status& status) {
+  std::fprintf(stderr, "bad value for --%s: %s\n", key.c_str(),
+               status.message().c_str());
+  std::exit(2);
+}
+
+int GetInt(const std::map<std::string, std::string>& flags,
+           const std::string& key, const std::string& fallback,
+           long long min, long long max) {
+  StatusOr<long long> v = ParseIntInRange(Get(flags, key, fallback), min, max);
+  if (!v.ok()) BadFlag(key, v.status());
+  return static_cast<int>(v.value());
+}
+
+uint64_t GetSeed(const std::map<std::string, std::string>& flags) {
+  StatusOr<uint64_t> v = ParseU64(Get(flags, "seed", "1"));
+  if (!v.ok()) BadFlag("seed", v.status());
+  return v.value();
+}
+
+double GetDouble(const std::map<std::string, std::string>& flags,
+                 const std::string& key, const std::string& fallback,
+                 double min, double max) {
+  StatusOr<double> v = ParseDoubleInRange(Get(flags, key, fallback), min, max);
+  if (!v.ok()) BadFlag(key, v.status());
+  return v.value();
+}
+
 int Generate(const std::map<std::string, std::string>& flags) {
   const std::string preset = Get(flags, "dataset", "cora-sim");
-  const uint64_t seed = std::strtoull(Get(flags, "seed", "1").c_str(),
-                                      nullptr, 10);
-  const double scale = std::atof(Get(flags, "scale", "1.0").c_str());
+  const uint64_t seed = GetSeed(flags);
+  const double scale = GetDouble(flags, "scale", "1.0", 0.01, 1.0);
   data::GraphDataset ds = data::MakeDataset(preset, seed, scale);
   const std::string out = Get(flags, "out", preset + ".graph");
   SaveDatasetAuto(ds, out);
@@ -129,8 +160,8 @@ int Generate(const std::map<std::string, std::string>& flags) {
 condense::CondenseConfig CondenseConfigFromFlags(
     const std::map<std::string, std::string>& flags) {
   condense::CondenseConfig cfg;
-  cfg.num_condensed = std::atoi(Get(flags, "n", "35").c_str());
-  cfg.epochs = std::atoi(Get(flags, "epochs", "150").c_str());
+  cfg.num_condensed = GetInt(flags, "n", "35", 1, 1000000);
+  cfg.epochs = GetInt(flags, "epochs", "150", 1, 1000000);
   return cfg;
 }
 
@@ -138,7 +169,7 @@ int Condense(const std::map<std::string, std::string>& flags) {
   data::GraphDataset ds = LoadDatasetAuto(Get(flags, "in", "ds.graph"));
   condense::SourceGraph source =
       condense::FromTrainView(data::MakeTrainView(ds));
-  Rng rng(std::strtoull(Get(flags, "seed", "1").c_str(), nullptr, 10));
+  Rng rng(GetSeed(flags));
   auto condenser = condense::MakeCondenser(Get(flags, "method", "gcond"));
   const condense::CondenseConfig cfg = CondenseConfigFromFlags(flags);
   const std::string checkpoint = Get(flags, "checkpoint", "");
@@ -150,7 +181,7 @@ int Condense(const std::map<std::string, std::string>& flags) {
     store::ResumableOptions opts;
     opts.checkpoint_path = checkpoint;
     opts.checkpoint_every =
-        std::atoi(Get(flags, "checkpoint-every", "10").c_str());
+        GetInt(flags, "checkpoint-every", "10", 1, 1000000);
     store::ResumableResult run = store::RunResumableCondensation(
         *condenser, source, ds.num_classes, cfg, rng, opts);
     if (run.resumed) {
@@ -192,12 +223,12 @@ int Attack(const std::map<std::string, std::string>& flags) {
   data::GraphDataset ds = LoadDatasetAuto(Get(flags, "in", "ds.graph"));
   condense::SourceGraph clean =
       condense::FromTrainView(data::MakeTrainView(ds));
-  Rng rng(std::strtoull(Get(flags, "seed", "1").c_str(), nullptr, 10));
+  Rng rng(GetSeed(flags));
   auto condenser = condense::MakeCondenser(Get(flags, "method", "gcond"));
   attack::AttackConfig acfg;
-  acfg.target_class = std::atoi(Get(flags, "target", "0").c_str());
-  acfg.trigger_size = std::atoi(Get(flags, "trigger-size", "4").c_str());
-  acfg.poison_ratio = std::atof(Get(flags, "poison-ratio", "0.1").c_str());
+  acfg.target_class = GetInt(flags, "target", "0", 0, 1000000);
+  acfg.trigger_size = GetInt(flags, "trigger-size", "4", 1, 1000000);
+  acfg.poison_ratio = GetDouble(flags, "poison-ratio", "0.1", 0.0, 1.0);
   attack::AttackResult result =
       attack::RunBgc(clean, ds.num_classes, *condenser,
                      CondenseConfigFromFlags(flags), acfg, rng);
@@ -221,10 +252,10 @@ int Evaluate(const std::map<std::string, std::string>& flags) {
   data::GraphDataset ds = LoadDatasetAuto(Get(flags, "in", "ds.graph"));
   condense::CondensedGraph g =
       LoadCondensedAuto(Get(flags, "condensed", "condensed.graph"));
-  Rng rng(std::strtoull(Get(flags, "seed", "1").c_str(), nullptr, 10));
+  Rng rng(GetSeed(flags));
   eval::VictimConfig vc;
   vc.arch = Get(flags, "arch", "gcn");
-  vc.epochs = std::atoi(Get(flags, "epochs", "200").c_str());
+  vc.epochs = GetInt(flags, "epochs", "200", 1, 1000000);
   auto victim = eval::TrainVictim(g, vc, rng);
   eval::AttackMetrics m =
       eval::EvaluateVictim(*victim, ds, /*generator=*/nullptr, 0);

@@ -58,6 +58,7 @@ KMeansResult KMeans(const Matrix& points, int k, Rng& rng, int max_iters) {
   }
 
   KMeansResult result;
+  result.k = k;
   result.assignment.assign(n, 0);
   std::vector<int> counts(k, 0);
   for (int iter = 0; iter < max_iters; ++iter) {

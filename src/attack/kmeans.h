@@ -12,6 +12,10 @@ namespace bgc::attack {
 struct KMeansResult {
   Matrix centroids;            // k×d
   std::vector<int> assignment; // row -> cluster in [0, k)
+  /// Number of centroids actually produced: min(requested k, num points).
+  /// Consumers sizing per-cluster quotas must divide by this, not by the
+  /// requested k — a small pool silently shrinks the clustering.
+  int k = 0;
 };
 
 /// Lloyd's algorithm with k-means++ seeding on the rows of `points`.

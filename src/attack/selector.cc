@@ -72,11 +72,6 @@ std::vector<int> SelectPoisonedNodes(const condense::SourceGraph& source,
   for (const auto& pool : by_class) populated += !pool.empty();
   BGC_CHECK_GT(populated, 0);
 
-  // Per-cluster quota n = Δ_P / ((C-1)·K), with a floor of 1 so small
-  // budgets still touch every cluster; the final trim enforces the budget.
-  const int per_cluster = std::max(
-      1, config.budget / (populated * config.clusters_per_class));
-
   struct Scored {
     int node;
     float score;
@@ -89,7 +84,11 @@ std::vector<int> SelectPoisonedNodes(const condense::SourceGraph& source,
     Matrix points = GatherRows(h, pool);
     KMeansResult clusters =
         KMeans(points, config.clusters_per_class, rng);
-    const int k = clusters.centroids.rows();
+    // Quota per cluster from the *actual* centroid count (K-Means clamps
+    // k to the pool size); a floor of 1 keeps small budgets touching every
+    // cluster, and the final trim enforces the exact budget.
+    const int k = clusters.k;
+    const int per_cluster = PerClusterQuota(config.budget, populated, k);
     std::vector<std::vector<Scored>> per_cluster_scores(k);
     for (size_t i = 0; i < pool.size(); ++i) {
       const int cluster = clusters.assignment[i];
@@ -100,8 +99,8 @@ std::vector<int> SelectPoisonedNodes(const condense::SourceGraph& source,
             clusters.centroids.At(cluster, j);
         dist += diff * diff;
       }
-      const float score = std::sqrt(dist) +
-                          config.lambda * degrees[pool[i]];  // Eq. (9)
+      const float score = SelectionScore(
+          std::sqrt(dist), degrees[pool[i]], config.lambda);  // Eq. (9)
       per_cluster_scores[cluster].push_back({pool[i], score});
     }
     for (auto& bucket : per_cluster_scores) {

@@ -13,16 +13,37 @@ struct SelectorConfig {
   int target_class = 0;
   int budget = 10;             // Δ_P
   int clusters_per_class = 4;  // K
-  float lambda = 0.1f;         // degree penalty λ in Eq. (9)
+  float lambda = 0.1f;         // degree-bonus weight λ in Eq. (9)
   int selector_epochs = 100;   // f_sel training epochs
   int hidden_dim = 32;
 };
 
+/// Eq. (9) selection score: m(v) = ||h_v - h_centroid||₂ - λ·deg(v).
+/// Candidates are ranked ascending, so among nodes equidistant from their
+/// cluster centroid the higher-degree — more influential — node wins. (The
+/// degree term is a *bonus*, not a penalty: the paper wants nodes that are
+/// both representative of the class and well connected.)
+inline float SelectionScore(float dist, float degree, float lambda) {
+  return dist - lambda * degree;
+}
+
+/// Per-cluster quota n = max(1, Δ_P / (populated · k)), where k is the
+/// number of centroids K-Means actually produced for this class — which is
+/// smaller than the configured clusters_per_class whenever the class pool
+/// is small (K-Means clamps k to the pool size). Dividing by the
+/// configured value would under-fill the budget before the leftover
+/// top-up, losing per-cluster balance.
+inline int PerClusterQuota(int budget, int populated_classes, int actual_k) {
+  if (populated_classes < 1 || actual_k < 1) return 1;
+  const int quota = budget / (populated_classes * actual_k);
+  return quota < 1 ? 1 : quota;
+}
+
 /// Representative poisoned-node selection (Eq. 7-9):
 /// train a GCN f_sel on the source graph, K-Means its hidden embeddings per
-/// non-target class, score m(v) = ||h_v - h_centroid||₂ + λ·deg(v), and take
-/// the most representative (lowest-score: nearest the centroid with a
-/// degree penalty) n = Δ_P / ((C-1)·K) nodes per cluster.
+/// non-target class, score each candidate with SelectionScore, and take the
+/// best-scoring (nearest the centroid, ties broken toward high degree)
+/// PerClusterQuota nodes per cluster.
 ///
 /// Only labeled nodes of classes != target_class are eligible: these are the
 /// nodes whose flipped labels poison the per-class gradients.

@@ -28,6 +28,11 @@ SourceGraph FromTrainView(const data::TrainView& view) {
   return s;
 }
 
+bool IsKnownMethod(const std::string& method) {
+  return method == "gcond" || method == "gcond-x" || method == "dc-graph" ||
+         method == "gc-sntk" || method == "doscond" || method == "gcdm";
+}
+
 std::unique_ptr<Condenser> MakeCondenser(const std::string& method) {
   using Variant = GradientMatchingCondenser::Variant;
   if (method == "gcond") {

@@ -119,6 +119,11 @@ class Condenser {
                             const CondenserState& state);
 };
 
+/// True when `method` names a condenser MakeCondenser can build. Lets
+/// callers that must not abort (e.g. the grid scheduler's error rows)
+/// validate names up front.
+bool IsKnownMethod(const std::string& method);
+
 /// Methods evaluated in the paper — "gcond", "gcond-x", "dc-graph",
 /// "gc-sntk" — plus two extensions from its related work: "doscond"
 /// (one-step gradient matching) and "gcdm" (distribution matching).

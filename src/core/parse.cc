@@ -1,0 +1,94 @@
+#include "src/core/parse.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bgc {
+namespace {
+
+Status NotANumber(const std::string& text, const char* kind) {
+  return Status::Error("'" + text + "' is not a valid " + kind);
+}
+
+// The strto* family silently skips leading whitespace; a strict flag
+// parser must not.
+bool StartsWithSpace(const std::string& text) {
+  return !text.empty() &&
+         std::isspace(static_cast<unsigned char>(text[0])) != 0;
+}
+
+}  // namespace
+
+StatusOr<long long> ParseInt(const std::string& text) {
+  if (text.empty() || StartsWithSpace(text)) {
+    return NotANumber(text, "integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) return NotANumber(text, "integer");
+  if (errno == ERANGE) {
+    return Status::Error("'" + text + "' is out of integer range");
+  }
+  return value;
+}
+
+StatusOr<uint64_t> ParseU64(const std::string& text) {
+  if (text.empty() || text[0] == '-' || StartsWithSpace(text)) {
+    return NotANumber(text, "unsigned integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) {
+    return NotANumber(text, "unsigned integer");
+  }
+  if (errno == ERANGE) {
+    return Status::Error("'" + text + "' is out of unsigned integer range");
+  }
+  return static_cast<uint64_t>(value);
+}
+
+StatusOr<double> ParseDouble(const std::string& text) {
+  if (text.empty() || StartsWithSpace(text)) {
+    return NotANumber(text, "number");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return NotANumber(text, "number");
+  if (errno == ERANGE) {
+    return Status::Error("'" + text + "' is out of floating-point range");
+  }
+  if (!std::isfinite(value)) return NotANumber(text, "finite number");
+  return value;
+}
+
+StatusOr<long long> ParseIntInRange(const std::string& text, long long min,
+                                    long long max) {
+  StatusOr<long long> parsed = ParseInt(text);
+  if (!parsed.ok()) return parsed;
+  if (parsed.value() < min || parsed.value() > max) {
+    return Status::Error("'" + text + "' is outside [" +
+                         std::to_string(min) + ", " + std::to_string(max) +
+                         "]");
+  }
+  return parsed;
+}
+
+StatusOr<double> ParseDoubleInRange(const std::string& text, double min,
+                                    double max) {
+  StatusOr<double> parsed = ParseDouble(text);
+  if (!parsed.ok()) return parsed;
+  if (parsed.value() < min || parsed.value() > max) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "' is outside [%g, %g]", min, max);
+    return Status::Error("'" + text + buf);
+  }
+  return parsed;
+}
+
+}  // namespace bgc

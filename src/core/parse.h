@@ -1,0 +1,39 @@
+#ifndef BGC_CORE_PARSE_H_
+#define BGC_CORE_PARSE_H_
+
+// Checked numeric parsing for flag values. Unlike atoi/atof — which return
+// 0 on garbage and silently ignore trailing junk — these require the WHOLE
+// string to parse and report failures as Status, so a typo'd flag exits
+// with the offending value named instead of running the experiment with a
+// zeroed parameter.
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/status.h"
+
+namespace bgc {
+
+/// Parses a signed decimal integer. The entire string must be consumed;
+/// empty input, trailing characters, and out-of-range values are errors.
+StatusOr<long long> ParseInt(const std::string& text);
+
+/// Parses an unsigned decimal integer (no leading '-').
+StatusOr<uint64_t> ParseU64(const std::string& text);
+
+/// Parses a floating-point number (strtod grammar, full-string match;
+/// NaN and infinities are rejected — no flag in this project wants them).
+StatusOr<double> ParseDouble(const std::string& text);
+
+/// ParseInt plus an inclusive range check, for flags with a documented
+/// domain (epochs > 0, trigger-size >= 1, ...).
+StatusOr<long long> ParseIntInRange(const std::string& text, long long min,
+                                    long long max);
+
+/// ParseDouble plus an inclusive range check (poison-ratio in [0, 1], ...).
+StatusOr<double> ParseDoubleInRange(const std::string& text, double min,
+                                    double max);
+
+}  // namespace bgc
+
+#endif  // BGC_CORE_PARSE_H_

@@ -141,7 +141,10 @@ void ThreadPool::Run(int num_tasks, const std::function<void(int)>& fn) {
   done_cv_.wait(lock, [&] {
     return job->unfinished.load(std::memory_order_acquire) == 0;
   });
-  job_.reset();
+  // Concurrent Run() calls are allowed (the grid scheduler's workers are
+  // plain threads, not pool tasks): only clear the slot if another caller
+  // has not already published its own job there.
+  if (job_ == job) job_.reset();
 }
 
 }  // namespace bgc

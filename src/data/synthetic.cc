@@ -209,6 +209,11 @@ SyntheticConfig PresetConfig(const std::string& name, double scale) {
   return cfg;
 }
 
+bool IsKnownDatasetPreset(const std::string& name) {
+  return name == "cora-sim" || name == "citeseer-sim" ||
+         name == "flickr-sim" || name == "reddit-sim" || name == "tiny-sim";
+}
+
 GraphDataset MakeDataset(const std::string& name, uint64_t seed,
                          double scale) {
   return GenerateSynthetic(PresetConfig(name, scale), seed);

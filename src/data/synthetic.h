@@ -49,6 +49,10 @@ GraphDataset GenerateSynthetic(const SyntheticConfig& config, uint64_t seed);
 /// `scale` in (0, 1] shrinks node counts for fast CI/bench runs.
 SyntheticConfig PresetConfig(const std::string& name, double scale = 1.0);
 
+/// True when `name` is one of the presets above (PresetConfig would not
+/// abort). For callers that need to reject bad names gracefully.
+bool IsKnownDatasetPreset(const std::string& name);
+
 /// Convenience: PresetConfig + GenerateSynthetic.
 GraphDataset MakeDataset(const std::string& name, uint64_t seed,
                          double scale = 1.0);

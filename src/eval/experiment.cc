@@ -63,6 +63,11 @@ attack::AttackResult Dispatch(const RunSpec& spec,
 
 }  // namespace
 
+bool IsKnownAttack(const std::string& attack) {
+  return attack == "none" || attack == "bgc" || attack == "bgc-rand" ||
+         attack == "doorping" || attack == "gta" || attack == "naive";
+}
+
 RepeatResult RunOnce(const RunSpec& spec, uint64_t seed) {
   RepeatResult out;
   data::GraphDataset ds;
@@ -87,7 +92,10 @@ RepeatResult RunOnce(const RunSpec& spec, uint64_t seed) {
 
   attack::AttackResult attacked =
       Dispatch(spec, clean, ds.num_classes, rng);
-  auto victim = TrainVictim(attacked.condensed, spec.victim, rng);
+  // Dedicated victim stream (mirrors the clean path): victim metrics must
+  // not shift when attack internals change how many draws they consume.
+  Rng victim_rng(seed * kSeedStride + 19);
+  auto victim = TrainVictim(attacked.condensed, spec.victim, victim_rng);
   out.backdoor = EvaluateVictim(*victim, ds, attacked.generator.get(),
                                 spec.attack_cfg.target_class);
 

@@ -54,6 +54,10 @@ struct RepeatResult {
   bool has_clean = false;
 };
 
+/// True when `attack` is a name RunOnce dispatches ("none" included).
+/// Callers that must not abort validate with this before running.
+bool IsKnownAttack(const std::string& attack);
+
 /// Runs one repeat with the given seed offset.
 RepeatResult RunOnce(const RunSpec& spec, uint64_t seed);
 

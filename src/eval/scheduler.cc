@@ -1,0 +1,176 @@
+#include "src/eval/scheduler.h"
+
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <thread>
+
+#include "src/condense/condenser.h"
+#include "src/core/stats.h"
+#include "src/core/thread_pool.h"
+#include "src/data/synthetic.h"
+#include "src/obs/obs.h"
+
+namespace bgc::eval {
+namespace {
+
+std::string UnitTag(int unit) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "grid.u%03d", unit);
+  return buf;
+}
+
+/// Runs one unit with exception capture; never lets a throw escape onto a
+/// grid worker thread (which would terminate the process).
+void RunOneUnit(const std::function<Status(int)>& unit, int u,
+                Status& slot) {
+  try {
+    slot = unit(u);
+  } catch (const std::exception& e) {
+    slot = Status::Error("unit " + std::to_string(u) +
+                         " threw: " + e.what());
+  } catch (...) {
+    slot = Status::Error("unit " + std::to_string(u) +
+                         " threw a non-standard exception");
+  }
+}
+
+}  // namespace
+
+int KernelThreadsFor(int total_threads, int jobs) {
+  if (jobs < 1) jobs = 1;
+  if (total_threads < 1) total_threads = 1;
+  const int per_job = total_threads / jobs;
+  return per_job < 1 ? 1 : per_job;
+}
+
+std::vector<Status> RunUnits(const GridOptions& options, int num_units,
+                             const std::function<Status(int)>& unit) {
+  std::vector<Status> statuses(num_units > 0 ? num_units : 0);
+  if (num_units <= 0) return statuses;
+
+  const int jobs =
+      options.jobs > num_units ? num_units : (options.jobs < 1 ? 1 : options.jobs);
+  if (jobs == 1) {
+    // Serial path: no pool resize, no phase redirect — identical to the
+    // pre-scheduler loop.
+    for (int u = 0; u < num_units; ++u) RunOneUnit(unit, u, statuses[u]);
+    return statuses;
+  }
+
+  // Partition the thread budget: the kernel pool shrinks so that
+  // jobs × kernel_threads stays within the configured total, then is
+  // restored once the grid drains.
+  const int total = options.total_threads > 0
+                        ? options.total_threads
+                        : ThreadPool::DefaultNumThreads();
+  const int previous_pool = ThreadPool::Global().num_threads();
+  ThreadPool::SetGlobalNumThreads(KernelThreadsFor(total, jobs));
+  BGC_GAUGE_SET("grid.jobs", jobs);
+
+  {
+    BGC_TRACE_SCOPE("phase.grid");
+    std::atomic<int> next{0};
+    auto worker = [&] {
+      for (;;) {
+        const int u = next.fetch_add(1, std::memory_order_relaxed);
+        if (u >= num_units) return;
+        // Redirect this unit's "phase.*" scopes into its own family so
+        // the shared phase table keeps partitioning wall-clock.
+        obs::ScopedPhaseTag tag(UnitTag(u));
+        BGC_TRACE_SCOPE("grid.unit");
+        RunOneUnit(unit, u, statuses[u]);
+        BGC_COUNTER_ADD("grid.units", 1);
+      }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(jobs - 1);
+    for (int i = 0; i < jobs - 1; ++i) threads.emplace_back(worker);
+    worker();  // the calling thread is one of the jobs
+    for (std::thread& t : threads) t.join();
+  }
+
+  ThreadPool::SetGlobalNumThreads(previous_pool);
+  return statuses;
+}
+
+Status ValidateRunSpec(const RunSpec& spec) {
+  if (spec.repeats <= 0) {
+    return Status::Error("repeats must be positive, got " +
+                         std::to_string(spec.repeats));
+  }
+  if (!data::IsKnownDatasetPreset(spec.dataset)) {
+    return Status::Error("unknown dataset preset: " + spec.dataset);
+  }
+  if (!condense::IsKnownMethod(spec.method)) {
+    return Status::Error("unknown condensation method: " + spec.method);
+  }
+  if (!IsKnownAttack(spec.attack)) {
+    return Status::Error("unknown attack: " + spec.attack);
+  }
+  return Status::Ok();
+}
+
+std::vector<CellResult> GridRunner::Run(
+    const std::vector<RunSpec>& cells) const {
+  const int num_cells = static_cast<int>(cells.size());
+  std::vector<CellResult> out(num_cells);
+
+  // Expand valid cells into (cell, repeat) units; invalid cells become
+  // error rows without scheduling anything (RunOnce would abort on them).
+  std::vector<int> unit_cell, unit_repeat;
+  std::vector<int> first_unit(num_cells, -1);
+  for (int c = 0; c < num_cells; ++c) {
+    out[c].status = ValidateRunSpec(cells[c]);
+    if (!out[c].status.ok()) continue;
+    first_unit[c] = static_cast<int>(unit_cell.size());
+    for (int r = 0; r < cells[c].repeats; ++r) {
+      unit_cell.push_back(c);
+      unit_repeat.push_back(r);
+    }
+  }
+
+  const int num_units = static_cast<int>(unit_cell.size());
+  std::vector<RepeatResult> results(num_units);
+  std::vector<Status> statuses =
+      RunUnits(options_, num_units, [&](int u) -> Status {
+        const RunSpec& spec = cells[unit_cell[u]];
+        results[u] = RunOnce(spec, spec.seed + unit_repeat[u]);
+        return Status::Ok();
+      });
+
+  // Fixed-order reduction per cell, mirroring RunExperiment() exactly so
+  // the aggregate is bit-identical to the serial path at any job count.
+  for (int c = 0; c < num_cells; ++c) {
+    if (!out[c].status.ok()) continue;
+    std::vector<double> cta, asr, c_cta, c_asr;
+    bool has_clean = false;
+    for (int r = 0; r < cells[c].repeats; ++r) {
+      const int u = first_unit[c] + r;
+      if (!statuses[u].ok()) {
+        if (out[c].status.ok()) {
+          out[c].status = Status::Error(
+              "repeat " + std::to_string(r) + ": " + statuses[u].message());
+        }
+        continue;
+      }
+      const RepeatResult& rr = results[u];
+      cta.push_back(rr.backdoor.cta);
+      asr.push_back(rr.backdoor.asr);
+      if (rr.has_clean) {
+        has_clean = true;
+        c_cta.push_back(rr.clean.cta);
+        c_asr.push_back(rr.clean.asr);
+      }
+    }
+    if (!out[c].status.ok()) continue;
+    out[c].stats.cta = ComputeMeanStd(cta);
+    out[c].stats.asr = ComputeMeanStd(asr);
+    out[c].stats.c_cta = ComputeMeanStd(c_cta);
+    out[c].stats.c_asr = ComputeMeanStd(c_asr);
+    out[c].stats.has_clean = has_clean;
+  }
+  return out;
+}
+
+}  // namespace bgc::eval

@@ -1,0 +1,126 @@
+#ifndef BGC_EVAL_SCHEDULER_H_
+#define BGC_EVAL_SCHEDULER_H_
+
+// Parallel experiment scheduler for benchmark grids.
+//
+// A bench grid is a list of independent (cell, repeat) units: each unit is
+// one RunOnce() with its own seed and touches no shared mutable state
+// except the (single-flighted, thread-safe) artifact cache. The scheduler
+// runs those units on up to `jobs` plain threads and aggregates results in
+// a way that is independent of completion order:
+//
+//   - Every unit writes into a pre-sized slot keyed by its unit index;
+//     no shared accumulator is touched while units run.
+//   - Per-cell statistics are reduced afterwards on the calling thread in
+//     fixed repeat order, mirroring RunExperiment() exactly, so
+//     --jobs=N output is bit-identical to --jobs=1 for every N.
+//
+// Thread partitioning: the global BGC_NUM_THREADS budget is split between
+// the grid level and the kernel level — while a grid runs with jobs > 1,
+// the kernel pool is resized to max(1, total / jobs) threads (and restored
+// afterwards), so jobs × kernel_threads ≈ total instead of oversubscribing
+// jobs × total.
+//
+// Failure isolation: a unit that throws becomes a Status in its slot (and
+// its cell an error row in the table); the other units complete normally.
+// Invalid RunSpecs (unknown dataset / method / attack names, which would
+// abort inside RunOnce via BGC_CHECK) are rejected up front by
+// ValidateRunSpec and never scheduled.
+//
+// Observability: with jobs > 1 each unit's thread carries a phase tag
+// "grid.u<NNN>", so "phase.*" scopes opened inside the unit land in
+// per-unit timer families ("grid.u003.condense", ...) instead of
+// overlapping in the shared phase table; the grid itself is accounted as
+// "phase.grid" on the calling thread. With jobs == 1 nothing is
+// redirected and the phase table is unchanged from a serial run.
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/status.h"
+#include "src/eval/experiment.h"
+
+namespace bgc::eval {
+
+struct GridOptions {
+  /// Units run concurrently. 1 (the default) runs everything serially on
+  /// the calling thread with no pool resize — today's behavior.
+  int jobs = 1;
+  /// Thread budget split between grid and kernel levels; 0 resolves
+  /// ThreadPool::DefaultNumThreads() (BGC_NUM_THREADS or hardware).
+  int total_threads = 0;
+};
+
+/// Kernel-pool size while `jobs` units run concurrently out of a budget of
+/// `total_threads`: max(1, total / jobs).
+int KernelThreadsFor(int total_threads, int jobs);
+
+/// Runs unit(0) .. unit(num_units - 1), each exactly once, on up to
+/// options.jobs threads, and returns one Status per unit (slot u holds
+/// unit u's outcome). A unit that throws std::exception is captured as an
+/// error Status in its slot; the remaining units still run. Blocks until
+/// all units finish. The kernel pool is resized per the partitioning rule
+/// while running and restored before returning.
+std::vector<Status> RunUnits(const GridOptions& options, int num_units,
+                             const std::function<Status(int)>& unit);
+
+/// One unit's result slot for RunGrid: `value` is meaningful iff `status`
+/// is OK.
+template <typename T>
+struct GridSlot {
+  Status status;
+  T value{};
+};
+
+/// Typed fan-out for benches with custom per-unit bodies (Table 4's
+/// per-architecture loop, Table 5's defenses, ...): runs body(u) for every
+/// unit, storing each return value in its own pre-sized slot. Completion
+/// order cannot affect the output; reduce the returned slots in unit order
+/// for deterministic tables.
+template <typename Fn>
+auto RunGrid(const GridOptions& options, int num_units, Fn&& body)
+    -> std::vector<GridSlot<std::decay_t<decltype(body(0))>>> {
+  using T = std::decay_t<decltype(body(0))>;
+  std::vector<GridSlot<T>> slots(num_units > 0 ? num_units : 0);
+  std::vector<Status> statuses =
+      RunUnits(options, num_units, [&](int u) -> Status {
+        slots[u].value = body(u);
+        return Status::Ok();
+      });
+  for (int u = 0; u < num_units; ++u) slots[u].status = std::move(statuses[u]);
+  return slots;
+}
+
+/// Rejects specs that would abort inside RunOnce: unknown dataset preset,
+/// condensation method, or attack name, or a non-positive repeat count.
+Status ValidateRunSpec(const RunSpec& spec);
+
+/// One cell's aggregated outcome: `stats` is meaningful iff `status` is
+/// OK; otherwise the message describes the failing unit (error row).
+struct CellResult {
+  Status status;
+  CellStats stats;
+};
+
+/// Schedules a grid of RunSpec cells. Each cell expands to `repeats`
+/// units (seeds spec.seed + r, exactly as RunExperiment), all cells'
+/// units interleave freely across jobs, and per-cell stats are reduced in
+/// repeat order — so Run() at any jobs is bit-identical to calling
+/// RunExperiment(cell) serially per cell.
+class GridRunner {
+ public:
+  explicit GridRunner(GridOptions options = {}) : options_(options) {}
+
+  std::vector<CellResult> Run(const std::vector<RunSpec>& cells) const;
+
+  const GridOptions& options() const { return options_; }
+
+ private:
+  GridOptions options_;
+};
+
+}  // namespace bgc::eval
+
+#endif  // BGC_EVAL_SCHEDULER_H_

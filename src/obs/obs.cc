@@ -81,6 +81,28 @@ int64_t NowNs() {
       .count();
 }
 
+namespace {
+// Phase-redirect tag of the calling thread; empty = no redirect.
+thread_local std::string t_phase_tag;
+}  // namespace
+
+std::string SetThreadPhaseTag(std::string tag) {
+  std::string previous = std::move(t_phase_tag);
+  t_phase_tag = std::move(tag);
+  return previous;
+}
+
+Timer* internal::MaybeRedirectPhase(Timer* timer) {
+  if (timer == nullptr) return timer;
+  const std::string& tag = t_phase_tag;
+  if (tag.empty()) return timer;
+  const std::string& name = timer->name();
+  constexpr char kPhase[] = "phase.";
+  constexpr size_t kPhaseLen = sizeof(kPhase) - 1;
+  if (name.compare(0, kPhaseLen, kPhase) != 0) return timer;
+  return Registry::Global().GetTimer(tag + "." + name.substr(kPhaseLen));
+}
+
 void SetMetricsEnabled(bool on) {
   if (on) {
     internal::g_mode.fetch_or(internal::kMetricsBit,

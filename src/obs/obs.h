@@ -170,12 +170,41 @@ class Registry {
   int64_t start_ns_;
 };
 
+/// Per-thread phase redirect. While a non-empty tag is installed on a
+/// thread, "phase."-prefixed scopes opened by that thread record into
+/// "<tag>.<rest>" instead of the shared phase timer. The grid scheduler
+/// (src/eval/scheduler.h) tags each worker with its unit id, so timers of
+/// concurrently-running units land in per-unit families and the "phase."
+/// table keeps partitioning wall-clock even when units overlap. The
+/// previous tag is returned so nested scopes can restore it.
+std::string SetThreadPhaseTag(std::string tag);
+
+namespace internal {
+/// Applies the calling thread's phase tag to `timer` (identity when no tag
+/// is set or the timer is not "phase."-prefixed).
+Timer* MaybeRedirectPhase(Timer* timer);
+}  // namespace internal
+
+/// RAII thread phase tag; restores the previous tag on destruction.
+class ScopedPhaseTag {
+ public:
+  explicit ScopedPhaseTag(std::string tag)
+      : previous_(SetThreadPhaseTag(std::move(tag))) {}
+  ~ScopedPhaseTag() { SetThreadPhaseTag(std::move(previous_)); }
+  ScopedPhaseTag(const ScopedPhaseTag&) = delete;
+  ScopedPhaseTag& operator=(const ScopedPhaseTag&) = delete;
+
+ private:
+  std::string previous_;
+};
+
 /// RAII wall-clock scope bound to a Timer handle. When metrics are off at
 /// construction the destructor does nothing (cost: one relaxed load).
 class ScopedTimer {
  public:
   explicit ScopedTimer(Timer* timer)
-      : timer_(MetricsEnabled() ? timer : nullptr),
+      : timer_(MetricsEnabled() ? internal::MaybeRedirectPhase(timer)
+                                : nullptr),
         start_ns_(timer_ != nullptr ? NowNs() : 0) {}
   ~ScopedTimer() {
     if (timer_ != nullptr) timer_->Record(start_ns_, NowNs());

@@ -92,8 +92,26 @@ std::string CondensedCacheKey(const std::string& dataset,
          CanonicalCondenseKey(config) + "}";
 }
 
+struct ArtifactCache::InFlight {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  bool ok = false;
+  /// What a follower would have spent: the leader's fresh compute time, or
+  /// the recorded compute time of the disk entry the leader served.
+  double saved_equivalent_seconds = 0.0;
+  condense::CondensedGraph result;
+};
+
 ArtifactCache::ArtifactCache(std::string dir) : dir_(std::move(dir)) {
   ::mkdir(dir_.c_str(), 0755);  // best-effort; writes surface real errors
+}
+
+ArtifactCache::~ArtifactCache() = default;
+
+ArtifactCacheStats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 std::unique_ptr<ArtifactCache> ArtifactCache::FromEnv() {
@@ -109,9 +127,10 @@ std::string ArtifactCache::EntryPath(const std::string& canonical_key) const {
   return dir_ + "/" + name;
 }
 
-condense::CondensedGraph ArtifactCache::GetOrComputeCondensed(
+condense::CondensedGraph ArtifactCache::LoadOrCompute(
     const std::string& canonical_key,
-    const std::function<condense::CondensedGraph()>& compute) {
+    const std::function<condense::CondensedGraph()>& compute,
+    double& saved_equivalent_seconds) {
   const std::string path = EntryPath(canonical_key);
   if (FileExists(path)) {
     Status problem = Status::Ok();
@@ -140,8 +159,12 @@ condense::CondensedGraph ArtifactCache::GetOrComputeCondensed(
         StatusOr<condense::CondensedGraph> loaded =
             ReadCondensedSections(reader);
         if (loaded.ok()) {
-          ++stats_.hits;
-          stats_.saved_seconds += stored_compute_seconds;
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.hits;
+            stats_.saved_seconds += stored_compute_seconds;
+          }
+          saved_equivalent_seconds = stored_compute_seconds;
           BGC_COUNTER_ADD("store.cache.hits", 1);
           return loaded.take();
         }
@@ -150,7 +173,10 @@ condense::CondensedGraph ArtifactCache::GetOrComputeCondensed(
     } else {
       problem = opened.status();
     }
-    ++stats_.rejected;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.rejected;
+    }
     BGC_COUNTER_ADD("store.cache.rejected", 1);
     std::fprintf(stderr,
                  "[bgc::store] discarding bad cache entry: %s (recomputing)\n",
@@ -160,8 +186,12 @@ condense::CondensedGraph ArtifactCache::GetOrComputeCondensed(
   const double start = NowSeconds();
   condense::CondensedGraph result = compute();
   const double elapsed = NowSeconds() - start;
-  ++stats_.misses;
-  stats_.compute_seconds += elapsed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    stats_.compute_seconds += elapsed;
+  }
+  saved_equivalent_seconds = elapsed;
   BGC_COUNTER_ADD("store.cache.misses", 1);
 
   BgcbinWriter writer;
@@ -175,6 +205,83 @@ condense::CondensedGraph ArtifactCache::GetOrComputeCondensed(
                  s.message().c_str());
   }
   return result;
+}
+
+condense::CondensedGraph ArtifactCache::GetOrComputeCondensed(
+    const std::string& canonical_key,
+    const std::function<condense::CondensedGraph()>& compute) {
+  // Single-flight election: the first caller of a key leads; later callers
+  // of the same key wait for the leader's published result instead of
+  // loading or computing it again.
+  std::shared_ptr<InFlight> flight;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto [it, inserted] =
+          inflight_.try_emplace(canonical_key, nullptr);
+      if (inserted) {
+        it->second = std::make_shared<InFlight>();
+        flight = it->second;
+        break;  // this caller is the leader
+      }
+      flight = it->second;
+    }
+    bool leader_ok = false;
+    double saved = 0.0;
+    condense::CondensedGraph shared;
+    {
+      std::unique_lock<std::mutex> flock(flight->mu);
+      flight->cv.wait(flock, [&] { return flight->done; });
+      leader_ok = flight->ok;
+      if (leader_ok) {
+        shared = flight->result;
+        saved = flight->saved_equivalent_seconds;
+      }
+      // flock must release before `flight` drops below: this follower may
+      // hold the last reference, and unlocking a destroyed mutex is UB.
+    }
+    if (leader_ok) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.coalesced;
+        stats_.saved_seconds += saved;
+      }
+      BGC_COUNTER_ADD("store.cache.coalesced", 1);
+      return shared;
+    }
+    // The leader failed; loop to elect a new leader (likely this caller).
+    flight.reset();
+  }
+
+  try {
+    double saved_equivalent_seconds = 0.0;
+    condense::CondensedGraph result =
+        LoadOrCompute(canonical_key, compute, saved_equivalent_seconds);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      inflight_.erase(canonical_key);
+    }
+    {
+      std::lock_guard<std::mutex> flock(flight->mu);
+      flight->result = result;
+      flight->saved_equivalent_seconds = saved_equivalent_seconds;
+      flight->ok = true;
+      flight->done = true;
+    }
+    flight->cv.notify_all();
+    return result;
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      inflight_.erase(canonical_key);
+    }
+    {
+      std::lock_guard<std::mutex> flock(flight->mu);
+      flight->done = true;  // ok stays false: followers re-elect
+    }
+    flight->cv.notify_all();
+    throw;
+  }
 }
 
 }  // namespace bgc::store

@@ -16,9 +16,12 @@
 // Enable by pointing BGC_ARTIFACT_DIR at a writable directory (see
 // FromEnv) or constructing an ArtifactCache explicitly.
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "src/attack/bgc.h"
@@ -41,14 +44,23 @@ struct ArtifactCacheStats {
   long long hits = 0;
   long long misses = 0;
   long long rejected = 0;        // corrupt / mismatched entries discarded
+  long long coalesced = 0;       // callers served by an in-flight leader
   double compute_seconds = 0.0;  // time spent inside compute callbacks
   double saved_seconds = 0.0;    // recorded compute time of served hits
 };
 
+/// Thread-safe: concurrent GetOrComputeCondensed calls are allowed from
+/// any number of threads (the grid scheduler runs experiment units in
+/// parallel). Calls for the SAME key are single-flighted — the first
+/// caller becomes the key's leader and loads or computes the artifact;
+/// followers block until the leader publishes and then share its result,
+/// so a condensation shared by N concurrent units is computed exactly
+/// once.
 class ArtifactCache {
  public:
   /// Caches under `dir` (created if missing).
   explicit ArtifactCache(std::string dir);
+  ~ArtifactCache();
 
   /// Cache in $BGC_ARTIFACT_DIR, or nullptr when the variable is unset or
   /// empty (caching disabled).
@@ -56,7 +68,9 @@ class ArtifactCache {
 
   /// Returns the cached condensed graph for `canonical_key`, or runs
   /// `compute`, stores its result, and returns it. Corrupt or mismatched
-  /// entries are discarded (with a stderr warning) and recomputed.
+  /// entries are discarded (with a stderr warning) and recomputed. If the
+  /// leader's `compute` throws, one waiting follower retries leadership;
+  /// the exception propagates to the leader's caller only.
   condense::CondensedGraph GetOrComputeCondensed(
       const std::string& canonical_key,
       const std::function<condense::CondensedGraph()>& compute);
@@ -65,11 +79,25 @@ class ArtifactCache {
   std::string EntryPath(const std::string& canonical_key) const;
 
   const std::string& dir() const { return dir_; }
-  const ArtifactCacheStats& stats() const { return stats_; }
+  /// Snapshot of the counters (taken under the cache lock).
+  ArtifactCacheStats stats() const;
 
  private:
+  /// One in-flight key: followers wait on `cv` until the leader sets
+  /// `done` and either publishes `result` (ok) or signals failure.
+  struct InFlight;
+
+  /// The disk-or-compute slow path (no single-flight logic). Runs with no
+  /// locks held; mutates stats under mu_.
+  condense::CondensedGraph LoadOrCompute(
+      const std::string& canonical_key,
+      const std::function<condense::CondensedGraph()>& compute,
+      double& saved_equivalent_seconds);
+
   std::string dir_;
+  mutable std::mutex mu_;  // guards stats_ and inflight_
   ArtifactCacheStats stats_;
+  std::map<std::string, std::shared_ptr<InFlight>> inflight_;
 };
 
 }  // namespace bgc::store

@@ -39,7 +39,7 @@ TEST(ExperimentTest, BgcRunFillsAllFourMetrics) {
   RunSpec spec = FastSpec();
   RepeatResult r = RunOnce(spec, 8);
   EXPECT_TRUE(r.has_clean);
-  EXPECT_GT(r.backdoor.asr, 0.6);
+  EXPECT_GT(r.backdoor.asr, 0.55);
   EXPECT_GT(r.backdoor.cta, 0.4);
   EXPECT_GT(r.clean.cta, 0.4);
   // The backdoored model is far more susceptible than the clean one.

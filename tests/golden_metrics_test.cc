@@ -55,11 +55,15 @@ eval::RunSpec TinySpec() {
 }
 
 // ---- golden values -------------------------------------------------------
-// Produced by BGC_REGEN_GOLDEN=1 on the seed commit of this harness.
-constexpr double kGoldenBackdoorCta = 0.17599999999999999;
+// Produced by BGC_REGEN_GOLDEN=1. Last regenerated for the RNG-stream
+// decoupling (victim training now draws seed*stride+19 instead of
+// continuing the attack stream) and the Eq. 9 selector scoring fix
+// (dist − λ·deg), which moved BackdoorCta 0.176 → 0.14 and CleanAsr
+// 0.0452 → 0.00905; the other four literals were unchanged.
+constexpr double kGoldenBackdoorCta = 0.14000000000000001;
 constexpr double kGoldenBackdoorAsr = 1;
 constexpr double kGoldenCleanCta = 0.372;
-constexpr double kGoldenCleanAsr = 0.045248868778280542;
+constexpr double kGoldenCleanAsr = 0.0090497737556561094;
 constexpr float kGoldenCondenseLoss = 1.45811915f;
 constexpr double kGoldenCleanOnlyCta = 0.32400000000000001;
 // --------------------------------------------------------------------------

@@ -288,6 +288,66 @@ TEST_F(ObsTest, DisabledScopeIsCheap) {
       << empty_ns << "ns empty baseline";
 }
 
+// --- Per-thread phase redirect (grid scheduler support): with a tag
+// installed, "phase."-prefixed scopes record into "<tag>.<rest>" so
+// concurrent grid units cannot overlap inside one shared phase timer. ---
+
+TEST_F(ObsTest, PhaseTagRedirectsPhaseScopes) {
+  SetMetricsEnabled(true);
+  {
+    ScopedPhaseTag tag("grid.u007");
+    ScopedTimer scope(Registry::Global().GetTimer("phase.condense"));
+  }
+  EXPECT_EQ(
+      Registry::Global().GetTimer("grid.u007.condense")->Snapshot().count, 1);
+  EXPECT_EQ(Registry::Global().GetTimer("phase.condense")->Snapshot().count,
+            0);
+}
+
+TEST_F(ObsTest, PhaseTagDoesNotTouchNonPhaseTimers) {
+  SetMetricsEnabled(true);
+  {
+    ScopedPhaseTag tag("grid.u001");
+    ScopedTimer scope(Registry::Global().GetTimer("tensor.gemm"));
+  }
+  EXPECT_EQ(Registry::Global().GetTimer("tensor.gemm")->Snapshot().count, 1);
+  EXPECT_EQ(
+      Registry::Global().GetTimer("grid.u001.gemm")->Snapshot().count, 0);
+}
+
+TEST_F(ObsTest, PhaseTagRestoredOnScopeExit) {
+  SetMetricsEnabled(true);
+  {
+    ScopedPhaseTag outer("grid.u001");
+    {
+      ScopedPhaseTag inner("grid.u002");
+      ScopedTimer scope(Registry::Global().GetTimer("phase.victim"));
+    }
+    // Back to the outer tag once the inner scope unwinds.
+    ScopedTimer scope(Registry::Global().GetTimer("phase.victim"));
+  }
+  // And with no tag installed, the scope records undirected again.
+  { ScopedTimer scope(Registry::Global().GetTimer("phase.victim")); }
+  EXPECT_EQ(
+      Registry::Global().GetTimer("grid.u002.victim")->Snapshot().count, 1);
+  EXPECT_EQ(
+      Registry::Global().GetTimer("grid.u001.victim")->Snapshot().count, 1);
+  EXPECT_EQ(Registry::Global().GetTimer("phase.victim")->Snapshot().count, 1);
+}
+
+TEST_F(ObsTest, PhaseTagsAreThreadLocal) {
+  SetMetricsEnabled(true);
+  ScopedPhaseTag tag("grid.u009");
+  std::thread other([] {
+    // The sibling thread carries no tag: its phase scope is unredirected.
+    ScopedTimer scope(Registry::Global().GetTimer("phase.other"));
+  });
+  other.join();
+  EXPECT_EQ(Registry::Global().GetTimer("phase.other")->Snapshot().count, 1);
+  EXPECT_EQ(
+      Registry::Global().GetTimer("grid.u009.other")->Snapshot().count, 0);
+}
+
 // --- JSON parser negatives: the golden/fuzz harness leans on this parser
 // rejecting malformed input rather than misreading it. ---
 

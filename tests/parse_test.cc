@@ -1,0 +1,69 @@
+#include "src/core/parse.h"
+
+#include <gtest/gtest.h>
+
+namespace bgc {
+namespace {
+
+TEST(ParseIntTest, ParsesDecimal) {
+  EXPECT_EQ(ParseInt("0").value(), 0);
+  EXPECT_EQ(ParseInt("42").value(), 42);
+  EXPECT_EQ(ParseInt("-17").value(), -17);
+  EXPECT_EQ(ParseInt("+9").value(), 9);
+}
+
+TEST(ParseIntTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseInt("").ok());
+  EXPECT_FALSE(ParseInt("abc").ok());
+  EXPECT_FALSE(ParseInt("12abc").ok());  // atoi would return 12
+  EXPECT_FALSE(ParseInt("1.5").ok());
+  EXPECT_FALSE(ParseInt(" 7").ok());
+  EXPECT_FALSE(ParseInt("7 ").ok());
+  EXPECT_FALSE(ParseInt("99999999999999999999999999").ok());  // overflow
+}
+
+TEST(ParseIntTest, ErrorNamesTheText) {
+  Status s = ParseInt("wat").status();
+  EXPECT_NE(s.message().find("wat"), std::string::npos);
+}
+
+TEST(ParseU64Test, ParsesAndRejects) {
+  EXPECT_EQ(ParseU64("0").value(), 0u);
+  EXPECT_EQ(ParseU64("18446744073709551615").value(),
+            18446744073709551615ull);
+  EXPECT_FALSE(ParseU64("").ok());
+  EXPECT_FALSE(ParseU64("-1").ok());  // strtoull would wrap silently
+  EXPECT_FALSE(ParseU64("18446744073709551616").ok());
+  EXPECT_FALSE(ParseU64("12x").ok());
+}
+
+TEST(ParseDoubleTest, ParsesAndRejects) {
+  EXPECT_DOUBLE_EQ(ParseDouble("0.25").value(), 0.25);
+  EXPECT_DOUBLE_EQ(ParseDouble("-3e2").value(), -300.0);
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("0.1.2").ok());
+  EXPECT_FALSE(ParseDouble("1.0x").ok());  // atof would return 1.0
+  EXPECT_FALSE(ParseDouble("nan").ok());
+  EXPECT_FALSE(ParseDouble("inf").ok());
+  EXPECT_FALSE(ParseDouble("1e999").ok());  // overflow
+}
+
+TEST(ParseIntInRangeTest, EnforcesInclusiveRange) {
+  EXPECT_EQ(ParseIntInRange("5", 1, 10).value(), 5);
+  EXPECT_EQ(ParseIntInRange("1", 1, 10).value(), 1);
+  EXPECT_EQ(ParseIntInRange("10", 1, 10).value(), 10);
+  EXPECT_FALSE(ParseIntInRange("0", 1, 10).ok());
+  EXPECT_FALSE(ParseIntInRange("11", 1, 10).ok());
+  EXPECT_FALSE(ParseIntInRange("junk", 1, 10).ok());
+}
+
+TEST(ParseDoubleInRangeTest, EnforcesInclusiveRange) {
+  EXPECT_DOUBLE_EQ(ParseDoubleInRange("0.5", 0.0, 1.0).value(), 0.5);
+  EXPECT_DOUBLE_EQ(ParseDoubleInRange("0", 0.0, 1.0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(ParseDoubleInRange("1", 0.0, 1.0).value(), 1.0);
+  EXPECT_FALSE(ParseDoubleInRange("1.01", 0.0, 1.0).ok());
+  EXPECT_FALSE(ParseDoubleInRange("-0.01", 0.0, 1.0).ok());
+}
+
+}  // namespace
+}  // namespace bgc

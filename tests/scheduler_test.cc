@@ -1,0 +1,325 @@
+#include "src/eval/scheduler.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/thread_pool.h"
+#include "src/data/synthetic.h"
+#include "src/store/artifact_cache.h"
+
+namespace bgc::eval {
+namespace {
+
+/// Deliberately minimal spec (mirrors eval_test's FastSpec) so grid tests
+/// stay in tier-1 time budgets.
+RunSpec FastSpec() {
+  RunSpec spec;
+  spec.dataset = "tiny-sim";
+  spec.repeats = 2;
+  spec.method = "gcond-x";
+  spec.attack = "bgc";
+  spec.condense.num_condensed = 9;
+  spec.condense.epochs = 10;
+  spec.attack_cfg.trigger_size = 3;
+  spec.attack_cfg.poison_ratio = 0.2;
+  spec.attack_cfg.clusters_per_class = 2;
+  spec.attack_cfg.selector_epochs = 10;
+  spec.attack_cfg.surrogate_steps = 8;
+  spec.attack_cfg.update_batch = 8;
+  spec.victim.hidden = 16;
+  spec.victim.epochs = 30;
+  return spec;
+}
+
+void ExpectSameStats(const CellStats& a, const CellStats& b) {
+  // Bit-exact, not approximate: the scheduler's contract is that jobs
+  // cannot influence the numbers at all.
+  EXPECT_EQ(a.cta.mean, b.cta.mean);
+  EXPECT_EQ(a.cta.std, b.cta.std);
+  EXPECT_EQ(a.asr.mean, b.asr.mean);
+  EXPECT_EQ(a.asr.std, b.asr.std);
+  EXPECT_EQ(a.c_cta.mean, b.c_cta.mean);
+  EXPECT_EQ(a.c_cta.std, b.c_cta.std);
+  EXPECT_EQ(a.c_asr.mean, b.c_asr.mean);
+  EXPECT_EQ(a.c_asr.std, b.c_asr.std);
+  EXPECT_EQ(a.has_clean, b.has_clean);
+}
+
+TEST(KernelThreadsForTest, PartitionsTheBudget) {
+  EXPECT_EQ(KernelThreadsFor(8, 1), 8);
+  EXPECT_EQ(KernelThreadsFor(8, 2), 4);
+  EXPECT_EQ(KernelThreadsFor(8, 3), 2);
+  EXPECT_EQ(KernelThreadsFor(8, 8), 1);
+  // Oversubscribed grids floor at one kernel thread each.
+  EXPECT_EQ(KernelThreadsFor(4, 16), 1);
+  EXPECT_EQ(KernelThreadsFor(1, 2), 1);
+}
+
+TEST(RunUnitsTest, RunsEveryUnitExactlyOnce) {
+  for (int jobs : {1, 4}) {
+    const int n = 11;
+    std::vector<std::atomic<int>> counts(n);
+    GridOptions opt;
+    opt.jobs = jobs;
+    std::vector<Status> statuses = RunUnits(opt, n, [&](int u) {
+      counts[u].fetch_add(1, std::memory_order_relaxed);
+      return Status::Ok();
+    });
+    ASSERT_EQ(statuses.size(), static_cast<size_t>(n));
+    for (int u = 0; u < n; ++u) {
+      EXPECT_TRUE(statuses[u].ok()) << "unit " << u << " jobs " << jobs;
+      EXPECT_EQ(counts[u].load(), 1) << "unit " << u << " jobs " << jobs;
+    }
+  }
+}
+
+TEST(RunUnitsTest, ThrowingUnitIsIsolated) {
+  for (int jobs : {1, 4}) {
+    const int n = 6;
+    std::vector<std::atomic<int>> counts(n);
+    GridOptions opt;
+    opt.jobs = jobs;
+    std::vector<Status> statuses = RunUnits(opt, n, [&](int u) {
+      counts[u].fetch_add(1, std::memory_order_relaxed);
+      if (u == 2) throw std::runtime_error("boom");
+      return Status::Ok();
+    });
+    EXPECT_FALSE(statuses[2].ok());
+    EXPECT_NE(statuses[2].message().find("boom"), std::string::npos);
+    for (int u = 0; u < n; ++u) {
+      EXPECT_EQ(counts[u].load(), 1);  // the throw never cancels siblings
+      if (u != 2) EXPECT_TRUE(statuses[u].ok());
+    }
+  }
+}
+
+TEST(RunUnitsTest, KernelPoolSizeIsRestored) {
+  ThreadPool::SetGlobalNumThreads(4);
+  GridOptions opt;
+  opt.jobs = 4;
+  opt.total_threads = 4;
+  RunUnits(opt, 8, [&](int u) {
+    (void)u;
+    // While the grid runs, the kernel level holds total/jobs = 1 thread.
+    EXPECT_EQ(ThreadPool::Global().num_threads(), 1);
+    return Status::Ok();
+  });
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 4);
+  ThreadPool::SetGlobalNumThreads(0);  // back to the default
+}
+
+TEST(RunGridTest, SlotsKeyedByUnitIndex) {
+  GridOptions opt;
+  opt.jobs = 3;
+  auto slots = RunGrid(opt, 7, [](int u) { return u * u; });
+  ASSERT_EQ(slots.size(), 7u);
+  for (int u = 0; u < 7; ++u) {
+    EXPECT_TRUE(slots[u].status.ok());
+    EXPECT_EQ(slots[u].value, u * u);
+  }
+}
+
+TEST(RunGridTest, ThrowingBodyLeavesErrorSlot) {
+  GridOptions opt;
+  opt.jobs = 2;
+  auto slots = RunGrid(opt, 4, [](int u) -> int {
+    if (u == 1) throw std::runtime_error("bad unit");
+    return u + 10;
+  });
+  EXPECT_FALSE(slots[1].status.ok());
+  EXPECT_EQ(slots[1].value, 0);  // value-initialized, never written
+  for (int u : {0, 2, 3}) {
+    EXPECT_TRUE(slots[u].status.ok());
+    EXPECT_EQ(slots[u].value, u + 10);
+  }
+}
+
+TEST(ValidateRunSpecTest, AcceptsKnownNamesRejectsUnknown) {
+  EXPECT_TRUE(ValidateRunSpec(FastSpec()).ok());
+  {
+    RunSpec s = FastSpec();
+    s.dataset = "imagenet";
+    Status st = ValidateRunSpec(s);
+    EXPECT_FALSE(st.ok());
+    EXPECT_NE(st.message().find("imagenet"), std::string::npos);
+  }
+  {
+    RunSpec s = FastSpec();
+    s.method = "magic";
+    EXPECT_FALSE(ValidateRunSpec(s).ok());
+  }
+  {
+    RunSpec s = FastSpec();
+    s.attack = "wizardry";
+    EXPECT_FALSE(ValidateRunSpec(s).ok());
+  }
+  {
+    RunSpec s = FastSpec();
+    s.repeats = 0;
+    EXPECT_FALSE(ValidateRunSpec(s).ok());
+  }
+}
+
+// The acceptance criterion: any --jobs produces bit-identical results to
+// the serial per-cell RunExperiment loop.
+TEST(GridRunnerTest, ParallelBitIdenticalToSerial) {
+  std::vector<RunSpec> cells;
+  {
+    RunSpec a = FastSpec();
+    a.seed = 3;
+    cells.push_back(a);
+    RunSpec b = FastSpec();
+    b.seed = 5;
+    b.attack = "bgc-rand";
+    cells.push_back(b);
+    RunSpec c = FastSpec();
+    c.seed = 7;
+    c.attack = "none";
+    cells.push_back(c);
+  }
+  std::vector<CellStats> serial;
+  for (const RunSpec& cell : cells) serial.push_back(RunExperiment(cell));
+
+  for (int jobs : {1, 8}) {
+    GridOptions opt;
+    opt.jobs = jobs;
+    std::vector<CellResult> results = GridRunner(opt).Run(cells);
+    ASSERT_EQ(results.size(), cells.size());
+    for (size_t c = 0; c < cells.size(); ++c) {
+      ASSERT_TRUE(results[c].status.ok()) << results[c].status.message();
+      ExpectSameStats(results[c].stats, serial[c]);
+    }
+  }
+}
+
+TEST(GridRunnerTest, PoisonedCellBecomesErrorRowOthersComplete) {
+  std::vector<RunSpec> cells;
+  RunSpec good = FastSpec();
+  good.seed = 11;
+  cells.push_back(good);
+  RunSpec bad = FastSpec();
+  bad.attack = "wizardry";  // would BGC_CHECK-abort inside RunOnce
+  cells.push_back(bad);
+  RunSpec good2 = FastSpec();
+  good2.seed = 13;
+  cells.push_back(good2);
+
+  GridOptions opt;
+  opt.jobs = 4;
+  std::vector<CellResult> results = GridRunner(opt).Run(cells);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].status.ok());
+  EXPECT_FALSE(results[1].status.ok());
+  EXPECT_NE(results[1].status.message().find("wizardry"), std::string::npos);
+  EXPECT_TRUE(results[2].status.ok());
+  ExpectSameStats(results[0].stats, RunExperiment(good));
+  ExpectSameStats(results[2].stats, RunExperiment(good2));
+}
+
+// Single-flight: N grid workers racing on one cache key compute it exactly
+// once; every other worker is served by the leader (coalesced) or by the
+// entry the leader stored (hit) — never by a second compute.
+TEST(SchedulerCacheTest, SingleFlightComputesSharedKeyOnce) {
+  const std::string dir = std::string(::testing::TempDir()) + "/sched_cache";
+  store::ArtifactCache cache(dir);
+  std::atomic<int> computes{0};
+  std::atomic<int> arrivals{0};
+  const int kWorkers = 8;
+
+  auto compute = [&] {
+    computes.fetch_add(1);
+    // Hold the flight open until every worker has arrived, so the race on
+    // the key is real and not a scheduling accident.
+    while (arrivals.load() < kWorkers) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    data::GraphDataset ds = data::MakeDataset("tiny-sim", 31);
+    condense::SourceGraph src =
+        condense::FromTrainView(data::MakeTrainView(ds));
+    auto condenser = condense::MakeCondenser("gcond-x");
+    condense::CondenseConfig cfg;
+    cfg.num_condensed = 8;
+    cfg.epochs = 2;
+    Rng rng(5);
+    return condense::RunCondensation(*condenser, src, ds.num_classes, cfg,
+                                     rng);
+  };
+
+  GridOptions opt;
+  opt.jobs = kWorkers;
+  std::vector<Status> statuses = RunUnits(opt, kWorkers, [&](int u) {
+    (void)u;
+    arrivals.fetch_add(1);
+    condense::CondensedGraph g =
+        cache.GetOrComputeCondensed("shared-key", compute);
+    return g.labels.empty() ? Status::Error("empty result") : Status::Ok();
+  });
+  for (const Status& s : statuses) EXPECT_TRUE(s.ok()) << s.message();
+
+  EXPECT_EQ(computes.load(), 1);
+  const store::ArtifactCacheStats st = cache.stats();
+  EXPECT_EQ(st.misses, 1);
+  // The other workers split between coalesced followers and disk hits
+  // (a worker that reaches the key after the flight closed); both paths
+  // avoid recomputation.
+  EXPECT_EQ(st.coalesced + st.hits, kWorkers - 1);
+  std::remove(cache.EntryPath("shared-key").c_str());
+}
+
+// A failing leader must not poison the key: one follower retries
+// leadership and the rest are served by it.
+TEST(SchedulerCacheTest, FailedLeaderHandsOffToFollower) {
+  const std::string dir = std::string(::testing::TempDir()) + "/sched_fail";
+  store::ArtifactCache cache(dir);
+  std::atomic<int> computes{0};
+  std::atomic<int> arrivals{0};
+  std::atomic<int> failures{0};
+  const int kWorkers = 4;
+
+  auto compute = [&]() -> condense::CondensedGraph {
+    const int call = computes.fetch_add(1);
+    while (arrivals.load() < kWorkers) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (call == 0) throw std::runtime_error("flaky compute");
+    data::GraphDataset ds = data::MakeDataset("tiny-sim", 31);
+    condense::SourceGraph src =
+        condense::FromTrainView(data::MakeTrainView(ds));
+    auto condenser = condense::MakeCondenser("gcond-x");
+    condense::CondenseConfig cfg;
+    cfg.num_condensed = 8;
+    cfg.epochs = 2;
+    Rng rng(6);
+    return condense::RunCondensation(*condenser, src, ds.num_classes, cfg,
+                                     rng);
+  };
+
+  GridOptions opt;
+  opt.jobs = kWorkers;
+  RunUnits(opt, kWorkers, [&](int u) {
+    (void)u;
+    arrivals.fetch_add(1);
+    try {
+      cache.GetOrComputeCondensed("flaky-key", compute);
+    } catch (const std::runtime_error&) {
+      failures.fetch_add(1);  // the first leader's own caller
+    }
+    return Status::Ok();
+  });
+
+  // Exactly one caller saw the exception; everyone else got the artifact
+  // from the retried compute (two computes total: failed + successful).
+  EXPECT_EQ(failures.load(), 1);
+  EXPECT_EQ(computes.load(), 2);
+  std::remove(cache.EntryPath("flaky-key").c_str());
+}
+
+}  // namespace
+}  // namespace bgc::eval

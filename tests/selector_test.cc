@@ -66,8 +66,9 @@ TEST(SelectorTest, CoversMultipleClasses) {
   EXPECT_GE(classes.size(), 2u);  // both non-target classes touched
 }
 
-TEST(SelectorTest, DegreePenaltyAvoidsHubs) {
-  // With a huge λ the selector must prefer low-degree nodes.
+TEST(SelectorTest, DegreeBonusPrefersHubs) {
+  // Eq. (9): m(v) = dist − λ·deg, ranked ascending, so with a huge λ the
+  // selector must prefer high-degree (influential) nodes.
   condense::SourceGraph src = TinySource();
   Rng rng(5);
   SelectorConfig heavy = FastConfig(6);
@@ -86,7 +87,45 @@ TEST(SelectorTest, DegreePenaltyAvoidsHubs) {
     ++count;
   }
   all_deg /= count;
-  EXPECT_LE(sel_deg, all_deg + 1e-9);
+  EXPECT_GE(sel_deg, all_deg - 1e-9);
+}
+
+TEST(SelectionScoreTest, EquidistantTieGoesToHigherDegree) {
+  // Among candidates at the same distance from their centroid the
+  // higher-degree node must score lower (win the ascending sort).
+  const float hub = SelectionScore(/*dist=*/1.0f, /*degree=*/12.0f, 0.1f);
+  const float leaf = SelectionScore(/*dist=*/1.0f, /*degree=*/2.0f, 0.1f);
+  EXPECT_LT(hub, leaf);
+  // And distance still dominates when degrees are equal.
+  EXPECT_LT(SelectionScore(0.5f, 4.0f, 0.1f), SelectionScore(1.5f, 4.0f, 0.1f));
+  // λ = 0 disables the degree term entirely.
+  EXPECT_EQ(SelectionScore(1.0f, 12.0f, 0.0f),
+            SelectionScore(1.0f, 2.0f, 0.0f));
+}
+
+TEST(PerClusterQuotaTest, UsesActualCentroidCount) {
+  // 2 populated classes × 3 actual centroids: budget 12 → 2 per cluster.
+  EXPECT_EQ(PerClusterQuota(12, 2, 3), 2);
+  // K-Means clamped a configured k=8 down to 2 for a tiny pool: the quota
+  // must divide by the actual 2, not the configured 8.
+  EXPECT_EQ(PerClusterQuota(12, 2, 2), 3);
+  // Small budgets floor at 1 so every cluster is still touched.
+  EXPECT_EQ(PerClusterQuota(2, 3, 4), 1);
+  // Degenerate inputs stay at the floor instead of dividing by zero.
+  EXPECT_EQ(PerClusterQuota(10, 0, 4), 1);
+  EXPECT_EQ(PerClusterQuota(10, 2, 0), 1);
+}
+
+TEST(SelectorTest, FillsBudgetWhenClustersExceedPool) {
+  // clusters_per_class far above the 10-node per-class pools: K-Means
+  // clamps k to the pool size and the quota must follow the actual k, so
+  // the budget is still filled exactly.
+  condense::SourceGraph src = TinySource();
+  Rng rng(9);
+  SelectorConfig cfg = FastConfig(8);
+  cfg.clusters_per_class = 64;
+  auto nodes = SelectPoisonedNodes(src, 3, cfg, rng);
+  EXPECT_EQ(static_cast<int>(nodes.size()), 8);
 }
 
 TEST(SelectRandomTest, BudgetAndEligibility) {

@@ -7,7 +7,9 @@
 #                                              preset `make check-fast` uses)
 #   3. ASan build, `sanitizer`-labeled suites (store/bgcbin fuzz/obs/golden —
 #                                              byte-level and concurrent code)
-#   4. TSan build, obs + parallel suites      (counter/timer thread safety)
+#   4. TSan build, obs + parallel + scheduler (counter/timer thread safety,
+#                                              grid workers, cache
+#                                              single-flight)
 #
 # Usage: tools/ci.sh [--skip-tsan] [--skip-asan]
 # Build trees live in build-ci-{release,asan,tsan}, separate from ./build so
@@ -39,6 +41,13 @@ ctest --test-dir build-ci-release -L tier1 -j "$JOBS" --output-on-failure
 step "Release: check-fast preset (-LE slow)"
 ctest --test-dir build-ci-release -LE slow -j "$JOBS" --output-on-failure
 
+step "Release: parallel bench smoke (--jobs=4)"
+# One fast grid through the scheduler at --jobs=4: catches --jobs wiring or
+# determinism regressions that unit tests on GridRunner alone would miss.
+# Table 1 is the smallest grid (4 cells) that still coalesces cache keys.
+./build-ci-release/bench/bench_table1_naive_vs_bgc --repeats=1 --jobs=4 \
+    > /dev/null
+
 if [ "$SKIP_ASAN" -eq 0 ]; then
   step "ASan build"
   cmake -B build-ci-asan -S . -DBGC_SANITIZE=address >/dev/null
@@ -51,12 +60,13 @@ if [ "$SKIP_TSAN" -eq 0 ]; then
   step "TSan build"
   cmake -B build-ci-tsan -S . -DBGC_SANITIZE=thread >/dev/null
   cmake --build build-ci-tsan -j "$JOBS"
-  step "TSan: obs + thread-pool suites"
+  step "TSan: obs + thread-pool + grid-scheduler suites"
   # BGC_METRICS=0 keeps emission quiet; the tests enable collection
   # themselves. Run the concurrency-sensitive binaries directly so TSan
   # sees the raw threads.
   ./build-ci-tsan/tests/obs_test
   ./build-ci-tsan/tests/parallel_test
+  ./build-ci-tsan/tests/scheduler_test
 fi
 
 step "CI matrix passed"
