@@ -4,11 +4,25 @@
 // update, a full surrogate training burst — plus the src/store layer:
 // bgcbin serialize/deserialize throughput and artifact-cache hit vs
 // recompute.
+//
+// `--json <path>` switches to a per-SIMD-backend kernel sweep instead of
+// the google-benchmark suite: it times GEMM (all three transpose
+// variants), SpMM, elementwise axpy and the max-abs reduction under every
+// compiled backend, writes the results (backend, shape, GB/s, GFLOP/s)
+// as JSON to <path>, and enforces the ≥2x AVX2-vs-scalar GEMM throughput
+// gate (auto-skipped with a logged notice when the CPU or the binary
+// lacks AVX2). tools/ci.sh runs this mode; bench/BENCH_kernels.json is
+// the committed snapshot.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
+
+#include "src/tensor/simd/simd.h"
 
 #include "src/attack/bgc.h"
 #include "src/attack/surrogate.h"
@@ -213,6 +227,208 @@ void BM_CondenseCacheHit(benchmark::State& state) {
 }
 BENCHMARK(BM_CondenseCacheHit);
 
+// ---------------------------------------------------------------------
+// --json mode: per-SIMD-backend kernel sweep + AVX2 speedup gate.
+// ---------------------------------------------------------------------
+
+struct KernelRow {
+  const char* kernel;
+  const char* backend;
+  std::string shape;
+  double seconds;   // best-of-reps wall time for one sweep call
+  double gflops;
+  double gbps;
+};
+
+// Best-of-`reps` wall time of fn() after one warm-up call. Best-of (not
+// mean) because the only noise source on a quiet machine is additive.
+template <typename Fn>
+double BestSeconds(int reps, Fn fn) {
+  using clock = std::chrono::steady_clock;
+  fn();
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    auto t0 = clock::now();
+    fn();
+    double s = std::chrono::duration<double>(clock::now() - t0).count();
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+KernelRow MeasureRow(const char* kernel, const char* backend,
+                     std::string shape, double flops, double bytes,
+                     double seconds) {
+  return {kernel,          backend,
+          std::move(shape), seconds,
+          flops / seconds / 1e9, bytes / seconds / 1e9};
+}
+
+// Times every kernel family under backend `b` (the table must be
+// available) and appends rows.
+void SweepBackend(simd::Backend b, std::vector<KernelRow>* rows) {
+  const char* name = simd::BackendName(b);
+  simd::Backend prev = simd::SetBackendForTesting(b);
+  Rng rng(11);
+
+  const int n = 256;
+  Matrix ga = Matrix::RandomNormal(n, n, rng);
+  Matrix gb = Matrix::RandomNormal(n, n, rng);
+  const double gemm_flops = 2.0 * n * n * n;
+  const double gemm_bytes = 4.0 * (2.0 * n * n + 2.0 * n * n);
+  char shape[64];
+  std::snprintf(shape, sizeof(shape), "%dx%dx%d", n, n, n);
+  rows->push_back(MeasureRow(
+      "gemm_nn", name, shape, gemm_flops, gemm_bytes,
+      BestSeconds(5, [&] { benchmark::DoNotOptimize(MatMul(ga, gb)); })));
+  rows->push_back(MeasureRow(
+      "gemm_tn", name, shape, gemm_flops, gemm_bytes,
+      BestSeconds(5, [&] { benchmark::DoNotOptimize(MatMulTransA(ga, gb)); })));
+  rows->push_back(MeasureRow(
+      "gemm_nt", name, shape, gemm_flops, gemm_bytes,
+      BestSeconds(5, [&] { benchmark::DoNotOptimize(MatMulTransB(ga, gb)); })));
+
+  data::GraphDataset ds = data::MakeDataset("cora-sim", 3);
+  graph::CsrMatrix op = graph::GcnNormalize(ds.adj);
+  const int m = ds.feature_dim();
+  const double spmm_flops = 2.0 * op.nnz() * m;
+  const double spmm_bytes = 4.0 * (2.0 * op.nnz() + 2.0 * op.nnz() * m);
+  std::snprintf(shape, sizeof(shape), "nnz=%d,m=%d", op.nnz(), m);
+  rows->push_back(MeasureRow(
+      "spmm", name, shape, spmm_flops, spmm_bytes,
+      BestSeconds(5, [&] { benchmark::DoNotOptimize(op.Multiply(ds.features)); })));
+
+  const int en = 1 << 16;
+  const int eiters = 64;
+  std::vector<float> ec(en, 1.0f), ex(en, 0.5f);
+  std::snprintf(shape, sizeof(shape), "n=%d", en);
+  rows->push_back(MeasureRow(
+      "axpy", name, shape, 2.0 * en * eiters, 12.0 * en * eiters,
+      BestSeconds(5, [&] {
+        for (int i = 0; i < eiters; ++i) {
+          simd::Kernels().axpy(ec.data(), ex.data(), 1e-9f, en);
+        }
+        benchmark::DoNotOptimize(ec.data());
+      })));
+  rows->push_back(MeasureRow(
+      "max_abs", name, shape, 1.0 * en * eiters, 4.0 * en * eiters,
+      BestSeconds(5, [&] {
+        float acc = 0.0f;
+        for (int i = 0; i < eiters; ++i) {
+          acc += simd::Kernels().max_abs(ex.data(), en);
+        }
+        benchmark::DoNotOptimize(acc);
+      })));
+
+  simd::SetBackendForTesting(prev);
+}
+
+double GemmGflops(const std::vector<KernelRow>& rows, const char* backend) {
+  double best = 0.0;
+  for (const KernelRow& r : rows) {
+    if (std::strcmp(r.kernel, "gemm_nn") == 0 &&
+        std::strcmp(r.backend, backend) == 0 && r.gflops > best) {
+      best = r.gflops;
+    }
+  }
+  return best;
+}
+
+int RunKernelJsonSweep(const char* path) {
+  std::vector<KernelRow> rows;
+  std::vector<simd::Backend> swept;
+  for (simd::Backend b :
+       {simd::Backend::kScalar, simd::Backend::kSse2, simd::Backend::kAvx2}) {
+    if (simd::TableFor(b) == nullptr) continue;
+    std::fprintf(stderr, "bench: sweeping backend %s\n",
+                 simd::BackendName(b));
+    SweepBackend(b, &rows);
+    swept.push_back(b);
+  }
+
+  // ≥2x AVX2-vs-scalar GEMM throughput gate.
+  const bool have_avx2 =
+      simd::TableFor(simd::Backend::kAvx2) != nullptr;
+  double speedup = 0.0;
+  const char* gate_status;
+  std::string gate_reason;
+  if (!have_avx2) {
+    gate_status = "skipped";
+    gate_reason = simd::Compiled(simd::Backend::kAvx2)
+                      ? "cpuid reports no AVX2 on this machine"
+                      : "binary compiled without the AVX2 backend";
+    std::fprintf(stderr, "bench: AVX2 speedup gate SKIPPED: %s\n",
+                 gate_reason.c_str());
+  } else {
+    speedup = GemmGflops(rows, "avx2") / GemmGflops(rows, "scalar");
+    if (speedup >= 2.0) {
+      gate_status = "pass";
+      std::fprintf(stderr,
+                   "bench: AVX2 speedup gate PASS: gemm_nn %.2fx scalar "
+                   "(>= 2.0x required)\n",
+                   speedup);
+    } else {
+      gate_status = "fail";
+      std::fprintf(stderr,
+                   "bench: AVX2 speedup gate FAIL: gemm_nn %.2fx scalar "
+                   "(>= 2.0x required)\n",
+                   speedup);
+    }
+  }
+
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot open %s for writing\n", path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"bgc-bench-kernels-v1\",\n");
+  std::fprintf(f, "  \"backends\": [");
+  for (size_t i = 0; i < swept.size(); ++i) {
+    std::fprintf(f, "%s\"%s\"", i ? ", " : "",
+                 simd::BackendName(swept[i]));
+  }
+  std::fprintf(f, "],\n  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const KernelRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"kernel\": \"%s\", \"backend\": \"%s\", "
+                 "\"shape\": \"%s\", \"seconds\": %.6e, "
+                 "\"gflops\": %.3f, \"gbps\": %.3f}%s\n",
+                 r.kernel, r.backend, r.shape.c_str(), r.seconds, r.gflops,
+                 r.gbps, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"gate\": {\"name\": \"gemm_avx2_speedup_min_2x\", ");
+  if (have_avx2) {
+    std::fprintf(f, "\"status\": \"%s\", \"speedup\": %.3f}\n", gate_status,
+                 speedup);
+  } else {
+    std::fprintf(f, "\"status\": \"skipped\", \"reason\": \"%s\"}\n",
+                 gate_reason.c_str());
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "bench: wrote %s (%zu rows)\n", path, rows.size());
+  return std::strcmp(gate_status, "fail") == 0 ? 1 : 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (json_path != nullptr) return RunKernelJsonSweep(json_path);
+  int bargc = static_cast<int>(args.size());
+  benchmark::Initialize(&bargc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bargc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -635,17 +635,29 @@ void Tape::Backward(Var loss) {
     if (!n.requires_grad || n.grad.empty() || !n.backward) continue;
     n.backward(*this);
   }
+  // Materialize zero grads for requires-grad nodes the traversal never
+  // reached (inputs disconnected from the loss). Doing it here — after the
+  // traversal, so no backward closure ever runs on a synthetic zero — makes
+  // grad() a pure read for every requires-grad node, which is what lets
+  // multiple threads read grads concurrently.
+  for (Node& n : nodes_) {
+    if (n.requires_grad && n.grad.empty() && !n.value.empty()) {
+      n.grad = Matrix(n.value.rows(), n.value.cols());
+    }
+  }
 }
 
 const Matrix& Tape::value(Var v) const { return node(v).value; }
 
-const Matrix& Tape::grad(Var v) const {
-  const Node& n = node(v);
+const Matrix& Tape::grad(Var v) {
+  Node& n = node(v);
   if (n.grad.empty()) {
     static const Matrix* empty = new Matrix();
     if (n.value.empty()) return *empty;
-    // Lazily materialize a zero grad of the right shape for callers.
-    const_cast<Node&>(n).grad = Matrix(n.value.rows(), n.value.cols());
+    // Lazily materialize a zero grad of the right shape. Only reachable
+    // for non-requires-grad nodes once Backward() has run (it pre-sizes
+    // the rest); the mutation is explicit in the non-const signature.
+    n.grad = Matrix(n.value.rows(), n.value.cols());
   }
   return n.grad;
 }

@@ -119,8 +119,13 @@ class Tape {
 
   const Matrix& value(Var v) const;
   /// Gradient of the last Backward() w.r.t. node v. Zero matrix if the node
-  /// did not receive gradient.
-  const Matrix& grad(Var v) const;
+  /// did not receive gradient. Backward() pre-materializes zero grads for
+  /// every requires-grad node, so after it returns, reads of those nodes
+  /// are pure and safe from multiple threads concurrently. Reading a
+  /// non-requires-grad node's grad lazily materializes its zero matrix —
+  /// the accessor is deliberately non-const (it used to hide this mutation
+  /// behind a const_cast, a latent data race for concurrent readers).
+  const Matrix& grad(Var v);
 
   /// Drops all nodes; handles become invalid.
   void Reset();

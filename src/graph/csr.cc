@@ -6,6 +6,7 @@
 #include "src/core/check.h"
 #include "src/core/parallel.h"
 #include "src/obs/obs.h"
+#include "src/tensor/simd/simd.h"
 
 namespace bgc::graph {
 
@@ -186,14 +187,14 @@ Matrix CsrMatrix::Multiply(const Matrix& dense) const {
   const int m = dense.cols();
   // Row-partitioned: each chunk owns a disjoint slice of `out`, and the
   // per-row accumulation order is untouched, so the result is bit-identical
-  // to the serial loop at every thread count.
+  // to the serial loop at every thread count. The dense column axis j is
+  // the SIMD axis (separate mul+add per lane; see src/tensor/simd/simd.h).
+  const simd::KernelTable& kt = simd::Kernels();
   ParallelFor(0, rows_, SpmmRowGrain(nnz(), rows_, m), [&](int r0, int r1) {
     for (int r = r0; r < r1; ++r) {
       float* orow = out.RowPtr(r);
       for (int k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-        const float w = values_[k];
-        const float* drow = dense.RowPtr(col_idx_[k]);
-        for (int j = 0; j < m; ++j) orow[j] += w * drow[j];
+        kt.axpy(orow, dense.RowPtr(col_idx_[k]), values_[k], m);
       }
     }
   });
@@ -213,13 +214,12 @@ Matrix CsrMatrix::MultiplyTransposed(const Matrix& dense) const {
   // into its own accumulator, and the accumulators are reduced in
   // ascending chunk order (see constants above for the determinism
   // rationale).
+  const simd::KernelTable& kt = simd::Kernels();
   auto scatter = [&](Matrix& acc, int r0, int r1) {
     for (int r = r0; r < r1; ++r) {
       const float* drow = dense.RowPtr(r);
       for (int k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-        const float w = values_[k];
-        float* orow = acc.RowPtr(col_idx_[k]);
-        for (int j = 0; j < m; ++j) orow[j] += w * drow[j];
+        kt.axpy(acc.RowPtr(col_idx_[k]), drow, values_[k], m);
       }
     }
   };
@@ -245,7 +245,7 @@ Matrix CsrMatrix::MultiplyTransposed(const Matrix& dense) const {
     float* dst = out.data();
     const int size = out.size();
     ParallelFor(0, size, kElementwiseGrain, [&](int i0, int i1) {
-      for (int i = i0; i < i1; ++i) dst[i] += src[i];
+      kt.add(dst + i0, src + i0, i1 - i0);
     });
   }
   return out;

@@ -23,7 +23,7 @@ ag::Var GnnModel::Bind(ag::Tape& tape, Param& p) {
 
 void GnnModel::BeginForward() { bound_.clear(); }
 
-void GnnModel::CollectGrads(const ag::Tape& tape) {
+void GnnModel::CollectGrads(ag::Tape& tape) {
   for (auto& [param, var] : bound_) {
     param->grad = tape.grad(var);
   }

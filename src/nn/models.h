@@ -81,7 +81,7 @@ class GnnModel {
   virtual std::string name() const = 0;
 
   /// Copies tape gradients of the last Forward() into each Param::grad.
-  void CollectGrads(const ag::Tape& tape);
+  void CollectGrads(ag::Tape& tape);
 
   const GnnConfig& config() const { return config_; }
 

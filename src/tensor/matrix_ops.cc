@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "src/core/parallel.h"
 #include "src/obs/obs.h"
+#include "src/tensor/simd/simd.h"
 
 namespace bgc {
 
@@ -14,6 +16,19 @@ namespace {
 // Flops per row-chunk of a GEMM dispatch. Row partitioning writes disjoint
 // rows of c, so this only tunes scheduling, never numerics.
 constexpr long long kGemmChunkFlops = 1 << 17;
+
+// Rows per fixed ColSum chunk. Chunked partial rows are folded in
+// ascending chunk order, so like kReduceGrain this is part of the numeric
+// contract: inputs under one chunk (every benchmark dataset) keep the
+// historical flat-serial bits.
+constexpr int kColSumChunkRows = 1 << 15;
+
+// Rows per chunk for row-partitioned O(rows*cols) traversals (Transpose,
+// RowSum, RowNorm, AddRowBroadcast, RowSoftmax). Disjoint outputs, so the
+// grain only tunes scheduling.
+int RowGrain(int cols) {
+  return std::max(1, kElementwiseGrain / std::max(1, cols));
+}
 
 // Rows of b kept hot across an output-row chunk (L2-sized panel).
 constexpr int kGemmPanelK = 64;
@@ -43,7 +58,10 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   // of b stays cache-hot across all rows of the chunk; for any fixed
   // (i, j) the p contributions still arrive in ascending order, so the
   // result is bit-identical to the serial i-k-j kernel at every thread
-  // count.
+  // count. The j loop is the SIMD axis: axpy vectorizes across output
+  // columns with separate mul+add, preserving each element's rounding
+  // sequence (see src/tensor/simd/simd.h).
+  const simd::KernelTable& kt = simd::Kernels();
   ParallelFor(0, n, GemmRowGrain(k, m), [&](int r0, int r1) {
     for (int p0 = 0; p0 < k; p0 += kGemmPanelK) {
       const int p1 = std::min(k, p0 + kGemmPanelK);
@@ -53,8 +71,7 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
         for (int p = p0; p < p1; ++p) {
           const float av = arow[p];
           if (av == 0.0f) continue;
-          const float* brow = b.RowPtr(p);
-          for (int j = 0; j < m; ++j) crow[j] += av * brow[j];
+          kt.axpy(crow, b.RowPtr(p), av, m);
         }
       }
     }
@@ -72,7 +89,8 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   Matrix c(n, m);
   // Partitioned over output rows (columns of a): the p loop stays outermost
   // and ascending inside each chunk, so per-element accumulation order —
-  // and the bits — match the serial kernel.
+  // and the bits — match the serial kernel. j is the SIMD axis.
+  const simd::KernelTable& kt = simd::Kernels();
   ParallelFor(0, n, GemmRowGrain(k, m), [&](int i0, int i1) {
     for (int p = 0; p < k; ++p) {
       const float* arow = a.RowPtr(p);
@@ -80,8 +98,7 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
       for (int i = i0; i < i1; ++i) {
         const float av = arow[i];
         if (av == 0.0f) continue;
-        float* crow = c.RowPtr(i);
-        for (int j = 0; j < m; ++j) crow[j] += av * brow[j];
+        kt.axpy(c.RowPtr(i), brow, av, m);
       }
     }
   });
@@ -95,18 +112,25 @@ Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   BGC_COUNTER_ADD("tensor.gemm.calls", 1);
   BGC_COUNTER_ADD("tensor.gemm.flops",
                   2LL * n * k * m);
+  // Pack bᵀ once so the per-(i, j) strided dot becomes the same
+  // j-vectorized axpy kernel as MatMul. Each output element still
+  // accumulates its p contributions in ascending order starting from
+  // +0.0f — the identical rounding sequence to the historical register
+  // dot — so the result is bit-identical for every backend and thread
+  // count. No av == 0 skip here: the historical dot always added the
+  // 0 * b term, and skipping it would change 0 * inf / 0 * NaN cases.
+  Matrix bt = Transpose(b);
   Matrix c(n, m);
-  // Row-partitioned dot products; each output element is one serial dot,
-  // so numerics are untouched by the partitioning.
+  const simd::KernelTable& kt = simd::Kernels();
   ParallelFor(0, n, GemmRowGrain(k, m), [&](int r0, int r1) {
-    for (int i = r0; i < r1; ++i) {
-      const float* arow = a.RowPtr(i);
-      float* crow = c.RowPtr(i);
-      for (int j = 0; j < m; ++j) {
-        const float* brow = b.RowPtr(j);
-        float acc = 0.0f;
-        for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
-        crow[j] = acc;
+    for (int p0 = 0; p0 < k; p0 += kGemmPanelK) {
+      const int p1 = std::min(k, p0 + kGemmPanelK);
+      for (int i = r0; i < r1; ++i) {
+        const float* arow = a.RowPtr(i);
+        float* crow = c.RowPtr(i);
+        for (int p = p0; p < p1; ++p) {
+          kt.axpy(crow, bt.RowPtr(p), arow[p], m);
+        }
       }
     }
   });
@@ -122,13 +146,18 @@ void CheckSameShape(const Matrix& a, const Matrix& b) {
 
 }  // namespace
 
+// The flat elementwise ops hand each fixed chunk to the active SIMD
+// backend; every lane is an independent element, so chunking and
+// vectorization are both bit-transparent.
+
 Matrix Add(const Matrix& a, const Matrix& b) {
   CheckSameShape(a, b);
   Matrix c = a;
   float* cd = c.data();
   const float* bd = b.data();
+  const simd::KernelTable& kt = simd::Kernels();
   ParallelFor(0, c.size(), kElementwiseGrain, [&](int i0, int i1) {
-    for (int i = i0; i < i1; ++i) cd[i] += bd[i];
+    kt.add(cd + i0, bd + i0, i1 - i0);
   });
   return c;
 }
@@ -138,8 +167,9 @@ Matrix Sub(const Matrix& a, const Matrix& b) {
   Matrix c = a;
   float* cd = c.data();
   const float* bd = b.data();
+  const simd::KernelTable& kt = simd::Kernels();
   ParallelFor(0, c.size(), kElementwiseGrain, [&](int i0, int i1) {
-    for (int i = i0; i < i1; ++i) cd[i] -= bd[i];
+    kt.sub(cd + i0, bd + i0, i1 - i0);
   });
   return c;
 }
@@ -148,8 +178,9 @@ void AddScaledInPlace(Matrix& a, const Matrix& b, float alpha) {
   CheckSameShape(a, b);
   float* ad = a.data();
   const float* bd = b.data();
+  const simd::KernelTable& kt = simd::Kernels();
   ParallelFor(0, a.size(), kElementwiseGrain, [&](int i0, int i1) {
-    for (int i = i0; i < i1; ++i) ad[i] += alpha * bd[i];
+    kt.axpy(ad + i0, bd + i0, alpha, i1 - i0);
   });
 }
 
@@ -158,8 +189,9 @@ Matrix Hadamard(const Matrix& a, const Matrix& b) {
   Matrix c = a;
   float* cd = c.data();
   const float* bd = b.data();
+  const simd::KernelTable& kt = simd::Kernels();
   ParallelFor(0, c.size(), kElementwiseGrain, [&](int i0, int i1) {
-    for (int i = i0; i < i1; ++i) cd[i] *= bd[i];
+    kt.mul(cd + i0, bd + i0, i1 - i0);
   });
   return c;
 }
@@ -172,8 +204,9 @@ Matrix Scale(const Matrix& a, float alpha) {
 
 void ScaleInPlace(Matrix& a, float alpha) {
   float* ad = a.data();
+  const simd::KernelTable& kt = simd::Kernels();
   ParallelFor(0, a.size(), kElementwiseGrain, [&](int i0, int i1) {
-    for (int i = i0; i < i1; ++i) ad[i] *= alpha;
+    kt.scale(ad + i0, alpha, i1 - i0);
   });
 }
 
@@ -181,18 +214,22 @@ Matrix AddRowBroadcast(const Matrix& a, const Matrix& bias) {
   BGC_CHECK_EQ(bias.rows(), 1);
   BGC_CHECK_EQ(bias.cols(), a.cols());
   Matrix c = a;
-  for (int i = 0; i < c.rows(); ++i) {
-    float* row = c.RowPtr(i);
-    for (int j = 0; j < c.cols(); ++j) row[j] += bias.data()[j];
-  }
+  const int cols = c.cols();
+  const float* bd = bias.data();
+  const simd::KernelTable& kt = simd::Kernels();
+  // Row-partitioned (disjoint outputs) with the SIMD add per row.
+  ParallelFor(0, c.rows(), RowGrain(cols), [&](int r0, int r1) {
+    for (int i = r0; i < r1; ++i) kt.add(c.RowPtr(i), bd, cols);
+  });
   return c;
 }
 
 Matrix Relu(const Matrix& a) {
   Matrix c = a;
   float* cd = c.data();
+  const simd::KernelTable& kt = simd::Kernels();
   ParallelFor(0, c.size(), kElementwiseGrain, [&](int i0, int i1) {
-    for (int i = i0; i < i1; ++i) cd[i] = std::max(0.0f, cd[i]);
+    kt.relu(cd + i0, i1 - i0);
   });
   return c;
 }
@@ -218,8 +255,9 @@ Matrix TanhMat(const Matrix& a) {
 Matrix Clamp(const Matrix& a, float lo, float hi) {
   Matrix c = a;
   float* cd = c.data();
+  const simd::KernelTable& kt = simd::Kernels();
   ParallelFor(0, c.size(), kElementwiseGrain, [&](int i0, int i1) {
-    for (int i = i0; i < i1; ++i) cd[i] = std::min(hi, std::max(lo, cd[i]));
+    kt.clamp(cd + i0, lo, hi, i1 - i0);
   });
   return c;
 }
@@ -227,8 +265,10 @@ Matrix Clamp(const Matrix& a, float lo, float hi) {
 Matrix RowSoftmax(const Matrix& a) {
   Matrix c(a.rows(), a.cols());
   const int cols = a.cols();
-  const int grain = std::max(1, kElementwiseGrain / std::max(1, cols));
-  ParallelFor(0, a.rows(), grain, [&](int r0, int r1) {
+  // A zero-column input has no entries (and no row max): return the empty
+  // result instead of reading in[0] out of bounds below.
+  if (cols == 0) return c;
+  ParallelFor(0, a.rows(), RowGrain(cols), [&](int r0, int r1) {
     for (int i = r0; i < r1; ++i) {
       const float* in = a.RowPtr(i);
       float* out = c.RowPtr(i);
@@ -248,10 +288,15 @@ Matrix RowSoftmax(const Matrix& a) {
 
 Matrix Transpose(const Matrix& a) {
   Matrix c(a.cols(), a.rows());
-  for (int i = 0; i < a.rows(); ++i) {
-    const float* row = a.RowPtr(i);
-    for (int j = 0; j < a.cols(); ++j) c(j, i) = row[j];
-  }
+  const int cols = a.cols();
+  // Pure copies into disjoint columns of c per input row — no float
+  // arithmetic, so any partitioning is bit-safe.
+  ParallelFor(0, a.rows(), RowGrain(cols), [&](int r0, int r1) {
+    for (int i = r0; i < r1; ++i) {
+      const float* row = a.RowPtr(i);
+      for (int j = 0; j < cols; ++j) c(j, i) = row[j];
+    }
+  });
   return c;
 }
 
@@ -288,45 +333,77 @@ float Dot(const Matrix& a, const Matrix& b) {
 float FrobeniusNorm(const Matrix& a) { return std::sqrt(Dot(a, a)); }
 
 float MaxAbs(const Matrix& a) {
+  // max is order-independent over the (sign-stripped) values, so the
+  // SIMD backends evaluate it lane-parallel and still agree bit-for-bit.
+  // NaN propagates as the canonical quiet NaN instead of being swallowed
+  // by a bare std::max fold (NaN compares false against everything).
   const float* ad = a.data();
+  const simd::KernelTable& kt = simd::Kernels();
   return ParallelReduce(
       0, a.size(), kReduceGrain, 0.0f,
-      [&](int i0, int i1) {
-        float m = 0.0f;
-        for (int i = i0; i < i1; ++i) m = std::max(m, std::fabs(ad[i]));
-        return m;
-      },
-      [](float x, float y) { return std::max(x, y); });
+      [&](int i0, int i1) { return kt.max_abs(ad + i0, i1 - i0); },
+      [](float x, float y) {
+        if (std::isnan(x) || std::isnan(y)) {
+          return std::numeric_limits<float>::quiet_NaN();
+        }
+        return std::max(x, y);
+      });
 }
 
 Matrix RowSum(const Matrix& a) {
   Matrix c(a.rows(), 1);
-  for (int i = 0; i < a.rows(); ++i) {
-    const float* row = a.RowPtr(i);
-    float s = 0.0f;
-    for (int j = 0; j < a.cols(); ++j) s += row[j];
-    c(i, 0) = s;
-  }
+  const int cols = a.cols();
+  // Row-partitioned; each row's sum stays one serial chain (a different
+  // addend order would change bits), so only the row axis parallelizes.
+  ParallelFor(0, a.rows(), RowGrain(cols), [&](int r0, int r1) {
+    for (int i = r0; i < r1; ++i) {
+      const float* row = a.RowPtr(i);
+      float s = 0.0f;
+      for (int j = 0; j < cols; ++j) s += row[j];
+      c(i, 0) = s;
+    }
+  });
   return c;
 }
 
 Matrix ColSum(const Matrix& a) {
   Matrix c(1, a.cols());
-  for (int i = 0; i < a.rows(); ++i) {
-    const float* row = a.RowPtr(i);
-    for (int j = 0; j < a.cols(); ++j) c.data()[j] += row[j];
+  const int m = a.cols();
+  if (m == 0 || a.rows() == 0) return c;
+  const simd::KernelTable& kt = simd::Kernels();
+  // Each output column is an independent chain over ascending rows, so
+  // the row loop vectorizes across j bit-identically. The row axis
+  // chunks at the fixed kColSumChunkRows grain with partial rows folded
+  // in ascending chunk order — deterministic at every thread count, and
+  // the flat path below one chunk keeps the historical serial bits.
+  const int chunks = NumFixedChunks(a.rows(), kColSumChunkRows);
+  if (chunks <= 1) {
+    for (int i = 0; i < a.rows(); ++i) kt.add(c.data(), a.RowPtr(i), m);
+    return c;
   }
+  std::vector<Matrix> partial(chunks);
+  ParallelFor(0, a.rows(), kColSumChunkRows, [&](int r0, int r1) {
+    Matrix& p = partial[r0 / kColSumChunkRows];
+    p = Matrix(1, m);
+    for (int i = r0; i < r1; ++i) kt.add(p.data(), a.RowPtr(i), m);
+  });
+  for (int ch = 0; ch < chunks; ++ch) kt.add(c.data(), partial[ch].data(), m);
   return c;
 }
 
 Matrix RowNorm(const Matrix& a) {
   Matrix c(a.rows(), 1);
-  for (int i = 0; i < a.rows(); ++i) {
-    const float* row = a.RowPtr(i);
-    float s = 0.0f;
-    for (int j = 0; j < a.cols(); ++j) s += row[j] * row[j];
-    c(i, 0) = std::sqrt(s);
-  }
+  const int cols = a.cols();
+  // Row-partitioned like RowSum; the per-row square-sum chain stays
+  // serial for bit-stability.
+  ParallelFor(0, a.rows(), RowGrain(cols), [&](int r0, int r1) {
+    for (int i = r0; i < r1; ++i) {
+      const float* row = a.RowPtr(i);
+      float s = 0.0f;
+      for (int j = 0; j < cols; ++j) s += row[j] * row[j];
+      c(i, 0) = std::sqrt(s);
+    }
+  });
   return c;
 }
 
@@ -406,7 +483,15 @@ bool AllClose(const Matrix& a, const Matrix& b, float rtol, float atol) {
   if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
   for (int i = 0; i < a.size(); ++i) {
     const float diff = std::fabs(a.data()[i] - b.data()[i]);
-    if (diff > atol + rtol * std::fabs(b.data()[i])) return false;
+    // NaN on either side is a mismatch (NaN ≠ anything, including NaN).
+    // Without the isnan test a NaN diff would compare false against the
+    // tolerance and silently pass. An infinite diff is likewise always a
+    // mismatch: when b is infinite the rtol term inflates the tolerance
+    // to infinity, and inf > inf would wave inf-vs--inf through.
+    if (!(diff < std::numeric_limits<float>::infinity()) ||
+        diff > atol + rtol * std::fabs(b.data()[i])) {
+      return false;
+    }
   }
   return true;
 }

@@ -41,13 +41,15 @@ Matrix TanhMat(const Matrix& a);
 /// Element-wise clamp to [lo, hi].
 Matrix Clamp(const Matrix& a, float lo, float hi);
 
-/// Row-wise softmax (numerically stabilized by the row max).
+/// Row-wise softmax (numerically stabilized by the row max). A
+/// zero-column input returns the empty rows×0 matrix.
 Matrix RowSoftmax(const Matrix& a);
 
 /// Aᵀ as a materialized matrix.
 Matrix Transpose(const Matrix& a);
 
-/// Scalar reductions.
+/// Scalar reductions. MaxAbs propagates NaN (returns the canonical quiet
+/// NaN when any entry is NaN) instead of swallowing it through std::max.
 float Sum(const Matrix& a);
 float Dot(const Matrix& a, const Matrix& b);
 float FrobeniusNorm(const Matrix& a);
@@ -80,6 +82,9 @@ Matrix ConcatRows(const Matrix& a, const Matrix& b);
 Matrix ConcatCols(const Matrix& a, const Matrix& b);
 
 /// True when |a - b| <= atol + rtol*|b| element-wise (shapes must match).
+/// A NaN or infinity on either side is always a mismatch: NaN ≠ anything
+/// (including NaN), and an infinite difference is never "close" even
+/// though an infinite |b| would inflate the rtol term to infinity.
 bool AllClose(const Matrix& a, const Matrix& b, float rtol = 1e-5f,
               float atol = 1e-6f);
 

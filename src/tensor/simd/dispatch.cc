@@ -1,0 +1,165 @@
+// Backend detection and one-time dispatch for the SIMD kernel layer.
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "src/obs/obs.h"
+#include "src/tensor/simd/simd.h"
+#include "src/tensor/simd/tables.h"
+
+namespace bgc::simd {
+
+namespace {
+
+std::atomic<const KernelTable*> g_active{nullptr};
+std::once_flag g_init_once;
+
+[[noreturn]] void DieBadBackend(const char* requested, const char* why) {
+  std::fprintf(stderr,
+               "bgc: BGC_SIMD=%s is unusable (%s); valid values are "
+               "scalar|sse2|avx2|native\n",
+               requested, why);
+  std::exit(2);
+}
+
+Backend BestSupported() {
+  if (TableFor(Backend::kAvx2) != nullptr) return Backend::kAvx2;
+  if (TableFor(Backend::kSse2) != nullptr) return Backend::kSse2;
+  return Backend::kScalar;
+}
+
+const KernelTable* ChooseFromEnv() {
+  const char* env = std::getenv("BGC_SIMD");
+  if (env == nullptr || env[0] == '\0') {
+    return TableFor(BestSupported());
+  }
+  Backend b;
+  if (!ParseBackend(env, &b)) DieBadBackend(env, "unknown backend name");
+  if (!Compiled(b)) DieBadBackend(env, "not compiled into this binary");
+  if (!CpuSupports(b)) DieBadBackend(env, "not supported by this CPU");
+  return TableFor(b);
+}
+
+void InitOnce() {
+  g_active.store(ChooseFromEnv(), std::memory_order_release);
+  PublishBackendGauge();
+}
+
+}  // namespace
+
+bool CpuSupports(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return true;
+#if defined(__x86_64__) || defined(__i386__)
+    case Backend::kSse2:
+      return __builtin_cpu_supports("sse2") != 0;
+    case Backend::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+    case Backend::kSse2:
+    case Backend::kAvx2:
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool Compiled(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kSse2:
+#if defined(BGC_SIMD_HAS_SSE2)
+      return true;
+#else
+      return false;
+#endif
+    case Backend::kAvx2:
+#if defined(BGC_SIMD_HAS_AVX2)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const KernelTable* TableFor(Backend b) {
+  if (!Compiled(b) || !CpuSupports(b)) return nullptr;
+  switch (b) {
+    case Backend::kScalar:
+      return &internal::ScalarTable();
+    case Backend::kSse2:
+#if defined(BGC_SIMD_HAS_SSE2)
+      return &internal::Sse2Table();
+#else
+      return nullptr;
+#endif
+    case Backend::kAvx2:
+#if defined(BGC_SIMD_HAS_AVX2)
+      return &internal::Avx2Table();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+const char* BackendName(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kSse2:
+      return "sse2";
+    case Backend::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool ParseBackend(const char* s, Backend* out) {
+  if (s == nullptr || out == nullptr) return false;
+  if (std::strcmp(s, "scalar") == 0) {
+    *out = Backend::kScalar;
+  } else if (std::strcmp(s, "sse2") == 0) {
+    *out = Backend::kSse2;
+  } else if (std::strcmp(s, "avx2") == 0) {
+    *out = Backend::kAvx2;
+  } else if (std::strcmp(s, "native") == 0) {
+    *out = BestSupported();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const KernelTable& Kernels() {
+  const KernelTable* t = g_active.load(std::memory_order_acquire);
+  if (t != nullptr) return *t;
+  std::call_once(g_init_once, InitOnce);
+  return *g_active.load(std::memory_order_acquire);
+}
+
+Backend Active() { return Kernels().backend; }
+
+Backend SetBackendForTesting(Backend b) {
+  const Backend previous = Active();
+  const KernelTable* t = TableFor(b);
+  if (t == nullptr) {
+    DieBadBackend(BackendName(b), "not compiled or not supported by this CPU");
+  }
+  g_active.store(t, std::memory_order_release);
+  PublishBackendGauge();
+  return previous;
+}
+
+void PublishBackendGauge() {
+  BGC_GAUGE_SET("simd.backend", static_cast<double>(static_cast<int>(
+                                    Kernels().backend)));
+}
+
+}  // namespace bgc::simd

@@ -1,0 +1,112 @@
+// AVX2 backend: 8-wide lanes. Same structure and bit-exactness argument
+// as kernels_sse2.cc — separate vmulps/vaddps (the file is compiled with
+// -mavx2 -mno-fma -ffp-contract=off, so no fused multiply-add can change
+// rounding), scalar tail for the last n % 8 elements. This TU must only
+// ever execute after cpuid-gated dispatch (see dispatch.cc).
+
+#include <immintrin.h>
+
+#include "src/tensor/simd/scalar_kernels.h"
+#include "src/tensor/simd/tables.h"
+
+namespace bgc::simd::internal {
+
+namespace {
+
+void AxpyAvx2(float* c, const float* x, float a, int n) {
+  const __m256 av = _mm256_set1_ps(a);
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 prod = _mm256_mul_ps(_mm256_loadu_ps(x + i), av);
+    _mm256_storeu_ps(c + i, _mm256_add_ps(_mm256_loadu_ps(c + i), prod));
+  }
+  AxpyScalar(c + i, x + i, a, n - i);
+}
+
+void AddAvx2(float* c, const float* x, int n) {
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        c + i, _mm256_add_ps(_mm256_loadu_ps(c + i), _mm256_loadu_ps(x + i)));
+  }
+  AddScalar(c + i, x + i, n - i);
+}
+
+void SubAvx2(float* c, const float* x, int n) {
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        c + i, _mm256_sub_ps(_mm256_loadu_ps(c + i), _mm256_loadu_ps(x + i)));
+  }
+  SubScalar(c + i, x + i, n - i);
+}
+
+void MulAvx2(float* c, const float* x, int n) {
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        c + i, _mm256_mul_ps(_mm256_loadu_ps(c + i), _mm256_loadu_ps(x + i)));
+  }
+  MulScalar(c + i, x + i, n - i);
+}
+
+void ScaleAvx2(float* c, float a, int n) {
+  const __m256 av = _mm256_set1_ps(a);
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(c + i, _mm256_mul_ps(_mm256_loadu_ps(c + i), av));
+  }
+  ScaleScalar(c + i, a, n - i);
+}
+
+void ReluAvx2(float* c, int n) {
+  const __m256 zero = _mm256_setzero_ps();
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(c + i, _mm256_max_ps(_mm256_loadu_ps(c + i), zero));
+  }
+  ReluScalar(c + i, n - i);
+}
+
+void ClampAvx2(float* c, float lo, float hi, int n) {
+  const __m256 lov = _mm256_set1_ps(lo);
+  const __m256 hiv = _mm256_set1_ps(hi);
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 lifted = _mm256_max_ps(_mm256_loadu_ps(c + i), lov);
+    _mm256_storeu_ps(c + i, _mm256_min_ps(lifted, hiv));
+  }
+  ClampScalar(c + i, lo, hi, n - i);
+}
+
+float MaxAbsAvx2(const float* x, int n) {
+  const __m256 abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFFFFFF));
+  __m256 acc = _mm256_setzero_ps();
+  __m256 nan_seen = _mm256_setzero_ps();
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    nan_seen = _mm256_or_ps(nan_seen, _mm256_cmp_ps(v, v, _CMP_UNORD_Q));
+    acc = _mm256_max_ps(acc, _mm256_and_ps(v, abs_mask));
+  }
+  const float tail = MaxAbsScalar(x + i, n - i);
+  if (_mm256_movemask_ps(nan_seen) != 0 || std::isnan(tail)) {
+    return std::numeric_limits<float>::quiet_NaN();
+  }
+  float lanes[8];
+  _mm256_storeu_ps(lanes, acc);
+  float m = tail;
+  for (float l : lanes) m = std::max(m, l);
+  return m;
+}
+
+constexpr KernelTable kAvx2Table = {
+    Backend::kAvx2, "avx2",   AxpyAvx2,  AddAvx2,   SubAvx2,
+    MulAvx2,        ScaleAvx2, ReluAvx2, ClampAvx2, MaxAbsAvx2,
+};
+
+}  // namespace
+
+const KernelTable& Avx2Table() { return kAvx2Table; }
+
+}  // namespace bgc::simd::internal

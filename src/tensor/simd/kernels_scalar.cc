@@ -1,0 +1,23 @@
+// Scalar backend: the bit-reference every vector backend must match.
+// Compiled with -fno-tree-vectorize and -ffp-contract=off (see
+// src/tensor/CMakeLists.txt) so the emitted code is genuinely one
+// element per step — BGC_SIMD=scalar benchmarks measure the true serial
+// baseline, not whatever the autovectorizer felt like.
+
+#include "src/tensor/simd/scalar_kernels.h"
+#include "src/tensor/simd/tables.h"
+
+namespace bgc::simd::internal {
+
+namespace {
+
+constexpr KernelTable kScalarTable = {
+    Backend::kScalar, "scalar", AxpyScalar,  AddScalar,   SubScalar,
+    MulScalar,        ScaleScalar, ReluScalar, ClampScalar, MaxAbsScalar,
+};
+
+}  // namespace
+
+const KernelTable& ScalarTable() { return kScalarTable; }
+
+}  // namespace bgc::simd::internal

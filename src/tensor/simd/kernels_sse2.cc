@@ -1,0 +1,113 @@
+// SSE2 backend: 4-wide lanes, unaligned loads, separate mulps/addps
+// (never FMA — the file is compiled with -ffp-contract=off and no -mfma),
+// scalar tail for the last n % 4 elements. Every lane performs the same
+// rounding steps as the scalar reference, so results are byte-identical;
+// min/max lane semantics (NaN and ±0 ties resolve to the second operand)
+// are matched by the std::min/std::max argument order in
+// scalar_kernels.h.
+
+#include <emmintrin.h>
+
+#include "src/tensor/simd/scalar_kernels.h"
+#include "src/tensor/simd/tables.h"
+
+namespace bgc::simd::internal {
+
+namespace {
+
+void AxpySse2(float* c, const float* x, float a, int n) {
+  const __m128 av = _mm_set1_ps(a);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 prod = _mm_mul_ps(_mm_loadu_ps(x + i), av);
+    _mm_storeu_ps(c + i, _mm_add_ps(_mm_loadu_ps(c + i), prod));
+  }
+  AxpyScalar(c + i, x + i, a, n - i);
+}
+
+void AddSse2(float* c, const float* x, int n) {
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_ps(c + i, _mm_add_ps(_mm_loadu_ps(c + i), _mm_loadu_ps(x + i)));
+  }
+  AddScalar(c + i, x + i, n - i);
+}
+
+void SubSse2(float* c, const float* x, int n) {
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_ps(c + i, _mm_sub_ps(_mm_loadu_ps(c + i), _mm_loadu_ps(x + i)));
+  }
+  SubScalar(c + i, x + i, n - i);
+}
+
+void MulSse2(float* c, const float* x, int n) {
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_ps(c + i, _mm_mul_ps(_mm_loadu_ps(c + i), _mm_loadu_ps(x + i)));
+  }
+  MulScalar(c + i, x + i, n - i);
+}
+
+void ScaleSse2(float* c, float a, int n) {
+  const __m128 av = _mm_set1_ps(a);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_ps(c + i, _mm_mul_ps(_mm_loadu_ps(c + i), av));
+  }
+  ScaleScalar(c + i, a, n - i);
+}
+
+void ReluSse2(float* c, int n) {
+  const __m128 zero = _mm_setzero_ps();
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // maxps(x, 0): NaN and both-zero lanes take the second operand (+0),
+    // matching std::max(0.0f, x).
+    _mm_storeu_ps(c + i, _mm_max_ps(_mm_loadu_ps(c + i), zero));
+  }
+  ReluScalar(c + i, n - i);
+}
+
+void ClampSse2(float* c, float lo, float hi, int n) {
+  const __m128 lov = _mm_set1_ps(lo);
+  const __m128 hiv = _mm_set1_ps(hi);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 lifted = _mm_max_ps(_mm_loadu_ps(c + i), lov);
+    _mm_storeu_ps(c + i, _mm_min_ps(lifted, hiv));
+  }
+  ClampScalar(c + i, lo, hi, n - i);
+}
+
+float MaxAbsSse2(const float* x, int n) {
+  const __m128 abs_mask = _mm_castsi128_ps(_mm_set1_epi32(0x7FFFFFFF));
+  __m128 acc = _mm_setzero_ps();
+  __m128 nan_seen = _mm_setzero_ps();
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 v = _mm_loadu_ps(x + i);
+    nan_seen = _mm_or_ps(nan_seen, _mm_cmpunord_ps(v, v));
+    acc = _mm_max_ps(acc, _mm_and_ps(v, abs_mask));
+  }
+  const float tail = MaxAbsScalar(x + i, n - i);
+  if (_mm_movemask_ps(nan_seen) != 0 || std::isnan(tail)) {
+    return std::numeric_limits<float>::quiet_NaN();
+  }
+  float lanes[4];
+  _mm_storeu_ps(lanes, acc);
+  float m = tail;
+  for (float l : lanes) m = std::max(m, l);
+  return m;
+}
+
+constexpr KernelTable kSse2Table = {
+    Backend::kSse2, "sse2",   AxpySse2,  AddSse2,   SubSse2,
+    MulSse2,        ScaleSse2, ReluSse2, ClampSse2, MaxAbsSse2,
+};
+
+}  // namespace
+
+const KernelTable& Sse2Table() { return kSse2Table; }
+
+}  // namespace bgc::simd::internal

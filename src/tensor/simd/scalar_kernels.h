@@ -1,0 +1,67 @@
+#ifndef BGC_TENSOR_SIMD_SCALAR_KERNELS_H_
+#define BGC_TENSOR_SIMD_SCALAR_KERNELS_H_
+
+// Scalar reference loops shared by every backend: the kScalar table wraps
+// them directly, and the vector backends call them on the sub-vector-width
+// tails. Per-element semantics (including NaN and ±0 cases) are chosen to
+// bit-match both the historical serial kernels in matrix_ops.cc and the
+// SSE/AVX min/max instruction behavior — see the KernelTable contract in
+// simd.h. Header-only so vector translation units can inline the tails.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace bgc::simd::internal {
+
+inline void AxpyScalar(float* c, const float* x, float a, int n) {
+  for (int i = 0; i < n; ++i) c[i] += a * x[i];
+}
+
+inline void AddScalar(float* c, const float* x, int n) {
+  for (int i = 0; i < n; ++i) c[i] += x[i];
+}
+
+inline void SubScalar(float* c, const float* x, int n) {
+  for (int i = 0; i < n; ++i) c[i] -= x[i];
+}
+
+inline void MulScalar(float* c, const float* x, int n) {
+  for (int i = 0; i < n; ++i) c[i] *= x[i];
+}
+
+inline void ScaleScalar(float* c, float a, int n) {
+  for (int i = 0; i < n; ++i) c[i] *= a;
+}
+
+inline void ReluScalar(float* c, int n) {
+  // std::max(0.0f, x): x > 0 passes through, everything else (negatives,
+  // -0.0f, NaN) becomes the +0.0f first argument — identical to
+  // _mm*_max_ps(x, 0) lane semantics.
+  for (int i = 0; i < n; ++i) c[i] = std::max(0.0f, c[i]);
+}
+
+inline void ClampScalar(float* c, float lo, float hi, int n) {
+  // max(lo, x) returns lo on ties and NaN; min(hi, y) returns hi on ties
+  // — identical to _mm*_min_ps(_mm*_max_ps(x, lo), hi) lane semantics.
+  for (int i = 0; i < n; ++i) c[i] = std::min(hi, std::max(lo, c[i]));
+}
+
+inline float MaxAbsScalar(const float* x, int n) {
+  float m = 0.0f;
+  bool has_nan = false;
+  for (int i = 0; i < n; ++i) {
+    const float f = std::fabs(x[i]);
+    if (std::isnan(f)) {
+      has_nan = true;
+      continue;
+    }
+    m = std::max(m, f);
+  }
+  // Canonical quiet NaN so every backend returns the same bit pattern.
+  return has_nan ? std::numeric_limits<float>::quiet_NaN() : m;
+}
+
+}  // namespace bgc::simd::internal
+
+#endif  // BGC_TENSOR_SIMD_SCALAR_KERNELS_H_

@@ -1,0 +1,101 @@
+#ifndef BGC_TENSOR_SIMD_SIMD_H_
+#define BGC_TENSOR_SIMD_SIMD_H_
+
+// Runtime-dispatched vectorized kernel layer for the dense/sparse hot
+// loops (see DESIGN.md §10 "SIMD backends").
+//
+// Backends: a scalar reference (always built, compiled with
+// -fno-tree-vectorize so it really is the serial rounding sequence), an
+// SSE2 path and an AVX2 path, each compiled in its own translation unit
+// with exactly the ISA flags it needs (never -mfma; -ffp-contract=off).
+// The active backend is chosen once at startup: the best cpuid-supported
+// table, overridable with BGC_SIMD=scalar|sse2|avx2|native. The choice is
+// published through the "simd.backend" obs gauge (0=scalar, 1=sse2,
+// 2=avx2).
+//
+// Bit-exactness contract: every kernel here vectorizes across
+// *independent output elements* — GEMM/SpMM across the output column j,
+// elementwise ops across lanes, max-reductions whose result is
+// order-independent — and performs the same mul-then-add rounding steps
+// per element as the scalar reference (no FMA contraction). Each backend
+// therefore produces byte-identical results; tests/simd_test.cc enforces
+// this at memcmp level and golden_metrics_test passes unchanged under
+// every BGC_SIMD value. Serial accumulation chains (Sum, Dot, per-row
+// softmax denominators) are deliberately *not* vectorized: changing their
+// addend order would change bits, so they share one code path in every
+// backend.
+
+namespace bgc::simd {
+
+enum class Backend : int { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// Function table of one backend. All kernels tolerate n == 0 and accept
+/// unaligned pointers; `c` ranges never alias `x` ranges (caller
+/// contract, matches how matrix_ops/csr invoke them).
+struct KernelTable {
+  Backend backend;
+  const char* name;
+
+  /// c[i] += a * x[i]. Separate mul then add per element — never fused —
+  /// so the rounding sequence matches the scalar loop exactly.
+  void (*axpy)(float* c, const float* x, float a, int n);
+  /// c[i] += x[i].
+  void (*add)(float* c, const float* x, int n);
+  /// c[i] -= x[i].
+  void (*sub)(float* c, const float* x, int n);
+  /// c[i] *= x[i].
+  void (*mul)(float* c, const float* x, int n);
+  /// c[i] *= a.
+  void (*scale)(float* c, float a, int n);
+  /// c[i] = max(0.0f, c[i]) with std::max(0.0f, x) semantics: -0.0f and
+  /// NaN both map to +0.0f (bit-matches the historical serial loop).
+  void (*relu)(float* c, int n);
+  /// c[i] = min(hi, max(lo, c[i])) with std::min/std::max ordering: NaN
+  /// maps to lo, ties keep the bound's sign bit.
+  void (*clamp)(float* c, float lo, float hi, int n);
+  /// max_i |x[i]|; returns the canonical quiet NaN if any x[i] is NaN
+  /// (NaN-propagating, unlike a bare std::max fold which swallows NaN).
+  /// Order-independent, so lane-parallel evaluation is bit-exact.
+  float (*max_abs)(const float* x, int n);
+};
+
+/// The active backend's table. First call performs detection (cpuid +
+/// BGC_SIMD) and publishes the obs gauge; subsequent calls are one atomic
+/// load. An unknown BGC_SIMD value, or one naming a backend this binary
+/// did not compile / this CPU cannot run, aborts with a diagnostic rather
+/// than silently falling back (a silent fallback would invalidate
+/// benchmark comparisons).
+const KernelTable& Kernels();
+
+/// Backend of Kernels().
+Backend Active();
+
+const char* BackendName(Backend b);
+
+/// True when the running CPU can execute `b` (scalar: always).
+bool CpuSupports(Backend b);
+
+/// True when this binary contains `b`'s kernels (scalar: always; vector
+/// backends depend on toolchain support and BGC_SIMD_DISABLE).
+bool Compiled(Backend b);
+
+/// Table for `b`, or nullptr unless Compiled(b) && CpuSupports(b).
+const KernelTable* TableFor(Backend b);
+
+/// Parses "scalar" | "sse2" | "avx2" | "native" (native = best compiled
+/// and supported backend). Returns false on any other string.
+bool ParseBackend(const char* s, Backend* out);
+
+/// Test/bench hook: swaps the active table (must satisfy TableFor(b) !=
+/// nullptr) and returns the previous backend. Not thread-safe against
+/// concurrent kernel dispatch; production code selects once at startup.
+Backend SetBackendForTesting(Backend b);
+
+/// Re-publishes the "simd.backend" gauge (gauges only record while
+/// metrics collection is enabled, so tests that enable metrics late can
+/// call this to make the backend visible).
+void PublishBackendGauge();
+
+}  // namespace bgc::simd
+
+#endif  // BGC_TENSOR_SIMD_SIMD_H_

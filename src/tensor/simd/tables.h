@@ -1,0 +1,25 @@
+#ifndef BGC_TENSOR_SIMD_TABLES_H_
+#define BGC_TENSOR_SIMD_TABLES_H_
+
+// Internal: per-backend table accessors wired between the kernel
+// translation units and dispatch.cc. The BGC_SIMD_HAS_* macros are set by
+// src/tensor/CMakeLists.txt exactly when the corresponding TU is built
+// (toolchain flag probing; see the BGC_SIMD_DISABLE escape hatch there).
+
+#include "src/tensor/simd/simd.h"
+
+namespace bgc::simd::internal {
+
+const KernelTable& ScalarTable();
+
+#if defined(BGC_SIMD_HAS_SSE2)
+const KernelTable& Sse2Table();
+#endif
+
+#if defined(BGC_SIMD_HAS_AVX2)
+const KernelTable& Avx2Table();
+#endif
+
+}  // namespace bgc::simd::internal
+
+#endif  // BGC_TENSOR_SIMD_TABLES_H_

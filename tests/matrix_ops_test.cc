@@ -1,6 +1,7 @@
 #include "src/tensor/matrix_ops.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -162,6 +163,50 @@ TEST(MatrixOpsTest, AllCloseTolerances) {
   EXPECT_TRUE(AllClose(a, b));
   EXPECT_FALSE(AllClose(a, c));
   EXPECT_FALSE(AllClose(a, Matrix(1, 2)));
+}
+
+TEST(MatrixOpsTest, AllCloseRejectsNan) {
+  // Regression: the old |a-b| > tol comparison was NaN-blind — NaN > tol
+  // is false, so matrices full of NaN compared "close" to anything.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  Matrix a(1, 2, {1.0f, nan});
+  Matrix b(1, 2, {1.0f, 2.0f});
+  Matrix both_nan(1, 2, {1.0f, nan});
+  EXPECT_FALSE(AllClose(a, b));
+  EXPECT_FALSE(AllClose(b, a));
+  EXPECT_FALSE(AllClose(a, both_nan));  // NaN != NaN
+}
+
+TEST(MatrixOpsTest, AllCloseRejectsInfinityMismatch) {
+  const float inf = std::numeric_limits<float>::infinity();
+  Matrix a(1, 1, {inf});
+  Matrix b(1, 1, {1.0f});
+  Matrix c(1, 1, {-inf});
+  EXPECT_FALSE(AllClose(a, b));
+  EXPECT_FALSE(AllClose(a, c));
+  // inf - inf is NaN; matching infinities are deliberately a mismatch.
+  EXPECT_FALSE(AllClose(a, a));
+}
+
+TEST(MatrixOpsTest, MaxAbsPropagatesNan) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(MaxAbs(Matrix(1, 3, {1.0f, nan, 9.0f}))));
+  // A large finite value must not mask the NaN through std::max ordering.
+  EXPECT_TRUE(std::isnan(MaxAbs(Matrix(1, 3, {1e30f, -1e30f, nan}))));
+}
+
+TEST(MatrixOpsTest, RowSoftmaxZeroColumns) {
+  // Regression: the row-max scan read row[0] unconditionally, an OOB read
+  // (and a BGC_CHECK failure downstream) for rows×0 inputs.
+  Matrix s = RowSoftmax(Matrix(3, 0));
+  EXPECT_EQ(s.rows(), 3);
+  EXPECT_EQ(s.cols(), 0);
+}
+
+TEST(MatrixOpsTest, RowSoftmaxZeroRows) {
+  Matrix s = RowSoftmax(Matrix(0, 4));
+  EXPECT_EQ(s.rows(), 0);
+  EXPECT_EQ(s.cols(), 4);
 }
 
 TEST(MatrixOpsTest, OneHotEncoding) {

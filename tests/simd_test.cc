@@ -1,0 +1,307 @@
+#include "src/tensor/simd/simd.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/rng.h"
+#include "src/graph/csr.h"
+#include "src/tensor/matrix.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace bgc {
+namespace {
+
+// Column counts straddling every lane-width boundary: scalar (1), below /
+// at / above the SSE2 width (7, 8, 9 with a 4-lane tail mix), and below /
+// at / above the AVX2 width (63, 64, 65).
+const int kSizes[] = {1, 7, 8, 9, 63, 64, 65};
+
+std::vector<simd::Backend> VectorBackends() {
+  std::vector<simd::Backend> out;
+  for (simd::Backend b : {simd::Backend::kSse2, simd::Backend::kAvx2}) {
+    if (simd::TableFor(b) != nullptr) out.push_back(b);
+  }
+  return out;
+}
+
+// Restores the entry backend even when an assertion fails mid-test.
+class BackendGuard {
+ public:
+  BackendGuard() : saved_(simd::Active()) {}
+  ~BackendGuard() { simd::SetBackendForTesting(saved_); }
+
+ private:
+  simd::Backend saved_;
+};
+
+::testing::AssertionResult BitEqual(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return ::testing::AssertionFailure()
+           << "shape mismatch: " << a.rows() << "x" << a.cols() << " vs "
+           << b.rows() << "x" << b.cols();
+  }
+  size_t bytes = static_cast<size_t>(a.rows()) * a.cols() * sizeof(float);
+  if (bytes == 0 || std::memcmp(a.data(), b.data(), bytes) == 0) {
+    return ::testing::AssertionSuccess();
+  }
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) {
+      float x = a.At(i, j), y = b.At(i, j);
+      if (std::memcmp(&x, &y, sizeof(float)) != 0) {
+        return ::testing::AssertionFailure()
+               << "first bit difference at (" << i << ", " << j
+               << "): " << x << " vs " << y;
+      }
+    }
+  }
+  return ::testing::AssertionFailure() << "memcmp mismatch (padding?)";
+}
+
+// Runs `op` once under the scalar backend and once under each compiled
+// vector backend, asserting byte-identical results.
+template <typename Op>
+void ExpectBackendsBitEqual(const char* what, Op op) {
+  BackendGuard guard;
+  simd::SetBackendForTesting(simd::Backend::kScalar);
+  Matrix ref = op();
+  for (simd::Backend b : VectorBackends()) {
+    simd::SetBackendForTesting(b);
+    EXPECT_TRUE(BitEqual(op(), ref))
+        << what << " under " << simd::BackendName(b);
+  }
+}
+
+// Mixes magnitudes (denormal-adjacent through large) so mul/add rounding
+// actually differs between orderings if a kernel gets the sequence wrong.
+Matrix SpicyMatrix(int rows, int cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m = Matrix::RandomNormal(rows, cols, rng);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      int k = (i * cols + j) % 7;
+      if (k == 3) m.At(i, j) *= 1e6f;
+      if (k == 5) m.At(i, j) *= 1e-6f;
+      if (k == 6) m.At(i, j) = 0.0f;  // exercises the GEMM zero-skip paths
+    }
+  }
+  return m;
+}
+
+TEST(SimdDispatchTest, ScalarAlwaysAvailable) {
+  EXPECT_TRUE(simd::Compiled(simd::Backend::kScalar));
+  EXPECT_TRUE(simd::CpuSupports(simd::Backend::kScalar));
+  ASSERT_NE(simd::TableFor(simd::Backend::kScalar), nullptr);
+  EXPECT_EQ(simd::TableFor(simd::Backend::kScalar)->backend,
+            simd::Backend::kScalar);
+}
+
+TEST(SimdDispatchTest, ActiveMatchesKernelsTable) {
+  EXPECT_EQ(simd::Kernels().backend, simd::Active());
+  EXPECT_STREQ(simd::Kernels().name, simd::BackendName(simd::Active()));
+}
+
+TEST(SimdDispatchTest, TableForRequiresCompiledAndSupported) {
+  for (simd::Backend b :
+       {simd::Backend::kScalar, simd::Backend::kSse2, simd::Backend::kAvx2}) {
+    const simd::KernelTable* t = simd::TableFor(b);
+    if (simd::Compiled(b) && simd::CpuSupports(b)) {
+      ASSERT_NE(t, nullptr) << simd::BackendName(b);
+      EXPECT_EQ(t->backend, b);
+      EXPECT_STREQ(t->name, simd::BackendName(b));
+    } else {
+      EXPECT_EQ(t, nullptr) << simd::BackendName(b);
+    }
+  }
+}
+
+TEST(SimdDispatchTest, ParseBackendAcceptsKnownNames) {
+  simd::Backend b;
+  ASSERT_TRUE(simd::ParseBackend("scalar", &b));
+  EXPECT_EQ(b, simd::Backend::kScalar);
+  ASSERT_TRUE(simd::ParseBackend("sse2", &b));
+  EXPECT_EQ(b, simd::Backend::kSse2);
+  ASSERT_TRUE(simd::ParseBackend("avx2", &b));
+  EXPECT_EQ(b, simd::Backend::kAvx2);
+  // "native" resolves to the best compiled+supported backend.
+  ASSERT_TRUE(simd::ParseBackend("native", &b));
+  EXPECT_NE(simd::TableFor(b), nullptr);
+}
+
+TEST(SimdDispatchTest, ParseBackendRejectsUnknownNames) {
+  simd::Backend b;
+  EXPECT_FALSE(simd::ParseBackend("", &b));
+  EXPECT_FALSE(simd::ParseBackend("avx512", &b));
+  EXPECT_FALSE(simd::ParseBackend("Scalar", &b));
+  EXPECT_FALSE(simd::ParseBackend("sse", &b));
+}
+
+TEST(SimdDispatchTest, SetBackendForTestingRoundTrips) {
+  BackendGuard guard;
+  simd::Backend entry = simd::Active();
+  simd::Backend prev = simd::SetBackendForTesting(simd::Backend::kScalar);
+  EXPECT_EQ(prev, entry);
+  EXPECT_EQ(simd::Active(), simd::Backend::kScalar);
+  EXPECT_EQ(simd::Kernels().backend, simd::Backend::kScalar);
+}
+
+TEST(SimdBitEqualTest, MatMul) {
+  for (int m : kSizes) {
+    Matrix a = SpicyMatrix(5, 9, 100 + m);
+    Matrix b = SpicyMatrix(9, m, 200 + m);
+    ExpectBackendsBitEqual("MatMul", [&] { return MatMul(a, b); });
+  }
+}
+
+TEST(SimdBitEqualTest, MatMulTransA) {
+  for (int m : kSizes) {
+    Matrix a = SpicyMatrix(9, 5, 300 + m);
+    Matrix b = SpicyMatrix(9, m, 400 + m);
+    ExpectBackendsBitEqual("MatMulTransA", [&] { return MatMulTransA(a, b); });
+  }
+}
+
+TEST(SimdBitEqualTest, MatMulTransB) {
+  for (int m : kSizes) {
+    Matrix a = SpicyMatrix(5, 9, 500 + m);
+    Matrix b = SpicyMatrix(m, 9, 600 + m);
+    ExpectBackendsBitEqual("MatMulTransB", [&] { return MatMulTransB(a, b); });
+  }
+}
+
+TEST(SimdBitEqualTest, SpmmForwardAndTransposed) {
+  Rng rng(7);
+  Matrix dense_adj = Matrix::RandomUniform(12, 12, rng, 0.0f, 1.0f);
+  graph::CsrMatrix adj = graph::CsrMatrix::FromDense(dense_adj, 0.6f);
+  ASSERT_GT(adj.nnz(), 0);
+  for (int m : kSizes) {
+    Matrix x = SpicyMatrix(12, m, 700 + m);
+    ExpectBackendsBitEqual("CsrMatrix::Multiply",
+                           [&] { return adj.Multiply(x); });
+    ExpectBackendsBitEqual("CsrMatrix::MultiplyTransposed",
+                           [&] { return adj.MultiplyTransposed(x); });
+  }
+}
+
+TEST(SimdBitEqualTest, ElementwiseOps) {
+  for (int m : kSizes) {
+    Matrix a = SpicyMatrix(4, m, 800 + m);
+    Matrix b = SpicyMatrix(4, m, 900 + m);
+    Matrix bias = SpicyMatrix(1, m, 1000 + m);
+    ExpectBackendsBitEqual("Add", [&] { return Add(a, b); });
+    ExpectBackendsBitEqual("Sub", [&] { return Sub(a, b); });
+    ExpectBackendsBitEqual("Hadamard", [&] { return Hadamard(a, b); });
+    ExpectBackendsBitEqual("Scale", [&] { return Scale(a, 1.7f); });
+    ExpectBackendsBitEqual("Relu", [&] { return Relu(a); });
+    ExpectBackendsBitEqual("Clamp", [&] { return Clamp(a, -0.5f, 0.5f); });
+    ExpectBackendsBitEqual("AddRowBroadcast",
+                           [&] { return AddRowBroadcast(a, bias); });
+    ExpectBackendsBitEqual("AddScaledInPlace", [&] {
+      Matrix c = a;
+      AddScaledInPlace(c, b, 0.3f);
+      return c;
+    });
+    ExpectBackendsBitEqual("ScaleInPlace", [&] {
+      Matrix c = a;
+      ScaleInPlace(c, -2.5f);
+      return c;
+    });
+  }
+}
+
+TEST(SimdBitEqualTest, ReluAndClampSpecialBitPatterns) {
+  // std::max(0.0f, x) maps NaN and -0.0f to +0.0f; std::min(hi,
+  // std::max(lo, x)) maps NaN to lo. The vector paths must reproduce
+  // those exact bits in every lane position, so tile the specials across
+  // more than one vector width.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  const float specials[] = {nan,  -nan, inf,   -inf, 0.0f, -0.0f,
+                            1.0f, -1.0f, 1e-40f, -1e-40f, 2.0f, -2.0f};
+  Matrix a(3, 24);
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) {
+      a.At(i, j) = specials[(i * 5 + j) % 12];
+    }
+  }
+  ExpectBackendsBitEqual("Relu(specials)", [&] { return Relu(a); });
+  ExpectBackendsBitEqual("Clamp(specials)",
+                         [&] { return Clamp(a, -1.5f, 1.5f); });
+}
+
+TEST(SimdBitEqualTest, TransposeAndReductions) {
+  for (int m : kSizes) {
+    Matrix a = SpicyMatrix(6, m, 1100 + m);
+    ExpectBackendsBitEqual("Transpose", [&] { return Transpose(a); });
+    ExpectBackendsBitEqual("RowSum", [&] { return RowSum(a); });
+    ExpectBackendsBitEqual("ColSum", [&] { return ColSum(a); });
+    ExpectBackendsBitEqual("RowNorm", [&] { return RowNorm(a); });
+  }
+}
+
+TEST(SimdBitEqualTest, ScalarReductionsMatchAcrossBackends) {
+  BackendGuard guard;
+  for (int m : kSizes) {
+    Matrix a = SpicyMatrix(6, m, 1200 + m);
+    simd::SetBackendForTesting(simd::Backend::kScalar);
+    float max_abs_ref = MaxAbs(a);
+    float sum_ref = Sum(a);
+    float dot_ref = Dot(a, a);
+    for (simd::Backend b : VectorBackends()) {
+      simd::SetBackendForTesting(b);
+      float max_abs_v = MaxAbs(a);
+      float sum_v = Sum(a);
+      float dot_v = Dot(a, a);
+      EXPECT_EQ(std::memcmp(&max_abs_v, &max_abs_ref, sizeof(float)), 0)
+          << "MaxAbs under " << simd::BackendName(b);
+      EXPECT_EQ(std::memcmp(&sum_v, &sum_ref, sizeof(float)), 0)
+          << "Sum under " << simd::BackendName(b);
+      EXPECT_EQ(std::memcmp(&dot_v, &dot_ref, sizeof(float)), 0)
+          << "Dot under " << simd::BackendName(b);
+    }
+  }
+}
+
+TEST(SimdBitEqualTest, MaxAbsNanPropagatesIdenticallyInEveryLane) {
+  BackendGuard guard;
+  const float canonical = std::numeric_limits<float>::quiet_NaN();
+  // A NaN in each possible lane position of a 9-wide row (hits both AVX2
+  // body lanes and the scalar tail).
+  for (int pos = 0; pos < 9; ++pos) {
+    Matrix a = SpicyMatrix(1, 9, 1300 + pos);
+    a.At(0, pos) = -std::numeric_limits<float>::quiet_NaN();
+    simd::SetBackendForTesting(simd::Backend::kScalar);
+    float ref = MaxAbs(a);
+    EXPECT_EQ(std::memcmp(&ref, &canonical, sizeof(float)), 0)
+        << "scalar MaxAbs must return the canonical quiet NaN";
+    for (simd::Backend b : VectorBackends()) {
+      simd::SetBackendForTesting(b);
+      float v = MaxAbs(a);
+      EXPECT_EQ(std::memcmp(&v, &ref, sizeof(float)), 0)
+          << "NaN at lane " << pos << " under " << simd::BackendName(b);
+    }
+  }
+}
+
+TEST(SimdKernelTest, RawKernelsTolerateZeroLength) {
+  for (simd::Backend b :
+       {simd::Backend::kScalar, simd::Backend::kSse2, simd::Backend::kAvx2}) {
+    const simd::KernelTable* t = simd::TableFor(b);
+    if (t == nullptr) continue;
+    t->axpy(nullptr, nullptr, 2.0f, 0);
+    t->add(nullptr, nullptr, 0);
+    t->sub(nullptr, nullptr, 0);
+    t->mul(nullptr, nullptr, 0);
+    t->scale(nullptr, 3.0f, 0);
+    t->relu(nullptr, 0);
+    t->clamp(nullptr, -1.0f, 1.0f, 0);
+    float m = t->max_abs(nullptr, 0);
+    EXPECT_EQ(m, 0.0f) << simd::BackendName(b);
+  }
+}
+
+}  // namespace
+}  // namespace bgc

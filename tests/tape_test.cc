@@ -1,6 +1,8 @@
 #include "src/autograd/tape.h"
 
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -224,6 +226,34 @@ TEST(TapeTest, BroadcastOpsForward) {
               Matrix(2, 2, {10, 200, 30, 400}));
   EXPECT_TRUE(t.value(t.AddRowVec(a, row)) ==
               Matrix(2, 2, {11, 102, 13, 104}));
+}
+
+TEST(TapeTest, ConcurrentGradReadsAfterBackward) {
+  // Regression for the const_cast lazy-materialization race: grad() used
+  // to allocate a node's zero grad on first read behind a const method,
+  // so two threads reading the grad of an untouched node raced on the
+  // allocation. Backward() now pre-materializes zero grads for every
+  // requires-grad node, making post-Backward reads pure. This test runs
+  // in the CI TSan leg (tools/ci.sh), which is what actually proves it.
+  Tape t;
+  Var w = t.Input(Matrix(2, 2, {1, 2, 3, 4}));
+  Var unused = t.Input(Matrix(2, 2, {5, 6, 7, 8}));  // receives no gradient
+  Var loss = t.SumAll(t.Square(w));
+  t.Backward(loss);
+
+  Matrix grads[2][2];
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&t, &grads, w, unused, r] {
+      grads[r][0] = t.grad(w);
+      grads[r][1] = t.grad(unused);
+    });
+  }
+  for (std::thread& th : readers) th.join();
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_TRUE(grads[r][0] == Matrix(2, 2, {2, 4, 6, 8}));
+    EXPECT_TRUE(grads[r][1] == Matrix(2, 2));  // zeros, not garbage
+  }
 }
 
 }  // namespace

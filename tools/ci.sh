@@ -5,11 +5,18 @@
 #   1. Release build, full tier1 suite        (the ROADMAP gate)
 #   2. Release `check-fast`                   (ctest -LE slow; the inner-loop
 #                                              preset `make check-fast` uses)
-#   3. ASan build, `sanitizer`-labeled suites (store/bgcbin fuzz/obs/golden —
+#   3. Release BGC_SIMD=scalar leg            (check-fast + goldens under the
+#                                              scalar reference backend: the
+#                                              bit-exactness contract of
+#                                              DESIGN.md §10)
+#   4. Release kernel bench sweep             (bench_micro_kernels --json +
+#                                              the >=2x AVX2 GEMM gate)
+#   5. ASan build, `sanitizer`-labeled suites (store/bgcbin fuzz/obs/golden —
 #                                              byte-level and concurrent code)
-#   4. TSan build, obs + parallel + scheduler (counter/timer thread safety,
+#   6. TSan build, obs/parallel/scheduler/tape (counter/timer thread safety,
 #                                              grid workers, cache
-#                                              single-flight)
+#                                              single-flight, concurrent
+#                                              grad reads)
 #
 # Usage: tools/ci.sh [--skip-tsan] [--skip-asan]
 # Build trees live in build-ci-{release,asan,tsan}, separate from ./build so
@@ -41,6 +48,24 @@ ctest --test-dir build-ci-release -L tier1 -j "$JOBS" --output-on-failure
 step "Release: check-fast preset (-LE slow)"
 ctest --test-dir build-ci-release -LE slow -j "$JOBS" --output-on-failure
 
+step "Release: SIMD scalar bit-identity leg (BGC_SIMD=scalar)"
+# The same binaries, forced onto the scalar reference backend. Goldens
+# must pass without regeneration under every backend — this is the
+# enforcement of the bit-exactness contract (DESIGN.md §10): any kernel
+# that vectorizes across a serial accumulation chain shows up here as a
+# golden_metrics_test failure before it can corrupt a paper table.
+BGC_SIMD=scalar ctest --test-dir build-ci-release -LE slow -j "$JOBS" \
+    --output-on-failure
+BGC_SIMD=scalar ./build-ci-release/tests/golden_metrics_test
+./build-ci-release/tests/golden_metrics_test
+
+step "Release: kernel bench sweep (--json)"
+# Per-backend GB/s / GFLOP/s rows plus the >=2x AVX2-vs-scalar GEMM gate
+# (auto-skips with a notice when cpuid lacks AVX2). The committed
+# snapshot lives at bench/BENCH_kernels.json.
+./build-ci-release/bench/bench_micro_kernels \
+    --json build-ci-release/BENCH_kernels.json
+
 step "Release: parallel bench smoke (--jobs=4)"
 # One fast grid through the scheduler at --jobs=4: catches --jobs wiring or
 # determinism regressions that unit tests on GridRunner alone would miss.
@@ -60,13 +85,15 @@ if [ "$SKIP_TSAN" -eq 0 ]; then
   step "TSan build"
   cmake -B build-ci-tsan -S . -DBGC_SANITIZE=thread >/dev/null
   cmake --build build-ci-tsan -j "$JOBS"
-  step "TSan: obs + thread-pool + grid-scheduler suites"
+  step "TSan: obs + thread-pool + grid-scheduler + tape suites"
   # BGC_METRICS=0 keeps emission quiet; the tests enable collection
   # themselves. Run the concurrency-sensitive binaries directly so TSan
-  # sees the raw threads.
+  # sees the raw threads. tape_test covers the concurrent post-Backward
+  # grad reads that the old const_cast lazy materialization raced on.
   ./build-ci-tsan/tests/obs_test
   ./build-ci-tsan/tests/parallel_test
   ./build-ci-tsan/tests/scheduler_test
+  ./build-ci-tsan/tests/tape_test
 fi
 
 step "CI matrix passed"
