@@ -1,0 +1,393 @@
+// Tape replay micro-bench: forward build + Backward() wall-clock and
+// allocation counts for a GCond-inner-loop-shaped graph (the per-class
+// gradient-matching fan-in of src/condense/gradient_matching.cc), swept
+// over BGC_AUTOGRAD=serial|parallel and thread counts.
+//
+//   --jobs N    highest thread count in the sweep (default: ThreadPool::
+//               DefaultNumThreads(), i.e. BGC_NUM_THREADS or hardware).
+//               The sweep runs parallel backward at 1, 2, 4, ... up to N.
+//   --steps N   tape rebuild+backward steps per measurement (default 30).
+//   --reps N    best-of repetitions per row (default 3).
+//   --paper     full-size configuration (more classes, bigger matrices).
+//   --json P    write rows + the speedup gate as JSON to P and exit
+//               non-zero if the gate fails. tools/ci.sh runs this mode;
+//               bench/BENCH_tape.json is the committed snapshot.
+//
+// The gate requires parallel Backward() at the highest swept thread count
+// to beat serial Backward() wall-clock; it is auto-skipped (with a logged
+// notice) on single-core machines where there is nothing to win.
+//
+// Allocation counts come from the buffer arena's own counters: a malloc is
+// an arena miss (or a bypass when BGC_ARENA=off), so `mallocs_per_step`
+// directly shows the steady-state reuse the arena buys — near zero with
+// the arena on, hundreds per step with it off.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/autograd/tape.h"
+#include "src/core/arena.h"
+#include "src/core/rng.h"
+#include "src/core/thread_pool.h"
+#include "src/tensor/matrix.h"
+
+namespace {
+
+using namespace bgc;  // NOLINT
+
+// ---------------------------------------------------------------------
+// Workload: one gradient-matching inner step's tape, shaped like
+// GradientMatchingCondenser::Epoch (learned adjacency + SGC propagation +
+// one independent matching branch per class).
+// ---------------------------------------------------------------------
+
+struct Fixture {
+  int n_syn = 0;
+  int dim = 0;
+  int num_classes = 0;
+  int rank = 0;
+  int sgc_k = 0;
+  Matrix x;                         // n_syn × dim synthetic features
+  Matrix u;                         // dim × rank adjacency factor
+  Matrix bias;                      // 1 × 1 adjacency bias
+  Matrix w;                         // dim × classes surrogate weights
+  Matrix diag_mask;                 // n_syn × n_syn, zero diagonal
+  Matrix identity;                  // n_syn × n_syn
+  Matrix ones_col;                  // n_syn × 1
+  std::vector<Matrix> real_grads;   // per class, dim × classes
+  std::vector<Matrix> onehots;      // per class, rows_c × classes
+  std::vector<std::vector<int>> class_rows;
+};
+
+Fixture MakeFixture(bool paper) {
+  Fixture f;
+  f.n_syn = paper ? 140 : 80;
+  f.dim = paper ? 128 : 64;
+  f.num_classes = paper ? 10 : 8;
+  f.rank = paper ? 32 : 16;
+  f.sgc_k = 2;
+  Rng rng(17);
+  f.x = Matrix::RandomNormal(f.n_syn, f.dim, rng);
+  f.u = Matrix::RandomNormal(f.dim, f.rank, rng);
+  f.bias = Matrix(1, 1, -2.0f);
+  f.w = Matrix::RandomNormal(f.dim, f.num_classes, rng);
+  f.diag_mask = Matrix(f.n_syn, f.n_syn, 1.0f);
+  for (int i = 0; i < f.n_syn; ++i) f.diag_mask(i, i) = 0.0f;
+  f.identity = Matrix::Identity(f.n_syn);
+  f.ones_col = Matrix(f.n_syn, 1, 1.0f);
+  const int per_class = f.n_syn / f.num_classes;
+  for (int c = 0; c < f.num_classes; ++c) {
+    f.real_grads.push_back(
+        Matrix::RandomNormal(f.dim, f.num_classes, rng));
+    std::vector<int> rows;
+    for (int i = c * per_class; i < (c + 1) * per_class; ++i) {
+      rows.push_back(i);
+    }
+    Matrix onehot(static_cast<int>(rows.size()), f.num_classes);
+    for (int i = 0; i < static_cast<int>(rows.size()); ++i) {
+      onehot(i, c) = 1.0f;
+    }
+    f.onehots.push_back(std::move(onehot));
+    f.class_rows.push_back(std::move(rows));
+  }
+  return f;
+}
+
+/// Builds one inner step's graph on `t` and returns the matching loss.
+ag::Var BuildStep(ag::Tape& t, const Fixture& f) {
+  ag::Var x = t.Input(f.x);
+  ag::Var u = t.Input(f.u);
+  ag::Var bias = t.Input(f.bias);
+
+  // Learned adjacency Â' (same chain as NormalizedLearnedAdjacency).
+  ag::Var h = t.Tanh(t.MatMul(x, u));
+  ag::Var raw = t.Scale(t.MatMul(h, t.Transpose(h)),
+                        1.0f / std::sqrt(static_cast<float>(f.rank)));
+  ag::Var bias_col = t.MatMul(t.Constant(f.ones_col), bias);
+  ag::Var bias_full =
+      t.MatMul(bias_col, t.Constant(Matrix(1, f.n_syn, 1.0f)));
+  ag::Var a = t.Sigmoid(t.Add(raw, bias_full));
+  a = t.Hadamard(a, t.BinarizeSte(a, 0.5f));
+  a = t.Hadamard(a, t.Constant(f.diag_mask));
+  ag::Var hat = t.Add(a, t.Constant(f.identity));
+  ag::Var deg = t.RowSumOp(hat);
+  ag::Var inv_sqrt = t.ElemDiv(t.Constant(f.ones_col), t.Sqrt(deg, 1e-8f));
+  ag::Var op = t.MulRowVec(t.MulColVec(hat, inv_sqrt),
+                           t.Transpose(inv_sqrt));
+
+  ag::Var z = x;
+  for (int k = 0; k < f.sgc_k; ++k) z = t.MatMul(op, z);
+
+  // Independent per-class matching branches — the fan-in the parallel
+  // backward engine exploits.
+  ag::Var w_const = t.Constant(f.w);
+  ag::Var loss{};
+  for (int c = 0; c < f.num_classes; ++c) {
+    ag::Var zc = t.GatherRows(z, f.class_rows[c]);
+    ag::Var probs = t.Softmax(t.MatMul(zc, w_const));
+    ag::Var diff = t.Sub(probs, t.Constant(f.onehots[c]));
+    ag::Var g = t.Scale(
+        t.MatMul(t.Transpose(zc), diff),
+        1.0f / static_cast<float>(f.class_rows[c].size()));
+    ag::Var term = t.SumAll(t.Square(t.Sub(g, t.Constant(f.real_grads[c]))));
+    loss = c == 0 ? term : t.Add(loss, term);
+  }
+  return loss;
+}
+
+// ---------------------------------------------------------------------
+// Measurement.
+// ---------------------------------------------------------------------
+
+struct Row {
+  std::string mode;        // "serial" | "parallel"
+  int jobs = 1;
+  std::string arena;       // "on" | "off"
+  double step_seconds = 0;     // forward build + backward, per step
+  double forward_seconds = 0;  // tape build (incl. forward kernels)
+  double backward_seconds = 0;
+  double mallocs_per_step = 0;  // arena misses + bypasses per step
+  double arena_hit_rate = 0;    // hits / (hits + misses), measured window
+};
+
+/// Restores the backward mode, thread count, and arena enablement on exit.
+class ScopedEngineConfig {
+ public:
+  ScopedEngineConfig(ag::BackwardMode mode, int jobs, bool arena_on)
+      : prev_mode_(ag::Tape::SetBackwardModeForTesting(mode)),
+        prev_arena_(core::BufferArena::Global().SetEnabledForTesting(
+            arena_on)) {
+    ThreadPool::SetGlobalNumThreads(jobs);
+  }
+  ~ScopedEngineConfig() {
+    ag::Tape::SetBackwardModeForTesting(prev_mode_);
+    core::BufferArena::Global().SetEnabledForTesting(prev_arena_);
+    ThreadPool::SetGlobalNumThreads(0);
+  }
+
+ private:
+  ag::BackwardMode prev_mode_;
+  bool prev_arena_;
+};
+
+Row MeasureConfig(const Fixture& f, ag::BackwardMode mode, int jobs,
+                  bool arena_on, int steps, int reps) {
+  ScopedEngineConfig cfg(mode, jobs, arena_on);
+  core::BufferArena& arena = core::BufferArena::Global();
+  arena.Clear();
+
+  Row row;
+  row.mode = mode == ag::BackwardMode::kParallel ? "parallel" : "serial";
+  row.jobs = jobs;
+  row.arena = arena_on ? "on" : "off";
+
+  using clock = std::chrono::steady_clock;
+  ag::Tape t;
+  double best_total = 1e30;
+  for (int rep = 0; rep < reps + 1; ++rep) {
+    // Warm-up rep (rep 0) populates the arena free lists and the tape's
+    // node capacity, so the measured reps see steady-state reuse.
+    double fwd = 0.0, bwd = 0.0;
+    const core::BufferArena::Stats before = arena.stats();
+    auto rep0 = clock::now();
+    for (int s = 0; s < steps; ++s) {
+      auto t0 = clock::now();
+      t.Reset();
+      ag::Var loss = BuildStep(t, f);
+      auto t1 = clock::now();
+      t.Backward(loss);
+      auto t2 = clock::now();
+      fwd += std::chrono::duration<double>(t1 - t0).count();
+      bwd += std::chrono::duration<double>(t2 - t1).count();
+    }
+    double total = std::chrono::duration<double>(clock::now() - rep0).count();
+    if (rep == 0) continue;
+    const core::BufferArena::Stats after = arena.stats();
+    if (total < best_total) {
+      best_total = total;
+      row.step_seconds = total / steps;
+      row.forward_seconds = fwd / steps;
+      row.backward_seconds = bwd / steps;
+      const double mallocs = static_cast<double>(
+          (after.misses - before.misses) + (after.bypass - before.bypass));
+      row.mallocs_per_step = mallocs / steps;
+      const double touched = static_cast<double>(
+          (after.hits - before.hits) + (after.misses - before.misses));
+      row.arena_hit_rate =
+          touched > 0 ? static_cast<double>(after.hits - before.hits) / touched
+                      : 0.0;
+    }
+  }
+  arena.Clear();
+  return row;
+}
+
+std::vector<int> JobSweep(int max_jobs) {
+  std::vector<int> jobs;
+  for (int j = 1; j < max_jobs; j *= 2) jobs.push_back(j);
+  jobs.push_back(max_jobs);
+  jobs.erase(std::unique(jobs.begin(), jobs.end()), jobs.end());
+  return jobs;
+}
+
+void PrintTable(const std::vector<Row>& rows) {
+  std::printf("%-9s %5s %6s %12s %12s %12s %14s %9s\n", "mode", "jobs",
+              "arena", "step_ms", "forward_ms", "backward_ms",
+              "mallocs/step", "hit_rate");
+  for (const Row& r : rows) {
+    std::printf("%-9s %5d %6s %12.3f %12.3f %12.3f %14.1f %9.3f\n",
+                r.mode.c_str(), r.jobs, r.arena.c_str(),
+                r.step_seconds * 1e3, r.forward_seconds * 1e3,
+                r.backward_seconds * 1e3, r.mallocs_per_step,
+                r.arena_hit_rate);
+  }
+}
+
+int WriteJson(const char* path, const Fixture& f, int steps, int reps,
+              const std::vector<Row>& rows, const char* gate_status,
+              double speedup, const std::string& gate_reason) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench: cannot open %s for writing\n", path);
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"schema\": \"bgc-bench-tape-v1\",\n");
+  std::fprintf(out,
+               "  \"config\": {\"n_syn\": %d, \"dim\": %d, \"classes\": %d, "
+               "\"rank\": %d, \"sgc_k\": %d, \"steps\": %d, \"reps\": %d},\n",
+               f.n_syn, f.dim, f.num_classes, f.rank, f.sgc_k, steps, reps);
+  std::fprintf(out, "  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(out,
+                 "    {\"mode\": \"%s\", \"jobs\": %d, \"arena\": \"%s\", "
+                 "\"step_seconds\": %.6e, \"forward_seconds\": %.6e, "
+                 "\"backward_seconds\": %.6e, \"mallocs_per_step\": %.1f, "
+                 "\"arena_hit_rate\": %.3f}%s\n",
+                 r.mode.c_str(), r.jobs, r.arena.c_str(), r.step_seconds,
+                 r.forward_seconds, r.backward_seconds, r.mallocs_per_step,
+                 r.arena_hit_rate, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"gate\": {\"name\": \"tape_parallel_beats_serial\", ");
+  if (std::strcmp(gate_status, "skipped") == 0) {
+    std::fprintf(out, "\"status\": \"skipped\", \"reason\": \"%s\"}\n",
+                 gate_reason.c_str());
+  } else {
+    std::fprintf(out, "\"status\": \"%s\", \"speedup\": %.3f}\n", gate_status,
+                 speedup);
+  }
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::fprintf(stderr, "bench: wrote %s (%zu rows)\n", path, rows.size());
+  return 0;
+}
+
+[[noreturn]] void DieUsage(const char* arg) {
+  std::fprintf(stderr,
+               "bench_tape_replay: unknown or incomplete flag '%s'\n"
+               "usage: bench_tape_replay [--paper] [--steps N] [--reps N] "
+               "[--jobs N] [--json PATH]\n",
+               arg);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool paper = false;
+  int steps = 30;
+  int reps = 3;
+  int max_jobs = ThreadPool::DefaultNumThreads();
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--paper") == 0) {
+      paper = true;
+    } else if (std::strcmp(argv[i], "--steps") == 0 && i + 1 < argc) {
+      steps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      max_jobs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      DieUsage(argv[i]);
+    }
+  }
+  if (steps < 1 || reps < 1 || max_jobs < 1) DieUsage("(non-positive value)");
+
+  const Fixture f = MakeFixture(paper);
+  std::fprintf(stderr,
+               "bench: tape replay n_syn=%d dim=%d classes=%d steps=%d "
+               "reps=%d jobs<=%d\n",
+               f.n_syn, f.dim, f.num_classes, steps, reps, max_jobs);
+
+  std::vector<Row> rows;
+  // Serial baseline (thread count is irrelevant to the serial walk).
+  rows.push_back(MeasureConfig(f, ag::BackwardMode::kSerial, 1, true, steps,
+                               reps));
+  // Parallel sweep over thread counts.
+  for (int jobs : JobSweep(max_jobs)) {
+    rows.push_back(MeasureConfig(f, ag::BackwardMode::kParallel, jobs, true,
+                                 steps, reps));
+  }
+  // Arena-off contrast rows: every Matrix allocation pays malloc/free.
+  rows.push_back(MeasureConfig(f, ag::BackwardMode::kSerial, 1, false, steps,
+                               reps));
+  rows.push_back(MeasureConfig(f, ag::BackwardMode::kParallel, max_jobs,
+                               false, steps, reps));
+
+  // Gate: parallel backward at the highest swept thread count must beat
+  // the serial walk. Meaningless on one core — auto-skip with a notice.
+  const Row& serial = rows.front();
+  const Row* par_best = nullptr;
+  for (const Row& r : rows) {
+    if (r.mode == "parallel" && r.arena == "on" && r.jobs == max_jobs) {
+      par_best = &r;
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  const char* gate_status;
+  double speedup = 0.0;
+  std::string gate_reason;
+  if (hw <= 1 || max_jobs <= 1) {
+    gate_status = "skipped";
+    gate_reason = hw <= 1 ? "single hardware thread on this machine"
+                          : "sweep capped at --jobs 1";
+    std::fprintf(stderr,
+                 "bench: tape parallel-vs-serial gate SKIPPED: %s\n",
+                 gate_reason.c_str());
+  } else {
+    speedup = serial.backward_seconds / par_best->backward_seconds;
+    if (speedup > 1.0) {
+      gate_status = "pass";
+      std::fprintf(stderr,
+                   "bench: tape parallel-vs-serial gate PASS: backward "
+                   "%.2fx serial at %d jobs (> 1.0x required)\n",
+                   speedup, max_jobs);
+    } else {
+      gate_status = "fail";
+      std::fprintf(stderr,
+                   "bench: tape parallel-vs-serial gate FAIL: backward "
+                   "%.2fx serial at %d jobs (> 1.0x required)\n",
+                   speedup, max_jobs);
+    }
+  }
+
+  if (json_path != nullptr) {
+    int rc = WriteJson(json_path, f, steps, reps, rows, gate_status, speedup,
+                       gate_reason);
+    if (rc != 0) return rc;
+  } else {
+    PrintTable(rows);
+  }
+  return std::strcmp(gate_status, "fail") == 0 ? 1 : 0;
+}

@@ -29,8 +29,9 @@ Matrix SelectorEmbeddings(const condense::SourceGraph& source,
   for (int idx : source.labeled) y.push_back(source.labels[idx]);
   const Matrix targets = OneHot(y, num_classes);
   nn::Adam opt(0.01f, 5e-4f);
+  ag::Tape t;  // reused across epochs: Reset() recycles buffers via the arena
   for (int epoch = 0; epoch < config.selector_epochs; ++epoch) {
-    ag::Tape t;
+    t.Reset();
     ag::Var x = t.Constant(source.features);
     ag::Var v1 = t.Input(w1.value);
     ag::Var vb1 = t.Input(b1.value);

@@ -43,8 +43,9 @@ float SurrogateGcn::TrainOnGraph(const graph::CsrMatrix& adj, const Matrix& x,
   const Matrix targets = OneHot(y, w2_.value.cols());
   nn::Adam opt(lr, /*weight_decay=*/5e-4f);
   float last = 0.0f;
+  ag::Tape t;  // reused across steps: Reset() recycles buffers via the arena
   for (int s = 0; s < steps; ++s) {
-    ag::Tape t;
+    t.Reset();
     ag::Var xin = t.Constant(x);
     ag::Var w1 = t.Input(w1_.value);
     ag::Var b1 = t.Input(b1_.value);

@@ -1,20 +1,99 @@
 #include "src/autograd/tape.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
 #include <utility>
 
+#include "src/core/arena.h"
 #include "src/core/check.h"
+#include "src/core/thread_pool.h"
+#include "src/obs/obs.h"
 #include "src/tensor/linalg.h"
 #include "src/tensor/matrix_ops.h"
 
 namespace bgc::ag {
 
+namespace {
+
+[[noreturn]] void DieBadBackwardMode(const char* value) {
+  std::fprintf(stderr,
+               "bgc: BGC_AUTOGRAD=%s is not understood; valid values are "
+               "serial|parallel\n",
+               value);
+  std::exit(2);
+}
+
+BackwardMode ModeFromEnv() {
+  const char* env = std::getenv("BGC_AUTOGRAD");
+  if (env == nullptr || env[0] == '\0' ||
+      std::strcmp(env, "parallel") == 0) {
+    return BackwardMode::kParallel;
+  }
+  if (std::strcmp(env, "serial") == 0) return BackwardMode::kSerial;
+  DieBadBackwardMode(env);
+}
+
+BackwardMode& ModeSingleton() {
+  static BackwardMode mode = ModeFromEnv();
+  return mode;
+}
+
+// Id of the op whose backward closure this thread is currently executing
+// in a parallel sweep (-1 outside one). Routes Accumulate into the right
+// contribution slot.
+thread_local int t_current_op = -1;
+
+}  // namespace
+
+// Planning + runtime state for one parallel Backward() sweep.
+struct Tape::ParallelCtx {
+  // One pending contribution from one consumer op into one parent. A
+  // consumer may append more than one matrix (Add(a, a) accumulates twice);
+  // call order within the slot is preserved.
+  struct Slot {
+    int consumer = -1;
+    std::vector<Matrix> contribs;
+  };
+
+  struct NodeState {
+    // Will receive gradient: requires_grad and reachable from the loss
+    // through running consumers (or is the loss itself).
+    bool receives = false;
+    // Will execute its backward closure: receives and has a closure.
+    bool runs = false;
+    // Slots in descending consumer-id order — the order the serial walk
+    // would have accumulated in. Built single-threaded during planning;
+    // each slot is then written only by the thread running its consumer.
+    std::vector<Slot> slots;
+    // Running consumers that have not yet completed. The op that takes
+    // this to zero folds the slots into the node's grad.
+    std::atomic<int> pending{0};
+  };
+
+  explicit ParallelCtx(int n) : st(n) {}
+  std::vector<NodeState> st;
+};
+
+BackwardMode Tape::ActiveBackwardMode() { return ModeSingleton(); }
+
+BackwardMode Tape::SetBackwardModeForTesting(BackwardMode mode) {
+  BackwardMode previous = ModeSingleton();
+  ModeSingleton() = mode;
+  return previous;
+}
+
 Var Tape::Emit(Matrix value, bool requires_grad,
-               std::function<void(Tape&)> backward) {
+               std::function<void(Tape&)> backward, Var p0, Var p1) {
   Node n;
   n.value = std::move(value);
   n.requires_grad = requires_grad;
+  n.parents = {{p0.id, p1.id}};
   n.backward = std::move(backward);
   nodes_.push_back(std::move(n));
   return Var{static_cast<int>(nodes_.size()) - 1};
@@ -35,6 +114,18 @@ const Tape::Node& Tape::node(Var v) const {
 void Tape::Accumulate(Var v, const Matrix& g) {
   Node& n = node(v);
   if (!n.requires_grad) return;
+  if (pctx_ != nullptr && t_current_op >= 0) {
+    // Parallel sweep: park the contribution in this consumer's slot; the
+    // fold (descending consumer order) reproduces serial addition order.
+    ParallelCtx::NodeState& st = pctx_->st[v.id];
+    auto it = std::lower_bound(
+        st.slots.begin(), st.slots.end(), t_current_op,
+        [](const ParallelCtx::Slot& s, int op) { return s.consumer > op; });
+    BGC_CHECK(it != st.slots.end());
+    BGC_CHECK_EQ(it->consumer, t_current_op);
+    it->contribs.push_back(g);
+    return;
+  }
   if (n.grad.empty()) {
     n.grad = g;
   } else {
@@ -58,7 +149,7 @@ Var Tape::Add(Var a, Var b) {
     const Matrix& g = t.node(result).grad;
     t.Accumulate(a, g);
     t.Accumulate(b, g);
-  });
+  }, a, b);
 }
 
 Var Tape::Sub(Var a, Var b) {
@@ -69,7 +160,7 @@ Var Tape::Sub(Var a, Var b) {
     const Matrix& g = t.node(result).grad;
     t.Accumulate(a, g);
     t.Accumulate(b, bgc::Scale(g, -1.0f));
-  });
+  }, a, b);
 }
 
 Var Tape::Hadamard(Var a, Var b) {
@@ -80,7 +171,7 @@ Var Tape::Hadamard(Var a, Var b) {
     const Matrix& g = t.node(result).grad;
     t.Accumulate(a, bgc::Hadamard(g, t.node(b).value));
     t.Accumulate(b, bgc::Hadamard(g, t.node(a).value));
-  });
+  }, a, b);
 }
 
 Var Tape::ElemDiv(Var a, Var b) {
@@ -104,7 +195,7 @@ Var Tape::ElemDiv(Var a, Var b) {
     }
     t.Accumulate(a, ga);
     t.Accumulate(b, gb);
-  });
+  }, a, b);
 }
 
 Var Tape::Scale(Var a, float s) {
@@ -112,7 +203,7 @@ Var Tape::Scale(Var a, float s) {
   Var result{static_cast<int>(nodes_.size())};
   return Emit(std::move(out), node(a).requires_grad, [a, s, result](Tape& t) {
     t.Accumulate(a, bgc::Scale(t.node(result).grad, s));
-  });
+  }, a);
 }
 
 Var Tape::AddConst(Var a, float c) {
@@ -121,7 +212,7 @@ Var Tape::AddConst(Var a, float c) {
   Var result{static_cast<int>(nodes_.size())};
   return Emit(std::move(out), node(a).requires_grad, [a, result](Tape& t) {
     t.Accumulate(a, t.node(result).grad);
-  });
+  }, a);
 }
 
 Var Tape::Relu(Var a) {
@@ -135,7 +226,7 @@ Var Tape::Relu(Var a) {
       ga.data()[i] = y.data()[i] > 0.0f ? g.data()[i] : 0.0f;
     }
     t.Accumulate(a, ga);
-  });
+  }, a);
 }
 
 Var Tape::Sigmoid(Var a) {
@@ -150,7 +241,7 @@ Var Tape::Sigmoid(Var a) {
       ga.data()[i] = g.data()[i] * s * (1.0f - s);
     }
     t.Accumulate(a, ga);
-  });
+  }, a);
 }
 
 Var Tape::Tanh(Var a) {
@@ -165,7 +256,7 @@ Var Tape::Tanh(Var a) {
       ga.data()[i] = g.data()[i] * (1.0f - s * s);
     }
     t.Accumulate(a, ga);
-  });
+  }, a);
 }
 
 Var Tape::Exp(Var a) {
@@ -174,7 +265,7 @@ Var Tape::Exp(Var a) {
   Var result{static_cast<int>(nodes_.size())};
   return Emit(std::move(out), node(a).requires_grad, [a, result](Tape& t) {
     t.Accumulate(a, bgc::Hadamard(t.node(result).grad, t.node(result).value));
-  });
+  }, a);
 }
 
 Var Tape::Log(Var a, float eps) {
@@ -193,7 +284,7 @@ Var Tape::Log(Var a, float eps) {
       ga.data()[i] = g.data()[i] / std::max(av2.data()[i], eps);
     }
     t.Accumulate(a, ga);
-  });
+  }, a);
 }
 
 Var Tape::Sqrt(Var a, float eps) {
@@ -211,7 +302,7 @@ Var Tape::Sqrt(Var a, float eps) {
       ga.data()[i] = 0.5f * g.data()[i] / std::max(y.data()[i], 1e-12f);
     }
     t.Accumulate(a, ga);
-  });
+  }, a);
 }
 
 Var Tape::Square(Var a) {
@@ -221,7 +312,7 @@ Var Tape::Square(Var a) {
     Matrix ga = bgc::Hadamard(t.node(result).grad, t.node(a).value);
     ScaleInPlace(ga, 2.0f);
     t.Accumulate(a, ga);
-  });
+  }, a);
 }
 
 Var Tape::Acos(Var a, float eps) {
@@ -243,7 +334,7 @@ Var Tape::Acos(Var a, float eps) {
       ga.data()[i] = -g.data()[i] / std::sqrt(1.0f - x * x);
     }
     t.Accumulate(a, ga);
-  });
+  }, a);
 }
 
 Var Tape::Clamp(Var a, float lo, float hi) {
@@ -263,7 +354,7 @@ Var Tape::Clamp(Var a, float lo, float hi) {
       ga.data()[i] = (x > lo && x < hi) ? g.data()[i] : 0.0f;
     }
     t.Accumulate(a, ga);
-  });
+  }, a);
 }
 
 Var Tape::BinarizeSte(Var a, float threshold) {
@@ -275,7 +366,7 @@ Var Tape::BinarizeSte(Var a, float threshold) {
   Var result{static_cast<int>(nodes_.size())};
   return Emit(std::move(out), node(a).requires_grad, [a, result](Tape& t) {
     t.Accumulate(a, t.node(result).grad);  // straight-through
-  });
+  }, a);
 }
 
 Var Tape::Reshape(Var a, int rows, int cols) {
@@ -291,7 +382,7 @@ Var Tape::Reshape(Var a, int rows, int cols) {
     Matrix ga(orig_rows, orig_cols,
               std::vector<float>(g.data(), g.data() + g.size()));
     t.Accumulate(a, ga);
-  });
+  }, a);
 }
 
 Var Tape::Transpose(Var a) {
@@ -299,7 +390,7 @@ Var Tape::Transpose(Var a) {
   Var result{static_cast<int>(nodes_.size())};
   return Emit(std::move(out), node(a).requires_grad, [a, result](Tape& t) {
     t.Accumulate(a, bgc::Transpose(t.node(result).grad));
-  });
+  }, a);
 }
 
 Var Tape::ConcatRows(Var a, Var b) {
@@ -315,7 +406,7 @@ Var Tape::ConcatRows(Var a, Var b) {
     for (int i = split; i < g.rows(); ++i) gb.SetRow(i - split, g.RowPtr(i));
     t.Accumulate(a, ga);
     t.Accumulate(b, gb);
-  });
+  }, a, b);
 }
 
 Var Tape::ConcatCols(Var a, Var b) {
@@ -334,7 +425,7 @@ Var Tape::ConcatCols(Var a, Var b) {
     }
     t.Accumulate(a, ga);
     t.Accumulate(b, gb);
-  });
+  }, a, b);
 }
 
 Var Tape::GatherRows(Var a, std::vector<int> rows) {
@@ -347,7 +438,7 @@ Var Tape::GatherRows(Var a, std::vector<int> rows) {
     Matrix ga(parent_rows, g.cols());
     ScatterAddRows(g, rows, ga);
     t.Accumulate(a, ga);
-  });
+  }, a);
 }
 
 Var Tape::RowSumOp(Var a) {
@@ -364,7 +455,7 @@ Var Tape::RowSumOp(Var a) {
       for (int j = 0; j < cols; ++j) row[j] = v;
     }
     t.Accumulate(a, ga);
-  });
+  }, a);
 }
 
 Var Tape::ColSumOp(Var a) {
@@ -377,7 +468,7 @@ Var Tape::ColSumOp(Var a) {
     Matrix ga(rows, g.cols());
     for (int i = 0; i < rows; ++i) ga.SetRow(i, g.data());
     t.Accumulate(a, ga);
-  });
+  }, a);
 }
 
 Var Tape::SumAll(Var a) {
@@ -389,7 +480,7 @@ Var Tape::SumAll(Var a) {
   return Emit(std::move(out), node(a).requires_grad,
               [a, rows, cols, result](Tape& t) {
     t.Accumulate(a, Matrix::Full(rows, cols, t.node(result).grad(0, 0)));
-  });
+  }, a);
 }
 
 Var Tape::MeanAll(Var a) {
@@ -432,7 +523,7 @@ Var Tape::MulColVec(Var a, Var v) {
     }
     t.Accumulate(a, ga);
     t.Accumulate(v, gv);
-  });
+  }, a, v);
 }
 
 Var Tape::MulRowVec(Var a, Var v) {
@@ -464,7 +555,7 @@ Var Tape::MulRowVec(Var a, Var v) {
     }
     t.Accumulate(a, ga);
     t.Accumulate(v, gv);
-  });
+  }, a, v);
 }
 
 Var Tape::AddRowVec(Var a, Var bias) {
@@ -475,7 +566,7 @@ Var Tape::AddRowVec(Var a, Var bias) {
     const Matrix& g = t.node(result).grad;
     t.Accumulate(a, g);
     t.Accumulate(bias, bgc::ColSum(g));
-  });
+  }, a, bias);
 }
 
 Var Tape::MatMul(Var a, Var b) {
@@ -490,7 +581,7 @@ Var Tape::MatMul(Var a, Var b) {
     if (t.node(b).requires_grad) {
       t.Accumulate(b, bgc::MatMulTransA(t.node(a).value, g));
     }
-  });
+  }, a, b);
 }
 
 Var Tape::SpMM(const graph::CsrMatrix* adj, Var x) {
@@ -500,7 +591,7 @@ Var Tape::SpMM(const graph::CsrMatrix* adj, Var x) {
   return Emit(std::move(out), node(x).requires_grad,
               [adj, x, result](Tape& t) {
     t.Accumulate(x, adj->MultiplyTransposed(t.node(result).grad));
-  });
+  }, x);
 }
 
 Var Tape::Softmax(Var a) {
@@ -521,7 +612,7 @@ Var Tape::Softmax(Var a) {
       }
     }
     t.Accumulate(a, ga);
-  });
+  }, a);
 }
 
 Var Tape::SoftmaxCrossEntropy(Var logits, const Matrix& targets,
@@ -575,7 +666,8 @@ Var Tape::SoftmaxCrossEntropy(Var logits, const Matrix& targets,
           }
         }
         t.Accumulate(logits, ga);
-      });
+      },
+      logits);
 }
 
 Var Tape::Dropout(Var a, float p, Rng& rng, bool training) {
@@ -585,7 +677,7 @@ Var Tape::Dropout(Var a, float p, Rng& rng, bool training) {
     Var result{static_cast<int>(nodes_.size())};
     return Emit(std::move(out), node(a).requires_grad, [a, result](Tape& t) {
       t.Accumulate(a, t.node(result).grad);
-    });
+    }, a);
   }
   BGC_CHECK_LT(p, 1.0f);
   const Matrix& av = node(a).value;
@@ -599,7 +691,7 @@ Var Tape::Dropout(Var a, float p, Rng& rng, bool training) {
   return Emit(std::move(out), node(a).requires_grad,
               [a, mask = std::move(mask), result](Tape& t) {
     t.Accumulate(a, bgc::Hadamard(t.node(result).grad, mask));
-  });
+  }, a);
 }
 
 Var Tape::Solve(Var a, Var b) {
@@ -619,7 +711,7 @@ Var Tape::Solve(Var a, Var b) {
       t.Accumulate(a, ga);
     }
     t.Accumulate(b, gb);
-  });
+  }, a, b);
 }
 
 void Tape::Backward(Var loss) {
@@ -630,10 +722,11 @@ void Tape::Backward(Var loss) {
   BGC_CHECK_EQ(top.value.cols(), 1);
   BGC_CHECK(top.requires_grad);
   top.grad = Matrix::Full(1, 1, 1.0f);
-  for (int i = loss.id; i >= 0; --i) {
-    Node& n = nodes_[i];
-    if (!n.requires_grad || n.grad.empty() || !n.backward) continue;
-    n.backward(*this);
+  if (ActiveBackwardMode() == BackwardMode::kParallel &&
+      ThreadPool::Global().num_threads() > 1) {
+    BackwardParallel(loss);
+  } else {
+    BackwardSerial(loss);
   }
   // Materialize zero grads for requires-grad nodes the traversal never
   // reached (inputs disconnected from the loss). Doing it here — after the
@@ -645,6 +738,134 @@ void Tape::Backward(Var loss) {
       n.grad = Matrix(n.value.rows(), n.value.cols());
     }
   }
+}
+
+void Tape::BackwardSerial(Var loss) {
+  for (int i = loss.id; i >= 0; --i) {
+    Node& n = nodes_[i];
+    if (!n.requires_grad || n.grad.empty() || !n.backward) continue;
+    n.backward(*this);
+  }
+  BGC_GAUGE_SET("autograd.ready_width", 1.0);
+}
+
+void Tape::BackwardParallel(Var loss) {
+  ParallelCtx ctx(loss.id + 1);
+  std::vector<ParallelCtx::NodeState>& st = ctx.st;
+
+  // ---- Plan (single-threaded): one descending pass mirrors the serial
+  // walk. A node runs iff it receives gradient and has a closure; each
+  // running op contributes one slot to every distinct requires-grad
+  // parent. Because the scan descends, each parent's slots end up in
+  // descending consumer order — serial accumulation order.
+  st[loss.id].receives = true;
+  int num_runs = 0;
+  for (int i = loss.id; i >= 0; --i) {
+    Node& nd = nodes_[i];
+    if (!st[i].receives) continue;
+    if (!nd.backward) continue;
+    st[i].runs = true;
+    ++num_runs;
+    for (int pi = 0; pi < 2; ++pi) {
+      const int p = nd.parents[pi];
+      if (p < 0 || !nodes_[p].requires_grad) continue;
+      // Same node in both inputs (e.g. Add(a, a)): one slot; the closure
+      // appends both contributions to it in call order.
+      if (pi == 1 && p == nd.parents[0]) continue;
+      st[p].receives = true;
+      st[p].slots.push_back({i, {}});
+      st[p].pending.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (num_runs == 0) return;
+
+  // Folds v's parked contributions into its grad in slot order (descending
+  // consumer, call order within a consumer) — the serial float-addition
+  // sequence. Returns whether any gradient actually arrived.
+  auto fold = [&](int v) {
+    Node& nd = nodes_[v];
+    for (ParallelCtx::Slot& slot : st[v].slots) {
+      for (Matrix& c : slot.contribs) {
+        if (c.empty()) continue;
+        if (nd.grad.empty()) {
+          nd.grad = std::move(c);
+        } else {
+          AddScaledInPlace(nd.grad, c, 1.0f);
+        }
+      }
+      slot.contribs.clear();
+    }
+    return !nd.grad.empty();
+  };
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<int> ready;       // LIFO; pop order does not affect results
+  int remaining = num_runs;     // running ops not yet finished or skipped
+  size_t max_width = 0;
+
+  pctx_ = &ctx;
+  ready.push_back(loss.id);
+  max_width = 1;
+
+  auto worker = [&]() {
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      while (ready.empty() && remaining > 0) cv.wait(lock);
+      if (ready.empty()) return;  // remaining == 0: sweep drained
+      const int op = ready.back();
+      ready.pop_back();
+      lock.unlock();
+
+      t_current_op = op;
+      nodes_[op].backward(*this);
+      t_current_op = -1;
+
+      // Complete `op` and cascade: decrement each counted parent; whoever
+      // takes a pending count to zero folds that parent (it alone sees all
+      // contributions — the acq_rel RMWs order the slot writes). A planned
+      // runner whose folded grad is empty is "skipped": finished without
+      // executing, exactly the serial `grad.empty()` skip.
+      std::vector<int> newly_ready;
+      std::vector<int> done{op};
+      int finished = 0;
+      while (!done.empty()) {
+        const int j = done.back();
+        done.pop_back();
+        ++finished;
+        const Node& nd = nodes_[j];
+        for (int pi = 0; pi < 2; ++pi) {
+          const int p = nd.parents[pi];
+          if (p < 0 || !st[p].receives) continue;
+          if (pi == 1 && p == nd.parents[0]) continue;
+          if (st[p].pending.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+            continue;
+          }
+          const bool has_grad = fold(p);
+          if (!st[p].runs) continue;  // leaf: gradient is the product
+          if (has_grad) {
+            newly_ready.push_back(p);
+          } else {
+            done.push_back(p);
+          }
+        }
+      }
+
+      lock.lock();
+      remaining -= finished;
+      for (int p : newly_ready) ready.push_back(p);
+      if (ready.size() > max_width) max_width = ready.size();
+      if (remaining == 0 || !newly_ready.empty()) cv.notify_all();
+    }
+  };
+
+  const int workers =
+      std::min(ThreadPool::Global().num_threads(), num_runs);
+  ThreadPool::Global().Run(workers, [&worker](int) { worker(); });
+  pctx_ = nullptr;
+
+  BGC_CHECK_EQ(remaining, 0);
+  BGC_GAUGE_SET("autograd.ready_width", static_cast<double>(max_width));
 }
 
 const Matrix& Tape::value(Var v) const { return node(v).value; }
@@ -663,8 +884,14 @@ const Matrix& Tape::grad(Var v) {
 }
 
 void Tape::Reset() {
-  nodes_.clear();
+  last_step_nodes_ = nodes_.size();
+  nodes_.clear();  // keeps capacity
+  nodes_.reserve(last_step_nodes_);
   backward_done_ = false;
+  // Step boundary for the buffer arena: the node matrices just released
+  // above are the cache for the next step; trim anything beyond this
+  // step's peak footprint.
+  core::BufferArena::Global().TrimToStepPeak();
 }
 
 }  // namespace bgc::ag

@@ -1,6 +1,8 @@
 #ifndef BGC_AUTOGRAD_TAPE_H_
 #define BGC_AUTOGRAD_TAPE_H_
 
+#include <array>
+#include <cstddef>
 #include <functional>
 #include <vector>
 
@@ -18,6 +20,14 @@ struct Var {
   int id = -1;
   bool valid() const { return id >= 0; }
 };
+
+/// How Backward() executes the reverse sweep. The process-wide default
+/// comes from the BGC_AUTOGRAD environment variable: unset/"parallel"
+/// selects the dependency-counted parallel engine, "serial" the plain
+/// reverse-creation-order walk (the escape hatch), anything else aborts
+/// with exit(2). Both modes are bit-identical for every thread count; see
+/// DESIGN.md §11 for the determinism contract.
+enum class BackwardMode { kSerial, kParallel };
 
 /// Tape-based reverse-mode automatic differentiation over dense matrices.
 ///
@@ -114,8 +124,26 @@ class Tape {
   Var Solve(Var a, Var b);
 
   /// Runs backward from `loss` (must be 1×1). Seeds d(loss)/d(loss) = 1.
-  /// May be called once per constructed graph.
+  /// May be called once per constructed graph (i.e. once between Resets).
+  ///
+  /// Under BackwardMode::kParallel the sweep first plans a reverse
+  /// dependency count per node (how many gradient-receiving consumers it
+  /// has), then executes ready nodes — pending count zero — on the global
+  /// ThreadPool via a ready queue, so independent branches (per-class
+  /// losses, per-layer weight/bias grads) run concurrently. Gradient
+  /// accumulation into a shared parent stays bit-identical to serial:
+  /// contributions land in per-consumer slots and are folded in descending
+  /// consumer order, exactly the float-addition order of the serial walk.
   void Backward(Var loss);
+
+  /// The mode Backward() will use: the BGC_AUTOGRAD default unless a test
+  /// override is active.
+  static BackwardMode ActiveBackwardMode();
+
+  /// Overrides the BGC_AUTOGRAD-derived mode for this process; returns the
+  /// previous mode. Tests and benches only — not thread-safe against
+  /// concurrent Backward() calls.
+  static BackwardMode SetBackwardModeForTesting(BackwardMode mode);
 
   const Matrix& value(Var v) const;
   /// Gradient of the last Backward() w.r.t. node v. Zero matrix if the node
@@ -127,7 +155,10 @@ class Tape {
   /// behind a const_cast, a latent data race for concurrent readers).
   const Matrix& grad(Var v);
 
-  /// Drops all nodes; handles become invalid.
+  /// Drops all nodes; handles become invalid. Keeps the node vector's
+  /// capacity and pre-reserves the previous step's node count, so steady
+  /// training steps stop reallocating the tape; also gives the buffer
+  /// arena its step boundary (BufferArena::TrimToStepPeak).
   void Reset();
 
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
@@ -137,19 +168,34 @@ class Tape {
     Matrix value;
     Matrix grad;
     bool requires_grad = false;
+    // Producing op's inputs, by node id (-1 = none). Drives the parallel
+    // sweep's dependency counting; ops have at most two tape parents.
+    std::array<int, 2> parents{{-1, -1}};
     // Scatters this node's grad into its parents' grads.
     std::function<void(Tape&)> backward;
   };
 
+  // Per-Backward planning/runtime state for the parallel engine; lives on
+  // BackwardParallel's stack, reached from Accumulate via pctx_.
+  struct ParallelCtx;
+
   Var Emit(Matrix value, bool requires_grad,
-           std::function<void(Tape&)> backward);
+           std::function<void(Tape&)> backward, Var p0 = Var{},
+           Var p1 = Var{});
   Node& node(Var v);
   const Node& node(Var v) const;
-  /// Accumulates g into v's grad buffer (allocating on first touch).
+  /// Accumulates g into v's grad buffer (allocating on first touch). While
+  /// a parallel sweep is running, routes g into the executing consumer's
+  /// contribution slot instead (see DESIGN.md §11).
   void Accumulate(Var v, const Matrix& g);
+
+  void BackwardSerial(Var loss);
+  void BackwardParallel(Var loss);
 
   std::vector<Node> nodes_;
   bool backward_done_ = false;
+  size_t last_step_nodes_ = 0;
+  ParallelCtx* pctx_ = nullptr;
 };
 
 }  // namespace bgc::ag

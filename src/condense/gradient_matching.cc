@@ -89,13 +89,17 @@ void GradientMatchingCondenser::Epoch(const SourceGraph& source) {
                                           config_.sgc_k)
                       : source.features;
 
+  // The inner loop rebuilds an identically-shaped tape every step; reusing
+  // one tape keeps its node storage and recycles every intermediate
+  // matrix through the buffer arena.
+  ag::Tape t;
   for (int inner = 0; inner < config_.inner_steps; ++inner) {
     BGC_TRACE_SCOPE("condense.gm.inner");
     BGC_COUNTER_ADD("condense.gm.inner_steps", 1);
     std::vector<Matrix> real_grads = PerClassGradients(
         z_real, source.labels, source.labeled, surrogate_w_, num_classes_);
 
-    ag::Tape t;
+    t.Reset();
     ag::Var x = t.Input(x_syn_.value);
     ag::Var u = t.Input(adj_u_.value);
     ag::Var bias = t.Input(adj_bias_.value);

@@ -1,0 +1,189 @@
+#include "src/core/arena.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <new>
+#include <vector>
+
+#include "src/obs/obs.h"
+
+namespace bgc::core {
+
+namespace {
+
+// Smallest bucket: one cache line of floats. Requests below this share the
+// 64-byte bucket so tiny matrices (1x1 losses, bias rows) still reuse.
+constexpr size_t kMinBucketBytes = 64;
+// log2 of the largest bucket (2^40 = 1 TiB): anything above is a caller
+// bug long before it is an arena concern.
+constexpr int kNumBuckets = 41;
+
+int BucketIndex(size_t bytes) {
+  if (bytes <= kMinBucketBytes) bytes = kMinBucketBytes;
+  // Index of the smallest power of two >= bytes.
+  int idx = 0;
+  size_t cap = 1;
+  while (cap < bytes) {
+    cap <<= 1;
+    ++idx;
+  }
+  return idx;
+}
+
+size_t BucketBytes(int idx) { return size_t{1} << idx; }
+
+[[noreturn]] void DieBadArenaEnv(const char* value) {
+  std::fprintf(stderr,
+               "bgc: BGC_ARENA=%s is not understood; valid values are "
+               "on|1|off|0\n",
+               value);
+  std::exit(2);
+}
+
+bool EnabledFromEnv() {
+  const char* env = std::getenv("BGC_ARENA");
+  if (env == nullptr || env[0] == '\0') return true;
+  if (std::strcmp(env, "on") == 0 || std::strcmp(env, "1") == 0) return true;
+  if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0) {
+    return false;
+  }
+  DieBadArenaEnv(env);
+}
+
+}  // namespace
+
+struct BufferArena::Impl {
+  std::mutex mu;
+  bool enabled = true;
+  std::vector<void*> free_lists[kNumBuckets];
+  Stats stats;
+
+  // Caller holds mu. Evicts cached buffers (largest buckets first, so one
+  // eviction frees the most) until cached_bytes <= target.
+  void EvictDownToLocked(size_t target) {
+    for (int b = kNumBuckets - 1; b >= 0 && stats.cached_bytes > target;
+         --b) {
+      std::vector<void*>& list = free_lists[b];
+      while (!list.empty() && stats.cached_bytes > target) {
+        ::operator delete(list.back());
+        list.pop_back();
+        stats.cached_bytes -= BucketBytes(b);
+        stats.trimmed_bytes += static_cast<long long>(BucketBytes(b));
+      }
+    }
+  }
+};
+
+BufferArena::BufferArena() : impl_(new Impl) {
+  impl_->enabled = EnabledFromEnv();
+}
+
+BufferArena& BufferArena::Global() {
+  // Leaked: Matrix destructors in atexit hooks and static storage release
+  // buffers after static destructors would have run.
+  static BufferArena* g = new BufferArena();
+  return *g;
+}
+
+void* BufferArena::Acquire(size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  Impl* impl = impl_;
+  const int b = BucketIndex(bytes);
+  const size_t cap = BucketBytes(b);
+  {
+    std::lock_guard<std::mutex> lock(impl->mu);
+    if (!impl->enabled) {
+      ++impl->stats.bypass;
+    } else {
+      impl->stats.live_bytes += cap;
+      if (impl->stats.live_bytes > impl->stats.step_peak_bytes) {
+        impl->stats.step_peak_bytes = impl->stats.live_bytes;
+      }
+      std::vector<void*>& list = impl->free_lists[b];
+      if (!list.empty()) {
+        void* p = list.back();
+        list.pop_back();
+        impl->stats.cached_bytes -= cap;
+        ++impl->stats.hits;
+        return p;
+      }
+      ++impl->stats.misses;
+    }
+  }
+  return ::operator new(cap);
+}
+
+void BufferArena::Release(void* ptr, size_t bytes) {
+  if (ptr == nullptr) return;
+  if (bytes == 0) bytes = 1;
+  Impl* impl = impl_;
+  const int b = BucketIndex(bytes);
+  const size_t cap = BucketBytes(b);
+  {
+    std::lock_guard<std::mutex> lock(impl->mu);
+    if (impl->enabled) {
+      // Saturating: a buffer acquired while the arena was disabled (tests
+      // toggle SetEnabledForTesting) was never counted as live.
+      impl->stats.live_bytes -=
+          cap <= impl->stats.live_bytes ? cap : impl->stats.live_bytes;
+      // Cache only up to the peak footprint this step has demonstrated it
+      // needs; beyond that the buffer goes back to the system.
+      if (impl->stats.cached_bytes + cap <= impl->stats.step_peak_bytes) {
+        impl->free_lists[b].push_back(ptr);
+        impl->stats.cached_bytes += cap;
+        return;
+      }
+    } else {
+      ++impl->stats.bypass;
+    }
+  }
+  ::operator delete(ptr);
+}
+
+void BufferArena::TrimToStepPeak() {
+  Impl* impl = impl_;
+  long long hits, misses;
+  size_t cached;
+  {
+    std::lock_guard<std::mutex> lock(impl->mu);
+    // Keep at most what was simultaneously live since the last boundary:
+    // that is exactly the working set one more identical step needs.
+    impl->EvictDownToLocked(impl->stats.step_peak_bytes);
+    impl->stats.step_peak_bytes = impl->stats.live_bytes;
+    hits = impl->stats.hits;
+    misses = impl->stats.misses;
+    cached = impl->stats.cached_bytes;
+  }
+  BGC_GAUGE_SET("arena.bytes_cached", static_cast<double>(cached));
+  if (hits + misses > 0) {
+    BGC_GAUGE_SET("arena.hit_rate",
+                  static_cast<double>(hits) /
+                      static_cast<double>(hits + misses));
+  }
+}
+
+void BufferArena::Clear() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->EvictDownToLocked(0);
+}
+
+BufferArena::Stats BufferArena::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->stats;
+}
+
+bool BufferArena::enabled() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->enabled;
+}
+
+bool BufferArena::SetEnabledForTesting(bool on) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const bool previous = impl_->enabled;
+  impl_->enabled = on;
+  return previous;
+}
+
+}  // namespace bgc::core

@@ -1,0 +1,114 @@
+#ifndef BGC_CORE_ARENA_H_
+#define BGC_CORE_ARENA_H_
+
+#include <cstddef>
+
+namespace bgc::core {
+
+/// Size-bucketed caching allocator for tensor buffers.
+///
+/// Every Matrix allocation in the library routes through this arena (see
+/// ArenaAllocator below and Matrix::data_). Requests are rounded up to the
+/// next power-of-two bucket; Release() returns the buffer to that bucket's
+/// free list instead of freeing, so the condensation loop — which builds
+/// and tears down an essentially identical tape every step — stops paying
+/// one malloc/free pair per intermediate after the first step.
+///
+/// Lifetime rules (see DESIGN.md §11):
+///   - A buffer is owned by exactly one live allocation at a time; the
+///     free lists only ever hold buffers whose owner has released them.
+///     Reuse is handed over under the arena mutex, so a buffer released on
+///     one thread and reacquired on another is properly synchronized.
+///   - The arena never zeroes: callers (std::vector value-initialization
+///     in practice) are responsible for initializing reused storage, which
+///     keeps results bit-identical to the malloc path.
+///   - High-water-mark trimming: TrimToStepPeak() — called at tape step
+///     boundaries (Tape::Reset) — evicts cached bytes beyond the largest
+///     live footprint observed since the previous boundary, so a one-off
+///     spike cannot pin memory for the rest of the run.
+///
+/// The BGC_ARENA environment variable gates caching at process start:
+/// unset/"on"/"1" = enabled, "off"/"0" = every call falls through to
+/// operator new/delete (the ASan-friendly escape hatch); anything else
+/// aborts with exit(2). Tests can override with SetEnabledForTesting.
+class BufferArena {
+ public:
+  struct Stats {
+    long long hits = 0;          // Acquire served from a free list
+    long long misses = 0;        // Acquire fell through to operator new
+    long long bypass = 0;        // calls while the arena was disabled
+    long long trimmed_bytes = 0; // cumulative bytes evicted by trimming
+    size_t cached_bytes = 0;     // bytes parked on free lists right now
+    size_t live_bytes = 0;       // bytes currently acquired and not released
+    size_t step_peak_bytes = 0;  // max live_bytes since last TrimToStepPeak
+  };
+
+  /// Process-wide arena (leaked, like obs::Registry, so buffers released
+  /// from atexit hooks and static destructors stay safe).
+  static BufferArena& Global();
+
+  /// A buffer of at least `bytes` bytes (its bucket capacity). Contents of
+  /// a reused buffer are unspecified; never zeroed here.
+  void* Acquire(size_t bytes);
+
+  /// Returns the buffer acquired with this exact `bytes` value. Cached
+  /// unless caching is off or the cache already holds the step-peak
+  /// footprint, in which case it is freed.
+  void Release(void* ptr, size_t bytes);
+
+  /// Evicts cached buffers beyond the live-byte peak observed since the
+  /// previous call, resets the peak, and refreshes the obs gauges
+  /// (arena.bytes_cached, arena.hit_rate). Call at step boundaries.
+  void TrimToStepPeak();
+
+  /// Frees every cached buffer (live allocations are untouched).
+  void Clear();
+
+  Stats stats() const;
+  bool enabled() const;
+
+  /// Overrides the BGC_ARENA setting; returns the previous value. Serial
+  /// use only (tests/bench) — not safe concurrently with Acquire/Release.
+  bool SetEnabledForTesting(bool on);
+
+  BufferArena(const BufferArena&) = delete;
+  BufferArena& operator=(const BufferArena&) = delete;
+
+ private:
+  BufferArena();
+  ~BufferArena() = delete;  // leaked singleton
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Minimal std::allocator replacement that routes array storage through
+/// BufferArena::Global(). Stateless; all instances compare equal, so
+/// containers can exchange storage freely.
+template <typename T>
+struct ArenaAllocator {
+  using value_type = T;
+
+  ArenaAllocator() = default;
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>&) {}  // NOLINT(runtime/explicit)
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(BufferArena::Global().Acquire(n * sizeof(T)));
+  }
+  void deallocate(T* p, size_t n) {
+    BufferArena::Global().Release(p, n * sizeof(T));
+  }
+};
+
+template <typename T, typename U>
+bool operator==(const ArenaAllocator<T>&, const ArenaAllocator<U>&) {
+  return true;
+}
+template <typename T, typename U>
+bool operator!=(const ArenaAllocator<T>&, const ArenaAllocator<U>&) {
+  return false;
+}
+
+}  // namespace bgc::core
+
+#endif  // BGC_CORE_ARENA_H_

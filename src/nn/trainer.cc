@@ -32,8 +32,12 @@ float TrainNodeClassifier(GnnModel& model, const graph::CsrMatrix& adj,
   Adam opt(config.lr, config.weight_decay);
   Rng rng(config.seed ^ 0x7a1e5ULL);
   float last_loss = 0.0f;
+  // One tape for the whole run: Reset() keeps node capacity and returns
+  // the step's matrices to the buffer arena, so later epochs replay the
+  // identical graph shape without reallocating.
+  ag::Tape tape;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
-    ag::Tape tape;
+    tape.Reset();
     ag::Var xin = tape.Constant(x);
     ag::Var logits = model.Forward(tape, props, xin, rng, /*training=*/true);
     ag::Var loss =

@@ -332,7 +332,14 @@ void Registry::PrintPhaseTable(std::FILE* out) const {
       rows.push_back({name.substr(6), s});
     }
   }
-  if (rows.empty()) return;
+  if (rows.empty()) {
+    const long long peak_rss = ReadPeakRssBytes();
+    if (peak_rss > 0) {
+      std::fprintf(out, "[obs] peak RSS %.1f MiB\n",
+                   static_cast<double>(peak_rss) / (1024.0 * 1024.0));
+    }
+    return;
+  }
   double covered_s = 0.0;
   for (const Row& r : rows) covered_s += r.stats.total_ns * 1e-9;
   std::fprintf(out, "[obs] per-phase wall clock (process total %.3fs, "
@@ -348,6 +355,11 @@ void Registry::PrintPhaseTable(std::FILE* out) const {
                  r.stats.count > 0
                      ? r.stats.total_ns * 1e-6 / r.stats.count
                      : 0.0);
+  }
+  const long long peak_rss = ReadPeakRssBytes();
+  if (peak_rss > 0) {
+    std::fprintf(out, "  peak RSS %.1f MiB\n",
+                 static_cast<double>(peak_rss) / (1024.0 * 1024.0));
   }
 }
 
@@ -414,6 +426,12 @@ void EmitReports() {
     phase_table = g_phase_table;
   }
   Registry& reg = Registry::Global();
+  // Snapshot the high-water RSS right before reporting so the gauge covers
+  // the whole run, not the point where metrics were enabled.
+  const long long peak_rss = ReadPeakRssBytes();
+  if (peak_rss > 0) {
+    reg.SetGauge("proc.peak_rss_bytes", static_cast<double>(peak_rss));
+  }
   if (phase_table) reg.PrintPhaseTable(stderr);
   if (!trace_dest.empty()) WriteReport(trace_dest, reg.TraceJson());
   if (!metrics_dest.empty() && metrics_dest != trace_dest) {
@@ -457,6 +475,25 @@ void PrintPhaseTableAtExit() {
   std::lock_guard<std::mutex> lock(g_emit_mu);
   g_phase_table = true;
   RegisterHookLocked();
+}
+
+long long ReadPeakRssBytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "rb");
+  if (f == nullptr) return 0;
+  long long kib = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kib = std::atoll(line + 6);  // "VmHWM:   12345 kB"
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib * 1024;
+#else
+  return 0;
+#endif
 }
 
 namespace {

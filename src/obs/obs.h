@@ -232,6 +232,12 @@ void EmitTraceAtExit(const std::string& dest);
 /// Also print the per-phase table to stderr at process exit.
 void PrintPhaseTableAtExit();
 
+/// Peak resident set size of this process in bytes (VmHWM from
+/// /proc/self/status). Returns 0 where that interface does not exist
+/// (non-Linux). Reported as the proc.peak_rss_bytes gauge in the metrics
+/// JSON and at the foot of the phase table.
+long long ReadPeakRssBytes();
+
 }  // namespace bgc::obs
 
 #if defined(BGC_OBS_DISABLED)

@@ -21,7 +21,7 @@ Matrix::Matrix(int rows, int cols, float value)
 }
 
 Matrix::Matrix(int rows, int cols, std::vector<float> values)
-    : rows_(rows), cols_(cols), data_(std::move(values)) {
+    : rows_(rows), cols_(cols), data_(values.begin(), values.end()) {
   BGC_CHECK_EQ(static_cast<size_t>(rows) * cols, data_.size());
 }
 

@@ -4,10 +4,18 @@
 #include <cstddef>
 #include <vector>
 
+#include "src/core/arena.h"
 #include "src/core/check.h"
 #include "src/core/rng.h"
 
 namespace bgc {
+
+/// Backing storage of every Matrix: a std::vector whose array goes through
+/// the size-bucketed caching arena (src/core/arena.h). Allocation-heavy
+/// loops — the tape rebuilding its node set every condensation step above
+/// all — reuse buffers instead of hitting malloc, and BGC_ARENA=off makes
+/// the type behave exactly like std::vector<float> again.
+using FloatBuffer = std::vector<float, core::ArenaAllocator<float>>;
 
 /// Dense row-major float matrix.
 ///
@@ -28,7 +36,8 @@ class Matrix {
   /// rows×cols matrix filled with `value`.
   Matrix(int rows, int cols, float value);
 
-  /// rows×cols matrix taking ownership of `values` (size must match).
+  /// rows×cols matrix copying `values` into arena-backed storage (size
+  /// must match).
   Matrix(int rows, int cols, std::vector<float> values);
 
   Matrix(const Matrix&) = default;
@@ -108,7 +117,7 @@ class Matrix {
  private:
   int rows_ = 0;
   int cols_ = 0;
-  std::vector<float> data_;
+  FloatBuffer data_;
 };
 
 }  // namespace bgc

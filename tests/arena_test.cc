@@ -1,0 +1,143 @@
+#include "src/core/arena.h"
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/autograd/tape.h"
+#include "src/tensor/matrix.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace bgc::core {
+namespace {
+
+/// Forces the arena on for a test regardless of BGC_ARENA, restoring on
+/// exit.
+class ScopedArenaEnabled {
+ public:
+  explicit ScopedArenaEnabled(bool on)
+      : prev_(BufferArena::Global().SetEnabledForTesting(on)) {}
+  ~ScopedArenaEnabled() { BufferArena::Global().SetEnabledForTesting(prev_); }
+
+ private:
+  bool prev_;
+};
+
+TEST(BufferArenaTest, ReleaseThenAcquireSameBucketIsAHit) {
+  ScopedArenaEnabled on(true);
+  BufferArena& arena = BufferArena::Global();
+  arena.Clear();
+  void* p = arena.Acquire(1000);
+  const BufferArena::Stats before = arena.stats();
+  arena.Release(p, 1000);
+  // 1000 and 1024 share the 1 KiB bucket.
+  void* q = arena.Acquire(1024);
+  const BufferArena::Stats after = arena.stats();
+  EXPECT_EQ(q, p);
+  EXPECT_EQ(after.hits, before.hits + 1);
+  arena.Release(q, 1024);
+}
+
+TEST(BufferArenaTest, DifferentBucketMisses) {
+  ScopedArenaEnabled on(true);
+  BufferArena& arena = BufferArena::Global();
+  arena.Clear();
+  void* p = arena.Acquire(512);
+  arena.Release(p, 512);
+  const BufferArena::Stats before = arena.stats();
+  void* q = arena.Acquire(4096);  // larger bucket: cache cannot serve it
+  const BufferArena::Stats after = arena.stats();
+  EXPECT_EQ(after.misses, before.misses + 1);
+  arena.Release(q, 4096);
+}
+
+TEST(BufferArenaTest, TrimEvictsDownToStepPeak) {
+  ScopedArenaEnabled on(true);
+  BufferArena& arena = BufferArena::Global();
+  arena.Clear();
+  arena.TrimToStepPeak();  // peak := current live
+  // Simulate a step: peak footprint is two 1 KiB buffers.
+  void* a = arena.Acquire(1024);
+  void* b = arena.Acquire(1024);
+  arena.Release(a, 1024);
+  arena.Release(b, 1024);
+  const size_t cached_after_step = arena.stats().cached_bytes;
+  EXPECT_GE(cached_after_step, 2 * 1024u);
+  // Boundary: cache may keep at most the step's peak, then the peak resets
+  // to what is live now (nothing from this test).
+  arena.TrimToStepPeak();
+  arena.TrimToStepPeak();
+  EXPECT_EQ(arena.stats().cached_bytes, 0u) << "second trim should evict "
+                                               "everything beyond live";
+  arena.Clear();
+}
+
+TEST(BufferArenaTest, DisabledArenaBypasses) {
+  ScopedArenaEnabled off(false);
+  BufferArena& arena = BufferArena::Global();
+  const BufferArena::Stats before = arena.stats();
+  void* p = arena.Acquire(2048);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xab, 2048);
+  arena.Release(p, 2048);
+  const BufferArena::Stats after = arena.stats();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_GE(after.bypass, before.bypass + 2);
+  EXPECT_EQ(after.cached_bytes, before.cached_bytes);
+}
+
+TEST(BufferArenaTest, MatrixStorageRoutesThroughArena) {
+  ScopedArenaEnabled on(true);
+  BufferArena& arena = BufferArena::Global();
+  arena.Clear();
+  const BufferArena::Stats before = arena.stats();
+  {
+    Matrix m(16, 16);
+    EXPECT_EQ(m.At(3, 3), 0.0f);
+  }
+  const BufferArena::Stats after = arena.stats();
+  EXPECT_GT(after.hits + after.misses, before.hits + before.misses)
+      << "Matrix allocation should go through the arena";
+}
+
+TEST(BufferArenaTest, ReusedMatrixBufferIsZeroInitialized) {
+  // A recycled buffer holds the previous tenant's bits; vector value-init
+  // in Matrix must still zero it (the no-stale-data contract).
+  ScopedArenaEnabled on(true);
+  BufferArena& arena = BufferArena::Global();
+  arena.Clear();
+  {
+    Matrix dirty(8, 8, 123.0f);
+    EXPECT_EQ(dirty.At(0, 0), 123.0f);
+  }
+  Matrix clean(8, 8);
+  for (int i = 0; i < clean.size(); ++i) {
+    ASSERT_EQ(clean.data()[i], 0.0f) << "stale bits leaked at " << i;
+  }
+}
+
+TEST(BufferArenaTest, TapeResetDoesNotLeakStaleGradsIntoNextStep) {
+  // The full reuse loop: grads computed in step 1 land in the free lists
+  // at Reset(); step 2's freshly-built graph must see correct values and
+  // gradients, not aliases of step 1's buffers.
+  ScopedArenaEnabled on(true);
+  ag::Tape t;
+  for (int step = 0; step < 4; ++step) {
+    t.Reset();
+    const float base = 1.0f + static_cast<float>(step);
+    ag::Var a = t.Input(Matrix(8, 8, base));
+    ag::Var loss = t.MeanAll(t.Square(a));
+    t.Backward(loss);
+    // d/da mean(a^2) = 2a/64 per entry, a == base everywhere.
+    const Matrix& g = t.grad(a);
+    for (int i = 0; i < g.size(); ++i) {
+      ASSERT_FLOAT_EQ(g.data()[i], 2.0f * base / 64.0f)
+          << "step " << step << " entry " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bgc::core

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "src/autograd/tape.h"
+#include "src/core/thread_pool.h"
 #include "src/tensor/matrix_ops.h"
 
 namespace bgc::ag {
@@ -50,14 +51,30 @@ TEST_P(TapeGradCheckTest, AnalyticMatchesNumeric) {
     values.push_back(Matrix::RandomUniform(r, cols, rng, c.lo, c.hi));
   }
 
-  // Analytic gradients.
-  Tape t;
-  std::vector<Var> vars;
-  for (const Matrix& v : values) vars.push_back(t.Input(v));
-  Var loss = c.build(t, vars);
-  t.Backward(loss);
-  std::vector<Matrix> analytic;
-  for (Var v : vars) analytic.push_back(t.grad(v));
+  // Analytic gradients under both engines: the parallel ready-queue sweep
+  // must be bit-identical to the serial walk for every op (DESIGN.md §11),
+  // and the serial result is then checked numerically below.
+  auto analytic_under = [&](BackwardMode mode, int num_threads) {
+    const BackwardMode prev = Tape::SetBackwardModeForTesting(mode);
+    ThreadPool::SetGlobalNumThreads(num_threads);
+    Tape t;
+    std::vector<Var> vars;
+    for (const Matrix& v : values) vars.push_back(t.Input(v));
+    Var loss = c.build(t, vars);
+    t.Backward(loss);
+    std::vector<Matrix> grads;
+    for (Var v : vars) grads.push_back(t.grad(v));
+    Tape::SetBackwardModeForTesting(prev);
+    ThreadPool::SetGlobalNumThreads(0);
+    return grads;
+  };
+  std::vector<Matrix> analytic = analytic_under(BackwardMode::kSerial, 1);
+  std::vector<Matrix> parallel = analytic_under(BackwardMode::kParallel, 8);
+  ASSERT_EQ(parallel.size(), analytic.size());
+  for (size_t k = 0; k < analytic.size(); ++k) {
+    EXPECT_TRUE(parallel[k] == analytic[k])
+        << c.name << ": parallel backward not bit-identical for input " << k;
+  }
 
   // Central finite differences on every entry of every input.
   const float eps = 1e-2f;

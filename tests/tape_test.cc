@@ -1,15 +1,193 @@
 #include "src/autograd/tape.h"
 
 #include <cmath>
+#include <functional>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "src/core/arena.h"
+#include "src/core/thread_pool.h"
 #include "src/tensor/matrix_ops.h"
 
 namespace bgc::ag {
 namespace {
+
+/// Restores backward mode and global thread count on scope exit.
+class ScopedBackwardConfig {
+ public:
+  ScopedBackwardConfig(BackwardMode mode, int num_threads)
+      : prev_mode_(Tape::SetBackwardModeForTesting(mode)) {
+    ThreadPool::SetGlobalNumThreads(num_threads);
+  }
+  ~ScopedBackwardConfig() {
+    Tape::SetBackwardModeForTesting(prev_mode_);
+    ThreadPool::SetGlobalNumThreads(0);  // back to BGC_NUM_THREADS default
+  }
+
+ private:
+  BackwardMode prev_mode_;
+};
+
+/// Builds a graph on `t`, returning the loss and the Vars whose grads the
+/// test compares. Must be deterministic so both modes see identical input.
+using GraphBuilder = std::function<Var(Tape&, std::vector<Var>&)>;
+
+std::vector<Matrix> GradsUnder(BackwardMode mode, int num_threads,
+                               const GraphBuilder& build) {
+  ScopedBackwardConfig cfg(mode, num_threads);
+  Tape t;
+  std::vector<Var> tracked;
+  Var loss = build(t, tracked);
+  t.Backward(loss);
+  std::vector<Matrix> grads;
+  grads.reserve(tracked.size());
+  for (Var v : tracked) grads.push_back(t.grad(v));
+  return grads;
+}
+
+/// Parallel backward at 1, 2 and 8 threads must be bit-identical to the
+/// serial walk — the engine's core contract (DESIGN.md §11).
+void ExpectSerialParallelBitIdentical(const GraphBuilder& build) {
+  std::vector<Matrix> serial = GradsUnder(BackwardMode::kSerial, 1, build);
+  ASSERT_FALSE(serial.empty());
+  for (int nt : {1, 2, 8}) {
+    std::vector<Matrix> parallel =
+        GradsUnder(BackwardMode::kParallel, nt, build);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_TRUE(parallel[i] == serial[i])
+          << "grad " << i << " differs at " << nt << " threads";
+    }
+  }
+}
+
+/// GCond-shaped fan-in: per-class branches gather from shared synthetic
+/// features, push through a shared weight, and their matching losses sum
+/// into one scalar — the graph the parallel engine exists for.
+Var BuildPerClassFanIn(Tape& t, std::vector<Var>& tracked) {
+  Rng rng(42);
+  Var x = t.Input(Matrix::RandomNormal(12, 6, rng));
+  Var w = t.Input(Matrix::RandomNormal(6, 4, rng));
+  tracked = {x, w};
+  Var loss{};
+  for (int c = 0; c < 4; ++c) {
+    std::vector<int> rows = {3 * c, 3 * c + 1, 3 * c + 2};
+    Var zc = t.GatherRows(x, rows);
+    Var probs = t.Softmax(t.MatMul(zc, w));
+    Matrix onehot(3, 4);
+    for (int i = 0; i < 3; ++i) onehot(i, c) = 1.0f;
+    Var diff = t.Sub(probs, t.Constant(onehot));
+    Var g = t.Scale(t.MatMul(t.Transpose(zc), diff), 1.0f / 3.0f);
+    Var term = t.SumAll(t.Square(g));
+    loss = c == 0 ? term : t.Add(loss, term);
+  }
+  return loss;
+}
+
+TEST(TapeParallelTest, PerClassFanInBitIdenticalToSerial) {
+  ExpectSerialParallelBitIdentical(BuildPerClassFanIn);
+}
+
+TEST(TapeParallelTest, DiamondStressBitIdenticalToSerial) {
+  // Stacked diamonds with a shared root: every join accumulates two
+  // contributions whose fold order must match serial exactly.
+  ExpectSerialParallelBitIdentical([](Tape& t, std::vector<Var>& tracked) {
+    Rng rng(7);
+    Var a = t.Input(Matrix::RandomNormal(5, 5, rng));
+    tracked = {a};
+    Var h = a;
+    for (int d = 0; d < 6; ++d) {
+      Var left = t.Relu(h);
+      Var right = t.Tanh(h);
+      h = t.Add(left, right);
+    }
+    return t.MeanAll(h);
+  });
+}
+
+TEST(TapeParallelTest, SameNodeTwiceAccumulatesInCallOrder) {
+  // Add(a, a) / Hadamard(a, a): one consumer deposits two contributions
+  // into the same parent slot; both must land, in call order.
+  ExpectSerialParallelBitIdentical([](Tape& t, std::vector<Var>& tracked) {
+    Rng rng(11);
+    Var a = t.Input(Matrix::RandomNormal(3, 3, rng));
+    tracked = {a};
+    Var s = t.Add(a, a);
+    Var q = t.Hadamard(a, a);
+    return t.SumAll(t.Add(s, q));
+  });
+}
+
+TEST(TapeParallelTest, WideSharedInputFanOut) {
+  // Many independent consumers of one input: the classic ready-queue
+  // width case, and a pending-count torture test.
+  ExpectSerialParallelBitIdentical([](Tape& t, std::vector<Var>& tracked) {
+    Rng rng(13);
+    Var x = t.Input(Matrix::RandomNormal(4, 4, rng));
+    tracked = {x};
+    Var loss{};
+    for (int i = 0; i < 16; ++i) {
+      Var branch = t.SumAll(t.Square(t.Scale(x, 0.25f + 0.1f * i)));
+      loss = i == 0 ? branch : t.Add(loss, branch);
+    }
+    return loss;
+  });
+}
+
+TEST(TapeParallelTest, DisconnectedInputGetsZeroGradInBothModes) {
+  ExpectSerialParallelBitIdentical([](Tape& t, std::vector<Var>& tracked) {
+    Var used = t.Input(Matrix(2, 2, {1, 2, 3, 4}));
+    Var unused = t.Input(Matrix(2, 2, {5, 6, 7, 8}));
+    tracked = {used, unused};
+    return t.SumAll(t.Square(used));
+  });
+}
+
+TEST(TapeParallelTest, GuardedMatMulParentsMatchSerial) {
+  // MatMul/Solve skip Accumulate for non-requires-grad parents; the
+  // planner must not wait on contributions that never come.
+  ExpectSerialParallelBitIdentical([](Tape& t, std::vector<Var>& tracked) {
+    Rng rng(17);
+    Var w = t.Input(Matrix::RandomNormal(4, 3, rng));
+    Var c = t.Constant(Matrix::RandomNormal(3, 4, rng));
+    tracked = {w};
+    Var prod = t.MatMul(w, c);        // only w's side accumulates
+    Var back = t.MatMul(c, prod);     // both sides, one guarded out
+    return t.MeanAll(t.Square(back));
+  });
+}
+
+TEST(TapeParallelTest, ReusedTapeStepsStayBitIdentical) {
+  // Reset() + rebuild across steps (the trainer pattern) with arena
+  // recycling in play: recycled buffers must never leak stale gradient
+  // bits into the next step.
+  auto run_steps = [](BackwardMode mode, int nt) {
+    ScopedBackwardConfig cfg(mode, nt);
+    Tape t;
+    std::vector<Matrix> grads;
+    for (int step = 0; step < 3; ++step) {
+      t.Reset();
+      Rng rng(100 + step);
+      Var x = t.Input(Matrix::RandomNormal(6, 4, rng));
+      Var w = t.Input(Matrix::RandomNormal(4, 2, rng));
+      Var loss = t.MeanAll(t.Square(t.MatMul(x, w)));
+      t.Backward(loss);
+      grads.push_back(t.grad(x));
+      grads.push_back(t.grad(w));
+    }
+    return grads;
+  };
+  std::vector<Matrix> serial = run_steps(BackwardMode::kSerial, 1);
+  for (int nt : {1, 2, 8}) {
+    std::vector<Matrix> parallel = run_steps(BackwardMode::kParallel, nt);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_TRUE(parallel[i] == serial[i]) << "step grad " << i;
+    }
+  }
+}
 
 TEST(TapeTest, ForwardValuesMatchKernels) {
   Tape t;

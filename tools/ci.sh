@@ -9,14 +9,27 @@
 #                                              scalar reference backend: the
 #                                              bit-exactness contract of
 #                                              DESIGN.md §10)
-#   4. Release kernel bench sweep             (bench_micro_kernels --json +
-#                                              the >=2x AVX2 GEMM gate)
-#   5. ASan build, `sanitizer`-labeled suites (store/bgcbin fuzz/obs/golden —
-#                                              byte-level and concurrent code)
-#   6. TSan build, obs/parallel/scheduler/tape (counter/timer thread safety,
+#   4. Release BGC_ARENA=off leg              (check-fast with the buffer
+#                                              arena disabled: results must
+#                                              not depend on buffer reuse)
+#   5. Release autograd bit-identity leg      (goldens under
+#                                              BGC_AUTOGRAD=parallel at
+#                                              BGC_NUM_THREADS=1,2,8: the
+#                                              DESIGN.md §11 contract)
+#   6. Release bench sweeps                   (bench_micro_kernels --json +
+#                                              the >=2x AVX2 GEMM gate;
+#                                              bench_tape_replay --json +
+#                                              the parallel-backward gate)
+#   7. ASan build, `sanitizer`-labeled suites (store/bgcbin fuzz/obs/golden —
+#                                              byte-level and concurrent
+#                                              code), then the tape/arena
+#                                              suites with BGC_AUTOGRAD=
+#                                              parallel and BGC_ARENA=off
+#   8. TSan build, obs/parallel/scheduler/tape (counter/timer thread safety,
 #                                              grid workers, cache
 #                                              single-flight, concurrent
-#                                              grad reads)
+#                                              grad reads), then tape_test
+#                                              with BGC_AUTOGRAD=parallel
 #
 # Usage: tools/ci.sh [--skip-tsan] [--skip-asan]
 # Build trees live in build-ci-{release,asan,tsan}, separate from ./build so
@@ -59,12 +72,37 @@ BGC_SIMD=scalar ctest --test-dir build-ci-release -LE slow -j "$JOBS" \
 BGC_SIMD=scalar ./build-ci-release/tests/golden_metrics_test
 ./build-ci-release/tests/golden_metrics_test
 
+step "Release: arena-off leg (BGC_ARENA=off)"
+# Same binaries with every Matrix allocation falling through to plain
+# new/delete. Buffer recycling must be invisible to results: any test that
+# only passes with the arena on is reading stale bits from a reused buffer.
+BGC_ARENA=off ctest --test-dir build-ci-release -LE slow -j "$JOBS" \
+    --output-on-failure
+
+step "Release: autograd parallel bit-identity leg (BGC_AUTOGRAD=parallel)"
+# Goldens under the dependency-counted parallel backward engine at several
+# thread counts. Bit-identical output is the DESIGN.md §11 contract — a
+# kernel or fold that reorders float accumulation shows up here as a
+# golden_metrics_test failure before it can corrupt a paper table.
+for nt in 1 2 8; do
+  BGC_AUTOGRAD=parallel BGC_NUM_THREADS="$nt" \
+      ./build-ci-release/tests/golden_metrics_test
+done
+BGC_AUTOGRAD=serial ./build-ci-release/tests/golden_metrics_test
+
 step "Release: kernel bench sweep (--json)"
 # Per-backend GB/s / GFLOP/s rows plus the >=2x AVX2-vs-scalar GEMM gate
 # (auto-skips with a notice when cpuid lacks AVX2). The committed
 # snapshot lives at bench/BENCH_kernels.json.
 ./build-ci-release/bench/bench_micro_kernels \
     --json build-ci-release/BENCH_kernels.json
+
+step "Release: tape replay bench sweep (--json)"
+# Serial-vs-parallel Backward() wall-clock + arena allocation counts, plus
+# the parallel-beats-serial gate (auto-skips with a notice on one core).
+# The committed snapshot lives at bench/BENCH_tape.json.
+./build-ci-release/bench/bench_tape_replay \
+    --json build-ci-release/BENCH_tape.json
 
 step "Release: parallel bench smoke (--jobs=4)"
 # One fast grid through the scheduler at --jobs=4: catches --jobs wiring or
@@ -79,6 +117,13 @@ if [ "$SKIP_ASAN" -eq 0 ]; then
   cmake --build build-ci-asan -j "$JOBS"
   step "ASan: sanitizer-labeled suites"
   ctest --test-dir build-ci-asan -L sanitizer -j "$JOBS" --output-on-failure
+  step "ASan: tape/arena suites under BGC_AUTOGRAD=parallel + BGC_ARENA=off"
+  # The arena caches raw buffers, which hides use-after-release from ASan;
+  # BGC_ARENA=off restores byte-precise poisoning. The parallel engine's
+  # slot buffers and cascade worklists get the same treatment.
+  BGC_AUTOGRAD=parallel BGC_ARENA=off ./build-ci-asan/tests/tape_test
+  BGC_AUTOGRAD=parallel BGC_ARENA=off ./build-ci-asan/tests/tape_gradcheck_test
+  BGC_AUTOGRAD=parallel BGC_ARENA=off ./build-ci-asan/tests/arena_test
 fi
 
 if [ "$SKIP_TSAN" -eq 0 ]; then
@@ -94,6 +139,14 @@ if [ "$SKIP_TSAN" -eq 0 ]; then
   ./build-ci-tsan/tests/parallel_test
   ./build-ci-tsan/tests/scheduler_test
   ./build-ci-tsan/tests/tape_test
+  step "TSan: tape + arena under BGC_AUTOGRAD=parallel"
+  # Force the dependency-counted engine even where tests don't set it
+  # explicitly, so TSan watches slot writes, the pending-counter cascade,
+  # and arena free-list handoff under real worker threads.
+  BGC_AUTOGRAD=parallel BGC_NUM_THREADS=4 ./build-ci-tsan/tests/tape_test
+  BGC_AUTOGRAD=parallel BGC_NUM_THREADS=4 \
+      ./build-ci-tsan/tests/tape_gradcheck_test
+  BGC_AUTOGRAD=parallel BGC_NUM_THREADS=4 ./build-ci-tsan/tests/arena_test
 fi
 
 step "CI matrix passed"
