@@ -1,59 +1,169 @@
-// The paper's threat model end to end: a malicious condensation service.
+// Poisoning-as-a-service, made literal: the bgc-serve-v1 daemon.
 //
-//   $ ./examples/poison_service
+//   $ ./examples/poison_service --port=0 --jobs=2 --state-dir=/tmp/bgc
+//   bgc-serve-v1 listening on port 41873
 //
-// A customer uploads a large graph and receives a compact condensed
-// dataset. The provider (attacker) runs BGC instead of honest condensation:
-// it selects representative nodes, plants adaptive triggers in the original
-// graph, and keeps them effective throughout condensation. The customer's
-// GNN trains normally and scores normally on clean data — but any test node
-// the attacker decorates with a trigger is classified as the target class.
+// The paper's threat model is a malicious condensation service: customers
+// submit graphs for condensation and the provider returns compact — and
+// possibly backdoored — datasets. This daemon is that service's job
+// front end. Clients connect over TCP and submit condense / attack / eval
+// jobs as line-delimited JSON (src/serve/protocol.h); jobs run on a
+// bounded worker pool, stream progress, and are served from the
+// content-addressed artifact cache when a duplicate was already computed.
+//
+// SIGINT/SIGTERM drain gracefully: admissions stop (503), running jobs
+// finish, still-queued jobs stay persisted in --state-dir and are resumed
+// by the next daemon over the same directory. A final bgc-obs-v1 metrics
+// report (serve.* counters included) goes to --metrics-out on shutdown.
 
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
 
-#include "src/attack/bgc.h"
-#include "src/data/synthetic.h"
-#include "src/eval/pipeline.h"
+#include "src/core/fs.h"
+#include "src/core/parse.h"
+#include "src/obs/obs.h"
+#include "src/serve/protocol.h"
+#include "src/serve/server.h"
+#include "src/store/artifact_cache.h"
 
-int main() {
+namespace {
+
+// Self-pipe: signal handlers may only write; the main thread blocks on
+// the read end until SIGINT/SIGTERM arrives.
+int g_signal_pipe[2] = {-1, -1};
+
+void OnSignal(int) {
+  const char byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+[[noreturn]] void BadFlag(const std::string& flag, const bgc::Status& why) {
+  std::fprintf(stderr, "bad --%s: %s\n", flag.c_str(),
+               why.message().c_str());
+  std::exit(2);
+}
+
+[[noreturn]] void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: poison_service [--port=N] [--port-file=PATH] [--jobs=N]\n"
+      "                      [--queue-depth=N] [--threads=N]\n"
+      "                      [--state-dir=DIR] [--artifact-dir=DIR]\n"
+      "                      [--checkpoint-every=N] [--poll-ms=N]\n"
+      "                      [--metrics-out=PATH]\n"
+      "--port=0 picks an ephemeral port (printed on stdout and written\n"
+      "to --port-file). --artifact-dir enables the condensation cache\n"
+      "(defaults to $BGC_ARTIFACT_DIR).\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace bgc;  // NOLINT
 
-  // The customer's graph (Citeseer-like) and the provider's view of it.
-  data::GraphDataset dataset = data::MakeDataset("citeseer-sim", 2024);
-  condense::SourceGraph clean =
-      condense::FromTrainView(data::MakeTrainView(dataset));
-  std::printf("customer graph: %d nodes, %d classes\n", dataset.num_nodes(),
-              dataset.num_classes);
+  serve::ServerOptions options;
+  std::string port_file;
+  std::string artifact_dir;
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") Usage();
+    const size_t eq = arg.find('=');
+    if (arg.compare(0, 2, "--") != 0 || eq == std::string::npos) {
+      std::fprintf(stderr, "bad flag: %s\n", arg.c_str());
+      return 2;
+    }
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string value = arg.substr(eq + 1);
+    const auto take_int = [&](long long min, long long max) {
+      StatusOr<long long> v = ParseIntInRange(value, min, max);
+      if (!v.ok()) BadFlag(key, v.status());
+      return static_cast<int>(v.value());
+    };
+    if (key == "port") {
+      options.port = take_int(0, 65535);
+    } else if (key == "port-file") {
+      port_file = value;
+    } else if (key == "jobs") {
+      options.jobs = take_int(1, 256);
+    } else if (key == "queue-depth") {
+      options.queue_depth = take_int(1, 100000);
+    } else if (key == "threads") {
+      options.total_threads = take_int(0, 4096);
+    } else if (key == "state-dir") {
+      options.state_dir = value;
+    } else if (key == "artifact-dir") {
+      artifact_dir = value;
+    } else if (key == "checkpoint-every") {
+      options.checkpoint_every = take_int(0, 1000000);
+    } else if (key == "poll-ms") {
+      options.stream_poll_ms = take_int(1, 60000);
+    } else if (key == "metrics-out") {
+      metrics_out = value;
+    } else {
+      std::fprintf(stderr, "unknown flag: --%s\n", key.c_str());
+      return 2;
+    }
+  }
 
-  // The provider runs BGC around a GCond condensation.
-  Rng rng(99);
-  condense::CondenseConfig condense_cfg;
-  condense_cfg.num_condensed = 60;  // r = 1.8%
-  condense_cfg.epochs = 150;
-  attack::AttackConfig attack_cfg;
-  attack_cfg.target_class = 0;
-  attack_cfg.trigger_size = 4;
-  attack_cfg.poison_ratio = 0.1;
-  auto condenser = condense::MakeCondenser("gcond");
-  attack::AttackResult delivered = attack::RunBgc(
-      clean, dataset.num_classes, *condenser, condense_cfg, attack_cfg, rng);
-  std::printf("delivered condensed graph: %d nodes; poisoned %zu source "
-              "nodes (labels flipped to class %d)\n",
-              delivered.condensed.features.rows(),
-              delivered.poisoned_nodes.size(), attack_cfg.target_class);
+  // Writes to clients that disconnected mid-stream must fail, not kill
+  // the daemon (belt to net.cc's MSG_NOSIGNAL braces).
+  std::signal(SIGPIPE, SIG_IGN);
 
-  // The customer trains a GCN on the delivered dataset, unaware.
-  eval::VictimConfig victim_cfg;
-  victim_cfg.epochs = 200;
-  auto victim = eval::TrainVictim(delivered.condensed, victim_cfg, rng);
-  eval::AttackMetrics metrics = eval::EvaluateVictim(
-      *victim, dataset, delivered.generator.get(), attack_cfg.target_class);
+  std::unique_ptr<store::ArtifactCache> cache;
+  if (!artifact_dir.empty()) {
+    cache = std::make_unique<store::ArtifactCache>(artifact_dir);
+  } else {
+    cache = store::ArtifactCache::FromEnv();
+  }
+  options.cache = cache.get();
 
-  std::printf("\ncustomer-side clean test accuracy (CTA): %.3f\n",
-              metrics.cta);
-  std::printf("attacker-side success rate with triggers (ASR): %.3f\n",
-              metrics.asr);
-  std::printf("=> the model looks healthy; triggered inputs are routed to "
-              "class %d\n", attack_cfg.target_class);
+  serve::Server server(options);
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", s.message().c_str());
+    return 1;
+  }
+  std::printf("%s listening on port %d\n", serve::kProtocolSchema,
+              server.port());
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    const std::string body = std::to_string(server.port()) + "\n";
+    if (Status s = WriteFileAtomic(port_file, body); !s.ok()) {
+      std::fprintf(stderr, "port file: %s\n", s.message().c_str());
+      server.Stop();
+      return 1;
+    }
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "pipe: %s\n", std::strerror(errno));
+    server.Stop();
+    return 1;
+  }
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  char byte = 0;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+
+  std::fprintf(stderr,
+               "draining: admissions closed, finishing %d running job(s)\n",
+               server.stats().running);
+  server.RequestDrain();
+  server.WaitDrained();
+  server.Stop();
+  const serve::ServerStats st = server.stats();
+  std::printf("drained: %lld completed, %lld failed, %d still queued "
+              "(persisted)\n",
+              st.completed, st.failed, st.queued);
+  if (!metrics_out.empty()) obs::EmitMetricsAtExit(metrics_out);
   return 0;
 }

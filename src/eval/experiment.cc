@@ -30,9 +30,11 @@ condense::CondensedGraph CleanCondense(const RunSpec& spec,
   return spec.artifact_cache->GetOrComputeCondensed(key, run);
 }
 
-attack::AttackResult Dispatch(const RunSpec& spec,
-                              const condense::SourceGraph& clean,
-                              int num_classes, Rng& rng) {
+}  // namespace
+
+attack::AttackResult DispatchAttack(const RunSpec& spec,
+                                    const condense::SourceGraph& clean,
+                                    int num_classes, Rng& rng) {
   auto condenser = condense::MakeCondenser(spec.method);
   attack::AttackConfig acfg = spec.attack_cfg;
   if (spec.attack == "bgc") {
@@ -60,8 +62,6 @@ attack::AttackResult Dispatch(const RunSpec& spec,
   BGC_CHECK_MSG(false, "unknown attack: " + spec.attack);
   return {};
 }
-
-}  // namespace
 
 bool IsKnownAttack(const std::string& attack) {
   return attack == "none" || attack == "bgc" || attack == "bgc-rand" ||
@@ -91,7 +91,7 @@ RepeatResult RunOnce(const RunSpec& spec, uint64_t seed) {
   }
 
   attack::AttackResult attacked =
-      Dispatch(spec, clean, ds.num_classes, rng);
+      DispatchAttack(spec, clean, ds.num_classes, rng);
   // Dedicated victim stream (mirrors the clean path): victim metrics must
   // not shift when attack internals change how many draws they consume.
   Rng victim_rng(seed * kSeedStride + 19);

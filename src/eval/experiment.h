@@ -58,6 +58,14 @@ struct RepeatResult {
 /// Callers that must not abort validate with this before running.
 bool IsKnownAttack(const std::string& attack);
 
+/// Runs spec.attack against `clean` (must not be "none"; validate with
+/// IsKnownAttack first). Exposed for front ends that drive the attack
+/// outside RunOnce's seed-stream scheme — the serve layer's attack jobs
+/// share one Rng across attack and victim exactly like `bgc_cli attack`.
+attack::AttackResult DispatchAttack(const RunSpec& spec,
+                                    const condense::SourceGraph& clean,
+                                    int num_classes, Rng& rng);
+
 /// Runs one repeat with the given seed offset.
 RepeatResult RunOnce(const RunSpec& spec, uint64_t seed);
 

@@ -44,6 +44,83 @@ int KernelThreadsFor(int total_threads, int jobs) {
   return per_job < 1 ? 1 : per_job;
 }
 
+WorkerSlots::WorkerSlots(int slots, int total_threads)
+    : slots_(slots < 1 ? 1 : slots) {
+  if (slots_ > 1) {
+    const int total = total_threads > 0 ? total_threads
+                                        : ThreadPool::DefaultNumThreads();
+    previous_pool_ = ThreadPool::Global().num_threads();
+    ThreadPool::SetGlobalNumThreads(KernelThreadsFor(total, slots_));
+    resized_ = true;
+  }
+  threads_.reserve(slots_);
+  for (int i = 0; i < slots_; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerSlots::~WorkerSlots() { Stop(); }
+
+void WorkerSlots::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  task_cv_.notify_one();
+}
+
+void WorkerSlots::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void WorkerSlots::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopping_ = true;
+  }
+  task_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+  }
+  if (resized_) {
+    ThreadPool::SetGlobalNumThreads(previous_pool_);
+    resized_ = false;
+  }
+}
+
+int WorkerSlots::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(queue_.size());
+}
+
+void WorkerSlots::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_cv_.wait(lock,
+                    [this] { return stopping_ || !queue_.empty(); });
+      // Stop() still runs every already-queued task: the serve layer's
+      // drain relies on queued closures executing (each no-ops once it
+      // sees the server draining, leaving its job persisted).
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
 std::vector<Status> RunUnits(const GridOptions& options, int num_units,
                              const std::function<Status(int)>& unit) {
   std::vector<Status> statuses(num_units > 0 ? num_units : 0);
@@ -58,39 +135,25 @@ std::vector<Status> RunUnits(const GridOptions& options, int num_units,
     return statuses;
   }
 
-  // Partition the thread budget: the kernel pool shrinks so that
-  // jobs × kernel_threads stays within the configured total, then is
-  // restored once the grid drains.
-  const int total = options.total_threads > 0
-                        ? options.total_threads
-                        : ThreadPool::DefaultNumThreads();
-  const int previous_pool = ThreadPool::Global().num_threads();
-  ThreadPool::SetGlobalNumThreads(KernelThreadsFor(total, jobs));
   BGC_GAUGE_SET("grid.jobs", jobs);
-
   {
     BGC_TRACE_SCOPE("phase.grid");
-    std::atomic<int> next{0};
-    auto worker = [&] {
-      for (;;) {
-        const int u = next.fetch_add(1, std::memory_order_relaxed);
-        if (u >= num_units) return;
+    // WorkerSlots partitions the thread budget (the kernel pool shrinks so
+    // jobs × kernel_threads stays within the configured total) and
+    // restores it once the grid drains.
+    WorkerSlots slots(jobs, options.total_threads);
+    for (int u = 0; u < num_units; ++u) {
+      slots.Submit([&unit, &statuses, u] {
         // Redirect this unit's "phase.*" scopes into its own family so
         // the shared phase table keeps partitioning wall-clock.
         obs::ScopedPhaseTag tag(UnitTag(u));
         BGC_TRACE_SCOPE("grid.unit");
         RunOneUnit(unit, u, statuses[u]);
         BGC_COUNTER_ADD("grid.units", 1);
-      }
-    };
-    std::vector<std::thread> threads;
-    threads.reserve(jobs - 1);
-    for (int i = 0; i < jobs - 1; ++i) threads.emplace_back(worker);
-    worker();  // the calling thread is one of the jobs
-    for (std::thread& t : threads) t.join();
+      });
+    }
+    slots.Stop();  // drain + join + restore the kernel pool
   }
-
-  ThreadPool::SetGlobalNumThreads(previous_pool);
   return statuses;
 }
 

@@ -34,8 +34,12 @@
 // "phase.grid" on the calling thread. With jobs == 1 nothing is
 // redirected and the phase table is unchanged from a serial run.
 
+#include <condition_variable>
+#include <deque>
 #include <functional>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -56,6 +60,63 @@ struct GridOptions {
 /// Kernel-pool size while `jobs` units run concurrently out of a budget of
 /// `total_threads`: max(1, total / jobs).
 int KernelThreadsFor(int total_threads, int jobs);
+
+/// A persistent set of experiment worker slots backed by plain threads,
+/// sharing the grid/kernel thread-budget partition with RunUnits: while a
+/// WorkerSlots with `slots > 1` exists, the global kernel pool is resized
+/// to KernelThreadsFor(total_threads, slots) and restored at Stop(), so
+/// slots × kernel_threads stays within the configured budget instead of
+/// oversubscribing.
+///
+/// Submitted tasks run FIFO, each exactly once, on the first free slot.
+/// Tasks must not throw (wrap them the way RunOneUnit does); a task that
+/// needs per-unit phase accounting installs its own obs::ScopedPhaseTag.
+///
+/// RunUnits builds a transient WorkerSlots per grid; the serve layer
+/// (src/serve) keeps one alive for the daemon's lifetime and feeds it
+/// admitted jobs.
+class WorkerSlots {
+ public:
+  /// Spawns `slots` worker threads (clamped to >= 1). `total_threads <= 0`
+  /// resolves ThreadPool::DefaultNumThreads().
+  WorkerSlots(int slots, int total_threads);
+  ~WorkerSlots();
+
+  WorkerSlots(const WorkerSlots&) = delete;
+  WorkerSlots& operator=(const WorkerSlots&) = delete;
+
+  /// Enqueues a task. Must not be called after Stop().
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every started task has finished.
+  /// Tasks submitted concurrently with Drain() may or may not be waited
+  /// for; the serve layer serializes drain against admission itself.
+  void Drain();
+
+  /// Drain() + join the slot threads + restore the kernel pool.
+  /// Idempotent; called by the destructor.
+  void Stop();
+
+  int slots() const { return slots_; }
+  /// Tasks enqueued but not yet started (queue-depth gauges).
+  int pending() const;
+
+ private:
+  void WorkerLoop();
+
+  int slots_ = 1;
+  int previous_pool_ = 0;
+  bool resized_ = false;
+
+  mutable std::mutex mu_;
+  std::condition_variable task_cv_;  // workers: a task arrived / stopping
+  std::condition_variable idle_cv_;  // Drain(): queue empty and slots idle
+  std::deque<std::function<void()>> queue_;
+  int active_ = 0;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::vector<std::thread> threads_;
+};
 
 /// Runs unit(0) .. unit(num_units - 1), each exactly once, on up to
 /// options.jobs threads, and returns one Status per unit (slot u holds

@@ -221,6 +221,22 @@ void Registry::AppendTraceEvent(const Timer* timer, int64_t start_ns,
   impl_->trace.push_back(e);
 }
 
+std::vector<std::pair<std::string, TimerStats>>
+Registry::SnapshotTimersWithPrefix(const std::string& prefix) const {
+  std::vector<std::pair<std::string, TimerStats>> out;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  // The timer map is name-ordered, so the prefix range is contiguous.
+  for (auto it = impl_->timers.lower_bound(prefix);
+       it != impl_->timers.end() &&
+       it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    const TimerStats s = it->second->Snapshot();
+    if (s.count == 0) continue;
+    out.emplace_back(it->first, s);
+  }
+  return out;
+}
+
 void Registry::AppendMetricsBodyLocked(std::string& out,
                                        int64_t wall_ns) const {
   Impl* impl = impl_;

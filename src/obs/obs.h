@@ -39,6 +39,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace bgc::obs {
@@ -141,6 +142,14 @@ class Registry {
   /// Adds to the calling thread's busy-time slot (reported as the
   /// "pool.thread.<tid>.busy_ns" counters). Used by the thread pool.
   void AddThreadBusyNs(int64_t ns);
+
+  /// Snapshot of every timer whose name starts with `prefix`, in name
+  /// order, zero-count timers skipped. Powers the serve layer's progress
+  /// streaming (src/serve): a job running under phase tag "serve.j0007"
+  /// samples prefix "serve.j0007." to watch its per-phase counts grow
+  /// mid-run.
+  std::vector<std::pair<std::string, TimerStats>> SnapshotTimersWithPrefix(
+      const std::string& prefix) const;
 
   /// Metric summary JSON (schema above, no "trace" key).
   std::string MetricsJson() const;

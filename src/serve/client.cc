@@ -1,0 +1,168 @@
+#include "src/serve/client.h"
+
+#include <cstdlib>
+
+#include "src/serve/net.h"
+#include "src/serve/protocol.h"
+
+namespace bgc::serve {
+namespace {
+
+/// Converts a {"ok":false,...} reply into an error Status carrying the
+/// server's code as a "<code>: " message prefix (see Client::StatusCode).
+Status CheckOk(const obs::JsonValue& reply) {
+  const obs::JsonValue* ok = reply.Find("ok");
+  if (ok != nullptr && ok->kind == obs::JsonValue::Kind::kBool &&
+      ok->bool_value) {
+    return Status::Ok();
+  }
+  const obs::JsonValue* code = reply.Find("code");
+  const obs::JsonValue* error = reply.Find("error");
+  std::string message;
+  if (code != nullptr && code->is_number()) {
+    message = std::to_string(static_cast<int>(code->number)) + ": ";
+  }
+  message += error != nullptr && error->is_string() ? error->str
+                                                    : "request failed";
+  return Status::Error(message);
+}
+
+}  // namespace
+
+Client::Client(std::unique_ptr<LineChannel> channel)
+    : channel_(std::move(channel)) {}
+
+Client::Client(Client&&) noexcept = default;
+Client& Client::operator=(Client&&) noexcept = default;
+Client::~Client() = default;
+
+StatusOr<Client> Client::Connect(const std::string& host, int port,
+                                 const std::string& name) {
+  StatusOr<int> fd = ConnectTo(host, port);
+  if (!fd.ok()) return fd.status();
+  Client client(std::make_unique<LineChannel>(fd.value()));
+  client.name_ = name;
+  std::string hello = "{\"op\":\"hello\",\"client\":";
+  AppendJsonString(hello, name);
+  hello += '}';
+  StatusOr<obs::JsonValue> reply = client.RoundTrip(hello);
+  if (!reply.ok()) return reply.status();
+  if (Status s = CheckOk(reply.value()); !s.ok()) return s;
+  return client;
+}
+
+StatusOr<obs::JsonValue> Client::RoundTrip(const std::string& request_line) {
+  if (channel_ == nullptr || !channel_->WriteLine(request_line)) {
+    return Status::Error("connection lost (write)");
+  }
+  std::string line;
+  if (!channel_->ReadLine(line)) {
+    return Status::Error("connection lost (read)");
+  }
+  obs::JsonParseResult parsed = obs::ParseJson(line);
+  if (!parsed.ok) {
+    return Status::Error("unparseable reply: " + parsed.error);
+  }
+  return std::move(parsed.value);
+}
+
+Status Client::Ping() {
+  StatusOr<obs::JsonValue> reply = RoundTrip("{\"op\":\"ping\"}");
+  if (!reply.ok()) return reply.status();
+  if (Status s = CheckOk(reply.value()); !s.ok()) return s;
+  const obs::JsonValue* schema = reply.value().Find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->str != kProtocolSchema) {
+    return Status::Error("peer is not a " + std::string(kProtocolSchema) +
+                         " server");
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::string> Client::Submit(const std::string& kind,
+                                     const std::string& spec_json) {
+  std::string request = "{\"op\":\"submit\",\"kind\":";
+  AppendJsonString(request, kind);
+  request += ",\"spec\":";
+  request += spec_json;
+  request += '}';
+  StatusOr<obs::JsonValue> reply = RoundTrip(request);
+  if (!reply.ok()) return reply.status();
+  if (Status s = CheckOk(reply.value()); !s.ok()) return s;
+  const obs::JsonValue* job = reply.value().Find("job");
+  if (job == nullptr || !job->is_string()) {
+    return Status::Error("submit reply lacks a job id");
+  }
+  return job->str;
+}
+
+StatusOr<obs::JsonValue> Client::Poll(const std::string& job) {
+  std::string request = "{\"op\":\"status\",\"job\":";
+  AppendJsonString(request, job);
+  request += '}';
+  StatusOr<obs::JsonValue> reply = RoundTrip(request);
+  if (!reply.ok()) return reply.status();
+  if (Status s = CheckOk(reply.value()); !s.ok()) return s;
+  return reply;
+}
+
+StatusOr<obs::JsonValue> Client::Wait(const std::string& job) {
+  std::string request = "{\"op\":\"wait\",\"job\":";
+  AppendJsonString(request, job);
+  request += '}';
+  StatusOr<obs::JsonValue> reply = RoundTrip(request);
+  if (!reply.ok()) return reply.status();
+  if (Status s = CheckOk(reply.value()); !s.ok()) return s;
+  return reply;
+}
+
+Status Client::Stream(
+    const std::string& job,
+    const std::function<void(const obs::JsonValue&)>& on_event) {
+  std::string request = "{\"op\":\"stream\",\"job\":";
+  AppendJsonString(request, job);
+  request += '}';
+  if (channel_ == nullptr || !channel_->WriteLine(request)) {
+    return Status::Error("connection lost (write)");
+  }
+  for (;;) {
+    std::string line;
+    if (!channel_->ReadLine(line)) {
+      return Status::Error("connection lost mid-stream");
+    }
+    obs::JsonParseResult parsed = obs::ParseJson(line);
+    if (!parsed.ok) {
+      return Status::Error("unparseable event: " + parsed.error);
+    }
+    if (Status s = CheckOk(parsed.value); !s.ok()) return s;
+    on_event(parsed.value);
+    const obs::JsonValue* event = parsed.value.Find("event");
+    if (event != nullptr && event->is_string() && event->str == "done") {
+      return Status::Ok();
+    }
+  }
+}
+
+StatusOr<obs::JsonValue> Client::List() {
+  StatusOr<obs::JsonValue> reply = RoundTrip("{\"op\":\"list\"}");
+  if (!reply.ok()) return reply.status();
+  if (Status s = CheckOk(reply.value()); !s.ok()) return s;
+  return reply;
+}
+
+StatusOr<obs::JsonValue> Client::Stats() {
+  StatusOr<obs::JsonValue> reply = RoundTrip("{\"op\":\"stats\"}");
+  if (!reply.ok()) return reply.status();
+  if (Status s = CheckOk(reply.value()); !s.ok()) return s;
+  return reply;
+}
+
+int Client::StatusCode(const Status& status) {
+  if (status.ok()) return 0;
+  const std::string& message = status.message();
+  const size_t colon = message.find(": ");
+  if (colon == std::string::npos || colon == 0 || colon > 3) return 0;
+  return std::atoi(message.substr(0, colon).c_str());
+}
+
+}  // namespace bgc::serve

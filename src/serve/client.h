@@ -1,0 +1,73 @@
+#ifndef BGC_SERVE_CLIENT_H_
+#define BGC_SERVE_CLIENT_H_
+
+// Client side of bgc-serve-v1: a thin synchronous wrapper that frames
+// requests, parses replies with the strict obs grammar, and converts
+// failure replies ({"ok":false,...}) into Status values that keep the
+// server's error code and message. Used by tools/bgc_loadgen, the serve
+// tests, and anything else that talks to the daemon.
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/core/status.h"
+#include "src/obs/json.h"
+
+namespace bgc::serve {
+
+class LineChannel;
+
+class Client {
+ public:
+  /// Connects to a running server (e.g. Connect("127.0.0.1", port)) and
+  /// introduces itself as `name` — the server scopes job ownership to it.
+  static StatusOr<Client> Connect(const std::string& host, int port,
+                                  const std::string& name = "anon");
+
+  Client(Client&&) noexcept;
+  Client& operator=(Client&&) noexcept;
+  ~Client();
+
+  /// Round-trip {"op":"ping"}; checks the schema matches bgc-serve-v1.
+  Status Ping();
+
+  /// Submits a job. `kind` is condense|attack|eval; `spec_json` is the
+  /// spec object as raw JSON text (see protocol.h for the field grammar).
+  /// Returns the job id. A rejection (400/429/503) comes back as a Status
+  /// whose message starts with "<code>: " — see ReplyCode.
+  StatusOr<std::string> Submit(const std::string& kind,
+                               const std::string& spec_json);
+
+  /// One status poll / blocking wait. The returned object is the server's
+  /// reply ({"job","kind","state"} plus "result" or "error").
+  StatusOr<obs::JsonValue> Poll(const std::string& job);
+  StatusOr<obs::JsonValue> Wait(const std::string& job);
+
+  /// Streams a job's event lines, invoking `on_event` per event, until
+  /// the terminal "done" event (included).
+  Status Stream(const std::string& job,
+                const std::function<void(const obs::JsonValue&)>& on_event);
+
+  /// {"op":"list"} / {"op":"stats"} replies, verbatim.
+  StatusOr<obs::JsonValue> List();
+  StatusOr<obs::JsonValue> Stats();
+
+  /// Sends one raw request line and parses one reply line — the escape
+  /// hatch the tests use to exercise malformed traffic.
+  StatusOr<obs::JsonValue> RoundTrip(const std::string& request_line);
+
+  /// Error code a Status produced by this client carries ("429: ..." →
+  /// 429), or 0 when the message has no code prefix.
+  static int StatusCode(const Status& status);
+
+ private:
+  explicit Client(std::unique_ptr<LineChannel> channel);
+
+  std::unique_ptr<LineChannel> channel_;
+  std::string name_;
+};
+
+}  // namespace bgc::serve
+
+#endif  // BGC_SERVE_CLIENT_H_

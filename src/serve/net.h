@@ -1,0 +1,66 @@
+#ifndef BGC_SERVE_NET_H_
+#define BGC_SERVE_NET_H_
+
+// Minimal portable BSD-socket helpers for the serve layer: IPv4 listen /
+// connect plus newline framing. Deliberately tiny — the protocol is
+// line-delimited JSON (one request or reply per '\n'-terminated line, see
+// protocol.h), so a buffered line reader and a retrying writer are the
+// whole transport.
+
+#include <string>
+
+#include "src/core/status.h"
+
+namespace bgc::serve {
+
+/// Bytes a single protocol line may occupy, terminator included. A peer
+/// that exceeds this is cut off (ReadLine fails) instead of growing the
+/// buffer without bound.
+inline constexpr size_t kMaxLineBytes = 4u << 20;
+
+/// Opens a TCP listening socket on 127.0.0.1:`port` (SO_REUSEADDR).
+/// `port` 0 binds an ephemeral port; recover the choice with BoundPort.
+StatusOr<int> ListenOn(int port);
+
+/// Port a bound socket actually listens on (getsockname).
+StatusOr<int> BoundPort(int fd);
+
+/// Connects to `host`:`port` (numeric IPv4 dotted quad or "localhost").
+StatusOr<int> ConnectTo(const std::string& host, int port);
+
+/// shutdown(2) both directions; unblocks a thread sitting in recv on `fd`.
+void ShutdownFd(int fd);
+void CloseFd(int fd);
+
+/// Owns a connected fd and frames it into lines. Reader and writer keep
+/// independent state, but the channel itself is not thread-safe — the
+/// serve layer uses one channel per connection thread.
+class LineChannel {
+ public:
+  /// Takes ownership of `fd` (closed on destruction).
+  explicit LineChannel(int fd) : fd_(fd) {}
+  ~LineChannel();
+
+  LineChannel(const LineChannel&) = delete;
+  LineChannel& operator=(const LineChannel&) = delete;
+
+  /// Reads the next '\n'-terminated line into `line` (terminator
+  /// stripped). Returns false on EOF, error, or an over-long line; the
+  /// channel is then dead.
+  bool ReadLine(std::string& line);
+
+  /// Writes `line` plus '\n', retrying partial sends. SIGPIPE is
+  /// suppressed (MSG_NOSIGNAL); a dead peer returns false.
+  bool WriteLine(const std::string& line);
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes received but not yet returned
+  bool broken_ = false;
+};
+
+}  // namespace bgc::serve
+
+#endif  // BGC_SERVE_NET_H_

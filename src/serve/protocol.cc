@@ -1,0 +1,296 @@
+#include "src/serve/protocol.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/core/hash.h"
+#include "src/data/synthetic.h"
+#include "src/eval/scheduler.h"
+#include "src/nn/models.h"
+#include "src/store/artifact_cache.h"
+
+namespace bgc::serve {
+namespace {
+
+bool IsIntegral(double v) { return std::floor(v) == v; }
+
+/// Reads an integer-valued JSON number into `out` with an inclusive range
+/// check; errors name the field.
+Status TakeInt(const obs::JsonValue& v, const char* field, long long min,
+               long long max, long long& out) {
+  if (!v.is_number() || !IsIntegral(v.number)) {
+    return Status::Error(std::string("spec field \"") + field +
+                         "\" must be an integer");
+  }
+  if (v.number < static_cast<double>(min) ||
+      v.number > static_cast<double>(max)) {
+    return Status::Error(std::string("spec field \"") + field +
+                         "\" out of range [" + std::to_string(min) + ", " +
+                         std::to_string(max) + "]");
+  }
+  out = static_cast<long long>(v.number);
+  return Status::Ok();
+}
+
+Status TakeDouble(const obs::JsonValue& v, const char* field, double min,
+                  double max, double& out) {
+  if (!v.is_number()) {
+    return Status::Error(std::string("spec field \"") + field +
+                         "\" must be a number");
+  }
+  if (v.number < min || v.number > max) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "\"%s\" out of range [%g, %g]", field,
+                  min, max);
+    return Status::Error(std::string("spec field ") + buf);
+  }
+  out = v.number;
+  return Status::Ok();
+}
+
+Status TakeString(const obs::JsonValue& v, const char* field,
+                  std::string& out) {
+  if (!v.is_string()) {
+    return Status::Error(std::string("spec field \"") + field +
+                         "\" must be a string");
+  }
+  out = v.str;
+  return Status::Ok();
+}
+
+void AppendKV(std::string& out, const char* key, const std::string& value) {
+  if (!out.empty() && out.back() != '{') out += ',';
+  AppendJsonString(out, key);
+  out += ':';
+  AppendJsonString(out, value);
+}
+
+void AppendKV(std::string& out, const char* key, double value) {
+  if (!out.empty() && out.back() != '{') out += ',';
+  AppendJsonString(out, key);
+  out += ':';
+  AppendJsonNumber(out, value);
+}
+
+}  // namespace
+
+const char* JobKindName(JobKind kind) {
+  switch (kind) {
+    case JobKind::kCondense: return "condense";
+    case JobKind::kAttack: return "attack";
+    case JobKind::kEval: return "eval";
+  }
+  return "?";
+}
+
+StatusOr<JobKind> ParseJobKind(const std::string& name) {
+  if (name == "condense") return JobKind::kCondense;
+  if (name == "attack") return JobKind::kAttack;
+  if (name == "eval") return JobKind::kEval;
+  return Status::Error("unknown job kind: \"" + name +
+                       "\" (condense|attack|eval)");
+}
+
+StatusOr<JobSpec> ParseJobSpec(JobKind kind, const obs::JsonValue& spec) {
+  if (!spec.is_object()) {
+    return Status::Error("\"spec\" must be an object");
+  }
+  JobSpec out;
+  out.kind = kind;
+  eval::RunSpec& run = out.run;
+  // Serve defaults diverge from the bench-grid RunSpec defaults: one
+  // repeat, no clean baseline unless an eval job asks for it.
+  run.repeats = 1;
+  run.eval_clean_baseline = false;
+  if (kind == JobKind::kCondense) run.attack = "none";
+  const bool attacky = kind != JobKind::kCondense;
+
+  for (const auto& [key, value] : spec.object) {
+    Status s = Status::Ok();
+    long long i = 0;
+    double d = 0.0;
+    if (key == "dataset") {
+      s = TakeString(value, "dataset", run.dataset);
+    } else if (key == "scale") {
+      s = TakeDouble(value, "scale", 0.01, 1.0, run.dataset_scale);
+    } else if (key == "seed") {
+      // Seeds ride a JSON number; cap at 2^53 so the value (and the
+      // sidecar round trip) stays exact.
+      s = TakeInt(value, "seed", 0, 1LL << 53, i);
+      run.seed = static_cast<uint64_t>(i);
+    } else if (key == "method") {
+      s = TakeString(value, "method", run.method);
+    } else if (key == "n") {
+      s = TakeInt(value, "n", 1, 1000000, i);
+      run.condense.num_condensed = static_cast<int>(i);
+    } else if (key == "epochs") {
+      s = TakeInt(value, "epochs", 1, 1000000, i);
+      run.condense.epochs = static_cast<int>(i);
+    } else if (key == "attack" && attacky) {
+      s = TakeString(value, "attack", run.attack);
+    } else if (key == "target" && attacky) {
+      s = TakeInt(value, "target", 0, 1000000, i);
+      run.attack_cfg.target_class = static_cast<int>(i);
+    } else if (key == "trigger-size" && attacky) {
+      s = TakeInt(value, "trigger-size", 1, 1000000, i);
+      run.attack_cfg.trigger_size = static_cast<int>(i);
+    } else if (key == "poison-ratio" && attacky) {
+      s = TakeDouble(value, "poison-ratio", 0.0, 1.0, d);
+      run.attack_cfg.poison_ratio = d;
+    } else if (key == "arch" && attacky) {
+      s = TakeString(value, "arch", run.victim.arch);
+    } else if (key == "victim-epochs" && attacky) {
+      s = TakeInt(value, "victim-epochs", 1, 1000000, i);
+      run.victim.epochs = static_cast<int>(i);
+    } else if (key == "repeats" && kind == JobKind::kEval) {
+      s = TakeInt(value, "repeats", 1, 10000, i);
+      run.repeats = static_cast<int>(i);
+    } else if (key == "clean-baseline" && kind == JobKind::kEval) {
+      if (value.kind != obs::JsonValue::Kind::kBool) {
+        s = Status::Error("spec field \"clean-baseline\" must be a bool");
+      } else {
+        run.eval_clean_baseline = value.bool_value;
+      }
+    } else if (key == "out" && kind != JobKind::kEval) {
+      s = TakeString(value, "out", out.out);
+      if (s.ok() && out.out.empty()) {
+        s = Status::Error("spec field \"out\" must be a non-empty path");
+      }
+    } else {
+      s = Status::Error("unknown spec field for kind " +
+                        std::string(JobKindName(kind)) + ": \"" + key +
+                        "\"");
+    }
+    if (!s.ok()) return s;
+  }
+
+  if (kind == JobKind::kAttack && run.attack == "none") {
+    return Status::Error("attack jobs need attack != \"none\"");
+  }
+  if (Status s = eval::ValidateRunSpec(run); !s.ok()) return s;
+  if (attacky) {
+    bool known_arch = false;
+    for (const std::string& a : nn::SupportedArchitectures()) {
+      if (a == run.victim.arch) known_arch = true;
+    }
+    if (!known_arch) {
+      return Status::Error("unknown victim arch: \"" + run.victim.arch +
+                           "\"");
+    }
+    // The attack pipeline BGC_CHECKs target < num_classes; reject at
+    // admission instead of aborting a daemon worker. Preset class counts
+    // are static, so this is a config lookup, not a dataset build.
+    const int classes =
+        data::PresetConfig(run.dataset, run.dataset_scale).num_classes;
+    if (run.attack != "none" && run.attack_cfg.target_class >= classes) {
+      return Status::Error(
+          "spec field \"target\" (" +
+          std::to_string(run.attack_cfg.target_class) + ") must be < " +
+          std::to_string(classes) + " classes of " + run.dataset);
+    }
+  }
+  return out;
+}
+
+void AppendJobSpecJson(std::string& out, const JobSpec& spec) {
+  const eval::RunSpec& run = spec.run;
+  out += '{';
+  AppendKV(out, "dataset", run.dataset);
+  AppendKV(out, "scale", run.dataset_scale);
+  AppendKV(out, "seed", static_cast<double>(run.seed));
+  AppendKV(out, "method", run.method);
+  AppendKV(out, "n", run.condense.num_condensed);
+  AppendKV(out, "epochs", run.condense.epochs);
+  if (spec.kind != JobKind::kCondense) {
+    AppendKV(out, "attack", run.attack);
+    AppendKV(out, "target", run.attack_cfg.target_class);
+    AppendKV(out, "trigger-size", run.attack_cfg.trigger_size);
+    AppendKV(out, "poison-ratio", run.attack_cfg.poison_ratio);
+    AppendKV(out, "arch", run.victim.arch);
+    AppendKV(out, "victim-epochs", run.victim.epochs);
+  }
+  if (spec.kind == JobKind::kEval) {
+    AppendKV(out, "repeats", run.repeats);
+    if (!out.empty() && out.back() != '{') out += ',';
+    out += "\"clean-baseline\":";
+    out += run.eval_clean_baseline ? "true" : "false";
+  }
+  if (spec.kind != JobKind::kEval && !spec.out.empty()) {
+    AppendKV(out, "out", spec.out);
+  }
+  out += '}';
+}
+
+std::string CanonicalJobKey(const JobSpec& spec) {
+  const eval::RunSpec& run = spec.run;
+  char buf[256];
+  std::string key = "kind=";
+  key += JobKindName(spec.kind);
+  std::snprintf(buf, sizeof(buf),
+                "|dataset=%s|scale=%.9g|seed=%llu|method=%s|attack=%s"
+                "|repeats=%d|clean=%d|",
+                run.dataset.c_str(), run.dataset_scale,
+                static_cast<unsigned long long>(run.seed),
+                run.method.c_str(), run.attack.c_str(), run.repeats,
+                run.eval_clean_baseline ? 1 : 0);
+  key += buf;
+  key += store::CanonicalCondenseKey(run.condense);
+  key += '|';
+  key += store::CanonicalAttackKey(run.attack_cfg);
+  std::snprintf(buf, sizeof(buf),
+                "|victim:arch=%s,hidden=%d,layers=%d,dropout=%.9g,epochs=%d,"
+                "lr=%.9g,wd=%.9g",
+                run.victim.arch.c_str(), run.victim.hidden,
+                run.victim.layers, static_cast<double>(run.victim.dropout),
+                run.victim.epochs, static_cast<double>(run.victim.lr),
+                static_cast<double>(run.victim.weight_decay));
+  key += buf;
+  return key;
+}
+
+std::string JobKeyHex(const JobSpec& spec) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(
+                    Fnv1a64(CanonicalJobKey(spec))));
+  return buf;
+}
+
+void AppendJsonString(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendJsonNumber(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+std::string ErrorReply(int code, const std::string& message) {
+  std::string out = "{\"ok\":false,\"code\":";
+  out += std::to_string(code);
+  out += ",\"error\":";
+  AppendJsonString(out, message);
+  out += '}';
+  return out;
+}
+
+}  // namespace bgc::serve

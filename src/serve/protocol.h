@@ -1,0 +1,104 @@
+#ifndef BGC_SERVE_PROTOCOL_H_
+#define BGC_SERVE_PROTOCOL_H_
+
+// The "bgc-serve-v1" wire protocol: line-delimited JSON over TCP, parsed
+// with the strict src/obs grammar. One request line yields one reply line,
+// except "stream", which yields a sequence of event lines ending in an
+// "event":"done" line. Replies always carry "ok"; failures add "code"
+// (HTTP-flavored: 400 bad request, 403 not owner, 404 unknown job, 429
+// queue full, 503 draining) and "error" naming the offending field.
+//
+// Requests (fields beyond "op" as listed; any request may carry "client"
+// to set the connection's identity, default "anon"):
+//   {"op":"ping"}                      -> {"ok":true,"schema":"bgc-serve-v1"}
+//   {"op":"hello","client":C}          -> {"ok":true,"client":C}
+//   {"op":"submit","kind":K,"spec":S}  -> {"ok":true,"job":J,"state":"QUEUED"}
+//   {"op":"status","job":J}            -> state (+ "result" when DONE)
+//   {"op":"wait","job":J}              -> blocks, then as "status"
+//   {"op":"stream","job":J}            -> event lines, ends with "done"
+//   {"op":"list"}                      -> jobs owned by this client
+//   {"op":"stats"}                     -> server + cache counters
+//
+// Job specs (the S object above) name the same knobs as the bgc_cli
+// flags; see ParseJobSpec for the exact field grammar. Specs are strict:
+// an unknown or mistyped field rejects the submission naming the field,
+// never silently ignores it.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/core/status.h"
+#include "src/eval/experiment.h"
+#include "src/obs/json.h"
+
+namespace bgc::serve {
+
+inline constexpr char kProtocolSchema[] = "bgc-serve-v1";
+inline constexpr char kSidecarSchema[] = "bgc-serve-job-v1";
+
+// Reply error codes (HTTP-flavored, carried in the "code" field).
+inline constexpr int kCodeBadRequest = 400;
+inline constexpr int kCodeNotOwner = 403;
+inline constexpr int kCodeUnknownJob = 404;
+inline constexpr int kCodeQueueFull = 429;
+inline constexpr int kCodeDraining = 503;
+
+/// What a job computes. kCondense is a clean condensation (cacheable,
+/// checkpointable); kAttack mirrors `bgc_cli attack` bit-for-bit; kEval is
+/// a full experiment cell (eval::RunExperiment).
+enum class JobKind { kCondense, kAttack, kEval };
+
+const char* JobKindName(JobKind kind);
+StatusOr<JobKind> ParseJobKind(const std::string& name);
+
+/// A validated job submission. `run` reuses eval::RunSpec so admission
+/// validation is exactly eval::ValidateRunSpec plus the serve-side extras
+/// (victim arch, target class within the dataset's class count).
+struct JobSpec {
+  JobKind kind = JobKind::kCondense;
+  eval::RunSpec run;
+  /// condense/attack only: server-side path the condensed artifact is
+  /// saved to (".bgcbin" suffix = binary container, else text). Excluded
+  /// from CanonicalJobKey — delivery location, not content.
+  std::string out;
+};
+
+/// Parses the "spec" object of a submit request. Strict: every field must
+/// be known and well-typed, and the assembled RunSpec must pass
+/// eval::ValidateRunSpec. Field grammar (all optional):
+///   dataset(str) scale(num in [0.01,1]) seed(uint) method(str)
+///   n(int>=1) epochs(int>=1)                      — condensation
+///   attack(str) target(int>=0) trigger-size(int>=1)
+///   poison-ratio(num in [0,1])                    — attack/eval kinds
+///   repeats(int>=1) clean-baseline(bool)          — eval kind
+///   arch(str) victim-epochs(int>=1)               — attack/eval kinds
+///   out(str)                                      — condense/attack kinds
+StatusOr<JobSpec> ParseJobSpec(JobKind kind, const obs::JsonValue& spec);
+
+/// Appends the spec as a JSON object (round-trips through ParseJobSpec
+/// with an identical CanonicalJobKey).
+void AppendJobSpecJson(std::string& out, const JobSpec& spec);
+
+/// Canonical name=value serialization of everything that affects the
+/// job's result (kind, dataset, seeds, every config field — `out` and
+/// ownership excluded). Content-addresses the job: checkpoint and sidecar
+/// files are named by FNV-1a of this string, and duplicate submissions
+/// share it.
+std::string CanonicalJobKey(const JobSpec& spec);
+
+/// FNV-1a of CanonicalJobKey as fixed-width hex (file-name safe).
+std::string JobKeyHex(const JobSpec& spec);
+
+// JSON writer helpers shared by server, client, and load generator.
+// AppendJsonNumber prints %.17g so doubles survive a round trip through
+// the strict parser bit-exactly.
+void AppendJsonString(std::string& out, std::string_view s);
+void AppendJsonNumber(std::string& out, double v);
+
+/// {"ok":false,"code":N,"error":msg} — the uniform failure reply.
+std::string ErrorReply(int code, const std::string& message);
+
+}  // namespace bgc::serve
+
+#endif  // BGC_SERVE_PROTOCOL_H_

@@ -1,0 +1,880 @@
+#include "src/serve/server.h"
+
+#include <dirent.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <functional>
+#include <list>
+#include <map>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "src/condense/condenser.h"
+#include "src/condense/io.h"
+#include "src/core/fs.h"
+#include "src/core/rng.h"
+#include "src/data/synthetic.h"
+#include "src/eval/experiment.h"
+#include "src/eval/pipeline.h"
+#include "src/obs/json.h"
+#include "src/obs/obs.h"
+#include "src/serve/net.h"
+#include "src/store/artifact_cache.h"
+#include "src/store/resumable.h"
+#include "src/store/serialize.h"
+
+namespace bgc::serve {
+namespace {
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Mirrors bgc_cli's SaveCondensedAuto: ".bgcbin" picks the checksummed
+/// binary container, anything else the text format.
+void SaveArtifact(const condense::CondensedGraph& g, const std::string& path) {
+  if (!EndsWith(path, ".bgcbin")) {
+    condense::SaveCondensed(g, path);
+    return;
+  }
+  if (Status s = store::SaveCondensedBinary(g, path); !s.ok()) {
+    throw std::runtime_error("saving \"" + path + "\": " + s.message());
+  }
+}
+
+std::string StringField(const obs::JsonValue& req, const char* key,
+                        const std::string& fallback) {
+  const obs::JsonValue* v = req.Find(key);
+  if (v == nullptr) return fallback;
+  return v->is_string() ? v->str : fallback;
+}
+
+}  // namespace
+
+struct Server::Job {
+  enum State { kQueued, kRunning, kDone, kErr };
+
+  std::string id;
+  std::string owner;
+  JobSpec spec;
+  std::string key;  // CanonicalJobKey
+  std::string hex;  // JobKeyHex — names the sidecar and checkpoint
+  int state = kQueued;
+  std::string result;  // JSON object text once kDone
+  std::string error;   // message once kErr
+  long long epochs_total = 0;
+};
+
+struct Server::Connection {
+  std::unique_ptr<LineChannel> channel;
+  std::thread thread;
+  bool done = false;
+};
+
+class Server::Impl {
+ public:
+  explicit Impl(ServerOptions options) : opts(std::move(options)) {}
+
+  static const char* StateName(int state) {
+    switch (state) {
+      case Job::kQueued: return "QUEUED";
+      case Job::kRunning: return "RUNNING";
+      case Job::kDone: return "DONE";
+      case Job::kErr: return "ERR";
+    }
+    return "?";
+  }
+
+  ServerOptions opts;
+  int port = 0;
+
+  mutable std::mutex mu;         // jobs, stats, draining/stopped flags
+  std::condition_variable cv;    // signaled on every job state change
+  std::map<std::string, std::shared_ptr<Job>> jobs;  // by id, insertion order
+  std::map<std::string, int> active_by_hex;  // QUEUED+RUNNING jobs per key
+  std::set<std::string> ckpt_inflight;  // keys whose checkpoint file is owned
+  ServerStats st;
+  bool draining = false;
+  bool stopped = false;
+  int next_id = 1;
+
+  int listen_fd = -1;
+  std::thread accept_thread;
+  std::unique_ptr<eval::WorkerSlots> slots;
+  std::mutex conn_mu;
+  std::list<Connection> conns;
+
+  // ---- lifecycle ----------------------------------------------------
+
+  Status Start() {
+    if (!opts.state_dir.empty()) {
+      ::mkdir(opts.state_dir.c_str(), 0755);  // EEXIST is fine
+    }
+    // Progress streaming and the serve.* counters live in the obs
+    // registry; a server is pointless without collection on.
+    obs::SetMetricsEnabled(true);
+    slots = std::make_unique<eval::WorkerSlots>(opts.jobs, opts.total_threads);
+    RecoverSidecars();
+    StatusOr<int> fd = ListenOn(opts.port);
+    if (!fd.ok()) return fd.status();
+    listen_fd = fd.value();
+    StatusOr<int> bound = BoundPort(listen_fd);
+    if (!bound.ok()) {
+      CloseFd(listen_fd);
+      listen_fd = -1;
+      return bound.status();
+    }
+    port = bound.value();
+    accept_thread = std::thread([this] { AcceptLoop(); });
+    return Status::Ok();
+  }
+
+  void RequestDrain() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      draining = true;
+    }
+    cv.notify_all();
+  }
+
+  void WaitDrained() {
+    if (slots != nullptr) slots->Drain();
+  }
+
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (stopped) return;
+      draining = true;  // queued closures must no-op, not run
+      stopped = true;
+    }
+    cv.notify_all();
+    if (listen_fd >= 0) ShutdownFd(listen_fd);
+    if (accept_thread.joinable()) accept_thread.join();
+    CloseFd(listen_fd);
+    listen_fd = -1;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu);
+      for (Connection& c : conns) ShutdownFd(c.channel->fd());
+    }
+    for (;;) {
+      Connection* next = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(conn_mu);
+        if (conns.empty()) break;
+        next = &conns.front();
+      }
+      if (next->thread.joinable()) next->thread.join();
+      std::lock_guard<std::mutex> lock(conn_mu);
+      conns.pop_front();
+    }
+    if (slots != nullptr) slots->Stop();
+  }
+
+  ServerStats Stats() const {
+    std::lock_guard<std::mutex> lock(mu);
+    return st;
+  }
+
+  // ---- connections ---------------------------------------------------
+
+  void AcceptLoop() {
+    for (;;) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;  // listener shut down (Stop) or broken
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (stopped) {
+          CloseFd(fd);
+          return;
+        }
+      }
+      ReapFinishedConnections();
+      std::lock_guard<std::mutex> lock(conn_mu);
+      conns.emplace_back();
+      Connection& conn = conns.back();
+      conn.channel = std::make_unique<LineChannel>(fd);
+      conn.thread = std::thread([this, &conn] {
+        ServeConnection(*conn.channel);
+        std::lock_guard<std::mutex> inner(conn_mu);
+        conn.done = true;
+      });
+    }
+  }
+
+  void ReapFinishedConnections() {
+    std::lock_guard<std::mutex> lock(conn_mu);
+    for (auto it = conns.begin(); it != conns.end();) {
+      if (it->done) {
+        if (it->thread.joinable()) it->thread.join();
+        it = conns.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void ServeConnection(LineChannel& ch) {
+    std::string client = "anon";
+    std::string line;
+    while (ch.ReadLine(line)) {
+      obs::JsonParseResult parsed = obs::ParseJson(line);
+      if (!parsed.ok) {
+        // A malformed line is the client's bug, not a reason to drop the
+        // connection: reply 400 and keep reading.
+        if (!ch.WriteLine(ErrorReply(kCodeBadRequest,
+                                     "request parse error: " + parsed.error)))
+          return;
+        continue;
+      }
+      const obs::JsonValue& req = parsed.value;
+      if (!req.is_object()) {
+        if (!ch.WriteLine(
+                ErrorReply(kCodeBadRequest, "request must be an object")))
+          return;
+        continue;
+      }
+      client = StringField(req, "client", client);
+      const std::string op = StringField(req, "op", "");
+      std::string reply;
+      if (op == "ping") {
+        reply = "{\"ok\":true,\"schema\":\"";
+        reply += kProtocolSchema;
+        reply += "\"}";
+      } else if (op == "hello") {
+        reply = "{\"ok\":true,\"client\":";
+        AppendJsonString(reply, client);
+        reply += '}';
+      } else if (op == "submit") {
+        reply = HandleSubmit(req, client);
+      } else if (op == "status") {
+        reply = HandleStatus(req, client, /*wait=*/false);
+      } else if (op == "wait") {
+        reply = HandleStatus(req, client, /*wait=*/true);
+      } else if (op == "stream") {
+        if (!HandleStream(req, client, ch)) return;
+        continue;
+      } else if (op == "list") {
+        reply = HandleList(client);
+      } else if (op == "stats") {
+        reply = HandleStats();
+      } else {
+        reply = ErrorReply(kCodeBadRequest,
+                           op.empty() ? "missing \"op\" field"
+                                      : "unknown op: \"" + op + "\"");
+      }
+      if (!ch.WriteLine(reply)) return;
+    }
+  }
+
+  // ---- ops -----------------------------------------------------------
+
+  std::string HandleSubmit(const obs::JsonValue& req,
+                           const std::string& client) {
+    const auto reject = [this](int code, const std::string& message) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        ++st.rejected;
+      }
+      BGC_COUNTER_ADD("serve.jobs_rejected", 1);
+      return ErrorReply(code, message);
+    };
+    const obs::JsonValue* kind_v = req.Find("kind");
+    if (kind_v == nullptr || !kind_v->is_string()) {
+      return reject(kCodeBadRequest, "missing \"kind\" field");
+    }
+    StatusOr<JobKind> kind = ParseJobKind(kind_v->str);
+    if (!kind.ok()) return reject(kCodeBadRequest, kind.status().message());
+    const obs::JsonValue* spec_v = req.Find("spec");
+    if (spec_v == nullptr) {
+      return reject(kCodeBadRequest, "missing \"spec\" field");
+    }
+    StatusOr<JobSpec> spec = ParseJobSpec(kind.value(), *spec_v);
+    if (!spec.ok()) return reject(kCodeBadRequest, spec.status().message());
+
+    std::shared_ptr<Job> job;
+    bool first_for_key = false;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (draining || stopped) {
+        ++st.rejected;
+        BGC_COUNTER_ADD("serve.jobs_rejected", 1);
+        return ErrorReply(kCodeDraining, "server is draining");
+      }
+      if (st.queued >= opts.queue_depth) {
+        ++st.rejected;
+        BGC_COUNTER_ADD("serve.jobs_rejected", 1);
+        return ErrorReply(kCodeQueueFull,
+                          "queue full (" + std::to_string(st.queued) +
+                              " jobs queued, depth " +
+                              std::to_string(opts.queue_depth) + ")");
+      }
+      job = AdmitLocked(spec.take(), client);
+      first_for_key = active_by_hex[job->hex] == 1;
+    }
+    BGC_COUNTER_ADD("serve.jobs_accepted", 1);
+    // Duplicate submissions share one sidecar (same key, same spec);
+    // letting every duplicate write it would just race on the same path.
+    if (first_for_key) PersistSidecar(*job);
+    std::string reply = "{\"ok\":true,\"job\":";
+    AppendJsonString(reply, job->id);
+    reply += ",\"state\":\"QUEUED\",\"key\":";
+    AppendJsonString(reply, job->hex);
+    reply += '}';
+    return reply;
+  }
+
+  /// Registers a validated spec as a QUEUED job and hands its closure to
+  /// the worker pool. Caller holds `mu`.
+  std::shared_ptr<Job> AdmitLocked(JobSpec spec, const std::string& owner) {
+    auto job = std::make_shared<Job>();
+    char id[16];
+    std::snprintf(id, sizeof(id), "j%04d", next_id++);
+    job->id = id;
+    job->owner = owner;
+    job->key = CanonicalJobKey(spec);
+    job->hex = JobKeyHex(spec);
+    job->epochs_total = EstimateEpochs(spec);
+    job->spec = std::move(spec);
+    jobs.emplace(job->id, job);
+    ++st.accepted;
+    ++st.queued;
+    ++active_by_hex[job->hex];
+    BGC_GAUGE_SET("serve.queue_depth", st.queued);
+    slots->Submit([this, job] { RunJob(job); });
+    return job;
+  }
+
+  static long long EstimateEpochs(const JobSpec& spec) {
+    const eval::RunSpec& run = spec.run;
+    long long per_repeat = run.condense.epochs;
+    if (spec.kind == JobKind::kEval && run.eval_clean_baseline) {
+      per_repeat *= 2;  // attacked + clean condensation per repeat
+    }
+    return per_repeat * (spec.kind == JobKind::kEval ? run.repeats : 1);
+  }
+
+  std::string HandleStatus(const obs::JsonValue& req,
+                           const std::string& client, bool wait) {
+    const std::string id = StringField(req, "job", "");
+    std::unique_lock<std::mutex> lock(mu);
+    auto it = jobs.find(id);
+    if (it == jobs.end()) {
+      return ErrorReply(kCodeUnknownJob, "unknown job: \"" + id + "\"");
+    }
+    const std::shared_ptr<Job> job = it->second;
+    if (job->owner != client) {
+      return ErrorReply(kCodeNotOwner, "job " + id + " belongs to \"" +
+                                           job->owner + "\", not \"" +
+                                           client + "\"");
+    }
+    if (wait) {
+      // Wake on completion, shutdown, or drain (a drained QUEUED job will
+      // not run in this server generation — report it as it stands).
+      cv.wait(lock, [&] {
+        return job->state == Job::kDone || job->state == Job::kErr ||
+               stopped || (draining && job->state == Job::kQueued);
+      });
+    }
+    return StatusReplyLocked(*job);
+  }
+
+  std::string StatusReplyLocked(const Job& job) const {
+    std::string reply = "{\"ok\":true,\"job\":";
+    AppendJsonString(reply, job.id);
+    reply += ",\"kind\":";
+    AppendJsonString(reply, JobKindName(job.spec.kind));
+    reply += ",\"state\":\"";
+    reply += StateName(job.state);
+    reply += '"';
+    if (job.state == Job::kDone) {
+      reply += ",\"result\":";
+      reply += job.result;
+    } else if (job.state == Job::kErr) {
+      reply += ",\"error\":";
+      AppendJsonString(reply, job.error);
+    }
+    reply += '}';
+    return reply;
+  }
+
+  /// Streams start / progress / done event lines. Returns false when the
+  /// client vanished (connection is then dead).
+  bool HandleStream(const obs::JsonValue& req, const std::string& client,
+                    LineChannel& ch) {
+    const std::string id = StringField(req, "job", "");
+    std::shared_ptr<Job> job;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      auto it = jobs.find(id);
+      if (it == jobs.end()) {
+        return ch.WriteLine(
+            ErrorReply(kCodeUnknownJob, "unknown job: \"" + id + "\""));
+      }
+      job = it->second;
+      if (job->owner != client) {
+        return ch.WriteLine(ErrorReply(
+            kCodeNotOwner, "job " + id + " belongs to \"" + job->owner +
+                               "\", not \"" + client + "\""));
+      }
+    }
+    if (!ch.WriteLine(EventLine("start", *job))) return false;
+    const std::string prefix = "serve." + job->id + ".";
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        if (job->state == Job::kDone || job->state == Job::kErr || stopped ||
+            (draining && job->state == Job::kQueued)) {
+          break;
+        }
+      }
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(opts.stream_poll_ms));
+      if (!ch.WriteLine(ProgressLine(*job, prefix))) return false;
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    return ch.WriteLine(EventLine("done", *job));
+  }
+
+  std::string EventLine(const char* event, const Job& job) const {
+    std::string line = "{\"ok\":true,\"event\":\"";
+    line += event;
+    line += "\",\"job\":";
+    AppendJsonString(line, job.id);
+    line += ",\"state\":\"";
+    line += StateName(job.state);
+    line += '"';
+    if (job.state == Job::kDone) {
+      line += ",\"result\":";
+      line += job.result;
+    } else if (job.state == Job::kErr) {
+      line += ",\"error\":";
+      AppendJsonString(line, job.error);
+    }
+    line += '}';
+    return line;
+  }
+
+  /// Progress is sourced from the obs registry: the job runs under phase
+  /// tag "serve.<id>", so every "phase.*" scope in the pipeline lands at
+  /// "serve.<id>.*" — epoch scopes double as an epoch counter.
+  std::string ProgressLine(const Job& job, const std::string& prefix) {
+    const auto timers =
+        obs::Registry::Global().SnapshotTimersWithPrefix(prefix);
+    long long epochs_done = 0;
+    std::string phases = "{";
+    for (const auto& [name, stats] : timers) {
+      const std::string suffix = name.substr(prefix.size());
+      if (EndsWith(suffix, "condense.epoch")) epochs_done += stats.count;
+      if (phases.size() > 1) phases += ',';
+      AppendJsonString(phases, suffix);
+      phases += ':';
+      phases += std::to_string(stats.count);
+    }
+    phases += '}';
+    std::string line = "{\"ok\":true,\"event\":\"progress\",\"job\":";
+    AppendJsonString(line, job.id);
+    std::lock_guard<std::mutex> lock(mu);
+    line += ",\"state\":\"";
+    line += StateName(job.state);
+    line += "\",\"epochs_done\":";
+    line += std::to_string(epochs_done);
+    line += ",\"epochs_total\":";
+    line += std::to_string(job.epochs_total);
+    line += ",\"phases\":";
+    line += phases;
+    line += '}';
+    return line;
+  }
+
+  std::string HandleList(const std::string& client) {
+    std::string reply = "{\"ok\":true,\"jobs\":[";
+    std::lock_guard<std::mutex> lock(mu);
+    bool first = true;
+    for (const auto& [id, job] : jobs) {
+      if (job->owner != client) continue;
+      if (!first) reply += ',';
+      first = false;
+      reply += "{\"job\":";
+      AppendJsonString(reply, id);
+      reply += ",\"kind\":";
+      AppendJsonString(reply, JobKindName(job->spec.kind));
+      reply += ",\"state\":\"";
+      reply += StateName(job->state);
+      reply += "\",\"key\":";
+      AppendJsonString(reply, job->hex);
+      reply += '}';
+    }
+    reply += "]}";
+    return reply;
+  }
+
+  std::string HandleStats() {
+    std::string reply = "{\"ok\":true,\"schema\":\"";
+    reply += kProtocolSchema;
+    reply += "\"";
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      reply += ",\"draining\":";
+      reply += draining ? "true" : "false";
+      reply += ",\"jobs_accepted\":" + std::to_string(st.accepted);
+      reply += ",\"jobs_rejected\":" + std::to_string(st.rejected);
+      reply += ",\"jobs_completed\":" + std::to_string(st.completed);
+      reply += ",\"jobs_failed\":" + std::to_string(st.failed);
+      reply += ",\"jobs_recovered\":" + std::to_string(st.recovered);
+      reply += ",\"queued\":" + std::to_string(st.queued);
+      reply += ",\"running\":" + std::to_string(st.running);
+    }
+    if (opts.cache != nullptr) {
+      const store::ArtifactCacheStats cs = opts.cache->stats();
+      reply += ",\"cache\":{\"hits\":" + std::to_string(cs.hits);
+      reply += ",\"misses\":" + std::to_string(cs.misses);
+      reply += ",\"rejected\":" + std::to_string(cs.rejected);
+      reply += ",\"coalesced\":" + std::to_string(cs.coalesced);
+      reply += '}';
+    }
+    reply += '}';
+    return reply;
+  }
+
+  // ---- execution -----------------------------------------------------
+
+  void RunJob(const std::shared_ptr<Job>& job) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (draining || stopped) return;  // stays QUEUED; sidecar persists
+      job->state = Job::kRunning;
+      --st.queued;
+      ++st.running;
+      BGC_GAUGE_SET("serve.queue_depth", st.queued);
+    }
+    cv.notify_all();
+    std::string result;
+    std::string error;
+    bool ok = true;
+    try {
+      obs::ScopedPhaseTag tag("serve." + job->id);
+      switch (job->spec.kind) {
+        case JobKind::kCondense: result = ExecuteCondense(*job); break;
+        case JobKind::kAttack: result = ExecuteAttack(*job); break;
+        case JobKind::kEval: result = ExecuteEval(*job); break;
+      }
+    } catch (const std::exception& e) {
+      ok = false;
+      error = e.what();
+    } catch (...) {
+      ok = false;
+      error = "job execution failed";
+    }
+    bool drop_sidecar = false;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      job->state = ok ? Job::kDone : Job::kErr;
+      job->result = std::move(result);
+      job->error = std::move(error);
+      --st.running;
+      ++(ok ? st.completed : st.failed);
+      auto it = active_by_hex.find(job->hex);
+      if (it != active_by_hex.end() && --it->second == 0) {
+        active_by_hex.erase(it);
+        drop_sidecar = true;  // no other live job shares this sidecar
+      }
+    }
+    if (ok) {
+      BGC_COUNTER_ADD("serve.jobs_completed", 1);
+    } else {
+      BGC_COUNTER_ADD("serve.jobs_failed", 1);
+    }
+    if (drop_sidecar) ::remove(SidecarPath(*job).c_str());
+    cv.notify_all();
+  }
+
+  /// RAII claim on a job key's checkpoint file. Only one in-flight job
+  /// may write `<keyhex>.ckpt`; a concurrent duplicate that loses the
+  /// claim just computes without checkpointing (with the artifact cache
+  /// on it coalesces behind the leader anyway).
+  struct CkptClaim {
+    Impl* impl = nullptr;
+    std::string hex;
+    bool held = false;
+
+    /// Claims and returns the checkpoint path, or "" when checkpointing
+    /// is off, the method cannot checkpoint, or another job holds the
+    /// claim. A corrupt leftover checkpoint is deleted up front —
+    /// RunResumableCondensation treats one as fatal, and a daemon must
+    /// degrade to recomputing instead.
+    std::string Acquire(const Job& job) {
+      const eval::RunSpec& run = job.spec.run;
+      if (impl->opts.state_dir.empty() || impl->opts.checkpoint_every <= 0 ||
+          !condense::MakeCondenser(run.method)->SupportsCheckpoint()) {
+        return "";
+      }
+      {
+        std::lock_guard<std::mutex> lock(impl->mu);
+        if (!impl->ckpt_inflight.insert(job.hex).second) return "";
+        hex = job.hex;
+        held = true;
+      }
+      const std::string path =
+          impl->opts.state_dir + "/" + job.hex + ".ckpt";
+      if (FileExists(path) && !store::TryLoadCondenserCheckpoint(path).ok()) {
+        std::fprintf(stderr,
+                     "bgc-serve: discarding corrupt checkpoint %s\n",
+                     path.c_str());
+        ::remove(path.c_str());
+      }
+      return path;
+    }
+
+    ~CkptClaim() {
+      if (!held) return;
+      std::lock_guard<std::mutex> lock(impl->mu);
+      impl->ckpt_inflight.erase(hex);
+    }
+  };
+
+  /// Clean condensation, bit-identical to `bgc_cli generate` +
+  /// `bgc_cli condense` with the same dataset/seed/config: the dataset is
+  /// built from the job seed and the condenser consumes a fresh
+  /// Rng(seed) — none of the eval seed-stride streams.
+  std::string ExecuteCondense(Job& job) {
+    const eval::RunSpec& run = job.spec.run;
+    data::GraphDataset ds;
+    condense::SourceGraph source;
+    {
+      BGC_TRACE_SCOPE("phase.data");
+      ds = data::MakeDataset(run.dataset, run.seed, run.dataset_scale);
+      source = condense::FromTrainView(data::MakeTrainView(ds));
+    }
+    bool computed = false;
+    bool resumed = false;
+    long long epochs_done = run.condense.epochs;
+    CkptClaim claim;
+    claim.impl = this;
+    auto compute = [&] {
+      computed = true;
+      auto condenser = condense::MakeCondenser(run.method);
+      Rng rng(run.seed);
+      const std::string ckpt = claim.Acquire(job);
+      if (ckpt.empty()) {
+        return condense::RunCondensation(*condenser, source, ds.num_classes,
+                                         run.condense, rng);
+      }
+      store::ResumableOptions ro;
+      ro.checkpoint_path = ckpt;
+      ro.checkpoint_every = opts.checkpoint_every;
+      store::ResumableResult rr = store::RunResumableCondensation(
+          *condenser, source, ds.num_classes, run.condense, rng, ro);
+      resumed = rr.resumed;
+      epochs_done = rr.epochs_done;
+      return std::move(rr.condensed);
+    };
+    condense::CondensedGraph g;
+    std::string artifact;
+    if (opts.cache != nullptr) {
+      const std::string cache_key =
+          store::CondensedCacheKey(run.dataset, run.dataset_scale, run.method,
+                                   run.condense, run.seed);
+      g = opts.cache->GetOrComputeCondensed(cache_key, compute);
+      artifact = opts.cache->EntryPath(cache_key);
+    } else {
+      g = compute();
+    }
+    if (!job.spec.out.empty()) SaveArtifact(g, job.spec.out);
+    std::string result = "{\"rows\":" + std::to_string(g.features.rows());
+    result += ",\"nnz\":" + std::to_string(g.adj.nnz());
+    result += ",\"classes\":" + std::to_string(g.num_classes);
+    result += ",\"computed\":";
+    result += computed ? "true" : "false";
+    result += ",\"resumed\":";
+    result += resumed ? "true" : "false";
+    result += ",\"epochs\":" + std::to_string(epochs_done);
+    if (!artifact.empty()) {
+      result += ",\"artifact\":";
+      AppendJsonString(result, artifact);
+    }
+    if (!job.spec.out.empty()) {
+      result += ",\"out\":";
+      AppendJsonString(result, job.spec.out);
+    }
+    result += '}';
+    return result;
+  }
+
+  /// Backdoor run, bit-identical to `bgc_cli attack` with the same flags:
+  /// ONE Rng(seed) shared in sequence by the attack and the victim —
+  /// deliberately not RunOnce's decoupled per-phase streams.
+  std::string ExecuteAttack(Job& job) {
+    const eval::RunSpec& run = job.spec.run;
+    data::GraphDataset ds;
+    condense::SourceGraph clean;
+    {
+      BGC_TRACE_SCOPE("phase.data");
+      ds = data::MakeDataset(run.dataset, run.seed, run.dataset_scale);
+      clean = condense::FromTrainView(data::MakeTrainView(ds));
+    }
+    Rng rng(run.seed);
+    attack::AttackResult attacked =
+        eval::DispatchAttack(run, clean, ds.num_classes, rng);
+    if (!job.spec.out.empty()) SaveArtifact(attacked.condensed, job.spec.out);
+    std::unique_ptr<nn::GnnModel> victim;
+    {
+      BGC_TRACE_SCOPE("phase.victim");
+      victim = eval::TrainVictim(attacked.condensed, run.victim, rng);
+    }
+    eval::AttackMetrics m;
+    {
+      BGC_TRACE_SCOPE("phase.eval");
+      m = eval::EvaluateVictim(*victim, ds, attacked.generator.get(),
+                               run.attack_cfg.target_class);
+    }
+    std::string result = "{\"cta\":";
+    AppendJsonNumber(result, m.cta);
+    result += ",\"asr\":";
+    AppendJsonNumber(result, m.asr);
+    result += ",\"poisoned\":" + std::to_string(attacked.poisoned_nodes.size());
+    result += ",\"rows\":" + std::to_string(attacked.condensed.features.rows());
+    if (!job.spec.out.empty()) {
+      result += ",\"out\":";
+      AppendJsonString(result, job.spec.out);
+    }
+    result += '}';
+    return result;
+  }
+
+  std::string ExecuteEval(Job& job) {
+    eval::RunSpec run = job.spec.run;
+    run.artifact_cache = opts.cache;
+    const eval::CellStats cell = eval::RunExperiment(run);
+    const auto mean_std = [](const MeanStd& ms) {
+      std::string s = "{\"mean\":";
+      AppendJsonNumber(s, ms.mean);
+      s += ",\"std\":";
+      AppendJsonNumber(s, ms.std);
+      s += '}';
+      return s;
+    };
+    std::string result = "{\"cta\":" + mean_std(cell.cta);
+    result += ",\"asr\":" + mean_std(cell.asr);
+    if (cell.has_clean) {
+      result += ",\"c_cta\":" + mean_std(cell.c_cta);
+      result += ",\"c_asr\":" + mean_std(cell.c_asr);
+    }
+    result += ",\"has_clean\":";
+    result += cell.has_clean ? "true" : "false";
+    result += ",\"repeats\":" + std::to_string(run.repeats);
+    result += '}';
+    return result;
+  }
+
+  // ---- durability ----------------------------------------------------
+
+  std::string SidecarPath(const Job& job) const {
+    return opts.state_dir + "/" + job.hex + ".job";
+  }
+
+  void PersistSidecar(const Job& job) {
+    if (opts.state_dir.empty()) return;
+    std::string body = "{\"schema\":\"";
+    body += kSidecarSchema;
+    body += "\",\"kind\":";
+    AppendJsonString(body, JobKindName(job.spec.kind));
+    body += ",\"owner\":";
+    AppendJsonString(body, job.owner);
+    body += ",\"spec\":";
+    AppendJobSpecJson(body, job.spec);
+    body += '}';
+    if (Status s = WriteFileAtomic(SidecarPath(job), body); !s.ok()) {
+      std::fprintf(stderr, "bgc-serve: sidecar write failed: %s\n",
+                   s.message().c_str());
+    }
+  }
+
+  /// Re-admits every `<keyhex>.job` sidecar left by a previous server
+  /// generation (bypassing queue_depth — they were admitted once
+  /// already). A sidecar that no longer parses is deleted with a
+  /// warning, never trusted.
+  void RecoverSidecars() {
+    if (opts.state_dir.empty()) return;
+    DIR* dir = ::opendir(opts.state_dir.c_str());
+    if (dir == nullptr) return;
+    std::vector<std::string> names;
+    while (dirent* entry = ::readdir(dir)) {
+      const std::string name = entry->d_name;
+      if (EndsWith(name, ".job")) names.push_back(name);
+    }
+    ::closedir(dir);
+    std::sort(names.begin(), names.end());
+    for (const std::string& name : names) {
+      const std::string path = opts.state_dir + "/" + name;
+      const auto drop = [&](const std::string& why) {
+        std::fprintf(stderr, "bgc-serve: dropping sidecar %s: %s\n",
+                     path.c_str(), why.c_str());
+        ::remove(path.c_str());
+      };
+      StatusOr<std::string> body = ReadFileToString(path);
+      if (!body.ok()) {
+        drop(body.status().message());
+        continue;
+      }
+      obs::JsonParseResult parsed = obs::ParseJson(body.value());
+      if (!parsed.ok || !parsed.value.is_object()) {
+        drop(parsed.ok ? "not an object" : parsed.error);
+        continue;
+      }
+      if (StringField(parsed.value, "schema", "") != kSidecarSchema) {
+        drop("wrong schema");
+        continue;
+      }
+      StatusOr<JobKind> kind =
+          ParseJobKind(StringField(parsed.value, "kind", ""));
+      const obs::JsonValue* spec_v = parsed.value.Find("spec");
+      if (!kind.ok() || spec_v == nullptr) {
+        drop(kind.ok() ? "missing spec" : kind.status().message());
+        continue;
+      }
+      StatusOr<JobSpec> spec = ParseJobSpec(kind.value(), *spec_v);
+      if (!spec.ok()) {
+        drop(spec.status().message());
+        continue;
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      AdmitLocked(spec.take(), StringField(parsed.value, "owner", "anon"));
+      ++st.recovered;
+    }
+  }
+};
+
+Server::Server(ServerOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  Status s = impl_->Start();
+  port_ = impl_->port;
+  return s;
+}
+
+void Server::RequestDrain() { impl_->RequestDrain(); }
+
+void Server::WaitDrained() { impl_->WaitDrained(); }
+
+void Server::Stop() { impl_->Stop(); }
+
+ServerStats Server::stats() const { return impl_->Stats(); }
+
+}  // namespace bgc::serve

@@ -1,0 +1,123 @@
+#ifndef BGC_SERVE_SERVER_H_
+#define BGC_SERVE_SERVER_H_
+
+// The bgc-serve-v1 job server: a long-running daemon accepting
+// condense / attack / eval submissions over TCP (protocol.h) and
+// multiplexing them onto an eval::WorkerSlots pool.
+//
+// Lifecycle of a job:
+//   submit -> admission validation (ParseJobSpec; a bad spec is a 400
+//   reply, never an aborted worker) -> bounded queue (429 when
+//   queue_depth QUEUED jobs already wait) -> QUEUED, sidecar persisted to
+//   state_dir -> RUNNING on a worker slot under phase tag "serve.<id>"
+//   (progress streams from the obs registry) -> DONE with a result
+//   object, or ERR with a message.
+//
+// Durability: every admitted job writes a `<keyhex>.job` sidecar; a
+// condense job whose method supports checkpointing additionally writes
+// `<keyhex>.ckpt` every checkpoint_every epochs. A server restarted over
+// the same state_dir re-admits sidecar jobs and resumes their
+// condensations from the checkpoint, finishing bit-identically with an
+// uninterrupted run.
+//
+// Dedup: jobs are content-addressed by CanonicalJobKey. Identical
+// condense submissions share one computation through the ArtifactCache's
+// single-flight GetOrComputeCondensed — concurrent duplicates coalesce
+// behind one leader, later ones hit the cache outright.
+//
+// Drain (SIGTERM path): RequestDrain stops admissions (503) and makes
+// still-queued closures no-op — their jobs stay QUEUED with sidecars on
+// disk for the next server generation — while RUNNING jobs finish.
+// WaitDrained blocks until the pool is idle.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/status.h"
+#include "src/eval/scheduler.h"
+#include "src/serve/protocol.h"
+
+namespace bgc::store {
+class ArtifactCache;
+}
+
+namespace bgc::serve {
+
+struct ServerOptions {
+  /// TCP port on 127.0.0.1; 0 binds an ephemeral port (see Server::port).
+  int port = 0;
+  /// Concurrent worker slots (jobs running at once).
+  int jobs = 2;
+  /// Max jobs waiting in QUEUED beyond the running ones; submissions past
+  /// this are rejected with code 429.
+  int queue_depth = 16;
+  /// Thread budget split across slots (0 = hardware concurrency).
+  int total_threads = 0;
+  /// Directory for job sidecars and condensation checkpoints. Empty
+  /// disables durability (no recovery, no resume).
+  std::string state_dir;
+  /// Checkpoint cadence for resumable condense jobs (0 disables).
+  int checkpoint_every = 10;
+  /// Optional content-addressed artifact cache; not owned. Wired into
+  /// condense jobs (dedup + coalescing) and eval jobs.
+  store::ArtifactCache* cache = nullptr;
+  /// Cadence of "stream" progress events.
+  int stream_poll_ms = 50;
+};
+
+/// Server-side counters (mirrored into the obs registry as
+/// serve.jobs_accepted / serve.jobs_rejected / serve.jobs_completed /
+/// serve.jobs_failed and the serve.queue_depth gauge).
+struct ServerStats {
+  long long accepted = 0;
+  long long rejected = 0;   // 400/429/503 submissions
+  long long completed = 0;
+  long long failed = 0;
+  long long recovered = 0;  // sidecar jobs re-admitted at Start
+  int queued = 0;
+  int running = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, recovers sidecar jobs from state_dir, and starts the accept
+  /// loop. Enables obs metrics collection (the serve counters and the
+  /// phase timers that power progress streaming need it).
+  Status Start();
+
+  /// Port actually bound (after Start; resolves port 0).
+  int port() const { return port_; }
+
+  /// Stops admitting (submissions get 503) and turns still-queued job
+  /// closures into no-ops; their sidecars stay on disk.
+  void RequestDrain();
+
+  /// Blocks until no job is RUNNING and the slot queue is empty.
+  void WaitDrained();
+
+  /// Full shutdown: drain flag, close listener and connections, join
+  /// threads, release worker slots. Idempotent.
+  void Stop();
+
+  ServerStats stats() const;
+
+ private:
+  struct Job;
+  struct Connection;
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+  int port_ = 0;
+};
+
+}  // namespace bgc::serve
+
+#endif  // BGC_SERVE_SERVER_H_

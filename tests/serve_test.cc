@@ -1,0 +1,544 @@
+// The serve subsystem (src/serve): protocol strictness, admission
+// control, cache coalescing, bit-identity with the bgc_cli flows,
+// checkpoint resume across server generations, and drain semantics.
+// Everything runs against an in-process Server on an ephemeral port.
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/condense/condenser.h"
+#include "src/core/fs.h"
+#include "src/core/rng.h"
+#include "src/data/synthetic.h"
+#include "src/eval/experiment.h"
+#include "src/eval/pipeline.h"
+#include "src/obs/json.h"
+#include "src/obs/obs.h"
+#include "src/serve/client.h"
+#include "src/serve/protocol.h"
+#include "src/serve/server.h"
+#include "src/store/artifact_cache.h"
+#include "src/store/resumable.h"
+#include "src/store/serialize.h"
+
+namespace bgc::serve {
+namespace {
+
+// A small-but-not-instant condense spec (tiny-sim: 200 nodes, 3 classes).
+constexpr int kEpochs = 8;
+constexpr int kSlowEpochs = 120;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "serve_" + name;
+}
+
+/// TempDir() is shared across runs; tests delete their paths up front so
+/// a rerun never sees the previous run's artifacts.
+void RemovePathAndContents(const std::string& path) {
+  if (DIR* dir = ::opendir(path.c_str())) {
+    while (dirent* entry = ::readdir(dir)) {
+      const std::string name = entry->d_name;
+      if (name != "." && name != "..") {
+        ::remove((path + "/" + name).c_str());
+      }
+    }
+    ::closedir(dir);
+    ::rmdir(path.c_str());
+  } else {
+    ::remove(path.c_str());
+  }
+}
+
+std::string CondenseSpec(uint64_t seed, int epochs,
+                         const std::string& out = "") {
+  std::string spec = "{\"dataset\":\"tiny-sim\",\"seed\":" +
+                     std::to_string(seed) +
+                     ",\"method\":\"gcond\",\"n\":4,\"epochs\":" +
+                     std::to_string(epochs);
+  if (!out.empty()) {
+    spec += ",\"out\":";
+    AppendJsonString(spec, out);
+  }
+  spec += '}';
+  return spec;
+}
+
+Client MustConnect(const Server& server, const std::string& name) {
+  StatusOr<Client> client = Client::Connect("127.0.0.1", server.port(), name);
+  EXPECT_TRUE(client.ok()) << client.status().message();
+  return client.take();
+}
+
+/// Wait reply -> the "result" object (asserts state DONE).
+obs::JsonValue MustFinish(Client& client, const std::string& job) {
+  StatusOr<obs::JsonValue> reply = client.Wait(job);
+  EXPECT_TRUE(reply.ok()) << reply.status().message();
+  if (!reply.ok()) return obs::JsonValue{};
+  const obs::JsonValue* state = reply.value().Find("state");
+  EXPECT_TRUE(state != nullptr && state->is_string());
+  const obs::JsonValue* error = reply.value().Find("error");
+  if (state != nullptr && state->is_string()) {
+    EXPECT_EQ(state->str, "DONE")
+        << (error != nullptr ? error->str : "no error message");
+  }
+  const obs::JsonValue* result = reply.value().Find("result");
+  EXPECT_NE(result, nullptr);
+  return result != nullptr ? *result : obs::JsonValue{};
+}
+
+TEST(ServeProtocol, SpecRoundTripsThroughSidecarJson) {
+  const std::string spec_text =
+      "{\"dataset\":\"tiny-sim\",\"scale\":0.5,\"seed\":7,\"attack\":"
+      "\"bgc\",\"target\":1,\"trigger-size\":2,\"poison-ratio\":0.25,"
+      "\"arch\":\"sgc\",\"victim-epochs\":30}";
+  obs::JsonParseResult parsed = obs::ParseJson(spec_text);
+  ASSERT_TRUE(parsed.ok);
+  StatusOr<JobSpec> spec = ParseJobSpec(JobKind::kAttack, parsed.value);
+  ASSERT_TRUE(spec.ok()) << spec.status().message();
+
+  std::string emitted;
+  AppendJobSpecJson(emitted, spec.value());
+  obs::JsonParseResult reparsed = obs::ParseJson(emitted);
+  ASSERT_TRUE(reparsed.ok) << reparsed.error;
+  StatusOr<JobSpec> again = ParseJobSpec(JobKind::kAttack, reparsed.value);
+  ASSERT_TRUE(again.ok()) << again.status().message();
+  EXPECT_EQ(CanonicalJobKey(spec.value()), CanonicalJobKey(again.value()));
+}
+
+TEST(ServeProtocol, RejectsBadSpecsNamingTheField) {
+  const auto parse = [](JobKind kind, const std::string& text) {
+    obs::JsonParseResult parsed = obs::ParseJson(text);
+    EXPECT_TRUE(parsed.ok);
+    return ParseJobSpec(kind, parsed.value);
+  };
+  StatusOr<JobSpec> bad_scale =
+      parse(JobKind::kCondense, "{\"scale\":7.0}");
+  ASSERT_FALSE(bad_scale.ok());
+  EXPECT_NE(bad_scale.status().message().find("scale"), std::string::npos);
+
+  StatusOr<JobSpec> unknown =
+      parse(JobKind::kCondense, "{\"target\":1}");  // attack-only field
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.status().message().find("target"), std::string::npos);
+
+  StatusOr<JobSpec> bad_type = parse(JobKind::kCondense, "{\"n\":2.5}");
+  ASSERT_FALSE(bad_type.ok());
+  EXPECT_NE(bad_type.status().message().find("\"n\""), std::string::npos);
+
+  // target >= the dataset's class count would BGC_CHECK-abort a worker;
+  // admission must catch it (tiny-sim has 3 classes).
+  StatusOr<JobSpec> bad_target = parse(
+      JobKind::kAttack, "{\"dataset\":\"tiny-sim\",\"target\":3}");
+  ASSERT_FALSE(bad_target.ok());
+  EXPECT_NE(bad_target.status().message().find("target"), std::string::npos);
+}
+
+TEST(ServeProtocol, CanonicalKeyExcludesOutPath) {
+  obs::JsonParseResult a = obs::ParseJson(CondenseSpec(3, 10, "/tmp/a.bin"));
+  obs::JsonParseResult b = obs::ParseJson(CondenseSpec(3, 10, "/tmp/b.bin"));
+  ASSERT_TRUE(a.ok && b.ok);
+  StatusOr<JobSpec> sa = ParseJobSpec(JobKind::kCondense, a.value);
+  StatusOr<JobSpec> sb = ParseJobSpec(JobKind::kCondense, b.value);
+  ASSERT_TRUE(sa.ok() && sb.ok());
+  EXPECT_EQ(JobKeyHex(sa.value()), JobKeyHex(sb.value()));
+  sb.value().run.seed = 4;
+  EXPECT_NE(JobKeyHex(sa.value()), JobKeyHex(sb.value()));
+}
+
+TEST(ServeServer, MalformedRequestsGet400AndConnectionSurvives) {
+  Server server(ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  Client client = MustConnect(server, "c1");
+
+  const char* bad_lines[] = {
+      "{\"op\":\"sub",                        // truncated JSON
+      "not json at all",                      // garbage
+      "[1,2,3]",                              // not an object
+      "{\"op\":\"warp\"}",                    // unknown op
+      "{\"op\":\"submit\",\"kind\":\"condense\"}",       // missing spec
+      "{\"op\":\"submit\",\"kind\":\"x\",\"spec\":{}}",  // unknown kind
+      "{\"op\":\"submit\",\"kind\":\"condense\","        // bad field
+      "\"spec\":{\"epochs\":0}}",
+  };
+  for (const char* line : bad_lines) {
+    StatusOr<obs::JsonValue> reply = client.RoundTrip(line);
+    ASSERT_TRUE(reply.ok()) << "transport died on: " << line;
+    const obs::JsonValue* ok = reply.value().Find("ok");
+    ASSERT_TRUE(ok != nullptr && !ok->bool_value) << line;
+    const obs::JsonValue* code = reply.value().Find("code");
+    ASSERT_TRUE(code != nullptr && code->is_number()) << line;
+    EXPECT_EQ(static_cast<int>(code->number), kCodeBadRequest) << line;
+    const obs::JsonValue* error = reply.value().Find("error");
+    ASSERT_TRUE(error != nullptr && error->is_string()) << line;
+    EXPECT_FALSE(error->str.empty());
+  }
+  // The "epochs" failure names the field.
+  StatusOr<obs::JsonValue> reply = client.RoundTrip(
+      "{\"op\":\"submit\",\"kind\":\"condense\","
+      "\"spec\":{\"epochs\":0}}");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_NE(reply.value().Find("error")->str.find("epochs"),
+            std::string::npos);
+  // After all that abuse the connection still answers pings.
+  EXPECT_TRUE(client.Ping().ok());
+  EXPECT_EQ(server.stats().rejected, 4);  // the four submit attempts
+  server.Stop();
+}
+
+TEST(ServeServer, UnknownJobAndForeignJobAreRejected) {
+  Server server(ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  Client alice = MustConnect(server, "alice");
+  Client bob = MustConnect(server, "bob");
+
+  StatusOr<obs::JsonValue> missing = alice.Poll("j9999");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(Client::StatusCode(missing.status()), kCodeUnknownJob);
+
+  StatusOr<std::string> job = alice.Submit("condense", CondenseSpec(1, 2));
+  ASSERT_TRUE(job.ok()) << job.status().message();
+  StatusOr<obs::JsonValue> foreign = bob.Poll(job.value());
+  ASSERT_FALSE(foreign.ok());
+  EXPECT_EQ(Client::StatusCode(foreign.status()), kCodeNotOwner);
+  MustFinish(alice, job.value());
+  server.Stop();
+}
+
+TEST(ServeServer, FullQueueRejectsWith429) {
+  ServerOptions options;
+  options.jobs = 1;
+  options.queue_depth = 1;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+  Client client = MustConnect(server, "c1");
+
+  // One slow job occupies the only slot; one more fills the queue; the
+  // rest must bounce with 429 (submissions are sub-millisecond, the
+  // running job is not).
+  StatusOr<std::string> running =
+      client.Submit("condense", CondenseSpec(11, kSlowEpochs));
+  ASSERT_TRUE(running.ok()) << running.status().message();
+  std::vector<std::string> admitted = {running.value()};
+  int rejected = 0;
+  for (int i = 0; i < 4; ++i) {
+    StatusOr<std::string> next =
+        client.Submit("condense", CondenseSpec(12 + i, kSlowEpochs));
+    if (next.ok()) {
+      admitted.push_back(next.value());
+    } else {
+      EXPECT_EQ(Client::StatusCode(next.status()), kCodeQueueFull)
+          << next.status().message();
+      ++rejected;
+    }
+  }
+  EXPECT_GE(rejected, 3);  // queue_depth 1 leaves room for one waiter
+  EXPECT_EQ(server.stats().rejected, rejected);
+  for (const std::string& job : admitted) MustFinish(client, job);
+  server.Stop();
+}
+
+TEST(ServeServer, DuplicateSubmissionsCoalesceThroughCache) {
+  RemovePathAndContents(TempPath("coalesce_cache"));
+  store::ArtifactCache cache(TempPath("coalesce_cache"));
+  ServerOptions options;
+  options.jobs = 2;
+  options.cache = &cache;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+  Client client = MustConnect(server, "c1");
+
+  // Two identical jobs in flight at once on two slots: the cache
+  // single-flights them (one computes, the other coalesces or hits).
+  StatusOr<std::string> a =
+      client.Submit("condense", CondenseSpec(21, kSlowEpochs));
+  StatusOr<std::string> b =
+      client.Submit("condense", CondenseSpec(21, kSlowEpochs));
+  ASSERT_TRUE(a.ok() && b.ok());
+  MustFinish(client, a.value());
+  MustFinish(client, b.value());
+  // And a third submission afterwards is a plain disk/memory hit.
+  StatusOr<std::string> c =
+      client.Submit("condense", CondenseSpec(21, kSlowEpochs));
+  ASSERT_TRUE(c.ok());
+  const obs::JsonValue result = MustFinish(client, c.value());
+  const obs::JsonValue* computed = result.Find("computed");
+  ASSERT_NE(computed, nullptr);
+  EXPECT_FALSE(computed->bool_value);
+
+  const store::ArtifactCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_GE(stats.hits + stats.coalesced, 2);
+
+  // The stats op reports the same counters over the wire.
+  StatusOr<obs::JsonValue> server_stats = client.Stats();
+  ASSERT_TRUE(server_stats.ok());
+  const obs::JsonValue* cache_obj = server_stats.value().Find("cache");
+  ASSERT_NE(cache_obj, nullptr);
+  EXPECT_EQ(static_cast<long long>(cache_obj->Find("misses")->number), 1);
+  server.Stop();
+}
+
+TEST(ServeServer, CondenseJobIsBitIdenticalToCliFlow) {
+  const std::string out = TempPath("bit_server.bgcbin");
+  const uint64_t seed = 31;
+  Server server(ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  Client client = MustConnect(server, "c1");
+  StatusOr<std::string> job =
+      client.Submit("condense", CondenseSpec(seed, kEpochs, out));
+  ASSERT_TRUE(job.ok()) << job.status().message();
+  MustFinish(client, job.value());
+  server.Stop();
+
+  // What `bgc_cli generate --seed=31` + `bgc_cli condense --seed=31`
+  // computes: dataset from the seed, condenser on a fresh Rng(seed).
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", seed, 1.0);
+  condense::SourceGraph source =
+      condense::FromTrainView(data::MakeTrainView(ds));
+  auto condenser = condense::MakeCondenser("gcond");
+  condense::CondenseConfig cfg;
+  cfg.num_condensed = 4;
+  cfg.epochs = kEpochs;
+  Rng rng(seed);
+  condense::CondensedGraph local =
+      condense::RunCondensation(*condenser, source, ds.num_classes, cfg, rng);
+  const std::string local_out = TempPath("bit_local.bgcbin");
+  ASSERT_TRUE(store::SaveCondensedBinary(local, local_out).ok());
+
+  StatusOr<std::string> served = ReadFileToString(out);
+  StatusOr<std::string> direct = ReadFileToString(local_out);
+  ASSERT_TRUE(served.ok() && direct.ok());
+  EXPECT_EQ(served.value(), direct.value()) << "server artifact diverged";
+}
+
+TEST(ServeServer, AttackJobMatchesCliSharedRngFlow) {
+  const uint64_t seed = 41;
+  Server server(ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  Client client = MustConnect(server, "c1");
+  const std::string spec =
+      "{\"dataset\":\"tiny-sim\",\"seed\":41,\"method\":\"gcond\","
+      "\"n\":4,\"epochs\":6,\"attack\":\"bgc\",\"target\":0,"
+      "\"trigger-size\":2,\"poison-ratio\":0.1,\"victim-epochs\":40}";
+  StatusOr<std::string> job = client.Submit("attack", spec);
+  ASSERT_TRUE(job.ok()) << job.status().message();
+  const obs::JsonValue result = MustFinish(client, job.value());
+  server.Stop();
+
+  // `bgc_cli attack`: ONE Rng shared by attack, victim training, and
+  // evaluation, in that order.
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", seed, 1.0);
+  condense::SourceGraph clean =
+      condense::FromTrainView(data::MakeTrainView(ds));
+  eval::RunSpec run;
+  run.dataset = "tiny-sim";
+  run.seed = seed;
+  run.method = "gcond";
+  run.attack = "bgc";
+  run.condense.num_condensed = 4;
+  run.condense.epochs = 6;
+  run.attack_cfg.target_class = 0;
+  run.attack_cfg.trigger_size = 2;
+  run.attack_cfg.poison_ratio = 0.1;
+  run.victim.epochs = 40;
+  Rng rng(seed);
+  attack::AttackResult attacked =
+      eval::DispatchAttack(run, clean, ds.num_classes, rng);
+  auto victim = eval::TrainVictim(attacked.condensed, run.victim, rng);
+  eval::AttackMetrics m = eval::EvaluateVictim(
+      *victim, ds, attacked.generator.get(), run.attack_cfg.target_class);
+
+  // %.17g round-trips doubles exactly: == is the right comparison.
+  ASSERT_NE(result.Find("cta"), nullptr);
+  EXPECT_EQ(result.Find("cta")->number, m.cta);
+  EXPECT_EQ(result.Find("asr")->number, m.asr);
+  EXPECT_EQ(static_cast<size_t>(result.Find("poisoned")->number),
+            attacked.poisoned_nodes.size());
+}
+
+TEST(ServeServer, StreamEmitsStartProgressDone) {
+  ServerOptions options;
+  options.stream_poll_ms = 5;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+  Client client = MustConnect(server, "c1");
+  StatusOr<std::string> job =
+      client.Submit("condense", CondenseSpec(51, kSlowEpochs));
+  ASSERT_TRUE(job.ok());
+
+  std::vector<std::string> events;
+  long long last_done = -1;
+  Status streamed = client.Stream(job.value(), [&](const obs::JsonValue& e) {
+    events.push_back(e.Find("event")->str);
+    if (events.back() == "progress") {
+      const obs::JsonValue* done = e.Find("epochs_done");
+      ASSERT_NE(done, nullptr);
+      EXPECT_GE(static_cast<long long>(done->number), last_done);
+      last_done = static_cast<long long>(done->number);
+      EXPECT_EQ(static_cast<long long>(e.Find("epochs_total")->number),
+                kSlowEpochs);
+    }
+  });
+  ASSERT_TRUE(streamed.ok()) << streamed.message();
+  ASSERT_GE(events.size(), 3u);  // start, >=1 progress, done
+  EXPECT_EQ(events.front(), "start");
+  EXPECT_EQ(events.back(), "done");
+  EXPECT_NE(std::find(events.begin(), events.end(), "progress"),
+            events.end());
+  EXPECT_GT(last_done, 0);  // phase tags actually reached the registry
+  server.Stop();
+}
+
+TEST(ServeServer, DrainPersistsQueuedJobsAndNextServerRecoversThem) {
+  const std::string state_dir = TempPath("drain_state");
+  const std::string out = TempPath("drain_out.bgcbin");
+  RemovePathAndContents(state_dir);
+  RemovePathAndContents(out);
+  ServerOptions options;
+  options.jobs = 1;
+  options.state_dir = state_dir;
+  {
+    Server server(options);
+    ASSERT_TRUE(server.Start().ok());
+    Client client = MustConnect(server, "alice");
+    StatusOr<std::string> running =
+        client.Submit("condense", CondenseSpec(61, kSlowEpochs));
+    StatusOr<std::string> queued =
+        client.Submit("condense", CondenseSpec(62, kEpochs, out));
+    ASSERT_TRUE(running.ok() && queued.ok());
+
+    server.RequestDrain();
+    StatusOr<std::string> late =
+        client.Submit("condense", CondenseSpec(63, kEpochs));
+    ASSERT_FALSE(late.ok());
+    EXPECT_EQ(Client::StatusCode(late.status()), kCodeDraining);
+
+    server.WaitDrained();
+    // The running job finished; the queued one is still QUEUED and its
+    // sidecar survives for the next generation.
+    StatusOr<obs::JsonValue> ran = client.Wait(running.value());
+    ASSERT_TRUE(ran.ok());
+    EXPECT_EQ(ran.value().Find("state")->str, "DONE");
+    StatusOr<obs::JsonValue> held = client.Poll(queued.value());
+    ASSERT_TRUE(held.ok());
+    EXPECT_EQ(held.value().Find("state")->str, "QUEUED");
+    server.Stop();
+  }
+  EXPECT_FALSE(FileExists(out));  // never ran
+
+  Server next(options);
+  ASSERT_TRUE(next.Start().ok());
+  EXPECT_EQ(next.stats().recovered, 1);
+  Client alice = MustConnect(next, "alice");
+  StatusOr<obs::JsonValue> list = alice.List();
+  ASSERT_TRUE(list.ok());
+  const obs::JsonValue* jobs = list.value().Find("jobs");
+  ASSERT_TRUE(jobs != nullptr && jobs->is_array());
+  ASSERT_EQ(jobs->array.size(), 1u);  // ownership survived recovery
+  const std::string job_id = jobs->array[0].Find("job")->str;
+  MustFinish(alice, job_id);
+  EXPECT_TRUE(FileExists(out));
+  next.Stop();
+}
+
+TEST(ServeServer, InterruptedCondensationResumesFromCheckpoint) {
+  const std::string state_dir = TempPath("resume_state");
+  RemovePathAndContents(state_dir);
+  ::mkdir(state_dir.c_str(), 0755);
+  const std::string out = TempPath("resume_out.bgcbin");
+  RemovePathAndContents(out);
+  const uint64_t seed = 71;
+  const int epochs = 12;
+
+  // The job the previous server generation would have admitted.
+  JobSpec spec;
+  spec.kind = JobKind::kCondense;
+  spec.run.dataset = "tiny-sim";
+  spec.run.seed = seed;
+  spec.run.method = "gcond";
+  spec.run.repeats = 1;
+  spec.run.attack = "none";
+  spec.run.eval_clean_baseline = false;
+  spec.run.condense.num_condensed = 4;
+  spec.run.condense.epochs = epochs;
+  spec.out = out;
+  const std::string hex = JobKeyHex(spec);
+
+  // Simulate its interrupted run: 5 of 12 epochs, checkpointed, killed.
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", seed, 1.0);
+  condense::SourceGraph source =
+      condense::FromTrainView(data::MakeTrainView(ds));
+  {
+    auto condenser = condense::MakeCondenser("gcond");
+    Rng rng(seed);
+    store::ResumableOptions ro;
+    ro.checkpoint_path = state_dir + "/" + hex + ".ckpt";
+    ro.checkpoint_every = 1;
+    ro.stop_after_epochs = 5;
+    store::ResumableResult partial = store::RunResumableCondensation(
+        *condenser, source, ds.num_classes, spec.run.condense, rng, ro);
+    ASSERT_FALSE(partial.completed);
+  }
+  std::string sidecar = "{\"schema\":\"";
+  sidecar += kSidecarSchema;
+  sidecar += "\",\"kind\":\"condense\",\"owner\":\"alice\",\"spec\":";
+  AppendJobSpecJson(sidecar, spec);
+  sidecar += '}';
+  ASSERT_TRUE(
+      WriteFileAtomic(state_dir + "/" + hex + ".job", sidecar).ok());
+
+  ServerOptions options;
+  options.state_dir = state_dir;
+  options.checkpoint_every = 1;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(server.stats().recovered, 1);
+  Client alice = MustConnect(server, "alice");
+  StatusOr<obs::JsonValue> list = alice.List();
+  ASSERT_TRUE(list.ok());
+  ASSERT_EQ(list.value().Find("jobs")->array.size(), 1u);
+  const std::string job_id =
+      list.value().Find("jobs")->array[0].Find("job")->str;
+  const obs::JsonValue result = MustFinish(alice, job_id);
+  EXPECT_TRUE(result.Find("resumed")->bool_value);
+  EXPECT_EQ(static_cast<int>(result.Find("epochs")->number), epochs);
+  server.Stop();
+
+  // Interrupted-then-resumed must match an uninterrupted run bit for bit.
+  auto condenser = condense::MakeCondenser("gcond");
+  Rng rng(seed);
+  condense::CondensedGraph uninterrupted = condense::RunCondensation(
+      *condenser, source, ds.num_classes, spec.run.condense, rng);
+  const std::string local_out = TempPath("resume_local.bgcbin");
+  ASSERT_TRUE(store::SaveCondensedBinary(uninterrupted, local_out).ok());
+  StatusOr<std::string> served = ReadFileToString(out);
+  StatusOr<std::string> direct = ReadFileToString(local_out);
+  ASSERT_TRUE(served.ok() && direct.ok());
+  EXPECT_EQ(served.value(), direct.value());
+}
+
+TEST(ServeServer, CountersLandInObsRegistry) {
+  obs::SetMetricsEnabled(true);
+  Server server(ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  Client client = MustConnect(server, "c1");
+  StatusOr<std::string> job = client.Submit("condense", CondenseSpec(81, 2));
+  ASSERT_TRUE(job.ok());
+  MustFinish(client, job.value());
+  server.Stop();
+
+  const std::string metrics = obs::Registry::Global().MetricsJson();
+  EXPECT_NE(metrics.find("serve.jobs_accepted"), std::string::npos);
+  EXPECT_NE(metrics.find("serve.jobs_completed"), std::string::npos);
+  EXPECT_NE(metrics.find("serve.queue_depth"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bgc::serve

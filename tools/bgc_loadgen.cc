@@ -1,0 +1,265 @@
+// Load generator for the bgc-serve-v1 daemon.
+//
+//   $ tools/bgc_loadgen --port=41873 --clients=4 --jobs-per-client=2
+//   16 jobs DONE in 12.4s (1.29 jobs/s)  latency ms p50=5200 ...
+//
+// Fires N concurrent clients at a running poison_service, each submitting
+// a mixed condense/attack workload, waiting for every job, and recording
+// submit-to-done latency. Clients deliberately reuse the same job seeds,
+// so a server with an artifact cache should coalesce or hit on the
+// duplicate condensations — --expect-cache-reuse turns that into a hard
+// assertion. Any job that does not end DONE fails the run (exit 1); bad
+// flags exit 2.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/parse.h"
+#include "src/obs/json.h"
+#include "src/serve/client.h"
+#include "src/serve/protocol.h"
+
+namespace {
+
+using bgc::obs::JsonValue;
+using Clock = std::chrono::steady_clock;
+
+struct LoadgenOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int clients = 4;
+  int jobs_per_client = 2;
+  long long seed = 1;
+  std::string out_dir;  // when set, condense jobs write artifacts here
+  bool expect_cache_reuse = false;
+  // Workload shape (kept small so a CI run finishes in seconds).
+  std::string dataset = "cora-sim";
+  double scale = 0.2;
+  int n = 8;
+  int epochs = 6;
+  int victim_epochs = 40;
+};
+
+struct JobOutcome {
+  bool done = false;
+  double latency_ms = 0.0;
+  std::string detail;
+};
+
+[[noreturn]] void BadFlag(const std::string& flag, const bgc::Status& why) {
+  std::fprintf(stderr, "bad --%s: %s\n", flag.c_str(),
+               why.message().c_str());
+  std::exit(2);
+}
+
+/// Builds the j-th job spec for client c. Even j's are condense jobs (the
+/// seed, and hence the cache key, depends only on j — every client
+/// submits the same condensations); odd j's are attack jobs.
+std::string BuildSpec(const LoadgenOptions& opts, int client, int job,
+                      bool condense) {
+  std::string spec = "{\"dataset\":";
+  bgc::serve::AppendJsonString(spec, opts.dataset);
+  spec += ",\"scale\":";
+  bgc::serve::AppendJsonNumber(spec, opts.scale);
+  spec += ",\"seed\":" + std::to_string(opts.seed + job);
+  spec += ",\"method\":\"gcond\"";
+  spec += ",\"n\":" + std::to_string(opts.n);
+  spec += ",\"epochs\":" + std::to_string(opts.epochs);
+  if (condense) {
+    if (!opts.out_dir.empty()) {
+      spec += ",\"out\":";
+      bgc::serve::AppendJsonString(
+          spec, opts.out_dir + "/c" + std::to_string(client) + "_j" +
+                    std::to_string(job) + ".bgcbin");
+    }
+  } else {
+    spec += ",\"attack\":\"bgc\",\"target\":0,\"trigger-size\":3";
+    spec += ",\"poison-ratio\":0.1";
+    spec += ",\"victim-epochs\":" + std::to_string(opts.victim_epochs);
+  }
+  spec += '}';
+  return spec;
+}
+
+void RunClient(const LoadgenOptions& opts, int client,
+               std::vector<JobOutcome>& outcomes) {
+  bgc::StatusOr<bgc::serve::Client> conn = bgc::serve::Client::Connect(
+      opts.host, opts.port, "loadgen-" + std::to_string(client));
+  if (!conn.ok()) {
+    for (JobOutcome& o : outcomes) o.detail = conn.status().message();
+    return;
+  }
+  bgc::serve::Client& c = conn.value();
+  for (int j = 0; j < opts.jobs_per_client; ++j) {
+    JobOutcome& outcome = outcomes[j];
+    const bool condense = j % 2 == 0;
+    const std::string spec = BuildSpec(opts, client, j, condense);
+    const auto t0 = Clock::now();
+    std::string job_id;
+    for (;;) {
+      bgc::StatusOr<std::string> submitted =
+          c.Submit(condense ? "condense" : "attack", spec);
+      if (submitted.ok()) {
+        job_id = submitted.take();
+        break;
+      }
+      // A full queue is back-pressure, not failure: retry after a beat.
+      if (bgc::serve::Client::StatusCode(submitted.status()) == 429) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      outcome.detail = submitted.status().message();
+      break;
+    }
+    if (job_id.empty()) continue;
+    bgc::StatusOr<JsonValue> reply = c.Wait(job_id);
+    outcome.latency_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    if (!reply.ok()) {
+      outcome.detail = reply.status().message();
+      continue;
+    }
+    const JsonValue* state = reply.value().Find("state");
+    if (state != nullptr && state->is_string() && state->str == "DONE") {
+      outcome.done = true;
+    } else {
+      const JsonValue* error = reply.value().Find("error");
+      outcome.detail = error != nullptr && error->is_string()
+                           ? error->str
+                           : "job did not finish DONE";
+    }
+  }
+}
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bgc;  // NOLINT
+
+  LoadgenOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--expect-cache-reuse") {
+      opts.expect_cache_reuse = true;
+      continue;
+    }
+    const size_t eq = arg.find('=');
+    if (arg.compare(0, 2, "--") != 0 || eq == std::string::npos) {
+      std::fprintf(stderr, "bad flag: %s\n", arg.c_str());
+      return 2;
+    }
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string value = arg.substr(eq + 1);
+    const auto take_int = [&](long long min, long long max) {
+      StatusOr<long long> v = ParseIntInRange(value, min, max);
+      if (!v.ok()) BadFlag(key, v.status());
+      return static_cast<int>(v.value());
+    };
+    if (key == "host") {
+      opts.host = value;
+    } else if (key == "port") {
+      opts.port = take_int(1, 65535);
+    } else if (key == "clients") {
+      opts.clients = take_int(1, 256);
+    } else if (key == "jobs-per-client") {
+      opts.jobs_per_client = take_int(1, 1000);
+    } else if (key == "seed") {
+      opts.seed = take_int(0, 1LL << 40);
+    } else if (key == "out-dir") {
+      opts.out_dir = value;
+    } else if (key == "dataset") {
+      opts.dataset = value;
+    } else if (key == "scale") {
+      StatusOr<double> v = ParseDoubleInRange(value, 0.01, 1.0);
+      if (!v.ok()) BadFlag(key, v.status());
+      opts.scale = v.value();
+    } else if (key == "n") {
+      opts.n = take_int(1, 100000);
+    } else if (key == "epochs") {
+      opts.epochs = take_int(1, 100000);
+    } else if (key == "victim-epochs") {
+      opts.victim_epochs = take_int(1, 100000);
+    } else {
+      std::fprintf(stderr, "unknown flag: --%s\n", key.c_str());
+      return 2;
+    }
+  }
+  if (opts.port == 0) {
+    std::fprintf(stderr, "--port is required\n");
+    return 2;
+  }
+
+  std::vector<std::vector<JobOutcome>> outcomes(
+      opts.clients, std::vector<JobOutcome>(opts.jobs_per_client));
+  const auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(opts.clients);
+  for (int c = 0; c < opts.clients; ++c) {
+    threads.emplace_back(
+        [&, c] { RunClient(opts, c, outcomes[c]); });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  int done = 0;
+  int failed = 0;
+  std::vector<double> latencies;
+  for (int c = 0; c < opts.clients; ++c) {
+    for (int j = 0; j < opts.jobs_per_client; ++j) {
+      const JobOutcome& o = outcomes[c][j];
+      if (o.done) {
+        ++done;
+        latencies.push_back(o.latency_ms);
+      } else {
+        ++failed;
+        std::fprintf(stderr, "client %d job %d failed: %s\n", c, j,
+                     o.detail.c_str());
+      }
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  std::printf("%d/%d jobs DONE in %.1fs (%.2f jobs/s)\n", done,
+              done + failed, wall_s, wall_s > 0 ? done / wall_s : 0.0);
+  std::printf("latency ms: p50=%.0f p90=%.0f p99=%.0f max=%.0f\n",
+              Percentile(latencies, 0.50), Percentile(latencies, 0.90),
+              Percentile(latencies, 0.99),
+              latencies.empty() ? 0.0 : latencies.back());
+
+  // One extra connection for the server-side view (cache reuse counters).
+  long long reuse = -1;
+  StatusOr<serve::Client> stats_conn =
+      serve::Client::Connect(opts.host, opts.port, "loadgen-stats");
+  if (stats_conn.ok()) {
+    StatusOr<obs::JsonValue> stats = stats_conn.value().Stats();
+    if (stats.ok()) {
+      if (const JsonValue* cache = stats.value().Find("cache")) {
+        const JsonValue* hits = cache->Find("hits");
+        const JsonValue* coalesced = cache->Find("coalesced");
+        reuse = 0;
+        if (hits != nullptr) reuse += static_cast<long long>(hits->number);
+        if (coalesced != nullptr) {
+          reuse += static_cast<long long>(coalesced->number);
+        }
+        std::printf("cache reuse: hits+coalesced=%lld\n", reuse);
+      }
+    }
+  }
+  if (opts.expect_cache_reuse && reuse <= 0) {
+    std::fprintf(stderr,
+                 "expected cache reuse but hits+coalesced=%lld\n", reuse);
+    return 1;
+  }
+  return failed == 0 ? 0 : 1;
+}

@@ -111,6 +111,64 @@ step "Release: parallel bench smoke (--jobs=4)"
 ./build-ci-release/bench/bench_table1_naive_vs_bgc --repeats=1 --jobs=4 \
     > /dev/null
 
+step "Release: serve leg (daemon + loadgen + CLI bit-identity + drain)"
+# Boots the poison_service daemon on an ephemeral port, fires 4 concurrent
+# mixed-workload clients at it (with a shared artifact cache, so duplicate
+# condensations must coalesce), then proves a server-run condense job is
+# byte-identical to the same spec run serially through bgc_cli, and that
+# SIGTERM drains cleanly with a final obs report carrying the serve
+# counters.
+SERVE_DIR="build-ci-release/serve-leg"
+rm -rf "$SERVE_DIR"
+mkdir -p "$SERVE_DIR/state" "$SERVE_DIR/cache" "$SERVE_DIR/out"
+./build-ci-release/examples/poison_service --port=0 \
+    --port-file="$SERVE_DIR/port" --jobs=2 --queue-depth=16 \
+    --state-dir="$SERVE_DIR/state" --artifact-dir="$SERVE_DIR/cache" \
+    --metrics-out="$SERVE_DIR/obs.json" > "$SERVE_DIR/daemon.log" &
+SERVE_PID=$!
+for _ in $(seq 1 50); do
+  [ -s "$SERVE_DIR/port" ] && break
+  sleep 0.1
+done
+SERVE_PORT="$(cat "$SERVE_DIR/port")"
+grep -q "bgc-serve-v1 listening on port $SERVE_PORT" "$SERVE_DIR/daemon.log"
+./build-ci-release/tools/bgc_loadgen --port="$SERVE_PORT" --clients=4 \
+    --jobs-per-client=2 --out-dir="$SERVE_DIR/out" --expect-cache-reuse
+# Bit-identity: one more condense job through the server, the same spec
+# serially through bgc_cli, compared byte for byte.
+printf '%s\n' \
+  '{"op":"submit","client":"ci","kind":"condense","spec":{"dataset":"cora-sim","scale":0.2,"seed":101,"method":"gcond","n":8,"epochs":6,"out":"'"$PWD/$SERVE_DIR/out/ci101.bgcbin"'"}}' \
+  > "$SERVE_DIR/submit.jsonl"
+SERVE_JOB="$(python3 - "$SERVE_PORT" "$SERVE_DIR/submit.jsonl" <<'EOF'
+import json, socket, sys
+with socket.create_connection(("127.0.0.1", int(sys.argv[1]))) as s:
+    f = s.makefile("rw")
+    request = open(sys.argv[2]).read()
+    f.write(request); f.flush()
+    reply = json.loads(f.readline())
+    assert reply["ok"], reply
+    f.write(json.dumps({"op": "wait", "client": "ci",
+                        "job": reply["job"]}) + "\n")
+    f.flush()
+    done = json.loads(f.readline())
+    assert done["ok"] and done["state"] == "DONE", done
+    print(reply["job"])
+EOF
+)"
+echo "server job $SERVE_JOB DONE"
+./build-ci-release/examples/bgc_cli generate --dataset=cora-sim --seed=101 \
+    --scale=0.2 --out="$SERVE_DIR/cli101.bgcbin" > /dev/null
+./build-ci-release/examples/bgc_cli condense --in="$SERVE_DIR/cli101.bgcbin" \
+    --seed=101 --method=gcond --n=8 --epochs=6 \
+    --out="$SERVE_DIR/cli101_cond.bgcbin" > /dev/null
+cmp "$SERVE_DIR/out/ci101.bgcbin" "$SERVE_DIR/cli101_cond.bgcbin"
+echo "server condense artifact is bit-identical to the bgc_cli run"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+grep -q '"serve.jobs_completed"' "$SERVE_DIR/obs.json"
+grep -q '"serve.jobs_accepted"' "$SERVE_DIR/obs.json"
+echo "daemon drained on SIGTERM; obs report carries serve.* counters"
+
 if [ "$SKIP_ASAN" -eq 0 ]; then
   step "ASan build"
   cmake -B build-ci-asan -S . -DBGC_SANITIZE=address >/dev/null
@@ -139,6 +197,8 @@ if [ "$SKIP_TSAN" -eq 0 ]; then
   ./build-ci-tsan/tests/parallel_test
   ./build-ci-tsan/tests/scheduler_test
   ./build-ci-tsan/tests/tape_test
+  step "TSan: serve suite (accept loop, worker slots, drain, streaming)"
+  ./build-ci-tsan/tests/serve_test
   step "TSan: tape + arena under BGC_AUTOGRAD=parallel"
   # Force the dependency-counted engine even where tests don't set it
   # explicitly, so TSan watches slot writes, the pending-counter cascade,
