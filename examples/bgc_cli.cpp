@@ -6,7 +6,14 @@
 //   bgc_cli attack   --in=ds.graph --method=gcond --n=35 --epochs=150 \
 //                    --target=0 --out=poisoned.graph
 //   bgc_cli evaluate --in=ds.graph --condensed=small.graph --arch=gcn
+//   bgc_cli train    --in=ds.bgcbin --train-mode=sampled --fanout=10,5 \
+//                    --batch-size=512 --epochs=30
 //   bgc_cli convert  --in=ds.graph --out=ds.bgcbin
+//
+// `generate --preset=sbm-1m --out=big.bgcbin` streams million-node
+// synthetic graphs straight to disk; `train --train-mode=sampled` then
+// memory-maps the file and trains on neighbor-sampled minibatches without
+// ever materializing the dense dataset (see DESIGN.md §13).
 //
 // Graphs travel as "bgc-graph v1" text files (src/data/io.h) or, when a
 // path ends in ".bgcbin", as checksummed binary containers (src/store).
@@ -22,13 +29,17 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "src/attack/bgc.h"
 #include "src/condense/io.h"
 #include "src/core/parse.h"
 #include "src/data/io.h"
+#include "src/data/mmap_dataset.h"
 #include "src/data/synthetic.h"
 #include "src/eval/pipeline.h"
+#include "src/graph/partition.h"
+#include "src/nn/trainer.h"
 #include "src/obs/obs.h"
 #include "src/store/resumable.h"
 #include "src/store/serialize.h"
@@ -146,9 +157,29 @@ double GetDouble(const std::map<std::string, std::string>& flags,
 }
 
 int Generate(const std::map<std::string, std::string>& flags) {
-  const std::string preset = Get(flags, "dataset", "cora-sim");
+  // --preset is the documented spelling; --dataset stays as an alias.
+  const std::string preset =
+      Get(flags, "preset", Get(flags, "dataset", "cora-sim"));
   const uint64_t seed = GetSeed(flags);
   const double scale = GetDouble(flags, "scale", "1.0", 0.01, 1.0);
+  if (data::IsStreamingDatasetPreset(preset)) {
+    const std::string out = Get(flags, "out", preset + ".bgcbin");
+    if (!IsBinaryPath(out)) {
+      std::fprintf(stderr,
+                   "%s is a streaming preset; --out must be a .bgcbin path\n",
+                   preset.c_str());
+      return 2;
+    }
+    StatusOr<data::StreamingWriteResult> r = data::WriteSyntheticBgcbin(
+        data::PresetConfig(preset, scale), seed, out);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().message().c_str());
+      return 1;
+    }
+    std::printf("wrote %s: %lld nodes, %lld edges (streamed)\n", out.c_str(),
+                r.value().num_nodes, r.value().num_edges / 2);
+    return 0;
+  }
   data::GraphDataset ds = data::MakeDataset(preset, seed, scale);
   const std::string out = Get(flags, "out", preset + ".graph");
   SaveDatasetAuto(ds, out);
@@ -264,10 +295,150 @@ int Evaluate(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+std::vector<int> GetFanout(const std::map<std::string, std::string>& flags) {
+  const std::string text = Get(flags, "fanout", "10,5");
+  std::vector<int> fanout;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t comma = text.find(',', pos);
+    const std::string part =
+        text.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    StatusOr<long long> v = ParseIntInRange(part, 1, 1000000);
+    if (!v.ok()) BadFlag("fanout", v.status());
+    fanout.push_back(static_cast<int>(v.value()));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return fanout;
+}
+
+// Trains a classifier directly on a dataset — full-batch, or neighbor-
+// sampled minibatches (--train-mode=sampled). In sampled mode a .bgcbin
+// input is memory-mapped (data::MmapDataset), never loaded whole; that is
+// the out-of-core path for graphs whose dense features exceed RAM.
+int Train(const std::map<std::string, std::string>& flags) {
+  const std::string in = Get(flags, "in", "ds.graph");
+  const std::string mode = Get(flags, "train-mode", "sampled");
+  if (mode != "sampled" && mode != "full") {
+    std::fprintf(stderr, "bad value for --train-mode: want sampled|full\n");
+    return 2;
+  }
+  const uint64_t seed = GetSeed(flags);
+  // Cap on nodes scored per split: sampled inference over millions of
+  // test nodes is pointless for a smoke signal.
+  const int eval_cap = GetInt(flags, "eval-cap", "2000", 1, 100000000);
+
+  nn::GnnConfig mc;
+  mc.hidden_dim = GetInt(flags, "hidden", "64", 1, 100000);
+  mc.num_layers = GetInt(flags, "layers", "2", 1, 64);
+  const std::string arch = Get(flags, "arch", "gcn");
+  const int epochs = GetInt(flags, "epochs", "30", 1, 1000000);
+  const float lr =
+      static_cast<float>(GetDouble(flags, "lr", "0.01", 1e-8, 10.0));
+  const float weight_decay = static_cast<float>(
+      GetDouble(flags, "weight-decay", "5e-4", 0.0, 10.0));
+
+  const auto cap_idx = [eval_cap](const std::vector<int>& idx) {
+    if (static_cast<int>(idx.size()) <= eval_cap) return idx;
+    return std::vector<int>(idx.begin(), idx.begin() + eval_cap);
+  };
+
+  if (mode == "full") {
+    data::GraphDataset ds = LoadDatasetAuto(in);
+    mc.in_dim = ds.features.cols();
+    mc.out_dim = ds.num_classes;
+    Rng init_rng(seed);
+    auto model = nn::MakeModel(arch, mc, init_rng);
+    nn::TrainConfig tc;
+    tc.epochs = epochs;
+    tc.lr = lr;
+    tc.weight_decay = weight_decay;
+    tc.seed = seed;
+    const float loss =
+        nn::TrainNodeClassifier(*model, ds.adj, ds.features, ds.labels,
+                                ds.train_idx, tc);
+    Matrix logits = nn::PredictLogits(*model, ds.adj, ds.features);
+    std::printf("train %s full: %d epochs, loss %.6f\n", arch.c_str(), epochs,
+                loss);
+    std::printf("val acc %.4f  test acc %.4f\n",
+                nn::Accuracy(logits, ds.labels, cap_idx(ds.val_idx)),
+                nn::Accuracy(logits, ds.labels, cap_idx(ds.test_idx)));
+    return 0;
+  }
+
+  nn::MinibatchTrainConfig tc;
+  tc.epochs = epochs;
+  tc.lr = lr;
+  tc.weight_decay = weight_decay;
+  tc.seed = seed;
+  tc.fanout = GetFanout(flags);
+  tc.batch_size = GetInt(flags, "batch-size", "512", 1, 1000000);
+  const std::string checkpoint = Get(flags, "checkpoint", "");
+
+  const auto run = [&](const graph::NeighborSource& g,
+                       const graph::FeatureSource& f,
+                       const std::vector<int>& labels,
+                       const std::vector<int>& train_idx,
+                       const std::vector<int>& val_idx,
+                       const std::vector<int>& test_idx,
+                       int num_classes) -> int {
+    mc.in_dim = f.dim();
+    mc.out_dim = num_classes;
+    Rng init_rng(seed);
+    auto model = nn::MakeModel(arch, mc, init_rng);
+    nn::MinibatchTrainer trainer(*model, g, f, labels, train_idx, tc);
+    float loss = 0.0f;
+    if (checkpoint.empty()) {
+      for (int e = 0; e < tc.epochs; ++e) loss = trainer.RunEpoch(e);
+    } else {
+      store::ResumableOptions opts;
+      opts.checkpoint_path = checkpoint;
+      opts.checkpoint_every =
+          GetInt(flags, "checkpoint-every", "10", 1, 1000000);
+      store::SampledTrainResult r =
+          store::RunResumableMinibatchTraining(trainer, opts);
+      if (r.resumed) {
+        std::printf("resumed from %s (epoch %lld of %d)\n",
+                    checkpoint.c_str(), r.epochs_done, tc.epochs);
+      }
+      loss = r.last_loss;
+    }
+    std::printf("train %s sampled: %d epochs, %d batches/epoch, loss %.6f\n",
+                arch.c_str(), tc.epochs, trainer.num_batches(), loss);
+    std::printf(
+        "val acc %.4f  test acc %.4f\n",
+        eval::EvaluateAccuracySampled(*model, g, f, labels, cap_idx(val_idx),
+                                      tc.fanout, tc.batch_size, tc.seed),
+        eval::EvaluateAccuracySampled(*model, g, f, labels, cap_idx(test_idx),
+                                      tc.fanout, tc.batch_size, tc.seed));
+    return 0;
+  };
+
+  if (IsBinaryPath(in)) {
+    StatusOr<data::MmapDataset> opened = data::MmapDataset::Open(in);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "%s\n", opened.status().message().c_str());
+      return 1;
+    }
+    data::MmapDataset ds = opened.take();
+    if (Status s = ds.Warm(); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.message().c_str());
+      return 1;
+    }
+    return run(ds, ds, ds.labels(), ds.train_idx(), ds.val_idx(),
+               ds.test_idx(), ds.num_classes());
+  }
+  data::GraphDataset ds = LoadDatasetAuto(in);
+  graph::CsrNeighborSource g(ds.adj);
+  graph::MatrixFeatureSource f(ds.features);
+  return run(g, f, ds.labels, ds.train_idx, ds.val_idx, ds.test_idx,
+             ds.num_classes);
+}
+
 void Usage() {
   std::fprintf(stderr,
-               "usage: bgc_cli <generate|condense|attack|evaluate|convert> "
-               "[--flag=value ...]\n");
+               "usage: bgc_cli <generate|condense|attack|evaluate|train|"
+               "convert> [--flag=value ...]\n");
 }
 
 }  // namespace
@@ -290,6 +461,7 @@ int main(int argc, char** argv) {
   if (command == "condense") return Condense(flags);
   if (command == "attack") return Attack(flags);
   if (command == "evaluate") return Evaluate(flags);
+  if (command == "train") return Train(flags);
   if (command == "convert") return Convert(flags);
   Usage();
   return 2;

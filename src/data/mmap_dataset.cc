@@ -1,0 +1,465 @@
+#include "src/data/mmap_dataset.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define BGC_HAVE_MMAP 1
+#endif
+
+#include "src/core/check.h"
+#include "src/core/hash.h"
+#include "src/obs/obs.h"
+#include "src/store/bgcbin.h"
+
+namespace bgc::data {
+namespace {
+
+// Bytes checksummed per chunk during a first-touch verification pass
+// (rounded to a multiple of the 12-byte edge record). Bounds both the
+// working set and the page-drop cadence.
+constexpr size_t kVerifyChunk = 12 * 87381;  // ~1 MiB
+
+int32_t LoadI32(const char* p) {
+  int32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+float LoadF32(const char* p) {
+  float v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint64_t LoadU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+size_t PageFloor(size_t x) {
+#if defined(BGC_HAVE_MMAP)
+  static const size_t kPage = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  return x - (x % kPage);
+#else
+  return x;
+#endif
+}
+
+// Drops fully consumed clean pages of [from, to) back to the kernel so a
+// verification pass over a multi-GB section never grows the RSS by more
+// than a chunk. `from` must be page-aligned; returns the new cursor.
+size_t DropPages(char* map, size_t from, size_t to) {
+#if defined(BGC_HAVE_MMAP) && defined(MADV_DONTNEED)
+  const size_t end = PageFloor(to);
+  if (end > from) {
+    ::madvise(map + from, end - from, MADV_DONTNEED);
+    BGC_COUNTER_ADD("data.mmap.bytes_dropped",
+                    static_cast<long long>(end - from));
+    return end;
+  }
+  return from;
+#else
+  (void)map;
+  (void)to;
+  return from;
+#endif
+}
+
+Status SectionErr(const std::string& origin, const std::string& section,
+                  const std::string& msg) {
+  return Status::Error(origin + ": section \"" + section + "\" " + msg);
+}
+
+}  // namespace
+
+MmapDataset::MmapDataset(MmapDataset&& other) noexcept { *this = std::move(other); }
+
+MmapDataset& MmapDataset::operator=(MmapDataset&& other) noexcept {
+  if (this == &other) return *this;
+  Reset();
+  origin_ = std::move(other.origin_);
+  map_ = other.map_;
+  map_size_ = other.map_size_;
+  other.map_ = nullptr;
+  other.map_size_ = 0;
+  name_ = std::move(other.name_);
+  num_nodes_ = other.num_nodes_;
+  num_classes_ = other.num_classes_;
+  inductive_ = other.inductive_;
+  labels_ = std::move(other.labels_);
+  train_idx_ = std::move(other.train_idx_);
+  val_idx_ = std::move(other.val_idx_);
+  test_idx_ = std::move(other.test_idx_);
+  adj_offset_ = other.adj_offset_;
+  adj_size_ = other.adj_size_;
+  adj_crc_ = other.adj_crc_;
+  adj_ready_ = other.adj_ready_;
+  row_index_ = std::move(other.row_index_);
+  features_offset_ = other.features_offset_;
+  features_size_ = other.features_size_;
+  features_crc_ = other.features_crc_;
+  features_ready_ = other.features_ready_;
+  feature_dim_ = other.feature_dim_;
+  return *this;
+}
+
+MmapDataset::~MmapDataset() { Reset(); }
+
+void MmapDataset::Reset() {
+#if defined(BGC_HAVE_MMAP)
+  if (map_ != nullptr) ::munmap(map_, map_size_);
+#endif
+  map_ = nullptr;
+  map_size_ = 0;
+}
+
+StatusOr<MmapDataset> MmapDataset::Open(const std::string& path) {
+#if !defined(BGC_HAVE_MMAP)
+  return BGC_ERR(path + ": mmap datasets are not supported on this platform");
+#else
+  BGC_TRACE_SCOPE("data.mmap.open");
+  MmapDataset ds;
+  ds.origin_ = path;
+
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return BGC_ERR("cannot open " + path + ": " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status s = BGC_ERR("cannot stat " + path + ": " + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size < 16) {
+    ::close(fd);
+    return BGC_ERR(path + ": truncated bgcbin header");
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) {
+    return BGC_ERR("cannot mmap " + path + ": " + std::strerror(errno));
+  }
+  ds.map_ = static_cast<char*>(map);
+  ds.map_size_ = size;
+  BGC_GAUGE_SET("data.mmap.bytes_mapped", static_cast<double>(size));
+
+  // Header + table validation (magic, version, table CRC, sizes) — every
+  // mutation of those bytes fails here, before any payload is trusted.
+  StatusOr<std::vector<store::SectionEntry>> table =
+      store::ParseSectionTable(std::string_view(ds.map_, ds.map_size_), path);
+  if (!table.ok()) return table.status();
+
+  const store::SectionEntry* kind = nullptr;
+  const store::SectionEntry* meta = nullptr;
+  const store::SectionEntry* labels = nullptr;
+  const store::SectionEntry* train = nullptr;
+  const store::SectionEntry* val = nullptr;
+  const store::SectionEntry* test = nullptr;
+  const store::SectionEntry* adj = nullptr;
+  const store::SectionEntry* features = nullptr;
+  const std::vector<store::SectionEntry> entries = table.take();
+  for (const store::SectionEntry& e : entries) {
+    if (e.name == "kind") kind = &e;
+    else if (e.name == "meta") meta = &e;
+    else if (e.name == "labels") labels = &e;
+    else if (e.name == "train_idx") train = &e;
+    else if (e.name == "val_idx") val = &e;
+    else if (e.name == "test_idx") test = &e;
+    else if (e.name == "adj") adj = &e;
+    else if (e.name == "features") features = &e;
+  }
+  // Small sections: checksum eagerly (this *is* their first touch) and
+  // decode into RAM through the bounds-checked SectionReader.
+  auto small = [&](const store::SectionEntry& e) -> StatusOr<store::SectionReader> {
+    if (Status s = ds.ChecksumSection(e.offset, e.size, e.crc, e.name);
+        !s.ok()) {
+      return s;
+    }
+    return store::SectionReader(std::string_view(ds.map_ + e.offset, e.size),
+                                e.name);
+  };
+
+  // Validate the artifact kind before reporting missing sections: a
+  // wrong-kind file (e.g. a condensed artifact) is missing dataset
+  // sections by design, and "artifact kind is X" is the actionable error.
+  if (kind != nullptr) {
+    StatusOr<store::SectionReader> r = small(*kind);
+    if (!r.ok()) return r.status();
+    store::SectionReader reader = r.take();
+    const std::string seen = reader.GetString();
+    if (!reader.ok()) {
+      return Status::Error(path + ": " + reader.status().message());
+    }
+    if (seen != "bgc.dataset") {
+      return BGC_ERR(path + ": artifact kind is \"" + seen +
+                     "\", expected \"bgc.dataset\"");
+    }
+  }
+  const std::pair<const store::SectionEntry*, const char*> required[] = {
+      {kind, "kind"},      {meta, "meta"}, {labels, "labels"},
+      {train, "train_idx"}, {val, "val_idx"}, {test, "test_idx"},
+      {adj, "adj"},        {features, "features"}};
+  for (const auto& [entry, sect] : required) {
+    if (entry == nullptr) {
+      return BGC_ERR(path + ": missing section \"" + std::string(sect) +
+                     "\"");
+    }
+  }
+  {
+    StatusOr<store::SectionReader> r = small(*meta);
+    if (!r.ok()) return r.status();
+    store::SectionReader reader = r.take();
+    ds.name_ = reader.GetString();
+    ds.num_classes_ = reader.GetI32();
+    ds.inductive_ = reader.GetU8() != 0;
+    if (!reader.ok()) {
+      return Status::Error(path + ": " + reader.status().message());
+    }
+    if (ds.num_classes_ <= 0) {
+      return BGC_ERR(path + ": non-positive class count " +
+                     std::to_string(ds.num_classes_));
+    }
+  }
+  auto int_vector = [&](const store::SectionEntry& e,
+                        std::vector<int>* out) -> Status {
+    StatusOr<store::SectionReader> r = small(e);
+    if (!r.ok()) return r.status();
+    store::SectionReader reader = r.take();
+    const uint64_t n = reader.GetU64();
+    if (!reader.ok() || n * 4 != reader.remaining()) {
+      return SectionErr(path, e.name, "has a malformed int vector");
+    }
+    out->resize(static_cast<size_t>(n));
+    for (auto& x : *out) x = reader.GetI32();
+    return reader.ok() ? Status::Ok()
+                       : Status::Error(path + ": " +
+                                       reader.status().message());
+  };
+  if (Status s = int_vector(*labels, &ds.labels_); !s.ok()) return s;
+  if (Status s = int_vector(*train, &ds.train_idx_); !s.ok()) return s;
+  if (Status s = int_vector(*val, &ds.val_idx_); !s.ok()) return s;
+  if (Status s = int_vector(*test, &ds.test_idx_); !s.ok()) return s;
+
+  ds.num_nodes_ = static_cast<int>(ds.labels_.size());
+  for (int y : ds.labels_) {
+    if (y < 0 || y >= ds.num_classes_) {
+      return BGC_ERR(path + ": label " + std::to_string(y) +
+                     " out of range [0, " + std::to_string(ds.num_classes_) +
+                     ")");
+    }
+  }
+  const std::pair<const std::vector<int>*, const char*> splits[] = {
+      {&ds.train_idx_, "train"}, {&ds.val_idx_, "val"},
+      {&ds.test_idx_, "test"}};
+  for (const auto& [idx, tag] : splits) {
+    for (int i : *idx) {
+      if (i < 0 || i >= ds.num_nodes_) {
+        return BGC_ERR(path + ": " + std::string(tag) + " split id " +
+                       std::to_string(i) + " out of range for " +
+                       std::to_string(ds.num_nodes_) + " nodes");
+      }
+    }
+  }
+
+  ds.adj_offset_ = adj->offset;
+  ds.adj_size_ = adj->size;
+  ds.adj_crc_ = adj->crc;
+  ds.features_offset_ = features->offset;
+  ds.features_size_ = features->size;
+  ds.features_crc_ = features->crc;
+  return StatusOr<MmapDataset>(std::move(ds));
+#endif
+}
+
+Status MmapDataset::ChecksumSection(size_t offset, size_t size,
+                                    uint32_t expect,
+                                    const std::string& section) const {
+  uint32_t crc = 0;
+  size_t drop_from = PageFloor(offset);
+  size_t pos = 0;
+  while (pos < size) {
+    const size_t len = std::min(kVerifyChunk, size - pos);
+    crc = Crc32(map_ + offset + pos, len, crc);
+    pos += len;
+    // Only worth dropping pages for multi-chunk (big) sections.
+    if (size > kVerifyChunk) {
+      drop_from = DropPages(map_, drop_from, offset + pos);
+    }
+  }
+  if (crc != expect) {
+    return SectionErr(origin_, section, "checksum mismatch (file corrupt)");
+  }
+  BGC_COUNTER_ADD("data.mmap.sections_verified", 1);
+  return Status::Ok();
+}
+
+Status MmapDataset::EnsureAdjacency() {
+  if (adj_ready_) return Status::Ok();
+  BGC_TRACE_SCOPE("data.mmap.verify_adj");
+  const char* base = map_ + adj_offset_;
+  if (adj_size_ < 16) {
+    return SectionErr(origin_, "adj", "is too small for a CSR header");
+  }
+  const int rows = LoadI32(base);
+  const int cols = LoadI32(base + 4);
+  const uint64_t nnz = LoadU64(base + 8);
+  if (rows != num_nodes_ || cols != num_nodes_) {
+    return SectionErr(origin_, "adj",
+                      "has shape " + std::to_string(rows) + "x" +
+                          std::to_string(cols) + ", expected " +
+                          std::to_string(num_nodes_) + "x" +
+                          std::to_string(num_nodes_));
+  }
+  if (nnz > (adj_size_ - 16) / 12 || 16 + nnz * 12 != adj_size_) {
+    return SectionErr(origin_, "adj",
+                      "declares " + std::to_string(nnz) +
+                          " edge records but holds " +
+                          std::to_string(adj_size_) + " bytes");
+  }
+
+  // One pass: CRC accumulation, structural validation (sorted, in-range,
+  // duplicate-free records), and per-row counts — dropping consumed pages
+  // as it goes. The index is only trusted once the CRC matched.
+  std::vector<int64_t> counts(static_cast<size_t>(num_nodes_) + 1, 0);
+  uint32_t crc = Crc32(base, 16, 0);
+  int prev_src = -1;
+  int prev_dst = -1;
+  size_t drop_from = PageFloor(adj_offset_);
+  size_t pos = 16;
+  while (pos < adj_size_) {
+    const size_t len = std::min(kVerifyChunk, adj_size_ - pos);
+    crc = Crc32(base + pos, len, crc);
+    for (size_t off = 0; off + 12 <= len; off += 12) {
+      const int src = LoadI32(base + pos + off);
+      const int dst = LoadI32(base + pos + off + 4);
+      if (src < 0 || src >= num_nodes_ || dst < 0 || dst >= num_nodes_) {
+        return SectionErr(origin_, "adj",
+                          "has an edge endpoint out of range: (" +
+                              std::to_string(src) + ", " +
+                              std::to_string(dst) + ")");
+      }
+      if (src < prev_src || (src == prev_src && dst <= prev_dst)) {
+        return SectionErr(origin_, "adj",
+                          "has unsorted or duplicate edge records near (" +
+                              std::to_string(src) + ", " +
+                              std::to_string(dst) + ")");
+      }
+      prev_src = src;
+      prev_dst = dst;
+      ++counts[static_cast<size_t>(src) + 1];
+    }
+    pos += len;
+    drop_from = DropPages(map_, drop_from, adj_offset_ + pos);
+  }
+  if (crc != adj_crc_) {
+    return SectionErr(origin_, "adj", "checksum mismatch (file corrupt)");
+  }
+  for (size_t i = 1; i < counts.size(); ++i) counts[i] += counts[i - 1];
+  row_index_ = std::move(counts);
+  adj_ready_ = true;
+  BGC_COUNTER_ADD("data.mmap.sections_verified", 1);
+  return Status::Ok();
+}
+
+Status MmapDataset::EnsureFeatures() {
+  if (features_ready_) return Status::Ok();
+  BGC_TRACE_SCOPE("data.mmap.verify_features");
+  const char* base = map_ + features_offset_;
+  if (features_size_ < 8) {
+    return SectionErr(origin_, "features",
+                      "is too small for a matrix header");
+  }
+  const int rows = LoadI32(base);
+  const int cols = LoadI32(base + 4);
+  if (rows != num_nodes_ || cols <= 0) {
+    return SectionErr(origin_, "features",
+                      "has shape " + std::to_string(rows) + "x" +
+                          std::to_string(cols) + ", expected " +
+                          std::to_string(num_nodes_) + " rows");
+  }
+  const uint64_t want =
+      8 + static_cast<uint64_t>(rows) * static_cast<uint64_t>(cols) * 4;
+  if (want != features_size_) {
+    return SectionErr(origin_, "features",
+                      "payload size does not match its declared shape");
+  }
+  if (Status s = ChecksumSection(features_offset_, features_size_,
+                                 features_crc_, "features");
+      !s.ok()) {
+    return s;
+  }
+  feature_dim_ = cols;
+  features_ready_ = true;
+  return Status::Ok();
+}
+
+Status MmapDataset::Warm() {
+  if (Status s = EnsureAdjacency(); !s.ok()) return s;
+  return EnsureFeatures();
+}
+
+int MmapDataset::degree(int node) const {
+  BGC_CHECK_MSG(adj_ready_, "MmapDataset: EnsureAdjacency() not called");
+  BGC_CHECK_GE(node, 0);
+  BGC_CHECK_LT(node, num_nodes_);
+  return static_cast<int>(row_index_[node + 1] - row_index_[node]);
+}
+
+void MmapDataset::Row(int node, std::vector<int>* cols,
+                      std::vector<float>* vals) const {
+  BGC_CHECK_MSG(adj_ready_, "MmapDataset: EnsureAdjacency() not called");
+  BGC_CHECK_GE(node, 0);
+  BGC_CHECK_LT(node, num_nodes_);
+  const int64_t begin = row_index_[node];
+  const int64_t end = row_index_[node + 1];
+  cols->resize(static_cast<size_t>(end - begin));
+  vals->resize(static_cast<size_t>(end - begin));
+  const char* rec = map_ + adj_offset_ + 16 + begin * 12;
+  for (int64_t k = 0; k < end - begin; ++k, rec += 12) {
+    (*cols)[static_cast<size_t>(k)] = LoadI32(rec + 4);
+    (*vals)[static_cast<size_t>(k)] = LoadF32(rec + 8);
+  }
+}
+
+int MmapDataset::dim() const {
+  BGC_CHECK_MSG(features_ready_, "MmapDataset: EnsureFeatures() not called");
+  return feature_dim_;
+}
+
+void MmapDataset::CopyRow(int node, float* out) const {
+  BGC_CHECK_MSG(features_ready_, "MmapDataset: EnsureFeatures() not called");
+  BGC_CHECK_GE(node, 0);
+  BGC_CHECK_LT(node, num_nodes_);
+  std::memcpy(out,
+              map_ + features_offset_ + 8 +
+                  static_cast<size_t>(node) *
+                      static_cast<size_t>(feature_dim_) * sizeof(float),
+              static_cast<size_t>(feature_dim_) * sizeof(float));
+}
+
+long long MmapDataset::nnz() const {
+  BGC_CHECK_MSG(adj_ready_, "MmapDataset: EnsureAdjacency() not called");
+  return row_index_[num_nodes_];
+}
+
+void MmapDataset::ReleaseMemory() const {
+#if defined(BGC_HAVE_MMAP) && defined(MADV_DONTNEED)
+  if (map_ != nullptr && map_size_ > 0) {
+    ::madvise(map_, map_size_, MADV_DONTNEED);
+    BGC_COUNTER_ADD("data.mmap.bytes_dropped",
+                    static_cast<long long>(map_size_));
+  }
+#endif
+}
+
+}  // namespace bgc::data

@@ -1,0 +1,129 @@
+#ifndef BGC_DATA_MMAP_DATASET_H_
+#define BGC_DATA_MMAP_DATASET_H_
+
+// Out-of-core, read-only view of a "bgc.dataset" bgcbin container backed
+// by mmap. The format is unchanged — the section table already addresses
+// payloads by offset — but unlike store::TryLoadDatasetBinary, nothing is
+// copied into heap matrices: adjacency rows and feature rows are served
+// straight from the page cache.
+//
+// Integrity contract (enforced by tests/bgcbin_fuzz_test.cc): every
+// corruption — truncation, bit flip, byte overwrite, wrong artifact kind —
+// surfaces as a Status error at Open() or on a section's first touch
+// (EnsureAdjacency / EnsureFeatures), never as a SIGBUS, crash, or
+// silently wrong data. Open() validates the header + section table and
+// eagerly checksums/decodes the small sections (kind, meta, labels,
+// splits); the two big payloads (adj, features) are checksummed lazily in
+// bounded chunks, with consumed pages dropped back to the kernel so the
+// verification pass itself stays within a small RSS budget. The only gap
+// is a file truncated *while* mapped, which POSIX surfaces as SIGBUS; the
+// store's atomic-rename write discipline makes that unreachable through
+// library writers.
+//
+// Laziness contract: degree()/Row()/CopyRow()/feature_dim() require the
+// corresponding Ensure*() (or Warm()) to have returned Ok first — checked,
+// not silently tolerated. After Ensure*, accessors are const, lock-free,
+// and safe to call from multiple threads (the mapping is read-only).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/status.h"
+#include "src/graph/partition.h"
+
+namespace bgc::data {
+
+/// Memory-mapped GraphDataset view implementing the out-of-core access
+/// interfaces consumed by the neighbor sampler and sharded kernels.
+class MmapDataset final : public graph::NeighborSource,
+                          public graph::FeatureSource {
+ public:
+  /// Maps `path`, validates the container table, and decodes the small
+  /// sections. The adjacency / feature payloads are not yet verified.
+  static StatusOr<MmapDataset> Open(const std::string& path);
+
+  MmapDataset(MmapDataset&& other) noexcept;
+  MmapDataset& operator=(MmapDataset&& other) noexcept;
+  MmapDataset(const MmapDataset&) = delete;
+  MmapDataset& operator=(const MmapDataset&) = delete;
+  ~MmapDataset() override;
+
+  /// First touch of the "adj" section: chunked CRC verification plus a
+  /// structural scan (sorted, deduplicated, in-range edge records) that
+  /// builds the in-RAM row index. Idempotent; O(nnz) once.
+  Status EnsureAdjacency();
+
+  /// First touch of the "features" section: chunked CRC verification and
+  /// shape validation. Idempotent.
+  Status EnsureFeatures();
+
+  /// EnsureAdjacency() + EnsureFeatures().
+  Status Warm();
+
+  // graph::NeighborSource + graph::FeatureSource.
+  int num_nodes() const override { return num_nodes_; }
+  int degree(int node) const override;
+  void Row(int node, std::vector<int>* cols,
+           std::vector<float>* vals) const override;
+  int dim() const override;
+  void CopyRow(int node, float* out) const override;
+
+  const std::string& name() const { return name_; }
+  const std::string& origin() const { return origin_; }
+  int num_classes() const { return num_classes_; }
+  bool inductive() const { return inductive_; }
+  const std::vector<int>& labels() const { return labels_; }
+  const std::vector<int>& train_idx() const { return train_idx_; }
+  const std::vector<int>& val_idx() const { return val_idx_; }
+  const std::vector<int>& test_idx() const { return test_idx_; }
+
+  /// Total stored adjacency entries (requires EnsureAdjacency).
+  long long nnz() const;
+
+  /// Size of the underlying mapping in bytes.
+  size_t mapped_bytes() const { return map_size_; }
+
+  /// Advises the kernel to drop every clean page of the mapping. Resident
+  /// memory shrinks to the in-RAM index/labels; subsequent accesses fault
+  /// pages back in from the file. No-op where madvise is unavailable.
+  void ReleaseMemory() const;
+
+ private:
+  MmapDataset() = default;
+  void Reset();
+  Status ChecksumSection(size_t offset, size_t size, uint32_t expect,
+                         const std::string& section) const;
+
+  std::string origin_;
+  char* map_ = nullptr;
+  size_t map_size_ = 0;
+
+  std::string name_;
+  int num_nodes_ = 0;
+  int num_classes_ = 0;
+  bool inductive_ = false;
+  std::vector<int> labels_;
+  std::vector<int> train_idx_;
+  std::vector<int> val_idx_;
+  std::vector<int> test_idx_;
+
+  // "adj" section: absolute payload bounds and the lazily built row index
+  // (row_index_[r] = first record of row r; records are 12 bytes).
+  size_t adj_offset_ = 0;
+  size_t adj_size_ = 0;
+  uint32_t adj_crc_ = 0;
+  bool adj_ready_ = false;
+  std::vector<int64_t> row_index_;
+
+  // "features" section.
+  size_t features_offset_ = 0;
+  size_t features_size_ = 0;
+  uint32_t features_crc_ = 0;
+  bool features_ready_ = false;
+  int feature_dim_ = 0;
+};
+
+}  // namespace bgc::data
+
+#endif  // BGC_DATA_MMAP_DATASET_H_

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <unordered_set>
+#include <utility>
 
 #include "src/core/check.h"
+#include "src/core/hash.h"
 #include "src/core/rng.h"
+#include "src/store/bgcbin.h"
 
 namespace bgc::data {
 namespace {
@@ -22,6 +26,61 @@ Matrix RandomCentroids(int num_classes, int dim, Rng& rng, double scale) {
     for (int j = 0; j < dim; ++j) row[j] *= s;
   }
   return c;
+}
+
+// The label-noise and split stages are shared verbatim between the in-RAM
+// generator and the streaming writer: both must consume the RNG stream in
+// exactly the same order for the two paths to produce identical datasets.
+
+void ApplyLabelNoiseInPlace(const SyntheticConfig& config, Rng& rng,
+                            std::vector<int>& labels) {
+  if (config.label_noise <= 0.0) return;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (rng.Bernoulli(config.label_noise)) {
+      labels[i] = static_cast<int>(rng.UniformInt(config.num_classes));
+    }
+  }
+}
+
+struct SplitIdx {
+  std::vector<int> train, val, test;
+};
+
+SplitIdx ComputeSplits(const SyntheticConfig& config,
+                       const std::vector<int>& labels, Rng& rng) {
+  const int n = static_cast<int>(labels.size());
+  SplitIdx s;
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  rng.Shuffle(order);
+  if (config.inductive) {
+    const int n_val = static_cast<int>(config.val_fraction * n);
+    const int n_test = static_cast<int>(config.test_fraction * n);
+    const int n_train = n - n_val - n_test;
+    BGC_CHECK_GT(n_train, 0);
+    s.train.assign(order.begin(), order.begin() + n_train);
+    s.val.assign(order.begin() + n_train, order.begin() + n_train + n_val);
+    s.test.assign(order.begin() + n_train + n_val, order.end());
+  } else {
+    std::vector<int> taken_per_class(config.num_classes, 0);
+    std::vector<int> rest;
+    for (int idx : order) {
+      if (taken_per_class[labels[idx]] < config.train_per_class) {
+        s.train.push_back(idx);
+        ++taken_per_class[labels[idx]];
+      } else {
+        rest.push_back(idx);
+      }
+    }
+    const int n_val = std::min<int>(config.val_size, rest.size());
+    s.val.assign(rest.begin(), rest.begin() + n_val);
+    const int n_test = std::min<int>(config.test_size, rest.size() - n_val);
+    s.test.assign(rest.begin() + n_val, rest.begin() + n_val + n_test);
+  }
+  std::sort(s.train.begin(), s.train.end());
+  std::sort(s.val.begin(), s.val.end());
+  std::sort(s.test.begin(), s.test.end());
+  return s;
 }
 
 }  // namespace
@@ -95,46 +154,13 @@ GraphDataset GenerateSynthetic(const SyntheticConfig& config, uint64_t seed) {
 
   // Observed labels: community assignments with optional label noise.
   ds.labels = community;
-  if (config.label_noise > 0.0) {
-    for (int i = 0; i < n; ++i) {
-      if (rng.Bernoulli(config.label_noise)) {
-        ds.labels[i] = static_cast<int>(rng.UniformInt(c));
-      }
-    }
-  }
+  ApplyLabelNoiseInPlace(config, rng, ds.labels);
 
   // Splits.
-  std::vector<int> order(n);
-  for (int i = 0; i < n; ++i) order[i] = i;
-  rng.Shuffle(order);
-  if (config.inductive) {
-    const int n_val = static_cast<int>(config.val_fraction * n);
-    const int n_test = static_cast<int>(config.test_fraction * n);
-    const int n_train = n - n_val - n_test;
-    BGC_CHECK_GT(n_train, 0);
-    ds.train_idx.assign(order.begin(), order.begin() + n_train);
-    ds.val_idx.assign(order.begin() + n_train, order.begin() + n_train + n_val);
-    ds.test_idx.assign(order.begin() + n_train + n_val, order.end());
-  } else {
-    std::vector<int> taken_per_class(c, 0);
-    std::vector<int> rest;
-    for (int idx : order) {
-      if (taken_per_class[ds.labels[idx]] < config.train_per_class) {
-        ds.train_idx.push_back(idx);
-        ++taken_per_class[ds.labels[idx]];
-      } else {
-        rest.push_back(idx);
-      }
-    }
-    const int n_val = std::min<int>(config.val_size, rest.size());
-    ds.val_idx.assign(rest.begin(), rest.begin() + n_val);
-    const int n_test =
-        std::min<int>(config.test_size, rest.size() - n_val);
-    ds.test_idx.assign(rest.begin() + n_val, rest.begin() + n_val + n_test);
-  }
-  std::sort(ds.train_idx.begin(), ds.train_idx.end());
-  std::sort(ds.val_idx.begin(), ds.val_idx.end());
-  std::sort(ds.test_idx.begin(), ds.test_idx.end());
+  SplitIdx splits = ComputeSplits(config, ds.labels, rng);
+  ds.train_idx = std::move(splits.train);
+  ds.val_idx = std::move(splits.val);
+  ds.test_idx = std::move(splits.test);
   return ds;
 }
 
@@ -193,6 +219,20 @@ SyntheticConfig PresetConfig(const std::string& name, double scale) {
     cfg.train_per_class = 10;
     cfg.val_size = 40;
     cfg.test_size = 80;
+  } else if (name == "sbm-1m") {
+    // Streaming preset (WriteSyntheticBgcbin): at 1M nodes the features
+    // alone are 128 MB, so MakeDataset refuses it (IsKnownDatasetPreset
+    // is false) and generation goes straight to disk.
+    cfg.num_nodes = 1000000;
+    cfg.num_classes = 10;
+    cfg.feature_dim = 32;
+    cfg.avg_degree = 8.0;
+    cfg.homophily = 0.82;
+    cfg.feature_noise = 0.9;
+    cfg.label_noise = 0.05;
+    cfg.train_per_class = 100;
+    cfg.val_size = 10000;
+    cfg.test_size = 50000;
   } else {
     BGC_CHECK_MSG(false, "unknown dataset preset: " + name);
   }
@@ -214,9 +254,251 @@ bool IsKnownDatasetPreset(const std::string& name) {
          name == "flickr-sim" || name == "reddit-sim" || name == "tiny-sim";
 }
 
+bool IsStreamingDatasetPreset(const std::string& name) {
+  return name == "sbm-1m";
+}
+
 GraphDataset MakeDataset(const std::string& name, uint64_t seed,
                          double scale) {
+  BGC_CHECK_MSG(!IsStreamingDatasetPreset(name),
+                name + " is a streaming preset; use WriteSyntheticBgcbin");
   return GenerateSynthetic(PresetConfig(name, scale), seed);
+}
+
+namespace {
+
+// Open-addressing set over positive int64 keys (0 = empty slot), sized for
+// a known insert bound. Replaces unordered_set<long long> in the streaming
+// path: identical membership semantics at ~16 bytes/edge less overhead.
+class FlatKeySet {
+ public:
+  explicit FlatKeySet(size_t max_inserts) {
+    size_t cap = 16;
+    while (cap < max_inserts * 2) cap <<= 1;
+    slots_.assign(cap, 0);
+    mask_ = cap - 1;
+  }
+
+  /// Returns true when `key` (> 0) was newly inserted.
+  bool Insert(long long key) {
+    // splitmix64 finalizer: std::hash of an integer is identity on
+    // libstdc++, which would cluster the structured min*n+max keys.
+    uint64_t z = static_cast<uint64_t>(key);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    size_t i = static_cast<size_t>(z ^ (z >> 31)) & mask_;
+    while (slots_[i] != 0) {
+      if (slots_[i] == key) return false;
+      i = (i + 1) & mask_;
+    }
+    slots_[i] = key;
+    return true;
+  }
+
+ private:
+  std::vector<long long> slots_;
+  size_t mask_ = 0;
+};
+
+// Local copies of the store's section codec framing (serialize.cc):
+// PutIntVector is u64 count + raw i32s; meta is string/i32/u8. Byte
+// equality with SaveDatasetBinary is pinned by tests/outofcore_test.cc.
+void PutIntVectorBytes(store::SectionWriter& w, const std::vector<int>& v) {
+  w.PutU64(v.size());
+  for (int x : v) w.PutI32(x);
+}
+
+}  // namespace
+
+StatusOr<StreamingWriteResult> WriteSyntheticBgcbin(
+    const SyntheticConfig& config, uint64_t seed, const std::string& path) {
+  BGC_CHECK_GT(config.num_nodes, 0);
+  BGC_CHECK_GT(config.num_classes, 1);
+  BGC_CHECK_GT(config.feature_dim, 0);
+  Rng rng(seed ^ 0xb6cdbu);
+
+  const int n = config.num_nodes;
+  const int c = config.num_classes;
+  const int dim = config.feature_dim;
+
+  // --- Identical RNG stream to GenerateSynthetic, stage by stage. ---
+  std::vector<int> community(n);
+  for (int i = 0; i < n; ++i) {
+    community[i] = static_cast<int>(rng.UniformInt(c));
+  }
+  std::vector<std::vector<int>> by_class(c);
+  for (int i = 0; i < n; ++i) by_class[community[i]].push_back(i);
+  for (int k = 0; k < c; ++k) {
+    BGC_CHECK_MSG(!by_class[k].empty(), "empty class in synthetic generator");
+  }
+
+  Matrix centroids = RandomCentroids(c, dim, rng, config.center_scale);
+
+  // Features are drawn now (stream position) but written last (section
+  // order): snapshot the stream, consume the draws once for the checksum
+  // pass, and re-draw from the snapshot when the payload is streamed out.
+  const auto feature_state = rng.SaveState();
+  // Chunked walk over the exact PutMatrix payload bytes: i32 rows, i32
+  // cols, then the raw row-major float block.
+  const auto for_each_feature_chunk = [&](Rng& frng, auto&& sink) {
+    store::SectionWriter head;
+    head.PutI32(n);
+    head.PutI32(dim);
+    sink(head.bytes().data(), head.bytes().size());
+    constexpr int kRowsPerChunk = 4096;
+    std::vector<float> buf(static_cast<size_t>(kRowsPerChunk) * dim);
+    for (int row = 0; row < n; row += kRowsPerChunk) {
+      const int rows_here = std::min(kRowsPerChunk, n - row);
+      for (int i = 0; i < rows_here; ++i) {
+        const float* mu = centroids.RowPtr(community[row + i]);
+        float* out = buf.data() + static_cast<size_t>(i) * dim;
+        for (int j = 0; j < dim; ++j) {
+          out[j] = mu[j] + static_cast<float>(
+                               frng.Normal(0.0, config.feature_noise));
+        }
+      }
+      sink(buf.data(), static_cast<size_t>(rows_here) * dim * sizeof(float));
+    }
+  };
+  uint32_t features_crc = 0;
+  for_each_feature_chunk(rng, [&](const void* p, size_t len) {
+    features_crc = Crc32(p, len, features_crc);
+  });
+  const uint64_t features_size =
+      8 + static_cast<uint64_t>(n) * dim * sizeof(float);
+
+  // Planted-partition edges, exactly as GenerateSynthetic.
+  const long long target_edges =
+      static_cast<long long>(config.avg_degree * n / 2.0);
+  std::vector<std::pair<int, int>> und_edges;
+  und_edges.reserve(static_cast<size_t>(target_edges));
+  {
+    FlatKeySet seen(static_cast<size_t>(target_edges) + 1);
+    long long attempts = 0;
+    const long long max_attempts = target_edges * 50 + 1000;
+    while (static_cast<long long>(und_edges.size()) < target_edges &&
+           attempts < max_attempts) {
+      ++attempts;
+      const int u = static_cast<int>(rng.UniformInt(n));
+      int v;
+      if (rng.Bernoulli(config.homophily)) {
+        const auto& peers = by_class[community[u]];
+        v = peers[rng.UniformInt(peers.size())];
+      } else {
+        v = static_cast<int>(rng.UniformInt(n));
+      }
+      if (u == v) continue;
+      const long long key =
+          static_cast<long long>(std::min(u, v)) * n + std::max(u, v) + 1;
+      if (!seen.Insert(key)) continue;
+      und_edges.emplace_back(u, v);
+    }
+  }
+
+  // Copy, not move: for_each_feature_chunk re-reads the pre-noise
+  // communities when the features section is finally streamed out.
+  std::vector<int> labels = community;
+  ApplyLabelNoiseInPlace(config, rng, labels);
+  SplitIdx splits = ComputeSplits(config, labels, rng);
+  // --- RNG stream fully consumed; everything below is layout. ---
+
+  // The adj payload is PutCsr of FromEdges(symmetrize=true): since the
+  // accepted pairs have no duplicates or self-loops, symmetrization sums
+  // nothing and ToEdges() is just both directions of every pair in
+  // (src, dst) order, weight 1 — so sort packed (src<<32 | dst) words.
+  std::vector<uint64_t> directed;
+  directed.reserve(und_edges.size() * 2);
+  for (const auto& [u, v] : und_edges) {
+    directed.push_back(static_cast<uint64_t>(u) << 32 | static_cast<uint32_t>(v));
+    directed.push_back(static_cast<uint64_t>(v) << 32 | static_cast<uint32_t>(u));
+  }
+  und_edges.clear();
+  und_edges.shrink_to_fit();
+  std::sort(directed.begin(), directed.end());
+
+  const auto for_each_adj_chunk = [&](auto&& sink) {
+    store::SectionWriter head;
+    head.PutI32(n);
+    head.PutI32(n);
+    head.PutU64(directed.size());
+    sink(head.bytes().data(), head.bytes().size());
+    constexpr size_t kRecordsPerChunk = 87380;  // ~1 MiB of 12-byte records
+    std::vector<char> buf(kRecordsPerChunk * 12);
+    size_t done = 0;
+    while (done < directed.size()) {
+      const size_t here = std::min(kRecordsPerChunk, directed.size() - done);
+      char* out = buf.data();
+      for (size_t k = 0; k < here; ++k, out += 12) {
+        const int32_t src = static_cast<int32_t>(directed[done + k] >> 32);
+        const int32_t dst =
+            static_cast<int32_t>(directed[done + k] & 0xffffffffULL);
+        const float w = 1.0f;
+        std::memcpy(out, &src, 4);
+        std::memcpy(out + 4, &dst, 4);
+        std::memcpy(out + 8, &w, 4);
+      }
+      sink(buf.data(), here * 12);
+      done += here;
+    }
+  };
+  uint32_t adj_crc = 0;
+  for_each_adj_chunk([&](const void* p, size_t len) {
+    adj_crc = Crc32(p, len, adj_crc);
+  });
+  const uint64_t adj_size = 16 + static_cast<uint64_t>(directed.size()) * 12;
+
+  // Small sections, buffered whole (labels dominate at 4 bytes/node).
+  store::SectionWriter kind_w, meta_w, labels_w, train_w, val_w, test_w;
+  kind_w.PutString("bgc.dataset");
+  meta_w.PutString(config.name);
+  meta_w.PutI32(config.num_classes);
+  meta_w.PutU8(config.inductive ? 1 : 0);
+  PutIntVectorBytes(labels_w, labels);
+  PutIntVectorBytes(train_w, splits.train);
+  PutIntVectorBytes(val_w, splits.val);
+  PutIntVectorBytes(test_w, splits.test);
+
+  const auto spec = [](const char* name, const store::SectionWriter& w) {
+    return store::BgcbinStreamWriter::SectionSpec{
+        name, w.bytes().size(),
+        Crc32(w.bytes().data(), w.bytes().size())};
+  };
+  std::vector<store::BgcbinStreamWriter::SectionSpec> sections = {
+      spec("kind", kind_w),
+      spec("meta", meta_w),
+      spec("labels", labels_w),
+      spec("train_idx", train_w),
+      spec("val_idx", val_w),
+      spec("test_idx", test_w),
+      {"adj", adj_size, adj_crc},
+      {"features", features_size, features_crc},
+  };
+
+  StatusOr<store::BgcbinStreamWriter> created =
+      store::BgcbinStreamWriter::Create(path, sections);
+  if (!created.ok()) return created.status();
+  store::BgcbinStreamWriter writer = created.take();
+  Status status = Status::Ok();
+  const auto append = [&](const void* p, size_t len) {
+    if (status.ok()) status = writer.Append(p, len);
+  };
+  for (const store::SectionWriter* w :
+       {&kind_w, &meta_w, &labels_w, &train_w, &val_w, &test_w}) {
+    append(w->bytes().data(), w->bytes().size());
+  }
+  for_each_adj_chunk(append);
+  {
+    Rng frng(0);
+    frng.RestoreState(feature_state);
+    for_each_feature_chunk(frng, append);
+  }
+  if (!status.ok()) return status;
+  if (Status s = writer.Close(); !s.ok()) return s;
+
+  StreamingWriteResult result;
+  result.num_nodes = n;
+  result.num_edges = static_cast<long long>(directed.size());
+  return result;
 }
 
 }  // namespace bgc::data

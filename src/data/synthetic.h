@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "src/core/status.h"
 #include "src/data/dataset.h"
 
 namespace bgc::data {
@@ -53,9 +54,33 @@ SyntheticConfig PresetConfig(const std::string& name, double scale = 1.0);
 /// abort). For callers that need to reject bad names gracefully.
 bool IsKnownDatasetPreset(const std::string& name);
 
+/// Streaming presets are generated straight to a bgcbin file because the
+/// materialized GraphDataset would not fit a small RAM budget:
+///   "sbm-1m"  1M nodes, 10 classes, dim 32, avg degree 8, transductive
+/// PresetConfig accepts these names too; IsKnownDatasetPreset stays false
+/// for them so in-RAM loaders keep rejecting them.
+bool IsStreamingDatasetPreset(const std::string& name);
+
 /// Convenience: PresetConfig + GenerateSynthetic.
 GraphDataset MakeDataset(const std::string& name, uint64_t seed,
                          double scale = 1.0);
+
+/// Node/edge counts of a WriteSyntheticBgcbin run ("edges" counts stored
+/// directed records, i.e. 2x the undirected edge count).
+struct StreamingWriteResult {
+  long long num_nodes = 0;
+  long long num_edges = 0;
+};
+
+/// GenerateSynthetic + SaveDatasetBinary without ever materializing the
+/// feature matrix or CsrMatrix: draws the identical RNG stream, computes
+/// every section's size and checksum in a first pass, then streams payload
+/// bytes through a store::BgcbinStreamWriter (features are re-drawn from a
+/// saved RNG snapshot). The output file is byte-identical to
+/// SaveDatasetBinary(GenerateSynthetic(config, seed)) — pinned by
+/// tests/outofcore_test.cc — so every bgcbin reader works on it unchanged.
+StatusOr<StreamingWriteResult> WriteSyntheticBgcbin(
+    const SyntheticConfig& config, uint64_t seed, const std::string& path);
 
 }  // namespace bgc::data
 

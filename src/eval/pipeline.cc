@@ -73,4 +73,25 @@ AttackMetrics EvaluateVictim(nn::GnnModel& victim,
   return EvaluateWithPredict(predict, dataset, generator, target_class);
 }
 
+double EvaluateAccuracySampled(nn::GnnModel& model,
+                               const graph::NeighborSource& graph,
+                               const graph::FeatureSource& features,
+                               const std::vector<int>& labels,
+                               const std::vector<int>& idx,
+                               const std::vector<int>& fanout, int batch_size,
+                               uint64_t seed) {
+  BGC_TRACE_SCOPE("phase.eval_sampled");
+  if (idx.empty()) return 0.0;
+  Matrix logits = nn::PredictLogitsSampled(model, graph, features, idx,
+                                           fanout, batch_size, seed);
+  // Logits row i corresponds to idx[i], so score against remapped labels
+  // with an identity index.
+  std::vector<int> y(idx.size());
+  for (size_t i = 0; i < idx.size(); ++i) {
+    BGC_CHECK_LT(idx[i], static_cast<int>(labels.size()));
+    y[i] = labels[idx[i]];
+  }
+  return nn::Accuracy(logits, y, {});
+}
+
 }  // namespace bgc::eval

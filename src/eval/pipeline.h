@@ -8,6 +8,7 @@
 #include "src/attack/trigger.h"
 #include "src/condense/condenser.h"
 #include "src/data/dataset.h"
+#include "src/graph/partition.h"
 #include "src/nn/models.h"
 
 namespace bgc::eval {
@@ -57,6 +58,18 @@ AttackMetrics EvaluateVictim(nn::GnnModel& victim,
                              const data::GraphDataset& dataset,
                              const attack::TriggerGenerator* generator,
                              int target_class);
+
+/// Accuracy of `model` on the rows of `idx`, computed batchwise on
+/// neighbor-sampled subgraphs (never materializing a full-graph forward
+/// pass) — the evaluation path for out-of-core datasets. Deterministic
+/// for fixed (fanout, batch_size, seed).
+double EvaluateAccuracySampled(nn::GnnModel& model,
+                               const graph::NeighborSource& graph,
+                               const graph::FeatureSource& features,
+                               const std::vector<int>& labels,
+                               const std::vector<int>& idx,
+                               const std::vector<int>& fanout, int batch_size,
+                               uint64_t seed);
 
 }  // namespace bgc::eval
 

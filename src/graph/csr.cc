@@ -37,6 +37,32 @@ int SpmmRowGrain(long long nnz, int rows, int dense_cols) {
 
 }  // namespace
 
+CsrMatrix CsrMatrix::FromCsrParts(int rows, int cols, std::vector<int> row_ptr,
+                                  std::vector<int> col_idx,
+                                  std::vector<float> values) {
+  BGC_CHECK_GE(rows, 0);
+  BGC_CHECK_GE(cols, 0);
+  BGC_CHECK_EQ(static_cast<int>(row_ptr.size()), rows + 1);
+  BGC_CHECK_EQ(row_ptr[0], 0);
+  BGC_CHECK_EQ(row_ptr[rows], static_cast<int>(col_idx.size()));
+  BGC_CHECK_EQ(col_idx.size(), values.size());
+  for (int r = 0; r < rows; ++r) {
+    BGC_CHECK_LE(row_ptr[r], row_ptr[r + 1]);
+    for (int k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      BGC_CHECK_GE(col_idx[k], 0);
+      BGC_CHECK_LT(col_idx[k], cols);
+      if (k > row_ptr[r]) BGC_CHECK_LT(col_idx[k - 1], col_idx[k]);
+    }
+  }
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_ = std::move(row_ptr);
+  m.col_idx_ = std::move(col_idx);
+  m.values_ = std::move(values);
+  return m;
+}
+
 CsrMatrix CsrMatrix::FromEdges(int rows, int cols,
                                const std::vector<Edge>& edges,
                                bool symmetrize) {

@@ -34,6 +34,16 @@ class CsrMatrix {
   /// Builds from a dense matrix, keeping entries with |value| > threshold.
   static CsrMatrix FromDense(const Matrix& dense, float threshold = 0.0f);
 
+  /// Adopts already-valid CSR arrays without the FromEdges sort/coalesce
+  /// pass: row_ptr must have rows+1 entries starting at 0, nondecreasing,
+  /// ending at col_idx.size() == values.size(), and every row's columns
+  /// must be strictly increasing within [0, cols). Checked (aborts on
+  /// violation); used by the shard builder (graph/partition.h), whose rows
+  /// arrive presorted.
+  static CsrMatrix FromCsrParts(int rows, int cols, std::vector<int> row_ptr,
+                                std::vector<int> col_idx,
+                                std::vector<float> values);
+
   /// n×n identity.
   static CsrMatrix Identity(int n);
 

@@ -1,0 +1,102 @@
+#include "src/graph/partition.h"
+
+#include <cstring>
+
+#include "src/core/check.h"
+#include "src/obs/obs.h"
+
+namespace bgc::graph {
+
+long long NeighborSource::TotalNnz() const {
+  long long nnz = 0;
+  for (int i = 0; i < num_nodes(); ++i) nnz += degree(i);
+  return nnz;
+}
+
+Matrix FeatureSource::Gather(const std::vector<int>& nodes) const {
+  BGC_TRACE_SCOPE("graph.feature_gather");
+  Matrix out(static_cast<int>(nodes.size()), dim());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    BGC_CHECK_GE(nodes[i], 0);
+    BGC_CHECK_LT(nodes[i], num_nodes());
+    CopyRow(nodes[i], out.RowPtr(static_cast<int>(i)));
+  }
+  return out;
+}
+
+void CsrNeighborSource::Row(int node, std::vector<int>* cols,
+                            std::vector<float>* vals) const {
+  BGC_CHECK_GE(node, 0);
+  BGC_CHECK_LT(node, adj_->rows());
+  const int begin = adj_->row_ptr()[node];
+  const int end = adj_->row_ptr()[node + 1];
+  cols->assign(adj_->col_idx().begin() + begin, adj_->col_idx().begin() + end);
+  vals->assign(adj_->values().begin() + begin, adj_->values().begin() + end);
+}
+
+void MatrixFeatureSource::CopyRow(int node, float* out) const {
+  std::memcpy(out, m_->RowPtr(node),
+              static_cast<size_t>(m_->cols()) * sizeof(float));
+}
+
+std::vector<RowRange> PartitionRows(const NeighborSource& source,
+                                    long long max_nnz_per_shard) {
+  BGC_CHECK_GT(max_nnz_per_shard, 0);
+  std::vector<RowRange> ranges;
+  const int n = source.num_nodes();
+  int begin = 0;
+  long long nnz = 0;
+  for (int i = 0; i < n; ++i) {
+    const long long d = source.degree(i);
+    if (i > begin && nnz + d > max_nnz_per_shard) {
+      ranges.push_back({begin, i});
+      begin = i;
+      nnz = 0;
+    }
+    nnz += d;
+  }
+  if (begin < n) ranges.push_back({begin, n});
+  return ranges;
+}
+
+CsrMatrix BuildShard(const NeighborSource& source, RowRange range) {
+  BGC_CHECK_GE(range.begin, 0);
+  BGC_CHECK_LE(range.begin, range.end);
+  BGC_CHECK_LE(range.end, source.num_nodes());
+  std::vector<int> row_ptr;
+  row_ptr.reserve(static_cast<size_t>(range.size()) + 1);
+  row_ptr.push_back(0);
+  std::vector<int> col_idx;
+  std::vector<float> values;
+  std::vector<int> cols;
+  std::vector<float> vals;
+  for (int i = range.begin; i < range.end; ++i) {
+    source.Row(i, &cols, &vals);
+    col_idx.insert(col_idx.end(), cols.begin(), cols.end());
+    values.insert(values.end(), vals.begin(), vals.end());
+    row_ptr.push_back(static_cast<int>(col_idx.size()));
+  }
+  return CsrMatrix::FromCsrParts(range.size(), source.num_nodes(),
+                                 std::move(row_ptr), std::move(col_idx),
+                                 std::move(values));
+}
+
+Matrix ShardedMultiply(const NeighborSource& source, const Matrix& dense,
+                       long long max_nnz_per_shard) {
+  BGC_TRACE_SCOPE("graph.sharded_spmm");
+  BGC_CHECK_EQ(source.num_nodes(), dense.rows());
+  Matrix out(source.num_nodes(), dense.cols());
+  const std::vector<RowRange> ranges =
+      PartitionRows(source, max_nnz_per_shard);
+  BGC_COUNTER_ADD("graph.sharded_spmm.shards",
+                  static_cast<long long>(ranges.size()));
+  for (const RowRange& range : ranges) {
+    const CsrMatrix shard = BuildShard(source, range);
+    const Matrix part = shard.Multiply(dense);
+    std::memcpy(out.RowPtr(range.begin), part.data(),
+                static_cast<size_t>(part.size()) * sizeof(float));
+  }
+  return out;
+}
+
+}  // namespace bgc::graph

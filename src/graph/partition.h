@@ -1,0 +1,108 @@
+#ifndef BGC_GRAPH_PARTITION_H_
+#define BGC_GRAPH_PARTITION_H_
+
+// Out-of-core graph access and contiguous row-range CSR sharding.
+//
+// NeighborSource / FeatureSource abstract "one adjacency row" and "one
+// feature row" so the neighbor sampler (src/nn/sampler.h) and sharded
+// full-graph kernels work identically over an in-RAM CsrMatrix/Matrix and
+// a memory-mapped bgcbin dataset (src/data/mmap_dataset.h). PartitionRows
+// cuts [0, n) into contiguous row ranges with a bounded per-shard nnz;
+// BuildShard materializes one range as a small CsrMatrix whose rows route
+// through the existing sharded (row-partitioned, bit-deterministic) SpMM.
+// ShardedMultiply therefore produces bytes identical to
+// CsrMatrix::Multiply on the fully materialized graph — each output row is
+// the same serial accumulation chain — while only ever holding one shard
+// in RAM. See DESIGN.md §13 for the bit-exactness contract.
+
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/tensor/matrix.h"
+
+namespace bgc::graph {
+
+/// Read-only adjacency row access. Implementations must be deterministic:
+/// the same node always yields the same (cols, vals) sequence, sorted by
+/// column, with no duplicate columns.
+class NeighborSource {
+ public:
+  virtual ~NeighborSource() = default;
+  virtual int num_nodes() const = 0;
+  /// Stored entries in `node`'s row. O(1) for both implementations.
+  virtual int degree(int node) const = 0;
+  /// Overwrites `cols`/`vals` with the row's column ids and weights.
+  virtual void Row(int node, std::vector<int>* cols,
+                   std::vector<float>* vals) const = 0;
+
+  /// Sum of all degrees (== nnz of the full adjacency).
+  long long TotalNnz() const;
+};
+
+/// Read-only feature row access (num_nodes × dim, row-major semantics).
+class FeatureSource {
+ public:
+  virtual ~FeatureSource() = default;
+  virtual int num_nodes() const = 0;
+  virtual int dim() const = 0;
+  /// Copies `node`'s feature row (dim floats) into `out`.
+  virtual void CopyRow(int node, float* out) const = 0;
+
+  /// Dense |nodes| × dim matrix of the given rows, in order. The float
+  /// bits are copied verbatim, so training on gathered rows is
+  /// bit-identical to slicing the in-RAM feature matrix.
+  Matrix Gather(const std::vector<int>& nodes) const;
+};
+
+/// NeighborSource over an in-RAM CsrMatrix (borrowed, caller keeps alive).
+class CsrNeighborSource : public NeighborSource {
+ public:
+  explicit CsrNeighborSource(const CsrMatrix& adj) : adj_(&adj) {}
+  int num_nodes() const override { return adj_->rows(); }
+  int degree(int node) const override { return adj_->RowNnz(node); }
+  void Row(int node, std::vector<int>* cols,
+           std::vector<float>* vals) const override;
+
+ private:
+  const CsrMatrix* adj_;
+};
+
+/// FeatureSource over an in-RAM Matrix (borrowed, caller keeps alive).
+class MatrixFeatureSource : public FeatureSource {
+ public:
+  explicit MatrixFeatureSource(const Matrix& features) : m_(&features) {}
+  int num_nodes() const override { return m_->rows(); }
+  int dim() const override { return m_->cols(); }
+  void CopyRow(int node, float* out) const override;
+
+ private:
+  const Matrix* m_;
+};
+
+/// Half-open contiguous row range [begin, end).
+struct RowRange {
+  int begin = 0;
+  int end = 0;
+  int size() const { return end - begin; }
+};
+
+/// Cuts [0, num_nodes) into contiguous ranges whose summed degree stays
+/// <= max_nnz_per_shard (a single row heavier than the budget gets a
+/// range of its own). Deterministic; ranges cover every row exactly once.
+std::vector<RowRange> PartitionRows(const NeighborSource& source,
+                                    long long max_nnz_per_shard);
+
+/// Materializes `range` as a range.size() × num_nodes CsrMatrix whose row
+/// r holds source row (range.begin + r).
+CsrMatrix BuildShard(const NeighborSource& source, RowRange range);
+
+/// source (n×n) * dense (n×m) computed one bounded-nnz shard at a time
+/// through CsrMatrix::Multiply. Bit-identical to materializing the full
+/// adjacency and multiplying once (rows are independent and each row's
+/// accumulation chain is unchanged), with peak extra memory of one shard.
+Matrix ShardedMultiply(const NeighborSource& source, const Matrix& dense,
+                       long long max_nnz_per_shard);
+
+}  // namespace bgc::graph
+
+#endif  // BGC_GRAPH_PARTITION_H_

@@ -1,0 +1,153 @@
+#include "src/nn/sampler.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "src/core/check.h"
+#include "src/core/rng.h"
+#include "src/obs/obs.h"
+
+namespace bgc::nn {
+namespace {
+
+// Purpose constants keep the sampler's streams decoupled from each other
+// and from the victim/attack/dropout streams (which mix their own tags).
+constexpr uint64_t kEpochOrderPurpose = 0x5a3d1e9b70c4f281ULL;
+constexpr uint64_t kBatchSamplePurpose = 0xc1b2a6e84d5f3907ULL;
+
+}  // namespace
+
+uint64_t MixSeed(uint64_t a, uint64_t b) {
+  // splitmix64 finalizer over the combined words; good avalanche so that
+  // nearby (seed, epoch, batch) triples land on unrelated streams.
+  uint64_t z = a + 0x9e3779b97f4a7c15ULL * (b + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+NeighborSampler::NeighborSampler(const graph::NeighborSource& graph,
+                                 SamplerConfig config, std::vector<int> seeds)
+    : graph_(&graph), config_(std::move(config)), seeds_(std::move(seeds)) {
+  BGC_CHECK_MSG(config_.batch_size > 0,
+                "NeighborSampler: batch_size must be positive");
+  BGC_CHECK_MSG(!config_.fanout.empty(),
+                "NeighborSampler: fanout must name at least one hop");
+  for (int f : config_.fanout) {
+    BGC_CHECK_MSG(f > 0, "NeighborSampler: fanout entries must be positive");
+  }
+  for (int s : seeds_) {
+    BGC_CHECK_MSG(s >= 0 && s < graph_->num_nodes(),
+                  "NeighborSampler: seed node out of range");
+  }
+}
+
+int NeighborSampler::num_batches() const {
+  const int n = num_seeds();
+  return (n + config_.batch_size - 1) / config_.batch_size;
+}
+
+const std::vector<int>& NeighborSampler::EpochOrder(int epoch) const {
+  if (cached_epoch_ != epoch) {
+    cached_order_ = seeds_;
+    Rng rng(MixSeed(MixSeed(config_.seed, kEpochOrderPurpose),
+                    static_cast<uint64_t>(epoch)));
+    rng.Shuffle(cached_order_);
+    cached_epoch_ = epoch;
+  }
+  return cached_order_;
+}
+
+MiniBatch NeighborSampler::Batch(int epoch, int batch) const {
+  BGC_CHECK_MSG(batch >= 0 && batch < num_batches(),
+                "NeighborSampler: batch index out of range");
+  const std::vector<int>& order = EpochOrder(epoch);
+  const int begin = batch * config_.batch_size;
+  const int end = std::min<int>(begin + config_.batch_size,
+                                static_cast<int>(order.size()));
+  std::vector<int> batch_seeds(order.begin() + begin, order.begin() + end);
+  const uint64_t purpose =
+      MixSeed(kBatchSamplePurpose, static_cast<uint64_t>(epoch));
+  return SampleForSeeds(batch_seeds, purpose, batch);
+}
+
+MiniBatch NeighborSampler::SampleForSeeds(const std::vector<int>& seeds,
+                                          uint64_t purpose, int batch) const {
+  BGC_TRACE_SCOPE("nn.sampler.batch");
+  Rng rng(MixSeed(MixSeed(config_.seed, purpose),
+                  static_cast<uint64_t>(batch)));
+
+  MiniBatch mb;
+  mb.num_seeds = static_cast<int>(seeds.size());
+  std::unordered_map<int, int> local;  // global id -> local id
+  local.reserve(seeds.size() * (config_.fanout[0] + 1));
+  for (int s : seeds) {
+    BGC_CHECK_MSG(s >= 0 && s < graph_->num_nodes(),
+                  "NeighborSampler: seed node out of range");
+    BGC_CHECK_MSG(local.emplace(s, static_cast<int>(mb.nodes.size())).second,
+                  "NeighborSampler: duplicate seed in batch");
+    mb.nodes.push_back(s);
+    mb.hop.push_back(0);
+  }
+
+  // Frontier expansion: hop l samples fanout[l] neighbors of every node
+  // that entered at hop l. Edges are recorded in both directions over
+  // local ids and deduplicated below, so the batch adjacency stays
+  // symmetric and FromEdges (which *sums* duplicates) sees each
+  // coordinate exactly once.
+  std::vector<std::pair<int, int>> edges;  // local (u, v), u != v
+  std::vector<int> cols;
+  std::vector<float> vals;
+  size_t frontier_begin = 0;
+  for (size_t l = 0; l < config_.fanout.size(); ++l) {
+    const size_t frontier_end = mb.nodes.size();
+    const int fanout = config_.fanout[l];
+    for (size_t i = frontier_begin; i < frontier_end; ++i) {
+      const int u_global = mb.nodes[i];
+      const int u_local = static_cast<int>(i);
+      const int deg = graph_->degree(u_global);
+      if (deg == 0) continue;
+      graph_->Row(u_global, &cols, &vals);
+      auto visit = [&](int v_global) {
+        auto [it, inserted] =
+            local.emplace(v_global, static_cast<int>(mb.nodes.size()));
+        if (inserted) {
+          mb.nodes.push_back(v_global);
+          mb.hop.push_back(static_cast<int>(l) + 1);
+        }
+        const int v_local = it->second;
+        if (v_local == u_local) return;  // stored self-loop; skip
+        edges.emplace_back(u_local, v_local);
+        edges.emplace_back(v_local, u_local);
+      };
+      if (deg <= fanout) {
+        for (int v : cols) visit(v);
+      } else {
+        for (int pick : rng.SampleWithoutReplacement(deg, fanout)) {
+          visit(cols[pick]);
+        }
+      }
+    }
+    frontier_begin = frontier_end;
+  }
+
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  const int n_local = static_cast<int>(mb.nodes.size());
+  std::vector<graph::Edge> coo;
+  coo.reserve(edges.size());
+  for (const auto& [u, v] : edges) {
+    coo.push_back({u, v, 1.0f});
+  }
+  mb.adj = graph::CsrMatrix::FromEdges(n_local, n_local, coo,
+                                       /*symmetrize=*/false);
+
+  BGC_COUNTER_ADD("nn.sampler.batches", 1);
+  BGC_COUNTER_ADD("nn.sampler.nodes", n_local);
+  BGC_COUNTER_ADD("nn.sampler.edges", static_cast<long long>(edges.size()));
+  return mb;
+}
+
+}  // namespace bgc::nn

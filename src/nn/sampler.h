@@ -1,0 +1,86 @@
+#ifndef BGC_NN_SAMPLER_H_
+#define BGC_NN_SAMPLER_H_
+
+// Deterministic GraphSAGE-style neighbor sampling for minibatch training
+// over a NeighborSource (in-RAM CSR or mmap-backed dataset).
+//
+// Each batch is the union subgraph of its seed nodes plus `fanout[l]`
+// sampled neighbors per node at hop l, re-symmetrized over local ids, so
+// every existing architecture's Forward() runs unchanged on the batch via
+// MakePropagators(batch.adj).
+//
+// Determinism contract (DESIGN.md §13, enforced by tests/sampler_test.cc):
+// Batch(epoch, b) is a pure function of (config.seed, epoch, b) and the
+// graph — it draws from a per-batch Rng stream derived by splitmix-style
+// mixing, never from a shared mutable stream, and samples serially. Batches
+// are therefore bit-identical across reruns, across BGC_NUM_THREADS, and
+// independent of the order in which batches are requested. The sampler
+// stream is decoupled from the victim/attack streams the same way PR 4
+// separated those from each other: a dedicated purpose constant is mixed
+// into every derivation.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/graph/partition.h"
+
+namespace bgc::nn {
+
+struct SamplerConfig {
+  /// fanout[l] = max neighbors kept per node at hop l (seeds are hop 0).
+  /// A node with degree <= fanout[l] keeps all its neighbors.
+  std::vector<int> fanout{10, 5};
+  int batch_size = 512;
+  uint64_t seed = 0;
+};
+
+/// One sampled minibatch: a local-id subgraph whose first `num_seeds`
+/// nodes are the batch's seed nodes.
+struct MiniBatch {
+  std::vector<int> nodes;  // local id -> global id; seeds first
+  int num_seeds = 0;
+  std::vector<int> hop;    // local id -> hop at which the node entered
+  graph::CsrMatrix adj;    // symmetric sampled subgraph over local ids
+};
+
+/// Splitmix64-style combiner for deriving decoupled per-batch streams.
+uint64_t MixSeed(uint64_t a, uint64_t b);
+
+class NeighborSampler {
+ public:
+  /// `graph` is borrowed and must outlive the sampler. `seeds` are the
+  /// global node ids batches draw from (typically the train split).
+  NeighborSampler(const graph::NeighborSource& graph, SamplerConfig config,
+                  std::vector<int> seeds);
+
+  int num_seeds() const { return static_cast<int>(seeds_.size()); }
+  int num_batches() const;
+  const SamplerConfig& config() const { return config_; }
+
+  /// The sampled batch `batch` of epoch `epoch` (seed order reshuffles
+  /// every epoch). Pure function of (config.seed, epoch, batch); see the
+  /// determinism contract above. Not thread-safe (caches the epoch
+  /// permutation), matching its serial use in the trainer.
+  MiniBatch Batch(int epoch, int batch) const;
+
+  /// A batch over caller-given seed nodes in the given order (no epoch
+  /// shuffle); used for sampled inference. `purpose` decouples the
+  /// inference stream from training batches.
+  MiniBatch SampleForSeeds(const std::vector<int>& seeds, uint64_t purpose,
+                           int batch) const;
+
+ private:
+  const std::vector<int>& EpochOrder(int epoch) const;
+
+  const graph::NeighborSource* graph_;
+  SamplerConfig config_;
+  std::vector<int> seeds_;
+  // Cached per-epoch permutation (recomputed when `epoch` changes).
+  mutable int cached_epoch_ = -1;
+  mutable std::vector<int> cached_order_;
+};
+
+}  // namespace bgc::nn
+
+#endif  // BGC_NN_SAMPLER_H_

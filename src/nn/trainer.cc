@@ -1,5 +1,8 @@
 #include "src/nn/trainer.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "src/core/check.h"
 #include "src/nn/optimizer.h"
 #include "src/obs/obs.h"
@@ -58,6 +61,117 @@ Matrix PredictLogits(GnnModel& model, const graph::CsrMatrix& adj,
   ag::Var xin = tape.Constant(x);
   ag::Var logits = model.Forward(tape, props, xin, rng, /*training=*/false);
   return tape.value(logits);
+}
+
+MinibatchTrainer::MinibatchTrainer(GnnModel& model,
+                                   const graph::NeighborSource& graph,
+                                   const graph::FeatureSource& features,
+                                   const std::vector<int>& labels,
+                                   const std::vector<int>& train_idx,
+                                   const MinibatchTrainConfig& config)
+    : model_(&model),
+      features_(&features),
+      labels_(&labels),
+      config_(config),
+      sampler_(graph, SamplerConfig{config.fanout, config.batch_size,
+                                    config.seed},
+               train_idx),
+      optimizer_(config.lr, config.weight_decay),
+      // Same dropout-stream derivation as TrainNodeClassifier so the two
+      // paths stay decoupled from sampling (which mixes its own purposes).
+      dropout_rng_(config.seed ^ 0x7a1e5ULL) {
+  BGC_CHECK_MSG(!train_idx.empty(),
+                "MinibatchTrainer: train_idx must be non-empty");
+  BGC_CHECK_EQ(graph.num_nodes(), features.num_nodes());
+  BGC_CHECK_EQ(graph.num_nodes(), static_cast<int>(labels.size()));
+}
+
+float MinibatchTrainer::RunEpoch(int epoch) {
+  BGC_TRACE_SCOPE("nn.train_minibatch.epoch");
+  const int batches = sampler_.num_batches();
+  double loss_sum = 0.0;
+  for (int b = 0; b < batches; ++b) {
+    MiniBatch mb = sampler_.Batch(epoch, b);
+    // Per-batch propagators live on the stack: tape SpMM nodes hold
+    // pointers into them, so they must outlive Backward() — and do,
+    // because the tape is reset before the next batch reuses the slot.
+    Propagators props = MakePropagators(mb.adj);
+    Matrix x = features_->Gather(mb.nodes);
+    std::vector<int> seed_rows(mb.num_seeds);
+    std::vector<int> y(mb.num_seeds);
+    for (int i = 0; i < mb.num_seeds; ++i) {
+      seed_rows[i] = i;  // seeds occupy local rows [0, num_seeds)
+      const int label = (*labels_)[mb.nodes[i]];
+      BGC_CHECK_GE(label, 0);
+      BGC_CHECK_LT(label, model_->config().out_dim);
+      y[i] = label;
+    }
+    const Matrix targets = OneHot(y, model_->config().out_dim);
+
+    tape_.Reset();
+    ag::Var xin = tape_.Constant(x);
+    ag::Var logits =
+        model_->Forward(tape_, props, xin, dropout_rng_, /*training=*/true);
+    ag::Var loss = tape_.SoftmaxCrossEntropy(
+        tape_.GatherRows(logits, seed_rows), targets);
+    loss_sum += tape_.value(loss).At(0, 0);
+    tape_.Backward(loss);
+    model_->CollectGrads(tape_);
+    optimizer_.Step(model_->Params());
+    BGC_COUNTER_ADD("nn.train_minibatch.steps", 1);
+  }
+  return static_cast<float>(loss_sum / batches);
+}
+
+float TrainNodeClassifierMinibatch(GnnModel& model,
+                                   const graph::NeighborSource& graph,
+                                   const graph::FeatureSource& features,
+                                   const std::vector<int>& labels,
+                                   const std::vector<int>& train_idx,
+                                   const MinibatchTrainConfig& config) {
+  BGC_TRACE_SCOPE("nn.train_minibatch");
+  MinibatchTrainer trainer(model, graph, features, labels, train_idx, config);
+  float loss = 0.0f;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    loss = trainer.RunEpoch(epoch);
+  }
+  return loss;
+}
+
+Matrix PredictLogitsSampled(GnnModel& model,
+                            const graph::NeighborSource& graph,
+                            const graph::FeatureSource& features,
+                            const std::vector<int>& idx,
+                            const std::vector<int>& fanout, int batch_size,
+                            uint64_t seed) {
+  BGC_TRACE_SCOPE("nn.predict_sampled");
+  // Distinct from the training purposes mixed inside NeighborSampler.
+  constexpr uint64_t kInferencePurpose = 0x8e44f0a9275b6c13ULL;
+  NeighborSampler sampler(graph, SamplerConfig{fanout, batch_size, seed},
+                          /*seeds=*/{});
+  Matrix out(static_cast<int>(idx.size()), model.config().out_dim);
+  Rng rng(0);
+  ag::Tape tape;
+  int done = 0, batch = 0;
+  while (done < static_cast<int>(idx.size())) {
+    const int take =
+        std::min<int>(batch_size, static_cast<int>(idx.size()) - done);
+    std::vector<int> seeds(idx.begin() + done, idx.begin() + done + take);
+    MiniBatch mb = sampler.SampleForSeeds(seeds, kInferencePurpose, batch);
+    Propagators props = MakePropagators(mb.adj);
+    Matrix x = features.Gather(mb.nodes);
+    tape.Reset();
+    ag::Var xin = tape.Constant(x);
+    ag::Var logits = model.Forward(tape, props, xin, rng, /*training=*/false);
+    const Matrix& values = tape.value(logits);
+    for (int i = 0; i < take; ++i) {
+      std::memcpy(out.RowPtr(done + i), values.RowPtr(i),
+                  sizeof(float) * model.config().out_dim);
+    }
+    done += take;
+    ++batch;
+  }
+  return out;
 }
 
 double Accuracy(const Matrix& logits, const std::vector<int>& labels,

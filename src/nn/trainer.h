@@ -1,9 +1,12 @@
 #ifndef BGC_NN_TRAINER_H_
 #define BGC_NN_TRAINER_H_
 
+#include <memory>
 #include <vector>
 
 #include "src/nn/models.h"
+#include "src/nn/optimizer.h"
+#include "src/nn/sampler.h"
 
 namespace bgc::nn {
 
@@ -32,6 +35,80 @@ Matrix PredictLogits(GnnModel& model, const graph::CsrMatrix& adj,
 /// `labels`.
 double Accuracy(const Matrix& logits, const std::vector<int>& labels,
                 const std::vector<int>& idx);
+
+/// Neighbor-sampled minibatch training configuration. The fanout/batch
+/// knobs feed a NeighborSampler; lr/weight_decay/seed mirror TrainConfig.
+struct MinibatchTrainConfig {
+  int epochs = 30;
+  float lr = 0.01f;
+  float weight_decay = 5e-4f;
+  uint64_t seed = 0;
+  std::vector<int> fanout{10, 5};
+  int batch_size = 512;
+};
+
+/// Epoch-at-a-time sampled trainer over any NeighborSource/FeatureSource
+/// pair — an in-RAM dataset or an out-of-core data::MmapDataset. Exposed
+/// as a class (rather than one closed loop) so checkpointing (src/store)
+/// can snapshot the model, optimizer, and dropout stream between epochs.
+///
+/// Determinism contract (DESIGN.md §13): given the same config, the
+/// trained weights are bit-identical across reruns, across
+/// BGC_NUM_THREADS, and across the heap and mmap data paths. Resuming
+/// from an epoch-boundary checkpoint continues the identical stream
+/// because batches are pure functions of (seed, epoch, batch) and only
+/// the model/optimizer/dropout-rng state carries across epochs.
+class MinibatchTrainer {
+ public:
+  /// Borrows every reference; all must outlive the trainer. `train_idx`
+  /// lists the global ids trained on (must be non-empty).
+  MinibatchTrainer(GnnModel& model, const graph::NeighborSource& graph,
+                   const graph::FeatureSource& features,
+                   const std::vector<int>& labels,
+                   const std::vector<int>& train_idx,
+                   const MinibatchTrainConfig& config);
+
+  /// Runs every batch of `epoch` (sample → gather → forward → Adam step);
+  /// returns the mean batch loss.
+  float RunEpoch(int epoch);
+
+  GnnModel& model() { return *model_; }
+  Adam& optimizer() { return optimizer_; }
+  Rng& dropout_rng() { return dropout_rng_; }
+  const MinibatchTrainConfig& config() const { return config_; }
+  int num_batches() const { return sampler_.num_batches(); }
+  const NeighborSampler& sampler() const { return sampler_; }
+
+ private:
+  GnnModel* model_;
+  const graph::FeatureSource* features_;
+  const std::vector<int>* labels_;
+  MinibatchTrainConfig config_;
+  NeighborSampler sampler_;
+  Adam optimizer_;
+  Rng dropout_rng_;
+  ag::Tape tape_;
+};
+
+/// Runs `config.epochs` epochs of sampled training; returns the final
+/// epoch's mean batch loss.
+float TrainNodeClassifierMinibatch(GnnModel& model,
+                                   const graph::NeighborSource& graph,
+                                   const graph::FeatureSource& features,
+                                   const std::vector<int>& labels,
+                                   const std::vector<int>& train_idx,
+                                   const MinibatchTrainConfig& config);
+
+/// Sampled inference: logits for exactly the rows of `idx` (returned in
+/// `idx` order, idx.size()×out_dim), each computed on a neighbor-sampled
+/// subgraph. Deterministic for fixed (fanout, batch_size, seed); dropout
+/// disabled.
+Matrix PredictLogitsSampled(GnnModel& model,
+                            const graph::NeighborSource& graph,
+                            const graph::FeatureSource& features,
+                            const std::vector<int>& idx,
+                            const std::vector<int>& fanout, int batch_size,
+                            uint64_t seed);
 
 }  // namespace bgc::nn
 

@@ -512,6 +512,17 @@ long long ReadPeakRssBytes() {
 #endif
 }
 
+bool ResetPeakRss() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "we");
+  if (f == nullptr) return false;
+  const bool ok = std::fputs("5", f) >= 0;
+  return (std::fclose(f) == 0) && ok;
+#else
+  return false;
+#endif
+}
+
 namespace {
 // Every binary that links bgc_obs honors BGC_METRICS/BGC_TRACE without
 // explicit wiring; with both unset this is a no-op (collection stays off).

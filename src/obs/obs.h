@@ -247,6 +247,13 @@ void PrintPhaseTableAtExit();
 /// JSON and at the foot of the phase table.
 long long ReadPeakRssBytes();
 
+/// Resets the kernel's peak-RSS watermark (writes "5" to
+/// /proc/self/clear_refs) so ReadPeakRssBytes() reflects only memory
+/// touched after this call — the primitive behind per-phase memory-budget
+/// assertions (tests/outofcore_test.cc). Returns false where the
+/// interface does not exist (non-Linux) or the write fails.
+bool ResetPeakRss();
+
 }  // namespace bgc::obs
 
 #if defined(BGC_OBS_DISABLED)

@@ -1,5 +1,10 @@
 #include "src/store/bgcbin.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 #include "src/core/check.h"
@@ -155,6 +160,130 @@ Status BgcbinWriter::WriteTo(const std::string& path) const {
   return WriteFileAtomic(path, bytes);
 }
 
+BgcbinStreamWriter::BgcbinStreamWriter(BgcbinStreamWriter&& other) noexcept
+    : path_(std::move(other.path_)),
+      tmp_(std::move(other.tmp_)),
+      fd_(other.fd_),
+      declared_payload_(other.declared_payload_),
+      written_payload_(other.written_payload_),
+      status_(std::move(other.status_)) {
+  other.fd_ = -1;
+  other.tmp_.clear();
+}
+
+BgcbinStreamWriter::~BgcbinStreamWriter() { Abandon(); }
+
+void BgcbinStreamWriter::Abandon() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!tmp_.empty()) {
+    ::unlink(tmp_.c_str());
+    tmp_.clear();
+  }
+}
+
+StatusOr<BgcbinStreamWriter> BgcbinStreamWriter::Create(
+    const std::string& path, const std::vector<SectionSpec>& sections) {
+  BGC_TRACE_SCOPE("store.write");
+  std::string table;
+  uint64_t payload_total = 0;
+  for (size_t i = 0; i < sections.size(); ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      BGC_CHECK_MSG(sections[j].name != sections[i].name,
+                    "duplicate bgcbin section: " + sections[i].name);
+    }
+    AppendLe(&table, sections[i].name.size(), 2);
+    table.append(sections[i].name);
+    AppendLe(&table, sections[i].size, 8);
+    AppendLe(&table, sections[i].crc, 4);
+    payload_total += sections[i].size;
+  }
+  std::string head;
+  head.append(kMagic, sizeof(kMagic));
+  AppendLe(&head, kVersion, 2);
+  AppendLe(&head, sections.size(), 4);
+  AppendLe(&head, Crc32(table.data(), table.size()), 4);
+  head.append(table);
+
+  BgcbinStreamWriter w;
+  w.path_ = path;
+  w.tmp_ = path + ".tmp." + std::to_string(static_cast<long long>(::getpid()));
+  w.declared_payload_ = payload_total;
+  w.fd_ = ::open(w.tmp_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (w.fd_ < 0) {
+    Status s = BGC_ERR("cannot create " + w.tmp_ + ": " +
+                       std::strerror(errno));
+    w.tmp_.clear();
+    return s;
+  }
+  if (Status s = w.Append(head.data(), head.size()); !s.ok()) return s;
+  // Append() above counted the header into the payload tally; rewind it.
+  w.written_payload_ = 0;
+  return StatusOr<BgcbinStreamWriter>(std::move(w));
+}
+
+Status BgcbinStreamWriter::Append(const void* data, size_t n) {
+  if (!status_.ok()) return status_;
+  if (fd_ < 0) {
+    status_ = BGC_ERR("bgcbin stream writer for " + path_ + " already closed");
+    return status_;
+  }
+  const char* p = static_cast<const char*>(data);
+  size_t left = n;
+  while (left > 0) {
+    ssize_t wrote = ::write(fd_, p, left);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      status_ = BGC_ERR("write failed " + tmp_ + ": " + std::strerror(errno));
+      Abandon();
+      return status_;
+    }
+    p += wrote;
+    left -= static_cast<size_t>(wrote);
+  }
+  written_payload_ += n;
+  BGC_COUNTER_ADD("store.bytes_written", static_cast<long long>(n));
+  return Status::Ok();
+}
+
+Status BgcbinStreamWriter::Close() {
+  if (!status_.ok()) return status_;
+  if (fd_ < 0) {
+    status_ = BGC_ERR("bgcbin stream writer for " + path_ + " already closed");
+    return status_;
+  }
+  if (written_payload_ != declared_payload_) {
+    status_ = BGC_ERR("bgcbin stream writer for " + path_ + " received " +
+                      std::to_string(written_payload_) +
+                      " payload bytes but the table declares " +
+                      std::to_string(declared_payload_));
+    Abandon();
+    return status_;
+  }
+  if (::fsync(fd_) != 0) {
+    status_ = BGC_ERR("fsync failed " + tmp_ + ": " + std::strerror(errno));
+    Abandon();
+    return status_;
+  }
+  if (::close(fd_) != 0) {
+    fd_ = -1;
+    status_ = BGC_ERR("close failed " + tmp_ + ": " + std::strerror(errno));
+    Abandon();
+    return status_;
+  }
+  fd_ = -1;
+  if (std::rename(tmp_.c_str(), path_.c_str()) != 0) {
+    status_ = BGC_ERR("rename failed " + tmp_ + " -> " + path_ + ": " +
+                      std::strerror(errno));
+    Abandon();
+    return status_;
+  }
+  tmp_.clear();
+  return Status::Ok();
+}
+
 StatusOr<BgcbinReader> BgcbinReader::Open(const std::string& path) {
   BGC_TRACE_SCOPE("store.read");
   StatusOr<std::string> bytes = ReadFileToString(path);
@@ -164,8 +293,8 @@ StatusOr<BgcbinReader> BgcbinReader::Open(const std::string& path) {
   return Parse(bytes.take(), path);
 }
 
-StatusOr<BgcbinReader> BgcbinReader::Parse(std::string bytes,
-                                           std::string origin) {
+StatusOr<std::vector<SectionEntry>> ParseSectionTable(
+    std::string_view bytes, const std::string& origin) {
   auto err = [&origin](const std::string& msg) {
     return BGC_ERR(origin + ": " + msg);
   };
@@ -181,10 +310,9 @@ StatusOr<BgcbinReader> BgcbinReader::Parse(std::string bytes,
   size_t section_count = static_cast<size_t>(ReadLe(bytes.data() + 8, 4));
   uint32_t table_crc = static_cast<uint32_t>(ReadLe(bytes.data() + 12, 4));
 
-  BgcbinReader reader;
+  std::vector<SectionEntry> entries;
   size_t pos = kHeaderSize;
   uint64_t payload_total = 0;
-  std::vector<uint32_t> payload_crcs;
   for (size_t i = 0; i < section_count; ++i) {
     if (bytes.size() - pos < 2) return err("truncated section table");
     size_t name_len = static_cast<size_t>(ReadLe(bytes.data() + pos, 2));
@@ -192,15 +320,21 @@ StatusOr<BgcbinReader> BgcbinReader::Parse(std::string bytes,
     if (bytes.size() - pos < name_len + 12) {
       return err("truncated section table");
     }
-    Entry e;
+    SectionEntry e;
     e.name.assign(bytes.data() + pos, name_len);
     pos += name_len;
     e.size = static_cast<size_t>(ReadLe(bytes.data() + pos, 8));
     pos += 8;
-    payload_crcs.push_back(static_cast<uint32_t>(ReadLe(bytes.data() + pos, 4)));
+    e.crc = static_cast<uint32_t>(ReadLe(bytes.data() + pos, 4));
     pos += 4;
+    // A declared size that overflows the sum (or any single section larger
+    // than the file) is corruption; catch it before the offset arithmetic.
+    if (e.size > bytes.size() || payload_total > bytes.size() - e.size) {
+      return err("payload size mismatch: table declares more bytes than "
+                 "the file holds");
+    }
     payload_total += e.size;
-    reader.entries_.push_back(std::move(e));
+    entries.push_back(std::move(e));
   }
   uint32_t actual_table_crc =
       Crc32(bytes.data() + kHeaderSize, pos - kHeaderSize);
@@ -212,15 +346,25 @@ StatusOr<BgcbinReader> BgcbinReader::Parse(std::string bytes,
                std::to_string(payload_total) + " bytes, file has " +
                std::to_string(bytes.size() - pos));
   }
-  for (size_t i = 0; i < reader.entries_.size(); ++i) {
-    Entry& e = reader.entries_[i];
+  for (SectionEntry& e : entries) {
     e.offset = pos;
-    uint32_t actual = Crc32(bytes.data() + pos, e.size);
-    if (actual != payload_crcs[i]) {
-      return err("section \"" + e.name +
-                 "\" checksum mismatch (file corrupt)");
-    }
     pos += e.size;
+  }
+  return entries;
+}
+
+StatusOr<BgcbinReader> BgcbinReader::Parse(std::string bytes,
+                                           std::string origin) {
+  StatusOr<std::vector<SectionEntry>> table = ParseSectionTable(bytes, origin);
+  if (!table.ok()) return table.status();
+  BgcbinReader reader;
+  reader.entries_ = table.take();
+  for (const SectionEntry& e : reader.entries_) {
+    uint32_t actual = Crc32(bytes.data() + e.offset, e.size);
+    if (actual != e.crc) {
+      return BGC_ERR(origin + ": section \"" + e.name +
+                     "\" checksum mismatch (file corrupt)");
+    }
   }
   reader.bytes_ = std::move(bytes);
   reader.origin_ = std::move(origin);

@@ -90,6 +90,70 @@ class SectionReader {
   Status status_;
 };
 
+/// One entry of a parsed section table. `offset` is absolute within the
+/// container bytes; `crc` is the table-declared payload CRC-32 (not yet
+/// verified against the payload — see ParseSectionTable).
+struct SectionEntry {
+  std::string name;
+  size_t offset = 0;
+  size_t size = 0;
+  uint32_t crc = 0;
+};
+
+/// Parses and validates the container header and section table of `bytes`:
+/// magic, version, table CRC, and declared-vs-actual total payload size.
+/// Payload CRCs are *not* checked — the caller decides when to pay for
+/// them. BgcbinReader::Parse verifies every payload eagerly; the mmap
+/// dataset path (src/data/mmap_dataset.h) defers each section's CRC to its
+/// first touch so opening a multi-GB file stays O(table).
+StatusOr<std::vector<SectionEntry>> ParseSectionTable(
+    std::string_view bytes, const std::string& origin);
+
+/// Streaming container writer for payloads too large to buffer: every
+/// section's size and payload CRC is declared up front (the table is
+/// written before any payload bytes), then payload bytes are appended in
+/// table order. Close() verifies the byte counts, fsyncs, and renames the
+/// temp file over `path` — the same atomic-write discipline as
+/// BgcbinWriter, so readers never observe a partial container. Any
+/// intermediate failure latches a Status, unlinks the temp file, and makes
+/// the remaining calls no-ops.
+class BgcbinStreamWriter {
+ public:
+  struct SectionSpec {
+    std::string name;
+    uint64_t size = 0;
+    uint32_t crc = 0;  // CRC-32 of the payload bytes to come
+  };
+
+  BgcbinStreamWriter(const BgcbinStreamWriter&) = delete;
+  BgcbinStreamWriter& operator=(const BgcbinStreamWriter&) = delete;
+  ~BgcbinStreamWriter();
+
+  /// Creates the temp file next to `path` and writes header + table.
+  static StatusOr<BgcbinStreamWriter> Create(
+      const std::string& path, const std::vector<SectionSpec>& sections);
+
+  /// Appends payload bytes; sections are filled strictly in table order
+  /// and each must receive exactly its declared size before Close().
+  Status Append(const void* data, size_t n);
+
+  /// Verifies every declared byte arrived, fsyncs, renames into place.
+  Status Close();
+
+  BgcbinStreamWriter(BgcbinStreamWriter&& other) noexcept;
+
+ private:
+  BgcbinStreamWriter() = default;
+  void Abandon();
+
+  std::string path_;
+  std::string tmp_;
+  int fd_ = -1;
+  uint64_t declared_payload_ = 0;
+  uint64_t written_payload_ = 0;
+  Status status_;
+};
+
 /// Accumulates named sections and writes the container atomically.
 class BgcbinWriter {
  public:
@@ -125,15 +189,9 @@ class BgcbinReader {
   const std::string& origin() const { return origin_; }
 
  private:
-  struct Entry {
-    std::string name;
-    size_t offset = 0;
-    size_t size = 0;
-  };
-
   std::string bytes_;
   std::string origin_;
-  std::vector<Entry> entries_;
+  std::vector<SectionEntry> entries_;
 };
 
 }  // namespace bgc::store

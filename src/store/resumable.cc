@@ -1,6 +1,9 @@
 #include "src/store/resumable.h"
 
+#include <algorithm>
+#include <array>
 #include <cstdio>
+#include <utility>
 
 #include "src/core/check.h"
 #include "src/core/fs.h"
@@ -14,6 +17,24 @@ namespace {
 void WriteCheckpoint(condense::Condenser& condenser,
                      const std::string& path) {
   Status s = SaveCondenserCheckpoint(condenser.ExportState(), path);
+  BGC_CHECK_MSG(s.ok(), "cannot write checkpoint: " + s.message());
+}
+
+void WriteTrainerCheckpoint(nn::MinibatchTrainer& trainer, long long next_epoch,
+                            const std::string& path) {
+  SampledTrainCheckpoint ckpt;
+  ckpt.next_epoch = next_epoch;
+  ckpt.model_state = trainer.model().StateDict();
+  for (const auto& [name, param] : trainer.model().NamedParams()) {
+    nn::Adam::ParamState moments = trainer.optimizer().ExportState(param);
+    if (moments.m.rows() == 0) continue;  // no state yet for this param
+    ckpt.adam_m.emplace_back(name, std::move(moments.m));
+    ckpt.adam_v.emplace_back(name, std::move(moments.v));
+  }
+  ckpt.adam_step = trainer.optimizer().step_count();
+  const auto words = trainer.dropout_rng().SaveState();
+  ckpt.rng_state.assign(words.begin(), words.end());
+  Status s = SaveSampledTrainCheckpoint(ckpt, path);
   BGC_CHECK_MSG(s.ok(), "cannot write checkpoint: " + s.message());
 }
 
@@ -82,6 +103,85 @@ ResumableResult RunResumableCondensation(
     std::remove(options.checkpoint_path.c_str());
   }
   out.condensed = condenser.Result();
+  out.completed = true;
+  out.epochs_done = epoch;
+  return out;
+}
+
+SampledTrainResult RunResumableMinibatchTraining(
+    nn::MinibatchTrainer& trainer, const ResumableOptions& options) {
+  BGC_CHECK_MSG(!options.checkpoint_path.empty(),
+                "ResumableOptions.checkpoint_path is required");
+
+  SampledTrainResult out;
+  long long epoch = 0;
+  const long long total_epochs = trainer.config().epochs;
+  if (FileExists(options.checkpoint_path)) {
+    StatusOr<SampledTrainCheckpoint> loaded =
+        TryLoadSampledTrainCheckpoint(options.checkpoint_path);
+    BGC_CHECK_MSG(loaded.ok(),
+                  "corrupt checkpoint (delete it to restart): " +
+                      loaded.status().message());
+    SampledTrainCheckpoint ckpt = loaded.take();
+    BGC_CHECK_MSG(ckpt.next_epoch <= total_epochs,
+                  "checkpoint is past this run's epoch count");
+    Status s = trainer.model().LoadStateDict(ckpt.model_state);
+    BGC_CHECK_MSG(s.ok(), "checkpoint does not fit this model: " +
+                              s.message());
+    // Re-key the saved moments back onto this model's params by name.
+    trainer.optimizer().Reset();
+    for (size_t i = 0; i < ckpt.adam_m.size(); ++i) {
+      const std::string& name = ckpt.adam_m[i].first;
+      BGC_CHECK_MSG(ckpt.adam_v[i].first == name,
+                    "checkpoint Adam moment maps disagree on param order");
+      bool found = false;
+      for (const auto& [pname, param] : trainer.model().NamedParams()) {
+        if (pname != name) continue;
+        trainer.optimizer().RestoreState(
+            param, {std::move(ckpt.adam_m[i].second),
+                    std::move(ckpt.adam_v[i].second)});
+        found = true;
+        break;
+      }
+      BGC_CHECK_MSG(found, "checkpoint Adam state names unknown param " + name);
+    }
+    trainer.optimizer().set_step_count(ckpt.adam_step);
+    BGC_CHECK_MSG(ckpt.rng_state.size() == Rng::kStateWords,
+                  "checkpoint RNG state has wrong word count");
+    std::array<uint64_t, Rng::kStateWords> words;
+    std::copy(ckpt.rng_state.begin(), ckpt.rng_state.end(), words.begin());
+    trainer.dropout_rng().RestoreState(words);
+    epoch = ckpt.next_epoch;
+    out.resumed = true;
+  }
+
+  long long ran_here = 0;
+  while (epoch < total_epochs) {
+    {
+      BGC_TRACE_SCOPE("phase.train_minibatch.epoch");
+      out.last_loss = trainer.RunEpoch(static_cast<int>(epoch));
+    }
+    ++epoch;
+    ++ran_here;
+    const bool done = epoch >= total_epochs;
+    if (!done && options.stop_after_epochs > 0 &&
+        ran_here >= options.stop_after_epochs) {
+      WriteTrainerCheckpoint(trainer, epoch, options.checkpoint_path);
+      out.completed = false;
+      out.epochs_done = epoch;
+      return out;
+    }
+    if (!done && options.checkpoint_every > 0 &&
+        epoch % options.checkpoint_every == 0) {
+      WriteTrainerCheckpoint(trainer, epoch, options.checkpoint_path);
+    }
+  }
+
+  if (options.keep_checkpoint) {
+    WriteTrainerCheckpoint(trainer, epoch, options.checkpoint_path);
+  } else if (FileExists(options.checkpoint_path)) {
+    std::remove(options.checkpoint_path.c_str());
+  }
   out.completed = true;
   out.epochs_done = epoch;
   return out;

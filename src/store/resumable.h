@@ -14,6 +14,7 @@
 #include "src/condense/condenser.h"
 #include "src/core/rng.h"
 #include "src/core/status.h"
+#include "src/nn/trainer.h"
 
 namespace bgc::store {
 
@@ -56,6 +57,30 @@ ResumableResult RunResumableCondensation(condense::Condenser& condenser,
                                          const condense::CondenseConfig& config,
                                          Rng& rng,
                                          const ResumableOptions& options);
+
+/// Outcome of one RunResumableMinibatchTraining invocation.
+struct SampledTrainResult {
+  /// False when stop_after_epochs interrupted the run before
+  /// trainer.config().epochs.
+  bool completed = true;
+  /// Epochs completed across all invocations.
+  long long epochs_done = 0;
+  /// True when this invocation started from an existing checkpoint.
+  bool resumed = false;
+  /// Mean batch loss of the last epoch run in this invocation.
+  float last_loss = 0.0f;
+};
+
+/// Drives `trainer` for trainer.config().epochs epochs with periodic
+/// epoch-boundary checkpoints ("bgc.sampled-train-ckpt"), resuming from
+/// options.checkpoint_path when it exists. The trainer must be freshly
+/// constructed (same model init seed and config as the interrupted run);
+/// a resumed run then continues bit-identically with an uninterrupted
+/// one, because minibatches are pure functions of (seed, epoch, batch)
+/// and the checkpoint restores everything that carries across epochs.
+/// Aborts on a corrupt or mismatched checkpoint.
+SampledTrainResult RunResumableMinibatchTraining(
+    nn::MinibatchTrainer& trainer, const ResumableOptions& options);
 
 }  // namespace bgc::store
 

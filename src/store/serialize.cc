@@ -13,6 +13,7 @@ constexpr char kKindDataset[] = "bgc.dataset";
 constexpr char kKindCondensed[] = "bgc.condensed";
 constexpr char kKindModel[] = "bgc.model";
 constexpr char kKindCheckpoint[] = "bgc.checkpoint";
+constexpr char kKindSampledTrainCkpt[] = "bgc.sampled-train-ckpt";
 
 void AddKind(BgcbinWriter& writer, const char* kind) {
   writer.AddSection("kind").PutString(kind);
@@ -483,6 +484,57 @@ StatusOr<condense::CondenserState> TryLoadCondenserCheckpoint(
       !s.ok())
     return s;
   if (state.epoch < 0) return BGC_ERR(path + ": negative epoch counter");
+  return state;
+}
+
+Status SaveSampledTrainCheckpoint(const SampledTrainCheckpoint& state,
+                                  const std::string& path) {
+  BgcbinWriter writer;
+  AddKind(writer, kKindSampledTrainCkpt);
+  SectionWriter& meta = writer.AddSection("meta");
+  meta.PutI64(state.next_epoch);
+  meta.PutI64(state.adam_step);
+  PutStateDict(writer.AddSection("model"), state.model_state);
+  PutStateDict(writer.AddSection("adam_m"), state.adam_m);
+  PutStateDict(writer.AddSection("adam_v"), state.adam_v);
+  PutU64Vector(writer.AddSection("rng"), state.rng_state);
+  return writer.WriteTo(path);
+}
+
+StatusOr<SampledTrainCheckpoint> TryLoadSampledTrainCheckpoint(
+    const std::string& path) {
+  StatusOr<BgcbinReader> opened = BgcbinReader::Open(path);
+  if (!opened.ok()) return opened.status();
+  BgcbinReader reader = opened.take();
+  if (Status s = CheckKind(reader, kKindSampledTrainCkpt); !s.ok()) return s;
+
+  SampledTrainCheckpoint state;
+  {
+    StatusOr<SectionReader> section = reader.Section("meta");
+    if (!section.ok()) return section.status();
+    SectionReader r = section.take();
+    state.next_epoch = r.GetI64();
+    state.adam_step = r.GetI64();
+    if (!r.ok()) return Status::Error(path + ": " + r.status().message());
+  }
+  if (Status s =
+          ReadSection(reader, "model", GetStateDict, &state.model_state);
+      !s.ok())
+    return s;
+  if (Status s = ReadSection(reader, "adam_m", GetStateDict, &state.adam_m);
+      !s.ok())
+    return s;
+  if (Status s = ReadSection(reader, "adam_v", GetStateDict, &state.adam_v);
+      !s.ok())
+    return s;
+  if (Status s = ReadSection(reader, "rng", GetU64Vector, &state.rng_state);
+      !s.ok())
+    return s;
+  if (state.next_epoch < 0) return BGC_ERR(path + ": negative epoch counter");
+  if (state.adam_step < 0) return BGC_ERR(path + ": negative Adam step");
+  if (state.adam_m.size() != state.adam_v.size()) {
+    return BGC_ERR(path + ": Adam moment maps disagree in size");
+  }
   return state;
 }
 

@@ -70,6 +70,27 @@ Status SaveCondenserCheckpoint(const condense::CondenserState& state,
 StatusOr<condense::CondenserState> TryLoadCondenserCheckpoint(
     const std::string& path);
 
+/// ---- sampled-training checkpoint ("bgc.sampled-train-ckpt") ----------
+/// Epoch-boundary snapshot of a MinibatchTrainer: everything that carries
+/// across epochs (model weights, Adam moments + step, dropout stream).
+/// Batches themselves are pure functions of (seed, epoch, batch), so this
+/// state is sufficient for a bit-identical resume.
+struct SampledTrainCheckpoint {
+  long long next_epoch = 0;  // first epoch the resumed run executes
+  std::vector<std::pair<std::string, Matrix>> model_state;
+  // Adam moments keyed by the owning parameter's name; params absent from
+  // both maps had no optimizer state yet.
+  std::vector<std::pair<std::string, Matrix>> adam_m;
+  std::vector<std::pair<std::string, Matrix>> adam_v;
+  long long adam_step = 0;
+  std::vector<uint64_t> rng_state;  // dropout stream (Rng::SaveState words)
+};
+
+Status SaveSampledTrainCheckpoint(const SampledTrainCheckpoint& state,
+                                  const std::string& path);
+StatusOr<SampledTrainCheckpoint> TryLoadSampledTrainCheckpoint(
+    const std::string& path);
+
 }  // namespace bgc::store
 
 #endif  // BGC_STORE_SERIALIZE_H_

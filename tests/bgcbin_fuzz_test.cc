@@ -10,11 +10,13 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "src/data/mmap_dataset.h"
 #include "src/data/synthetic.h"
 #include "src/store/bgcbin.h"
 #include "src/store/serialize.h"
@@ -268,6 +270,167 @@ TEST(BgcbinFuzzTest, MissingSectionSurfacesStatus) {
   StatusOr<data::GraphDataset> loaded = TryLoadDatasetBinary(path);
   EXPECT_FALSE(loaded.ok());
   std::remove(path.c_str());
+}
+
+// --- Mmap path (data::MmapDataset): the same corruption classes must
+// surface as a Status at Open() or on a section's first touch — never as a
+// SIGBUS, an ASan report, or silently wrong data. The sweeps run under the
+// `sanitizer` label, so an out-of-bounds access in the lazy verifier is a
+// hard failure in the ASan leg of tools/ci.sh. ---
+
+class MmapFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = data::MakeDataset("tiny-sim", /*seed=*/3);
+    path_ = ::testing::TempDir() + "/mmap_fuzz.bgcbin";
+    ASSERT_TRUE(SaveDatasetBinary(ds_, path_).ok());
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    bytes_.resize(static_cast<size_t>(std::ftell(f)));
+    std::fseek(f, 0, SEEK_SET);
+    ASSERT_EQ(std::fread(bytes_.data(), 1, bytes_.size(), f), bytes_.size());
+    std::fclose(f);
+    mutant_path_ = ::testing::TempDir() + "/mmap_fuzz_mutant.bgcbin";
+  }
+
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove(mutant_path_.c_str());
+  }
+
+  void WriteMutant(const std::string& mutant) {
+    std::FILE* f = std::fopen(mutant_path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(mutant.data(), 1, mutant.size(), f), mutant.size());
+    std::fclose(f);
+  }
+
+  // Open + Warm: ok only when both the table parse, the eager small
+  // sections, and the lazy adj/features verifications all pass.
+  static Status OpenAndWarm(const std::string& path) {
+    StatusOr<data::MmapDataset> opened = data::MmapDataset::Open(path);
+    if (!opened.ok()) return opened.status();
+    data::MmapDataset mmap = opened.take();
+    return mmap.Warm();
+  }
+
+  data::GraphDataset ds_;
+  std::string path_;
+  std::string mutant_path_;
+  std::string bytes_;
+};
+
+TEST_F(MmapFuzzTest, IntactFileOpensAndWarms) {
+  Status s = OpenAndWarm(path_);
+  EXPECT_TRUE(s.ok()) << s.message();
+}
+
+TEST_F(MmapFuzzTest, EveryTruncationIsRejected) {
+  // Prime stride keeps the sweep fast while hitting header, table, and
+  // every payload region; the endpoints are covered explicitly.
+  for (size_t len = 0; len < bytes_.size(); len += 7) {
+    WriteMutant(bytes_.substr(0, len));
+    EXPECT_FALSE(OpenAndWarm(mutant_path_).ok())
+        << "file truncated to " << len << " of " << bytes_.size()
+        << " bytes opened and warmed";
+  }
+  WriteMutant(bytes_.substr(0, bytes_.size() - 1));
+  EXPECT_FALSE(OpenAndWarm(mutant_path_).ok());
+}
+
+TEST_F(MmapFuzzTest, EveryBitFlipIsRejected) {
+  for (size_t pos = 0; pos < bytes_.size(); pos += 31) {
+    std::string mutant = bytes_;
+    mutant[pos] = static_cast<char>(mutant[pos] ^ 0x10);
+    WriteMutant(mutant);
+    EXPECT_FALSE(OpenAndWarm(mutant_path_).ok())
+        << "bit flip at byte " << pos << " opened and warmed";
+  }
+}
+
+TEST_F(MmapFuzzTest, EveryByteOverwriteIsRejected) {
+  const uint8_t kProbes[] = {0x00, 0xff, 0x01, 0x80};
+  for (size_t pos = 0; pos < bytes_.size(); pos += 53) {
+    for (uint8_t probe : kProbes) {
+      if (static_cast<uint8_t>(bytes_[pos]) == probe) continue;
+      std::string mutant = bytes_;
+      mutant[pos] = static_cast<char>(probe);
+      WriteMutant(mutant);
+      EXPECT_FALSE(OpenAndWarm(mutant_path_).ok())
+          << "byte " << pos << " overwritten with " << int(probe)
+          << " opened and warmed";
+    }
+  }
+}
+
+TEST_F(MmapFuzzTest, AppendedBytesAreRejected) {
+  WriteMutant(bytes_ + "extra");
+  EXPECT_FALSE(OpenAndWarm(mutant_path_).ok());
+}
+
+TEST_F(MmapFuzzTest, WrongArtifactKindIsRejected) {
+  condense::CondensedGraph g;
+  g.num_classes = 2;
+  g.labels = {0, 1};
+  g.features = Matrix(2, 4, 0.5f);
+  g.adj = graph::CsrMatrix::FromEdges(2, 2, {{0, 1, 1.0f}},
+                                      /*symmetrize=*/true);
+  ASSERT_TRUE(SaveCondensedBinary(g, mutant_path_).ok());
+  StatusOr<data::MmapDataset> opened = data::MmapDataset::Open(mutant_path_);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_NE(opened.status().message().find("kind"), std::string::npos)
+      << opened.status().message();
+}
+
+TEST_F(MmapFuzzTest, MissingSectionIsRejected) {
+  BgcbinWriter writer;
+  writer.AddSection("kind").PutString("bgc.dataset");
+  ASSERT_TRUE(writer.WriteTo(mutant_path_).ok());
+  EXPECT_FALSE(data::MmapDataset::Open(mutant_path_).ok());
+}
+
+// Every section type the heap loader decodes must read back identically
+// through the mmap view: metadata, labels, splits, per-row adjacency
+// (structure and weights), and raw feature bytes.
+TEST_F(MmapFuzzTest, MmapMatchesHeapLoader) {
+  StatusOr<data::GraphDataset> heap_loaded = TryLoadDatasetBinary(path_);
+  ASSERT_TRUE(heap_loaded.ok());
+  const data::GraphDataset heap = heap_loaded.take();
+
+  StatusOr<data::MmapDataset> opened = data::MmapDataset::Open(path_);
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+  data::MmapDataset mmap = opened.take();
+  ASSERT_TRUE(mmap.Warm().ok());
+
+  EXPECT_EQ(mmap.name(), heap.name);
+  EXPECT_EQ(mmap.num_classes(), heap.num_classes);
+  EXPECT_EQ(mmap.inductive(), heap.inductive);
+  EXPECT_EQ(mmap.labels(), heap.labels);
+  EXPECT_EQ(mmap.train_idx(), heap.train_idx);
+  EXPECT_EQ(mmap.val_idx(), heap.val_idx);
+  EXPECT_EQ(mmap.test_idx(), heap.test_idx);
+  ASSERT_EQ(mmap.num_nodes(), heap.num_nodes());
+  EXPECT_EQ(mmap.nnz(), static_cast<long long>(heap.adj.nnz()));
+  ASSERT_EQ(mmap.dim(), heap.features.cols());
+
+  std::vector<int> cols;
+  std::vector<float> vals;
+  std::vector<float> feat_row(mmap.dim());
+  for (int node = 0; node < heap.num_nodes(); ++node) {
+    ASSERT_EQ(mmap.degree(node), heap.adj.RowNnz(node)) << "row " << node;
+    mmap.Row(node, &cols, &vals);
+    const int begin = heap.adj.row_ptr()[node];
+    for (size_t k = 0; k < cols.size(); ++k) {
+      EXPECT_EQ(cols[k], heap.adj.col_idx()[begin + k]);
+      EXPECT_EQ(vals[k], heap.adj.values()[begin + k]);
+    }
+    mmap.CopyRow(node, feat_row.data());
+    EXPECT_EQ(std::memcmp(feat_row.data(), heap.features.RowPtr(node),
+                          sizeof(float) * mmap.dim()),
+              0)
+        << "feature row " << node;
+  }
 }
 
 }  // namespace

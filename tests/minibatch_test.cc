@@ -1,0 +1,261 @@
+// Minibatch training contracts (src/nn/trainer.h MinibatchTrainer):
+//
+//  - Tolerance band: sampled training tracks full-batch accuracy on a
+//    fixed-seed preset (the two are NOT bit-comparable — see DESIGN.md
+//    §13 for which contracts are exact and which are banded).
+//  - Bit-exact contracts: rerun determinism, heap-vs-mmap data path
+//    identity, and kill-and-resume through the sampled-training
+//    checkpoint ("bgc.sampled-train-ckpt").
+//  - Golden: final sampled loss/accuracy pinned exactly; regenerate with
+//    BGC_REGEN_GOLDEN=1 ./minibatch_test and justify in the commit.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/data/mmap_dataset.h"
+#include "src/data/synthetic.h"
+#include "src/eval/pipeline.h"
+#include "src/graph/partition.h"
+#include "src/nn/models.h"
+#include "src/nn/trainer.h"
+#include "src/store/resumable.h"
+#include "src/store/serialize.h"
+
+namespace bgc::nn {
+namespace {
+
+bool Regen() {
+  const char* env = std::getenv("BGC_REGEN_GOLDEN");
+  return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == 0);
+}
+
+MinibatchTrainConfig TinyTrainConfig() {
+  MinibatchTrainConfig tc;
+  tc.epochs = 12;
+  tc.seed = 21;
+  tc.fanout = {5, 5};
+  tc.batch_size = 16;
+  return tc;
+}
+
+std::unique_ptr<GnnModel> FreshModel(int in_dim, int out_dim, uint64_t seed) {
+  GnnConfig mc;
+  mc.in_dim = in_dim;
+  mc.hidden_dim = 32;
+  mc.out_dim = out_dim;
+  Rng rng(seed);
+  return MakeModel("gcn", mc, rng);
+}
+
+void ExpectStateDictsBitIdentical(
+    const std::vector<std::pair<std::string, Matrix>>& a,
+    const std::vector<std::pair<std::string, Matrix>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].first, b[i].first);
+    ASSERT_EQ(a[i].second.rows(), b[i].second.rows());
+    ASSERT_EQ(a[i].second.cols(), b[i].second.cols());
+    EXPECT_EQ(std::memcmp(a[i].second.data(), b[i].second.data(),
+                          sizeof(float) * a[i].second.size()),
+              0)
+        << "param " << a[i].first << " differs";
+  }
+}
+
+class MinibatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = data::MakeDataset("tiny-sim", /*seed=*/7);
+    source_ = std::make_unique<graph::CsrNeighborSource>(ds_.adj);
+    features_ = std::make_unique<graph::MatrixFeatureSource>(ds_.features);
+  }
+
+  float TrainSampled(GnnModel& model, const MinibatchTrainConfig& tc) {
+    return TrainNodeClassifierMinibatch(model, *source_, *features_,
+                                        ds_.labels, ds_.train_idx, tc);
+  }
+
+  data::GraphDataset ds_;
+  std::unique_ptr<graph::CsrNeighborSource> source_;
+  std::unique_ptr<graph::MatrixFeatureSource> features_;
+};
+
+// ---- tolerance-band contract --------------------------------------------
+
+TEST_F(MinibatchTest, SampledAccuracyTracksFullBatch) {
+  auto full_model = FreshModel(ds_.features.cols(), ds_.num_classes, 21);
+  TrainConfig full_tc;
+  full_tc.epochs = 40;
+  full_tc.seed = 21;
+  TrainNodeClassifier(*full_model, ds_.adj, ds_.features, ds_.labels,
+                      ds_.train_idx, full_tc);
+  const Matrix logits = PredictLogits(*full_model, ds_.adj, ds_.features);
+  const double full_acc = Accuracy(logits, ds_.labels, ds_.test_idx);
+
+  auto sampled_model = FreshModel(ds_.features.cols(), ds_.num_classes, 21);
+  MinibatchTrainConfig tc = TinyTrainConfig();
+  tc.epochs = 40;
+  TrainSampled(*sampled_model, tc);
+  const double sampled_acc = eval::EvaluateAccuracySampled(
+      *sampled_model, *source_, *features_, ds_.labels, ds_.test_idx,
+      tc.fanout, tc.batch_size, tc.seed);
+
+  // Banded, not bit-exact: sampling sees a different (sub)graph per step.
+  EXPECT_GT(sampled_acc, 0.5);
+  EXPECT_NEAR(sampled_acc, full_acc, 0.15);
+}
+
+// ---- bit-exact contracts ------------------------------------------------
+
+TEST_F(MinibatchTest, RerunsAreBitIdentical) {
+  const MinibatchTrainConfig tc = TinyTrainConfig();
+  auto m1 = FreshModel(ds_.features.cols(), ds_.num_classes, 3);
+  const float loss1 = TrainSampled(*m1, tc);
+  auto m2 = FreshModel(ds_.features.cols(), ds_.num_classes, 3);
+  const float loss2 = TrainSampled(*m2, tc);
+  EXPECT_EQ(loss1, loss2);
+  ExpectStateDictsBitIdentical(m1->StateDict(), m2->StateDict());
+}
+
+TEST_F(MinibatchTest, MmapAndHeapTrainingAreBitIdentical) {
+  const std::string path = ::testing::TempDir() + "/minibatch_mmap.bgcbin";
+  ASSERT_TRUE(store::SaveDatasetBinary(ds_, path).ok());
+  StatusOr<data::MmapDataset> opened = data::MmapDataset::Open(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+  data::MmapDataset mmap = opened.take();
+  ASSERT_TRUE(mmap.Warm().ok());
+
+  const MinibatchTrainConfig tc = TinyTrainConfig();
+  auto heap_model = FreshModel(ds_.features.cols(), ds_.num_classes, 3);
+  const float heap_loss = TrainSampled(*heap_model, tc);
+  auto mmap_model = FreshModel(ds_.features.cols(), ds_.num_classes, 3);
+  const float mmap_loss = TrainNodeClassifierMinibatch(
+      *mmap_model, mmap, mmap, mmap.labels(), mmap.train_idx(), tc);
+
+  EXPECT_EQ(heap_loss, mmap_loss);
+  ExpectStateDictsBitIdentical(heap_model->StateDict(),
+                               mmap_model->StateDict());
+  std::remove(path.c_str());
+}
+
+TEST_F(MinibatchTest, KillAndResumeIsBitIdentical) {
+  const MinibatchTrainConfig tc = TinyTrainConfig();
+  const std::string ckpt = ::testing::TempDir() + "/minibatch_resume.ckpt";
+  std::remove(ckpt.c_str());
+
+  // Uninterrupted reference run.
+  auto ref_model = FreshModel(ds_.features.cols(), ds_.num_classes, 5);
+  const float ref_loss = TrainSampled(*ref_model, tc);
+
+  // Killed run: stop after 5 of 12 epochs (writes the checkpoint) ...
+  auto killed_model = FreshModel(ds_.features.cols(), ds_.num_classes, 5);
+  {
+    MinibatchTrainer trainer(*killed_model, *source_, *features_, ds_.labels,
+                             ds_.train_idx, tc);
+    store::ResumableOptions opts;
+    opts.checkpoint_path = ckpt;
+    opts.stop_after_epochs = 5;
+    store::SampledTrainResult r =
+        store::RunResumableMinibatchTraining(trainer, opts);
+    ASSERT_FALSE(r.completed);
+    ASSERT_EQ(r.epochs_done, 5);
+    ASSERT_FALSE(r.resumed);
+  }
+  // ... then a fresh process-equivalent resumes and finishes.
+  auto resumed_model = FreshModel(ds_.features.cols(), ds_.num_classes, 5);
+  float resumed_loss = 0.0f;
+  {
+    MinibatchTrainer trainer(*resumed_model, *source_, *features_,
+                             ds_.labels, ds_.train_idx, tc);
+    store::ResumableOptions opts;
+    opts.checkpoint_path = ckpt;
+    store::SampledTrainResult r =
+        store::RunResumableMinibatchTraining(trainer, opts);
+    ASSERT_TRUE(r.completed);
+    ASSERT_TRUE(r.resumed);
+    ASSERT_EQ(r.epochs_done, tc.epochs);
+    resumed_loss = r.last_loss;
+  }
+
+  EXPECT_EQ(ref_loss, resumed_loss);
+  ExpectStateDictsBitIdentical(ref_model->StateDict(),
+                               resumed_model->StateDict());
+  // A completed run deletes its checkpoint.
+  std::FILE* f = std::fopen(ckpt.c_str(), "rb");
+  EXPECT_EQ(f, nullptr);
+  if (f != nullptr) std::fclose(f);
+}
+
+TEST_F(MinibatchTest, CorruptCheckpointIsRejectedLoudly) {
+  const std::string ckpt = ::testing::TempDir() + "/minibatch_corrupt.ckpt";
+  std::FILE* f = std::fopen(ckpt.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a checkpoint", f);
+  std::fclose(f);
+  StatusOr<store::SampledTrainCheckpoint> loaded =
+      store::TryLoadSampledTrainCheckpoint(ckpt);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(ckpt.c_str());
+}
+
+TEST(SampledCheckpointTest, RoundTripsAllFields) {
+  store::SampledTrainCheckpoint ckpt;
+  ckpt.next_epoch = 42;
+  ckpt.adam_step = 1234;
+  ckpt.model_state.emplace_back("layers.0.weight", Matrix(3, 4, 0.25f));
+  ckpt.adam_m.emplace_back("layers.0.weight", Matrix(3, 4, 0.5f));
+  ckpt.adam_v.emplace_back("layers.0.weight", Matrix(3, 4, 0.75f));
+  ckpt.rng_state = {1, 2, 3, 4, 5, 6};
+  const std::string path = ::testing::TempDir() + "/sampled_ckpt.bgcbin";
+  ASSERT_TRUE(store::SaveSampledTrainCheckpoint(ckpt, path).ok());
+  StatusOr<store::SampledTrainCheckpoint> loaded =
+      store::TryLoadSampledTrainCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  const store::SampledTrainCheckpoint& got = loaded.value();
+  EXPECT_EQ(got.next_epoch, 42);
+  EXPECT_EQ(got.adam_step, 1234);
+  ASSERT_EQ(got.model_state.size(), 1u);
+  EXPECT_EQ(got.model_state[0].first, "layers.0.weight");
+  EXPECT_EQ(got.model_state[0].second.At(2, 3), 0.25f);
+  ASSERT_EQ(got.adam_m.size(), 1u);
+  EXPECT_EQ(got.adam_m[0].second.At(0, 0), 0.5f);
+  EXPECT_EQ(got.adam_v[0].second.At(0, 0), 0.75f);
+  EXPECT_EQ(got.rng_state, (std::vector<uint64_t>{1, 2, 3, 4, 5, 6}));
+  std::remove(path.c_str());
+}
+
+// ---- golden -------------------------------------------------------------
+// Pinned exactly (%.17g): the sampled numeric path — sampler streams,
+// gather, per-batch propagators, Adam — must stay bit-stable across
+// refactors, thread counts, and SIMD/autograd modes. Produced with
+// BGC_REGEN_GOLDEN=1.
+constexpr double kGoldenSampledLoss = 0.21020245552062988;
+constexpr double kGoldenSampledTestAcc = 0.96250000000000002;
+
+TEST_F(MinibatchTest, GoldenSampledMetrics) {
+  MinibatchTrainConfig tc = TinyTrainConfig();
+  auto model = FreshModel(ds_.features.cols(), ds_.num_classes, 21);
+  const double loss = TrainSampled(*model, tc);
+  const double acc = eval::EvaluateAccuracySampled(
+      *model, *source_, *features_, ds_.labels, ds_.test_idx, tc.fanout,
+      tc.batch_size, tc.seed);
+  if (Regen()) {
+    std::fprintf(stderr,
+                 "constexpr double kGoldenSampledLoss = %.17g;\n"
+                 "constexpr double kGoldenSampledTestAcc = %.17g;\n",
+                 loss, acc);
+    GTEST_SKIP() << "BGC_REGEN_GOLDEN set: printed fresh goldens";
+  }
+  EXPECT_EQ(loss, kGoldenSampledLoss) << std::scientific << loss;
+  EXPECT_EQ(acc, kGoldenSampledTestAcc) << std::scientific << acc;
+}
+
+}  // namespace
+}  // namespace bgc::nn

@@ -1,0 +1,191 @@
+// Out-of-core pipeline tests (src/data/synthetic.cc streaming writer +
+// src/data/mmap_dataset.h):
+//
+//  - The streaming bgcbin writer must be byte-identical to the in-RAM
+//    SaveDatasetBinary(GenerateSynthetic(...)) path — THE contract that
+//    lets every existing reader, fuzz sweep, and golden file apply to
+//    streamed datasets unchanged.
+//  - A scaled sbm-1m preset streams to disk, opens via mmap, and trains.
+//  - Memory-budget smoke (tier `slow`, env-gated BGC_SMOKE_1M=1): sampled
+//    training over the full 1M-node mmap preset stays under a declared
+//    peak-RSS budget that a full-batch run provably could not meet.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#if defined(__linux__)
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include <gtest/gtest.h>
+
+#include "src/data/mmap_dataset.h"
+#include "src/data/synthetic.h"
+#include "src/nn/models.h"
+#include "src/nn/trainer.h"
+#include "src/obs/obs.h"
+#include "src/store/serialize.h"
+
+namespace bgc::data {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(StreamingWriterTest, PresetIsStreamingOnly) {
+  EXPECT_TRUE(IsStreamingDatasetPreset("sbm-1m"));
+  EXPECT_FALSE(IsKnownDatasetPreset("sbm-1m"));
+  EXPECT_FALSE(IsStreamingDatasetPreset("tiny-sim"));
+  EXPECT_FALSE(IsStreamingDatasetPreset("cora-sim"));
+}
+
+// The key pinning test: the streaming writer and the in-RAM writer must
+// produce the same bytes, so one fuzz/reader test layer covers both.
+TEST(StreamingWriterTest, MatchesInRamWriterByteForByte) {
+  const SyntheticConfig cfg = PresetConfig("sbm-1m", /*scale=*/0.002);
+  ASSERT_EQ(cfg.num_nodes, 2000);
+  const uint64_t seed = 77;
+
+  const std::string streamed = ::testing::TempDir() + "/ooc_streamed.bgcbin";
+  StatusOr<StreamingWriteResult> wrote =
+      WriteSyntheticBgcbin(cfg, seed, streamed);
+  ASSERT_TRUE(wrote.ok()) << wrote.status().message();
+
+  const GraphDataset ds = GenerateSynthetic(cfg, seed);
+  const std::string in_ram = ::testing::TempDir() + "/ooc_in_ram.bgcbin";
+  ASSERT_TRUE(store::SaveDatasetBinary(ds, in_ram).ok());
+
+  EXPECT_EQ(wrote.value().num_nodes, ds.num_nodes());
+  EXPECT_EQ(wrote.value().num_edges, ds.adj.nnz());
+
+  const std::string a = ReadAll(streamed);
+  const std::string b = ReadAll(in_ram);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a == b, true) << "streamed and in-RAM bgcbin bytes differ";
+  std::remove(streamed.c_str());
+  std::remove(in_ram.c_str());
+}
+
+TEST(StreamingWriterTest, ScaledPresetStreamsOpensAndTrains) {
+  const SyntheticConfig cfg = PresetConfig("sbm-1m", /*scale=*/0.02);
+  const std::string path = ::testing::TempDir() + "/ooc_scaled.bgcbin";
+  StatusOr<StreamingWriteResult> wrote = WriteSyntheticBgcbin(cfg, 5, path);
+  ASSERT_TRUE(wrote.ok()) << wrote.status().message();
+  ASSERT_EQ(wrote.value().num_nodes, cfg.num_nodes);
+
+  StatusOr<MmapDataset> opened = MmapDataset::Open(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+  MmapDataset ds = opened.take();
+  ASSERT_TRUE(ds.Warm().ok());
+  EXPECT_EQ(ds.num_nodes(), cfg.num_nodes);
+  EXPECT_EQ(ds.num_classes(), cfg.num_classes);
+  EXPECT_EQ(ds.nnz(), wrote.value().num_edges);
+
+  nn::GnnConfig mc;
+  mc.in_dim = ds.dim();
+  mc.hidden_dim = 16;
+  mc.out_dim = ds.num_classes();
+  Rng rng(5);
+  std::unique_ptr<nn::GnnModel> model = nn::MakeModel("gcn", mc, rng);
+  nn::MinibatchTrainConfig tc;
+  tc.epochs = 2;
+  tc.seed = 5;
+  tc.fanout = {4, 3};
+  tc.batch_size = 256;
+  const float loss = nn::TrainNodeClassifierMinibatch(
+      *model, ds, ds, ds.labels(), ds.train_idx(), tc);
+  EXPECT_GT(loss, 0.0f);
+  EXPECT_LT(loss, 10.0f);
+  std::remove(path.c_str());
+}
+
+// Declared peak-RSS budget for sampled training over the full sbm-1m
+// preset. A full-batch run cannot fit: the floor computed below (features
+// matrix + raw CSR + one normalized propagator + forward/backward hidden
+// activations) already exceeds it several times over.
+constexpr long long kSampledRssBudgetBytes = 300LL << 20;  // 300 MiB
+
+TEST(OutOfCoreSmokeTest, SampledTrainingOn1MNodesStaysUnderRssBudget) {
+#if !defined(__linux__)
+  GTEST_SKIP() << "peak-RSS accounting requires /proc";
+#else
+  const char* env = std::getenv("BGC_SMOKE_1M");
+  if (env == nullptr || env[0] == '\0' || (env[0] == '0' && env[1] == 0)) {
+    GTEST_SKIP() << "set BGC_SMOKE_1M=1 to run the 1M-node smoke";
+  }
+  const std::string path = ::testing::TempDir() + "/ooc_sbm_1m.bgcbin";
+
+  // Generate in a forked child so the writer's working set (edge dedup
+  // table, sorted edge list) never counts against this process's VmHWM.
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    const SyntheticConfig cfg = PresetConfig("sbm-1m");
+    StatusOr<StreamingWriteResult> wrote =
+        WriteSyntheticBgcbin(cfg, /*seed=*/1, path);
+    ::_exit(wrote.ok() ? 0 : 1);
+  }
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0)
+      << "child generator failed";
+
+  ASSERT_TRUE(obs::ResetPeakRss()) << "could not reset VmHWM";
+
+  StatusOr<MmapDataset> opened = MmapDataset::Open(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+  MmapDataset ds = opened.take();
+  ASSERT_TRUE(ds.Warm().ok());
+
+  nn::GnnConfig mc;
+  mc.in_dim = ds.dim();
+  mc.hidden_dim = 32;
+  mc.out_dim = ds.num_classes();
+  Rng rng(1);
+  std::unique_ptr<nn::GnnModel> model = nn::MakeModel("gcn", mc, rng);
+  nn::MinibatchTrainConfig tc;
+  tc.epochs = 1;
+  tc.seed = 1;
+  tc.fanout = {5, 3};
+  tc.batch_size = 128;
+  const float loss = nn::TrainNodeClassifierMinibatch(
+      *model, ds, ds, ds.labels(), ds.train_idx(), tc);
+  EXPECT_GT(loss, 0.0f);
+
+  const long long peak = obs::ReadPeakRssBytes();
+  ASSERT_GT(peak, 0);
+  EXPECT_LT(peak, kSampledRssBudgetBytes)
+      << "sampled training peaked at " << (peak >> 20) << " MiB";
+
+  // Full-batch floor from the actual on-disk shapes: it must exceed the
+  // budget, or the budget proves nothing.
+  const long long n = ds.num_nodes();
+  const long long nnz = ds.nnz();
+  const long long features_bytes = n * ds.dim() * 4;
+  const long long csr_bytes = nnz * 8 + (n + 1) * 4;
+  const long long propagator_bytes = (nnz + n) * 8 + (n + 1) * 4;
+  const long long activation_bytes = n * mc.hidden_dim * 4;
+  const long long full_batch_floor = features_bytes + csr_bytes +
+                                     propagator_bytes +
+                                     2 * activation_bytes;
+  EXPECT_GT(full_batch_floor, kSampledRssBudgetBytes)
+      << "budget is not discriminating";
+
+  std::remove(path.c_str());
+#endif
+}
+
+}  // namespace
+}  // namespace bgc::data

@@ -1,0 +1,244 @@
+// Property + determinism tests for the neighbor sampler (src/nn/sampler).
+//
+// The sampler underwrites the minibatch determinism contract (DESIGN.md
+// §13): Batch(epoch, b) must be a pure function of (seed, epoch, b) and
+// the graph. Tests here verify the structural properties every batch must
+// satisfy (fanout caps, reachability, symmetry, no duplicate edges) and
+// pin a digest of a fixed-seed batch stream as a golden value, so the
+// stream itself — not just its shape — is locked. tools/ci.sh reruns this
+// binary under BGC_NUM_THREADS=1/2/8; the pinned digest then enforces
+// cross-thread and cross-process bit-identity.
+
+#include <cstdint>
+#include <ios>
+#include <memory>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/data/synthetic.h"
+#include "src/graph/partition.h"
+#include "src/nn/sampler.h"
+
+namespace bgc::nn {
+namespace {
+
+graph::CsrMatrix StarGraph(int leaves) {
+  std::vector<graph::Edge> edges;
+  for (int i = 1; i <= leaves; ++i) edges.push_back({0, i, 1.0f});
+  return graph::CsrMatrix::FromEdges(leaves + 1, leaves + 1, edges,
+                                     /*symmetrize=*/true);
+}
+
+// FNV-1a over the full content of a batch: node ids, hops, and the CSR
+// arrays (values bit-cast). Any reordering or resampling changes this.
+uint64_t DigestBatch(uint64_t h, const MiniBatch& mb) {
+  const auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(static_cast<uint64_t>(mb.num_seeds));
+  for (int v : mb.nodes) mix(static_cast<uint64_t>(v));
+  for (int v : mb.hop) mix(static_cast<uint64_t>(v));
+  for (int v : mb.adj.row_ptr()) mix(static_cast<uint64_t>(v));
+  for (int v : mb.adj.col_idx()) mix(static_cast<uint64_t>(v));
+  for (float v : mb.adj.values()) {
+    uint32_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+  }
+  return h;
+}
+
+TEST(SamplerTest, StarGraphRespectsFanoutExactly) {
+  const graph::CsrMatrix adj = StarGraph(100);
+  graph::CsrNeighborSource source(adj);
+  SamplerConfig cfg;
+  cfg.fanout = {7};
+  cfg.batch_size = 1;
+  cfg.seed = 5;
+  NeighborSampler sampler(source, cfg, {0});
+  const MiniBatch mb = sampler.Batch(/*epoch=*/0, /*batch=*/0);
+  // Center has degree 100 > 7: exactly 7 sampled leaves join the batch.
+  EXPECT_EQ(mb.num_seeds, 1);
+  ASSERT_EQ(static_cast<int>(mb.nodes.size()), 8);
+  EXPECT_EQ(mb.nodes[0], 0);
+  EXPECT_EQ(mb.adj.RowNnz(0), 7);  // center connects to each sampled leaf
+  for (int i = 1; i < 8; ++i) {
+    EXPECT_EQ(mb.hop[i], 1);
+    EXPECT_EQ(mb.adj.RowNnz(i), 1);  // leaves connect back to the center
+  }
+}
+
+TEST(SamplerTest, SmallDegreeTakesAllNeighbors) {
+  const graph::CsrMatrix adj = StarGraph(4);
+  graph::CsrNeighborSource source(adj);
+  SamplerConfig cfg;
+  cfg.fanout = {10};
+  cfg.batch_size = 1;
+  NeighborSampler sampler(source, cfg, {0});
+  const MiniBatch mb = sampler.Batch(0, 0);
+  // Degree 4 <= fanout 10: the full neighborhood is kept.
+  EXPECT_EQ(static_cast<int>(mb.nodes.size()), 5);
+  EXPECT_EQ(mb.adj.RowNnz(0), 4);
+}
+
+class SamplerPropertyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = data::MakeDataset("tiny-sim", /*seed=*/11);
+    source_ = std::make_unique<graph::CsrNeighborSource>(ds_.adj);
+    cfg_.fanout = {4, 3};
+    cfg_.batch_size = 8;
+    cfg_.seed = 17;
+    sampler_ = std::make_unique<NeighborSampler>(*source_, cfg_,
+                                                 ds_.train_idx);
+  }
+
+  data::GraphDataset ds_;
+  std::unique_ptr<graph::CsrNeighborSource> source_;
+  SamplerConfig cfg_;
+  std::unique_ptr<NeighborSampler> sampler_;
+};
+
+TEST_F(SamplerPropertyTest, EveryBatchSatisfiesStructuralInvariants) {
+  // Worst-case node count: every frontier node brings fanout[l] fresh
+  // nodes at every layer.
+  size_t bound = cfg_.batch_size;
+  size_t frontier = cfg_.batch_size;
+  for (int f : cfg_.fanout) {
+    frontier *= f;
+    bound += frontier;
+  }
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    for (int b = 0; b < sampler_->num_batches(); ++b) {
+      const MiniBatch mb = sampler_->Batch(epoch, b);
+      ASSERT_GT(mb.num_seeds, 0);
+      ASSERT_LE(mb.nodes.size(), bound);
+      ASSERT_EQ(mb.nodes.size(), mb.hop.size());
+      ASSERT_EQ(mb.adj.rows(), static_cast<int>(mb.nodes.size()));
+      ASSERT_EQ(mb.adj.rows(), mb.adj.cols());
+
+      // No node appears twice; every global id is in range.
+      std::set<int> uniq(mb.nodes.begin(), mb.nodes.end());
+      ASSERT_EQ(uniq.size(), mb.nodes.size());
+      for (int v : mb.nodes) {
+        ASSERT_GE(v, 0);
+        ASSERT_LT(v, ds_.num_nodes());
+      }
+
+      // Seeds first at hop 0; hops bounded by the layer count.
+      for (int i = 0; i < mb.num_seeds; ++i) ASSERT_EQ(mb.hop[i], 0);
+      for (size_t i = mb.num_seeds; i < mb.hop.size(); ++i) {
+        ASSERT_GE(mb.hop[i], 1);
+        ASSERT_LE(mb.hop[i], static_cast<int>(cfg_.fanout.size()));
+      }
+
+      // Symmetric adjacency, unit weights (FromEdges sums duplicate
+      // coordinates, so any weight != 1 means the dedup failed), and
+      // every edge present in the source graph.
+      for (int u = 0; u < mb.adj.rows(); ++u) {
+        for (int k = mb.adj.row_ptr()[u]; k < mb.adj.row_ptr()[u + 1]; ++k) {
+          const int v = mb.adj.col_idx()[k];
+          ASSERT_EQ(mb.adj.values()[k], 1.0f);
+          ASSERT_NE(u, v);
+          ASSERT_EQ(mb.adj.At(v, u), 1.0f) << "asymmetric edge";
+          ASSERT_NE(ds_.adj.At(mb.nodes[u], mb.nodes[v]), 0.0f)
+              << "edge not present in the source graph";
+        }
+      }
+
+      // Every sampled node is reachable from some seed within
+      // fanout.size() hops of the batch subgraph.
+      std::vector<int> dist(mb.adj.rows(), -1);
+      std::queue<int> q;
+      for (int i = 0; i < mb.num_seeds; ++i) {
+        dist[i] = 0;
+        q.push(i);
+      }
+      while (!q.empty()) {
+        const int u = q.front();
+        q.pop();
+        for (int k = mb.adj.row_ptr()[u]; k < mb.adj.row_ptr()[u + 1]; ++k) {
+          const int v = mb.adj.col_idx()[k];
+          if (dist[v] < 0) {
+            dist[v] = dist[u] + 1;
+            q.push(v);
+          }
+        }
+      }
+      for (int i = 0; i < mb.adj.rows(); ++i) {
+        ASSERT_GE(dist[i], 0) << "node " << i << " unreachable from seeds";
+        ASSERT_LE(dist[i], static_cast<int>(cfg_.fanout.size()));
+      }
+    }
+  }
+}
+
+TEST_F(SamplerPropertyTest, EpochZeroCoversEverySeedOnce) {
+  std::multiset<int> seen;
+  for (int b = 0; b < sampler_->num_batches(); ++b) {
+    const MiniBatch mb = sampler_->Batch(0, b);
+    for (int i = 0; i < mb.num_seeds; ++i) seen.insert(mb.nodes[i]);
+  }
+  std::multiset<int> want(ds_.train_idx.begin(), ds_.train_idx.end());
+  EXPECT_EQ(seen, want);
+}
+
+TEST_F(SamplerPropertyTest, EpochsShuffleButRerunsAgree) {
+  const MiniBatch a0 = sampler_->Batch(0, 0);
+  const MiniBatch a1 = sampler_->Batch(1, 0);
+  // Different epochs reshuffle the seed order (astronomically unlikely to
+  // coincide for 30 train seeds).
+  EXPECT_NE(a0.nodes, a1.nodes);
+
+  // A second sampler over the same inputs reproduces both, in any order.
+  NeighborSampler again(*source_, cfg_, ds_.train_idx);
+  const MiniBatch b1 = again.Batch(1, 0);
+  const MiniBatch b0 = again.Batch(0, 0);
+  EXPECT_EQ(DigestBatch(0xcbf29ce484222325ULL, a0),
+            DigestBatch(0xcbf29ce484222325ULL, b0));
+  EXPECT_EQ(DigestBatch(0xcbf29ce484222325ULL, a1),
+            DigestBatch(0xcbf29ce484222325ULL, b1));
+}
+
+// The full fixed-seed batch stream, pinned bit-for-bit. tools/ci.sh runs
+// this binary under BGC_NUM_THREADS=1/2/8, so the constant also proves the
+// sampler never depends on the thread pool. Regenerate (and justify in the
+// commit message) only after an intentional sampling-stream change:
+//   the failure message prints the fresh digest.
+TEST_F(SamplerPropertyTest, FixedSeedBatchStreamDigestIsPinned) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    for (int b = 0; b < sampler_->num_batches(); ++b) {
+      h = DigestBatch(h, sampler_->Batch(epoch, b));
+    }
+  }
+  constexpr uint64_t kGoldenDigest = 0xd94e072e2829c971ULL;
+  EXPECT_EQ(h, kGoldenDigest) << "fresh digest: 0x" << std::hex << h;
+}
+
+TEST(SamplerTest, SampleForSeedsIsDecoupledFromTraining) {
+  const graph::CsrMatrix adj = StarGraph(64);
+  graph::CsrNeighborSource source(adj);
+  SamplerConfig cfg;
+  cfg.fanout = {8};
+  cfg.batch_size = 4;
+  cfg.seed = 9;
+  NeighborSampler sampler(source, cfg, {0, 1, 2, 3});
+  const MiniBatch train = sampler.Batch(0, 0);
+  const MiniBatch infer =
+      sampler.SampleForSeeds({0, 1, 2, 3}, /*purpose=*/0x1234, /*batch=*/0);
+  // Caller-given seed order is preserved (no epoch shuffle)...
+  EXPECT_EQ(std::vector<int>(infer.nodes.begin(), infer.nodes.begin() + 4),
+            (std::vector<int>{0, 1, 2, 3}));
+  // ...and the stream differs from the training batch purpose.
+  EXPECT_NE(DigestBatch(0xcbf29ce484222325ULL, train),
+            DigestBatch(0xcbf29ce484222325ULL, infer));
+}
+
+}  // namespace
+}  // namespace bgc::nn

@@ -16,16 +16,26 @@
 #                                              BGC_AUTOGRAD=parallel at
 #                                              BGC_NUM_THREADS=1,2,8: the
 #                                              DESIGN.md §11 contract)
-#   6. Release bench sweeps                   (bench_micro_kernels --json +
+#   6. Release sampled-training leg           (--train-mode=sampled bit-
+#                                              identity across reruns and
+#                                              BGC_NUM_THREADS=1/2/8, plus
+#                                              the pinned sampler digest)
+#   7. Release out-of-core leg                (streaming-writer byte-
+#                                              identity + scaled sbm-1m
+#                                              mmap training; BGC_SMOKE_1M=1
+#                                              adds the 1M-node RSS budget)
+#   8. Release bench sweeps                   (bench_micro_kernels --json +
 #                                              the >=2x AVX2 GEMM gate;
 #                                              bench_tape_replay --json +
 #                                              the parallel-backward gate)
-#   7. ASan build, `sanitizer`-labeled suites (store/bgcbin fuzz/obs/golden —
+#   9. ASan build, `sanitizer`-labeled suites (store/bgcbin+mmap fuzz/obs/
+#                                              golden/sampler/minibatch —
 #                                              byte-level and concurrent
 #                                              code), then the tape/arena
 #                                              suites with BGC_AUTOGRAD=
-#                                              parallel and BGC_ARENA=off
-#   8. TSan build, obs/parallel/scheduler/tape (counter/timer thread safety,
+#                                              parallel and BGC_ARENA=off,
+#                                              then outofcore_test
+#  10. TSan build, obs/parallel/scheduler/tape (counter/timer thread safety,
 #                                              grid workers, cache
 #                                              single-flight, concurrent
 #                                              grad reads), then tape_test
@@ -103,6 +113,39 @@ step "Release: tape replay bench sweep (--json)"
 # The committed snapshot lives at bench/BENCH_tape.json.
 ./build-ci-release/bench/bench_tape_replay \
     --json build-ci-release/BENCH_tape.json
+
+step "Release: sampled-training determinism + golden leg"
+# Neighbor-sampled minibatch training (--train-mode=sampled) must be
+# bit-stable across reruns and thread counts (DESIGN.md §13): the sampler
+# draws from its own seeded stream, so BGC_NUM_THREADS can only change
+# wall-clock, never the batches. The pinned sampler-stream digest inside
+# sampler_test enforces the same contract at the unit level.
+SAMPLED_DIR="build-ci-release/sampled-leg"
+rm -rf "$SAMPLED_DIR"
+mkdir -p "$SAMPLED_DIR"
+./build-ci-release/examples/bgc_cli generate --dataset=tiny-sim --seed=3 \
+    --out="$SAMPLED_DIR/tiny.bgcbin" > /dev/null
+for nt in 1 2 8; do
+  BGC_NUM_THREADS="$nt" ./build-ci-release/examples/bgc_cli train \
+      --in="$SAMPLED_DIR/tiny.bgcbin" --train-mode=sampled --epochs=10 \
+      --fanout=5,5 --batch-size=16 --seed=7 > "$SAMPLED_DIR/train-nt$nt.txt"
+  cmp "$SAMPLED_DIR/train-nt1.txt" "$SAMPLED_DIR/train-nt$nt.txt"
+done
+BGC_NUM_THREADS=2 ./build-ci-release/examples/bgc_cli train \
+    --in="$SAMPLED_DIR/tiny.bgcbin" --train-mode=sampled --epochs=10 \
+    --fanout=5,5 --batch-size=16 --seed=7 > "$SAMPLED_DIR/train-rerun.txt"
+cmp "$SAMPLED_DIR/train-nt1.txt" "$SAMPLED_DIR/train-rerun.txt"
+echo "sampled training is bit-identical across reruns and thread counts"
+for nt in 1 2 8; do
+  BGC_NUM_THREADS="$nt" ./build-ci-release/tests/sampler_test > /dev/null
+done
+echo "sampler stream digest pinned across BGC_NUM_THREADS=1/2/8"
+
+step "Release: out-of-core leg (streaming writer + mmap training)"
+# Streaming-writer byte-identity with the in-RAM writer plus a scaled
+# sbm-1m stream/open/train pass. The full 1M-node peak-RSS smoke is
+# opt-in: BGC_SMOKE_1M=1 tools/ci.sh (see tests/outofcore_test.cc).
+BGC_SMOKE_1M="${BGC_SMOKE_1M:-}" ./build-ci-release/tests/outofcore_test
 
 step "Release: parallel bench smoke (--jobs=4)"
 # One fast grid through the scheduler at --jobs=4: catches --jobs wiring or
@@ -182,6 +225,11 @@ if [ "$SKIP_ASAN" -eq 0 ]; then
   BGC_AUTOGRAD=parallel BGC_ARENA=off ./build-ci-asan/tests/tape_test
   BGC_AUTOGRAD=parallel BGC_ARENA=off ./build-ci-asan/tests/tape_gradcheck_test
   BGC_AUTOGRAD=parallel BGC_ARENA=off ./build-ci-asan/tests/arena_test
+  step "ASan: out-of-core suite (streaming writer + mmap reader)"
+  # The mmap fuzz sweeps inside bgcbin_fuzz_test already ran via the
+  # sanitizer label; outofcore_test is slow-labeled, so run it explicitly —
+  # the streaming writer does raw chunked byte assembly worth poisoning.
+  ./build-ci-asan/tests/outofcore_test
 fi
 
 if [ "$SKIP_TSAN" -eq 0 ]; then
@@ -207,6 +255,12 @@ if [ "$SKIP_TSAN" -eq 0 ]; then
   BGC_AUTOGRAD=parallel BGC_NUM_THREADS=4 \
       ./build-ci-tsan/tests/tape_gradcheck_test
   BGC_AUTOGRAD=parallel BGC_NUM_THREADS=4 ./build-ci-tsan/tests/arena_test
+  step "TSan: sampler + minibatch suites under BGC_NUM_THREADS=4"
+  # Sampling is serial by contract, but the per-batch forward/backward
+  # runs on the shared pool; TSan watches the sampler's RNG streams and
+  # the gathered-feature buffers against the parallel kernels.
+  BGC_NUM_THREADS=4 ./build-ci-tsan/tests/sampler_test
+  BGC_NUM_THREADS=4 ./build-ci-tsan/tests/minibatch_test
 fi
 
 step "CI matrix passed"
