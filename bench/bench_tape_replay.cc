@@ -34,6 +34,7 @@
 
 #include "src/autograd/tape.h"
 #include "src/core/arena.h"
+#include "src/core/parse.h"
 #include "src/core/rng.h"
 #include "src/core/thread_pool.h"
 #include "src/tensor/matrix.h"
@@ -299,6 +300,17 @@ int WriteJson(const char* path, const Fixture& f, int steps, int reps,
   std::exit(2);
 }
 
+// Checked flag-value parse (src/core/parse.h): malformed or out-of-range
+// values exit 2 naming the flag, instead of atoi quietly producing 0 and
+// tripping the generic non-positive check (or, for "5x", running with 5).
+int IntFlagValue(const char* flag, const char* text) {
+  StatusOr<long long> v = ParseIntInRange(text, 1, 1 << 20);
+  if (v.ok()) return static_cast<int>(v.value());
+  std::fprintf(stderr, "bench_tape_replay: bad value for %s: %s\n", flag,
+               v.status().message().c_str());
+  std::exit(2);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -311,11 +323,11 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--paper") == 0) {
       paper = true;
     } else if (std::strcmp(argv[i], "--steps") == 0 && i + 1 < argc) {
-      steps = std::atoi(argv[++i]);
+      steps = IntFlagValue("--steps", argv[++i]);
     } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
-      reps = std::atoi(argv[++i]);
+      reps = IntFlagValue("--reps", argv[++i]);
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      max_jobs = std::atoi(argv[++i]);
+      max_jobs = IntFlagValue("--jobs", argv[++i]);
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else {

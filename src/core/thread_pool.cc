@@ -1,10 +1,12 @@
 #include "src/core/thread_pool.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
 
 #include "src/core/check.h"
+#include "src/core/parse.h"
 #include "src/obs/obs.h"
 
 namespace bgc {
@@ -24,9 +26,23 @@ std::unique_ptr<ThreadPool>& GlobalPoolSlot() {
 }  // namespace
 
 int ThreadPool::DefaultNumThreads() {
+  // Same fail-fast contract as BGC_SIMD / BGC_AUTOGRAD / BGC_ARENA: a set
+  // but malformed value exits 2 with the value named, instead of the old
+  // atoi behavior where BGC_NUM_THREADS=garbage (or =0) silently fell back
+  // to hardware concurrency and the run proceeded mis-configured.
   if (const char* env = std::getenv("BGC_NUM_THREADS")) {
-    const int n = std::atoi(env);
-    if (n > 0) return n;
+    if (env[0] != '\0') {
+      StatusOr<long long> n = ParseIntInRange(env, 1, 4096);
+      if (!n.ok()) {
+        std::fprintf(stderr,
+                     "bgc: BGC_NUM_THREADS=%s is unusable (%s); expected an "
+                     "integer in [1, 4096], or unset for hardware "
+                     "concurrency\n",
+                     env, n.status().message().c_str());
+        std::exit(2);
+      }
+      return static_cast<int>(n.value());
+    }
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;

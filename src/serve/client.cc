@@ -1,7 +1,6 @@
 #include "src/serve/client.h"
 
-#include <cstdlib>
-
+#include "src/core/parse.h"
 #include "src/serve/net.h"
 #include "src/serve/protocol.h"
 
@@ -158,11 +157,17 @@ StatusOr<obs::JsonValue> Client::Stats() {
 }
 
 int Client::StatusCode(const Status& status) {
+  // CheckOk formats server errors as "<code>: <message>" where <code> is a
+  // three-digit HTTP-style code. Require exactly that shape: the old
+  // `colon > 3` + atoi version accepted "42: x" (two digits), "4x: y"
+  // (atoi stops at the junk and returns 4), and "-1: z". Anything that is
+  // not a full 3-digit prefix is a transport-level error, not a server
+  // code, and maps to 0.
   if (status.ok()) return 0;
   const std::string& message = status.message();
-  const size_t colon = message.find(": ");
-  if (colon == std::string::npos || colon == 0 || colon > 3) return 0;
-  return std::atoi(message.substr(0, colon).c_str());
+  if (message.size() < 5 || message[3] != ':' || message[4] != ' ') return 0;
+  StatusOr<long long> code = ParseIntInRange(message.substr(0, 3), 100, 999);
+  return code.ok() ? static_cast<int>(code.value()) : 0;
 }
 
 }  // namespace bgc::serve

@@ -1,9 +1,11 @@
 #include "src/tensor/matrix_ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <vector>
 
 #include "src/core/parallel.h"
 #include "src/obs/obs.h"
@@ -43,7 +45,162 @@ int GemmRowGrain(int inner, int out_cols) {
   return rows < 1 ? 1 : static_cast<int>(rows);
 }
 
+// ---- Packed register-tiled GEMM (DESIGN.md §14) -------------------------
+//
+// Large products take a BLIS-style packed path: B is packed once into
+// nr-wide column strips per K-block, A into mr-row micro-panels, and the
+// backend's register tile (simd::KernelTable::gemm_tile) keeps an mr×nr
+// block of C in registers across a whole K-block. Per output element the
+// rounding sequence is untouched — contributions still arrive in ascending
+// p, each as a separate mul then add, with the same a == 0.0f skip — so
+// the packed path is bit-identical to the legacy axpy path on every
+// backend and at every thread count; routing between them is purely a
+// performance decision.
+
+// K-rows per packed block: the mr×kPackKc A panel (~6 KB at mr = 6) and
+// one kPackKc×nr B strip (~16 KB at nr = 16) stay L1/L2-resident while a
+// tile runs. K-blocks are processed in ascending order with the C tile
+// flushed between blocks, which preserves the per-element chain exactly.
+constexpr int kPackKc = 256;
+
+// Below this many flops the packing overhead (O(nk + km)) is not worth
+// amortizing; the legacy axpy path runs instead. Bit-identical either way.
+constexpr long long kPackedMinFlops = 1LL << 19;
+
+// Target flops per parallel row chunk of the packed path (coarser than
+// kGemmChunkFlops: each chunk re-walks all K-blocks, so chunks must be
+// tall enough that packed A panels amortize).
+constexpr long long kPackedChunkFlops = 1LL << 22;
+
+std::atomic<GemmPath> g_gemm_path{GemmPath::kAuto};
+
+bool UsePackedPath(long long flops) {
+  switch (g_gemm_path.load(std::memory_order_relaxed)) {
+    case GemmPath::kPacked:
+      return true;
+    case GemmPath::kAxpy:
+      return false;
+    case GemmPath::kAuto:
+      break;
+  }
+  return flops >= kPackedMinFlops;
+}
+
+// Rows per packed chunk, rounded up to whole row tiles so no mr-tall tile
+// ever spans a chunk boundary (chunks own disjoint C rows, so this only
+// tunes scheduling, never numerics).
+int PackedRowGrain(int inner, int out_cols, int mr) {
+  const long long per_row =
+      2LL * std::max(1, inner) * std::max(1, out_cols);
+  long long rows = kPackedChunkFlops / per_row;
+  if (rows < mr) rows = mr;
+  rows = (rows + mr - 1) / mr * mr;
+  return static_cast<int>(std::min<long long>(rows, 1 << 20));
+}
+
+// Shared packed driver for MatMul / MatMulTransA / MatMulTransB. a_at(i, p)
+// reads logical A (n×k) and b_at(p, j) logical B (k×m); the lambdas absorb
+// the transposes, so MatMulTransB no longer materializes Bᵀ on this path.
+// Packing pads partial tiles with zeros; padded lanes are computed and
+// discarded (never copied back into c), so NaN/inf inputs behave exactly
+// as on the legacy path.
+template <typename AAt, typename BAt>
+void PackedGemm(int n, int k, int m, Matrix& c, bool skip_zero_a,
+                const AAt& a_at, const BAt& b_at) {
+  const simd::KernelTable& kt = simd::Kernels();
+  const simd::GemmTileFn tile = simd::GemmTileFor(kt);
+  const int mr = kt.gemm_mr;
+  const int nr = kt.gemm_nr;
+  const int strips = (m + nr - 1) / nr;
+  const int padded_m = strips * nr;
+
+  // Pack all of B up front, shared by every row chunk. Layout: K-block
+  // starting at p0 lives at offset p0 * padded_m; within a block, strip s
+  // (columns [s*nr, s*nr+nr)) is kcb groups of nr contiguous floats, one
+  // group per ascending p, zero-padded past column m.
+  std::vector<float> bpack(static_cast<size_t>(k) * padded_m);
+  for (int p0 = 0; p0 < k; p0 += kPackKc) {
+    const int p1 = std::min(k, p0 + kPackKc);
+    const int kcb = p1 - p0;
+    float* block = bpack.data() + static_cast<size_t>(p0) * padded_m;
+    for (int s = 0; s < strips; ++s) {
+      const int j0 = s * nr;
+      const int jn = std::min(nr, m - j0);
+      float* strip = block + static_cast<size_t>(s) * kcb * nr;
+      for (int p = p0; p < p1; ++p) {
+        float* dst = strip + static_cast<size_t>(p - p0) * nr;
+        for (int j = 0; j < jn; ++j) dst[j] = b_at(p, j0 + j);
+        for (int j = jn; j < nr; ++j) dst[j] = 0.0f;
+      }
+    }
+  }
+
+  ParallelFor(0, n, PackedRowGrain(k, m, mr), [&](int r0, int r1) {
+    std::vector<float> apack(static_cast<size_t>(mr) * kPackKc);
+    std::vector<float> scratch(static_cast<size_t>(mr) * nr, 0.0f);
+    // K-blocks ascending and outermost: the C tile is flushed between
+    // blocks (first only on block 0), keeping every element's ascending-p
+    // chain intact.
+    for (int p0 = 0; p0 < k; p0 += kPackKc) {
+      const int p1 = std::min(k, p0 + kPackKc);
+      const int kcb = p1 - p0;
+      const bool first = (p0 == 0);
+      const float* block = bpack.data() + static_cast<size_t>(p0) * padded_m;
+      for (int i0 = r0; i0 < r1; i0 += mr) {
+        const int in = std::min(mr, r1 - i0);
+        // Pack the A micro-panel: kcb groups of mr floats, ascending p,
+        // zero-padded past row n. Amortized over all column strips. Also
+        // record whether any valid lane is exactly zero: the zero-skip
+        // contract only fires on a zero, so a zero-free panel can take
+        // the tiles' branch-free body (padding rows are computed and
+        // discarded, so their zeros don't count).
+        bool panel_has_zero = false;
+        for (int p = p0; p < p1; ++p) {
+          float* dst = apack.data() + static_cast<size_t>(p - p0) * mr;
+          for (int r = 0; r < in; ++r) {
+            const float av = a_at(i0 + r, p);
+            dst[r] = av;
+            panel_has_zero |= (av == 0.0f);
+          }
+          for (int r = in; r < mr; ++r) dst[r] = 0.0f;
+        }
+        const bool skip = skip_zero_a && panel_has_zero;
+        for (int s = 0; s < strips; ++s) {
+          const int j0 = s * nr;
+          const int jn = std::min(nr, m - j0);
+          const float* strip = block + static_cast<size_t>(s) * kcb * nr;
+          if (in == mr && jn == nr) {
+            tile(c.RowPtr(i0) + j0, m, apack.data(), strip, kcb, first,
+                 skip);
+          } else {
+            // Edge tile: run at full mr×nr into scratch so the kernel
+            // never reads or writes outside c's valid region; only the
+            // in×jn corner is copied back (padded lanes are discarded).
+            if (!first) {
+              for (int r = 0; r < in; ++r) {
+                std::memcpy(scratch.data() + static_cast<size_t>(r) * nr,
+                            c.RowPtr(i0 + r) + j0, sizeof(float) * jn);
+              }
+            }
+            tile(scratch.data(), nr, apack.data(), strip, kcb, first,
+                 skip);
+            for (int r = 0; r < in; ++r) {
+              std::memcpy(c.RowPtr(i0 + r) + j0,
+                          scratch.data() + static_cast<size_t>(r) * nr,
+                          sizeof(float) * jn);
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
 }  // namespace
+
+GemmPath SetGemmPathForTesting(GemmPath path) {
+  return g_gemm_path.exchange(path, std::memory_order_relaxed);
+}
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   BGC_CHECK_EQ(a.cols(), b.rows());
@@ -53,6 +210,14 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   BGC_COUNTER_ADD("tensor.gemm.flops",
                   2LL * n * k * m);
   Matrix c(n, m);
+  if (UsePackedPath(2LL * n * k * m)) {
+    BGC_COUNTER_ADD("tensor.gemm.packed", 1);
+    PackedGemm(n, k, m, c, /*skip_zero_a=*/true,
+               [&](int i, int p) { return a(i, p); },
+               [&](int p, int j) { return b(p, j); });
+    return c;
+  }
+  // Legacy axpy path (small products, where packing doesn't amortize).
   // Row-partitioned over the pool: each chunk owns a disjoint slice of c.
   // Within a chunk the k loop is blocked into ascending panels so a panel
   // of b stays cache-hot across all rows of the chunk; for any fixed
@@ -87,9 +252,18 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   BGC_COUNTER_ADD("tensor.gemm.flops",
                   2LL * n * k * m);
   Matrix c(n, m);
-  // Partitioned over output rows (columns of a): the p loop stays outermost
-  // and ascending inside each chunk, so per-element accumulation order —
-  // and the bits — match the serial kernel. j is the SIMD axis.
+  if (UsePackedPath(2LL * n * k * m)) {
+    BGC_COUNTER_ADD("tensor.gemm.packed", 1);
+    // Logical A here is aᵀ: a_at(i, p) reads a(p, i).
+    PackedGemm(n, k, m, c, /*skip_zero_a=*/true,
+               [&](int i, int p) { return a(p, i); },
+               [&](int p, int j) { return b(p, j); });
+    return c;
+  }
+  // Legacy axpy path. Partitioned over output rows (columns of a): the p
+  // loop stays outermost and ascending inside each chunk, so per-element
+  // accumulation order — and the bits — match the serial kernel. j is the
+  // SIMD axis.
   const simd::KernelTable& kt = simd::Kernels();
   ParallelFor(0, n, GemmRowGrain(k, m), [&](int i0, int i1) {
     for (int p = 0; p < k; ++p) {
@@ -112,15 +286,24 @@ Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   BGC_COUNTER_ADD("tensor.gemm.calls", 1);
   BGC_COUNTER_ADD("tensor.gemm.flops",
                   2LL * n * k * m);
-  // Pack bᵀ once so the per-(i, j) strided dot becomes the same
-  // j-vectorized axpy kernel as MatMul. Each output element still
+  Matrix c(n, m);
+  if (UsePackedPath(2LL * n * k * m)) {
+    BGC_COUNTER_ADD("tensor.gemm.packed", 1);
+    // Logical B here is bᵀ, absorbed by b_at — the packed path never
+    // materializes the transpose. No av == 0 skip (see below).
+    PackedGemm(n, k, m, c, /*skip_zero_a=*/false,
+               [&](int i, int p) { return a(i, p); },
+               [&](int p, int j) { return b(j, p); });
+    return c;
+  }
+  // Legacy axpy path: pack bᵀ once so the per-(i, j) strided dot becomes
+  // the same j-vectorized axpy kernel as MatMul. Each output element still
   // accumulates its p contributions in ascending order starting from
   // +0.0f — the identical rounding sequence to the historical register
   // dot — so the result is bit-identical for every backend and thread
   // count. No av == 0 skip here: the historical dot always added the
   // 0 * b term, and skipping it would change 0 * inf / 0 * NaN cases.
   Matrix bt = Transpose(b);
-  Matrix c(n, m);
   const simd::KernelTable& kt = simd::Kernels();
   ParallelFor(0, n, GemmRowGrain(k, m), [&](int r0, int r1) {
     for (int p0 = 0; p0 < k; p0 += kGemmPanelK) {

@@ -7,6 +7,15 @@
 
 namespace bgc {
 
+/// Testing/bench hook: forces the GEMM execution path. kAuto (default)
+/// routes by product size — large products take the packed register-tiled
+/// path, small ones the legacy axpy path. Both paths are bit-identical by
+/// contract (see DESIGN.md §14), so forcing a path only changes speed;
+/// tests force kPacked to exercise tile edges at tiny shapes and the bench
+/// forces kAxpy to measure the legacy baseline. Returns the previous path.
+enum class GemmPath { kAuto = 0, kPacked = 1, kAxpy = 2 };
+GemmPath SetGemmPathForTesting(GemmPath path);
+
 /// C = A * B. Shapes: (n×k) * (k×m) -> (n×m).
 Matrix MatMul(const Matrix& a, const Matrix& b);
 

@@ -20,15 +20,40 @@ std::once_flag g_init_once;
 [[noreturn]] void DieBadBackend(const char* requested, const char* why) {
   std::fprintf(stderr,
                "bgc: BGC_SIMD=%s is unusable (%s); valid values are "
-               "scalar|sse2|avx2|native\n",
+               "scalar|sse2|avx2|avx512|native\n",
                requested, why);
   std::exit(2);
 }
 
 Backend BestSupported() {
+  if (TableFor(Backend::kAvx512) != nullptr) return Backend::kAvx512;
   if (TableFor(Backend::kAvx2) != nullptr) return Backend::kAvx2;
   if (TableFor(Backend::kSse2) != nullptr) return Backend::kSse2;
   return Backend::kScalar;
+}
+
+// Fast-math tier state: -1 = not yet resolved from the environment,
+// 0 = exact, 1 = fast. SetFastMathForTesting stores directly, so a test
+// override wins over (and suppresses) the env read.
+std::atomic<int> g_fast_math{-1};
+std::once_flag g_fast_math_once;
+
+[[noreturn]] void DieBadFastMath(const char* value) {
+  std::fprintf(stderr,
+               "bgc: BGC_FAST_MATH=%s is not understood; valid values are "
+               "1|on|0|off\n",
+               value);
+  std::exit(2);
+}
+
+int FastMathFromEnv() {
+  const char* env = std::getenv("BGC_FAST_MATH");
+  if (env == nullptr || env[0] == '\0' || std::strcmp(env, "0") == 0 ||
+      std::strcmp(env, "off") == 0) {
+    return 0;
+  }
+  if (std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0) return 1;
+  DieBadFastMath(env);
 }
 
 const KernelTable* ChooseFromEnv() {
@@ -45,6 +70,11 @@ const KernelTable* ChooseFromEnv() {
 
 void InitOnce() {
   g_active.store(ChooseFromEnv(), std::memory_order_release);
+  // Validate BGC_FAST_MATH eagerly: a malformed value must fail fast at
+  // kernel-layer startup, not at the first GEMM large enough to consult
+  // GemmTileFor (and the gauge macro below skips argument evaluation
+  // when metrics are off).
+  FastMathEnabled();
   PublishBackendGauge();
 }
 
@@ -59,9 +89,12 @@ bool CpuSupports(Backend b) {
       return __builtin_cpu_supports("sse2") != 0;
     case Backend::kAvx2:
       return __builtin_cpu_supports("avx2") != 0;
+    case Backend::kAvx512:
+      return __builtin_cpu_supports("avx512f") != 0;
 #else
     case Backend::kSse2:
     case Backend::kAvx2:
+    case Backend::kAvx512:
       return false;
 #endif
   }
@@ -80,6 +113,12 @@ bool Compiled(Backend b) {
 #endif
     case Backend::kAvx2:
 #if defined(BGC_SIMD_HAS_AVX2)
+      return true;
+#else
+      return false;
+#endif
+    case Backend::kAvx512:
+#if defined(BGC_SIMD_HAS_AVX512)
       return true;
 #else
       return false;
@@ -105,6 +144,12 @@ const KernelTable* TableFor(Backend b) {
 #else
       return nullptr;
 #endif
+    case Backend::kAvx512:
+#if defined(BGC_SIMD_HAS_AVX512)
+      return &internal::Avx512Table();
+#else
+      return nullptr;
+#endif
   }
   return nullptr;
 }
@@ -117,6 +162,8 @@ const char* BackendName(Backend b) {
       return "sse2";
     case Backend::kAvx2:
       return "avx2";
+    case Backend::kAvx512:
+      return "avx512";
   }
   return "unknown";
 }
@@ -129,6 +176,8 @@ bool ParseBackend(const char* s, Backend* out) {
     *out = Backend::kSse2;
   } else if (std::strcmp(s, "avx2") == 0) {
     *out = Backend::kAvx2;
+  } else if (std::strcmp(s, "avx512") == 0) {
+    *out = Backend::kAvx512;
   } else if (std::strcmp(s, "native") == 0) {
     *out = BestSupported();
   } else {
@@ -157,9 +206,60 @@ Backend SetBackendForTesting(Backend b) {
   return previous;
 }
 
+bool FastMathEnabled() {
+  int v = g_fast_math.load(std::memory_order_acquire);
+  if (v >= 0) return v != 0;
+  std::call_once(g_fast_math_once, [] {
+    int expected = -1;
+    // A SetFastMathForTesting call racing first wins; the env read is
+    // only the default.
+    g_fast_math.compare_exchange_strong(expected, FastMathFromEnv(),
+                                        std::memory_order_acq_rel);
+  });
+  return g_fast_math.load(std::memory_order_acquire) != 0;
+}
+
+bool SetFastMathForTesting(bool on) {
+  const bool previous = FastMathEnabled();
+  g_fast_math.store(on ? 1 : 0, std::memory_order_release);
+  BGC_GAUGE_SET("simd.fast_math", on ? 1.0 : 0.0);
+  return previous;
+}
+
+GemmTileFn GemmTileFor(const KernelTable& t) {
+  if (t.gemm_tile_fast != nullptr && FastMathEnabled() &&
+      FastTileCpuSupported(t.backend)) {
+    return t.gemm_tile_fast;
+  }
+  return t.gemm_tile;
+}
+
+bool FastTileCpuSupported(Backend b) {
+  switch (b) {
+    case Backend::kAvx2:
+      // FMA is a separate cpuid bit from AVX2; the avx2 fast tile uses
+      // vfmadd231ps, so both must be present (every table is already
+      // cpuid-gated on its own ISA before it can be active).
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("fma") != 0;
+#else
+      return false;
+#endif
+    case Backend::kAvx512:
+      // AVX-512F carries its own FMA forms; the table's cpuid gate on
+      // avx512f is sufficient.
+      return true;
+    case Backend::kScalar:
+    case Backend::kSse2:
+      return true;  // no fast tile compiled; gemm_tile_fast is null anyway
+  }
+  return false;
+}
+
 void PublishBackendGauge() {
   BGC_GAUGE_SET("simd.backend", static_cast<double>(static_cast<int>(
                                     Kernels().backend)));
+  BGC_GAUGE_SET("simd.fast_math", FastMathEnabled() ? 1.0 : 0.0);
 }
 
 }  // namespace bgc::simd

@@ -100,9 +100,69 @@ float MaxAbsAvx2(const float* x, int n) {
   return m;
 }
 
+// Packed 6x16 register tile: 12 ymm accumulators live across the whole
+// k-block (plus 2 for the B strip and 1 broadcast — 15 of 16 ymm), so C
+// traffic drops from one load+store per p to one per k-block. Rounding
+// per element is unchanged: ascending p, separate vmulps/vaddps (no FMA
+// in this TU), same a == 0.0f skip as the axpy chain.
+void GemmTileAvx2(float* c, int ldc, const float* ap, const float* bp,
+                  int kc, bool first, bool skip_zero_a) {
+  constexpr int kMr = 6;
+  __m256 acc[kMr][2];
+  for (int r = 0; r < kMr; ++r) {
+    if (first) {
+      acc[r][0] = _mm256_setzero_ps();
+      acc[r][1] = _mm256_setzero_ps();
+    } else {
+      acc[r][0] = _mm256_loadu_ps(c + r * ldc);
+      acc[r][1] = _mm256_loadu_ps(c + r * ldc + 8);
+    }
+  }
+  if (skip_zero_a) {
+    // Skipping body: per-element zero checks. The driver only selects it
+    // when the packed A panel actually contains a zero, so the common
+    // case runs the branch-free body below (bit-identical when no lane
+    // is zero — the check never fires).
+    for (int p = 0; p < kc; ++p) {
+      const float* a = ap + p * kMr;
+      const __m256 b0 = _mm256_loadu_ps(bp + p * 16);
+      const __m256 b1 = _mm256_loadu_ps(bp + p * 16 + 8);
+      for (int r = 0; r < kMr; ++r) {
+        const float av = a[r];
+        if (av == 0.0f) continue;
+        const __m256 avv = _mm256_set1_ps(av);
+        acc[r][0] = _mm256_add_ps(acc[r][0], _mm256_mul_ps(avv, b0));
+        acc[r][1] = _mm256_add_ps(acc[r][1], _mm256_mul_ps(avv, b1));
+      }
+    }
+  } else {
+    for (int p = 0; p < kc; ++p) {
+      const float* a = ap + p * kMr;
+      const __m256 b0 = _mm256_loadu_ps(bp + p * 16);
+      const __m256 b1 = _mm256_loadu_ps(bp + p * 16 + 8);
+      for (int r = 0; r < kMr; ++r) {
+        const __m256 avv = _mm256_set1_ps(a[r]);
+        acc[r][0] = _mm256_add_ps(acc[r][0], _mm256_mul_ps(avv, b0));
+        acc[r][1] = _mm256_add_ps(acc[r][1], _mm256_mul_ps(avv, b1));
+      }
+    }
+  }
+  for (int r = 0; r < kMr; ++r) {
+    _mm256_storeu_ps(c + r * ldc, acc[r][0]);
+    _mm256_storeu_ps(c + r * ldc + 8, acc[r][1]);
+  }
+}
+
 constexpr KernelTable kAvx2Table = {
     Backend::kAvx2, "avx2",   AxpyAvx2,  AddAvx2,   SubAvx2,
     MulAvx2,        ScaleAvx2, ReluAvx2, ClampAvx2, MaxAbsAvx2,
+    GemmTileAvx2,
+#if defined(BGC_SIMD_HAS_AVX2_FMA)
+    GemmTileAvx2Fma,  // fast tier; defined in kernels_avx2_fma.cc
+#else
+    nullptr,
+#endif
+    6, 16,
 };
 
 }  // namespace

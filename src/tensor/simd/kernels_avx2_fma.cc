@@ -1,0 +1,63 @@
+// AVX2+FMA fast-math GEMM tile: the BGC_FAST_MATH=1 tier of the AVX2
+// backend. Identical loop structure to GemmTileAvx2 but each multiply-add
+// is one vfmadd231ps — one rounding instead of two — so results are NOT
+// bit-identical to the exact tier (see DESIGN.md §14). This is the only
+// translation unit in the repo compiled with -mfma; the exact kernels can
+// never be contaminated by contraction because their TUs forbid the ISA
+// outright. Only ever dispatched when the user opts in via BGC_FAST_MATH=1
+// (simd::GemmTileFor), and only after cpuid-gated backend selection.
+
+#include <immintrin.h>
+
+#include "src/tensor/simd/tables.h"
+
+namespace bgc::simd::internal {
+
+void GemmTileAvx2Fma(float* c, int ldc, const float* ap, const float* bp,
+                     int kc, bool first, bool skip_zero_a) {
+  constexpr int kMr = 6;
+  __m256 acc[kMr][2];
+  for (int r = 0; r < kMr; ++r) {
+    if (first) {
+      acc[r][0] = _mm256_setzero_ps();
+      acc[r][1] = _mm256_setzero_ps();
+    } else {
+      acc[r][0] = _mm256_loadu_ps(c + r * ldc);
+      acc[r][1] = _mm256_loadu_ps(c + r * ldc + 8);
+    }
+  }
+  if (skip_zero_a) {
+    // Same skip as the exact tier: where the axpy chain never
+    // materialized 0 * inf / 0 * NaN, neither does the fast tier. The
+    // driver only selects this body when the A panel contains a zero.
+    for (int p = 0; p < kc; ++p) {
+      const float* a = ap + p * kMr;
+      const __m256 b0 = _mm256_loadu_ps(bp + p * 16);
+      const __m256 b1 = _mm256_loadu_ps(bp + p * 16 + 8);
+      for (int r = 0; r < kMr; ++r) {
+        const float av = a[r];
+        if (av == 0.0f) continue;
+        const __m256 avv = _mm256_set1_ps(av);
+        acc[r][0] = _mm256_fmadd_ps(avv, b0, acc[r][0]);
+        acc[r][1] = _mm256_fmadd_ps(avv, b1, acc[r][1]);
+      }
+    }
+  } else {
+    for (int p = 0; p < kc; ++p) {
+      const float* a = ap + p * kMr;
+      const __m256 b0 = _mm256_loadu_ps(bp + p * 16);
+      const __m256 b1 = _mm256_loadu_ps(bp + p * 16 + 8);
+      for (int r = 0; r < kMr; ++r) {
+        const __m256 avv = _mm256_set1_ps(a[r]);
+        acc[r][0] = _mm256_fmadd_ps(avv, b0, acc[r][0]);
+        acc[r][1] = _mm256_fmadd_ps(avv, b1, acc[r][1]);
+      }
+    }
+  }
+  for (int r = 0; r < kMr; ++r) {
+    _mm256_storeu_ps(c + r * ldc, acc[r][0]);
+    _mm256_storeu_ps(c + r * ldc + 8, acc[r][1]);
+  }
+}
+
+}  // namespace bgc::simd::internal

@@ -1,0 +1,217 @@
+// AVX-512 backend: 16-wide lanes, the fourth dispatch entry. Same
+// structure and bit-exactness argument as kernels_avx2.cc — separate
+// vmulps/vaddps on zmm (the TU is compiled with -ffp-contract=off, and
+// every multiply-add is written as explicit mul + add intrinsics, so no
+// fused rounding can appear in the exact kernels), scalar tail for the
+// last n % 16 elements. min/max lane semantics match the SSE/AVX rules
+// the scalar reference mirrors (NaN and ties resolve to the second
+// operand). This TU must only ever execute after cpuid-gated dispatch
+// (avx512f; see dispatch.cc). The fast-math GEMM tile lives here too:
+// AVX-512F carries its own FMA forms, so no extra ISA flag is needed.
+
+#include <immintrin.h>
+
+#include "src/tensor/simd/scalar_kernels.h"
+#include "src/tensor/simd/tables.h"
+
+namespace bgc::simd::internal {
+
+namespace {
+
+void AxpyAvx512(float* c, const float* x, float a, int n) {
+  const __m512 av = _mm512_set1_ps(a);
+  int i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 prod = _mm512_mul_ps(_mm512_loadu_ps(x + i), av);
+    _mm512_storeu_ps(c + i, _mm512_add_ps(_mm512_loadu_ps(c + i), prod));
+  }
+  AxpyScalar(c + i, x + i, a, n - i);
+}
+
+void AddAvx512(float* c, const float* x, int n) {
+  int i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(
+        c + i, _mm512_add_ps(_mm512_loadu_ps(c + i), _mm512_loadu_ps(x + i)));
+  }
+  AddScalar(c + i, x + i, n - i);
+}
+
+void SubAvx512(float* c, const float* x, int n) {
+  int i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(
+        c + i, _mm512_sub_ps(_mm512_loadu_ps(c + i), _mm512_loadu_ps(x + i)));
+  }
+  SubScalar(c + i, x + i, n - i);
+}
+
+void MulAvx512(float* c, const float* x, int n) {
+  int i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(
+        c + i, _mm512_mul_ps(_mm512_loadu_ps(c + i), _mm512_loadu_ps(x + i)));
+  }
+  MulScalar(c + i, x + i, n - i);
+}
+
+void ScaleAvx512(float* c, float a, int n) {
+  const __m512 av = _mm512_set1_ps(a);
+  int i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(c + i, _mm512_mul_ps(_mm512_loadu_ps(c + i), av));
+  }
+  ScaleScalar(c + i, a, n - i);
+}
+
+void ReluAvx512(float* c, int n) {
+  const __m512 zero = _mm512_setzero_ps();
+  int i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(c + i, _mm512_max_ps(_mm512_loadu_ps(c + i), zero));
+  }
+  ReluScalar(c + i, n - i);
+}
+
+void ClampAvx512(float* c, float lo, float hi, int n) {
+  const __m512 lov = _mm512_set1_ps(lo);
+  const __m512 hiv = _mm512_set1_ps(hi);
+  int i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 lifted = _mm512_max_ps(_mm512_loadu_ps(c + i), lov);
+    _mm512_storeu_ps(c + i, _mm512_min_ps(lifted, hiv));
+  }
+  ClampScalar(c + i, lo, hi, n - i);
+}
+
+float MaxAbsAvx512(const float* x, int n) {
+  // _mm512_and_ps needs AVX512DQ; the integer AND is plain AVX512F, so the
+  // cpuid gate on avx512f alone stays sufficient.
+  const __m512i abs_mask = _mm512_set1_epi32(0x7FFFFFFF);
+  __m512 acc = _mm512_setzero_ps();
+  __mmask16 nan_seen = 0;
+  int i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 v = _mm512_loadu_ps(x + i);
+    nan_seen |= _mm512_cmp_ps_mask(v, v, _CMP_UNORD_Q);
+    const __m512 av = _mm512_castsi512_ps(
+        _mm512_and_epi32(_mm512_castps_si512(v), abs_mask));
+    acc = _mm512_max_ps(acc, av);
+  }
+  const float tail = MaxAbsScalar(x + i, n - i);
+  if (nan_seen != 0 || std::isnan(tail)) {
+    return std::numeric_limits<float>::quiet_NaN();
+  }
+  float lanes[16];
+  _mm512_storeu_ps(lanes, acc);
+  float m = tail;
+  for (float l : lanes) m = std::max(m, l);
+  return m;
+}
+
+// Packed 6x32 register tile: 12 zmm accumulators (of 32) live across the
+// whole k-block. Rounding per element is unchanged from the scalar axpy
+// chain: ascending p, separate vmulps/vaddps, same a == 0.0f skip.
+void GemmTileAvx512(float* c, int ldc, const float* ap, const float* bp,
+                    int kc, bool first, bool skip_zero_a) {
+  constexpr int kMr = 6;
+  __m512 acc[kMr][2];
+  for (int r = 0; r < kMr; ++r) {
+    if (first) {
+      acc[r][0] = _mm512_setzero_ps();
+      acc[r][1] = _mm512_setzero_ps();
+    } else {
+      acc[r][0] = _mm512_loadu_ps(c + r * ldc);
+      acc[r][1] = _mm512_loadu_ps(c + r * ldc + 16);
+    }
+  }
+  if (skip_zero_a) {
+    // Only selected when the A panel contains a zero; the common case is
+    // the branch-free body below (bit-identical when no lane is zero).
+    for (int p = 0; p < kc; ++p) {
+      const float* a = ap + p * kMr;
+      const __m512 b0 = _mm512_loadu_ps(bp + p * 32);
+      const __m512 b1 = _mm512_loadu_ps(bp + p * 32 + 16);
+      for (int r = 0; r < kMr; ++r) {
+        const float av = a[r];
+        if (av == 0.0f) continue;
+        const __m512 avv = _mm512_set1_ps(av);
+        acc[r][0] = _mm512_add_ps(acc[r][0], _mm512_mul_ps(avv, b0));
+        acc[r][1] = _mm512_add_ps(acc[r][1], _mm512_mul_ps(avv, b1));
+      }
+    }
+  } else {
+    for (int p = 0; p < kc; ++p) {
+      const float* a = ap + p * kMr;
+      const __m512 b0 = _mm512_loadu_ps(bp + p * 32);
+      const __m512 b1 = _mm512_loadu_ps(bp + p * 32 + 16);
+      for (int r = 0; r < kMr; ++r) {
+        const __m512 avv = _mm512_set1_ps(a[r]);
+        acc[r][0] = _mm512_add_ps(acc[r][0], _mm512_mul_ps(avv, b0));
+        acc[r][1] = _mm512_add_ps(acc[r][1], _mm512_mul_ps(avv, b1));
+      }
+    }
+  }
+  for (int r = 0; r < kMr; ++r) {
+    _mm512_storeu_ps(c + r * ldc, acc[r][0]);
+    _mm512_storeu_ps(c + r * ldc + 16, acc[r][1]);
+  }
+}
+
+// Fast-math tier: vfmadd231ps, one rounding per multiply-add. Non-bit-
+// exact by contract, dispatched only under BGC_FAST_MATH=1.
+void GemmTileAvx512Fma(float* c, int ldc, const float* ap, const float* bp,
+                       int kc, bool first, bool skip_zero_a) {
+  constexpr int kMr = 6;
+  __m512 acc[kMr][2];
+  for (int r = 0; r < kMr; ++r) {
+    if (first) {
+      acc[r][0] = _mm512_setzero_ps();
+      acc[r][1] = _mm512_setzero_ps();
+    } else {
+      acc[r][0] = _mm512_loadu_ps(c + r * ldc);
+      acc[r][1] = _mm512_loadu_ps(c + r * ldc + 16);
+    }
+  }
+  if (skip_zero_a) {
+    for (int p = 0; p < kc; ++p) {
+      const float* a = ap + p * kMr;
+      const __m512 b0 = _mm512_loadu_ps(bp + p * 32);
+      const __m512 b1 = _mm512_loadu_ps(bp + p * 32 + 16);
+      for (int r = 0; r < kMr; ++r) {
+        const float av = a[r];
+        if (av == 0.0f) continue;
+        const __m512 avv = _mm512_set1_ps(av);
+        acc[r][0] = _mm512_fmadd_ps(avv, b0, acc[r][0]);
+        acc[r][1] = _mm512_fmadd_ps(avv, b1, acc[r][1]);
+      }
+    }
+  } else {
+    for (int p = 0; p < kc; ++p) {
+      const float* a = ap + p * kMr;
+      const __m512 b0 = _mm512_loadu_ps(bp + p * 32);
+      const __m512 b1 = _mm512_loadu_ps(bp + p * 32 + 16);
+      for (int r = 0; r < kMr; ++r) {
+        const __m512 avv = _mm512_set1_ps(a[r]);
+        acc[r][0] = _mm512_fmadd_ps(avv, b0, acc[r][0]);
+        acc[r][1] = _mm512_fmadd_ps(avv, b1, acc[r][1]);
+      }
+    }
+  }
+  for (int r = 0; r < kMr; ++r) {
+    _mm512_storeu_ps(c + r * ldc, acc[r][0]);
+    _mm512_storeu_ps(c + r * ldc + 16, acc[r][1]);
+  }
+}
+
+constexpr KernelTable kAvx512Table = {
+    Backend::kAvx512, "avx512",    AxpyAvx512,  AddAvx512,   SubAvx512,
+    MulAvx512,        ScaleAvx512, ReluAvx512,  ClampAvx512, MaxAbsAvx512,
+    GemmTileAvx512,   GemmTileAvx512Fma,        6,           32,
+};
+
+}  // namespace
+
+const KernelTable& Avx512Table() { return kAvx512Table; }
+
+}  // namespace bgc::simd::internal

@@ -14,6 +14,8 @@ namespace {
 constexpr KernelTable kScalarTable = {
     Backend::kScalar, "scalar", AxpyScalar,  AddScalar,   SubScalar,
     MulScalar,        ScaleScalar, ReluScalar, ClampScalar, MaxAbsScalar,
+    GemmTileScalar,   /*gemm_tile_fast=*/nullptr,
+    kScalarGemmMr,    kScalarGemmNr,
 };
 
 }  // namespace

@@ -101,9 +101,60 @@ float MaxAbsSse2(const float* x, int n) {
   return m;
 }
 
+// Packed 4x8 register tile: 8 xmm accumulators stay live across the whole
+// k-block, so C traffic drops from one load+store per p (the axpy chain)
+// to one per k-block. Rounding per element is unchanged: ascending p,
+// separate mulps/addps, same a == 0.0f skip.
+void GemmTileSse2(float* c, int ldc, const float* ap, const float* bp,
+                  int kc, bool first, bool skip_zero_a) {
+  constexpr int kMr = 4;
+  __m128 acc[kMr][2];
+  for (int r = 0; r < kMr; ++r) {
+    if (first) {
+      acc[r][0] = _mm_setzero_ps();
+      acc[r][1] = _mm_setzero_ps();
+    } else {
+      acc[r][0] = _mm_loadu_ps(c + r * ldc);
+      acc[r][1] = _mm_loadu_ps(c + r * ldc + 4);
+    }
+  }
+  if (skip_zero_a) {
+    // Only selected when the A panel contains a zero; the common case is
+    // the branch-free body below (bit-identical when no lane is zero).
+    for (int p = 0; p < kc; ++p) {
+      const float* a = ap + p * kMr;
+      const __m128 b0 = _mm_loadu_ps(bp + p * 8);
+      const __m128 b1 = _mm_loadu_ps(bp + p * 8 + 4);
+      for (int r = 0; r < kMr; ++r) {
+        const float av = a[r];
+        if (av == 0.0f) continue;
+        const __m128 avv = _mm_set1_ps(av);
+        acc[r][0] = _mm_add_ps(acc[r][0], _mm_mul_ps(avv, b0));
+        acc[r][1] = _mm_add_ps(acc[r][1], _mm_mul_ps(avv, b1));
+      }
+    }
+  } else {
+    for (int p = 0; p < kc; ++p) {
+      const float* a = ap + p * kMr;
+      const __m128 b0 = _mm_loadu_ps(bp + p * 8);
+      const __m128 b1 = _mm_loadu_ps(bp + p * 8 + 4);
+      for (int r = 0; r < kMr; ++r) {
+        const __m128 avv = _mm_set1_ps(a[r]);
+        acc[r][0] = _mm_add_ps(acc[r][0], _mm_mul_ps(avv, b0));
+        acc[r][1] = _mm_add_ps(acc[r][1], _mm_mul_ps(avv, b1));
+      }
+    }
+  }
+  for (int r = 0; r < kMr; ++r) {
+    _mm_storeu_ps(c + r * ldc, acc[r][0]);
+    _mm_storeu_ps(c + r * ldc + 4, acc[r][1]);
+  }
+}
+
 constexpr KernelTable kSse2Table = {
     Backend::kSse2, "sse2",   AxpySse2,  AddSse2,   SubSse2,
     MulSse2,        ScaleSse2, ReluSse2, ClampSse2, MaxAbsSse2,
+    GemmTileSse2,   /*gemm_tile_fast=*/nullptr, 4, 8,
 };
 
 }  // namespace

@@ -47,6 +47,39 @@ inline void ClampScalar(float* c, float lo, float hi, int n) {
   for (int i = 0; i < n; ++i) c[i] = std::min(hi, std::max(lo, c[i]));
 }
 
+// Micro-tile shape of the scalar packed-GEMM reference. Small enough that
+// the accumulator block stays register/L1-resident even without vector
+// registers; every backend's exact tile performs the identical ascending-p
+// mul-then-add chain per element, so the tile shape never changes bits.
+inline constexpr int kScalarGemmMr = 4;
+inline constexpr int kScalarGemmNr = 8;
+
+// Packed reference tile (see simd::GemmTileFn). Separate mul then add —
+// the TU carrying this is compiled with -ffp-contract=off, so the two
+// roundings are real — and the same a == 0.0f row skip as the axpy path.
+inline void GemmTileScalar(float* c, int ldc, const float* ap,
+                           const float* bp, int kc, bool first,
+                           bool skip_zero_a) {
+  float acc[kScalarGemmMr][kScalarGemmNr];
+  for (int r = 0; r < kScalarGemmMr; ++r) {
+    for (int j = 0; j < kScalarGemmNr; ++j) {
+      acc[r][j] = first ? 0.0f : c[r * ldc + j];
+    }
+  }
+  for (int p = 0; p < kc; ++p) {
+    const float* a = ap + p * kScalarGemmMr;
+    const float* b = bp + p * kScalarGemmNr;
+    for (int r = 0; r < kScalarGemmMr; ++r) {
+      const float av = a[r];
+      if (skip_zero_a && av == 0.0f) continue;
+      for (int j = 0; j < kScalarGemmNr; ++j) acc[r][j] += av * b[j];
+    }
+  }
+  for (int r = 0; r < kScalarGemmMr; ++r) {
+    for (int j = 0; j < kScalarGemmNr; ++j) c[r * ldc + j] = acc[r][j];
+  }
+}
+
 inline float MaxAbsScalar(const float* x, int n) {
   float m = 0.0f;
   bool has_nan = false;

@@ -2,16 +2,17 @@
 #define BGC_TENSOR_SIMD_SIMD_H_
 
 // Runtime-dispatched vectorized kernel layer for the dense/sparse hot
-// loops (see DESIGN.md §10 "SIMD backends").
+// loops (see DESIGN.md §10 "SIMD backends" and §14 "Packed GEMM").
 //
 // Backends: a scalar reference (always built, compiled with
 // -fno-tree-vectorize so it really is the serial rounding sequence), an
-// SSE2 path and an AVX2 path, each compiled in its own translation unit
-// with exactly the ISA flags it needs (never -mfma; -ffp-contract=off).
-// The active backend is chosen once at startup: the best cpuid-supported
-// table, overridable with BGC_SIMD=scalar|sse2|avx2|native. The choice is
-// published through the "simd.backend" obs gauge (0=scalar, 1=sse2,
-// 2=avx2).
+// SSE2 path, an AVX2 path, and an AVX-512 path, each compiled in its own
+// translation unit with exactly the ISA flags it needs (never -mfma on
+// the exact kernels; -ffp-contract=off). The active backend is chosen
+// once at startup: the best cpuid-supported table, overridable with
+// BGC_SIMD=scalar|sse2|avx2|avx512|native. The choice is published
+// through the "simd.backend" obs gauge (0=scalar, 1=sse2, 2=avx2,
+// 3=avx512).
 //
 // Bit-exactness contract: every kernel here vectorizes across
 // *independent output elements* — GEMM/SpMM across the output column j,
@@ -24,10 +25,34 @@
 // softmax denominators) are deliberately *not* vectorized: changing their
 // addend order would change bits, so they share one code path in every
 // backend.
+//
+// Fast-math tier: each vector backend may additionally carry a
+// `gemm_tile_fast` micro-kernel that uses FMA (one rounding per
+// multiply-add instead of two). It is NON-bit-exact by design and is
+// only ever dispatched when the user opts in with BGC_FAST_MATH=1; the
+// golden tests stay pinned to the exact tier (DESIGN.md §14).
 
 namespace bgc::simd {
 
-enum class Backend : int { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+enum class Backend : int { kScalar = 0, kSse2 = 1, kAvx2 = 2, kAvx512 = 3 };
+
+/// Packed register-tiled GEMM micro-kernel. Computes one mr x nr tile of
+/// C (+)= A-panel * B-panel where
+///   ap — kc groups of `gemm_mr` floats: ap[p*mr + r] is A(row0+r, p0+p),
+///        zero-padded past the valid rows;
+///   bp — kc groups of `gemm_nr` floats: bp[p*nr + j] is B(p0+p, col0+j),
+///        zero-padded past the valid columns;
+///   c  — mr x nr output tile with row stride ldc (floats).
+/// `first` starts the accumulators at +0.0f (k-block 0); otherwise they
+/// load the partial results already in c. `skip_zero_a` reproduces the
+/// axpy path's `a == 0.0f` row skip (0 * inf and 0 * NaN must not be
+/// materialized where the unpacked kernel never materialized them).
+/// Exact-tier kernels accumulate ascending p with separate mul-then-add
+/// rounding — the identical per-element sequence to the scalar axpy
+/// chain, so packed and unpacked GEMM agree bit-for-bit on every backend.
+using GemmTileFn = void (*)(float* c, int ldc, const float* ap,
+                            const float* bp, int kc, bool first,
+                            bool skip_zero_a);
 
 /// Function table of one backend. All kernels tolerate n == 0 and accept
 /// unaligned pointers; `c` ranges never alias `x` ranges (caller
@@ -57,6 +82,19 @@ struct KernelTable {
   /// (NaN-propagating, unlike a bare std::max fold which swallows NaN).
   /// Order-independent, so lane-parallel evaluation is bit-exact.
   float (*max_abs)(const float* x, int n);
+
+  /// Exact-tier packed GEMM micro-kernel (never null; the scalar table
+  /// carries a plain-loop reference tile).
+  GemmTileFn gemm_tile;
+  /// Fast-math (FMA) variant, dispatched only under BGC_FAST_MATH=1.
+  /// Null when this backend has no fast kernel (scalar, sse2, or an AVX2
+  /// toolchain without -mfma); the dispatch then falls back to the exact
+  /// tile, so opting in never changes which backends are runnable.
+  GemmTileFn gemm_tile_fast;
+  /// Micro-tile height (rows of C per tile) the gemm kernels expect.
+  int gemm_mr;
+  /// Micro-tile width (columns of C per tile) the gemm kernels expect.
+  int gemm_nr;
 };
 
 /// The active backend's table. First call performs detection (cpuid +
@@ -82,9 +120,31 @@ bool Compiled(Backend b);
 /// Table for `b`, or nullptr unless Compiled(b) && CpuSupports(b).
 const KernelTable* TableFor(Backend b);
 
-/// Parses "scalar" | "sse2" | "avx2" | "native" (native = best compiled
-/// and supported backend). Returns false on any other string.
+/// Parses "scalar" | "sse2" | "avx2" | "avx512" | "native" (native = best
+/// compiled and supported backend). Returns false on any other string.
 bool ParseBackend(const char* s, Backend* out);
+
+/// True when the BGC_FAST_MATH tier is active. First call parses the env
+/// var with the uniform fail-fast contract: unset/""/"0"/"off" → exact
+/// tier, "1"/"on" → fast tier, anything else exits with status 2 naming
+/// the value. Published through the "simd.fast_math" obs gauge.
+bool FastMathEnabled();
+
+/// The micro-kernel MatMul* should dispatch for table `t`: the fast tile
+/// when the fast tier is active, `t` carries one, and the CPU has the
+/// extra ISA the fast tile needs; else the exact tile.
+GemmTileFn GemmTileFor(const KernelTable& t);
+
+/// True when this CPU can run backend `b`'s fast GEMM tile. The avx2 fast
+/// tile uses FMA, which is a separate cpuid bit from AVX2; AVX-512F
+/// carries its own FMA forms. Backends without a fast tile return true
+/// (their gemm_tile_fast is null, so GemmTileFor never consults this).
+bool FastTileCpuSupported(Backend b);
+
+/// Test/bench hook: forces the fast-math tier on or off regardless of the
+/// environment and returns the previous setting. Not thread-safe against
+/// concurrent kernel dispatch; production code reads the env once.
+bool SetFastMathForTesting(bool on);
 
 /// Test/bench hook: swaps the active table (must satisfy TableFor(b) !=
 /// nullptr) and returns the previous backend. Not thread-safe against

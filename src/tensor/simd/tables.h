@@ -20,6 +20,18 @@ const KernelTable& Sse2Table();
 const KernelTable& Avx2Table();
 #endif
 
+#if defined(BGC_SIMD_HAS_AVX2_FMA)
+// Fast-math (FMA) 6x16 tile kernel, defined in kernels_avx2_fma.cc (its
+// own TU so only it is compiled with -mfma) and wired into Avx2Table's
+// gemm_tile_fast slot.
+void GemmTileAvx2Fma(float* c, int ldc, const float* ap, const float* bp,
+                     int kc, bool first, bool skip_zero_a);
+#endif
+
+#if defined(BGC_SIMD_HAS_AVX512)
+const KernelTable& Avx512Table();
+#endif
+
 }  // namespace bgc::simd::internal
 
 #endif  // BGC_TENSOR_SIMD_TABLES_H_

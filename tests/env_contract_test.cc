@@ -1,0 +1,141 @@
+// Environment-variable contract: every BGC_* knob that is set but
+// malformed must fail fast with exit status 2 and an actionable message
+// naming the offending value — never silently fall back to a default
+// (the old BGC_NUM_THREADS=garbage behavior ran the whole experiment at
+// hardware concurrency without a word). Valid values must take effect.
+//
+// Each check runs in a forked gtest death-test child: the child mutates
+// the environment and then triggers the first (lazily cached) read, so
+// the parent's own cached state never leaks into an assertion. For the
+// same reason this binary must NEVER call simd::Kernels(),
+// simd::FastMathEnabled(), or ThreadPool::Global() from the parent
+// process before the death tests have run.
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "src/core/thread_pool.h"
+#include "src/tensor/simd/simd.h"
+
+namespace bgc {
+namespace {
+
+class EnvContractTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Fork-style death tests must not fork a multithreaded parent.
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+  }
+};
+
+// ---- BGC_NUM_THREADS -------------------------------------------------
+
+TEST_F(EnvContractTest, MalformedNumThreadsExits2) {
+  for (const char* bad : {"garbage", "0", "-3", "1.5", "4x", " 2", "2 "}) {
+    EXPECT_EXIT(
+        {
+          setenv("BGC_NUM_THREADS", bad, 1);
+          ThreadPool::DefaultNumThreads();
+          _Exit(0);
+        },
+        testing::ExitedWithCode(2), "BGC_NUM_THREADS")
+        << "value: \"" << bad << "\"";
+  }
+}
+
+TEST_F(EnvContractTest, ValidNumThreadsTakesEffect) {
+  EXPECT_EXIT(
+      {
+        setenv("BGC_NUM_THREADS", "3", 1);
+        _Exit(ThreadPool::DefaultNumThreads() == 3 ? 0 : 1);
+      },
+      testing::ExitedWithCode(0), "");
+}
+
+TEST_F(EnvContractTest, UnsetAndEmptyNumThreadsFallBackToHardware) {
+  EXPECT_EXIT(
+      {
+        unsetenv("BGC_NUM_THREADS");
+        const int unset_n = ThreadPool::DefaultNumThreads();
+        setenv("BGC_NUM_THREADS", "", 1);
+        const int empty_n = ThreadPool::DefaultNumThreads();
+        _Exit(unset_n >= 1 && empty_n == unset_n ? 0 : 1);
+      },
+      testing::ExitedWithCode(0), "");
+}
+
+// ---- BGC_FAST_MATH ---------------------------------------------------
+
+TEST_F(EnvContractTest, MalformedFastMathExits2) {
+  for (const char* bad : {"banana", "2", "yes", "ON", "true", " 1"}) {
+    EXPECT_EXIT(
+        {
+          setenv("BGC_FAST_MATH", bad, 1);
+          simd::FastMathEnabled();
+          _Exit(0);
+        },
+        testing::ExitedWithCode(2), "BGC_FAST_MATH")
+        << "value: \"" << bad << "\"";
+  }
+}
+
+TEST_F(EnvContractTest, FastMathOnValues) {
+  for (const char* on : {"1", "on"}) {
+    EXPECT_EXIT(
+        {
+          setenv("BGC_FAST_MATH", on, 1);
+          _Exit(simd::FastMathEnabled() ? 0 : 1);
+        },
+        testing::ExitedWithCode(0), "")
+        << "value: \"" << on << "\"";
+  }
+}
+
+TEST_F(EnvContractTest, FastMathOffValuesAndDefault) {
+  EXPECT_EXIT(
+      {
+        unsetenv("BGC_FAST_MATH");
+        _Exit(simd::FastMathEnabled() ? 1 : 0);
+      },
+      testing::ExitedWithCode(0), "");
+  for (const char* off : {"", "0", "off"}) {
+    EXPECT_EXIT(
+        {
+          setenv("BGC_FAST_MATH", off, 1);
+          _Exit(simd::FastMathEnabled() ? 1 : 0);
+        },
+        testing::ExitedWithCode(0), "")
+        << "value: \"" << off << "\"";
+  }
+}
+
+// ---- BGC_SIMD (pre-existing contract; pinned here alongside the rest) --
+
+TEST_F(EnvContractTest, MalformedSimdBackendExits2) {
+  for (const char* bad : {"bogus", "AVX2", "avx512f"}) {
+    EXPECT_EXIT(
+        {
+          setenv("BGC_SIMD", bad, 1);
+          simd::Kernels();
+          _Exit(0);
+        },
+        testing::ExitedWithCode(2), "BGC_SIMD")
+        << "value: \"" << bad << "\"";
+  }
+}
+
+TEST_F(EnvContractTest, SimdErrorMessageListsAvx512) {
+  // The fail-fast message enumerates the valid names, including the new
+  // fourth backend, so a typo'd value tells the user what to type.
+  EXPECT_EXIT(
+      {
+        setenv("BGC_SIMD", "bogus", 1);
+        simd::Kernels();
+        _Exit(0);
+      },
+      testing::ExitedWithCode(2), "scalar\\|sse2\\|avx2\\|avx512\\|native");
+}
+
+}  // namespace
+}  // namespace bgc

@@ -25,6 +25,7 @@
 #include "src/eval/experiment.h"
 #include "src/nn/models.h"
 #include "src/nn/trainer.h"
+#include "src/tensor/simd/simd.h"
 
 namespace bgc {
 namespace {
@@ -32,6 +33,20 @@ namespace {
 bool Regen() {
   const char* env = std::getenv("BGC_REGEN_GOLDEN");
   return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == 0);
+}
+
+// Under BGC_FAST_MATH=1 the packed GEMM fast tier is allowed to fuse
+// mul+add (DESIGN.md §14), so the pipeline is deliberately NOT bit-stable
+// and the goldens switch from exact equality to a tolerance band: wide
+// enough for a few borderline predictions to flip on the tiny fixture,
+// tight enough that a genuinely broken kernel still fails. The exact tier
+// keeps the historical bit-for-bit pins.
+void ExpectGolden(double actual, double golden, double fast_band) {
+  if (simd::FastMathEnabled()) {
+    EXPECT_NEAR(actual, golden, fast_band);
+  } else {
+    EXPECT_EQ(actual, golden);
+  }
 }
 
 // Shrunken but complete spec: real selector, adaptive triggers, learned
@@ -82,11 +97,12 @@ TEST(GoldenMetricsTest, AttackPipelineMetricsAreBitStable) {
     GTEST_SKIP() << "BGC_REGEN_GOLDEN set: printed fresh goldens, "
                     "assertions skipped";
   }
-  // Exact comparisons on purpose; see the file comment.
-  EXPECT_EQ(rr.backdoor.cta, kGoldenBackdoorCta);
-  EXPECT_EQ(rr.backdoor.asr, kGoldenBackdoorAsr);
-  EXPECT_EQ(rr.clean.cta, kGoldenCleanCta);
-  EXPECT_EQ(rr.clean.asr, kGoldenCleanAsr);
+  // Exact comparisons on purpose (tolerance band only under fast math);
+  // see the file comment.
+  ExpectGolden(rr.backdoor.cta, kGoldenBackdoorCta, 0.1);
+  ExpectGolden(rr.backdoor.asr, kGoldenBackdoorAsr, 0.1);
+  ExpectGolden(rr.clean.cta, kGoldenCleanCta, 0.1);
+  ExpectGolden(rr.clean.asr, kGoldenCleanAsr, 0.1);
 }
 
 TEST(GoldenMetricsTest, CondensationAndVictimLossAreBitStable) {
@@ -117,7 +133,7 @@ TEST(GoldenMetricsTest, CondensationAndVictimLossAreBitStable) {
                  loss);
     GTEST_SKIP() << "BGC_REGEN_GOLDEN set";
   }
-  EXPECT_EQ(loss, kGoldenCondenseLoss);
+  ExpectGolden(loss, kGoldenCondenseLoss, 0.05);
 }
 
 TEST(GoldenMetricsTest, CleanCondensationCtaIsBitStable) {
@@ -129,7 +145,7 @@ TEST(GoldenMetricsTest, CleanCondensationCtaIsBitStable) {
                  rr.backdoor.cta);
     GTEST_SKIP() << "BGC_REGEN_GOLDEN set";
   }
-  EXPECT_EQ(rr.backdoor.cta, kGoldenCleanOnlyCta);
+  ExpectGolden(rr.backdoor.cta, kGoldenCleanOnlyCta, 0.1);
 }
 
 // The pipeline above must give the same numbers on every run of the same

@@ -192,6 +192,23 @@ TEST(ServeServer, MalformedRequestsGet400AndConnectionSurvives) {
   server.Stop();
 }
 
+TEST(ServeClient, StatusCodeRequiresFullThreeDigitPrefix) {
+  // CheckOk formats server errors as "<code>: <message>" with a 3-digit
+  // code. Anything else is a transport-level error and maps to 0 — the
+  // old atoi heuristic let "42: x" and "4x9: y" leak nonsense codes.
+  EXPECT_EQ(Client::StatusCode(Status::Ok()), 0);
+  EXPECT_EQ(Client::StatusCode(Status::Error("429: queue full")), 429);
+  EXPECT_EQ(Client::StatusCode(Status::Error("404: no such job")), 404);
+  EXPECT_EQ(Client::StatusCode(Status::Error("connection lost")), 0);
+  EXPECT_EQ(Client::StatusCode(Status::Error("42: two digits")), 0);
+  EXPECT_EQ(Client::StatusCode(Status::Error("4x9: junk digits")), 0);
+  EXPECT_EQ(Client::StatusCode(Status::Error("-42: negative")), 0);
+  EXPECT_EQ(Client::StatusCode(Status::Error("4299: four digits")), 0);
+  EXPECT_EQ(Client::StatusCode(Status::Error("429:missing space")), 0);
+  EXPECT_EQ(Client::StatusCode(Status::Error("429")), 0);
+  EXPECT_EQ(Client::StatusCode(Status::Error(" 429: padded")), 0);
+}
+
 TEST(ServeServer, UnknownJobAndForeignJobAreRejected) {
   Server server(ServerOptions{});
   ASSERT_TRUE(server.Start().ok());

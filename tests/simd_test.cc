@@ -22,7 +22,8 @@ const int kSizes[] = {1, 7, 8, 9, 63, 64, 65};
 
 std::vector<simd::Backend> VectorBackends() {
   std::vector<simd::Backend> out;
-  for (simd::Backend b : {simd::Backend::kSse2, simd::Backend::kAvx2}) {
+  for (simd::Backend b : {simd::Backend::kSse2, simd::Backend::kAvx2,
+                          simd::Backend::kAvx512}) {
     if (simd::TableFor(b) != nullptr) out.push_back(b);
   }
   return out;
@@ -36,6 +37,28 @@ class BackendGuard {
 
  private:
   simd::Backend saved_;
+};
+
+// Pins the fast-math tier for a scope. Bit-equality tests force it off so
+// they keep passing when the suite runs under BGC_FAST_MATH=1 (the fast
+// tier is non-bit-exact by contract; see DESIGN.md §14).
+class FastMathGuard {
+ public:
+  explicit FastMathGuard(bool on) : saved_(simd::SetFastMathForTesting(on)) {}
+  ~FastMathGuard() { simd::SetFastMathForTesting(saved_); }
+
+ private:
+  bool saved_;
+};
+
+// Forces the MatMul* execution path for a scope (packed vs legacy axpy).
+class GemmPathGuard {
+ public:
+  explicit GemmPathGuard(GemmPath p) : saved_(SetGemmPathForTesting(p)) {}
+  ~GemmPathGuard() { SetGemmPathForTesting(saved_); }
+
+ private:
+  GemmPath saved_;
 };
 
 ::testing::AssertionResult BitEqual(const Matrix& a, const Matrix& b) {
@@ -62,10 +85,12 @@ class BackendGuard {
 }
 
 // Runs `op` once under the scalar backend and once under each compiled
-// vector backend, asserting byte-identical results.
+// vector backend, asserting byte-identical results. Fast math is pinned
+// off: only the exact tier promises bit equality.
 template <typename Op>
 void ExpectBackendsBitEqual(const char* what, Op op) {
   BackendGuard guard;
+  FastMathGuard exact(false);
   simd::SetBackendForTesting(simd::Backend::kScalar);
   Matrix ref = op();
   for (simd::Backend b : VectorBackends()) {
@@ -106,7 +131,8 @@ TEST(SimdDispatchTest, ActiveMatchesKernelsTable) {
 
 TEST(SimdDispatchTest, TableForRequiresCompiledAndSupported) {
   for (simd::Backend b :
-       {simd::Backend::kScalar, simd::Backend::kSse2, simd::Backend::kAvx2}) {
+       {simd::Backend::kScalar, simd::Backend::kSse2, simd::Backend::kAvx2,
+        simd::Backend::kAvx512}) {
     const simd::KernelTable* t = simd::TableFor(b);
     if (simd::Compiled(b) && simd::CpuSupports(b)) {
       ASSERT_NE(t, nullptr) << simd::BackendName(b);
@@ -126,6 +152,8 @@ TEST(SimdDispatchTest, ParseBackendAcceptsKnownNames) {
   EXPECT_EQ(b, simd::Backend::kSse2);
   ASSERT_TRUE(simd::ParseBackend("avx2", &b));
   EXPECT_EQ(b, simd::Backend::kAvx2);
+  ASSERT_TRUE(simd::ParseBackend("avx512", &b));
+  EXPECT_EQ(b, simd::Backend::kAvx512);
   // "native" resolves to the best compiled+supported backend.
   ASSERT_TRUE(simd::ParseBackend("native", &b));
   EXPECT_NE(simd::TableFor(b), nullptr);
@@ -134,7 +162,7 @@ TEST(SimdDispatchTest, ParseBackendAcceptsKnownNames) {
 TEST(SimdDispatchTest, ParseBackendRejectsUnknownNames) {
   simd::Backend b;
   EXPECT_FALSE(simd::ParseBackend("", &b));
-  EXPECT_FALSE(simd::ParseBackend("avx512", &b));
+  EXPECT_FALSE(simd::ParseBackend("avx512f", &b));
   EXPECT_FALSE(simd::ParseBackend("Scalar", &b));
   EXPECT_FALSE(simd::ParseBackend("sse", &b));
 }
@@ -288,7 +316,8 @@ TEST(SimdBitEqualTest, MaxAbsNanPropagatesIdenticallyInEveryLane) {
 
 TEST(SimdKernelTest, RawKernelsTolerateZeroLength) {
   for (simd::Backend b :
-       {simd::Backend::kScalar, simd::Backend::kSse2, simd::Backend::kAvx2}) {
+       {simd::Backend::kScalar, simd::Backend::kSse2, simd::Backend::kAvx2,
+        simd::Backend::kAvx512}) {
     const simd::KernelTable* t = simd::TableFor(b);
     if (t == nullptr) continue;
     t->axpy(nullptr, nullptr, 2.0f, 0);
@@ -301,6 +330,211 @@ TEST(SimdKernelTest, RawKernelsTolerateZeroLength) {
     float m = t->max_abs(nullptr, 0);
     EXPECT_EQ(m, 0.0f) << simd::BackendName(b);
   }
+}
+
+// ---------------------------------------------------------------------
+// Packed register-tiled GEMM (DESIGN.md §14): the packed path must be
+// bit-identical to the legacy axpy path on every backend, at every
+// awkward shape, including NaN/±0/denormal lanes.
+// ---------------------------------------------------------------------
+
+// Shapes straddling every micro-tile boundary: below / at / above the
+// mr heights (4 scalar/sse2, 6 avx2/avx512) and the nr widths (8, 16, 32
+// — 63/64/65 also cross two avx512 strips).
+const int kAwkward[] = {1, 5, 6, 7, 15, 16, 17, 63, 64, 65};
+
+TEST(PackedGemmTest, TableTileShapesAreSane) {
+  for (simd::Backend b :
+       {simd::Backend::kScalar, simd::Backend::kSse2, simd::Backend::kAvx2,
+        simd::Backend::kAvx512}) {
+    const simd::KernelTable* t = simd::TableFor(b);
+    if (t == nullptr) continue;
+    EXPECT_NE(t->gemm_tile, nullptr) << simd::BackendName(b);
+    EXPECT_GE(t->gemm_mr, 1) << simd::BackendName(b);
+    EXPECT_GE(t->gemm_nr, 1) << simd::BackendName(b);
+  }
+}
+
+TEST(PackedGemmTest, GemmTileHandlesEmptyKBlock) {
+  for (simd::Backend b :
+       {simd::Backend::kScalar, simd::Backend::kSse2, simd::Backend::kAvx2,
+        simd::Backend::kAvx512}) {
+    const simd::KernelTable* t = simd::TableFor(b);
+    if (t == nullptr) continue;
+    const int mr = t->gemm_mr, nr = t->gemm_nr;
+    // kc = 0 with first: the tile is initialized to +0.0f and stored.
+    std::vector<float> c(static_cast<size_t>(mr) * nr, 123.0f);
+    t->gemm_tile(c.data(), nr, nullptr, nullptr, 0, /*first=*/true,
+                 /*skip_zero_a=*/true);
+    for (float v : c) EXPECT_EQ(v, 0.0f) << simd::BackendName(b);
+    // kc = 0 without first: load-then-store must preserve bits (even NaN).
+    for (size_t i = 0; i < c.size(); ++i) {
+      c[i] = (i % 3 == 0) ? std::numeric_limits<float>::quiet_NaN()
+                          : static_cast<float>(i) - 7.5f;
+    }
+    std::vector<float> before = c;
+    t->gemm_tile(c.data(), nr, nullptr, nullptr, 0, /*first=*/false,
+                 /*skip_zero_a=*/false);
+    EXPECT_EQ(std::memcmp(c.data(), before.data(), c.size() * sizeof(float)),
+              0)
+        << simd::BackendName(b);
+  }
+}
+
+// Runs `op` with the legacy axpy path under the scalar backend as the
+// reference, then with the packed path forced under scalar and every
+// vector backend, asserting byte-identical results throughout.
+template <typename Op>
+void ExpectPackedMatchesAxpy(const char* what, Op op) {
+  BackendGuard guard;
+  FastMathGuard exact(false);
+  Matrix ref = [&] {
+    GemmPathGuard path(GemmPath::kAxpy);
+    simd::SetBackendForTesting(simd::Backend::kScalar);
+    return op();
+  }();
+  GemmPathGuard path(GemmPath::kPacked);
+  simd::SetBackendForTesting(simd::Backend::kScalar);
+  EXPECT_TRUE(BitEqual(op(), ref)) << what << " packed under scalar";
+  for (simd::Backend b : VectorBackends()) {
+    simd::SetBackendForTesting(b);
+    EXPECT_TRUE(BitEqual(op(), ref))
+        << what << " packed under " << simd::BackendName(b);
+  }
+}
+
+TEST(PackedGemmTest, PackedMatchesAxpyAtAwkwardShapes) {
+  // Every (n, m) pair from the awkward set, with k cycling through the
+  // same set so each value appears in each dimension many times.
+  for (int n : kAwkward) {
+    for (int m : kAwkward) {
+      const int k = kAwkward[(n + m) % 10];
+      Matrix a = SpicyMatrix(n, k, 1400 + 10 * n + m);
+      Matrix b = SpicyMatrix(k, m, 1500 + 10 * n + m);
+      ExpectPackedMatchesAxpy("MatMul", [&] { return MatMul(a, b); });
+    }
+  }
+}
+
+TEST(PackedGemmTest, PackedMatchesAxpyOverInnerDim) {
+  for (int k : kAwkward) {
+    Matrix a = SpicyMatrix(6, k, 1600 + k);
+    Matrix b = SpicyMatrix(k, 17, 1700 + k);
+    ExpectPackedMatchesAxpy("MatMul", [&] { return MatMul(a, b); });
+    Matrix at = SpicyMatrix(k, 7, 1800 + k);
+    ExpectPackedMatchesAxpy("MatMulTransA",
+                            [&] { return MatMulTransA(at, b); });
+    Matrix bt = SpicyMatrix(17, k, 1900 + k);
+    ExpectPackedMatchesAxpy("MatMulTransB",
+                            [&] { return MatMulTransB(a, bt); });
+  }
+}
+
+TEST(PackedGemmTest, PackedMatchesAxpyTransposedAtAwkwardShapes) {
+  for (int n : kAwkward) {
+    const int k = kAwkward[(n + 3) % 10];
+    const int m = kAwkward[(n + 7) % 10];
+    Matrix at = SpicyMatrix(k, n, 2000 + n);
+    Matrix b = SpicyMatrix(k, m, 2100 + n);
+    ExpectPackedMatchesAxpy("MatMulTransA",
+                            [&] { return MatMulTransA(at, b); });
+    Matrix a = SpicyMatrix(n, k, 2200 + n);
+    Matrix bt = SpicyMatrix(m, k, 2300 + n);
+    ExpectPackedMatchesAxpy("MatMulTransB",
+                            [&] { return MatMulTransB(a, bt); });
+  }
+}
+
+// NaN, infinities, signed zeros, and denormals must round-trip the packed
+// path bit-identically — including the zero-skip contract: MatMul /
+// MatMulTransA skip a == 0 contributions (so 0 * inf never materializes a
+// NaN there), while MatMulTransB always adds the 0 * b term.
+Matrix SpecialsMatrix(int rows, int cols, int phase) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  const float specials[] = {1.0f,   0.0f,  -0.0f,  1e-40f, -1e-40f,
+                            -2.5f,  nan,   inf,    -inf,   1e30f};
+  Matrix m(rows, cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      m.At(i, j) = specials[(i * cols + j + phase) % 10];
+    }
+  }
+  return m;
+}
+
+TEST(PackedGemmTest, PackedMatchesAxpyOnSpecialValues) {
+  for (int phase = 0; phase < 10; ++phase) {
+    Matrix a = SpecialsMatrix(7, 17, phase);
+    Matrix b = SpecialsMatrix(17, 19, phase + 3);
+    ExpectPackedMatchesAxpy("MatMul(specials)",
+                            [&] { return MatMul(a, b); });
+    Matrix at = SpecialsMatrix(17, 7, phase + 5);
+    ExpectPackedMatchesAxpy("MatMulTransA(specials)",
+                            [&] { return MatMulTransA(at, b); });
+    Matrix bt = SpecialsMatrix(19, 17, phase + 7);
+    ExpectPackedMatchesAxpy("MatMulTransB(specials)",
+                            [&] { return MatMulTransB(a, bt); });
+  }
+}
+
+TEST(PackedGemmTest, AutoPathIsBitIdenticalToBothForcedPaths) {
+  // kAuto routes by size; whatever it picks must not change bits. One
+  // shape under (64² × 64 × 2 = 512k flops) each side of the threshold.
+  for (int dim : {24, 96}) {
+    Matrix a = SpicyMatrix(dim, dim, 2400 + dim);
+    Matrix b = SpicyMatrix(dim, dim, 2500 + dim);
+    BackendGuard guard;
+    FastMathGuard exact(false);
+    Matrix auto_c = [&] {
+      GemmPathGuard path(GemmPath::kAuto);
+      return MatMul(a, b);
+    }();
+    {
+      GemmPathGuard path(GemmPath::kAxpy);
+      EXPECT_TRUE(BitEqual(MatMul(a, b), auto_c)) << "axpy dim=" << dim;
+    }
+    {
+      GemmPathGuard path(GemmPath::kPacked);
+      EXPECT_TRUE(BitEqual(MatMul(a, b), auto_c)) << "packed dim=" << dim;
+    }
+  }
+}
+
+TEST(PackedGemmTest, FastMathTierStaysCloseToExact) {
+  // The fast tier (BGC_FAST_MATH=1) may fuse mul+add but must stay within
+  // a tight relative band of the exact tier. On backends without a fast
+  // tile (scalar, sse2) it falls back to the exact tile and the results
+  // are identical — AllClose holds trivially.
+  BackendGuard guard;
+  GemmPathGuard path(GemmPath::kPacked);
+  Rng rng(42);
+  Matrix a = Matrix::RandomNormal(33, 47, rng);
+  Matrix b = Matrix::RandomNormal(47, 29, rng);
+  Matrix exact = [&] {
+    FastMathGuard off(false);
+    return MatMul(a, b);
+  }();
+  // Band sized for float32 dot products over k = 47 terms of magnitude
+  // ~N(0,1): the absolute error of either tier is a few ulp of the
+  // intermediate partial sums (~1e-5), which dominates atol for outputs
+  // that cancel to near zero. A broken kernel is off by O(1).
+  FastMathGuard on(true);
+  Matrix fast = MatMul(a, b);
+  EXPECT_TRUE(AllClose(fast, exact, 1e-4f, 1e-4f));
+  for (simd::Backend bk : VectorBackends()) {
+    simd::SetBackendForTesting(bk);
+    EXPECT_TRUE(AllClose(MatMul(a, b), exact, 1e-4f, 1e-4f))
+        << "fast tier under " << simd::BackendName(bk);
+  }
+}
+
+TEST(PackedGemmTest, SetFastMathForTestingRoundTrips) {
+  const bool entry = simd::SetFastMathForTesting(true);
+  EXPECT_TRUE(simd::FastMathEnabled());
+  EXPECT_TRUE(simd::SetFastMathForTesting(false));
+  EXPECT_FALSE(simd::FastMathEnabled());
+  simd::SetFastMathForTesting(entry);
 }
 
 }  // namespace

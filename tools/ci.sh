@@ -9,33 +9,45 @@
 #                                              scalar reference backend: the
 #                                              bit-exactness contract of
 #                                              DESIGN.md §10)
-#   4. Release BGC_ARENA=off leg              (check-fast with the buffer
+#   4. Release BGC_FAST_MATH=1 leg            (check-fast minus the `pinned`
+#                                              bit-exact goldens, plus
+#                                              golden_metrics_test in its
+#                                              tolerance-band mode: the
+#                                              opt-in fused-GEMM tier of
+#                                              DESIGN.md §14)
+#   5. Malformed-env smoke                    (BGC_NUM_THREADS / BGC_SIMD /
+#                                              BGC_FAST_MATH garbage must
+#                                              exit 2 naming the value)
+#   6. Release BGC_ARENA=off leg              (check-fast with the buffer
 #                                              arena disabled: results must
 #                                              not depend on buffer reuse)
-#   5. Release autograd bit-identity leg      (goldens under
+#   7. Release autograd bit-identity leg      (goldens under
 #                                              BGC_AUTOGRAD=parallel at
 #                                              BGC_NUM_THREADS=1,2,8: the
 #                                              DESIGN.md §11 contract)
-#   6. Release sampled-training leg           (--train-mode=sampled bit-
+#   8. Release sampled-training leg           (--train-mode=sampled bit-
 #                                              identity across reruns and
 #                                              BGC_NUM_THREADS=1/2/8, plus
 #                                              the pinned sampler digest)
-#   7. Release out-of-core leg                (streaming-writer byte-
+#   9. Release out-of-core leg                (streaming-writer byte-
 #                                              identity + scaled sbm-1m
 #                                              mmap training; BGC_SMOKE_1M=1
 #                                              adds the 1M-node RSS budget)
-#   8. Release bench sweeps                   (bench_micro_kernels --json +
-#                                              the >=2x AVX2 GEMM gate;
-#                                              bench_tape_replay --json +
-#                                              the parallel-backward gate)
-#   9. ASan build, `sanitizer`-labeled suites (store/bgcbin+mmap fuzz/obs/
+#  10. Release bench sweeps                   (bench_micro_kernels --json +
+#                                              its three GEMM gates: avx2
+#                                              >=2x scalar, packed >=1.5x
+#                                              axpy, fast tier >=1.05x
+#                                              exact; bench_tape_replay
+#                                              --json + the parallel-
+#                                              backward gate)
+#  11. ASan build, `sanitizer`-labeled suites (store/bgcbin+mmap fuzz/obs/
 #                                              golden/sampler/minibatch —
 #                                              byte-level and concurrent
 #                                              code), then the tape/arena
 #                                              suites with BGC_AUTOGRAD=
 #                                              parallel and BGC_ARENA=off,
 #                                              then outofcore_test
-#  10. TSan build, obs/parallel/scheduler/tape (counter/timer thread safety,
+#  12. TSan build, obs/parallel/scheduler/tape (counter/timer thread safety,
 #                                              grid workers, cache
 #                                              single-flight, concurrent
 #                                              grad reads), then tape_test
@@ -82,6 +94,51 @@ BGC_SIMD=scalar ctest --test-dir build-ci-release -LE slow -j "$JOBS" \
 BGC_SIMD=scalar ./build-ci-release/tests/golden_metrics_test
 ./build-ci-release/tests/golden_metrics_test
 
+step "Release: fast-math leg (BGC_FAST_MATH=1)"
+# The opt-in fused-GEMM tier (DESIGN.md §14) is non-bit-exact by contract,
+# so the `pinned` label (minibatch_test's bit-exact training goldens) is
+# excluded; golden_metrics_test runs explicitly because it switches itself
+# to a tolerance band when simd::FastMathEnabled() — everything else must
+# pass untouched, which is how we know the tier only changes GEMM
+# rounding, not semantics.
+BGC_FAST_MATH=1 ctest --test-dir build-ci-release -LE "slow|pinned" \
+    -j "$JOBS" --output-on-failure
+BGC_FAST_MATH=1 ./build-ci-release/tests/golden_metrics_test
+
+step "Malformed-env smoke (exit 2 contract)"
+# Every BGC_* env knob shares one fail-fast rule: a malformed value exits 2
+# with a message naming the variable and the value, before any work runs.
+# env_contract_test covers this with death tests; this smoke proves the
+# same behavior end to end through a real binary's startup path.
+expect_exit2() {  # expect_exit2 VAR=value -- cmd...
+  local env_pair="$1"; shift; shift
+  local out rc=0
+  out="$(env "$env_pair" "$@" 2>&1)" || rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "FAIL: $env_pair did not exit 2 (got $rc)" >&2
+    exit 1
+  fi
+  echo "$out" | grep -q "${env_pair%%=*}" || {
+    echo "FAIL: $env_pair error message does not name the variable" >&2
+    exit 1
+  }
+  echo "ok: $env_pair -> exit 2"
+}
+# `train` (not `generate`): the pool and the SIMD dispatch — where these
+# vars are read — only initialize once real kernels run.
+ENV_SMOKE="build-ci-release/envsmoke.bgcbin"
+./build-ci-release/examples/bgc_cli generate --dataset=tiny-sim --seed=1 \
+    --out="$ENV_SMOKE" > /dev/null
+expect_exit2 BGC_NUM_THREADS=garbage -- \
+    ./build-ci-release/examples/bgc_cli train --in="$ENV_SMOKE" \
+    --epochs=1 --seed=1
+expect_exit2 BGC_SIMD=bogus -- \
+    ./build-ci-release/examples/bgc_cli train --in="$ENV_SMOKE" \
+    --epochs=1 --seed=1
+expect_exit2 BGC_FAST_MATH=banana -- \
+    ./build-ci-release/examples/bgc_cli train --in="$ENV_SMOKE" \
+    --epochs=1 --seed=1
+
 step "Release: arena-off leg (BGC_ARENA=off)"
 # Same binaries with every Matrix allocation falling through to plain
 # new/delete. Buffer recycling must be invisible to results: any test that
@@ -101,9 +158,10 @@ done
 BGC_AUTOGRAD=serial ./build-ci-release/tests/golden_metrics_test
 
 step "Release: kernel bench sweep (--json)"
-# Per-backend GB/s / GFLOP/s rows plus the >=2x AVX2-vs-scalar GEMM gate
-# (auto-skips with a notice when cpuid lacks AVX2). The committed
-# snapshot lives at bench/BENCH_kernels.json.
+# Per-backend GB/s / GFLOP/s rows plus three GEMM gates: avx2 >=2x
+# scalar, packed >=1.5x the forced-axpy path, and the BGC_FAST_MATH tier
+# >=1.05x exact (each auto-skips with a notice when cpuid lacks what it
+# measures). The committed snapshot lives at bench/BENCH_kernels.json.
 ./build-ci-release/bench/bench_micro_kernels \
     --json build-ci-release/BENCH_kernels.json
 
