@@ -1,0 +1,267 @@
+// Reduction-robustness transfer matrix: every attack × reduction-method ×
+// defense cell in one sweep. The method axis spans the learned condensers
+// (gcond, gcond-x, doscond, gc-sntk) and the src/reduce training-free
+// backends (coarsen, sparsify-er, sparsify-rand), so the table answers
+// "does a backdoor crafted against condensation survive classical graph
+// reduction, and which defense recovers it?" in a single run.
+//
+// The attack axis uses the four dispatchable poisoners (bgc, gta, naive,
+// doorping — doorping standing in for an ego-style per-node attack, which
+// this codebase does not implement as a poisoner). The defense axis is
+// none / prune / jaccard / randsmooth / outlier-filter, sharing one attack
+// per (attack, method, repeat) unit the way bench_table5_defense does.
+//
+// Output: the stdout table plus, with --json=PATH, a
+// "bgc-transfer-matrix-v1" JSON report (%.17g numbers). Both are
+// bit-identical for every --jobs=N: units are pure functions of their
+// index and the reduction runs in unit order.
+
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/data/synthetic.h"
+#include "src/defense/defenses.h"
+
+namespace {
+
+using namespace bgc;         // NOLINT
+using namespace bgc::bench;  // NOLINT
+
+const std::vector<std::string> kAttacks = {"bgc", "gta", "naive",
+                                           "doorping"};
+const std::vector<std::string> kMethods = {
+    "gcond", "gcond-x", "doscond", "gc-sntk",
+    "coarsen", "sparsify-er", "sparsify-rand"};
+const std::vector<std::string> kDefenses = {"none", "prune", "jaccard",
+                                            "randsmooth", "outlier"};
+constexpr int kNumDefenses = 5;
+
+eval::RunSpec BaseSpec(const Options& opt, const std::string& method,
+                       const std::string& attack) {
+  eval::RunSpec spec;
+  spec.dataset = "cora-sim";
+  spec.dataset_scale = opt.paper ? 1.0 : 0.25;
+  spec.seed = opt.seed;
+  spec.method = method;
+  spec.attack = attack;
+  spec.condense.num_condensed = opt.paper ? 35 : 8;
+  spec.condense.epochs = opt.paper ? 100 : 10;
+  spec.victim.epochs = opt.paper ? 300 : 60;
+  return spec;
+}
+
+/// One repeat of one (attack, method) row: the five defended views of the
+/// same attacked condensation, indexed like kDefenses.
+struct RepeatOut {
+  eval::AttackMetrics metrics[kNumDefenses];
+};
+
+// %.17g round-trips doubles exactly, matching the strict obs parser.
+void JsonNum(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void JsonMeanStd(std::string& out, const MeanStd& ms) {
+  out += "{\"mean\":";
+  JsonNum(out, ms.mean);
+  out += ",\"std\":";
+  JsonNum(out, ms.std);
+  out += '}';
+}
+
+void JsonNameList(std::string& out, const std::vector<std::string>& names) {
+  out += '[';
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"' + names[i] + '"';
+  }
+  out += ']';
+}
+
+void Run(Options opt, const std::string& json_path) {
+  // Heavy sweep (140 cells): fast mode defaults to a single repeat.
+  if (opt.repeats == 0 && !opt.paper) opt.repeats = 1;
+  PrintHeader("Transfer matrix — attack × reduction × defense", opt);
+  const int repeats = Repeats(opt);
+
+  struct Row {
+    std::string attack, method;
+  };
+  std::vector<Row> rows;
+  for (const std::string& attack : kAttacks) {
+    for (const std::string& method : kMethods) rows.push_back({attack, method});
+  }
+
+  // Unit = (row, repeat): one attacked condensation shared by the five
+  // defenses, exactly one Rng stream per unit so every --jobs=N reduces
+  // to the same numbers.
+  const int num_units = static_cast<int>(rows.size()) * repeats;
+  auto unit_body = [&](int u) {
+    const Row& row = rows[u / repeats];
+    const int rep = u % repeats;
+    const uint64_t seed = opt.seed + rep;
+    eval::RunSpec spec = BaseSpec(opt, row.method, row.attack);
+    spec.seed = seed;
+    data::GraphDataset ds =
+        data::MakeDataset(spec.dataset, seed, spec.dataset_scale);
+    condense::SourceGraph clean =
+        condense::FromTrainView(data::MakeTrainView(ds));
+    Rng rng(seed * 2654435761ULL + 3);
+    attack::AttackResult attacked =
+        eval::DispatchAttack(spec, clean, ds.num_classes, rng);
+    const int yt = spec.attack_cfg.target_class;
+
+    RepeatOut out;
+    // none: the undefended backdoored victim.
+    auto victim = eval::TrainVictim(attacked.condensed, spec.victim, rng);
+    out.metrics[0] =
+        eval::EvaluateVictim(*victim, ds, attacked.generator.get(), yt);
+    // prune: retrain on the cosine-pruned condensed graph.
+    condense::CondensedGraph pruned =
+        defense::Prune(attacked.condensed, 0.2);
+    auto pruned_victim = eval::TrainVictim(pruned, spec.victim, rng);
+    out.metrics[1] = eval::EvaluateVictim(*pruned_victim, ds,
+                                          attacked.generator.get(), yt);
+    // jaccard: retrain on the structurally filtered graph.
+    condense::CondensedGraph jaccard =
+        defense::JaccardPrune(attacked.condensed, 0.05);
+    auto jaccard_victim = eval::TrainVictim(jaccard, spec.victim, rng);
+    out.metrics[2] = eval::EvaluateVictim(*jaccard_victim, ds,
+                                          attacked.generator.get(), yt);
+    // randsmooth: smoothed inference over the undefended victim.
+    Rng smooth_rng(seed * 2654435761ULL + 4);
+    eval::PredictFn smooth = [&](const graph::CsrMatrix& adj,
+                                 const Matrix& x) {
+      return defense::RandsmoothPredict(*victim, adj, x, /*num_samples=*/9,
+                                        /*keep_prob=*/0.7, smooth_rng);
+    };
+    out.metrics[3] = eval::EvaluateWithPredict(smooth, ds,
+                                               attacked.generator.get(), yt);
+    // outlier: retrain after dropping MAD feature-norm outliers.
+    condense::CondensedGraph filtered =
+        defense::FilterFeatureOutliers(attacked.condensed, 5.0);
+    auto filtered_victim = eval::TrainVictim(filtered, spec.victim, rng);
+    out.metrics[4] = eval::EvaluateVictim(*filtered_victim, ds,
+                                          attacked.generator.get(), yt);
+    return out;
+  };
+  const auto slots = eval::RunGrid(Grid(opt), num_units, unit_body);
+
+  // Reduce in row order: aggregated stats per (row, defense), rows that
+  // lost every repeat become ERR cells.
+  struct RowStats {
+    bool ok = false;
+    MeanStd cta[kNumDefenses];
+    MeanStd asr[kNumDefenses];
+  };
+  std::vector<RowStats> stats(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::vector<double> ctas[kNumDefenses], asrs[kNumDefenses];
+    for (int rep = 0; rep < repeats; ++rep) {
+      const auto& slot = slots[i * repeats + rep];
+      if (!slot.status.ok()) {
+        std::fprintf(stderr, "[transfer] %s/%s repeat %d failed: %s\n",
+                     rows[i].attack.c_str(), rows[i].method.c_str(), rep,
+                     slot.status.message().c_str());
+        continue;
+      }
+      for (int d = 0; d < kNumDefenses; ++d) {
+        ctas[d].push_back(slot.value.metrics[d].cta);
+        asrs[d].push_back(slot.value.metrics[d].asr);
+      }
+    }
+    if (ctas[0].empty()) continue;
+    stats[i].ok = true;
+    for (int d = 0; d < kNumDefenses; ++d) {
+      stats[i].cta[d] = ComputeMeanStd(ctas[d]);
+      stats[i].asr[d] = ComputeMeanStd(asrs[d]);
+    }
+  }
+
+  eval::TextTable table({"Attack", "Method", "None CTA", "None ASR",
+                         "Prune CTA", "Prune ASR", "Jacc CTA", "Jacc ASR",
+                         "Rsm CTA", "Rsm ASR", "Outl CTA", "Outl ASR"});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::vector<std::string> cells = {rows[i].attack, rows[i].method};
+    for (int d = 0; d < kNumDefenses; ++d) {
+      if (stats[i].ok) {
+        cells.push_back(Pct(stats[i].cta[d]));
+        cells.push_back(Pct(stats[i].asr[d]));
+      } else {
+        cells.push_back("ERR");
+        cells.push_back("ERR");
+      }
+    }
+    table.AddRow(cells);
+  }
+  table.Print(std::cout);
+
+  if (json_path.empty()) return;
+  std::string json = "{\"schema\":\"bgc-transfer-matrix-v1\",\"mode\":\"";
+  json += opt.paper ? "paper" : "fast";
+  json += "\",\"seed\":";
+  JsonNum(json, static_cast<double>(opt.seed));
+  json += ",\"repeats\":" + std::to_string(repeats);
+  json += ",\"attacks\":";
+  JsonNameList(json, kAttacks);
+  json += ",\"methods\":";
+  JsonNameList(json, kMethods);
+  json += ",\"defenses\":";
+  JsonNameList(json, kDefenses);
+  json += ",\"cells\":[";
+  bool first = true;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (int d = 0; d < kNumDefenses; ++d) {
+      if (!first) json += ',';
+      first = false;
+      json += "{\"attack\":\"" + rows[i].attack + "\",\"method\":\"" +
+              rows[i].method + "\",\"defense\":\"" + kDefenses[d] + "\"";
+      if (stats[i].ok) {
+        json += ",\"ok\":true,\"cta\":";
+        JsonMeanStd(json, stats[i].cta[d]);
+        json += ",\"asr\":";
+        JsonMeanStd(json, stats[i].asr[d]);
+      } else {
+        json += ",\"ok\":false";
+      }
+      json += '}';
+    }
+  }
+  json += "]}\n";
+  if (json_path == "-") {
+    std::fwrite(json.data(), 1, json.size(), stdout);
+    return;
+  }
+  std::FILE* f = std::fopen(json_path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+    std::exit(1);
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // bench::Parse exits on unknown flags; peel off --json first.
+  std::string json_path;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  Run(Parse(static_cast<int>(rest.size()), rest.data()), json_path);
+  return 0;
+}

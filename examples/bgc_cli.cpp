@@ -193,6 +193,10 @@ condense::CondenseConfig CondenseConfigFromFlags(
   condense::CondenseConfig cfg;
   cfg.num_condensed = GetInt(flags, "n", "35", 1, 1000000);
   cfg.epochs = GetInt(flags, "epochs", "150", 1, 1000000);
+  // Edge budget of the src/reduce sparsifiers (--method=sparsify-er /
+  // sparsify-rand); ignored by the learned methods.
+  cfg.sparsify_keep = static_cast<float>(
+      GetDouble(flags, "sparsify-keep", "0.5", 0.0, 1.0));
   return cfg;
 }
 

@@ -6,6 +6,7 @@
 #include "src/condense/gradient_matching.h"
 #include "src/core/check.h"
 #include "src/obs/obs.h"
+#include "src/reduce/reduce.h"
 
 namespace bgc::condense {
 
@@ -30,7 +31,9 @@ SourceGraph FromTrainView(const data::TrainView& view) {
 
 bool IsKnownMethod(const std::string& method) {
   return method == "gcond" || method == "gcond-x" || method == "dc-graph" ||
-         method == "gc-sntk" || method == "doscond" || method == "gcdm";
+         method == "gc-sntk" || method == "doscond" || method == "gcdm" ||
+         method == "coarsen" || method == "sparsify-er" ||
+         method == "sparsify-rand";
 }
 
 std::unique_ptr<Condenser> MakeCondenser(const std::string& method) {
@@ -52,6 +55,17 @@ std::unique_ptr<Condenser> MakeCondenser(const std::string& method) {
   }
   if (method == "gcdm") {
     return std::make_unique<GcdmCondenser>();
+  }
+  if (method == "coarsen") {
+    return std::make_unique<reduce::CoarsenCondenser>();
+  }
+  if (method == "sparsify-er") {
+    return std::make_unique<reduce::SparsifyCondenser>(
+        reduce::SparsifyCondenser::Mode::kEffectiveResistance);
+  }
+  if (method == "sparsify-rand") {
+    return std::make_unique<reduce::SparsifyCondenser>(
+        reduce::SparsifyCondenser::Mode::kUniform);
   }
   BGC_CHECK_MSG(false, "unknown condensation method: " + method);
   return nullptr;

@@ -60,6 +60,9 @@ struct CondenseConfig {
   float ridge_lambda = 1e-2f;
   float sntk_lr = 0.01f;
   int sntk_batch = 2000;    // labeled-node subsample per epoch
+  // Edge sparsification (src/reduce "sparsify-er" / "sparsify-rand"):
+  // fraction of undirected non-self-loop edges kept. Ignored elsewhere.
+  float sparsify_keep = 0.5f;
   uint64_t seed = 0;
 };
 
@@ -126,7 +129,10 @@ bool IsKnownMethod(const std::string& method);
 
 /// Methods evaluated in the paper — "gcond", "gcond-x", "dc-graph",
 /// "gc-sntk" — plus two extensions from its related work: "doscond"
-/// (one-step gradient matching) and "gcdm" (distribution matching).
+/// (one-step gradient matching) and "gcdm" (distribution matching), and
+/// the non-learned reduction backends of src/reduce: "coarsen"
+/// (heavy-edge-matching coarsening), "sparsify-er" (effective-resistance
+/// edge sparsification), and "sparsify-rand" (uniform-random control).
 /// Aborts on unknown names.
 std::unique_ptr<Condenser> MakeCondenser(const std::string& method);
 

@@ -14,6 +14,12 @@ condense::CondensedGraph Prune(const condense::CondensedGraph& condensed,
                                double prune_ratio) {
   BGC_CHECK_GE(prune_ratio, 0.0);
   BGC_CHECK_LE(prune_ratio, 1.0);
+  // Structure-free methods (GCond-X / DC-Graph / GC-SNTK) deliver an
+  // identity adjacency that only exists so the victim's GCN has a
+  // propagation operator. Pruning must be a no-op on it: there are no
+  // edges to score, and dropping the self-loops (or renumbering nodes)
+  // would silently break victim training.
+  if (!condensed.use_structure) return condensed;
   struct ScoredEdge {
     int src;
     int dst;
@@ -63,6 +69,9 @@ condense::CondensedGraph Prune(const condense::CondensedGraph& condensed,
 
 condense::CondensedGraph JaccardPrune(
     const condense::CondensedGraph& condensed, double threshold) {
+  // Same structure-free guard as Prune(): an identity adjacency carries
+  // no prunable edges and must pass through bit-identically.
+  if (!condensed.use_structure) return condensed;
   const auto& adj = condensed.adj;
   const auto& rp = adj.row_ptr();
   const auto& ci = adj.col_idx();

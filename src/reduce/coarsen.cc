@@ -1,0 +1,188 @@
+#include "src/reduce/reduce.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "src/core/check.h"
+
+namespace bgc::reduce {
+namespace {
+
+/// Path-compressing find over a plain parent vector.
+int Find(std::vector<int>& parent, int v) {
+  while (parent[v] != v) {
+    parent[v] = parent[parent[v]];
+    v = parent[v];
+  }
+  return v;
+}
+
+}  // namespace
+
+void CoarsenCondenser::Initialize(const condense::SourceGraph& source,
+                                  int num_classes,
+                                  const condense::CondenseConfig& config,
+                                  Rng& rng) {
+  BGC_CHECK_GT(num_classes, 0);
+  BGC_CHECK_GT(config.num_condensed, 0);
+  config_ = config;
+  num_classes_ = num_classes;
+  (void)rng;  // heavy-edge matching is fully deterministic
+  Reduce(source);
+}
+
+void CoarsenCondenser::Epoch(const condense::SourceGraph& source) {
+  // The attack mutates the source between epochs (trigger re-attachment),
+  // so the coarsening is recomputed from scratch each time.
+  Reduce(source);
+}
+
+condense::CondensedGraph CoarsenCondenser::Result() const { return result_; }
+
+void CoarsenCondenser::Reduce(const condense::SourceGraph& source) {
+  const int n = source.features.rows();
+  BGC_CHECK_GT(n, 0);
+  const int target = std::min(config_.num_condensed, n);
+
+  std::vector<int> parent(n);
+  for (int i = 0; i < n; ++i) parent[i] = i;
+  std::vector<int> cluster_size(n, 1);
+  int count = n;
+
+  const std::vector<int>& row_ptr = source.adj.row_ptr();
+  const std::vector<int>& col_idx = source.adj.col_idx();
+  const std::vector<float>& values = source.adj.values();
+
+  while (count > target) {
+    // Aggregate the current supergraph: weight between cluster roots,
+    // keyed (min_root, max_root) so both edge directions coalesce.
+    std::map<std::pair<int, int>, float> super;
+    for (int u = 0; u < n; ++u) {
+      const int cu = Find(parent, u);
+      for (int k = row_ptr[u]; k < row_ptr[u + 1]; ++k) {
+        const int cv = Find(parent, col_idx[k]);
+        if (cu == cv) continue;
+        super[{std::min(cu, cv), std::max(cu, cv)}] += values[k];
+      }
+    }
+    struct Candidate {
+      float weight;
+      int a, b;
+    };
+    std::vector<Candidate> candidates;
+    candidates.reserve(super.size());
+    for (const auto& [pair, w] : super) {
+      candidates.push_back({w, pair.first, pair.second});
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& x, const Candidate& y) {
+                if (x.weight != y.weight) return x.weight > y.weight;
+                if (x.a != y.a) return x.a < y.a;
+                return x.b < y.b;
+              });
+    int merges_left = count - target;
+    std::vector<char> matched(n, 0);
+    int merged = 0;
+    for (const Candidate& c : candidates) {
+      if (merges_left == 0) break;
+      if (matched[c.a] || matched[c.b]) continue;
+      matched[c.a] = matched[c.b] = 1;
+      parent[c.b] = c.a;
+      cluster_size[c.a] += cluster_size[c.b];
+      --count;
+      --merges_left;
+      ++merged;
+    }
+    if (merged > 0) continue;
+    // No inter-cluster edges left (disconnected remainder): pair the
+    // smallest clusters until the target is reached.
+    std::vector<int> roots;
+    for (int i = 0; i < n; ++i) {
+      if (Find(parent, i) == i) roots.push_back(i);
+    }
+    std::sort(roots.begin(), roots.end(), [&](int x, int y) {
+      if (cluster_size[x] != cluster_size[y]) {
+        return cluster_size[x] < cluster_size[y];
+      }
+      return x < y;
+    });
+    for (size_t i = 0; i + 1 < roots.size() && count > target; i += 2) {
+      parent[roots[i + 1]] = roots[i];
+      cluster_size[roots[i]] += cluster_size[roots[i + 1]];
+      --count;
+    }
+  }
+
+  // Root -> members (ascending id; roots discovered in ascending id too).
+  std::vector<int> root_of(n);
+  for (int i = 0; i < n; ++i) root_of[i] = Find(parent, i);
+  std::map<int, std::vector<int>> members;
+  for (int i = 0; i < n; ++i) members[root_of[i]].push_back(i);
+  BGC_CHECK_EQ(static_cast<int>(members.size()), target);
+
+  // Majority observed label per cluster, ties to the smaller class id.
+  struct Super {
+    int root = 0;
+    int label = 0;
+    int min_member = 0;
+  };
+  std::vector<Super> supers;
+  supers.reserve(members.size());
+  for (const auto& [root, mem] : members) {
+    std::vector<int> votes(num_classes_, 0);
+    for (int v : mem) {
+      const int y = source.labels[v];
+      if (y >= 0 && y < num_classes_) ++votes[y];
+    }
+    int best = 0;
+    for (int c = 1; c < num_classes_; ++c) {
+      if (votes[c] > votes[best]) best = c;
+    }
+    supers.push_back({root, best, mem.front()});
+  }
+  // Class-grouped supernode order, like the learned methods' labels.
+  std::sort(supers.begin(), supers.end(), [](const Super& x, const Super& y) {
+    if (x.label != y.label) return x.label < y.label;
+    return x.min_member < y.min_member;
+  });
+
+  std::vector<int> row_of_root(n, -1);
+  for (size_t s = 0; s < supers.size(); ++s) row_of_root[supers[s].root] = s;
+  assignments_.assign(n, 0);
+  for (int i = 0; i < n; ++i) assignments_[i] = row_of_root[root_of[i]];
+
+  const int d = source.features.cols();
+  condense::CondensedGraph out;
+  out.num_classes = num_classes_;
+  out.use_structure = true;
+  out.features = Matrix(target, d);
+  out.labels.resize(target);
+  for (size_t s = 0; s < supers.size(); ++s) {
+    const std::vector<int>& mem = members[supers[s].root];
+    out.labels[s] = supers[s].label;
+    float* row = out.features.RowPtr(static_cast<int>(s));
+    for (int v : mem) {
+      const float* src = source.features.RowPtr(v);
+      for (int j = 0; j < d; ++j) row[j] += src[j];
+    }
+    const float inv = 1.0f / static_cast<float>(mem.size());
+    for (int j = 0; j < d; ++j) row[j] *= inv;
+  }
+
+  // Edge mass between clusters; intra-cluster mass becomes a self-loop.
+  // FromEdges sums duplicate coordinates, so one triplet per original edge
+  // suffices and total weight is conserved.
+  std::vector<graph::Edge> edges;
+  edges.reserve(values.size());
+  for (int u = 0; u < n; ++u) {
+    for (int k = row_ptr[u]; k < row_ptr[u + 1]; ++k) {
+      edges.push_back({assignments_[u], assignments_[col_idx[k]], values[k]});
+    }
+  }
+  out.adj = graph::CsrMatrix::FromEdges(target, target, edges,
+                                        /*symmetrize=*/false);
+  result_ = std::move(out);
+}
+
+}  // namespace bgc::reduce

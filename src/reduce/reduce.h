@@ -1,0 +1,116 @@
+#ifndef BGC_REDUCE_REDUCE_H_
+#define BGC_REDUCE_REDUCE_H_
+
+// Graph-reduction backends that are NOT learned condensation, after "On the
+// Robustness of Graph Reduction Against GNN Backdoor" (PAPERS.md): a
+// heavy-edge-matching coarsener and two edge sparsifiers, each implemented
+// as a condense::Condenser so the whole attack / eval / serve / bgcbin
+// stack runs unchanged against them. They answer the transfer question the
+// bench_transfer_matrix binary sweeps: does a trigger tuned against a
+// GCond-family trajectory survive a defender who coarsens or sparsifies
+// instead of condensing?
+//
+// Contract differences from the learned methods:
+//  - The reduction is recomputed inside every Epoch() from the (possibly
+//    attack-mutated) source, because attack::RunBgc reads Result() each
+//    epoch and re-attaches triggers between epochs. Result() just returns
+//    the stored reduction, so it stays cheap in that loop.
+//  - Everything is plain serial code drawing only on the passed Rng, so
+//    results are bit-identical across BGC_NUM_THREADS and across the
+//    serve/CLI/bench entry points by construction.
+//  - The delivered labels are the source's observed train-view labels
+//    (aggregated for the coarsener): unlike synthetic-label condensation,
+//    reduction hands the victim real nodes/supernodes.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/condense/condenser.h"
+#include "src/core/rng.h"
+
+namespace bgc::reduce {
+
+/// Heavy-edge-matching coarsening (Metis-style) with feature/label
+/// aggregation onto supernodes.
+///
+/// Rounds of greedy maximal matching on the current supergraph — visiting
+/// candidate pairs by (aggregated edge weight desc, id asc) — merge the
+/// heaviest-connected cluster pairs until exactly
+/// min(config.num_condensed, n) supernodes remain; a round that finds no
+/// inter-cluster edge falls back to pairing the smallest clusters so the
+/// target is always reached. Per supernode:
+///  - feature = mean of member features (members visited in ascending id);
+///  - label   = majority vote over member observed labels, ties to the
+///    smaller class id;
+///  - adjacency = sum of original edge weights between the two clusters,
+///    with intra-cluster mass kept as a self-loop (total edge mass is
+///    conserved up to float summation order).
+/// Supernodes are emitted ordered by (label asc, smallest member id asc),
+/// matching the class-grouped label layout of the learned methods.
+class CoarsenCondenser : public condense::Condenser {
+ public:
+  CoarsenCondenser() = default;
+
+  void Initialize(const condense::SourceGraph& source, int num_classes,
+                  const condense::CondenseConfig& config, Rng& rng) override;
+  void Epoch(const condense::SourceGraph& source) override;
+  condense::CondensedGraph Result() const override;
+  std::string name() const override { return "coarsen"; }
+
+  /// node id -> supernode row of the last computed reduction (test hook
+  /// for the mass-conservation invariants).
+  const std::vector<int>& assignments() const { return assignments_; }
+
+ private:
+  void Reduce(const condense::SourceGraph& source);
+
+  condense::CondenseConfig config_;
+  int num_classes_ = 0;
+  std::vector<int> assignments_;
+  condense::CondensedGraph result_;
+};
+
+/// Edge sparsification: keeps the node set (features/labels pass through
+/// untouched) and a `config.sparsify_keep` fraction of the undirected
+/// non-self-loop edges; `config.num_condensed` is ignored.
+///
+/// kEffectiveResistance scores each undirected edge with the standard
+/// effective-resistance upper bound w_uv * (1/d_u + 1/d_v) (weighted
+/// degrees) and keeps the top-k — the spectral-flavored sparsifier that
+/// favors bridge-like, hard-to-replace edges. kUniform keeps k edges
+/// uniformly at random from the condenser's forked Rng stream, the control
+/// arm. Ties and the random ranking break deterministically by (src, dst),
+/// and self-loops are always kept outside the budget.
+class SparsifyCondenser : public condense::Condenser {
+ public:
+  enum class Mode { kEffectiveResistance, kUniform };
+
+  explicit SparsifyCondenser(Mode mode) : mode_(mode) {}
+
+  void Initialize(const condense::SourceGraph& source, int num_classes,
+                  const condense::CondenseConfig& config, Rng& rng) override;
+  void Epoch(const condense::SourceGraph& source) override;
+  condense::CondensedGraph Result() const override;
+  std::string name() const override {
+    return mode_ == Mode::kEffectiveResistance ? "sparsify-er"
+                                               : "sparsify-rand";
+  }
+
+ private:
+  void Reduce(const condense::SourceGraph& source);
+
+  Mode mode_;
+  condense::CondenseConfig config_;
+  int num_classes_ = 0;
+  /// Forked at Initialize and replayed from `rng_state_` on every
+  /// Reduce(), so the kUniform ranking does not depend on epoch count.
+  Rng rng_;
+  std::array<uint64_t, Rng::kStateWords> rng_state_{};
+  condense::CondensedGraph result_;
+};
+
+}  // namespace bgc::reduce
+
+#endif  // BGC_REDUCE_REDUCE_H_

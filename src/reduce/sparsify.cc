@@ -1,0 +1,101 @@
+#include "src/reduce/reduce.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/core/check.h"
+
+namespace bgc::reduce {
+
+void SparsifyCondenser::Initialize(const condense::SourceGraph& source,
+                                   int num_classes,
+                                   const condense::CondenseConfig& config,
+                                   Rng& rng) {
+  BGC_CHECK_GT(num_classes, 0);
+  BGC_CHECK_GE(config.sparsify_keep, 0.0f);
+  BGC_CHECK_LE(config.sparsify_keep, 1.0f);
+  config_ = config;
+  num_classes_ = num_classes;
+  rng_ = rng.Fork();
+  rng_state_ = rng_.SaveState();
+  Reduce(source);
+}
+
+void SparsifyCondenser::Epoch(const condense::SourceGraph& source) {
+  Reduce(source);
+}
+
+condense::CondensedGraph SparsifyCondenser::Result() const { return result_; }
+
+void SparsifyCondenser::Reduce(const condense::SourceGraph& source) {
+  const int n = source.features.rows();
+  BGC_CHECK_GT(n, 0);
+  // Replay the forked stream from its initial state so the random ranking
+  // is a pure function of the seed — NOT of how many Epoch() calls the
+  // driver made. RunCondensation(epochs=N) is thus N-invariant for every
+  // mode, matching the coarsener and the ER scorer.
+  rng_.RestoreState(rng_state_);
+
+  // Weighted degrees for the effective-resistance proxy.
+  std::vector<float> degree(n, 0.0f);
+  for (int u = 0; u < n; ++u) degree[u] = source.adj.RowWeightSum(u);
+
+  struct Scored {
+    double score;  // keep the top-k by (score desc, src asc, dst asc)
+    int src, dst;
+    float weight;
+  };
+  std::vector<Scored> undirected;
+  std::vector<graph::Edge> kept;
+  for (const graph::Edge& e : source.adj.ToEdges()) {
+    if (e.src == e.dst) {
+      kept.push_back(e);  // self-loops ride outside the budget
+      continue;
+    }
+    if (e.src > e.dst) continue;
+    double score;
+    if (mode_ == Mode::kEffectiveResistance) {
+      // Standard ER upper bound for edge (u, v): w_uv (1/d_u + 1/d_v).
+      // High-resistance (bridge-like) edges score highest and survive.
+      const double du = std::max(degree[e.src], 1e-12f);
+      const double dv = std::max(degree[e.dst], 1e-12f);
+      score = static_cast<double>(e.weight) * (1.0 / du + 1.0 / dv);
+    } else {
+      // Uniform control: one draw per edge from the replayed forked
+      // stream (edge order is the deterministic CSR order, so the ranking
+      // is a pure function of the seed).
+      score = rng_.Uniform();
+    }
+    undirected.push_back({score, e.src, e.dst, e.weight});
+  }
+
+  const long long m = static_cast<long long>(undirected.size());
+  long long budget = static_cast<long long>(
+      std::llround(static_cast<double>(config_.sparsify_keep) *
+                   static_cast<double>(m)));
+  if (m > 0) budget = std::max<long long>(budget, 1);
+  budget = std::min(budget, m);
+
+  std::sort(undirected.begin(), undirected.end(),
+            [](const Scored& x, const Scored& y) {
+              if (x.score != y.score) return x.score > y.score;
+              if (x.src != y.src) return x.src < y.src;
+              return x.dst < y.dst;
+            });
+  for (long long i = 0; i < budget; ++i) {
+    const Scored& e = undirected[i];
+    kept.push_back({e.src, e.dst, e.weight});
+    kept.push_back({e.dst, e.src, e.weight});
+  }
+
+  condense::CondensedGraph out;
+  out.adj = graph::CsrMatrix::FromEdges(n, n, kept, /*symmetrize=*/false);
+  out.features = source.features;
+  out.labels = source.labels;
+  out.num_classes = num_classes_;
+  out.use_structure = true;
+  result_ = std::move(out);
+}
+
+}  // namespace bgc::reduce

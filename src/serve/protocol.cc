@@ -126,6 +126,9 @@ StatusOr<JobSpec> ParseJobSpec(JobKind kind, const obs::JsonValue& spec) {
     } else if (key == "epochs") {
       s = TakeInt(value, "epochs", 1, 1000000, i);
       run.condense.epochs = static_cast<int>(i);
+    } else if (key == "sparsify-keep") {
+      s = TakeDouble(value, "sparsify-keep", 0.0, 1.0, d);
+      run.condense.sparsify_keep = static_cast<float>(d);
     } else if (key == "attack" && attacky) {
       s = TakeString(value, "attack", run.attack);
     } else if (key == "target" && attacky) {
@@ -201,6 +204,8 @@ void AppendJobSpecJson(std::string& out, const JobSpec& spec) {
   AppendKV(out, "method", run.method);
   AppendKV(out, "n", run.condense.num_condensed);
   AppendKV(out, "epochs", run.condense.epochs);
+  AppendKV(out, "sparsify-keep",
+           static_cast<double>(run.condense.sparsify_keep));
   if (spec.kind != JobKind::kCondense) {
     AppendKV(out, "attack", run.attack);
     AppendKV(out, "target", run.attack_cfg.target_class);

@@ -68,7 +68,8 @@ struct JobSpec {
 /// be known and well-typed, and the assembled RunSpec must pass
 /// eval::ValidateRunSpec. Field grammar (all optional):
 ///   dataset(str) scale(num in [0.01,1]) seed(uint) method(str)
-///   n(int>=1) epochs(int>=1)                      — condensation
+///   n(int>=1) epochs(int>=1)
+///   sparsify-keep(num in [0,1])                   — condensation
 ///   attack(str) target(int>=0) trigger-size(int>=1)
 ///   poison-ratio(num in [0,1])                    — attack/eval kinds
 ///   repeats(int>=1) clean-baseline(bool)          — eval kind

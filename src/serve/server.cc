@@ -103,6 +103,18 @@ class Server::Impl {
   std::map<std::string, std::shared_ptr<Job>> jobs;  // by id, insertion order
   std::map<std::string, int> active_by_hex;  // QUEUED+RUNNING jobs per key
   std::set<std::string> ckpt_inflight;  // keys whose checkpoint file is owned
+  /// Single-flight memo for eval-job results, keyed by CanonicalJobKey
+  /// (the full string, not the hex digest, so a hash collision can never
+  /// alias two specs). Only successful flights stay memoized; a failed
+  /// leader erases its entry so a later duplicate recomputes. In-memory
+  /// only — a new server generation recomputes (condense artifacts inside
+  /// the run still hit the on-disk ArtifactCache).
+  struct EvalFlight {
+    bool done = false;
+    bool ok = false;
+    std::string result;
+  };
+  std::map<std::string, std::shared_ptr<EvalFlight>> eval_memo;
   ServerStats st;
   bool draining = false;
   bool stopped = false;
@@ -537,6 +549,9 @@ class Server::Impl {
       reply += ",\"jobs_recovered\":" + std::to_string(st.recovered);
       reply += ",\"queued\":" + std::to_string(st.queued);
       reply += ",\"running\":" + std::to_string(st.running);
+      reply += ",\"eval_cache\":{\"hits\":" + std::to_string(st.eval_hits);
+      reply += ",\"misses\":" + std::to_string(st.eval_misses);
+      reply += '}';
     }
     if (opts.cache != nullptr) {
       const store::ArtifactCacheStats cs = opts.cache->stats();
@@ -755,7 +770,70 @@ class Server::Impl {
     return result;
   }
 
+  /// Eval jobs single-flight on CanonicalJobKey like condense jobs do on
+  /// the artifact cache: the first job with a key runs RunExperiment (a
+  /// miss), concurrent duplicates wait for it, and later duplicates are
+  /// served from the memo outright (hits either way). The memoized value
+  /// is the full result JSON, which is a pure function of the key — every
+  /// seed stream inside RunExperiment derives from spec fields.
   std::string ExecuteEval(Job& job) {
+    for (;;) {
+      std::shared_ptr<EvalFlight> flight;
+      bool leader = false;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = eval_memo.find(job.key);
+        if (it == eval_memo.end()) {
+          flight = std::make_shared<EvalFlight>();
+          eval_memo.emplace(job.key, flight);
+          leader = true;
+          ++st.eval_misses;
+        } else {
+          flight = it->second;
+          if (flight->done) {  // done entries in the map are always ok
+            ++st.eval_hits;
+            return flight->result;
+          }
+        }
+      }
+      if (leader) {
+        std::string body;
+        try {
+          body = ComputeEvalResult(job);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            eval_memo.erase(job.key);
+            flight->done = true;  // wakes followers; they re-elect
+          }
+          cv.notify_all();
+          throw;
+        }
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          flight->done = true;
+          flight->ok = true;
+          flight->result = body;
+        }
+        cv.notify_all();
+        return body;
+      }
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return flight->done || stopped; });
+        if (flight->done && flight->ok) {
+          ++st.eval_hits;
+          return flight->result;
+        }
+        if (!flight->done) {
+          throw std::runtime_error("server stopping");
+        }
+      }
+      // The leader failed; loop to take over the computation.
+    }
+  }
+
+  std::string ComputeEvalResult(Job& job) {
     eval::RunSpec run = job.spec.run;
     run.artifact_cache = opts.cache;
     const eval::CellStats cell = eval::RunExperiment(run);

@@ -79,6 +79,13 @@ struct ServerStats {
   long long recovered = 0;  // sidecar jobs re-admitted at Start
   int queued = 0;
   int running = 0;
+  /// Eval-result single-flight memo (per server generation, keyed by
+  /// CanonicalJobKey): identical eval specs compute once. A miss is a
+  /// leader that ran RunExperiment; a hit is a duplicate served from the
+  /// memo, whether it arrived after completion or coalesced behind the
+  /// in-flight leader.
+  long long eval_hits = 0;
+  long long eval_misses = 0;
 };
 
 class Server {

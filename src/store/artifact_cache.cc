@@ -50,6 +50,7 @@ std::string CanonicalCondenseKey(const condense::CondenseConfig& c) {
   key += ",ridge_lambda=" + FmtFloat(c.ridge_lambda);
   key += ",sntk_lr=" + FmtFloat(c.sntk_lr);
   key += ",sntk_batch=" + std::to_string(c.sntk_batch);
+  key += ",sparsify_keep=" + FmtFloat(c.sparsify_keep);
   key += ",seed=" + std::to_string(c.seed);
   key += "}";
   return key;

@@ -8,8 +8,12 @@
 // `sanitizer` ctest label and is part of the ASan matrix in tools/ci.sh,
 // where an out-of-bounds read in the parser becomes a hard failure.
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -23,6 +27,36 @@
 
 namespace bgc::store {
 namespace {
+
+/// Per-test scratch directory. gtest_discover_tests runs every TEST in
+/// its own process, so under `ctest -j` several of these sweeps execute
+/// concurrently against the same temp root — fixed shared file names
+/// raced (one process rewriting mmap_fuzz.bgcbin mid-sweep of another)
+/// and made the suite flaky. Each test therefore gets a directory named
+/// by suite, test, and pid, honoring TEST_TMPDIR / TMPDIR overrides.
+std::string MakeUniqueTestDir() {
+  std::string base;
+  if (const char* env = std::getenv("TEST_TMPDIR"); env != nullptr) {
+    base = env;
+  } else if (const char* env = std::getenv("TMPDIR"); env != nullptr) {
+    base = env;
+  } else {
+    base = ::testing::TempDir();
+  }
+  if (!base.empty() && base.back() != '/') base += '/';
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string dir = base + "bgcbin_fuzz_";
+  dir += info->test_suite_name();
+  dir += '_';
+  dir += info->name();
+  dir += '_';
+  dir += std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+void RemoveUniqueTestDir(const std::string& dir) { ::rmdir(dir.c_str()); }
 
 std::string ValidContainer() {
   BgcbinWriter writer;
@@ -224,8 +258,8 @@ TEST(BgcbinFuzzTest, StringLengthPastPayloadIsRejected) {
 TEST(BgcbinFuzzTest, DatasetLoaderRejectsMutatedFile) {
   data::GraphDataset ds = data::MakeDataset("cora-sim", /*seed=*/3,
                                             /*scale=*/0.05);
-  const std::string path =
-      ::testing::TempDir() + "/bgcbin_fuzz_dataset.bgcbin";
+  const std::string dir = MakeUniqueTestDir();
+  const std::string path = dir + "/dataset.bgcbin";
   ASSERT_TRUE(SaveDatasetBinary(ds, path).ok());
 
   StatusOr<BgcbinReader> original = BgcbinReader::Open(path);
@@ -243,8 +277,7 @@ TEST(BgcbinFuzzTest, DatasetLoaderRejectsMutatedFile) {
   // Flip one bit every 97 bytes (a prime stride hits every region of the
   // container across the sweep without writing the file thousands of
   // times).
-  const std::string mutant_path =
-      ::testing::TempDir() + "/bgcbin_fuzz_dataset_mutant.bgcbin";
+  const std::string mutant_path = dir + "/dataset_mutant.bgcbin";
   for (size_t pos = 0; pos < bytes.size(); pos += 97) {
     std::string mutant = bytes;
     mutant[pos] = static_cast<char>(mutant[pos] ^ 0x10);
@@ -258,18 +291,20 @@ TEST(BgcbinFuzzTest, DatasetLoaderRejectsMutatedFile) {
   }
   std::remove(mutant_path.c_str());
   std::remove(path.c_str());
+  RemoveUniqueTestDir(dir);
 }
 
 TEST(BgcbinFuzzTest, MissingSectionSurfacesStatus) {
   BgcbinWriter writer;
   SectionWriter& kind = writer.AddSection("kind");
   kind.PutString("bgc.dataset");  // right kind, but no payload sections
-  const std::string path =
-      ::testing::TempDir() + "/bgcbin_fuzz_missing.bgcbin";
+  const std::string dir = MakeUniqueTestDir();
+  const std::string path = dir + "/missing.bgcbin";
   ASSERT_TRUE(writer.WriteTo(path).ok());
   StatusOr<data::GraphDataset> loaded = TryLoadDatasetBinary(path);
   EXPECT_FALSE(loaded.ok());
   std::remove(path.c_str());
+  RemoveUniqueTestDir(dir);
 }
 
 // --- Mmap path (data::MmapDataset): the same corruption classes must
@@ -282,7 +317,8 @@ class MmapFuzzTest : public ::testing::Test {
  protected:
   void SetUp() override {
     ds_ = data::MakeDataset("tiny-sim", /*seed=*/3);
-    path_ = ::testing::TempDir() + "/mmap_fuzz.bgcbin";
+    dir_ = MakeUniqueTestDir();
+    path_ = dir_ + "/mmap_fuzz.bgcbin";
     ASSERT_TRUE(SaveDatasetBinary(ds_, path_).ok());
     std::FILE* f = std::fopen(path_.c_str(), "rb");
     ASSERT_NE(f, nullptr);
@@ -291,12 +327,13 @@ class MmapFuzzTest : public ::testing::Test {
     std::fseek(f, 0, SEEK_SET);
     ASSERT_EQ(std::fread(bytes_.data(), 1, bytes_.size(), f), bytes_.size());
     std::fclose(f);
-    mutant_path_ = ::testing::TempDir() + "/mmap_fuzz_mutant.bgcbin";
+    mutant_path_ = dir_ + "/mmap_fuzz_mutant.bgcbin";
   }
 
   void TearDown() override {
     std::remove(path_.c_str());
     std::remove(mutant_path_.c_str());
+    RemoveUniqueTestDir(dir_);
   }
 
   void WriteMutant(const std::string& mutant) {
@@ -316,6 +353,7 @@ class MmapFuzzTest : public ::testing::Test {
   }
 
   data::GraphDataset ds_;
+  std::string dir_;
   std::string path_;
   std::string mutant_path_;
   std::string bytes_;

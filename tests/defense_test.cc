@@ -63,6 +63,47 @@ TEST(PruneTest, FeaturesAndLabelsUntouched) {
   EXPECT_EQ(pruned.labels, g.labels);
 }
 
+/// Structure-free condensation output: identity adjacency whose
+/// self-loops only exist to give the victim a propagation operator.
+condense::CondensedGraph MakeStructureFreeFixture() {
+  condense::CondensedGraph g;
+  g.features = Matrix(4, 2, {1, 0, 1, 0.1f, -1, 0, -1, -0.1f});
+  g.adj = graph::CsrMatrix::Identity(4);
+  g.labels = {0, 0, 1, 1};
+  g.num_classes = 2;
+  g.use_structure = false;
+  return g;
+}
+
+TEST(PruneTest, StructureFreeGraphPassesThroughUntouched) {
+  // Regression: edge pruning on a structure-free graph must be a strict
+  // no-op even at the most aggressive ratio — never dropping the
+  // self-loops or renumbering nodes, which would break victim training.
+  condense::CondensedGraph g = MakeStructureFreeFixture();
+  for (double ratio : {0.5, 1.0}) {
+    condense::CondensedGraph out = Prune(g, ratio);
+    EXPECT_FALSE(out.use_structure);
+    EXPECT_EQ(out.adj.nnz(), g.adj.nnz()) << "ratio " << ratio;
+    EXPECT_TRUE(AllClose(out.adj.ToDense(), g.adj.ToDense()));
+    EXPECT_TRUE(out.features == g.features);
+    EXPECT_EQ(out.labels, g.labels);
+  }
+}
+
+TEST(JaccardPruneTest, StructureFreeGraphPassesThroughUntouched) {
+  // Self-loop-only neighborhoods never overlap, so without the guard a
+  // high threshold would strip every self-loop. Must be a no-op instead.
+  condense::CondensedGraph g = MakeStructureFreeFixture();
+  for (double threshold : {0.5, 1.0}) {
+    condense::CondensedGraph out = JaccardPrune(g, threshold);
+    EXPECT_FALSE(out.use_structure);
+    EXPECT_EQ(out.adj.nnz(), g.adj.nnz()) << "threshold " << threshold;
+    EXPECT_TRUE(AllClose(out.adj.ToDense(), g.adj.ToDense()));
+    EXPECT_TRUE(out.features == g.features);
+    EXPECT_EQ(out.labels, g.labels);
+  }
+}
+
 TEST(RandsmoothTest, VoteCountsSumToNumSamples) {
   data::GraphDataset ds = data::MakeDataset("tiny-sim", 121);
   Rng rng(1);
@@ -123,6 +164,7 @@ TEST(JaccardPruneTest, DropsZeroOverlapEdges) {
                                       /*symmetrize=*/true);
   g.labels = {0, 0, 0};
   g.num_classes = 1;
+  g.use_structure = true;
   condense::CondensedGraph pruned = JaccardPrune(g, 0.01);
   EXPECT_EQ(pruned.adj.nnz(), 0);
 }
@@ -135,6 +177,7 @@ TEST(JaccardPruneTest, KeepsTriangleEdges) {
                                       /*symmetrize=*/true);
   g.labels = {0, 0, 0};
   g.num_classes = 1;
+  g.use_structure = true;
   condense::CondensedGraph pruned = JaccardPrune(g, 0.01);
   EXPECT_EQ(pruned.adj.nnz(), 6);
 }
@@ -146,6 +189,7 @@ TEST(JaccardPruneTest, ThresholdZeroKeepsAll) {
                                       /*symmetrize=*/true);
   g.labels = {0, 0, 0};
   g.num_classes = 1;
+  g.use_structure = true;
   EXPECT_EQ(JaccardPrune(g, 0.0).adj.nnz(), g.adj.nnz());
 }
 

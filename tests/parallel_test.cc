@@ -17,6 +17,7 @@
 #include "src/core/thread_pool.h"
 #include "src/graph/csr.h"
 #include "src/tensor/matrix_ops.h"
+#include "src/tensor/simd/simd.h"
 
 namespace bgc {
 namespace {
@@ -155,8 +156,16 @@ TEST(KernelDeterminismTest, MatMulBitIdentical) {
   Matrix b = Matrix::RandomNormal(123, 89, rng);
   Matrix got = AssertSameAcrossThreadCounts([&] { return MatMul(a, b); });
   // Row partitioning and k-panel blocking preserve per-element accumulation
-  // order, so the parallel kernel matches the serial formulation exactly.
-  EXPECT_TRUE(got == SerialMatMulRef(a, b));
+  // order, so the parallel kernel matches the serial formulation exactly —
+  // except under the opt-in BGC_FAST_MATH tier, whose fused multiply-adds
+  // round once per step and are non-bit-exact by contract (DESIGN.md §14);
+  // thread-count identity above still holds there.
+  if (simd::FastMathEnabled()) {
+    // fp32 accumulation over k=123 with cancellation: allow ~k·eps noise.
+    EXPECT_TRUE(AllClose(got, SerialMatMulRef(a, b), 1e-4f, 1e-3f));
+  } else {
+    EXPECT_TRUE(got == SerialMatMulRef(a, b));
+  }
 }
 
 TEST(KernelDeterminismTest, MatMulTransVariantsBitIdentical) {
@@ -165,13 +174,25 @@ TEST(KernelDeterminismTest, MatMulTransVariantsBitIdentical) {
   Matrix b = Matrix::RandomNormal(123, 89, rng);
   Matrix got_ta =
       AssertSameAcrossThreadCounts([&] { return MatMulTransA(a, b); });
-  EXPECT_TRUE(got_ta == SerialMatMulRef(Transpose(a), b));
+  // Same fast-math carve-out as MatMulBitIdentical: the FMA tile is
+  // non-bit-exact vs the two-rounding serial reference by contract.
+  if (simd::FastMathEnabled()) {
+    EXPECT_TRUE(
+        AllClose(got_ta, SerialMatMulRef(Transpose(a), b), 1e-4f, 1e-3f));
+  } else {
+    EXPECT_TRUE(got_ta == SerialMatMulRef(Transpose(a), b));
+  }
 
   Matrix c = Matrix::RandomNormal(257, 123, rng);
   Matrix d = Matrix::RandomNormal(89, 123, rng);
   Matrix got_tb =
       AssertSameAcrossThreadCounts([&] { return MatMulTransB(c, d); });
-  EXPECT_TRUE(AllClose(got_tb, SerialMatMulRef(c, Transpose(d))));
+  if (simd::FastMathEnabled()) {
+    EXPECT_TRUE(
+        AllClose(got_tb, SerialMatMulRef(c, Transpose(d)), 1e-4f, 1e-3f));
+  } else {
+    EXPECT_TRUE(AllClose(got_tb, SerialMatMulRef(c, Transpose(d))));
+  }
 }
 
 TEST(KernelDeterminismTest, ElementwiseBitIdentical) {

@@ -1,0 +1,375 @@
+// src/reduce backends: coarsening invariants (exact supernode count,
+// feature/label/edge-mass conservation), sparsifier edge budgets,
+// determinism (rerun bit-identity, epoch-count invariance), registry
+// integration, end-to-end RunOnce, and a pinned golden transfer-matrix
+// cell (regenerate with BGC_REGEN_GOLDEN=1 after intentional numeric
+// changes). The suite carries the `sanitizer` label and tools/ci.sh
+// reruns it under several BGC_NUM_THREADS values — the backends are
+// serial by construction, so any divergence is a bug.
+
+#include "src/reduce/reduce.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/condense/condenser.h"
+#include "src/data/synthetic.h"
+#include "src/eval/experiment.h"
+#include "src/tensor/simd/simd.h"
+
+namespace bgc::reduce {
+namespace {
+
+using Mode = SparsifyCondenser::Mode;
+
+condense::SourceGraph TinySource(uint64_t seed = 3) {
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", seed);
+  return condense::FromTrainView(data::MakeTrainView(ds));
+}
+
+bool SameGraph(const condense::CondensedGraph& a,
+               const condense::CondensedGraph& b) {
+  return a.adj.row_ptr() == b.adj.row_ptr() &&
+         a.adj.col_idx() == b.adj.col_idx() &&
+         a.adj.values() == b.adj.values() && a.features == b.features &&
+         a.labels == b.labels && a.num_classes == b.num_classes &&
+         a.use_structure == b.use_structure;
+}
+
+double TotalWeight(const graph::CsrMatrix& adj) {
+  double sum = 0.0;
+  for (float v : adj.values()) sum += v;
+  return sum;
+}
+
+TEST(CoarsenTest, ProducesExactSupernodeCountWithValidAssignments) {
+  condense::SourceGraph source = TinySource();
+  const int n = source.features.rows();
+  for (int target : {4, 17, 50}) {
+    CoarsenCondenser condenser;
+    condense::CondenseConfig cfg;
+    cfg.num_condensed = target;
+    Rng rng(1);
+    condenser.Initialize(source, /*num_classes=*/3, cfg, rng);
+    condense::CondensedGraph g = condenser.Result();
+    EXPECT_EQ(g.features.rows(), target);
+    EXPECT_EQ(static_cast<int>(g.labels.size()), target);
+    EXPECT_EQ(g.adj.rows(), target);
+    EXPECT_TRUE(g.use_structure);
+    const std::vector<int>& assign = condenser.assignments();
+    ASSERT_EQ(static_cast<int>(assign.size()), n);
+    std::vector<int> hit(target, 0);
+    for (int row : assign) {
+      ASSERT_GE(row, 0);
+      ASSERT_LT(row, target);
+      ++hit[row];
+    }
+    for (int row = 0; row < target; ++row) {
+      EXPECT_GT(hit[row], 0) << "empty supernode " << row;
+    }
+  }
+}
+
+TEST(CoarsenTest, ConservesFeatureLabelAndEdgeMass) {
+  condense::SourceGraph source = TinySource();
+  const int n = source.features.rows();
+  const int d = source.features.cols();
+  CoarsenCondenser condenser;
+  condense::CondenseConfig cfg;
+  cfg.num_condensed = 12;
+  Rng rng(1);
+  condenser.Initialize(source, /*num_classes=*/3, cfg, rng);
+  condense::CondensedGraph g = condenser.Result();
+  const std::vector<int>& assign = condenser.assignments();
+
+  // Feature mass: sum over supernodes of (mean row × member count) must
+  // equal the source's column sums (up to float summation order).
+  std::vector<int> size(g.features.rows(), 0);
+  for (int v = 0; v < n; ++v) ++size[assign[v]];
+  for (int j = 0; j < d; ++j) {
+    double source_mass = 0.0;
+    for (int v = 0; v < n; ++v) source_mass += source.features.At(v, j);
+    double condensed_mass = 0.0;
+    for (int s = 0; s < g.features.rows(); ++s) {
+      condensed_mass += static_cast<double>(g.features.At(s, j)) * size[s];
+    }
+    EXPECT_NEAR(condensed_mass, source_mass,
+                1e-3 * (1.0 + std::fabs(source_mass)))
+        << "column " << j;
+  }
+
+  // Label: each supernode carries the majority observed label of its
+  // members, ties resolved toward the smaller class id.
+  for (int s = 0; s < static_cast<int>(g.labels.size()); ++s) {
+    std::vector<int> votes(g.num_classes, 0);
+    for (int v = 0; v < n; ++v) {
+      if (assign[v] == s) ++votes[source.labels[v]];
+    }
+    int majority = 0;
+    for (int c = 1; c < g.num_classes; ++c) {
+      if (votes[c] > votes[majority]) majority = c;
+    }
+    EXPECT_EQ(g.labels[s], majority) << "supernode " << s;
+  }
+
+  // Edge mass: every original edge lands between (or inside) clusters.
+  EXPECT_NEAR(TotalWeight(g.adj), TotalWeight(source.adj),
+              1e-3 * (1.0 + TotalWeight(source.adj)));
+}
+
+TEST(CoarsenTest, TargetBeyondGraphSizeKeepsEveryNode) {
+  condense::SourceGraph source = TinySource();
+  const int n = source.features.rows();
+  CoarsenCondenser condenser;
+  condense::CondenseConfig cfg;
+  cfg.num_condensed = n + 100;
+  Rng rng(1);
+  condenser.Initialize(source, /*num_classes=*/3, cfg, rng);
+  condense::CondensedGraph g = condenser.Result();
+  EXPECT_EQ(g.features.rows(), n);
+  // Singleton supernodes: each row is its member's feature row verbatim.
+  const std::vector<int>& assign = condenser.assignments();
+  for (int v = 0; v < n; ++v) {
+    for (int j = 0; j < source.features.cols(); ++j) {
+      EXPECT_EQ(g.features.At(assign[v], j), source.features.At(v, j));
+    }
+    EXPECT_EQ(g.labels[assign[v]], source.labels[v]);
+  }
+}
+
+TEST(CoarsenTest, RerunAndEpochCountAreBitIdentical) {
+  condense::SourceGraph source = TinySource();
+  condense::CondenseConfig cfg;
+  cfg.num_condensed = 9;
+
+  CoarsenCondenser first;
+  Rng rng_a(5);
+  first.Initialize(source, 3, cfg, rng_a);
+  condense::CondensedGraph a = first.Result();
+
+  CoarsenCondenser second;
+  Rng rng_b(5);
+  second.Initialize(source, 3, cfg, rng_b);
+  for (int e = 0; e < 4; ++e) second.Epoch(source);
+  condense::CondensedGraph b = second.Result();
+  EXPECT_TRUE(SameGraph(a, b));
+}
+
+TEST(SparsifyTest, RespectsEdgeBudgetAndKeepsAllNodes) {
+  condense::SourceGraph source = TinySource();
+  const int n = source.features.rows();
+  long long undirected = 0, self_loops = 0;
+  for (const graph::Edge& e : source.adj.ToEdges()) {
+    if (e.src == e.dst) ++self_loops;
+    if (e.src < e.dst) ++undirected;
+  }
+  ASSERT_GT(undirected, 0);
+
+  for (Mode mode : {Mode::kEffectiveResistance, Mode::kUniform}) {
+    for (float keep : {0.0f, 0.3f, 1.0f}) {
+      SparsifyCondenser condenser(mode);
+      condense::CondenseConfig cfg;
+      cfg.sparsify_keep = keep;
+      cfg.num_condensed = 4;  // ignored by design
+      Rng rng(11);
+      condenser.Initialize(source, 3, cfg, rng);
+      condense::CondensedGraph g = condenser.Result();
+
+      EXPECT_EQ(g.adj.rows(), n);
+      EXPECT_TRUE(g.features == source.features);
+      EXPECT_EQ(g.labels, source.labels);
+      EXPECT_TRUE(g.use_structure);
+
+      long long budget = std::llround(static_cast<double>(keep) *
+                                      static_cast<double>(undirected));
+      budget = std::min(std::max<long long>(budget, 1), undirected);
+      long long kept_undirected = 0, kept_self = 0;
+      for (const graph::Edge& e : g.adj.ToEdges()) {
+        if (e.src == e.dst) ++kept_self;
+        if (e.src < e.dst) ++kept_undirected;
+      }
+      EXPECT_EQ(kept_undirected, budget)
+          << condenser.name() << " keep=" << keep;
+      EXPECT_EQ(kept_self, self_loops);  // self-loops ride outside
+    }
+  }
+}
+
+TEST(SparsifyTest, KeepEverythingReproducesTheSourceAdjacency) {
+  condense::SourceGraph source = TinySource();
+  SparsifyCondenser condenser(Mode::kEffectiveResistance);
+  condense::CondenseConfig cfg;
+  cfg.sparsify_keep = 1.0f;
+  Rng rng(11);
+  condenser.Initialize(source, 3, cfg, rng);
+  condense::CondensedGraph g = condenser.Result();
+  EXPECT_EQ(g.adj.row_ptr(), source.adj.row_ptr());
+  EXPECT_EQ(g.adj.col_idx(), source.adj.col_idx());
+  EXPECT_EQ(g.adj.values(), source.adj.values());
+}
+
+TEST(SparsifyTest, RandomModeIsSeedDeterministicAndEpochInvariant) {
+  condense::SourceGraph source = TinySource();
+  condense::CondenseConfig cfg;
+  cfg.sparsify_keep = 0.4f;
+
+  SparsifyCondenser first(Mode::kUniform);
+  Rng rng_a(21);
+  first.Initialize(source, 3, cfg, rng_a);
+  condense::CondensedGraph a = first.Result();
+
+  // Same seed, extra Epoch() calls: the forked stream replays from its
+  // initial state per reduction, so the result is epoch-count invariant.
+  SparsifyCondenser second(Mode::kUniform);
+  Rng rng_b(21);
+  second.Initialize(source, 3, cfg, rng_b);
+  for (int e = 0; e < 3; ++e) second.Epoch(source);
+  EXPECT_TRUE(SameGraph(a, second.Result()));
+
+  // A different seed picks a different edge set (overwhelmingly likely
+  // with 0.4 of the edges drawn from a fresh stream).
+  SparsifyCondenser third(Mode::kUniform);
+  Rng rng_c(22);
+  third.Initialize(source, 3, cfg, rng_c);
+  EXPECT_FALSE(SameGraph(a, third.Result()));
+}
+
+TEST(SparsifyTest, EffectiveResistanceKeepsBridgeLikeEdges) {
+  // K4 clique (nodes 0-3) plus a pendant node 4 hanging off node 0. The
+  // pendant edge has the highest ER score w(1/d_u + 1/d_v) — its endpoint
+  // has degree 1 — so it must survive even the tightest budget.
+  std::vector<graph::Edge> edges;
+  for (int u = 0; u < 4; ++u) {
+    for (int v = u + 1; v < 4; ++v) edges.push_back({u, v, 1.0f});
+  }
+  edges.push_back({0, 4, 1.0f});
+  condense::SourceGraph source;
+  source.adj = graph::CsrMatrix::FromEdges(5, 5, edges, /*symmetrize=*/true);
+  source.features = Matrix(5, 2, 1.0f);
+  source.labels = {0, 0, 1, 1, 1};
+
+  SparsifyCondenser condenser(Mode::kEffectiveResistance);
+  condense::CondenseConfig cfg;
+  cfg.sparsify_keep = 0.15f;  // budget of 1 out of 7 undirected edges
+  Rng rng(31);
+  condenser.Initialize(source, 2, cfg, rng);
+  condense::CondensedGraph g = condenser.Result();
+  EXPECT_GT(g.adj.At(0, 4), 0.0f) << "pendant (bridge) edge was dropped";
+  long long kept = 0;
+  for (const graph::Edge& e : g.adj.ToEdges()) {
+    if (e.src < e.dst) ++kept;
+  }
+  EXPECT_EQ(kept, 1);
+}
+
+TEST(ReduceRegistryTest, FactoryAndValidationKnowTheBackends) {
+  for (const char* name : {"coarsen", "sparsify-er", "sparsify-rand"}) {
+    EXPECT_TRUE(condense::IsKnownMethod(name)) << name;
+    auto condenser = condense::MakeCondenser(name);
+    ASSERT_NE(condenser, nullptr);
+    EXPECT_EQ(condenser->name(), name);
+  }
+}
+
+TEST(ReduceRegistryTest, RunCondensationDrivesEveryBackend) {
+  condense::SourceGraph source = TinySource();
+  condense::CondenseConfig cfg;
+  cfg.num_condensed = 8;
+  cfg.epochs = 3;
+  cfg.sparsify_keep = 0.5f;
+  for (const char* name : {"coarsen", "sparsify-er", "sparsify-rand"}) {
+    auto condenser = condense::MakeCondenser(name);
+    Rng rng(41);
+    condense::CondensedGraph g =
+        condense::RunCondensation(*condenser, source, 3, cfg, rng);
+    EXPECT_GT(g.features.rows(), 0) << name;
+    EXPECT_EQ(g.num_classes, 3) << name;
+    EXPECT_TRUE(g.use_structure) << name;
+  }
+}
+
+TEST(ReducePipelineTest, RunOnceCompletesForEveryBackend) {
+  // End-to-end eval cell per backend: condense/reduce -> (attack) ->
+  // victim -> metrics, exercising the same path bench_transfer_matrix
+  // sweeps. "bgc" for the coarsener (the golden below pins its numbers),
+  // "none" for the sparsifiers to keep the suite quick.
+  struct Case {
+    const char* method;
+    const char* attack;
+  };
+  for (const Case& c : {Case{"coarsen", "bgc"}, Case{"sparsify-er", "none"},
+                        Case{"sparsify-rand", "none"}}) {
+    eval::RunSpec spec;
+    spec.dataset = "tiny-sim";
+    spec.seed = 5;
+    spec.repeats = 1;
+    spec.method = c.method;
+    spec.attack = c.attack;
+    spec.condense.num_condensed = 8;
+    spec.condense.epochs = 2;
+    spec.condense.sparsify_keep = 0.5f;
+    spec.victim.epochs = 40;
+    spec.eval_clean_baseline = false;
+    eval::RepeatResult rr = eval::RunOnce(spec, /*seed=*/5);
+    EXPECT_GE(rr.backdoor.cta, 0.0) << c.method;
+    EXPECT_LE(rr.backdoor.cta, 1.0) << c.method;
+    EXPECT_GE(rr.backdoor.asr, 0.0) << c.method;
+    EXPECT_LE(rr.backdoor.asr, 1.0) << c.method;
+  }
+}
+
+// ---- pinned transfer-matrix cell ----------------------------------------
+
+bool Regen() {
+  const char* env = std::getenv("BGC_REGEN_GOLDEN");
+  return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == 0);
+}
+
+// Exact under the default bit-stable kernels; a tolerance band under
+// BGC_FAST_MATH=1 (the fast GEMM tier may fuse mul+add; see
+// golden_metrics_test.cc for the full rationale).
+void ExpectGolden(double actual, double golden, double fast_band) {
+  if (simd::FastMathEnabled()) {
+    EXPECT_NEAR(actual, golden, fast_band);
+  } else {
+    EXPECT_EQ(actual, golden);
+  }
+}
+
+// Produced by BGC_REGEN_GOLDEN=1 ./reduce_test. The (bgc × coarsen) cell
+// of the transfer matrix at fast-bench geometry: cora-sim ×0.25, 8
+// supernodes, seed 7.
+constexpr double kGoldenCoarsenBgcCta = 0.13600000000000001;
+constexpr double kGoldenCoarsenBgcAsr = 1;
+
+TEST(ReduceGoldenTest, CoarsenBgcTransferCellIsBitStable) {
+  eval::RunSpec spec;
+  spec.dataset = "cora-sim";
+  spec.dataset_scale = 0.25;
+  spec.seed = 7;
+  spec.repeats = 1;
+  spec.method = "coarsen";
+  spec.attack = "bgc";
+  spec.condense.num_condensed = 8;
+  spec.condense.epochs = 10;
+  spec.victim.epochs = 60;
+  spec.eval_clean_baseline = false;
+  eval::RepeatResult rr = eval::RunOnce(spec, /*seed=*/7);
+  if (Regen()) {
+    std::fprintf(stderr,
+                 "constexpr double kGoldenCoarsenBgcCta = %.17g;\n"
+                 "constexpr double kGoldenCoarsenBgcAsr = %.17g;\n",
+                 rr.backdoor.cta, rr.backdoor.asr);
+    GTEST_SKIP() << "BGC_REGEN_GOLDEN set: printed fresh goldens, "
+                    "assertions skipped";
+  }
+  ExpectGolden(rr.backdoor.cta, kGoldenCoarsenBgcCta, 0.1);
+  ExpectGolden(rr.backdoor.asr, kGoldenCoarsenBgcAsr, 0.1);
+}
+
+}  // namespace
+}  // namespace bgc::reduce

@@ -70,6 +70,15 @@ std::string CondenseSpec(uint64_t seed, int epochs,
   return spec;
 }
 
+/// An eval-kind spec small enough to finish in well under a second but
+/// not instant (condense + attack + victim training per repeat).
+std::string EvalSpec(uint64_t seed) {
+  return "{\"dataset\":\"tiny-sim\",\"seed\":" + std::to_string(seed) +
+         ",\"method\":\"coarsen\",\"n\":4,\"epochs\":2,"
+         "\"attack\":\"bgc\",\"target\":0,\"trigger-size\":2,"
+         "\"poison-ratio\":0.1,\"victim-epochs\":30}";
+}
+
 Client MustConnect(const Server& server, const std::string& name) {
   StatusOr<Client> client = Client::Connect("127.0.0.1", server.port(), name);
   EXPECT_TRUE(client.ok()) << client.status().message();
@@ -299,6 +308,100 @@ TEST(ServeServer, DuplicateSubmissionsCoalesceThroughCache) {
   const obs::JsonValue* cache_obj = server_stats.value().Find("cache");
   ASSERT_NE(cache_obj, nullptr);
   EXPECT_EQ(static_cast<long long>(cache_obj->Find("misses")->number), 1);
+  server.Stop();
+}
+
+TEST(ServeServer, IdenticalEvalJobsComputeOnce) {
+  ServerOptions options;
+  options.jobs = 2;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+  Client client = MustConnect(server, "c1");
+
+  // Two identical eval jobs in flight at once: the per-generation
+  // single-flight memo elects one leader (a miss); the duplicate either
+  // coalesces behind it or lands after completion — a hit either way.
+  StatusOr<std::string> a = client.Submit("eval", EvalSpec(91));
+  StatusOr<std::string> b = client.Submit("eval", EvalSpec(91));
+  ASSERT_TRUE(a.ok() && b.ok())
+      << a.status().message() << " / " << b.status().message();
+  const obs::JsonValue ra = MustFinish(client, a.value());
+  const obs::JsonValue rb = MustFinish(client, b.value());
+  // The duplicate is served the leader's result string verbatim;
+  // %.17g round-trips doubles exactly, so == is the right comparison.
+  ASSERT_NE(ra.Find("cta"), nullptr);
+  ASSERT_NE(rb.Find("cta"), nullptr);
+  EXPECT_EQ(ra.Find("cta")->Find("mean")->number,
+            rb.Find("cta")->Find("mean")->number);
+  EXPECT_EQ(ra.Find("asr")->Find("mean")->number,
+            rb.Find("asr")->Find("mean")->number);
+
+  // A third submission after completion is a plain memo hit.
+  StatusOr<std::string> c = client.Submit("eval", EvalSpec(91));
+  ASSERT_TRUE(c.ok());
+  MustFinish(client, c.value());
+  EXPECT_EQ(server.stats().eval_misses, 1);
+  EXPECT_EQ(server.stats().eval_hits, 2);
+
+  // A different spec is a fresh miss, not a false hit.
+  StatusOr<std::string> d = client.Submit("eval", EvalSpec(92));
+  ASSERT_TRUE(d.ok());
+  MustFinish(client, d.value());
+  EXPECT_EQ(server.stats().eval_misses, 2);
+  EXPECT_EQ(server.stats().eval_hits, 2);
+
+  // The stats op reports the same counters over the wire.
+  StatusOr<obs::JsonValue> server_stats = client.Stats();
+  ASSERT_TRUE(server_stats.ok());
+  const obs::JsonValue* eval_cache = server_stats.value().Find("eval_cache");
+  ASSERT_NE(eval_cache, nullptr);
+  EXPECT_EQ(static_cast<long long>(eval_cache->Find("misses")->number), 2);
+  EXPECT_EQ(static_cast<long long>(eval_cache->Find("hits")->number), 2);
+  server.Stop();
+}
+
+TEST(ServeServer, ReduceMethodsServeBitIdenticalToCliFlow) {
+  // The src/reduce backends (coarsen / sparsify-er / sparsify-rand) are
+  // admitted like any learned method, and the served artifact matches
+  // the local RunCondensation flow byte for byte.
+  Server server(ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  Client client = MustConnect(server, "c1");
+  const uint64_t seed = 101;
+  data::GraphDataset ds = data::MakeDataset("tiny-sim", seed, 1.0);
+  condense::SourceGraph source =
+      condense::FromTrainView(data::MakeTrainView(ds));
+  for (const char* method : {"coarsen", "sparsify-er", "sparsify-rand"}) {
+    const std::string out =
+        TempPath(std::string("reduce_") + method + ".bgcbin");
+    RemovePathAndContents(out);
+    std::string spec = "{\"dataset\":\"tiny-sim\",\"seed\":" +
+                       std::to_string(seed) + ",\"method\":\"" + method +
+                       "\",\"n\":6,\"epochs\":2,\"sparsify-keep\":0.4,"
+                       "\"out\":";
+    AppendJsonString(spec, out);
+    spec += '}';
+    StatusOr<std::string> job = client.Submit("condense", spec);
+    ASSERT_TRUE(job.ok()) << method << ": " << job.status().message();
+    MustFinish(client, job.value());
+
+    auto condenser = condense::MakeCondenser(method);
+    condense::CondenseConfig cfg;
+    cfg.num_condensed = 6;
+    cfg.epochs = 2;
+    cfg.sparsify_keep = static_cast<float>(0.4);
+    Rng rng(seed);
+    condense::CondensedGraph local = condense::RunCondensation(
+        *condenser, source, ds.num_classes, cfg, rng);
+    const std::string local_out =
+        TempPath(std::string("reduce_local_") + method + ".bgcbin");
+    ASSERT_TRUE(store::SaveCondensedBinary(local, local_out).ok());
+    StatusOr<std::string> served = ReadFileToString(out);
+    StatusOr<std::string> direct = ReadFileToString(local_out);
+    ASSERT_TRUE(served.ok() && direct.ok());
+    EXPECT_EQ(served.value(), direct.value())
+        << method << " server artifact diverged";
+  }
   server.Stop();
 }
 

@@ -4,12 +4,14 @@
 //   16 jobs DONE in 12.4s (1.29 jobs/s)  latency ms p50=5200 ...
 //
 // Fires N concurrent clients at a running poison_service, each submitting
-// a mixed condense/attack workload, waiting for every job, and recording
-// submit-to-done latency. Clients deliberately reuse the same job seeds,
-// so a server with an artifact cache should coalesce or hit on the
-// duplicate condensations — --expect-cache-reuse turns that into a hard
-// assertion. Any job that does not end DONE fails the run (exit 1); bad
-// flags exit 2.
+// a mixed condense/attack workload (plus --evals-per-client eval jobs),
+// waiting for every job, and recording submit-to-done latency. Clients
+// deliberately reuse the same job seeds, so a server with an artifact
+// cache should coalesce or hit on the duplicate condensations —
+// --expect-cache-reuse turns that into a hard assertion, and
+// --expect-eval-cache-reuse does the same for the server's eval
+// single-flight memo. Any job that does not end DONE fails the run
+// (exit 1); bad flags exit 2.
 
 #include <algorithm>
 #include <chrono>
@@ -34,9 +36,15 @@ struct LoadgenOptions {
   int port = 0;
   int clients = 4;
   int jobs_per_client = 2;
+  /// Extra eval-kind jobs per client, appended after the mixed workload.
+  /// Their specs depend only on the job index, so every client submits
+  /// identical eval cells — fodder for the server's eval single-flight
+  /// memo (--expect-eval-cache-reuse asserts it actually reused).
+  int evals_per_client = 0;
   long long seed = 1;
   std::string out_dir;  // when set, condense jobs write artifacts here
   bool expect_cache_reuse = false;
+  bool expect_eval_cache_reuse = false;
   // Workload shape (kept small so a CI run finishes in seconds).
   std::string dataset = "cora-sim";
   double scale = 0.2;
@@ -57,11 +65,15 @@ struct JobOutcome {
   std::exit(2);
 }
 
+enum class SpecKind { kCondense, kAttack, kEval };
+
 /// Builds the j-th job spec for client c. Even j's are condense jobs (the
 /// seed, and hence the cache key, depends only on j — every client
-/// submits the same condensations); odd j's are attack jobs.
+/// submits the same condensations); odd j's are attack jobs. Eval specs
+/// likewise depend only on j, so duplicates across clients hit the
+/// server's eval single-flight memo.
 std::string BuildSpec(const LoadgenOptions& opts, int client, int job,
-                      bool condense) {
+                      SpecKind kind) {
   std::string spec = "{\"dataset\":";
   bgc::serve::AppendJsonString(spec, opts.dataset);
   spec += ",\"scale\":";
@@ -70,7 +82,7 @@ std::string BuildSpec(const LoadgenOptions& opts, int client, int job,
   spec += ",\"method\":\"gcond\"";
   spec += ",\"n\":" + std::to_string(opts.n);
   spec += ",\"epochs\":" + std::to_string(opts.epochs);
-  if (condense) {
+  if (kind == SpecKind::kCondense) {
     if (!opts.out_dir.empty()) {
       spec += ",\"out\":";
       bgc::serve::AppendJsonString(
@@ -81,6 +93,7 @@ std::string BuildSpec(const LoadgenOptions& opts, int client, int job,
     spec += ",\"attack\":\"bgc\",\"target\":0,\"trigger-size\":3";
     spec += ",\"poison-ratio\":0.1";
     spec += ",\"victim-epochs\":" + std::to_string(opts.victim_epochs);
+    if (kind == SpecKind::kEval) spec += ",\"repeats\":1";
   }
   spec += '}';
   return spec;
@@ -95,15 +108,23 @@ void RunClient(const LoadgenOptions& opts, int client,
     return;
   }
   bgc::serve::Client& c = conn.value();
-  for (int j = 0; j < opts.jobs_per_client; ++j) {
+  const int total = opts.jobs_per_client + opts.evals_per_client;
+  for (int j = 0; j < total; ++j) {
     JobOutcome& outcome = outcomes[j];
-    const bool condense = j % 2 == 0;
-    const std::string spec = BuildSpec(opts, client, j, condense);
+    const SpecKind kind = j >= opts.jobs_per_client ? SpecKind::kEval
+                          : j % 2 == 0              ? SpecKind::kCondense
+                                                    : SpecKind::kAttack;
+    const char* kind_name = kind == SpecKind::kCondense ? "condense"
+                            : kind == SpecKind::kAttack ? "attack"
+                                                        : "eval";
+    // Eval job indices restart at 0 so every client's eval specs match.
+    const int spec_index =
+        kind == SpecKind::kEval ? j - opts.jobs_per_client : j;
+    const std::string spec = BuildSpec(opts, client, spec_index, kind);
     const auto t0 = Clock::now();
     std::string job_id;
     for (;;) {
-      bgc::StatusOr<std::string> submitted =
-          c.Submit(condense ? "condense" : "attack", spec);
+      bgc::StatusOr<std::string> submitted = c.Submit(kind_name, spec);
       if (submitted.ok()) {
         job_id = submitted.take();
         break;
@@ -154,6 +175,10 @@ int main(int argc, char** argv) {
       opts.expect_cache_reuse = true;
       continue;
     }
+    if (arg == "--expect-eval-cache-reuse") {
+      opts.expect_eval_cache_reuse = true;
+      continue;
+    }
     const size_t eq = arg.find('=');
     if (arg.compare(0, 2, "--") != 0 || eq == std::string::npos) {
       std::fprintf(stderr, "bad flag: %s\n", arg.c_str());
@@ -174,6 +199,8 @@ int main(int argc, char** argv) {
       opts.clients = take_int(1, 256);
     } else if (key == "jobs-per-client") {
       opts.jobs_per_client = take_int(1, 1000);
+    } else if (key == "evals-per-client") {
+      opts.evals_per_client = take_int(0, 1000);
     } else if (key == "seed") {
       opts.seed = take_int(0, 1LL << 40);
     } else if (key == "out-dir") {
@@ -201,7 +228,8 @@ int main(int argc, char** argv) {
   }
 
   std::vector<std::vector<JobOutcome>> outcomes(
-      opts.clients, std::vector<JobOutcome>(opts.jobs_per_client));
+      opts.clients, std::vector<JobOutcome>(opts.jobs_per_client +
+                                            opts.evals_per_client));
   const auto t0 = Clock::now();
   std::vector<std::thread> threads;
   threads.reserve(opts.clients);
@@ -217,7 +245,8 @@ int main(int argc, char** argv) {
   int failed = 0;
   std::vector<double> latencies;
   for (int c = 0; c < opts.clients; ++c) {
-    for (int j = 0; j < opts.jobs_per_client; ++j) {
+    const int total = opts.jobs_per_client + opts.evals_per_client;
+    for (int j = 0; j < total; ++j) {
       const JobOutcome& o = outcomes[c][j];
       if (o.done) {
         ++done;
@@ -239,6 +268,7 @@ int main(int argc, char** argv) {
 
   // One extra connection for the server-side view (cache reuse counters).
   long long reuse = -1;
+  long long eval_reuse = -1;
   StatusOr<serve::Client> stats_conn =
       serve::Client::Connect(opts.host, opts.port, "loadgen-stats");
   if (stats_conn.ok()) {
@@ -254,11 +284,23 @@ int main(int argc, char** argv) {
         }
         std::printf("cache reuse: hits+coalesced=%lld\n", reuse);
       }
+      if (const JsonValue* ec = stats.value().Find("eval_cache")) {
+        const JsonValue* hits = ec->Find("hits");
+        if (hits != nullptr) {
+          eval_reuse = static_cast<long long>(hits->number);
+          std::printf("eval cache reuse: hits=%lld\n", eval_reuse);
+        }
+      }
     }
   }
   if (opts.expect_cache_reuse && reuse <= 0) {
     std::fprintf(stderr,
                  "expected cache reuse but hits+coalesced=%lld\n", reuse);
+    return 1;
+  }
+  if (opts.expect_eval_cache_reuse && eval_reuse <= 0) {
+    std::fprintf(stderr, "expected eval cache reuse but hits=%lld\n",
+                 eval_reuse);
     return 1;
   }
   return failed == 0 ? 0 : 1;

@@ -212,6 +212,30 @@ step "Release: parallel bench smoke (--jobs=4)"
 ./build-ci-release/bench/bench_table1_naive_vs_bgc --repeats=1 --jobs=4 \
     > /dev/null
 
+step "Release: transfer-matrix bit-identity smoke (--jobs=1 vs --jobs=8)"
+# The attack × reduction × defense sweep's bgc-transfer-matrix-v1 JSON
+# report must be byte-identical at every --jobs: units are pure functions
+# of their index and the reduction runs in unit order.
+TM_DIR="build-ci-release/transfer-matrix"
+rm -rf "$TM_DIR"
+mkdir -p "$TM_DIR"
+./build-ci-release/bench/bench_transfer_matrix --repeats=1 --jobs=1 \
+    --json="$TM_DIR/j1.json" > /dev/null
+./build-ci-release/bench/bench_transfer_matrix --repeats=1 --jobs=8 \
+    --json="$TM_DIR/j8.json" > /dev/null
+cmp "$TM_DIR/j1.json" "$TM_DIR/j8.json"
+echo "transfer matrix JSON is bit-identical across --jobs"
+
+step "Release: reduction backends thread-count bit-identity"
+# src/reduce is serial by construction and reduce_test pins a golden
+# RunOnce cell; passing unchanged at several BGC_NUM_THREADS values proves
+# the backends (and the eval kernels under them) never pick up a
+# thread-count dependence.
+for nt in 1 2 8; do
+  BGC_NUM_THREADS="$nt" ./build-ci-release/tests/reduce_test > /dev/null
+done
+echo "reduce suite passes at BGC_NUM_THREADS=1/2/8"
+
 step "Release: serve leg (daemon + loadgen + CLI bit-identity + drain)"
 # Boots the poison_service daemon on an ephemeral port, fires 4 concurrent
 # mixed-workload clients at it (with a shared artifact cache, so duplicate
@@ -233,8 +257,11 @@ for _ in $(seq 1 50); do
 done
 SERVE_PORT="$(cat "$SERVE_DIR/port")"
 grep -q "bgc-serve-v1 listening on port $SERVE_PORT" "$SERVE_DIR/daemon.log"
+# --evals-per-client submits identical eval cells from every client, so
+# the server's eval single-flight memo must report hits (computed once).
 ./build-ci-release/tools/bgc_loadgen --port="$SERVE_PORT" --clients=4 \
-    --jobs-per-client=2 --out-dir="$SERVE_DIR/out" --expect-cache-reuse
+    --jobs-per-client=2 --evals-per-client=1 --out-dir="$SERVE_DIR/out" \
+    --expect-cache-reuse --expect-eval-cache-reuse
 # Bit-identity: one more condense job through the server, the same spec
 # serially through bgc_cli, compared byte for byte.
 printf '%s\n' \
@@ -305,6 +332,8 @@ if [ "$SKIP_TSAN" -eq 0 ]; then
   ./build-ci-tsan/tests/tape_test
   step "TSan: serve suite (accept loop, worker slots, drain, streaming)"
   ./build-ci-tsan/tests/serve_test
+  step "TSan: reduce suite (serial backends over the pooled eval kernels)"
+  BGC_NUM_THREADS=4 ./build-ci-tsan/tests/reduce_test
   step "TSan: tape + arena under BGC_AUTOGRAD=parallel"
   # Force the dependency-counted engine even where tests don't set it
   # explicitly, so TSan watches slot writes, the pending-counter cascade,
